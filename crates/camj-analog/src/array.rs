@@ -1,0 +1,157 @@
+//! Analog Functional Arrays (paper Sec. 3.3, Eq. 2–3).
+//!
+//! An **AFA** is a grid of identical A-Components — a pixel array, a
+//! column-parallel ADC bank, a row of switched-capacitor PEs. Because
+//! stencil workloads distribute work uniformly, every component in an AFA
+//! sees the same access count (Eq. 3):
+//!
+//! ```text
+//! N_access[component] = N_ops[AFA] / N_components[AFA]
+//! ```
+//!
+//! and the AFA's per-frame energy is `E_component × N_ops` (Eq. 2 summed
+//! over identical components).
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::units::{Energy, Time};
+
+use crate::component::AnalogComponentSpec;
+use crate::domain::SignalDomain;
+
+/// A 2-D arrangement of identical A-Components.
+///
+/// # Examples
+///
+/// ```
+/// use camj_analog::array::AnalogArray;
+/// use camj_analog::components::{aps_4t, ApsParams};
+/// use camj_tech::units::Time;
+///
+/// let pixels = AnalogArray::new(aps_4t(ApsParams::default()), 480, 640);
+/// // One readout op per pixel per frame:
+/// let ops = pixels.component_count();
+/// let energy = pixels.energy_for_ops(ops, Time::from_micros(30.0));
+/// assert!(energy.microjoules() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogArray {
+    component: AnalogComponentSpec,
+    rows: u32,
+    cols: u32,
+}
+
+impl AnalogArray {
+    /// Creates an array of `rows × cols` copies of `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn new(component: AnalogComponentSpec, rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "analog array must be non-empty");
+        Self {
+            component,
+            rows,
+            cols,
+        }
+    }
+
+    /// The replicated component.
+    #[must_use]
+    pub fn component(&self) -> &AnalogComponentSpec {
+        &self.component
+    }
+
+    /// Array rows.
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Array columns.
+    #[must_use]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total component count (`N_components[AFA]` in Eq. 3).
+    #[must_use]
+    pub fn component_count(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+
+    /// Input signal domain (that of the replicated component).
+    #[must_use]
+    pub fn input_domain(&self) -> SignalDomain {
+        self.component.input_domain()
+    }
+
+    /// Output signal domain (that of the replicated component).
+    #[must_use]
+    pub fn output_domain(&self) -> SignalDomain {
+        self.component.output_domain()
+    }
+
+    /// Per-component access count for `num_ops` operations mapped onto
+    /// this AFA in one frame (Eq. 3).
+    #[must_use]
+    pub fn accesses_per_component(&self, num_ops: u64) -> f64 {
+        num_ops as f64 / self.component_count() as f64
+    }
+
+    /// Per-frame energy for `num_ops` operations under the per-access
+    /// delay budget `component_delay` (Eq. 2).
+    #[must_use]
+    pub fn energy_for_ops(&self, num_ops: u64, component_delay: Time) -> Energy {
+        self.component.energy_per_access(component_delay) * num_ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{aps_4t, column_adc, ApsParams};
+
+    #[test]
+    fn access_count_divides_ops_evenly() {
+        let adc_bank = AnalogArray::new(column_adc(10), 1, 640);
+        // A 480×640 frame: 307 200 conversions over 640 ADCs = 480 each.
+        let per_adc = adc_bank.accesses_per_component(480 * 640);
+        assert!((per_adc - 480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_ops() {
+        let arr = AnalogArray::new(column_adc(10), 1, 16);
+        let d = Time::from_micros(10.0);
+        let one = arr.energy_for_ops(1, d);
+        let many = arr.energy_for_ops(1000, d);
+        assert!((many.joules() / one.joules() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pixel_array_frame_energy_is_plausible() {
+        // VGA 4T-APS array read once per frame: a few µJ of sensing.
+        let pixels = AnalogArray::new(aps_4t(ApsParams::default()), 480, 640);
+        let e = pixels.energy_for_ops(pixels.component_count(), Time::from_micros(30.0));
+        assert!(
+            e.microjoules() > 0.5 && e.microjoules() < 10.0,
+            "{} µJ",
+            e.microjoules()
+        );
+    }
+
+    #[test]
+    fn domains_pass_through() {
+        let pixels = AnalogArray::new(aps_4t(ApsParams::default()), 4, 4);
+        assert_eq!(pixels.input_domain(), SignalDomain::Optical);
+        assert_eq!(pixels.output_domain(), SignalDomain::Voltage);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_array_rejected() {
+        let _ = AnalogArray::new(column_adc(8), 0, 10);
+    }
+}

@@ -1,0 +1,387 @@
+//! A-Cell energy models (paper Sec. 4.2, Eq. 5–13).
+//!
+//! Every analog component decomposes into **A-Cells**, which fall into
+//! three energy classes:
+//!
+//! 1. **Dynamic** cells (Eq. 5–6): energy from charging/discharging nodal
+//!    capacitances, `E = Σ C·V²`, with capacitors sized from thermal noise
+//!    when the cell implements computation at a given precision.
+//! 2. **Static-biased** cells (Eq. 7–11): energy from a bias current
+//!    integrated over the cell's active time, with two estimation modes —
+//!    direct drive (`E = C·Vswing·Vdda`) and the classic gm/Id method
+//!    (`I = 2π·C·GBW / (gm/Id)`).
+//! 3. **Non-linear** cells (Eq. 12): ADCs and comparators, estimated via
+//!    the Walden FoM survey.
+//!
+//! Cell energy depends on the containing component's **delay budget**,
+//! which CamJ infers from the frame rate (Sec. 4.1). The budget enters via
+//! [`CellContext`], which also carries the cell's position on the
+//! component's critical path (Eq. 11 splits the component delay evenly
+//! over its cells; a cell stays biased from its own start until the
+//! component finishes).
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::adc_fom::AdcSurvey;
+use camj_tech::constants::{DEFAULT_TEMPERATURE_K, DEFAULT_VDDA};
+use camj_tech::units::{Energy, Time};
+
+use crate::noise::min_capacitance_for_resolution_at;
+
+/// One capacitance node of a dynamic cell: `C` and its voltage swing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacitorNode {
+    /// Nodal capacitance in farads.
+    pub capacitance_f: f64,
+    /// Voltage swing at the node in volts.
+    pub voltage_swing_v: f64,
+}
+
+impl CapacitorNode {
+    /// Creates a capacitance node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative or non-finite.
+    #[must_use]
+    pub fn new(capacitance_f: f64, voltage_swing_v: f64) -> Self {
+        assert!(
+            capacitance_f.is_finite() && capacitance_f >= 0.0,
+            "capacitance must be non-negative and finite, got {capacitance_f}"
+        );
+        assert!(
+            voltage_swing_v.is_finite() && voltage_swing_v >= 0.0,
+            "voltage swing must be non-negative and finite, got {voltage_swing_v}"
+        );
+        Self {
+            capacitance_f,
+            voltage_swing_v,
+        }
+    }
+
+    /// Switching energy of this node, `C · V²`.
+    #[must_use]
+    pub fn switching_energy(self) -> Energy {
+        Energy::from_joules(self.capacitance_f * self.voltage_swing_v * self.voltage_swing_v)
+    }
+}
+
+/// How a static-biased cell's bias current is estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BiasMode {
+    /// The bias current directly charges the load within the cell delay
+    /// (e.g. a pixel source follower driving the column line): Eq. 8–9,
+    /// `E = C_load · V_swing · V_DDA` — delay-independent.
+    DirectDrive,
+    /// The bias current is set by the gm/Id method (e.g. a differential
+    /// OpAmp in an analog memory or integrator): Eq. 10,
+    /// `I = 2π · C_load · GBW / (gm/Id)` with `GBW = gain / cell delay`.
+    GmId {
+        /// Closed-loop gain demanded of the amplifier (`G` in GBW).
+        gain: f64,
+        /// Technology-insensitive `gm/Id` factor, typically 10–20.
+        gm_over_id: f64,
+    },
+}
+
+/// The three A-Cell energy classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnalogCell {
+    /// Dynamic switched-capacitor cell (Eq. 5).
+    Dynamic {
+        /// Capacitance nodes charged/discharged per operation.
+        nodes: Vec<CapacitorNode>,
+    },
+    /// Static-biased amplifier cell (Eq. 7–11).
+    StaticBiased {
+        /// Load capacitance driven by the cell, farads.
+        load_capacitance_f: f64,
+        /// Output voltage swing, volts.
+        voltage_swing_v: f64,
+        /// Bias-current estimation mode.
+        bias: BiasMode,
+    },
+    /// Non-linear converter cell — ADC or comparator (Eq. 12).
+    NonLinear {
+        /// Converter resolution in bits (1 for a comparator).
+        bits: u32,
+        /// FoM survey (or expert override) used for the estimate.
+        survey: AdcSurvey,
+    },
+}
+
+impl AnalogCell {
+    /// A dynamic cell with a single capacitance node.
+    #[must_use]
+    pub fn dynamic(capacitance_f: f64, voltage_swing_v: f64) -> Self {
+        AnalogCell::Dynamic {
+            nodes: vec![CapacitorNode::new(capacitance_f, voltage_swing_v)],
+        }
+    }
+
+    /// A dynamic cell whose capacitor is sized from thermal noise for
+    /// `bits` of precision at `voltage_swing_v` (Eq. 6).
+    ///
+    /// This is the cell to use for computation-bearing capacitors (CDAC
+    /// arrays, passive sampling caps): precision dictates the minimum C.
+    #[must_use]
+    pub fn dynamic_for_resolution(bits: u32, voltage_swing_v: f64) -> Self {
+        let c = min_capacitance_for_resolution_at(bits, voltage_swing_v, DEFAULT_TEMPERATURE_K);
+        Self::dynamic(c, voltage_swing_v)
+    }
+
+    /// A direct-drive static-biased cell (Eq. 9), e.g. a source follower.
+    #[must_use]
+    pub fn source_follower(load_capacitance_f: f64, voltage_swing_v: f64) -> Self {
+        AnalogCell::StaticBiased {
+            load_capacitance_f,
+            voltage_swing_v,
+            bias: BiasMode::DirectDrive,
+        }
+    }
+
+    /// A gm/Id-biased OpAmp cell (Eq. 10) with the given closed-loop gain
+    /// and `gm/Id` factor.
+    #[must_use]
+    pub fn opamp(load_capacitance_f: f64, voltage_swing_v: f64, gain: f64, gm_over_id: f64) -> Self {
+        AnalogCell::StaticBiased {
+            load_capacitance_f,
+            voltage_swing_v,
+            bias: BiasMode::GmId { gain, gm_over_id },
+        }
+    }
+
+    /// A non-linear ADC cell using the survey-median FoM.
+    #[must_use]
+    pub fn adc(bits: u32) -> Self {
+        AnalogCell::NonLinear {
+            bits,
+            survey: AdcSurvey::default(),
+        }
+    }
+
+    /// A non-linear ADC cell with an expert-supplied Walden FoM in
+    /// joules per conversion-step (the paper's escape hatch for designs
+    /// whose converters beat the survey median).
+    #[must_use]
+    pub fn adc_with_fom(bits: u32, fom_joules_per_step: f64) -> Self {
+        AnalogCell::NonLinear {
+            bits,
+            survey: AdcSurvey::with_fom(fom_joules_per_step),
+        }
+    }
+
+    /// A non-linear comparator cell (a 1-bit ADC).
+    #[must_use]
+    pub fn comparator() -> Self {
+        Self::adc(1)
+    }
+
+    /// Per-operation energy of this cell under `ctx` (Eq. 5, 7–12).
+    #[must_use]
+    pub fn energy(&self, ctx: &CellContext) -> Energy {
+        match self {
+            AnalogCell::Dynamic { nodes } => {
+                nodes.iter().map(|n| n.switching_energy()).sum()
+            }
+            AnalogCell::StaticBiased {
+                load_capacitance_f,
+                voltage_swing_v,
+                bias,
+            } => match bias {
+                // Eq. 9: the integral collapses; no time dependence.
+                BiasMode::DirectDrive => Energy::from_joules(
+                    load_capacitance_f * voltage_swing_v * ctx.vdda,
+                ),
+                // Eq. 7 + 10: E = Vdda · I_bias · t_static,
+                //   I_bias = 2π · C · (gain · BW) / (gm/Id),
+                //   BW = 1 / t_cell.
+                BiasMode::GmId { gain, gm_over_id } => {
+                    let t_cell = ctx.cell_delay().secs();
+                    let t_static = ctx.static_time().secs();
+                    if t_cell <= 0.0 || t_static <= 0.0 {
+                        return Energy::ZERO;
+                    }
+                    let gbw = gain / t_cell;
+                    let i_bias = 2.0 * std::f64::consts::PI * load_capacitance_f * gbw
+                        / gm_over_id;
+                    Energy::from_joules(ctx.vdda * i_bias * t_static)
+                }
+            },
+            // Eq. 12: FoM at the cell's conversion rate × 2^bits.
+            AnalogCell::NonLinear { bits, survey } => {
+                let rate = ctx.cell_delay().as_frequency_hz();
+                survey.conversion_energy(*bits, rate)
+            }
+        }
+    }
+}
+
+/// Evaluation context for a cell inside a component (Eq. 11).
+///
+/// The component's delay budget `component_delay` is split evenly over the
+/// `path_len` cells on its critical path (all cells are on the path: the
+/// signal flows uni-directionally). A cell at `position` (0-based) starts
+/// after the preceding cells finish and stays biased until the component
+/// completes: `t_static = T_A · (path_len − position) / path_len`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellContext {
+    /// Delay budget of the containing A-Component (`T_A` from Sec. 4.1).
+    pub component_delay: Time,
+    /// This cell's 0-based position on the component critical path.
+    pub position: usize,
+    /// Total number of cells on the critical path.
+    pub path_len: usize,
+    /// Analog supply voltage, volts.
+    pub vdda: f64,
+}
+
+impl CellContext {
+    /// Creates a context for a single-cell component.
+    #[must_use]
+    pub fn solo(component_delay: Time) -> Self {
+        Self {
+            component_delay,
+            position: 0,
+            path_len: 1,
+            vdda: DEFAULT_VDDA,
+        }
+    }
+
+    /// The even-split delay of one cell on the critical path.
+    #[must_use]
+    pub fn cell_delay(&self) -> Time {
+        self.component_delay / self.path_len.max(1) as f64
+    }
+
+    /// Static bias time per Eq. 11: from this cell's start to the end of
+    /// the component operation.
+    #[must_use]
+    pub fn static_time(&self) -> Time {
+        let len = self.path_len.max(1) as f64;
+        let pos = (self.position.min(self.path_len.saturating_sub(1))) as f64;
+        self.component_delay * ((len - pos) / len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_us(us: f64) -> CellContext {
+        CellContext::solo(Time::from_micros(us))
+    }
+
+    #[test]
+    fn dynamic_energy_is_cv2() {
+        let cell = AnalogCell::dynamic(100e-15, 1.0);
+        let e = cell.energy(&ctx_us(1.0));
+        assert!((e.femtojoules() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_multi_node_sums() {
+        let cell = AnalogCell::Dynamic {
+            nodes: vec![
+                CapacitorNode::new(50e-15, 1.0),
+                CapacitorNode::new(50e-15, 2.0),
+            ],
+        };
+        // 50 fJ + 200 fJ
+        let e = cell.energy(&ctx_us(1.0));
+        assert!((e.femtojoules() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_for_resolution_sizes_from_noise() {
+        let cell = AnalogCell::dynamic_for_resolution(8, 1.0);
+        if let AnalogCell::Dynamic { nodes } = &cell {
+            assert!(nodes[0].capacitance_f > 8e-15 && nodes[0].capacitance_f < 12e-15);
+        } else {
+            panic!("expected dynamic cell");
+        }
+    }
+
+    #[test]
+    fn direct_drive_is_delay_independent() {
+        let cell = AnalogCell::source_follower(1.5e-12, 1.0);
+        let fast = cell.energy(&ctx_us(0.1));
+        let slow = cell.energy(&ctx_us(100.0));
+        assert_eq!(fast, slow);
+        // E = 1.5 pF · 1 V · 2.5 V = 3.75 pJ
+        assert!((fast.picojoules() - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmid_energy_is_delay_independent_for_solo_cell() {
+        // E = Vdda · 2πC·G/(gm/Id)/t_cell · t_static; for a solo cell
+        // t_cell = t_static = T_A, so T_A cancels: faster ⇒ more current
+        // but less time.
+        let cell = AnalogCell::opamp(100e-15, 1.0, 2.0, 15.0);
+        let fast = cell.energy(&ctx_us(0.1));
+        let slow = cell.energy(&ctx_us(10.0));
+        assert!((fast.joules() - slow.joules()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn gmid_energy_formula() {
+        let cell = AnalogCell::opamp(100e-15, 1.0, 1.0, 10.0);
+        let e = cell.energy(&ctx_us(1.0)).joules();
+        // I = 2π·100f·(1/1µs)/10 = 62.8 nA; E = 2.5 V · I · 1 µs ≈ 157 fJ
+        let expected = 2.5 * (2.0 * std::f64::consts::PI * 100e-15 * 1e6 / 10.0) * 1e-6;
+        assert!((e - expected).abs() < 1e-20);
+    }
+
+    #[test]
+    fn gmid_scales_with_load() {
+        let small = AnalogCell::opamp(10e-15, 1.0, 1.0, 15.0);
+        let large = AnalogCell::opamp(1000e-15, 1.0, 1.0, 15.0);
+        assert!(large.energy(&ctx_us(1.0)) > small.energy(&ctx_us(1.0)));
+    }
+
+    #[test]
+    fn adc_cell_uses_survey() {
+        let cell = AnalogCell::adc(10);
+        // 1 µs per conversion ⇒ 1 MS/s ⇒ floor FoM, 50 fJ × 1024.
+        let e = cell.energy(&ctx_us(1.0));
+        assert!((e.picojoules() - 51.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn comparator_is_one_bit_adc() {
+        let cmp = AnalogCell::comparator();
+        let adc1 = AnalogCell::adc(1);
+        assert_eq!(cmp.energy(&ctx_us(1.0)), adc1.energy(&ctx_us(1.0)));
+    }
+
+    #[test]
+    fn critical_path_split() {
+        let ctx = CellContext {
+            component_delay: Time::from_micros(3.0),
+            position: 1,
+            path_len: 3,
+            vdda: DEFAULT_VDDA,
+        };
+        assert!((ctx.cell_delay().micros() - 1.0).abs() < 1e-12);
+        // Position 1 of 3: biased for the remaining 2/3 of the budget.
+        assert!((ctx.static_time().micros() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_position_shortens_static_time() {
+        let mk = |position| CellContext {
+            component_delay: Time::from_micros(4.0),
+            position,
+            path_len: 4,
+            vdda: DEFAULT_VDDA,
+        };
+        assert!(mk(0).static_time() > mk(3).static_time());
+    }
+
+    #[test]
+    fn zero_delay_gmid_yields_zero_energy() {
+        let cell = AnalogCell::opamp(100e-15, 1.0, 1.0, 15.0);
+        let e = cell.energy(&CellContext::solo(Time::ZERO));
+        assert_eq!(e, Energy::ZERO);
+    }
+}

@@ -1,0 +1,310 @@
+//! A-Components: named compositions of A-Cells (paper Sec. 4.2, Eq. 4, 13).
+//!
+//! An **A-Component** is what a user thinks of as one analog operator — a
+//! pixel, an ADC, a switched-capacitor MAC. Internally it is an ordered
+//! list of [`CellInstance`]s: each cell appears with a *spatial* count
+//! (how many copies exist in the component) and a *temporal* count (how
+//! many times each copy fires per component access — e.g. 2 for
+//! correlated double sampling).
+//!
+//! Per-access energy (Eq. 4):
+//!
+//! ```text
+//! E_component = Σ_j E_cell[j] × N_spatial[j] × N_temporal[j]
+//! ```
+//!
+//! with each cell evaluated under the component's delay budget split over
+//! the critical path (Eq. 11). The built-in component library lives in
+//! [`crate::components`]; expert users build custom components with
+//! [`AnalogComponentSpec::builder`].
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::constants::DEFAULT_VDDA;
+use camj_tech::units::{Energy, Time};
+
+use crate::cell::{AnalogCell, CellContext};
+use crate::domain::SignalDomain;
+
+/// A cell placed inside a component, with spatial/temporal access counts
+/// (Eq. 13).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellInstance {
+    /// Human-readable label for breakdowns (e.g. `"SF"`, `"CDAC"`).
+    pub label: String,
+    /// The cell's energy model.
+    pub cell: AnalogCell,
+    /// Number of copies of this cell in the component.
+    pub spatial: u32,
+    /// Number of firings per copy per component access.
+    pub temporal: u32,
+}
+
+impl CellInstance {
+    /// Creates a cell instance firing once (`spatial = temporal = 1`).
+    #[must_use]
+    pub fn once(label: impl Into<String>, cell: AnalogCell) -> Self {
+        Self {
+            label: label.into(),
+            cell,
+            spatial: 1,
+            temporal: 1,
+        }
+    }
+
+    /// Creates a cell instance with explicit counts.
+    #[must_use]
+    pub fn counted(label: impl Into<String>, cell: AnalogCell, spatial: u32, temporal: u32) -> Self {
+        Self {
+            label: label.into(),
+            cell,
+            spatial,
+            temporal,
+        }
+    }
+
+    /// Total firings per component access.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        u64::from(self.spatial) * u64::from(self.temporal)
+    }
+}
+
+/// A named analog component: ordered cells plus I/O signal domains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogComponentSpec {
+    name: String,
+    input_domain: SignalDomain,
+    output_domain: SignalDomain,
+    cells: Vec<CellInstance>,
+    vdda: f64,
+}
+
+impl AnalogComponentSpec {
+    /// Starts building a component.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> AnalogComponentBuilder {
+        AnalogComponentBuilder {
+            name: name.into(),
+            input_domain: SignalDomain::Voltage,
+            output_domain: SignalDomain::Voltage,
+            cells: Vec::new(),
+            vdda: DEFAULT_VDDA,
+        }
+    }
+
+    /// The component's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input signal domain.
+    #[must_use]
+    pub fn input_domain(&self) -> SignalDomain {
+        self.input_domain
+    }
+
+    /// Output signal domain.
+    #[must_use]
+    pub fn output_domain(&self) -> SignalDomain {
+        self.output_domain
+    }
+
+    /// The cells composing this component, in critical-path order.
+    #[must_use]
+    pub fn cells(&self) -> &[CellInstance] {
+        &self.cells
+    }
+
+    /// Analog supply voltage used when evaluating the cells.
+    #[must_use]
+    pub fn vdda(&self) -> f64 {
+        self.vdda
+    }
+
+    /// Per-access energy under delay budget `component_delay` (Eq. 4).
+    #[must_use]
+    pub fn energy_per_access(&self, component_delay: Time) -> Energy {
+        self.cell_energies(component_delay)
+            .into_iter()
+            .map(|(_, e)| e)
+            .sum()
+    }
+
+    /// Per-access energy broken down by cell label.
+    ///
+    /// Each entry is `(label, energy × spatial × temporal)`; summing the
+    /// energies reproduces [`Self::energy_per_access`] exactly.
+    #[must_use]
+    pub fn cell_energies(&self, component_delay: Time) -> Vec<(String, Energy)> {
+        let path_len = self.cells.len().max(1);
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(position, inst)| {
+                let ctx = CellContext {
+                    component_delay,
+                    position,
+                    path_len,
+                    vdda: self.vdda,
+                };
+                let e = inst.cell.energy(&ctx) * inst.accesses() as f64;
+                (inst.label.clone(), e)
+            })
+            .collect()
+    }
+}
+
+/// Builder for [`AnalogComponentSpec`].
+#[derive(Debug, Clone)]
+pub struct AnalogComponentBuilder {
+    name: String,
+    input_domain: SignalDomain,
+    output_domain: SignalDomain,
+    cells: Vec<CellInstance>,
+    vdda: f64,
+}
+
+impl AnalogComponentBuilder {
+    /// Sets the input signal domain (default: voltage).
+    #[must_use]
+    pub fn input_domain(mut self, domain: SignalDomain) -> Self {
+        self.input_domain = domain;
+        self
+    }
+
+    /// Sets the output signal domain (default: voltage).
+    #[must_use]
+    pub fn output_domain(mut self, domain: SignalDomain) -> Self {
+        self.output_domain = domain;
+        self
+    }
+
+    /// Overrides the analog supply voltage (default: 2.5 V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdda` is not positive and finite.
+    #[must_use]
+    pub fn vdda(mut self, vdda: f64) -> Self {
+        assert!(
+            vdda.is_finite() && vdda > 0.0,
+            "VDDA must be positive and finite, got {vdda}"
+        );
+        self.vdda = vdda;
+        self
+    }
+
+    /// Appends a cell firing once per access.
+    #[must_use]
+    pub fn cell(mut self, label: impl Into<String>, cell: AnalogCell) -> Self {
+        self.cells.push(CellInstance::once(label, cell));
+        self
+    }
+
+    /// Appends a cell with explicit spatial/temporal counts.
+    #[must_use]
+    pub fn cell_counted(
+        mut self,
+        label: impl Into<String>,
+        cell: AnalogCell,
+        spatial: u32,
+        temporal: u32,
+    ) -> Self {
+        self.cells
+            .push(CellInstance::counted(label, cell, spatial, temporal));
+        self
+    }
+
+    /// Finishes the component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cells were added: a component with no cells has no
+    /// energy model and always indicates a construction bug.
+    #[must_use]
+    pub fn build(self) -> AnalogComponentSpec {
+        assert!(
+            !self.cells.is_empty(),
+            "analog component '{}' must contain at least one cell",
+            self.name
+        );
+        AnalogComponentSpec {
+            name: self.name,
+            input_domain: self.input_domain,
+            output_domain: self.output_domain,
+            cells: self.cells,
+            vdda: self.vdda,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cell_component() -> AnalogComponentSpec {
+        AnalogComponentSpec::builder("test")
+            .input_domain(SignalDomain::Voltage)
+            .output_domain(SignalDomain::Voltage)
+            .cell("cap", AnalogCell::dynamic(100e-15, 1.0))
+            .cell_counted("sf", AnalogCell::source_follower(1e-12, 1.0), 2, 2)
+            .build()
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let comp = two_cell_component();
+        let delay = Time::from_micros(2.0);
+        let total = comp.energy_per_access(delay);
+        let sum: Energy = comp.cell_energies(delay).into_iter().map(|(_, e)| e).sum();
+        assert!((total.joules() - sum.joules()).abs() < 1e-30);
+    }
+
+    #[test]
+    fn spatial_temporal_multiply() {
+        let comp = two_cell_component();
+        let delay = Time::from_micros(2.0);
+        let energies = comp.cell_energies(delay);
+        // SF: E = 1 pF · 1 V · 2.5 V = 2.5 pJ; ×2 spatial ×2 temporal = 10 pJ.
+        let sf = energies.iter().find(|(l, _)| l == "sf").unwrap().1;
+        assert!((sf.picojoules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let comp = AnalogComponentSpec::builder("x")
+            .cell("c", AnalogCell::dynamic(1e-15, 1.0))
+            .build();
+        assert_eq!(comp.input_domain(), SignalDomain::Voltage);
+        assert_eq!(comp.output_domain(), SignalDomain::Voltage);
+        assert_eq!(comp.vdda(), DEFAULT_VDDA);
+        assert_eq!(comp.name(), "x");
+        assert_eq!(comp.cells().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_component_rejected() {
+        let _ = AnalogComponentSpec::builder("empty").build();
+    }
+
+    #[test]
+    fn gmid_cells_split_critical_path() {
+        // Two identical gm/Id cells: the first stays biased longer than
+        // the second, so it must consume more energy.
+        let comp = AnalogComponentSpec::builder("amp-chain")
+            .cell("first", AnalogCell::opamp(100e-15, 1.0, 1.0, 15.0))
+            .cell("second", AnalogCell::opamp(100e-15, 1.0, 1.0, 15.0))
+            .build();
+        let energies = comp.cell_energies(Time::from_micros(2.0));
+        assert!(energies[0].1 > energies[1].1);
+    }
+
+    #[test]
+    fn instance_accesses() {
+        let inst = CellInstance::counted("x", AnalogCell::comparator(), 3, 4);
+        assert_eq!(inst.accesses(), 12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Arithmetic A-Components: MAC, subtract, add, scale, abs, log, max.
+//!
+//! The switched-capacitor units follow the charge-redistribution designs
+//! the paper cites (Lee & Wong, JSSC'17): a capacitor array (CDAC) sized
+//! for the target precision by Eq. 6, optionally buffered by a gm/Id
+//! OpAmp. The precision argument is the knob behind the paper's
+//! Finding 3: every extra bit quadruples the CDAC capacitance and hence
+//! both the dynamic energy and the OpAmp bias current.
+
+use crate::cell::AnalogCell;
+use crate::component::AnalogComponentSpec;
+use crate::domain::SignalDomain;
+
+/// Default gm/Id factor for OpAmp cells (mid-inversion).
+const DEFAULT_GM_ID: f64 = 15.0;
+
+/// Default closed-loop gain demanded of buffering OpAmps.
+const DEFAULT_GAIN: f64 = 2.0;
+
+/// An active switched-capacitor multiply-accumulate unit at `bits`
+/// precision and `v_swing` volts of signal swing.
+///
+/// Cells: a noise-sized CDAC (dynamic) plus an OpAmp (static-biased,
+/// gm/Id) driving the next stage.
+///
+/// # Examples
+///
+/// ```
+/// use camj_analog::components::switched_cap_mac;
+/// use camj_tech::units::Time;
+///
+/// let mac8 = switched_cap_mac(8, 1.0);
+/// let mac10 = switched_cap_mac(10, 1.0);
+/// let d = Time::from_micros(1.0);
+/// // Two more bits ⇒ 16× the capacitance ⇒ much more energy.
+/// assert!(mac10.energy_per_access(d).joules() > 10.0 * mac8.energy_per_access(d).joules());
+/// ```
+#[must_use]
+pub fn switched_cap_mac(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    let cdac = AnalogCell::dynamic_for_resolution(bits, v_swing);
+    let load = noise_cap(bits, v_swing);
+    AnalogComponentSpec::builder("SC-MAC")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Voltage)
+        .cell("CDAC", cdac)
+        .cell("OpAmp", AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .build()
+}
+
+/// A fully passive switched-capacitor MAC (no OpAmp): cheaper but the
+/// signal attenuates, so it suits short analog chains only.
+#[must_use]
+pub fn passive_sc_mac(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("passive-SC-MAC")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Charge)
+        .cell("CDAC", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .build()
+}
+
+/// An active switched-capacitor subtractor (same topology as the MAC; the
+/// capacitor array computes a difference instead of a product).
+#[must_use]
+pub fn switched_cap_subtractor(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    let load = noise_cap(bits, v_swing);
+    AnalogComponentSpec::builder("SC-Sub")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Voltage)
+        .cell("CDAC", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .cell("OpAmp", AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .build()
+}
+
+/// A passive charge-redistribution scaler (multiply by a fixed ratio).
+#[must_use]
+pub fn scaler(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("Scaler")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Charge)
+        .cell("cap-divider", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .build()
+}
+
+/// A charge-domain adder: passive capacitor summing node plus a unity
+/// buffer restoring the voltage domain.
+#[must_use]
+pub fn adder(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    let load = noise_cap(bits, v_swing);
+    AnalogComponentSpec::builder("Adder")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Voltage)
+        .cell("sum-caps", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .cell("buffer", AnalogCell::opamp(load, v_swing, 1.0, DEFAULT_GM_ID))
+        .build()
+}
+
+/// An absolute-difference unit: a subtractor plus a sign comparator that
+/// steers the rectification (used for frame deltas, e.g. Ed-Gaze).
+#[must_use]
+pub fn abs_diff(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    let load = noise_cap(bits, v_swing);
+    AnalogComponentSpec::builder("AbsDiff")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Voltage)
+        .cell("CDAC", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .cell("OpAmp", AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .cell("sign-comparator", AnalogCell::comparator())
+        .build()
+}
+
+/// An absolute-difference unit whose comparator digitises the result —
+/// the frame-delta PE of the paper's Fig. 10 mixed-signal Ed-Gaze design
+/// ("a switched-capacitor subtractor/multiplier for absolute subtraction
+/// and a comparator for frame delta digitization"). The digital output
+/// can enter SRAM directly, removing the column ADC from the path.
+///
+/// `cap_f` sets both the CDAC and OpAmp load capacitance; the paper
+/// conservatively fixes all capacitors to 100 fF for area accounting.
+#[must_use]
+pub fn abs_diff_digitizing(cap_f: f64, v_swing: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("AbsDiff-D")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Digital)
+        .cell("CDAC", AnalogCell::dynamic(cap_f, v_swing))
+        .cell("OpAmp", AnalogCell::opamp(cap_f, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .cell("delta-comparator", AnalogCell::adc(8))
+        .build()
+}
+
+/// A logarithmic amplifier (e.g. the JSSC'19 log-gradient front-end):
+/// a static-biased transimpedance stage with a high gain demand.
+#[must_use]
+pub fn log_amp(v_swing: f64, load_capacitance_f: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("LogAmp")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Voltage)
+        .cell("log-stage", AnalogCell::opamp(load_capacitance_f, v_swing, 5.0, DEFAULT_GM_ID))
+        .build()
+}
+
+/// A current-mode winner-take-all max unit over `fan_in` inputs
+/// (MaxPool in the analog domain, e.g. the Sensors'20 chip).
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+#[must_use]
+pub fn max_wta(fan_in: u32, v_swing: f64, load_capacitance_f: f64) -> AnalogComponentSpec {
+    assert!(fan_in > 0, "winner-take-all needs at least one input");
+    AnalogComponentSpec::builder("Max-WTA")
+        .input_domain(SignalDomain::Current)
+        .output_domain(SignalDomain::Current)
+        .cell_counted(
+            "wta-branch",
+            AnalogCell::opamp(load_capacitance_f, v_swing, 1.0, DEFAULT_GM_ID),
+            fan_in,
+            1,
+        )
+        .build()
+}
+
+fn noise_cap(bits: u32, v_swing: f64) -> f64 {
+    crate::noise::min_capacitance_for_resolution(bits, v_swing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::units::Time;
+
+    fn d() -> Time {
+        Time::from_micros(1.0)
+    }
+
+    #[test]
+    fn precision_drives_mac_energy() {
+        let e4 = switched_cap_mac(4, 1.0).energy_per_access(d());
+        let e8 = switched_cap_mac(8, 1.0).energy_per_access(d());
+        // 4 extra bits ⇒ 256× capacitance on both cells.
+        let ratio = e8 / e4;
+        assert!(ratio > 100.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn passive_mac_cheaper_than_active() {
+        let passive = passive_sc_mac(8, 1.0).energy_per_access(d());
+        let active = switched_cap_mac(8, 1.0).energy_per_access(d());
+        assert!(passive < active);
+    }
+
+    #[test]
+    fn abs_diff_has_three_cells() {
+        let c = abs_diff(8, 1.0);
+        assert_eq!(c.cells().len(), 3);
+    }
+
+    #[test]
+    fn wta_scales_with_fan_in() {
+        let small = max_wta(2, 1.0, 50e-15).energy_per_access(d());
+        let large = max_wta(8, 1.0, 50e-15).energy_per_access(d());
+        assert!(large.joules() > 3.0 * small.joules());
+    }
+
+    #[test]
+    fn subtractor_equals_mac_topology_cost() {
+        // Same cells, same sizes — the paper uses the same switched-cap
+        // template for subtraction and multiplication.
+        let sub = switched_cap_subtractor(8, 1.0).energy_per_access(d());
+        let mac = switched_cap_mac(8, 1.0).energy_per_access(d());
+        assert!((sub.joules() - mac.joules()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn log_amp_and_adder_build() {
+        assert_eq!(log_amp(1.0, 100e-15).cells().len(), 1);
+        assert_eq!(adder(8, 1.0).cells().len(), 2);
+        assert_eq!(scaler(8, 1.0).cells().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn wta_zero_fan_in_rejected() {
+        let _ = max_wta(0, 1.0, 50e-15);
+    }
+
+    #[test]
+    fn current_domain_for_wta() {
+        let c = max_wta(4, 1.0, 50e-15);
+        assert_eq!(c.input_domain(), SignalDomain::Current);
+        assert_eq!(c.output_domain(), SignalDomain::Current);
+    }
+}

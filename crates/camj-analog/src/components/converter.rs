@@ -1,0 +1,93 @@
+//! Converter A-Components: ADCs and comparators.
+//!
+//! Non-linear components (paper Eq. 12): their energy comes from the
+//! Walden FoM survey at the conversion rate implied by the component's
+//! delay budget, so a slow column-parallel ADC is automatically cheaper
+//! per conversion than a fast chip-level one.
+
+use crate::cell::AnalogCell;
+use crate::component::AnalogComponentSpec;
+use crate::domain::SignalDomain;
+
+/// A column (or chip-level) ADC converting voltages to digital codes.
+///
+/// # Examples
+///
+/// ```
+/// use camj_analog::components::column_adc;
+/// use camj_tech::units::Time;
+///
+/// let adc = column_adc(10);
+/// // One conversion per 10 µs row time ⇒ 100 kS/s ⇒ floor FoM.
+/// let e = adc.energy_per_access(Time::from_micros(10.0));
+/// assert!((e.picojoules() - 51.2).abs() < 0.5);
+/// ```
+#[must_use]
+pub fn column_adc(bits: u32) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("ADC")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Digital)
+        .cell("ADC", AnalogCell::adc(bits))
+        .build()
+}
+
+/// A column ADC with an expert-supplied Walden FoM (J per
+/// conversion-step) instead of the survey median — for modern designs
+/// whose converters beat the median envelope.
+#[must_use]
+pub fn column_adc_with_fom(bits: u32, fom_joules_per_step: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("ADC")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Digital)
+        .cell("ADC", AnalogCell::adc_with_fom(bits, fom_joules_per_step))
+        .build()
+}
+
+/// A comparator producing a 1-bit decision (a 1-bit ADC in the Walden
+/// model). Used for event thresholds and frame-delta digitisation.
+#[must_use]
+pub fn comparator() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("Comparator")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Digital)
+        .cell("comparator", AnalogCell::comparator())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::units::Time;
+
+    #[test]
+    fn adc_energy_scales_exponentially_with_bits() {
+        let delay = Time::from_micros(10.0);
+        let e8 = column_adc(8).energy_per_access(delay);
+        let e10 = column_adc(10).energy_per_access(delay);
+        assert!((e10 / e8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_conversion_costs_no_less() {
+        // Above the survey knee the FoM rises, so per-conversion energy
+        // must be monotonically non-decreasing in rate.
+        let slow = column_adc(10).energy_per_access(Time::from_micros(1.0));
+        let fast = column_adc(10).energy_per_access(Time::from_nanos(1.0));
+        assert!(fast >= slow);
+    }
+
+    #[test]
+    fn comparator_is_cheap() {
+        let delay = Time::from_micros(1.0);
+        let cmp = comparator().energy_per_access(delay);
+        let adc = column_adc(10).energy_per_access(delay);
+        assert!(cmp.joules() * 100.0 < adc.joules() * 2.0);
+    }
+
+    #[test]
+    fn domains() {
+        let adc = column_adc(10);
+        assert_eq!(adc.input_domain(), SignalDomain::Voltage);
+        assert_eq!(adc.output_domain(), SignalDomain::Digital);
+    }
+}

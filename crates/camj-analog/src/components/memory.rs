@@ -1,0 +1,127 @@
+//! Analog memory A-Components: passive and active sample-and-hold.
+//!
+//! Analog frame buffers are central to the paper's Finding 3: replacing a
+//! digital SRAM frame buffer with analog sample-and-hold storage removes
+//! both the ADC conversions and the SRAM leakage. The **passive** variant
+//! is a bare sampling capacitor (noise-sized); the **active** variant
+//! adds an OpAmp buffer so the stored value can drive downstream loads
+//! without attenuation (the "4T-APS active analog memory" of Fig. 10).
+
+use crate::cell::AnalogCell;
+use crate::component::AnalogComponentSpec;
+use crate::domain::SignalDomain;
+use crate::noise::min_capacitance_for_resolution;
+
+/// Default gm/Id factor for buffer OpAmps.
+const DEFAULT_GM_ID: f64 = 15.0;
+
+/// A passive sample-and-hold cell storing one analog value at `bits`
+/// effective precision (capacitor sized by Eq. 6).
+///
+/// # Examples
+///
+/// ```
+/// use camj_analog::components::passive_sample_hold;
+/// use camj_tech::units::Time;
+///
+/// let sh = passive_sample_hold(8, 1.0);
+/// let e = sh.energy_per_access(Time::from_micros(1.0));
+/// // A bare ~10 fF capacitor: ~10 fJ per store.
+/// assert!(e.femtojoules() < 100.0);
+/// ```
+#[must_use]
+pub fn passive_sample_hold(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("passive-S&H")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Charge)
+        .cell("hold-cap", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .build()
+}
+
+/// A passive sample-and-hold with an explicit capacitance (e.g. the
+/// conservatively over-sized 100 fF caps of the paper's Fig. 10 design).
+#[must_use]
+pub fn passive_sample_hold_with_cap(capacitance_f: f64, v_swing: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("passive-S&H")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Charge)
+        .cell("hold-cap", AnalogCell::dynamic(capacitance_f, v_swing))
+        .build()
+}
+
+/// An active sample-and-hold: sampling capacitor plus an OpAmp output
+/// buffer that stays biased while the value is read out.
+#[must_use]
+pub fn active_sample_hold(bits: u32, v_swing: f64) -> AnalogComponentSpec {
+    let load = min_capacitance_for_resolution(bits, v_swing);
+    AnalogComponentSpec::builder("active-S&H")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Voltage)
+        .cell("hold-cap", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .cell("buffer", AnalogCell::opamp(load, v_swing, 1.0, DEFAULT_GM_ID))
+        .build()
+}
+
+/// An active sample-and-hold with explicit capacitance for both the hold
+/// capacitor and the buffer load.
+#[must_use]
+pub fn active_sample_hold_with_cap(capacitance_f: f64, v_swing: f64) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("active-S&H")
+        .input_domain(SignalDomain::Voltage)
+        .output_domain(SignalDomain::Voltage)
+        .cell("hold-cap", AnalogCell::dynamic(capacitance_f, v_swing))
+        .cell("buffer", AnalogCell::opamp(capacitance_f, v_swing, 1.0, DEFAULT_GM_ID))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::units::Time;
+
+    fn d() -> Time {
+        Time::from_micros(1.0)
+    }
+
+    #[test]
+    fn active_costs_more_than_passive() {
+        let p = passive_sample_hold(8, 1.0).energy_per_access(d());
+        let a = active_sample_hold(8, 1.0).energy_per_access(d());
+        assert!(a > p);
+    }
+
+    #[test]
+    fn passive_output_is_charge_domain() {
+        assert_eq!(
+            passive_sample_hold(8, 1.0).output_domain(),
+            SignalDomain::Charge
+        );
+        assert_eq!(
+            active_sample_hold(8, 1.0).output_domain(),
+            SignalDomain::Voltage
+        );
+    }
+
+    #[test]
+    fn explicit_cap_variant_matches_formula() {
+        let sh = passive_sample_hold_with_cap(100e-15, 1.0);
+        let e = sh.energy_per_access(d());
+        assert!((e.femtojoules() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_precision_costs_more() {
+        let low = active_sample_hold(6, 1.0).energy_per_access(d());
+        let high = active_sample_hold(10, 1.0).energy_per_access(d());
+        assert!(high.joules() > 10.0 * low.joules());
+    }
+
+    #[test]
+    fn oversized_cap_variant_still_cheap_versus_sram_access() {
+        // Even a 100 fF active analog memory store ≈ a few hundred fJ —
+        // orders below a ~10 pJ SRAM access. This gap powers Finding 3.
+        let sh = active_sample_hold_with_cap(100e-15, 1.0);
+        let e = sh.energy_per_access(Time::from_micros(10.0));
+        assert!(e.picojoules() < 2.0, "{} pJ", e.picojoules());
+    }
+}

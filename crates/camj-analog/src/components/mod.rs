@@ -1,0 +1,36 @@
+//! Built-in A-Component library (paper Table 1, analog column).
+//!
+//! Default circuit-level implementations of the analog components CamJ
+//! supports, surveyed from classic and recent CIS designs:
+//!
+//! * [`pixel`] — active pixel sensors (3T/4T APS), digital pixel sensors
+//!   (DPS), and PWM pixels,
+//! * [`converter`] — column/chip ADCs and comparators,
+//! * [`arith`] — switched-capacitor MACs, subtractors, adders, scalers,
+//!   absolute-difference units, logarithmic amplifiers, and
+//!   winner-take-all max units,
+//! * [`memory`] — passive and active (OpAmp-buffered) sample-and-hold
+//!   analog memories.
+//!
+//! Every constructor returns an [`AnalogComponentSpec`], so expert users
+//! can inspect the default cells or build replacements with
+//! [`AnalogComponentSpec::builder`].
+//!
+//! [`AnalogComponentSpec`]: crate::component::AnalogComponentSpec
+//! [`AnalogComponentSpec::builder`]: crate::component::AnalogComponentSpec::builder
+
+pub mod arith;
+pub mod converter;
+pub mod memory;
+pub mod pixel;
+
+pub use arith::{
+    abs_diff, abs_diff_digitizing, adder, log_amp, max_wta, passive_sc_mac, scaler,
+    switched_cap_mac, switched_cap_subtractor,
+};
+pub use converter::{column_adc, column_adc_with_fom, comparator};
+pub use memory::{
+    active_sample_hold, active_sample_hold_with_cap, passive_sample_hold,
+    passive_sample_hold_with_cap,
+};
+pub use pixel::{aps_3t, aps_4t, dps, pwm_pixel, ApsParams};

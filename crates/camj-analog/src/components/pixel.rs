@@ -1,0 +1,240 @@
+//! Pixel A-Components: APS (3T/4T), DPS, and PWM pixels.
+//!
+//! The default parameters reflect the classic implementations the paper
+//! surveys: a photodiode of a few femtofarads, a floating diffusion node
+//! around 2 fF, and a source follower driving a column line of roughly a
+//! picofarad. Correlated double sampling (CDS) doubles the temporal
+//! access count of the readout cells (paper's Eq. 13 example).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::AnalogCell;
+use crate::component::AnalogComponentSpec;
+use crate::domain::SignalDomain;
+
+/// Parameters of an active pixel sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApsParams {
+    /// Photodiode capacitance, farads.
+    pub pd_capacitance_f: f64,
+    /// Floating-diffusion capacitance, farads (4T only).
+    pub fd_capacitance_f: f64,
+    /// Column-line load capacitance driven by the source follower, farads.
+    pub column_load_f: f64,
+    /// Pixel output voltage swing, volts.
+    pub voltage_swing_v: f64,
+    /// Whether correlated double sampling doubles readout accesses.
+    pub correlated_double_sampling: bool,
+    /// Number of photodiode/transfer branches sharing one readout chain
+    /// (e.g. 4 for the 2×2 binning pixel of the paper's Fig. 5).
+    pub shared_pixels: u32,
+}
+
+impl Default for ApsParams {
+    fn default() -> Self {
+        Self {
+            pd_capacitance_f: 5e-15,
+            fd_capacitance_f: 2e-15,
+            column_load_f: 1.0e-12,
+            voltage_swing_v: 1.0,
+            correlated_double_sampling: true,
+            shared_pixels: 1,
+        }
+    }
+}
+
+impl ApsParams {
+    /// Returns the parameters with `n` photodiodes sharing the readout
+    /// chain (charge-domain binning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_shared_pixels(mut self, n: u32) -> Self {
+        assert!(n > 0, "a pixel must contain at least one photodiode");
+        self.shared_pixels = n;
+        self
+    }
+
+    fn temporal_readout(&self) -> u32 {
+        if self.correlated_double_sampling {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// A 4T active pixel sensor: photodiode → transfer gate → floating
+/// diffusion → source follower. Optical in, voltage out.
+///
+/// # Examples
+///
+/// ```
+/// use camj_analog::components::{aps_4t, ApsParams};
+/// use camj_tech::units::Time;
+///
+/// let pixel = aps_4t(ApsParams::default());
+/// let energy = pixel.energy_per_access(Time::from_micros(10.0));
+/// assert!(energy.picojoules() > 1.0 && energy.picojoules() < 20.0);
+/// ```
+#[must_use]
+pub fn aps_4t(params: ApsParams) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("4T-APS")
+        .input_domain(SignalDomain::Optical)
+        .output_domain(SignalDomain::Voltage)
+        .cell_counted(
+            "PD",
+            AnalogCell::dynamic(params.pd_capacitance_f, params.voltage_swing_v),
+            params.shared_pixels,
+            1,
+        )
+        .cell_counted(
+            "FD",
+            AnalogCell::dynamic(params.fd_capacitance_f, params.voltage_swing_v),
+            1,
+            params.temporal_readout(),
+        )
+        .cell_counted(
+            "SF",
+            AnalogCell::source_follower(params.column_load_f, params.voltage_swing_v),
+            1,
+            params.temporal_readout(),
+        )
+        .build()
+}
+
+/// A 3T active pixel sensor: no transfer gate / floating diffusion, so no
+/// true CDS — the readout fires once.
+#[must_use]
+pub fn aps_3t(params: ApsParams) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("3T-APS")
+        .input_domain(SignalDomain::Optical)
+        .output_domain(SignalDomain::Voltage)
+        .cell_counted(
+            "PD",
+            AnalogCell::dynamic(params.pd_capacitance_f, params.voltage_swing_v),
+            params.shared_pixels,
+            1,
+        )
+        .cell("SF", AnalogCell::source_follower(params.column_load_f, params.voltage_swing_v))
+        .build()
+}
+
+/// A digital pixel sensor: a 4T front-end plus an in-pixel ADC, producing
+/// digital codes directly (e.g. the VLSI'21 global-shutter chip).
+#[must_use]
+pub fn dps(params: ApsParams, adc_bits: u32) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("DPS")
+        .input_domain(SignalDomain::Optical)
+        .output_domain(SignalDomain::Digital)
+        .cell_counted(
+            "PD",
+            AnalogCell::dynamic(params.pd_capacitance_f, params.voltage_swing_v),
+            params.shared_pixels,
+            1,
+        )
+        .cell_counted(
+            "FD",
+            AnalogCell::dynamic(params.fd_capacitance_f, params.voltage_swing_v),
+            1,
+            params.temporal_readout(),
+        )
+        .cell("in-pixel ADC", AnalogCell::adc(adc_bits))
+        .build()
+}
+
+/// A pulse-width-modulation pixel: the photodiode discharges against a
+/// ramp and a comparator converts light level to pulse width (time
+/// domain). Used by the JSSC'21-I and ISSCC'22 validation chips.
+///
+/// The comparator is active for the whole ramp, so the conversion is
+/// energetically an ADC at the pulse-width resolution `bits` — not a
+/// single 1-bit decision (Eq. 12 with the time-domain code width).
+#[must_use]
+pub fn pwm_pixel(params: ApsParams, ramp_capacitance_f: f64, bits: u32) -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("PWM-pixel")
+        .input_domain(SignalDomain::Optical)
+        .output_domain(SignalDomain::Time)
+        .cell_counted(
+            "PD",
+            AnalogCell::dynamic(params.pd_capacitance_f, params.voltage_swing_v),
+            params.shared_pixels,
+            1,
+        )
+        .cell("ramp", AnalogCell::dynamic(ramp_capacitance_f, params.voltage_swing_v))
+        .cell("pwm-quantiser", AnalogCell::adc(bits))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::units::Time;
+
+    const ROW_TIME: Time = Time::ZERO; // replaced per test
+
+    fn delay() -> Time {
+        let _ = ROW_TIME;
+        Time::from_micros(10.0)
+    }
+
+    #[test]
+    fn aps_4t_dominated_by_source_follower() {
+        let pixel = aps_4t(ApsParams::default());
+        let energies = pixel.cell_energies(delay());
+        let sf = energies.iter().find(|(l, _)| l == "SF").unwrap().1;
+        let total = pixel.energy_per_access(delay());
+        assert!(sf.joules() / total.joules() > 0.9);
+    }
+
+    #[test]
+    fn cds_doubles_readout_energy() {
+        let with_cds = aps_4t(ApsParams::default());
+        let without = aps_4t(ApsParams {
+            correlated_double_sampling: false,
+            ..ApsParams::default()
+        });
+        let e_with = with_cds.energy_per_access(delay());
+        let e_without = without.energy_per_access(delay());
+        assert!(e_with.joules() > 1.8 * e_without.joules());
+    }
+
+    #[test]
+    fn three_t_cheaper_than_four_t() {
+        let p = ApsParams::default();
+        assert!(aps_3t(p).energy_per_access(delay()) < aps_4t(p).energy_per_access(delay()));
+    }
+
+    #[test]
+    fn binning_pixel_shares_readout() {
+        // 4 PDs sharing one readout: energy grows far less than 4×.
+        let single = aps_4t(ApsParams::default());
+        let binned = aps_4t(ApsParams::default().with_shared_pixels(4));
+        let ratio = binned.energy_per_access(delay()) / single.energy_per_access(delay());
+        assert!(ratio > 1.0 && ratio < 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dps_output_is_digital_and_includes_adc() {
+        let d = dps(ApsParams::default(), 10);
+        assert_eq!(d.output_domain(), SignalDomain::Digital);
+        // In-pixel ADC dominates: 10-bit at 100 kS/s ≈ 51 pJ vs ~5 pJ APS.
+        let analog_pixel = aps_4t(ApsParams::default());
+        assert!(d.energy_per_access(delay()) > analog_pixel.energy_per_access(delay()));
+    }
+
+    #[test]
+    fn pwm_outputs_time_domain() {
+        let p = pwm_pixel(ApsParams::default(), 50e-15, 8);
+        assert_eq!(p.output_domain(), SignalDomain::Time);
+        assert_eq!(p.input_domain(), SignalDomain::Optical);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one photodiode")]
+    fn zero_shared_pixels_rejected() {
+        let _ = ApsParams::default().with_shared_pixels(0);
+    }
+}

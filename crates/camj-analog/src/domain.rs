@@ -1,0 +1,87 @@
+//! Signal domains carried between analog units.
+//!
+//! Every A-Component declares the domain of its input and output signals
+//! (paper Sec. 3.3). CamJ's functional-viability check rejects pipelines
+//! where a producer's output domain does not match its consumer's input
+//! domain — e.g. a charge-domain producer feeding a voltage-domain
+//! consumer needs an explicit conversion component in between, which has
+//! energy implications the designer must account for.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The physical domain a signal is represented in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalDomain {
+    /// Photons arriving at a photodiode.
+    Optical,
+    /// Charge packets (e.g. on a floating diffusion or a capacitor array).
+    Charge,
+    /// Voltages (the most common analog processing domain).
+    Voltage,
+    /// Currents (current-mode analog processing, e.g. winner-take-all).
+    Current,
+    /// Pulse-width/time-encoded signals (PWM pixels).
+    Time,
+    /// Digital bits (post-ADC).
+    Digital,
+}
+
+impl SignalDomain {
+    /// Whether a producer in this domain can directly drive a consumer
+    /// expecting `consumer` without an explicit conversion component.
+    ///
+    /// Only exact matches are compatible; every cross-domain hop needs a
+    /// converter (ADC, charge-transfer amplifier, V-I converter, …) so its
+    /// energy is accounted for.
+    #[must_use]
+    pub fn can_drive(self, consumer: SignalDomain) -> bool {
+        self == consumer
+    }
+
+    /// Whether this is an analog (non-digital) domain.
+    #[must_use]
+    pub fn is_analog(self) -> bool {
+        self != SignalDomain::Digital
+    }
+}
+
+impl fmt::Display for SignalDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SignalDomain::Optical => "optical",
+            SignalDomain::Charge => "charge",
+            SignalDomain::Voltage => "voltage",
+            SignalDomain::Current => "current",
+            SignalDomain::Time => "time",
+            SignalDomain::Digital => "digital",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_exact_matches_drive() {
+        assert!(SignalDomain::Voltage.can_drive(SignalDomain::Voltage));
+        assert!(!SignalDomain::Charge.can_drive(SignalDomain::Voltage));
+        assert!(!SignalDomain::Voltage.can_drive(SignalDomain::Digital));
+    }
+
+    #[test]
+    fn digital_is_not_analog() {
+        assert!(!SignalDomain::Digital.is_analog());
+        assert!(SignalDomain::Optical.is_analog());
+        assert!(SignalDomain::Time.is_analog());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SignalDomain::Voltage.to_string(), "voltage");
+        assert_eq!(SignalDomain::Digital.to_string(), "digital");
+    }
+}

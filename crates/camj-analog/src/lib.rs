@@ -1,0 +1,54 @@
+//! # camj-analog — analog substrate for CamJ-rs
+//!
+//! The analog half of the paper's energy methodology (Sec. 4.2):
+//!
+//! * [`domain`] — signal domains (optical/charge/voltage/current/time/
+//!   digital) for functional-viability checking,
+//! * [`noise`] — thermal-noise-driven capacitor sizing (Eq. 6),
+//! * [`cell`] — the three A-Cell energy classes: dynamic (Eq. 5),
+//!   static-biased (Eq. 7–11), non-linear (Eq. 12),
+//! * [`component`] — A-Components as ordered cell compositions with
+//!   spatial/temporal access counts (Eq. 4, 13),
+//! * [`components`] — the built-in component library of paper Table 1
+//!   (APS/DPS/PWM pixels, ADCs, switched-capacitor arithmetic, analog
+//!   memories),
+//! * [`array`] — Analog Functional Arrays with uniform access counting
+//!   (Eq. 2–3).
+//!
+//! Typical users never touch cells directly: they pick components from
+//! [`components`], place them in [`array::AnalogArray`]s, and let
+//! `camj-core` drive the delay budgets and access counts. Expert users
+//! can define custom components cell-by-cell — the paper's "low-level
+//! interface … for expert users".
+//!
+//! # Examples
+//!
+//! ```
+//! use camj_analog::array::AnalogArray;
+//! use camj_analog::components::{aps_4t, column_adc, ApsParams};
+//! use camj_tech::units::Time;
+//!
+//! // A QVGA sensor: pixel array + column-parallel 10-bit ADCs.
+//! let pixels = AnalogArray::new(aps_4t(ApsParams::default()), 240, 320);
+//! let adcs = AnalogArray::new(column_adc(10), 1, 320);
+//!
+//! let frame_ops = pixels.component_count();
+//! let sensing = pixels.energy_for_ops(frame_ops, Time::from_micros(15.0));
+//! let conversion = adcs.energy_for_ops(frame_ops, Time::from_micros(15.0));
+//! assert!(conversion.joules() > sensing.joules());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod array;
+pub mod cell;
+pub mod component;
+pub mod components;
+pub mod domain;
+pub mod noise;
+
+pub use array::AnalogArray;
+pub use cell::{AnalogCell, BiasMode, CapacitorNode, CellContext};
+pub use component::{AnalogComponentSpec, CellInstance};
+pub use domain::SignalDomain;

@@ -1,0 +1,153 @@
+//! Thermal-noise-driven capacitor sizing (paper Eq. 6).
+//!
+//! Analog computing accuracy is limited by `kT/C` sampling noise. To keep
+//! a computation trustworthy at a given bit resolution, the worst-case
+//! thermal noise must stay below half an LSB:
+//!
+//! ```text
+//! σ_thermal = sqrt(kT / C),    3 σ_thermal < LSB / 2,
+//! LSB = V_swing / 2^bits
+//! ⟹  C > kT · (6 · 2^bits / V_swing)²
+//! ```
+//!
+//! This is the mechanism behind the paper's Finding 3 caveat: maintaining
+//! 8-bit precision forces capacitors (and hence OpAmp bias currents) large
+//! enough that analog *compute* energy can exceed its digital equivalent,
+//! even as analog *memory* energy wins.
+
+use camj_tech::constants::{kt_default, BOLTZMANN_J_PER_K};
+
+/// Minimum capacitance (farads) that keeps thermal noise below half an
+/// LSB at `bits` resolution and `v_swing` volts of signal swing, at
+/// temperature `temperature_k` kelvin.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero, or `v_swing`/`temperature_k` are not positive
+/// and finite.
+///
+/// # Examples
+///
+/// ```
+/// use camj_analog::noise::min_capacitance_for_resolution_at;
+///
+/// // 8-bit computing on a 1 V swing at 300 K needs ≈ 10 fF:
+/// let c = min_capacitance_for_resolution_at(8, 1.0, 300.0);
+/// assert!(c > 8e-15 && c < 12e-15);
+/// ```
+#[must_use]
+pub fn min_capacitance_for_resolution_at(bits: u32, v_swing: f64, temperature_k: f64) -> f64 {
+    assert!(bits > 0, "resolution must be at least 1 bit");
+    assert!(
+        v_swing.is_finite() && v_swing > 0.0,
+        "voltage swing must be positive and finite, got {v_swing}"
+    );
+    assert!(
+        temperature_k.is_finite() && temperature_k > 0.0,
+        "temperature must be positive and finite, got {temperature_k}"
+    );
+    let kt = BOLTZMANN_J_PER_K * temperature_k;
+    let lsb = v_swing / 2f64.powi(bits as i32);
+    let sigma_max = lsb / 6.0; // 3σ < LSB/2
+    kt / (sigma_max * sigma_max)
+}
+
+/// [`min_capacitance_for_resolution_at`] at the default 300 K.
+#[must_use]
+pub fn min_capacitance_for_resolution(bits: u32, v_swing: f64) -> f64 {
+    min_capacitance_for_resolution_at(
+        bits,
+        v_swing,
+        camj_tech::constants::DEFAULT_TEMPERATURE_K,
+    )
+}
+
+/// RMS thermal noise voltage of a sampled capacitor, `sqrt(kT/C)`, volts.
+///
+/// # Panics
+///
+/// Panics if `capacitance_f` is not positive and finite.
+#[must_use]
+pub fn thermal_noise_rms(capacitance_f: f64) -> f64 {
+    assert!(
+        capacitance_f.is_finite() && capacitance_f > 0.0,
+        "capacitance must be positive and finite, got {capacitance_f}"
+    );
+    (kt_default() / capacitance_f).sqrt()
+}
+
+/// The highest resolution (bits) a capacitor can support at `v_swing`.
+///
+/// Inverse of [`min_capacitance_for_resolution`]: the largest `b` with
+/// `C >= min_capacitance_for_resolution(b, v_swing)`. Returns 0 when even
+/// 1-bit precision is unattainable.
+#[must_use]
+pub fn max_resolution_for_capacitance(capacitance_f: f64, v_swing: f64) -> u32 {
+    let mut bits = 0;
+    while bits < 24 {
+        let needed = min_capacitance_for_resolution(bits + 1, v_swing);
+        if capacitance_f < needed {
+            break;
+        }
+        bits += 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_one_volt_needs_about_ten_ff() {
+        let c = min_capacitance_for_resolution(8, 1.0);
+        assert!(c > 8e-15 && c < 12e-15, "C = {c}");
+    }
+
+    #[test]
+    fn each_extra_bit_quadruples_capacitance() {
+        let c8 = min_capacitance_for_resolution(8, 1.0);
+        let c9 = min_capacitance_for_resolution(9, 1.0);
+        assert!((c9 / c8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_swing_relaxes_sizing() {
+        let small = min_capacitance_for_resolution(8, 0.5);
+        let large = min_capacitance_for_resolution(8, 2.0);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn noise_shrinks_with_capacitance() {
+        assert!(thermal_noise_rms(100e-15) < thermal_noise_rms(10e-15));
+    }
+
+    #[test]
+    fn resolution_inverse_round_trips() {
+        for bits in 1..=12 {
+            let c = min_capacitance_for_resolution(bits, 1.0);
+            assert_eq!(max_resolution_for_capacitance(c * 1.001, 1.0), bits);
+        }
+    }
+
+    #[test]
+    fn hundred_ff_supports_about_ten_bits() {
+        // 100 fF @ 1 V swing: the paper's conservatively-sized Ed-Gaze caps.
+        let bits = max_resolution_for_capacitance(100e-15, 1.0);
+        assert!((9..=11).contains(&bits), "bits = {bits}");
+    }
+
+    #[test]
+    fn hotter_needs_bigger_caps() {
+        let cold = min_capacitance_for_resolution_at(8, 1.0, 250.0);
+        let hot = min_capacitance_for_resolution_at(8, 1.0, 400.0);
+        assert!(hot > cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 bit")]
+    fn zero_bits_rejected() {
+        let _ = min_capacitance_for_resolution(0, 1.0);
+    }
+}

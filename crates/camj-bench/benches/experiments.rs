@@ -1,0 +1,62 @@
+//! Criterion benches over whole experiments: the cost of regenerating
+//! each paper artifact (the practical unit of architectural iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camj_tech::node::ProcessNode;
+use camj_workloads::configs::SensorVariant;
+use camj_workloads::validation::validate_all;
+use camj_workloads::{edgaze, rhythmic};
+
+fn bench_validation_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig7_nine_chip_validation", |b| {
+        b.iter(|| black_box(validate_all().expect("validates")))
+    });
+    g.finish();
+}
+
+fn bench_design_space(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    // One full Fig. 9 sweep: 2 workloads × 2 nodes × available variants.
+    g.bench_function("fig9_full_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for node in [ProcessNode::N130, ProcessNode::N65] {
+                for variant in [
+                    SensorVariant::TwoDOff,
+                    SensorVariant::TwoDIn,
+                    SensorVariant::ThreeDIn,
+                ] {
+                    total += rhythmic::model(variant, node)
+                        .expect("builds")
+                        .estimate()
+                        .expect("estimates")
+                        .total()
+                        .joules();
+                }
+                for variant in [
+                    SensorVariant::TwoDOff,
+                    SensorVariant::TwoDIn,
+                    SensorVariant::ThreeDIn,
+                    SensorVariant::ThreeDInStt,
+                ] {
+                    total += edgaze::model(variant, node)
+                        .expect("builds")
+                        .estimate()
+                        .expect("estimates")
+                        .total()
+                        .joules();
+                }
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_validation_suite, bench_design_space);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches of the simulator itself: CamJ-style exploration is
+//! only useful if a full-system estimate is interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use camj_digital::memory::MemoryStructure;
+use camj_digital::sim::{PipelineSimBuilder, SourceMode};
+use camj_tech::node::ProcessNode;
+use camj_workloads::configs::SensorVariant;
+use camj_workloads::{edgaze, quickstart, rhythmic};
+
+fn bench_estimates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate");
+    g.sample_size(20);
+
+    let quick = quickstart::model(30.0).expect("builds");
+    g.bench_function("quickstart_fig5", |b| {
+        b.iter(|| black_box(&quick).estimate().expect("estimates"))
+    });
+
+    let rhythmic = rhythmic::model(SensorVariant::TwoDIn, ProcessNode::N65).expect("builds");
+    g.bench_function("rhythmic_2d_in", |b| {
+        b.iter(|| black_box(&rhythmic).estimate().expect("estimates"))
+    });
+
+    let edgaze = edgaze::model(SensorVariant::TwoDIn, ProcessNode::N65).expect("builds");
+    g.bench_function("edgaze_2d_in", |b| {
+        b.iter(|| black_box(&edgaze).estimate().expect("estimates"))
+    });
+
+    let mixed = edgaze::model(SensorVariant::TwoDInMixed, ProcessNode::N65).expect("builds");
+    g.bench_function("edgaze_mixed", |b| {
+        b.iter(|| black_box(&mixed).estimate().expect("estimates"))
+    });
+    g.finish();
+}
+
+fn bench_cycle_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_sim");
+    g.sample_size(20);
+
+    // A three-stage pipeline pushing 1M pixels — raw simulator speed.
+    g.bench_function("1M_pixels_3_stages", |b| {
+        b.iter(|| {
+            let mut builder = PipelineSimBuilder::new();
+            let src = builder.add_source("src", SourceMode::Elastic);
+            let s1 = builder.add_stage("s1", 2);
+            let s2 = builder.add_stage("s2", 2);
+            let buf = |n: &str| MemoryStructure::fifo(n, 4096).with_ports(8, 8);
+            builder.connect(src, s1, &buf("a"), 4.0, 4.0, 1_000_000.0);
+            builder.connect(s1, s2, &buf("b"), 4.0, 4.0, 1_000_000.0);
+            builder
+                .build()
+                .expect("valid graph")
+                .run(10_000_000)
+                .expect("completes")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimates, bench_cycle_sim);
+criterion_main!(benches);

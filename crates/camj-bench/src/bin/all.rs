@@ -1,0 +1,12 @@
+//! Regenerates every table and figure of the evaluation in one run.
+fn main() {
+    let _ = camj_bench::figures::fig1::run_fig1();
+    let _ = camj_bench::figures::fig1::run_fig3();
+    let _ = camj_bench::figures::fig7::run();
+    let _ = camj_bench::figures::fig9::run_rhythmic();
+    let _ = camj_bench::figures::fig9::run_edgaze();
+    let _ = camj_bench::figures::table3::run();
+    let _ = camj_bench::figures::fig11::run_fig11();
+    let _ = camj_bench::figures::fig11::run_fig12();
+    let _ = camj_bench::figures::fig11::run_fig13();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 1 (survey design mix).
+fn main() {
+    let _ = camj_bench::figures::fig1::run_fig1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 11 (mixed-signal vs digital Ed-Gaze).
+fn main() {
+    let _ = camj_bench::figures::fig11::run_fig11();
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 12 (per-stage breakdown).
+fn main() {
+    let _ = camj_bench::figures::fig11::run_fig12();
+}

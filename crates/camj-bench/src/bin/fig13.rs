@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 13 (first-two-stage compute/memory split).
+fn main() {
+    let _ = camj_bench::figures::fig11::run_fig13();
+}

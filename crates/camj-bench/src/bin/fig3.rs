@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 3 (node/pitch scaling trends).
+fn main() {
+    let _ = camj_bench::figures::fig1::run_fig3();
+}

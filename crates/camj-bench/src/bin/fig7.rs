@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 7 (validation) and Table 2.
+fn main() {
+    let _ = camj_bench::figures::fig7::run();
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Fig. 9a/9b (in- vs off-sensor energy).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    if which == "rhythmic" || which == "all" {
+        let _ = camj_bench::figures::fig9::run_rhythmic();
+    }
+    if which == "edgaze" || which == "all" {
+        let _ = camj_bench::figures::fig9::run_edgaze();
+    }
+}

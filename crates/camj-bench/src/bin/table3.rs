@@ -1,0 +1,4 @@
+//! Regenerates paper Table 3 (power density).
+fn main() {
+    let _ = camj_bench::figures::table3::run();
+}

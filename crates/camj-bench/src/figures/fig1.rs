@@ -1,0 +1,97 @@
+//! Fig. 1 + Fig. 3: the CIS design-survey motivation figures.
+//!
+//! Fig. 1 — per-year shares of imaging / computational / stacked
+//! computational designs; Fig. 3 — CIS node and pixel-pitch scaling
+//! trends against the IRDS logic roadmap.
+
+use camj_workloads::survey::{
+    cis_node_trend, irds_roadmap, log_linear_fit, pixel_pitch_trend, shares_by_year, survey,
+    YearShare,
+};
+use serde::Serialize;
+
+use crate::output;
+
+/// Deterministic seed for the synthesized survey.
+pub const SURVEY_SEED: u64 = 20_230_617; // ISCA'23 opening day
+
+/// Fig. 3 series: fitted trend parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Trends {
+    /// CIS node fit `(ln-intercept, slope/year)`.
+    pub cis_node: (f64, f64),
+    /// Pixel-pitch fit.
+    pub pixel_pitch: (f64, f64),
+    /// IRDS roadmap fit.
+    pub irds: (f64, f64),
+}
+
+/// Runs Fig. 1.
+#[must_use]
+pub fn run_fig1() -> Vec<YearShare> {
+    let entries = survey(SURVEY_SEED);
+    let shares = shares_by_year(&entries);
+
+    output::header("Fig. 1: CIS design mix per year (synthesized survey)");
+    output::table(
+        &["Year", "Imaging %", "Computational %", "Stacked %"],
+        &shares
+            .iter()
+            .map(|s| {
+                vec![
+                    s.year.to_string(),
+                    format!("{:.0}", s.imaging_pct),
+                    format!("{:.0}", s.computational_pct),
+                    format!("{:.0}", s.stacked_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!("  (paper: increasingly more CIS designs are computational, and");
+    println!("   stacked computational designs appear from the mid-2010s)");
+    output::save_json("fig1_survey_shares", &shares);
+    shares
+}
+
+/// Runs Fig. 3.
+#[must_use]
+pub fn run_fig3() -> Fig3Trends {
+    let entries = survey(SURVEY_SEED);
+    let trends = Fig3Trends {
+        cis_node: cis_node_trend(&entries),
+        pixel_pitch: pixel_pitch_trend(&entries),
+        irds: log_linear_fit(&irds_roadmap()),
+    };
+
+    output::header("Fig. 3: CIS node vs pixel pitch vs IRDS roadmap");
+    let halving = |slope: f64| (-(2f64.ln()) / slope).abs();
+    output::table(
+        &["Series", "2000 value", "Slope %/yr", "Halving time yr"],
+        &[
+            vec![
+                "CIS node (nm)".into(),
+                format!("{:.0}", trends.cis_node.0.exp()),
+                format!("{:.1}", trends.cis_node.1 * 100.0),
+                format!("{:.1}", halving(trends.cis_node.1)),
+            ],
+            vec![
+                "Pixel pitch (µm)".into(),
+                format!("{:.1}", trends.pixel_pitch.0.exp()),
+                format!("{:.1}", trends.pixel_pitch.1 * 100.0),
+                format!("{:.1}", halving(trends.pixel_pitch.1)),
+            ],
+            vec![
+                "IRDS logic (nm)".into(),
+                format!("{:.0}", trends.irds.0.exp()),
+                format!("{:.1}", trends.irds.1 * 100.0),
+                format!("{:.1}", halving(trends.irds.1)),
+            ],
+        ],
+    );
+    println!();
+    println!("  (paper: the CIS slope tracks pixel-pitch scaling and is far");
+    println!("   shallower than the IRDS logic roadmap — the in-sensor node gap grows)");
+    output::save_json("fig3_scaling_trends", &trends);
+    trends
+}

@@ -1,0 +1,235 @@
+//! Fig. 11–13: analog vs digital in-sensor processing for Ed-Gaze.
+//!
+//! * Fig. 11 — 2D-In-Mixed vs 2D-In total energy with component
+//!   breakdown (COMP/MEM split by analog vs digital),
+//! * Fig. 12 — normalized per-stage (S1/S2/S3) energy,
+//! * Fig. 13 — compute-vs-memory breakdown of the first two stages.
+
+use camj_core::energy::{EnergyCategory, EstimateReport};
+use camj_tech::node::ProcessNode;
+use camj_workloads::configs::SensorVariant;
+use camj_workloads::edgaze;
+use serde::Serialize;
+
+use crate::output;
+
+/// A Fig. 11 bar.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Bar {
+    /// Variant label.
+    pub variant: String,
+    /// CIS node, nm.
+    pub cis_node_nm: f64,
+    /// Category → µJ.
+    pub categories: Vec<(String, f64)>,
+    /// Total, µJ.
+    pub total_uj: f64,
+}
+
+/// A Fig. 12 row: normalized stage shares.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Row {
+    /// Variant label.
+    pub variant: String,
+    /// CIS node, nm.
+    pub cis_node_nm: f64,
+    /// S1 (downsample) share, percent.
+    pub s1_pct: f64,
+    /// S2 (frame subtraction) share, percent.
+    pub s2_pct: f64,
+    /// S3 (DNN) share, percent.
+    pub s3_pct: f64,
+}
+
+/// A Fig. 13 row: first-two-stage compute/memory energies.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Row {
+    /// Variant label.
+    pub variant: String,
+    /// CIS node, nm.
+    pub cis_node_nm: f64,
+    /// S1+S2 compute energy, µJ.
+    pub compute_uj: f64,
+    /// S1+S2 memory energy, µJ.
+    pub memory_uj: f64,
+}
+
+fn estimate(variant: SensorVariant, node: ProcessNode) -> EstimateReport {
+    edgaze::model(variant, node)
+        .and_then(|m| m.estimate().map_err(Into::into))
+        .unwrap_or_else(|e| panic!("edgaze {variant} at {node}: {e}"))
+}
+
+fn stage_of(item_stage: Option<&str>) -> Option<u8> {
+    match item_stage {
+        // Sensing belongs to the front of the pipeline: S1.
+        Some("Input") | Some("Downsample") => Some(1),
+        Some("FrameSub") => Some(2),
+        Some("RoiDnn") => Some(3),
+        _ => None,
+    }
+}
+
+/// Runs Fig. 11.
+#[must_use]
+pub fn run_fig11() -> Vec<Fig11Bar> {
+    let mut bars = Vec::new();
+    for &node in &[ProcessNode::N130, ProcessNode::N65] {
+        for &variant in &[SensorVariant::TwoDIn, SensorVariant::TwoDInMixed] {
+            let report = estimate(variant, node);
+            bars.push(Fig11Bar {
+                variant: variant.label().to_owned(),
+                cis_node_nm: node.nanometers(),
+                categories: EnergyCategory::ALL
+                    .iter()
+                    .map(|&c| {
+                        (
+                            c.label().to_owned(),
+                            report.breakdown.category_total(c).microjoules(),
+                        )
+                    })
+                    .collect(),
+                total_uj: report.total().microjoules(),
+            });
+        }
+    }
+
+    output::header("Fig. 11: mixed-signal vs fully-digital in-sensor Ed-Gaze");
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            let mut row = vec![format!("{} ({:.0}nm)", b.variant, b.cis_node_nm)];
+            row.extend(b.categories.iter().map(|(_, uj)| {
+                let uj = if uj.abs() < 5e-3 { 0.0 } else { *uj };
+                format!("{uj:.2}")
+            }));
+            row.push(format!("{:.1}", b.total_uj));
+            row
+        })
+        .collect();
+    output::table(
+        &["Config", "SEN", "COMP-A", "MEM-A", "COMP-D", "MEM-D", "MIPI", "uTSV", "Total µJ"],
+        &rows,
+    );
+    println!();
+    for node in [130.0, 65.0] {
+        let digital = bars
+            .iter()
+            .find(|b| b.variant == "2D-In" && (b.cis_node_nm - node).abs() < 0.5)
+            .unwrap()
+            .total_uj;
+        let mixed = bars
+            .iter()
+            .find(|b| b.variant == "2D-In-Mixed" && (b.cis_node_nm - node).abs() < 0.5)
+            .unwrap()
+            .total_uj;
+        println!(
+            "  mixed-signal saves {:.1} % at {node:.0} nm  (paper: {})",
+            (1.0 - mixed / digital) * 100.0,
+            if node > 100.0 { "38.8 %" } else { "77.1 %" }
+        );
+    }
+    output::save_json("fig11_mixed_signal", &bars);
+    bars
+}
+
+/// Runs Fig. 12.
+#[must_use]
+pub fn run_fig12() -> Vec<Fig12Row> {
+    let mut rows = Vec::new();
+    for &node in &[ProcessNode::N130, ProcessNode::N65] {
+        for &variant in &[SensorVariant::TwoDIn, SensorVariant::TwoDInMixed] {
+            let report = estimate(variant, node);
+            let mut stage_uj = [0.0f64; 3];
+            for item in report.breakdown.items() {
+                if let Some(s) = stage_of(item.stage.as_deref()) {
+                    stage_uj[s as usize - 1] += item.energy.microjoules();
+                }
+            }
+            let total: f64 = stage_uj.iter().sum();
+            rows.push(Fig12Row {
+                variant: variant.label().to_owned(),
+                cis_node_nm: node.nanometers(),
+                s1_pct: stage_uj[0] / total * 100.0,
+                s2_pct: stage_uj[1] / total * 100.0,
+                s3_pct: stage_uj[2] / total * 100.0,
+            });
+        }
+    }
+
+    output::header("Fig. 12: normalized Ed-Gaze energy by stage (S1/S2/S3)");
+    output::table(
+        &["Config", "S1 %", "S2 %", "S3 %"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} ({:.0}nm)", r.variant, r.cis_node_nm),
+                    format!("{:.1}", r.s1_pct),
+                    format!("{:.1}", r.s2_pct),
+                    format!("{:.1}", r.s3_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!("  (paper: S3, the DNN, dominates once S1/S2 move into the analog domain)");
+    output::save_json("fig12_stage_breakdown", &rows);
+    rows
+}
+
+/// Runs Fig. 13.
+#[must_use]
+pub fn run_fig13() -> Vec<Fig13Row> {
+    let mut rows = Vec::new();
+    for &node in &[ProcessNode::N130, ProcessNode::N65] {
+        for &variant in &[SensorVariant::TwoDIn, SensorVariant::TwoDInMixed] {
+            let report = estimate(variant, node);
+            let mut compute = 0.0f64;
+            let mut memory = 0.0f64;
+            for item in report.breakdown.items() {
+                let Some(stage) = stage_of(item.stage.as_deref()) else {
+                    continue;
+                };
+                if stage == 3 {
+                    continue; // first two stages only
+                }
+                match item.category {
+                    EnergyCategory::AnalogCompute | EnergyCategory::DigitalCompute => {
+                        compute += item.energy.microjoules();
+                    }
+                    EnergyCategory::AnalogMemory | EnergyCategory::DigitalMemory => {
+                        memory += item.energy.microjoules();
+                    }
+                    _ => {}
+                }
+            }
+            rows.push(Fig13Row {
+                variant: variant.label().to_owned(),
+                cis_node_nm: node.nanometers(),
+                compute_uj: compute,
+                memory_uj: memory,
+            });
+        }
+    }
+
+    output::header("Fig. 13: Ed-Gaze first-two-stage energy (S1+S2)");
+    output::table(
+        &["Config", "COMP µJ", "MEM µJ"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} ({:.0}nm)", r.variant, r.cis_node_nm),
+                    format!("{:.3}", r.compute_uj),
+                    format!("{:.3}", r.memory_uj),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!("  (paper: memory energy falls but compute energy rises in mixed mode —");
+    println!("   8-bit precision forces noise-sized capacitors and OpAmp bias current)");
+    output::save_json("fig13_s1s2_breakdown", &rows);
+    rows
+}

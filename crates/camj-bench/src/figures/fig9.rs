@@ -1,0 +1,169 @@
+//! Fig. 9: in- vs off-sensor energy for Rhythmic Pixel Regions (a) and
+//! Ed-Gaze (b) across 2D-In / 2D-Off / 3D-In / 3D-In-STT designs at
+//! 130 nm and 65 nm CIS nodes.
+
+use camj_core::energy::EnergyCategory;
+use camj_tech::node::ProcessNode;
+use camj_workloads::configs::SensorVariant;
+use camj_workloads::{edgaze, rhythmic, WorkloadError};
+use serde::Serialize;
+
+use crate::output;
+
+/// One bar of Fig. 9: a (variant, node) configuration's breakdown in µJ.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Bar {
+    /// Workload name.
+    pub workload: String,
+    /// Variant label (2D-In, …).
+    pub variant: String,
+    /// CIS node in nm.
+    pub cis_node_nm: f64,
+    /// Category → µJ pairs in figure order.
+    pub categories: Vec<(String, f64)>,
+    /// Total µJ per frame.
+    pub total_uj: f64,
+}
+
+fn categories_of(report: &camj_core::energy::EstimateReport) -> Vec<(String, f64)> {
+    EnergyCategory::ALL
+        .iter()
+        .map(|&c| {
+            (
+                c.label().to_owned(),
+                report.breakdown.category_total(c).microjoules(),
+            )
+        })
+        .collect()
+}
+
+fn run_workload(
+    name: &str,
+    variants: &[SensorVariant],
+    build: impl Fn(SensorVariant, ProcessNode) -> Result<camj_core::energy::CamJ, WorkloadError>,
+) -> Vec<Fig9Bar> {
+    let mut bars = Vec::new();
+    for &node in &[ProcessNode::N130, ProcessNode::N65] {
+        for &variant in variants {
+            let report = build(variant, node)
+                .and_then(|m| m.estimate().map_err(WorkloadError::from))
+                .unwrap_or_else(|e| panic!("{name} {variant} at {node}: {e}"));
+            bars.push(Fig9Bar {
+                workload: name.to_owned(),
+                variant: variant.label().to_owned(),
+                cis_node_nm: node.nanometers(),
+                categories: categories_of(&report),
+                total_uj: report.total().microjoules(),
+            });
+        }
+    }
+    bars
+}
+
+fn print_bars(title: &str, bars: &[Fig9Bar]) {
+    output::header(title);
+    let headers = [
+        "Config", "SEN", "COMP-A", "MEM-A", "COMP-D", "MEM-D", "MIPI", "uTSV", "Total µJ",
+    ];
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            let mut row = vec![format!("{} ({:.0}nm)", b.variant, b.cis_node_nm)];
+            row.extend(b.categories.iter().map(|(_, uj)| {
+                let uj = if uj.abs() < 5e-3 { 0.0 } else { *uj };
+                format!("{uj:.2}")
+            }));
+            row.push(format!("{:.1}", b.total_uj));
+            row
+        })
+        .collect();
+    output::table(&headers, &rows);
+}
+
+fn total_of(bars: &[Fig9Bar], variant: &str, node: f64) -> f64 {
+    bars.iter()
+        .find(|b| b.variant == variant && (b.cis_node_nm - node).abs() < 0.5)
+        .map(|b| b.total_uj)
+        .expect("configuration present")
+}
+
+/// Runs Fig. 9a (Rhythmic Pixel Regions).
+#[must_use]
+pub fn run_rhythmic() -> Vec<Fig9Bar> {
+    let bars = run_workload(
+        "rhythmic",
+        &[
+            SensorVariant::TwoDOff,
+            SensorVariant::TwoDIn,
+            SensorVariant::ThreeDIn,
+        ],
+        rhythmic::model,
+    );
+    print_bars("Fig. 9a: Rhythmic Pixel Regions energy per frame", &bars);
+
+    println!();
+    for node in [130.0, 65.0] {
+        let on = total_of(&bars, "2D-In", node);
+        let off = total_of(&bars, "2D-Off", node);
+        println!(
+            "  2D-In saves {:.1} % vs 2D-Off at {node:.0} nm  (paper: {})",
+            (1.0 - on / off) * 100.0,
+            if node > 100.0 { "14.5 %" } else { "33.4 %" }
+        );
+    }
+    let avg_3d: f64 = [130.0, 65.0]
+        .iter()
+        .map(|&n| 1.0 - total_of(&bars, "3D-In", n) / total_of(&bars, "2D-In", n))
+        .sum::<f64>()
+        / 2.0;
+    println!("  3D-In saves {:.1} % vs 2D-In on average  (paper: 15.8 %)", avg_3d * 100.0);
+
+    output::save_json("fig9a_rhythmic", &bars);
+    bars
+}
+
+/// Runs Fig. 9b (Ed-Gaze).
+#[must_use]
+pub fn run_edgaze() -> Vec<Fig9Bar> {
+    let bars = run_workload(
+        "edgaze",
+        &[
+            SensorVariant::TwoDOff,
+            SensorVariant::TwoDIn,
+            SensorVariant::ThreeDIn,
+            SensorVariant::ThreeDInStt,
+        ],
+        edgaze::model,
+    );
+    print_bars("Fig. 9b: Ed-Gaze energy per frame", &bars);
+
+    println!();
+    for node in [130.0, 65.0] {
+        let on = total_of(&bars, "2D-In", node);
+        let off = total_of(&bars, "2D-Off", node);
+        println!(
+            "  2D-In costs {:.2}x 2D-Off at {node:.0} nm  (paper: in-sensor loses)",
+            on / off
+        );
+    }
+    println!(
+        "  2D-In at 65 nm / 2D-In at 130 nm = {:.2}  (paper: >1, leakage-driven)",
+        total_of(&bars, "2D-In", 65.0) / total_of(&bars, "2D-In", 130.0)
+    );
+    let avg_3d: f64 = [130.0, 65.0]
+        .iter()
+        .map(|&n| 1.0 - total_of(&bars, "3D-In", n) / total_of(&bars, "2D-In", n))
+        .sum::<f64>()
+        / 2.0;
+    println!("  3D-In saves {:.1} % vs 2D-In on average  (paper: 38.5 %)", avg_3d * 100.0);
+    for node in [65.0, 130.0] {
+        println!(
+            "  3D-In-STT saves {:.1} % vs 3D-In at {node:.0} nm  (paper: {})",
+            (1.0 - total_of(&bars, "3D-In-STT", node) / total_of(&bars, "3D-In", node)) * 100.0,
+            if node < 100.0 { "69.1 %" } else { "68.5 %" }
+        );
+    }
+
+    output::save_json("fig9b_edgaze", &bars);
+    bars
+}

@@ -1,0 +1,7 @@
+//! One module per regenerated table/figure.
+
+pub mod fig1;
+pub mod fig11;
+pub mod fig7;
+pub mod fig9;
+pub mod table3;

@@ -1,0 +1,133 @@
+//! Table 3: power density of the 2D-Off / 2D-In / 3D-In variants for
+//! both workloads at the 130 nm/22 nm and 65 nm/22 nm node pairs.
+//!
+//! Uses the paper's conservative area model (pixel-array area for
+//! analog, SRAM macro area for digital). For stacked designs, the
+//! package footprint is the larger layer, so stacking concentrates the
+//! same power into less area.
+
+use camj_core::hw::Layer;
+use camj_core::power_density::layer_area_mm2;
+use camj_tech::node::ProcessNode;
+use camj_tech::thermal::ThermalModel;
+use camj_workloads::configs::SensorVariant;
+use camj_workloads::{edgaze, rhythmic, WorkloadError};
+use serde::Serialize;
+
+use crate::output;
+
+/// One Table 3 cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct DensityCell {
+    /// Workload name.
+    pub workload: String,
+    /// Variant label.
+    pub variant: String,
+    /// CIS node, nm.
+    pub cis_node_nm: f64,
+    /// In-package power, mW.
+    pub power_mw: f64,
+    /// Package footprint, mm².
+    pub footprint_mm2: f64,
+    /// Power density, mW/mm².
+    pub density_mw_per_mm2: f64,
+}
+
+fn density(
+    name: &str,
+    variant: SensorVariant,
+    node: ProcessNode,
+    build: impl Fn(SensorVariant, ProcessNode) -> Result<camj_core::energy::CamJ, WorkloadError>,
+) -> DensityCell {
+    let model = build(variant, node).expect("variant supported");
+    let report = model.estimate().expect("estimates");
+    // In-package power: everything not dissipated on the host SoC.
+    let in_package = report.breakdown.layer_total(Layer::Sensor)
+        + report.breakdown.layer_total(Layer::Compute);
+    let power_mw = (in_package / report.delay.frame_time).milliwatts();
+    let hw = model.hardware();
+    let sensor_area = layer_area_mm2(hw, Layer::Sensor);
+    let compute_area = layer_area_mm2(hw, Layer::Compute);
+    // 2D: one die carries everything; 3D: layers stack over the larger
+    // footprint.
+    let footprint = match variant {
+        SensorVariant::ThreeDIn | SensorVariant::ThreeDInStt => sensor_area.max(compute_area),
+        _ => sensor_area + compute_area,
+    };
+    DensityCell {
+        workload: name.to_owned(),
+        variant: variant.label().to_owned(),
+        cis_node_nm: node.nanometers(),
+        power_mw,
+        footprint_mm2: footprint,
+        density_mw_per_mm2: power_mw / footprint,
+    }
+}
+
+/// Runs Table 3.
+#[must_use]
+pub fn run() -> Vec<DensityCell> {
+    let variants = [
+        SensorVariant::TwoDOff,
+        SensorVariant::TwoDIn,
+        SensorVariant::ThreeDIn,
+    ];
+    let mut cells = Vec::new();
+    for &node in &[ProcessNode::N130, ProcessNode::N65] {
+        for &variant in &variants {
+            cells.push(density("Rhythmic", variant, node, rhythmic::model));
+            cells.push(density("Ed-Gaze", variant, node, edgaze::model));
+        }
+    }
+
+    output::header("Table 3: power density (mW/mm²)");
+    println!("  paper reference values:");
+    println!("    130/22nm  Rhythmic: 0.05 / 0.09 / 0.06   Ed-Gaze: 0.19 / 0.30 / 0.78");
+    println!("    65/22nm   Rhythmic: 0.03 / 0.05 / 0.04   Ed-Gaze: 0.11 / 2.24 / 0.70");
+    println!();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.0}/22nm", c.cis_node_nm),
+                c.workload.clone(),
+                c.variant.clone(),
+                format!("{:.2}", c.power_mw),
+                format!("{:.2}", c.footprint_mm2),
+                format!("{:.3}", c.density_mw_per_mm2),
+            ]
+        })
+        .collect();
+    output::table(
+        &["Nodes", "Workload", "Variant", "Power mW", "Area mm²", "mW/mm²"],
+        &rows,
+    );
+
+    // Future-work extension (paper Sec. 6.2 closing remark): what do
+    // these densities mean thermally? A lumped package model maps each
+    // cell to a junction-temperature rise and the capacitance penalty
+    // analog designs would pay to hold precision when warm.
+    let thermal = ThermalModel::default();
+    output::header("Thermal headroom (future-work extension)");
+    output::table(
+        &["Config", "mW/mm²", "ΔT K", "C penalty"],
+        &cells
+            .iter()
+            .map(|c| {
+                let t = thermal.junction_temperature_k(c.density_mw_per_mm2);
+                vec![
+                    format!("{} {} ({:.0}nm)", c.workload, c.variant, c.cis_node_nm),
+                    format!("{:.3}", c.density_mw_per_mm2),
+                    format!("{:.1}", t - thermal.ambient_k),
+                    format!("{:.3}x", thermal.capacitance_penalty(c.density_mw_per_mm2)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    println!("  (paper: densities are 3-4 orders below CPUs — no hotspots, but the");
+    println!("   noise impact of warm dies motivates the paper's future-work call)");
+
+    output::save_json("table3_power_density", &cells);
+    cells
+}

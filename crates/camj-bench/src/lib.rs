@@ -1,0 +1,13 @@
+//! # camj-bench — experiment harnesses for CamJ-rs
+//!
+//! One module per table/figure of the ISCA'23 evaluation. Each module
+//! exposes a `run()` that prints the same rows/series the paper reports
+//! and returns the data for machine use; the `src/bin/` wrappers and the
+//! `all` binary drive them. JSON copies of every result land in
+//! `results/` at the workspace root.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+pub mod output;

@@ -1,0 +1,68 @@
+//! Shared text-table and JSON output helpers for the harnesses.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", "-".repeat(title.len() + 6));
+}
+
+/// Prints an aligned text table: `widths[i]` columns per cell.
+///
+/// # Panics
+///
+/// Panics if a row's cell count differs from the header's.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let cols: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", cols.join("  "));
+    };
+    line(headers.iter().map(|h| (*h).to_owned()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// The directory JSON results are written to (`results/` at the
+/// workspace root, falling back to the current directory).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // The harness binaries run from the workspace; prefer its results/.
+    let candidates = [Path::new("results"), Path::new("../results"), Path::new("../../results")];
+    for c in candidates {
+        if c.is_dir() {
+            return c.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Serialises `value` to `results/<name>.json`; prints a note on success
+/// and a warning on failure (harnesses never fail on I/O).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match fs::write(&path, json) {
+            Ok(()) => println!("  [saved {}]", path.display()),
+            Err(e) => eprintln!("  [warn: could not write {}: {e}]", path.display()),
+        },
+        Err(e) => eprintln!("  [warn: could not serialise {name}: {e}]"),
+    }
+}

@@ -1,0 +1,300 @@
+//! Pre-simulation design checks (paper Sec. 3.2).
+//!
+//! Before estimating energy, CamJ verifies that the algorithm/hardware
+//! combination is *functionally viable*: signal domains must match along
+//! every physical route ("ADCs must exist between the analog and digital
+//! domain"), input stages must land on photon-sensitive units, and every
+//! stage must be mapped. DAG well-formedness is checked by
+//! [`AlgorithmGraph::validate`]; stall freedom is checked against the
+//! cycle-level simulation in the estimator.
+
+use camj_analog::domain::SignalDomain;
+
+use crate::error::CamjError;
+use crate::hw::{HardwareDesc, UnitKind};
+use crate::mapping::Mapping;
+use crate::route::{routes, unit_of};
+use crate::sw::{AlgorithmGraph, StageKind};
+
+/// Runs all static checks: DAG well-formedness, mapping completeness,
+/// and functional viability of every route.
+///
+/// # Errors
+///
+/// Returns the first violation found as a [`CamjError`].
+pub fn validate(
+    algo: &AlgorithmGraph,
+    hw: &HardwareDesc,
+    mapping: &Mapping,
+) -> Result<(), CamjError> {
+    algo.validate()?;
+    check_mapping_targets(algo, hw, mapping)?;
+    check_domains(algo, hw, mapping)?;
+    Ok(())
+}
+
+/// Every stage must map to a compute-capable unit (analog or digital —
+/// not a bare memory), and input stages must map to photon-sensitive
+/// analog units.
+fn check_mapping_targets(
+    algo: &AlgorithmGraph,
+    hw: &HardwareDesc,
+    mapping: &Mapping,
+) -> Result<(), CamjError> {
+    for stage in algo.stages() {
+        let unit = unit_of(mapping, hw, stage.name())?;
+        match hw.kind_of(unit) {
+            Some(UnitKind::Memory) => {
+                return Err(CamjError::CheckMapping {
+                    reason: format!(
+                        "stage '{}' is mapped to memory '{unit}'; stages need \
+                         a compute unit",
+                        stage.name()
+                    ),
+                });
+            }
+            Some(UnitKind::Analog | UnitKind::Digital) => {}
+            None => unreachable!("unit_of validated existence"),
+        }
+        if matches!(stage.kind(), StageKind::Input) {
+            let viable = hw
+                .analog(unit)
+                .is_some_and(|u| u.array().input_domain() == SignalDomain::Optical);
+            if !viable {
+                return Err(CamjError::CheckFunctional {
+                    reason: format!(
+                        "input stage '{}' must map to a photon-sensitive analog \
+                         unit, but '{unit}' does not ingest the optical domain",
+                        stage.name()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks every route checking signal-domain compatibility hop by hop.
+fn check_domains(
+    algo: &AlgorithmGraph,
+    hw: &HardwareDesc,
+    mapping: &Mapping,
+) -> Result<(), CamjError> {
+    for route in routes(algo, hw, mapping)? {
+        let mut current = match hw.analog(&route.path[0]) {
+            Some(a) => a.array().output_domain(),
+            None => SignalDomain::Digital,
+        };
+        for hop in &route.path[1..] {
+            match hw.kind_of(hop) {
+                Some(UnitKind::Analog) => {
+                    let a = hw.analog(hop).expect("kind says analog");
+                    let expected = a.array().input_domain();
+                    if !current.can_drive(expected) {
+                        return Err(CamjError::CheckFunctional {
+                            reason: format!(
+                                "domain mismatch entering '{hop}' on route \
+                                 '{}' → '{}': producer drives the {current} \
+                                 domain but '{hop}' expects {expected}; insert \
+                                 a conversion component",
+                                route.from_stage,
+                                route.to_stage.as_deref().unwrap_or("<host>")
+                            ),
+                        });
+                    }
+                    current = a.array().output_domain();
+                }
+                Some(UnitKind::Memory | UnitKind::Digital) => {
+                    if current != SignalDomain::Digital {
+                        return Err(CamjError::CheckFunctional {
+                            reason: format!(
+                                "'{hop}' is a digital unit but the signal on route \
+                                 '{}' → '{}' is still in the {current} domain; \
+                                 an ADC must sit between the analog and digital \
+                                 domains",
+                                route.from_stage,
+                                route.to_stage.as_deref().unwrap_or("<host>")
+                            ),
+                        });
+                    }
+                }
+                None => unreachable!("paths only contain known units"),
+            }
+        }
+        // Data leaves the chip as digital bits: the end of a host-exit
+        // chain must have reached the digital domain ("ADCs must exist
+        // between the analog and digital domain").
+        if route.is_host_exit() && current != SignalDomain::Digital {
+            return Err(CamjError::CheckFunctional {
+                reason: format!(
+                    "stage '{}' produces the final output in the {current} \
+                     domain; an ADC must digitise it before it can leave \
+                     the sensor",
+                    route.from_stage
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::{AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, Layer, MemoryDesc};
+    use crate::sw::Stage;
+    use camj_analog::array::AnalogArray;
+    use camj_analog::components::{aps_4t, column_adc, switched_cap_mac, ApsParams};
+    use camj_digital::compute::ComputeUnit;
+    use camj_digital::memory::MemoryStructure;
+
+    fn base_algo() -> AlgorithmGraph {
+        let mut algo = AlgorithmGraph::new();
+        algo.add_stage(Stage::input("Input", [32, 32, 1]));
+        algo.add_stage(Stage::stencil(
+            "Edge",
+            [32, 32, 1],
+            [32, 32, 1],
+            [3, 3, 1],
+            [1, 1, 1],
+        ));
+        algo.connect("Input", "Edge").unwrap();
+        algo
+    }
+
+    fn hw_with_adc() -> HardwareDesc {
+        let mut hw = HardwareDesc::new(200e6);
+        hw.add_analog(AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(ApsParams::default()), 32, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_analog(AnalogUnitDesc::new(
+            "ADCArray",
+            AnalogArray::new(column_adc(10), 1, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_memory(MemoryDesc::new(
+            MemoryStructure::line_buffer("LB", 3, 32),
+            Layer::Sensor,
+            0.0,
+        ));
+        hw.add_digital(DigitalUnitDesc::pipelined(
+            ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2),
+            Layer::Sensor,
+        ));
+        hw.connect("PixelArray", "ADCArray");
+        hw.connect("ADCArray", "LB");
+        hw.connect("LB", "EdgeUnit");
+        hw
+    }
+
+    fn mapping() -> Mapping {
+        Mapping::new().map("Input", "PixelArray").map("Edge", "EdgeUnit")
+    }
+
+    #[test]
+    fn viable_design_passes() {
+        validate(&base_algo(), &hw_with_adc(), &mapping()).unwrap();
+    }
+
+    #[test]
+    fn missing_adc_is_caught() {
+        // Pixel array (voltage out) wired directly into the line buffer.
+        let mut hw = HardwareDesc::new(200e6);
+        hw.add_analog(AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(ApsParams::default()), 32, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_memory(MemoryDesc::new(
+            MemoryStructure::line_buffer("LB", 3, 32),
+            Layer::Sensor,
+            0.0,
+        ));
+        hw.add_digital(DigitalUnitDesc::pipelined(
+            ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2),
+            Layer::Sensor,
+        ));
+        hw.connect("PixelArray", "LB");
+        hw.connect("LB", "EdgeUnit");
+        let err = validate(&base_algo(), &hw, &mapping()).unwrap_err();
+        assert!(err.to_string().contains("ADC"), "{err}");
+    }
+
+    #[test]
+    fn analog_domain_mismatch_is_caught() {
+        // A voltage-domain pixel array feeding a current-domain WTA.
+        let mut hw = HardwareDesc::new(200e6);
+        hw.add_analog(AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(ApsParams::default()), 32, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_analog(AnalogUnitDesc::new(
+            "WTA",
+            AnalogArray::new(
+                camj_analog::components::max_wta(4, 1.0, 50e-15),
+                1,
+                32,
+            ),
+            Layer::Sensor,
+            AnalogCategory::Compute,
+        ));
+        hw.add_analog(AnalogUnitDesc::new(
+            "ADCArray",
+            AnalogArray::new(column_adc(10), 1, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.connect("PixelArray", "WTA");
+        hw.connect("WTA", "ADCArray");
+        let m = Mapping::new().map("Input", "PixelArray").map("Edge", "WTA");
+        let err = validate(&base_algo(), &hw, &m).unwrap_err();
+        assert!(err.to_string().contains("domain mismatch"), "{err}");
+    }
+
+    #[test]
+    fn analog_sink_without_adc_is_caught() {
+        // Final stage output in the voltage domain cannot exit the chip.
+        let mut hw = HardwareDesc::new(200e6);
+        hw.add_analog(AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(ApsParams::default()), 32, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_analog(AnalogUnitDesc::new(
+            "MacArray",
+            AnalogArray::new(switched_cap_mac(8, 1.0), 1, 32),
+            Layer::Sensor,
+            AnalogCategory::Compute,
+        ));
+        hw.connect("PixelArray", "MacArray");
+        let m = Mapping::new()
+            .map("Input", "PixelArray")
+            .map("Edge", "MacArray");
+        let err = validate(&base_algo(), &hw, &m).unwrap_err();
+        assert!(err.to_string().contains("ADC"), "{err}");
+    }
+
+    #[test]
+    fn input_stage_must_be_photosensitive() {
+        let hw = hw_with_adc();
+        let m = Mapping::new().map("Input", "EdgeUnit").map("Edge", "EdgeUnit");
+        let err = validate(&base_algo(), &hw, &m).unwrap_err();
+        assert!(err.to_string().contains("photon-sensitive"), "{err}");
+    }
+
+    #[test]
+    fn stage_mapped_to_memory_rejected() {
+        let hw = hw_with_adc();
+        let m = Mapping::new().map("Input", "PixelArray").map("Edge", "LB");
+        let err = validate(&base_algo(), &hw, &m).unwrap_err();
+        assert!(err.to_string().contains("memory"), "{err}");
+    }
+}

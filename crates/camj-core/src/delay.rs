@@ -1,0 +1,105 @@
+//! Delay estimation (paper Sec. 4.1).
+//!
+//! The CIS pipeline never stalls: pixels arrive at a constant rate, so
+//! every pipeline stage must share the frame budget. CamJ measures the
+//! digital latency `T_D` by cycle-level simulation and then back-solves
+//! the per-stage analog time from the prescribed frame rate:
+//!
+//! ```text
+//! N_A × T_A + T_D = T_FR = 1 / FPS
+//! ```
+//!
+//! where `N_A` counts the analog pipeline stages *including exposure*
+//! (the paper's Fig. 6 example has exposure + binned readout + ADC = 3).
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::units::Time;
+
+use crate::error::CamjError;
+
+/// The timing split of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayEstimate {
+    /// Frame time `T_FR = 1/FPS`.
+    pub frame_time: Time,
+    /// Digital-domain latency `T_D` from cycle-level simulation.
+    pub digital_latency: Time,
+    /// Analog pipeline stage count `N_A`, including exposure.
+    pub analog_stage_count: usize,
+    /// Per-stage analog time `T_A`.
+    pub analog_unit_time: Time,
+}
+
+impl DelayEstimate {
+    /// Solves `T_A` from the frame budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamjError::FrameRateInfeasible`] when the digital
+    /// latency leaves no time for the analog pipeline.
+    pub fn solve(
+        fps: f64,
+        digital_latency: Time,
+        analog_stage_count: usize,
+    ) -> Result<Self, CamjError> {
+        assert!(fps.is_finite() && fps > 0.0, "FPS must be positive, got {fps}");
+        assert!(
+            analog_stage_count >= 1,
+            "a CIS pipeline has at least the exposure stage"
+        );
+        let frame_time = Time::from_secs(1.0 / fps);
+        let remaining = frame_time - digital_latency;
+        if remaining.secs() <= 0.0 {
+            return Err(CamjError::FrameRateInfeasible {
+                frame_time_s: frame_time.secs(),
+                digital_latency_s: digital_latency.secs(),
+            });
+        }
+        Ok(Self {
+            frame_time,
+            digital_latency,
+            analog_stage_count,
+            analog_unit_time: remaining / analog_stage_count as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_arithmetic() {
+        // 3 × T_A + T_D = T_FR.
+        let est = DelayEstimate::solve(30.0, Time::from_millis(3.333), 3).unwrap();
+        let reconstructed =
+            est.analog_unit_time * 3.0 + est.digital_latency;
+        assert!((reconstructed.secs() - est.frame_time.secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_fps_shrinks_analog_time() {
+        let slow = DelayEstimate::solve(30.0, Time::from_millis(1.0), 3).unwrap();
+        let fast = DelayEstimate::solve(120.0, Time::from_millis(1.0), 3).unwrap();
+        assert!(fast.analog_unit_time < slow.analog_unit_time);
+    }
+
+    #[test]
+    fn infeasible_frame_rate_reported() {
+        let err = DelayEstimate::solve(1000.0, Time::from_millis(2.0), 3).unwrap_err();
+        assert!(matches!(err, CamjError::FrameRateInfeasible { .. }));
+    }
+
+    #[test]
+    fn zero_digital_latency_gives_full_budget() {
+        let est = DelayEstimate::solve(30.0, Time::ZERO, 2).unwrap();
+        assert!((est.analog_unit_time.millis() - (1000.0 / 30.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "FPS")]
+    fn bad_fps_rejected() {
+        let _ = DelayEstimate::solve(0.0, Time::ZERO, 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! The component-level energy breakdown — CamJ's primary output.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::units::Energy;
+
+use crate::hw::Layer;
+
+use super::category::EnergyCategory;
+
+/// One line of the breakdown: a hardware unit's contribution, optionally
+/// attributed to an algorithm stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyItem {
+    /// The hardware unit (or interface) the energy is burned in.
+    pub unit: String,
+    /// The algorithm stage the work belongs to, when attributable.
+    pub stage: Option<String>,
+    /// Budget category.
+    pub category: EnergyCategory,
+    /// The physical layer the energy is dissipated on.
+    pub layer: Layer,
+    /// Per-frame energy.
+    pub energy: Energy,
+}
+
+/// A full per-frame energy breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    items: Vec<EnergyItem>,
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: EnergyItem) {
+        self.items.push(item);
+    }
+
+    /// All items, in insertion order.
+    #[must_use]
+    pub fn items(&self) -> &[EnergyItem] {
+        &self.items
+    }
+
+    /// Total per-frame energy.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.items.iter().map(|i| i.energy).sum()
+    }
+
+    /// Total energy of one category.
+    #[must_use]
+    pub fn category_total(&self, category: EnergyCategory) -> Energy {
+        self.items
+            .iter()
+            .filter(|i| i.category == category)
+            .map(|i| i.energy)
+            .sum()
+    }
+
+    /// Per-category totals, in [`EnergyCategory::ALL`] order, zero
+    /// categories included.
+    #[must_use]
+    pub fn by_category(&self) -> Vec<(EnergyCategory, Energy)> {
+        EnergyCategory::ALL
+            .iter()
+            .map(|&c| (c, self.category_total(c)))
+            .collect()
+    }
+
+    /// Totals grouped by attributed stage; unattributed items group under
+    /// `None`.
+    #[must_use]
+    pub fn by_stage(&self) -> BTreeMap<Option<String>, Energy> {
+        let mut out: BTreeMap<Option<String>, Energy> = BTreeMap::new();
+        for item in &self.items {
+            let slot = out.entry(item.stage.clone()).or_insert(Energy::ZERO);
+            *slot += item.energy;
+        }
+        out
+    }
+
+    /// Total energy dissipated on one physical layer.
+    #[must_use]
+    pub fn layer_total(&self, layer: Layer) -> Energy {
+        self.items
+            .iter()
+            .filter(|i| i.layer == layer)
+            .map(|i| i.energy)
+            .sum()
+    }
+
+    /// Energy per pixel for an `n_pixels` sensor — the paper's Fig. 7
+    /// validation metric.
+    #[must_use]
+    pub fn per_pixel(&self, n_pixels: u64) -> Energy {
+        self.total() / n_pixels as f64
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn extend(&mut self, other: EnergyBreakdown) {
+        self.items.extend(other.items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(unit: &str, stage: Option<&str>, cat: EnergyCategory, layer: Layer, pj: f64) -> EnergyItem {
+        EnergyItem {
+            unit: unit.into(),
+            stage: stage.map(Into::into),
+            category: cat,
+            layer,
+            energy: Energy::from_picojoules(pj),
+        }
+    }
+
+    fn sample() -> EnergyBreakdown {
+        let mut b = EnergyBreakdown::new();
+        b.push(item("px", Some("Input"), EnergyCategory::Sensing, Layer::Sensor, 100.0));
+        b.push(item("adc", Some("Input"), EnergyCategory::Sensing, Layer::Sensor, 50.0));
+        b.push(item("pe", Some("Edge"), EnergyCategory::DigitalCompute, Layer::Compute, 30.0));
+        b.push(item("mipi", Some("Edge"), EnergyCategory::Mipi, Layer::Compute, 20.0));
+        b
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = sample();
+        assert!((b.total().picojoules() - 200.0).abs() < 1e-9);
+        assert!((b.category_total(EnergyCategory::Sensing).picojoules() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_category_covers_all_and_sums_to_total() {
+        let b = sample();
+        let cats = b.by_category();
+        assert_eq!(cats.len(), EnergyCategory::ALL.len());
+        let sum: Energy = cats.iter().map(|(_, e)| *e).sum();
+        assert!((sum.picojoules() - b.total().picojoules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_stage_groups() {
+        let b = sample();
+        let stages = b.by_stage();
+        assert!((stages[&Some("Input".to_owned())].picojoules() - 150.0).abs() < 1e-9);
+        assert!((stages[&Some("Edge".to_owned())].picojoules() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_totals() {
+        let b = sample();
+        assert!((b.layer_total(Layer::Sensor).picojoules() - 150.0).abs() < 1e-9);
+        assert!((b.layer_total(Layer::Compute).picojoules() - 50.0).abs() < 1e-9);
+        assert_eq!(b.layer_total(Layer::OffChip), Energy::ZERO);
+    }
+
+    #[test]
+    fn per_pixel_divides() {
+        let b = sample();
+        assert!((b.per_pixel(100).picojoules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = sample();
+        let b = sample();
+        a.extend(b);
+        assert!((a.total().picojoules() - 400.0).abs() < 1e-9);
+    }
+}

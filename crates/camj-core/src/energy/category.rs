@@ -1,0 +1,89 @@
+//! Energy breakdown categories — the bar segments of the paper's Fig. 9
+//! and Fig. 11.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which budget an energy item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EnergyCategory {
+    /// Everything up to and including ADCs (paper's "SEN").
+    Sensing,
+    /// Analog processing elements ("COMP-A").
+    AnalogCompute,
+    /// Analog buffers / sample-and-hold memories ("MEM-A").
+    AnalogMemory,
+    /// Digital compute units ("COMP" / "COMP-D").
+    DigitalCompute,
+    /// Digital memories, dynamic + leakage ("MEM" / "MEM-D").
+    DigitalMemory,
+    /// MIPI CSI-2 off-package communication ("MIPI").
+    Mipi,
+    /// µTSV / hybrid-bond inter-layer communication ("uTSV").
+    MicroTsv,
+}
+
+impl EnergyCategory {
+    /// All categories, in display order.
+    pub const ALL: [EnergyCategory; 7] = [
+        EnergyCategory::Sensing,
+        EnergyCategory::AnalogCompute,
+        EnergyCategory::AnalogMemory,
+        EnergyCategory::DigitalCompute,
+        EnergyCategory::DigitalMemory,
+        EnergyCategory::Mipi,
+        EnergyCategory::MicroTsv,
+    ];
+
+    /// The short label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyCategory::Sensing => "SEN",
+            EnergyCategory::AnalogCompute => "COMP-A",
+            EnergyCategory::AnalogMemory => "MEM-A",
+            EnergyCategory::DigitalCompute => "COMP-D",
+            EnergyCategory::DigitalMemory => "MEM-D",
+            EnergyCategory::Mipi => "MIPI",
+            EnergyCategory::MicroTsv => "uTSV",
+        }
+    }
+
+    /// Whether this is a communication category.
+    #[must_use]
+    pub fn is_communication(self) -> bool {
+        matches!(self, EnergyCategory::Mipi | EnergyCategory::MicroTsv)
+    }
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(EnergyCategory::Sensing.to_string(), "SEN");
+        assert_eq!(EnergyCategory::MicroTsv.to_string(), "uTSV");
+    }
+
+    #[test]
+    fn communication_predicate() {
+        assert!(EnergyCategory::Mipi.is_communication());
+        assert!(!EnergyCategory::Sensing.is_communication());
+    }
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        assert_eq!(EnergyCategory::ALL.len(), 7);
+        let mut sorted = EnergyCategory::ALL.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+    }
+}

@@ -1,0 +1,9 @@
+//! Energy estimation: categories, breakdowns, and the estimator itself.
+
+mod breakdown;
+mod category;
+mod model;
+
+pub use breakdown::{EnergyBreakdown, EnergyItem};
+pub use category::EnergyCategory;
+pub use model::{CamJ, EstimateReport};

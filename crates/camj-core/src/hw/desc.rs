@@ -1,0 +1,329 @@
+//! The hardware description: all units plus their physical connectivity
+//! (paper Sec. 3.3, `camj_hw_config`).
+//!
+//! Connectivity is declared unit-to-unit, mirroring the paper's
+//! `pixel_array.set_output(adc_array)` / `edge_unit.set_input(line_buf)`
+//! style. CamJ routes each algorithm-DAG edge along these physical paths
+//! to derive ADC conversion counts, buffer traffic, and layer-crossing
+//! communication volumes.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use super::layer::Layer;
+use super::units::{AnalogUnitDesc, DigitalUnitDesc, MemoryDesc};
+
+/// What kind of unit a name refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// An analog functional array.
+    Analog,
+    /// A digital compute unit.
+    Digital,
+    /// A digital memory structure.
+    Memory,
+}
+
+/// The complete hardware description.
+///
+/// # Examples
+///
+/// ```
+/// use camj_analog::array::AnalogArray;
+/// use camj_analog::components::{aps_4t, column_adc, ApsParams};
+/// use camj_core::hw::{AnalogCategory, AnalogUnitDesc, HardwareDesc, Layer};
+///
+/// let mut hw = HardwareDesc::new(200e6);
+/// hw.add_analog(AnalogUnitDesc::new(
+///     "PixelArray",
+///     AnalogArray::new(aps_4t(ApsParams::default()), 32, 32),
+///     Layer::Sensor,
+///     AnalogCategory::Sensing,
+/// ));
+/// hw.add_analog(AnalogUnitDesc::new(
+///     "ADCArray",
+///     AnalogArray::new(column_adc(10), 1, 16),
+///     Layer::Sensor,
+///     AnalogCategory::Sensing,
+/// ));
+/// hw.connect("PixelArray", "ADCArray");
+/// assert_eq!(hw.path("PixelArray", "ADCArray").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareDesc {
+    analog: Vec<AnalogUnitDesc>,
+    digital: Vec<DigitalUnitDesc>,
+    memories: Vec<MemoryDesc>,
+    connections: Vec<(String, String)>,
+    digital_clock_hz: f64,
+}
+
+impl HardwareDesc {
+    /// Creates an empty description with the given digital clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digital_clock_hz` is not positive and finite.
+    #[must_use]
+    pub fn new(digital_clock_hz: f64) -> Self {
+        assert!(
+            digital_clock_hz.is_finite() && digital_clock_hz > 0.0,
+            "digital clock must be positive and finite, got {digital_clock_hz}"
+        );
+        Self {
+            analog: Vec::new(),
+            digital: Vec::new(),
+            memories: Vec::new(),
+            connections: Vec::new(),
+            digital_clock_hz,
+        }
+    }
+
+    /// The system digital clock in hertz.
+    #[must_use]
+    pub fn digital_clock_hz(&self) -> f64 {
+        self.digital_clock_hz
+    }
+
+    /// Adds an analog unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate unit names.
+    pub fn add_analog(&mut self, unit: AnalogUnitDesc) {
+        self.assert_fresh(unit.name());
+        self.analog.push(unit);
+    }
+
+    /// Adds a digital compute unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate unit names.
+    pub fn add_digital(&mut self, unit: DigitalUnitDesc) {
+        self.assert_fresh(unit.name());
+        self.digital.push(unit);
+    }
+
+    /// Adds a memory structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate unit names.
+    pub fn add_memory(&mut self, memory: MemoryDesc) {
+        self.assert_fresh(memory.name());
+        self.memories.push(memory);
+    }
+
+    /// Declares a physical connection from unit `from` to unit `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is unknown.
+    pub fn connect(&mut self, from: &str, to: &str) {
+        assert!(self.kind_of(from).is_some(), "unknown unit '{from}'");
+        assert!(self.kind_of(to).is_some(), "unknown unit '{to}'");
+        self.connections.push((from.to_owned(), to.to_owned()));
+    }
+
+    /// All analog units.
+    #[must_use]
+    pub fn analog_units(&self) -> &[AnalogUnitDesc] {
+        &self.analog
+    }
+
+    /// All digital units.
+    #[must_use]
+    pub fn digital_units(&self) -> &[DigitalUnitDesc] {
+        &self.digital
+    }
+
+    /// All memories.
+    #[must_use]
+    pub fn memories(&self) -> &[MemoryDesc] {
+        &self.memories
+    }
+
+    /// Looks up an analog unit by name.
+    #[must_use]
+    pub fn analog(&self, name: &str) -> Option<&AnalogUnitDesc> {
+        self.analog.iter().find(|u| u.name() == name)
+    }
+
+    /// Looks up a digital unit by name.
+    #[must_use]
+    pub fn digital(&self, name: &str) -> Option<&DigitalUnitDesc> {
+        self.digital.iter().find(|u| u.name() == name)
+    }
+
+    /// Looks up a memory by name.
+    #[must_use]
+    pub fn memory(&self, name: &str) -> Option<&MemoryDesc> {
+        self.memories.iter().find(|m| m.name() == name)
+    }
+
+    /// The kind of unit `name` refers to, if any.
+    #[must_use]
+    pub fn kind_of(&self, name: &str) -> Option<UnitKind> {
+        if self.analog(name).is_some() {
+            Some(UnitKind::Analog)
+        } else if self.digital(name).is_some() {
+            Some(UnitKind::Digital)
+        } else if self.memory(name).is_some() {
+            Some(UnitKind::Memory)
+        } else {
+            None
+        }
+    }
+
+    /// The layer a named unit sits on, if the unit exists.
+    #[must_use]
+    pub fn layer_of(&self, name: &str) -> Option<Layer> {
+        self.analog(name)
+            .map(AnalogUnitDesc::layer)
+            .or_else(|| self.digital(name).map(DigitalUnitDesc::layer))
+            .or_else(|| self.memory(name).map(MemoryDesc::layer))
+    }
+
+    /// Direct successors of `name` in the physical connectivity.
+    #[must_use]
+    pub fn successors(&self, name: &str) -> Vec<&str> {
+        self.connections
+            .iter()
+            .filter(|(f, _)| f == name)
+            .map(|(_, t)| t.as_str())
+            .collect()
+    }
+
+    /// Shortest physical path from `from` to `to` (inclusive of both
+    /// endpoints), or `None` when no path exists.
+    #[must_use]
+    pub fn path(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        if from == to {
+            return Some(vec![from.to_owned()]);
+        }
+        let mut prev: HashMap<&str, &str> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.successors(cur) {
+                if next != from && !prev.contains_key(next) {
+                    prev.insert(next, cur);
+                    if next == to {
+                        let mut path = vec![to.to_owned()];
+                        let mut walk = to;
+                        while let Some(&p) = prev.get(walk) {
+                            path.push(p.to_owned());
+                            walk = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    fn assert_fresh(&self, name: &str) {
+        assert!(
+            self.kind_of(name).is_none(),
+            "duplicate hardware unit name '{name}'"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_analog::array::AnalogArray;
+    use camj_analog::components::{aps_4t, column_adc, ApsParams};
+    use camj_digital::compute::ComputeUnit;
+    use camj_digital::memory::MemoryStructure;
+
+    use super::super::units::AnalogCategory;
+
+    fn sample_hw() -> HardwareDesc {
+        let mut hw = HardwareDesc::new(200e6);
+        hw.add_analog(AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(ApsParams::default()), 32, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_analog(AnalogUnitDesc::new(
+            "ADCArray",
+            AnalogArray::new(column_adc(10), 1, 16),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_memory(MemoryDesc::new(
+            MemoryStructure::line_buffer("LineBuffer", 3, 16),
+            Layer::Sensor,
+            0.0,
+        ));
+        hw.add_digital(DigitalUnitDesc::pipelined(
+            ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2),
+            Layer::Sensor,
+        ));
+        hw.connect("PixelArray", "ADCArray");
+        hw.connect("ADCArray", "LineBuffer");
+        hw.connect("LineBuffer", "EdgeUnit");
+        hw
+    }
+
+    #[test]
+    fn lookups_by_kind() {
+        let hw = sample_hw();
+        assert_eq!(hw.kind_of("PixelArray"), Some(UnitKind::Analog));
+        assert_eq!(hw.kind_of("LineBuffer"), Some(UnitKind::Memory));
+        assert_eq!(hw.kind_of("EdgeUnit"), Some(UnitKind::Digital));
+        assert_eq!(hw.kind_of("Nope"), None);
+    }
+
+    #[test]
+    fn path_follows_connections() {
+        let hw = sample_hw();
+        let p = hw.path("PixelArray", "EdgeUnit").unwrap();
+        assert_eq!(p, vec!["PixelArray", "ADCArray", "LineBuffer", "EdgeUnit"]);
+    }
+
+    #[test]
+    fn no_path_returns_none() {
+        let hw = sample_hw();
+        assert!(hw.path("EdgeUnit", "PixelArray").is_none());
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let hw = sample_hw();
+        assert_eq!(hw.path("ADCArray", "ADCArray").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn layer_lookup() {
+        let hw = sample_hw();
+        assert_eq!(hw.layer_of("PixelArray"), Some(Layer::Sensor));
+        assert_eq!(hw.layer_of("Nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate hardware unit")]
+    fn duplicate_names_rejected() {
+        let mut hw = sample_hw();
+        hw.add_analog(AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(column_adc(8), 1, 4),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown unit")]
+    fn connecting_unknown_units_rejected() {
+        let mut hw = sample_hw();
+        hw.connect("PixelArray", "Ghost");
+    }
+}

@@ -1,0 +1,89 @@
+//! Physical placement layers and the interfaces between them.
+//!
+//! A computational CIS spans up to three placements: the sensor die, a
+//! stacked compute die (3D designs, Fig. 2d), and the off-chip host SoC.
+//! Data crossing between placements pays the corresponding interface
+//! energy (paper Eq. 17): µTSV/hybrid-bond between stacked layers,
+//! MIPI CSI-2 off the package.
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::interface::Interface;
+
+/// Where a hardware unit physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// The pixel/sensor die (older CIS process node).
+    Sensor,
+    /// A stacked compute die (advanced logic node, 3D designs only).
+    Compute,
+    /// The host SoC outside the sensor package.
+    OffChip,
+}
+
+impl Layer {
+    /// The communication interface data pays when moving from `self` to
+    /// `to`, or `None` when the hop is free (same layer).
+    #[must_use]
+    pub fn interface_to(self, to: Layer) -> Option<Interface> {
+        use Layer::*;
+        if self == to {
+            return None;
+        }
+        match (self, to) {
+            // Stacked dies talk over µTSV / hybrid bonds.
+            (Sensor, Compute) | (Compute, Sensor) => Some(Interface::MicroTsv),
+            // Anything leaving (or entering) the package rides MIPI CSI-2.
+            (_, OffChip) | (OffChip, _) => Some(Interface::MipiCsi2),
+            (Sensor, Sensor) | (Compute, Compute) => None,
+        }
+    }
+
+    /// Whether this layer is inside the sensor package.
+    #[must_use]
+    pub fn is_in_sensor(self) -> bool {
+        !matches!(self, Layer::OffChip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_layer_is_free() {
+        assert_eq!(Layer::Sensor.interface_to(Layer::Sensor), None);
+        assert_eq!(Layer::OffChip.interface_to(Layer::OffChip), None);
+    }
+
+    #[test]
+    fn stacked_layers_use_tsv() {
+        assert_eq!(
+            Layer::Sensor.interface_to(Layer::Compute),
+            Some(Interface::MicroTsv)
+        );
+        assert_eq!(
+            Layer::Compute.interface_to(Layer::Sensor),
+            Some(Interface::MicroTsv)
+        );
+    }
+
+    #[test]
+    fn leaving_package_uses_mipi() {
+        assert_eq!(
+            Layer::Sensor.interface_to(Layer::OffChip),
+            Some(Interface::MipiCsi2)
+        );
+        assert_eq!(
+            Layer::Compute.interface_to(Layer::OffChip),
+            Some(Interface::MipiCsi2)
+        );
+    }
+
+    #[test]
+    fn in_sensor_predicate() {
+        assert!(Layer::Sensor.is_in_sensor());
+        assert!(Layer::Compute.is_in_sensor());
+        assert!(!Layer::OffChip.is_in_sensor());
+    }
+}

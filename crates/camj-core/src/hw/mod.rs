@@ -1,0 +1,9 @@
+//! Hardware description: units, layers, and physical connectivity.
+
+mod desc;
+mod layer;
+mod units;
+
+pub use desc::{HardwareDesc, UnitKind};
+pub use layer::Layer;
+pub use units::{AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, DigitalUnitKind, MemoryDesc};

@@ -1,0 +1,299 @@
+//! Hardware unit descriptors: analog units, digital units, and memories,
+//! each pinned to a [`Layer`].
+
+use serde::{Deserialize, Serialize};
+
+use camj_analog::array::AnalogArray;
+use camj_digital::compute::{ComputeUnit, SystolicArray};
+use camj_digital::memory::MemoryStructure;
+
+use super::layer::Layer;
+
+/// How an analog unit's energy is categorised in breakdowns (the SEN /
+/// COMP-A / MEM-A bars of the paper's Fig. 9 and Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnalogCategory {
+    /// Pixel arrays and ADCs — "everything up to and including ADCs".
+    Sensing,
+    /// Analog processing elements (MACs, subtractors, comparators, …).
+    Compute,
+    /// Analog buffers / sample-and-hold frame memories.
+    Memory,
+}
+
+/// An analog functional array placed on a layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalogUnitDesc {
+    name: String,
+    array: AnalogArray,
+    layer: Layer,
+    category: AnalogCategory,
+    ops_per_stage_output: f64,
+    pixel_pitch_um: Option<f64>,
+}
+
+impl AnalogUnitDesc {
+    /// Creates an analog unit descriptor.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        array: AnalogArray,
+        layer: Layer,
+        category: AnalogCategory,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            array,
+            layer,
+            category,
+            ops_per_stage_output: 1.0,
+            pixel_pitch_um: None,
+        }
+    }
+
+    /// Sets how many component accesses each output pixel of a mapped
+    /// stage costs (builder-style). Defaults to 1 — e.g. a binning pixel
+    /// fires once per binned output. An analog convolution PE that
+    /// computes a k×k window one MAC at a time would use `k*k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is not positive and finite.
+    #[must_use]
+    pub fn with_ops_per_output(mut self, ops: f64) -> Self {
+        assert!(
+            ops.is_finite() && ops > 0.0,
+            "ops per output must be positive and finite, got {ops}"
+        );
+        self.ops_per_stage_output = ops;
+        self
+    }
+
+    /// Marks this unit as a pixel array with the given pixel pitch in
+    /// micrometres (builder-style). Pixel arrays define the analog area
+    /// in the paper's conservative power-density model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch_um` is not positive and finite.
+    #[must_use]
+    pub fn with_pixel_pitch_um(mut self, pitch_um: f64) -> Self {
+        assert!(
+            pitch_um.is_finite() && pitch_um > 0.0,
+            "pixel pitch must be positive and finite, got {pitch_um}"
+        );
+        self.pixel_pitch_um = Some(pitch_um);
+        self
+    }
+
+    /// The unit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying analog array.
+    #[must_use]
+    pub fn array(&self) -> &AnalogArray {
+        &self.array
+    }
+
+    /// The layer the unit sits on.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// The breakdown category.
+    #[must_use]
+    pub fn category(&self) -> AnalogCategory {
+        self.category
+    }
+
+    /// Component accesses per mapped-stage output pixel.
+    #[must_use]
+    pub fn ops_per_stage_output(&self) -> f64 {
+        self.ops_per_stage_output
+    }
+
+    /// Pixel pitch in µm, if this unit is a pixel array.
+    #[must_use]
+    pub fn pixel_pitch_um(&self) -> Option<f64> {
+        self.pixel_pitch_um
+    }
+
+    /// Die area in mm² under the paper's conservative model: pixel
+    /// arrays contribute `pitch² × count`; other analog units contribute
+    /// nothing (they are subsumed by the pixel array / SRAM estimate).
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        match self.pixel_pitch_um {
+            Some(pitch) => {
+                let pitch_mm = pitch * 1e-3;
+                pitch_mm * pitch_mm * self.array.component_count() as f64
+            }
+            None => 0.0,
+        }
+    }
+}
+
+/// The digital compute flavors CamJ supports (paper Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DigitalUnitKind {
+    /// A generic pipelined accelerator.
+    Pipelined(ComputeUnit),
+    /// A systolic MAC array for DNN stages.
+    Systolic(SystolicArray),
+}
+
+/// A digital compute unit placed on a layer, with its memory bindings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigitalUnitDesc {
+    name: String,
+    kind: DigitalUnitKind,
+    layer: Layer,
+}
+
+impl DigitalUnitDesc {
+    /// Creates a pipelined-accelerator descriptor.
+    #[must_use]
+    pub fn pipelined(unit: ComputeUnit, layer: Layer) -> Self {
+        Self {
+            name: unit.name().to_owned(),
+            kind: DigitalUnitKind::Pipelined(unit),
+            layer,
+        }
+    }
+
+    /// Creates a systolic-array descriptor.
+    #[must_use]
+    pub fn systolic(array: SystolicArray, layer: Layer) -> Self {
+        Self {
+            name: array.name().to_owned(),
+            kind: DigitalUnitKind::Systolic(array),
+            layer,
+        }
+    }
+
+    /// The unit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compute flavor.
+    #[must_use]
+    pub fn kind(&self) -> &DigitalUnitKind {
+        &self.kind
+    }
+
+    /// The layer the unit sits on.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+}
+
+/// A digital memory structure placed on a layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryDesc {
+    structure: MemoryStructure,
+    layer: Layer,
+    area_mm2: f64,
+}
+
+impl MemoryDesc {
+    /// Creates a memory descriptor. `area_mm2` feeds the conservative
+    /// digital-area model of Table 3 (use the SRAM macro's area; pass
+    /// 0.0 for memories too small to matter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area_mm2` is negative or non-finite.
+    #[must_use]
+    pub fn new(structure: MemoryStructure, layer: Layer, area_mm2: f64) -> Self {
+        assert!(
+            area_mm2.is_finite() && area_mm2 >= 0.0,
+            "memory area must be non-negative and finite, got {area_mm2}"
+        );
+        Self {
+            structure,
+            layer,
+            area_mm2,
+        }
+    }
+
+    /// The memory's name (that of its structure).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.structure.name()
+    }
+
+    /// The memory structure descriptor.
+    #[must_use]
+    pub fn structure(&self) -> &MemoryStructure {
+        &self.structure
+    }
+
+    /// The layer the memory sits on.
+    #[must_use]
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// Macro area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.area_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_analog::components::{aps_4t, column_adc, ApsParams};
+
+    #[test]
+    fn pixel_array_area_from_pitch() {
+        let arr = AnalogArray::new(aps_4t(ApsParams::default()), 100, 100);
+        let unit = AnalogUnitDesc::new("px", arr, Layer::Sensor, AnalogCategory::Sensing)
+            .with_pixel_pitch_um(3.0);
+        // 10 000 pixels × 9 µm² = 0.09 mm².
+        assert!((unit.area_mm2() - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_pixel_units_have_zero_area() {
+        let arr = AnalogArray::new(column_adc(10), 1, 100);
+        let unit = AnalogUnitDesc::new("adc", arr, Layer::Sensor, AnalogCategory::Sensing);
+        assert_eq!(unit.area_mm2(), 0.0);
+    }
+
+    #[test]
+    fn digital_descriptor_names_follow_inner_unit() {
+        let cu = ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2);
+        let d = DigitalUnitDesc::pipelined(cu, Layer::Sensor);
+        assert_eq!(d.name(), "EdgeUnit");
+        assert_eq!(d.layer(), Layer::Sensor);
+    }
+
+    #[test]
+    fn memory_descriptor_round_trips() {
+        let m = MemoryDesc::new(
+            MemoryStructure::fifo("buf", 1024),
+            Layer::Compute,
+            0.25,
+        );
+        assert_eq!(m.name(), "buf");
+        assert_eq!(m.layer(), Layer::Compute);
+        assert!((m.area_mm2() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_pitch_rejected() {
+        let arr = AnalogArray::new(column_adc(10), 1, 4);
+        let _ = AnalogUnitDesc::new("a", arr, Layer::Sensor, AnalogCategory::Sensing)
+            .with_pixel_pitch_um(-1.0);
+    }
+}

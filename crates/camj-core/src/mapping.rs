@@ -1,0 +1,107 @@
+//! Algorithm-to-hardware mapping (paper Sec. 3.3, `camj_mapping`).
+//!
+//! The mapping binds each algorithm stage to the hardware unit that
+//! executes it. Keeping it separate from both descriptions is the heart
+//! of the paper's decoupled interface: exploring a new partition (analog
+//! vs digital, in- vs off-sensor) is a re-mapping, not a rewrite. Mapping
+//! several stages to one unit expresses hardware reuse.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A stage-name → unit-name mapping.
+///
+/// # Examples
+///
+/// ```
+/// use camj_core::mapping::Mapping;
+///
+/// // The paper's Fig. 5 mapping.
+/// let mapping = Mapping::new()
+///     .map("Input", "PixelArray")
+///     .map("Binning", "PixelArray")
+///     .map("EdgeDetection", "EdgeUnit");
+/// assert_eq!(mapping.unit_for("Binning"), Some("PixelArray"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    bindings: BTreeMap<String, String>,
+}
+
+impl Mapping {
+    /// Creates an empty mapping.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `stage` to `unit` (builder-style; later bindings win).
+    #[must_use]
+    pub fn map(mut self, stage: impl Into<String>, unit: impl Into<String>) -> Self {
+        self.bindings.insert(stage.into(), unit.into());
+        self
+    }
+
+    /// The unit a stage is bound to, if any.
+    #[must_use]
+    pub fn unit_for(&self, stage: &str) -> Option<&str> {
+        self.bindings.get(stage).map(String::as_str)
+    }
+
+    /// The stages bound to `unit`, in stage-name order.
+    #[must_use]
+    pub fn stages_on(&self, unit: &str) -> Vec<&str> {
+        self.bindings
+            .iter()
+            .filter(|(_, u)| u.as_str() == unit)
+            .map(|(s, _)| s.as_str())
+            .collect()
+    }
+
+    /// Iterates over `(stage, unit)` bindings in stage-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.bindings.iter().map(|(s, u)| (s.as_str(), u.as_str()))
+    }
+
+    /// Number of bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the mapping is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bindings_round_trip() {
+        let m = Mapping::new().map("A", "U1").map("B", "U1").map("C", "U2");
+        assert_eq!(m.unit_for("A"), Some("U1"));
+        assert_eq!(m.unit_for("C"), Some("U2"));
+        assert_eq!(m.unit_for("D"), None);
+        assert_eq!(m.stages_on("U1"), vec!["A", "B"]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn later_bindings_win() {
+        let m = Mapping::new().map("A", "U1").map("A", "U2");
+        assert_eq!(m.unit_for("A"), Some("U2"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn empty_mapping() {
+        let m = Mapping::new();
+        assert!(m.is_empty());
+        assert!(m.stages_on("U").is_empty());
+    }
+}

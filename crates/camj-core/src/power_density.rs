@@ -1,0 +1,170 @@
+//! Power-density estimation (paper Sec. 6.2, Table 3).
+//!
+//! 3D stacking shrinks footprint while concentrating power, raising
+//! thermal-noise concerns. The paper uses a deliberately **conservative
+//! area model** to bound density from above:
+//!
+//! * analog area ≈ the pixel-array area (pitch² × pixel count),
+//! * digital area ≈ the SRAM macro area,
+//! * everything else (column circuits, PE logic) is assumed to fit under
+//!   those footprints.
+//!
+//! Density is reported per physical layer; the off-chip SoC is excluded
+//! (its thermal budget is not the sensor's problem).
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::units::{Power, Time};
+
+use crate::energy::EnergyBreakdown;
+use crate::hw::{HardwareDesc, Layer};
+
+/// Power and density of one physical layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPower {
+    /// The layer.
+    pub layer: Layer,
+    /// Average power over the frame.
+    pub power: Power,
+    /// Conservative layer area in mm².
+    pub area_mm2: f64,
+    /// Power density in mW/mm², when the area is non-zero.
+    pub density_mw_per_mm2: Option<f64>,
+}
+
+/// Computes per-layer power density for the in-sensor layers.
+///
+/// Communication energy is attributed to the layer it was booked on in
+/// the breakdown (the transmitting side).
+#[must_use]
+pub fn layer_powers(
+    breakdown: &EnergyBreakdown,
+    hw: &HardwareDesc,
+    frame_time: Time,
+) -> Vec<LayerPower> {
+    [Layer::Sensor, Layer::Compute]
+        .into_iter()
+        .filter_map(|layer| {
+            let energy = breakdown.layer_total(layer);
+            let area = layer_area_mm2(hw, layer);
+            if energy.joules() == 0.0 && area == 0.0 {
+                return None; // layer not present in this design
+            }
+            let power = energy / frame_time;
+            LayerPower {
+                layer,
+                power,
+                area_mm2: area,
+                density_mw_per_mm2: (area > 0.0).then(|| power.milliwatts() / area),
+            }
+            .into()
+        })
+        .collect()
+}
+
+/// The conservative area of one layer: pixel arrays plus SRAM macros.
+#[must_use]
+pub fn layer_area_mm2(hw: &HardwareDesc, layer: Layer) -> f64 {
+    let analog: f64 = hw
+        .analog_units()
+        .iter()
+        .filter(|u| u.layer() == layer)
+        .map(|u| u.area_mm2())
+        .sum();
+    let digital: f64 = hw
+        .memories()
+        .iter()
+        .filter(|m| m.layer() == layer)
+        .map(|m| m.area_mm2())
+        .sum();
+    analog + digital
+}
+
+/// The worst (highest) density across in-sensor layers, if any layer has
+/// a defined density — the single number Table 3 reports per design.
+#[must_use]
+pub fn peak_density_mw_per_mm2(layers: &[LayerPower]) -> Option<f64> {
+    layers
+        .iter()
+        .filter_map(|l| l.density_mw_per_mm2)
+        .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::{EnergyCategory, EnergyItem};
+    use camj_tech::units::Energy;
+
+    fn breakdown_with(layer: Layer, uj: f64) -> EnergyBreakdown {
+        let mut b = EnergyBreakdown::new();
+        b.push(EnergyItem {
+            unit: "u".into(),
+            stage: None,
+            category: EnergyCategory::Sensing,
+            layer,
+            energy: Energy::from_microjoules(uj),
+        });
+        b
+    }
+
+    #[test]
+    fn density_is_power_over_area() {
+        use camj_analog::array::AnalogArray;
+        use camj_analog::components::{aps_4t, ApsParams};
+        use crate::hw::{AnalogCategory, AnalogUnitDesc};
+
+        let mut hw = HardwareDesc::new(100e6);
+        hw.add_analog(
+            AnalogUnitDesc::new(
+                "px",
+                AnalogArray::new(aps_4t(ApsParams::default()), 100, 100),
+                Layer::Sensor,
+                AnalogCategory::Sensing,
+            )
+            .with_pixel_pitch_um(10.0),
+        );
+        // 10 000 px × 100 µm² = 1 mm².
+        let b = breakdown_with(Layer::Sensor, 33.3);
+        let layers = layer_powers(&b, &hw, Time::from_millis(33.3));
+        assert_eq!(layers.len(), 1);
+        let l = &layers[0];
+        assert!((l.area_mm2 - 1.0).abs() < 1e-9);
+        // 33.3 µJ / 33.3 ms = 1 mW over 1 mm².
+        assert!((l.density_mw_per_mm2.unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absent_layers_are_skipped() {
+        let hw = HardwareDesc::new(100e6);
+        let b = breakdown_with(Layer::Sensor, 1.0);
+        let layers = layer_powers(&b, &hw, Time::from_millis(33.3));
+        // Sensor has energy but no area: still listed, density None.
+        assert_eq!(layers.len(), 1);
+        assert!(layers[0].density_mw_per_mm2.is_none());
+    }
+
+    #[test]
+    fn peak_takes_maximum() {
+        let layers = vec![
+            LayerPower {
+                layer: Layer::Sensor,
+                power: Power::from_milliwatts(1.0),
+                area_mm2: 1.0,
+                density_mw_per_mm2: Some(1.0),
+            },
+            LayerPower {
+                layer: Layer::Compute,
+                power: Power::from_milliwatts(3.0),
+                area_mm2: 1.0,
+                density_mw_per_mm2: Some(3.0),
+            },
+        ];
+        assert_eq!(peak_density_mw_per_mm2(&layers), Some(3.0));
+    }
+
+    #[test]
+    fn peak_of_undefined_is_none() {
+        assert_eq!(peak_density_mw_per_mm2(&[]), None);
+    }
+}

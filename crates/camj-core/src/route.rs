@@ -1,0 +1,295 @@
+//! Data-flow routing: from algorithm edges to physical paths.
+//!
+//! Every algorithm-DAG edge whose endpoints map to *different* hardware
+//! units implies physical data movement. A [`Route`] records the unit
+//! path the pixels take (derived from the hardware connectivity), the
+//! pixel/byte volume, and the consuming stage — everything the
+//! functional-viability check, the ADC access counter, and the
+//! communication energy model (Eq. 17) need.
+//!
+//! Sink stages executing inside the sensor get an implicit route to the
+//! off-chip host: semantic results always leave the package over MIPI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CamjError;
+use crate::hw::HardwareDesc;
+use crate::mapping::Mapping;
+use crate::sw::AlgorithmGraph;
+
+/// One physical data movement implied by the algorithm and mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// The producing stage.
+    pub from_stage: String,
+    /// The consuming stage, or `None` for the implicit host sink.
+    pub to_stage: Option<String>,
+    /// Unit names along the physical path, inclusive of both endpoints.
+    /// Empty for the implicit host route (the data simply exits).
+    pub path: Vec<String>,
+    /// Pixels moved per frame.
+    pub pixels: u64,
+    /// Bytes moved per frame.
+    pub bytes: u64,
+}
+
+impl Route {
+    /// Units strictly between producer and consumer (pass-throughs:
+    /// ADC arrays, analog buffers, memories). For host-exit routes every
+    /// unit after the producer is a pass-through (the data leaves the
+    /// chip after the last one).
+    #[must_use]
+    pub fn intermediates(&self) -> &[String] {
+        if self.is_host_exit() {
+            return &self.path[1..];
+        }
+        if self.path.len() <= 2 {
+            &[]
+        } else {
+            &self.path[1..self.path.len() - 1]
+        }
+    }
+
+    /// Whether this is the implicit exit to the off-chip host.
+    #[must_use]
+    pub fn is_host_exit(&self) -> bool {
+        self.to_stage.is_none()
+    }
+}
+
+/// Computes every route implied by `algo` + `mapping` over `hw`.
+///
+/// # Errors
+///
+/// Returns [`CamjError::CheckMapping`] when a stage is unmapped or bound
+/// to an unknown unit, and [`CamjError::CheckFunctional`] when no
+/// physical path connects two mapped units.
+pub fn routes(
+    algo: &AlgorithmGraph,
+    hw: &HardwareDesc,
+    mapping: &Mapping,
+) -> Result<Vec<Route>, CamjError> {
+    let mut out = Vec::new();
+    for (from, to) in algo.edge_names() {
+        let u1 = unit_of(mapping, hw, from)?;
+        let u2 = unit_of(mapping, hw, to)?;
+        if u1 == u2 {
+            continue; // fused stages share a unit: no data movement
+        }
+        let path = hw.path(u1, u2).ok_or_else(|| CamjError::CheckFunctional {
+            reason: format!(
+                "no physical path from unit '{u1}' (stage '{from}') to \
+                 unit '{u2}' (stage '{to}')"
+            ),
+        })?;
+        let stage = algo
+            .stage(from)
+            .expect("edge endpoints exist by construction");
+        out.push(Route {
+            from_stage: from.to_owned(),
+            to_stage: Some(to.to_owned()),
+            path,
+            pixels: stage.output_size().count(),
+            bytes: stage.output_bytes(),
+        });
+    }
+    // Implicit exits: sink stages running inside the sensor ship their
+    // results to the host, traversing whatever downstream hardware
+    // (e.g. a readout ADC chain) sits between them and the chip boundary.
+    for sink in algo.sinks() {
+        let unit = unit_of(mapping, hw, sink.name())?;
+        let layer = hw
+            .layer_of(unit)
+            .expect("mapped units exist by construction");
+        if layer.is_in_sensor() {
+            out.push(Route {
+                from_stage: sink.name().to_owned(),
+                to_stage: None,
+                path: exit_chain(hw, unit),
+                pixels: sink.output_size().count(),
+                bytes: sink.output_bytes(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Follows physical successors from `unit` to the chip's output port
+/// (the last unit with no successor). Forks take the first-declared
+/// branch; a visited-set guards against connection cycles.
+fn exit_chain(hw: &HardwareDesc, unit: &str) -> Vec<String> {
+    let mut chain = vec![unit.to_owned()];
+    let mut current = unit.to_owned();
+    while let Some(&next) = hw.successors(&current).first() {
+        if chain.iter().any(|c| c == next) {
+            break;
+        }
+        chain.push(next.to_owned());
+        current = next.to_owned();
+    }
+    chain
+}
+
+/// Resolves and validates the unit a stage maps to.
+pub(crate) fn unit_of<'m>(
+    mapping: &'m Mapping,
+    hw: &HardwareDesc,
+    stage: &str,
+) -> Result<&'m str, CamjError> {
+    let unit = mapping.unit_for(stage).ok_or_else(|| CamjError::CheckMapping {
+        reason: format!("stage '{stage}' is not mapped to any hardware unit"),
+    })?;
+    if hw.kind_of(unit).is_none() {
+        return Err(CamjError::CheckMapping {
+            reason: format!("stage '{stage}' is mapped to unknown unit '{unit}'"),
+        });
+    }
+    Ok(unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::{AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, Layer, MemoryDesc};
+    use crate::sw::Stage;
+    use camj_analog::array::AnalogArray;
+    use camj_analog::components::{aps_4t, column_adc, ApsParams};
+    use camj_digital::compute::ComputeUnit;
+    use camj_digital::memory::MemoryStructure;
+
+    fn fig5() -> (AlgorithmGraph, HardwareDesc, Mapping) {
+        let mut algo = AlgorithmGraph::new();
+        algo.add_stage(Stage::input("Input", [32, 32, 1]));
+        algo.add_stage(Stage::stencil(
+            "Binning",
+            [32, 32, 1],
+            [16, 16, 1],
+            [2, 2, 1],
+            [2, 2, 1],
+        ));
+        algo.add_stage(Stage::stencil(
+            "EdgeDetection",
+            [16, 16, 1],
+            [16, 16, 1],
+            [3, 3, 1],
+            [1, 1, 1],
+        ));
+        algo.connect("Input", "Binning").unwrap();
+        algo.connect("Binning", "EdgeDetection").unwrap();
+
+        let mut hw = HardwareDesc::new(200e6);
+        hw.add_analog(AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(ApsParams::default().with_shared_pixels(4)), 16, 16),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_analog(AnalogUnitDesc::new(
+            "ADCArray",
+            AnalogArray::new(column_adc(10), 1, 16),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        hw.add_memory(MemoryDesc::new(
+            MemoryStructure::line_buffer("LineBuffer", 3, 16),
+            Layer::Sensor,
+            0.0,
+        ));
+        hw.add_digital(DigitalUnitDesc::pipelined(
+            ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2),
+            Layer::Sensor,
+        ));
+        hw.connect("PixelArray", "ADCArray");
+        hw.connect("ADCArray", "LineBuffer");
+        hw.connect("LineBuffer", "EdgeUnit");
+
+        let mapping = Mapping::new()
+            .map("Input", "PixelArray")
+            .map("Binning", "PixelArray")
+            .map("EdgeDetection", "EdgeUnit");
+        (algo, hw, mapping)
+    }
+
+    #[test]
+    fn fused_stages_produce_no_route() {
+        let (algo, hw, mapping) = fig5();
+        let rs = routes(&algo, &hw, &mapping).unwrap();
+        // Input→Binning fused on PixelArray; Binning→EdgeDetection moves;
+        // EdgeDetection exits to the host.
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].from_stage, "Binning");
+        assert_eq!(rs[0].path, vec!["PixelArray", "ADCArray", "LineBuffer", "EdgeUnit"]);
+        assert_eq!(rs[0].pixels, 256);
+        assert!(rs[1].is_host_exit());
+        assert_eq!(rs[1].bytes, 256);
+    }
+
+    #[test]
+    fn intermediates_exclude_endpoints() {
+        let (algo, hw, mapping) = fig5();
+        let rs = routes(&algo, &hw, &mapping).unwrap();
+        assert_eq!(rs[0].intermediates(), ["ADCArray", "LineBuffer"]);
+        assert!(rs[1].intermediates().is_empty());
+    }
+
+    #[test]
+    fn unmapped_stage_is_reported() {
+        let (algo, hw, _) = fig5();
+        let incomplete = Mapping::new().map("Input", "PixelArray");
+        let err = routes(&algo, &hw, &incomplete).unwrap_err();
+        assert!(matches!(err, CamjError::CheckMapping { .. }));
+    }
+
+    #[test]
+    fn unknown_unit_is_reported() {
+        let (algo, hw, mapping) = fig5();
+        let bad = mapping.map("EdgeDetection", "Ghost");
+        let err = routes(&algo, &hw, &bad).unwrap_err();
+        assert!(err.to_string().contains("Ghost"));
+    }
+
+    #[test]
+    fn missing_physical_path_is_reported() {
+        let (algo, mut hw, mapping) = fig5();
+        // Rebuild hw without the LineBuffer→EdgeUnit link.
+        hw = {
+            let mut h = HardwareDesc::new(200e6);
+            h.add_analog(hw.analog("PixelArray").unwrap().clone());
+            h.add_analog(hw.analog("ADCArray").unwrap().clone());
+            h.add_memory(hw.memory("LineBuffer").unwrap().clone());
+            h.add_digital(hw.digital("EdgeUnit").unwrap().clone());
+            h.connect("PixelArray", "ADCArray");
+            h.connect("ADCArray", "LineBuffer");
+            h
+        };
+        let err = routes(&algo, &hw, &mapping).unwrap_err();
+        assert!(matches!(err, CamjError::CheckFunctional { .. }));
+    }
+
+    #[test]
+    fn off_chip_sink_gets_no_exit_route() {
+        let (algo, mut hw, mapping) = fig5();
+        // Move the edge unit off-chip: results already live on the host.
+        hw = {
+            let mut h = HardwareDesc::new(200e6);
+            h.add_analog(hw.analog("PixelArray").unwrap().clone());
+            h.add_analog(hw.analog("ADCArray").unwrap().clone());
+            h.add_memory(MemoryDesc::new(
+                MemoryStructure::line_buffer("LineBuffer", 3, 16),
+                Layer::OffChip,
+                0.0,
+            ));
+            h.add_digital(DigitalUnitDesc::pipelined(
+                ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2),
+                Layer::OffChip,
+            ));
+            h.connect("PixelArray", "ADCArray");
+            h.connect("ADCArray", "LineBuffer");
+            h.connect("LineBuffer", "EdgeUnit");
+            h
+        };
+        let rs = routes(&algo, &hw, &mapping).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert!(!rs[0].is_host_exit());
+    }
+}

@@ -1,0 +1,352 @@
+//! The algorithm DAG (paper Sec. 3.3, `camj_sw_config`).
+//!
+//! Stages connect through `set_input_stage`-style edges into a directed
+//! acyclic graph. [`AlgorithmGraph::validate`] implements the paper's
+//! "well-formed dependencies" pre-simulation check: acyclicity, known
+//! stage references, exactly one input stage per source, and matching
+//! image sizes along every edge.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CamjError;
+
+use super::stage::{Stage, StageKind};
+
+/// The algorithm description: stages plus dependency edges.
+///
+/// # Examples
+///
+/// ```
+/// use camj_core::sw::{AlgorithmGraph, Stage};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's Fig. 5 pipeline: input → binning → edge detection.
+/// let mut algo = AlgorithmGraph::new();
+/// algo.add_stage(Stage::input("Input", [32, 32, 1]));
+/// algo.add_stage(Stage::stencil(
+///     "Binning", [32, 32, 1], [16, 16, 1], [2, 2, 1], [2, 2, 1],
+/// ));
+/// algo.add_stage(Stage::stencil(
+///     "EdgeDetection", [16, 16, 1], [16, 16, 1], [3, 3, 1], [1, 1, 1],
+/// ));
+/// algo.connect("Input", "Binning")?;
+/// algo.connect("Binning", "EdgeDetection")?;
+/// algo.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmGraph {
+    stages: Vec<Stage>,
+    /// Edges as (producer index, consumer index).
+    edges: Vec<(usize, usize)>,
+}
+
+impl AlgorithmGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage with the same name already exists (stage names
+    /// are the identifiers used by edges and the mapping).
+    pub fn add_stage(&mut self, stage: Stage) {
+        assert!(
+            self.index_of(stage.name()).is_none(),
+            "duplicate stage name '{}'",
+            stage.name()
+        );
+        self.stages.push(stage);
+    }
+
+    /// Connects producer `from` to consumer `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamjError::CheckDag`] if either stage is unknown.
+    pub fn connect(&mut self, from: &str, to: &str) -> Result<(), CamjError> {
+        let fi = self.index_of(from).ok_or_else(|| CamjError::CheckDag {
+            reason: format!("unknown producer stage '{from}'"),
+        })?;
+        let ti = self.index_of(to).ok_or_else(|| CamjError::CheckDag {
+            reason: format!("unknown consumer stage '{to}'"),
+        })?;
+        self.edges.push((fi, ti));
+        Ok(())
+    }
+
+    /// All stages, in insertion order.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Looks up a stage by name.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&Stage> {
+        self.stages.iter().find(|s| s.name() == name)
+    }
+
+    /// Edges as (producer name, consumer name) pairs.
+    #[must_use]
+    pub fn edge_names(&self) -> Vec<(&str, &str)> {
+        self.edges
+            .iter()
+            .map(|&(f, t)| (self.stages[f].name(), self.stages[t].name()))
+            .collect()
+    }
+
+    /// Names of the producers feeding `name`.
+    #[must_use]
+    pub fn producers_of(&self, name: &str) -> Vec<&str> {
+        match self.index_of(name) {
+            Some(idx) => self
+                .edges
+                .iter()
+                .filter(|&&(_, t)| t == idx)
+                .map(|&(f, _)| self.stages[f].name())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Names of the consumers fed by `name`.
+    #[must_use]
+    pub fn consumers_of(&self, name: &str) -> Vec<&str> {
+        match self.index_of(name) {
+            Some(idx) => self
+                .edges
+                .iter()
+                .filter(|&&(f, _)| f == idx)
+                .map(|&(_, t)| self.stages[t].name())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The sink stages (no consumers) — their output leaves the sensor.
+    #[must_use]
+    pub fn sinks(&self) -> Vec<&Stage> {
+        self.stages
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.edges.iter().any(|&(f, _)| f == *i))
+            .map(|(_, s)| s)
+            .collect()
+    }
+
+    /// Stage names in topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamjError::CheckDag`] if the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<&str>, CamjError> {
+        let n = self.stages.len();
+        let mut incoming = vec![0usize; n];
+        for &(_, t) in &self.edges {
+            incoming[t] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| incoming[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(self.stages[i].name());
+            for &(f, t) in &self.edges {
+                if f == i {
+                    incoming[t] -= 1;
+                    if incoming[t] == 0 {
+                        ready.push(t);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(CamjError::CheckDag {
+                reason: "the algorithm DAG contains a cycle".into(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Runs the well-formedness checks: acyclicity, at least one input
+    /// stage, every non-input stage has a producer, and image sizes match
+    /// along every edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamjError::CheckDag`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CamjError> {
+        if self.stages.is_empty() {
+            return Err(CamjError::CheckDag {
+                reason: "the algorithm has no stages".into(),
+            });
+        }
+        self.topo_order()?;
+        let has_input = self
+            .stages
+            .iter()
+            .any(|s| matches!(s.kind(), StageKind::Input));
+        if !has_input {
+            return Err(CamjError::CheckDag {
+                reason: "the algorithm has no pixel-input stage".into(),
+            });
+        }
+        // Producer coverage and size agreement.
+        let mut producer_count: HashMap<usize, usize> = HashMap::new();
+        for &(f, t) in &self.edges {
+            *producer_count.entry(t).or_default() += 1;
+            let prod = &self.stages[f];
+            let cons = &self.stages[t];
+            if prod.output_size() != cons.input_size() {
+                return Err(CamjError::CheckDag {
+                    reason: format!(
+                        "size mismatch on edge '{}' → '{}': producer outputs \
+                         {:?} but consumer expects {:?}",
+                        prod.name(),
+                        cons.name(),
+                        prod.output_size(),
+                        cons.input_size()
+                    ),
+                });
+            }
+        }
+        for (i, stage) in self.stages.iter().enumerate() {
+            let is_input = matches!(stage.kind(), StageKind::Input);
+            let has_producer = producer_count.contains_key(&i);
+            if !is_input && !has_producer {
+                return Err(CamjError::CheckDag {
+                    reason: format!("stage '{}' has no producer", stage.name()),
+                });
+            }
+            if is_input && has_producer {
+                return Err(CamjError::CheckDag {
+                    reason: format!("input stage '{}' must not have a producer", stage.name()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.stages.iter().position(|s| s.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5_graph() -> AlgorithmGraph {
+        let mut g = AlgorithmGraph::new();
+        g.add_stage(Stage::input("Input", [32, 32, 1]));
+        g.add_stage(Stage::stencil(
+            "Binning",
+            [32, 32, 1],
+            [16, 16, 1],
+            [2, 2, 1],
+            [2, 2, 1],
+        ));
+        g.add_stage(Stage::stencil(
+            "EdgeDetection",
+            [16, 16, 1],
+            [16, 16, 1],
+            [3, 3, 1],
+            [1, 1, 1],
+        ));
+        g.connect("Input", "Binning").unwrap();
+        g.connect("Binning", "EdgeDetection").unwrap();
+        g
+    }
+
+    #[test]
+    fn fig5_validates() {
+        fig5_graph().validate().unwrap();
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = fig5_graph();
+        let order = g.topo_order().unwrap();
+        let pos = |n: &str| order.iter().position(|&s| s == n).unwrap();
+        assert!(pos("Input") < pos("Binning"));
+        assert!(pos("Binning") < pos("EdgeDetection"));
+    }
+
+    #[test]
+    fn sinks_are_stages_without_consumers() {
+        let g = fig5_graph();
+        let sinks = g.sinks();
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(sinks[0].name(), "EdgeDetection");
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut g = fig5_graph();
+        g.connect("EdgeDetection", "Binning").unwrap();
+        let err = g.validate().unwrap_err();
+        assert!(matches!(err, CamjError::CheckDag { .. }));
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut g = AlgorithmGraph::new();
+        g.add_stage(Stage::input("Input", [32, 32, 1]));
+        g.add_stage(Stage::stencil(
+            "Edge",
+            [16, 16, 1], // expects 16×16 but the input produces 32×32
+            [16, 16, 1],
+            [3, 3, 1],
+            [1, 1, 1],
+        ));
+        g.connect("Input", "Edge").unwrap();
+        let err = g.validate().unwrap_err();
+        assert!(err.to_string().contains("size mismatch"));
+    }
+
+    #[test]
+    fn orphan_stage_rejected() {
+        let mut g = fig5_graph();
+        g.add_stage(Stage::element_wise("Orphan", [16, 16, 1], 1));
+        let err = g.validate().unwrap_err();
+        assert!(err.to_string().contains("no producer"));
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let mut g = AlgorithmGraph::new();
+        g.add_stage(Stage::element_wise("Lonely", [8, 8, 1], 1));
+        // Orphan check happens after input check; both apply here.
+        let err = g.validate().unwrap_err();
+        assert!(matches!(err, CamjError::CheckDag { .. }));
+    }
+
+    #[test]
+    fn unknown_stage_in_connect() {
+        let mut g = fig5_graph();
+        let err = g.connect("Nope", "Binning").unwrap_err();
+        assert!(err.to_string().contains("Nope"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stage")]
+    fn duplicate_names_rejected() {
+        let mut g = fig5_graph();
+        g.add_stage(Stage::input("Input", [8, 8, 1]));
+    }
+
+    #[test]
+    fn producers_and_consumers() {
+        let g = fig5_graph();
+        assert_eq!(g.producers_of("Binning"), vec!["Input"]);
+        assert_eq!(g.consumers_of("Binning"), vec!["EdgeDetection"]);
+        assert!(g.producers_of("Input").is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! Algorithm (software) description: stages and the DAG connecting them.
+
+mod dag;
+mod stage;
+
+pub use dag::AlgorithmGraph;
+pub use stage::{ImageSize, Stage, StageKind};

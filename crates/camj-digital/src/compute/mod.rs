@@ -1,0 +1,8 @@
+//! Digital compute units (paper Table 1: generic pipelined accelerator
+//! and systolic array).
+
+mod systolic;
+mod unit;
+
+pub use systolic::{mac_energy_at, SystolicArray, MAC_ENERGY_65NM_PJ, MAC_REFERENCE_NODE};
+pub use unit::{ComputeUnit, PixelShape};

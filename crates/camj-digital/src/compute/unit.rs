@@ -1,0 +1,215 @@
+//! The generic pipelined accelerator descriptor (paper `ComputeUnit`).
+//!
+//! CamJ abstracts digital accelerators behind three parameters: the shape
+//! of pixels read per cycle, the shape of pixels produced per cycle, and
+//! the pipeline depth — plus the synthesised per-cycle energy the user
+//! supplies (paper Sec. 3.3, "Digital Units").
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::units::Energy;
+
+/// A 3-D pixel shape `[width, height, channels]`, as used by the paper's
+/// `input_pixel_per_cycle = [1, 3, 1]` style listings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PixelShape {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Channel count.
+    pub channels: u32,
+}
+
+impl PixelShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32, channels: u32) -> Self {
+        assert!(
+            width > 0 && height > 0 && channels > 0,
+            "pixel shape dimensions must be non-zero: [{width}, {height}, {channels}]"
+        );
+        Self {
+            width,
+            height,
+            channels,
+        }
+    }
+
+    /// Total pixels in the shape.
+    #[must_use]
+    pub fn count(self) -> u64 {
+        u64::from(self.width) * u64::from(self.height) * u64::from(self.channels)
+    }
+}
+
+impl From<[u32; 3]> for PixelShape {
+    fn from([width, height, channels]: [u32; 3]) -> Self {
+        Self::new(width, height, channels)
+    }
+}
+
+/// A generic pipelined digital accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use camj_digital::compute::ComputeUnit;
+/// use camj_tech::units::Energy;
+///
+/// // The paper's Fig. 5 edge-detection unit: reads a 1×3 column window,
+/// // produces one pixel per cycle, 2-stage pipeline, 3 pJ per cycle.
+/// let edge = ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2)
+///     .with_energy_per_cycle(Energy::from_picojoules(3.0));
+/// assert_eq!(edge.input_pixels_per_cycle(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeUnit {
+    name: String,
+    input_per_cycle: PixelShape,
+    output_per_cycle: PixelShape,
+    num_stages: u32,
+    energy_per_cycle: Energy,
+}
+
+impl ComputeUnit {
+    /// Creates a compute unit descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_stages` is zero or any shape dimension is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        input_per_cycle: impl Into<PixelShape>,
+        output_per_cycle: impl Into<PixelShape>,
+        num_stages: u32,
+    ) -> Self {
+        assert!(num_stages > 0, "pipeline depth must be at least 1");
+        Self {
+            name: name.into(),
+            input_per_cycle: input_per_cycle.into(),
+            output_per_cycle: output_per_cycle.into(),
+            num_stages,
+            energy_per_cycle: Energy::ZERO,
+        }
+    }
+
+    /// Sets the per-cycle energy (from synthesis/HLS) — builder-style.
+    #[must_use]
+    pub fn with_energy_per_cycle(mut self, energy: Energy) -> Self {
+        self.energy_per_cycle = energy;
+        self
+    }
+
+    /// The unit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape consumed per active cycle.
+    #[must_use]
+    pub fn input_shape(&self) -> PixelShape {
+        self.input_per_cycle
+    }
+
+    /// Output shape produced per active cycle.
+    #[must_use]
+    pub fn output_shape(&self) -> PixelShape {
+        self.output_per_cycle
+    }
+
+    /// Total input pixels consumed per active cycle.
+    #[must_use]
+    pub fn input_pixels_per_cycle(&self) -> u64 {
+        self.input_per_cycle.count()
+    }
+
+    /// Total output pixels produced per active cycle.
+    #[must_use]
+    pub fn output_pixels_per_cycle(&self) -> u64 {
+        self.output_per_cycle.count()
+    }
+
+    /// Pipeline depth in stages.
+    #[must_use]
+    pub fn num_stages(&self) -> u32 {
+        self.num_stages
+    }
+
+    /// Per-cycle energy.
+    #[must_use]
+    pub fn energy_per_cycle(&self) -> Energy {
+        self.energy_per_cycle
+    }
+
+    /// Active cycles needed to produce `output_pixels` outputs.
+    #[must_use]
+    pub fn cycles_for_output(&self, output_pixels: u64) -> u64 {
+        output_pixels.div_ceil(self.output_pixels_per_cycle())
+            + u64::from(self.num_stages - 1)
+    }
+
+    /// Compute energy for producing `output_pixels` outputs (Eq. 15).
+    #[must_use]
+    pub fn energy_for_output(&self, output_pixels: u64) -> Energy {
+        self.energy_per_cycle * self.cycles_for_output(output_pixels) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_count() {
+        assert_eq!(PixelShape::new(2, 3, 4).count(), 24);
+        let s: PixelShape = [1, 3, 1].into();
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn cycles_include_pipeline_fill() {
+        let u = ComputeUnit::new("u", [1, 1, 1], [1, 1, 1], 4);
+        // 10 outputs at 1/cycle + 3 fill cycles.
+        assert_eq!(u.cycles_for_output(10), 13);
+    }
+
+    #[test]
+    fn wider_output_needs_fewer_cycles() {
+        let narrow = ComputeUnit::new("n", [1, 1, 1], [1, 1, 1], 1);
+        let wide = ComputeUnit::new("w", [4, 1, 1], [4, 1, 1], 1);
+        assert!(wide.cycles_for_output(1000) < narrow.cycles_for_output(1000));
+    }
+
+    #[test]
+    fn energy_is_cycles_times_per_cycle() {
+        let u = ComputeUnit::new("u", [1, 1, 1], [1, 1, 1], 1)
+            .with_energy_per_cycle(Energy::from_picojoules(3.0));
+        let e = u.energy_for_output(100);
+        assert!((e.picojoules() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_last_cycle_rounds_up() {
+        let u = ComputeUnit::new("u", [1, 1, 1], [4, 1, 1], 1);
+        assert_eq!(u.cycles_for_output(9), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_stage_pipeline_rejected() {
+        let _ = ComputeUnit::new("u", [1, 1, 1], [1, 1, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_shape_rejected() {
+        let _ = PixelShape::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # camj-digital — digital substrate for CamJ-rs
+//!
+//! The digital half of the paper's methodology (Sec. 3.3, 4.1, 4.3):
+//!
+//! * [`memory`] — the three supported memory structures (FIFO, line
+//!   buffer, double-buffered SRAM) with per-access energy and leakage
+//!   parameters (Eq. 16),
+//! * [`compute`] — the generic pipelined accelerator (`ComputeUnit`) and
+//!   the DNN-oriented `SystolicArray` (Eq. 15),
+//! * [`sim`] — a cycle-level pipeline simulator that verifies the CIS
+//!   pipeline never stalls, measures the digital latency `T_D`, and
+//!   counts unit cycles and memory accesses for the energy equations.
+//!
+//! # Examples
+//!
+//! ```
+//! use camj_digital::compute::ComputeUnit;
+//! use camj_digital::memory::{MemoryEnergy, MemoryStructure};
+//! use camj_digital::sim::{PipelineSimBuilder, SourceMode};
+//! use camj_tech::units::Energy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Fig. 5 digital back half: a line buffer feeding an
+//! // edge-detection accelerator over a 16×16 binned image.
+//! let edge = ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2)
+//!     .with_energy_per_cycle(Energy::from_picojoules(3.0));
+//! let lb = MemoryStructure::line_buffer("LineBuffer", 3, 16)
+//!     .with_energy(MemoryEnergy::from_pj_per_word(0.3, 0.3, 0.0))
+//!     .with_ports(3, 1);
+//!
+//! let mut b = PipelineSimBuilder::new();
+//! let adc = b.add_source("ADC", SourceMode::Elastic);
+//! let unit = b.add_stage(edge.name(), edge.num_stages());
+//! b.connect(adc, unit, &lb, 1.0, 3.0, 3.0 * 256.0);
+//! let report = b.build()?.run(100_000)?;
+//! let compute_energy = edge.energy_per_cycle()
+//!     * report.stage("EdgeUnit").unwrap().active_cycles as f64;
+//! assert!(compute_energy.picojoules() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod compute;
+pub mod memory;
+pub mod sim;
+
+pub use compute::{ComputeUnit, PixelShape, SystolicArray};
+pub use memory::{MemoryEnergy, MemoryKind, MemoryStructure};
+pub use sim::{PipelineSim, PipelineSimBuilder, SimError, SimReport, SourceMode};

@@ -1,0 +1,104 @@
+//! Per-access energy parameters of a digital memory structure.
+//!
+//! CamJ asks users for per-access read/write energy and leakage power
+//! (paper Eq. 16) — "obtained by an ASIC synthesis flow or from commonly
+//! used tools (e.g., CACTI and OpenRAM)". [`MemoryEnergy`] carries those
+//! three numbers; convenience conversions derive them from the analytical
+//! SRAM/STT-RAM macros in [`camj_tech`].
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::sram::SramMacro;
+use camj_tech::sttram::SttRamMacro;
+use camj_tech::units::{Energy, Power};
+
+/// Read/write/leakage parameters of one memory structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryEnergy {
+    /// Energy per word read.
+    pub read_per_word: Energy,
+    /// Energy per word written.
+    pub write_per_word: Energy,
+    /// Leakage power while the structure is not power-gated.
+    pub leakage: Power,
+}
+
+impl MemoryEnergy {
+    /// Creates parameters from explicit per-word energies in picojoules
+    /// and leakage in microwatts — the unit mix used in the paper's
+    /// code listings (`write_energy_per_word = 0.3  # pJ`).
+    #[must_use]
+    pub fn from_pj_per_word(read_pj: f64, write_pj: f64, leakage_uw: f64) -> Self {
+        Self {
+            read_per_word: Energy::from_picojoules(read_pj),
+            write_per_word: Energy::from_picojoules(write_pj),
+            leakage: Power::from_microwatts(leakage_uw),
+        }
+    }
+
+    /// Zero-cost memory (useful for modelling ideal wires in ablations).
+    #[must_use]
+    pub fn free() -> Self {
+        Self {
+            read_per_word: Energy::ZERO,
+            write_per_word: Energy::ZERO,
+            leakage: Power::ZERO,
+        }
+    }
+}
+
+impl From<&SramMacro> for MemoryEnergy {
+    fn from(m: &SramMacro) -> Self {
+        Self {
+            read_per_word: m.read_energy(),
+            write_per_word: m.write_energy(),
+            leakage: m.leakage_power(),
+        }
+    }
+}
+
+impl From<&SttRamMacro> for MemoryEnergy {
+    fn from(m: &SttRamMacro) -> Self {
+        Self {
+            read_per_word: m.read_energy(),
+            write_per_word: m.write_energy(),
+            leakage: m.leakage_power(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::node::ProcessNode;
+
+    #[test]
+    fn explicit_constructor_round_trips() {
+        let e = MemoryEnergy::from_pj_per_word(0.3, 0.4, 12.0);
+        assert!((e.read_per_word.picojoules() - 0.3).abs() < 1e-12);
+        assert!((e.write_per_word.picojoules() - 0.4).abs() < 1e-12);
+        assert!((e.leakage.microwatts() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_sram_macro() {
+        let m = SramMacro::new(64 * 1024, 64, ProcessNode::N65);
+        let e = MemoryEnergy::from(&m);
+        assert_eq!(e.read_per_word, m.read_energy());
+        assert_eq!(e.leakage, m.leakage_power());
+    }
+
+    #[test]
+    fn from_sttram_macro() {
+        let m = SttRamMacro::new(64 * 1024, 64, ProcessNode::N22).unwrap();
+        let e = MemoryEnergy::from(&m);
+        assert!(e.write_per_word > e.read_per_word);
+    }
+
+    #[test]
+    fn free_is_zero() {
+        let e = MemoryEnergy::free();
+        assert_eq!(e.read_per_word, Energy::ZERO);
+        assert_eq!(e.leakage, Power::ZERO);
+    }
+}

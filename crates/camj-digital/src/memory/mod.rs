@@ -1,0 +1,8 @@
+//! Digital memory structures (paper Table 1: FIFO, line buffer,
+//! double-buffered SRAM) and their energy parameters.
+
+mod energy;
+mod structure;
+
+pub use energy::MemoryEnergy;
+pub use structure::{MemoryKind, MemoryStructure};

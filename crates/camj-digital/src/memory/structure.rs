@@ -1,0 +1,286 @@
+//! The three digital memory structures CamJ supports (paper Table 1):
+//! FIFO, line buffer, and double-buffered SRAM.
+//!
+//! A [`MemoryStructure`] is a *descriptor*: capacity, geometry, port
+//! counts, word packing, and energy parameters. The cycle-level simulator
+//! ([`crate::sim`]) instantiates runtime state from it; the energy model
+//! multiplies its per-word energies by simulated access counts.
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::units::{Energy, Power};
+
+use super::energy::MemoryEnergy;
+
+/// Which of the supported structures a memory is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// First-in-first-out queue between two units.
+    Fifo,
+    /// Sliding-window line buffer holding a few image rows — the classic
+    /// stencil-hardware structure.
+    LineBuffer,
+    /// Double-buffered SRAM: producer fills one bank while the consumer
+    /// drains the other (frame buffers, DNN activation/weight buffers).
+    DoubleBuffer,
+}
+
+/// A digital memory structure descriptor.
+///
+/// # Examples
+///
+/// ```
+/// use camj_digital::memory::{MemoryEnergy, MemoryStructure};
+///
+/// // The 3×16-pixel line buffer of the paper's Fig. 5 listing:
+/// let lb = MemoryStructure::line_buffer("LineBuffer", 3, 16)
+///     .with_energy(MemoryEnergy::from_pj_per_word(0.3, 0.3, 0.0));
+/// assert_eq!(lb.capacity_pixels(), 48);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStructure {
+    name: String,
+    kind: MemoryKind,
+    capacity_pixels: u64,
+    pixels_per_word: u32,
+    read_ports: u32,
+    write_ports: u32,
+    energy: MemoryEnergy,
+    /// Fraction of the frame time the structure is powered (paper's `α`).
+    active_fraction: f64,
+}
+
+impl MemoryStructure {
+    fn new(name: impl Into<String>, kind: MemoryKind, capacity_pixels: u64) -> Self {
+        assert!(capacity_pixels > 0, "memory capacity must be non-zero");
+        Self {
+            name: name.into(),
+            kind,
+            capacity_pixels,
+            pixels_per_word: 1,
+            read_ports: 1,
+            write_ports: 1,
+            energy: MemoryEnergy::free(),
+            active_fraction: 1.0,
+        }
+    }
+
+    /// Creates a FIFO of `depth_pixels` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth_pixels` is zero.
+    #[must_use]
+    pub fn fifo(name: impl Into<String>, depth_pixels: u64) -> Self {
+        Self::new(name, MemoryKind::Fifo, depth_pixels)
+    }
+
+    /// Creates a line buffer of `rows` rows × `cols` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn line_buffer(name: impl Into<String>, rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "line buffer must be non-empty");
+        Self::new(
+            name,
+            MemoryKind::LineBuffer,
+            u64::from(rows) * u64::from(cols),
+        )
+    }
+
+    /// Creates a double-buffered SRAM of two banks of `bank_pixels` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_pixels` is zero.
+    #[must_use]
+    pub fn double_buffer(name: impl Into<String>, bank_pixels: u64) -> Self {
+        assert!(bank_pixels > 0, "double buffer bank must be non-empty");
+        Self::new(name, MemoryKind::DoubleBuffer, 2 * bank_pixels)
+    }
+
+    /// Sets the energy parameters (builder-style).
+    #[must_use]
+    pub fn with_energy(mut self, energy: MemoryEnergy) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Sets how many pixels pack into one physical word (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels_per_word` is zero.
+    #[must_use]
+    pub fn with_pixels_per_word(mut self, pixels_per_word: u32) -> Self {
+        assert!(pixels_per_word > 0, "pixels per word must be non-zero");
+        self.pixels_per_word = pixels_per_word;
+        self
+    }
+
+    /// Sets the read/write port counts (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port count is zero.
+    #[must_use]
+    pub fn with_ports(mut self, read_ports: u32, write_ports: u32) -> Self {
+        assert!(
+            read_ports > 0 && write_ports > 0,
+            "memories need at least one port of each kind"
+        );
+        self.read_ports = read_ports;
+        self.write_ports = write_ports;
+        self
+    }
+
+    /// Sets the powered fraction `α` of the frame time (builder-style).
+    ///
+    /// `1.0` (the default) models a structure that can never be
+    /// power-gated — like Ed-Gaze's frame buffer, which must retain the
+    /// previous frame across the whole frame time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    #[must_use]
+    pub fn with_active_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "active fraction must be in [0, 1], got {fraction}"
+        );
+        self.active_fraction = fraction;
+        self
+    }
+
+    /// The structure's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The structure kind.
+    #[must_use]
+    pub fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Total capacity in pixels.
+    #[must_use]
+    pub fn capacity_pixels(&self) -> u64 {
+        self.capacity_pixels
+    }
+
+    /// Pixels per physical word.
+    #[must_use]
+    pub fn pixels_per_word(&self) -> u32 {
+        self.pixels_per_word
+    }
+
+    /// Read port count (words per cycle the structure can serve).
+    #[must_use]
+    pub fn read_ports(&self) -> u32 {
+        self.read_ports
+    }
+
+    /// Write port count (words per cycle the structure can absorb).
+    #[must_use]
+    pub fn write_ports(&self) -> u32 {
+        self.write_ports
+    }
+
+    /// Energy parameters.
+    #[must_use]
+    pub fn energy(&self) -> MemoryEnergy {
+        self.energy
+    }
+
+    /// Powered fraction of the frame time (`α` in Eq. 16).
+    #[must_use]
+    pub fn active_fraction(&self) -> f64 {
+        self.active_fraction
+    }
+
+    /// Converts a pixel count to physical word accesses (rounding up).
+    #[must_use]
+    pub fn pixels_to_words(&self, pixels: f64) -> f64 {
+        pixels / f64::from(self.pixels_per_word)
+    }
+
+    /// Dynamic energy for the given pixel-granular access counts.
+    #[must_use]
+    pub fn dynamic_energy(&self, pixels_read: f64, pixels_written: f64) -> Energy {
+        self.energy.read_per_word * self.pixels_to_words(pixels_read)
+            + self.energy.write_per_word * self.pixels_to_words(pixels_written)
+    }
+
+    /// Leakage power while powered (zero when `α = 0`).
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        self.energy.leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_capacity() {
+        let f = MemoryStructure::fifo("f", 256);
+        assert_eq!(f.kind(), MemoryKind::Fifo);
+        assert_eq!(f.capacity_pixels(), 256);
+    }
+
+    #[test]
+    fn line_buffer_capacity_is_rows_times_cols() {
+        let lb = MemoryStructure::line_buffer("lb", 3, 640);
+        assert_eq!(lb.capacity_pixels(), 1920);
+    }
+
+    #[test]
+    fn double_buffer_doubles_bank() {
+        let db = MemoryStructure::double_buffer("db", 1000);
+        assert_eq!(db.capacity_pixels(), 2000);
+    }
+
+    #[test]
+    fn word_packing_reduces_accesses() {
+        let m = MemoryStructure::fifo("f", 64).with_pixels_per_word(4);
+        assert!((m.pixels_to_words(100.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_energy_accounts_reads_and_writes() {
+        let m = MemoryStructure::fifo("f", 64)
+            .with_energy(MemoryEnergy::from_pj_per_word(1.0, 2.0, 0.0));
+        let e = m.dynamic_energy(10.0, 5.0);
+        assert!((e.picojoules() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn bad_active_fraction_rejected() {
+        let _ = MemoryStructure::fifo("f", 64).with_active_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = MemoryStructure::fifo("f", 0);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let m = MemoryStructure::double_buffer("buf", 512)
+            .with_pixels_per_word(8)
+            .with_ports(2, 2)
+            .with_active_fraction(0.5);
+        assert_eq!(m.pixels_per_word(), 8);
+        assert_eq!(m.read_ports(), 2);
+        assert_eq!(m.write_ports(), 2);
+        assert!((m.active_fraction() - 0.5).abs() < 1e-12);
+    }
+}

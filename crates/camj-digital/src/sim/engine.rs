@@ -1,0 +1,819 @@
+//! The cycle-level pipeline simulation engine (paper Sec. 3.3, 4.1).
+//!
+//! The digital part of a computational CIS is a dataflow graph: compute
+//! units connected through memory structures. CamJ simulates it cycle by
+//! cycle to (1) verify the pipeline never stalls against the constant-
+//! rate pixel readout, (2) measure the digital latency `T_D` that the
+//! analog delay estimator subtracts from the frame budget, and (3) count
+//! the per-unit active cycles and per-memory accesses that the energy
+//! equations consume.
+//!
+//! ## Token model
+//!
+//! Pixels flow as *fluid* token quantities (`f64`): each unit fires at
+//! most once per cycle, consuming `consumer_rate` pixels from every
+//! in-edge and producing `producer_rate` pixels into every out-edge
+//! (after its pipeline has filled). Fractional rates model units that
+//! fire every few cycles. Cycle counts, stall detection, and access
+//! totals are exact; sub-cycle interleaving inside one unit is not
+//! modelled — the same fidelity class as the paper's simulator, which
+//! tracks shapes per cycle, not bit-level timing.
+//!
+//! ## Sources
+//!
+//! A [`SourceMode::Continuous`] source models the pixel readout: light
+//! arrives whether or not the pipeline is ready, so a full output buffer
+//! is an immediate [`SimError::SourceOverflow`]. A [`SourceMode::Elastic`]
+//! source waits politely — used when measuring best-case digital latency.
+
+use camj_tech::units::Time;
+
+use crate::memory::MemoryStructure;
+
+use super::error::SimError;
+use super::report::{BufferStats, SimReport, StageStats};
+
+/// Tolerance for fluid-token comparisons. Fractional rates accumulate
+/// floating-point error over millions of cycles; pixel quantities are
+/// O(1)–O(10⁷), so a microtoken tolerance is far above the drift and far
+/// below any real pixel.
+const EPS: f64 = 1e-6;
+
+/// Handle to a node added to a [`PipelineSimBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// How a source behaves when its output buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceMode {
+    /// Pixel readout: cannot be backpressured; overflow is an error.
+    Continuous,
+    /// Waits for space; used for latency measurement.
+    Elastic,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Source { mode: SourceMode },
+    Stage { pipeline_depth: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+    in_edges: Vec<usize>,
+    out_edges: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    name: String,
+    capacity: f64,
+    producer_rate: f64,
+    consumer_rate: f64,
+    total: f64,
+    pixels_per_word: f64,
+    read_ports: u32,
+    write_ports: u32,
+    /// Physical reads per fresh pixel consumed (stencil-window reuse,
+    /// weight re-reads): flow control moves fresh pixels, the energy
+    /// statistics multiply by this factor.
+    reads_per_pixel: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct EdgeState {
+    produced: f64,
+    consumed: f64,
+    peak: f64,
+}
+
+impl EdgeState {
+    /// Buffer occupancy, derived from the two accumulators so that
+    /// float drift can never make it inconsistent with them.
+    fn level(&self) -> f64 {
+        (self.produced - self.consumed).max(0.0)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    fired: u64,
+    stalled: u64,
+}
+
+/// Builder assembling a digital pipeline graph for simulation.
+///
+/// # Examples
+///
+/// ```
+/// use camj_digital::memory::MemoryStructure;
+/// use camj_digital::sim::{PipelineSimBuilder, SourceMode};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // ADC feeds an edge-detection unit through a 3-row line buffer.
+/// let mut b = PipelineSimBuilder::new();
+/// let adc = b.add_source("ADC", SourceMode::Elastic);
+/// let edge = b.add_stage("EdgeUnit", 2);
+/// // The buffer's word width and ports must cover the per-cycle rates:
+/// let lb = MemoryStructure::line_buffer("lb", 3, 16).with_pixels_per_word(16);
+/// b.connect(
+///     adc,
+///     edge,
+///     &lb,
+///     16.0, // ADC writes one 16-pixel row per firing
+///     16.0, // edge unit reads a row's worth per firing
+///     16.0 * 16.0,
+/// );
+/// let report = b.build()?.run(100_000)?;
+/// assert!(report.total_cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct PipelineSimBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl PipelineSimBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a data source (pixel readout, DMA engine, …).
+    pub fn add_source(&mut self, name: impl Into<String>, mode: SourceMode) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            kind: NodeKind::Source { mode },
+            in_edges: Vec::new(),
+            out_edges: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a compute stage with the given pipeline depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipeline_depth` is zero.
+    pub fn add_stage(&mut self, name: impl Into<String>, pipeline_depth: u32) -> NodeId {
+        assert!(pipeline_depth > 0, "pipeline depth must be at least 1");
+        self.nodes.push(Node {
+            name: name.into(),
+            kind: NodeKind::Stage { pipeline_depth },
+            in_edges: Vec::new(),
+            out_edges: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects `from` to `to` through `buffer`, transferring
+    /// `total_pixels` per frame: the producer pushes `producer_rate`
+    /// pixels per firing, the consumer pops `consumer_rate` per firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates or totals are negative/non-finite, or if the node
+    /// handles do not belong to this builder.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        buffer: &MemoryStructure,
+        producer_rate: f64,
+        consumer_rate: f64,
+        total_pixels: f64,
+    ) {
+        self.connect_with_reuse(from, to, buffer, producer_rate, consumer_rate, total_pixels, 1.0);
+    }
+
+    /// Like [`Self::connect`], but each fresh pixel consumed counts as
+    /// `reads_per_pixel` physical reads in the buffer statistics —
+    /// modelling stencil-window reuse out of a line buffer or weight
+    /// re-reads out of a DNN buffer without inflating the flow control.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::connect`], or if
+    /// `reads_per_pixel` is negative or non-finite.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_with_reuse(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        buffer: &MemoryStructure,
+        producer_rate: f64,
+        consumer_rate: f64,
+        total_pixels: f64,
+        reads_per_pixel: f64,
+    ) {
+        assert!(
+            reads_per_pixel.is_finite() && reads_per_pixel >= 0.0,
+            "reads per pixel must be non-negative and finite, got {reads_per_pixel}"
+        );
+        assert!(from.0 < self.nodes.len(), "unknown producer node");
+        assert!(to.0 < self.nodes.len(), "unknown consumer node");
+        assert!(
+            producer_rate.is_finite() && producer_rate > 0.0,
+            "producer rate must be positive and finite, got {producer_rate}"
+        );
+        assert!(
+            consumer_rate.is_finite() && consumer_rate > 0.0,
+            "consumer rate must be positive and finite, got {consumer_rate}"
+        );
+        assert!(
+            total_pixels.is_finite() && total_pixels >= 0.0,
+            "total pixels must be non-negative and finite, got {total_pixels}"
+        );
+        let idx = self.edges.len();
+        self.edges.push(Edge {
+            name: buffer.name().to_owned(),
+            capacity: buffer.capacity_pixels() as f64,
+            producer_rate,
+            consumer_rate,
+            total: total_pixels,
+            pixels_per_word: f64::from(buffer.pixels_per_word()),
+            read_ports: buffer.read_ports(),
+            write_ports: buffer.write_ports(),
+            reads_per_pixel,
+        });
+        self.nodes[from.0].out_edges.push(idx);
+        self.nodes[to.0].in_edges.push(idx);
+    }
+
+    /// Validates the graph and produces a runnable simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InsufficientPorts`] if any unit's per-cycle
+    /// word demand exceeds a buffer's ports (stall scenario 3), or
+    /// [`SimError::Deadlock`] (cycle 0) if the graph contains a cycle.
+    pub fn build(self) -> Result<PipelineSim, SimError> {
+        // Static port checks.
+        for edge in &self.edges {
+            let write_words = (edge.producer_rate / edge.pixels_per_word).ceil() as u64;
+            if write_words > u64::from(edge.write_ports) {
+                return Err(SimError::InsufficientPorts {
+                    buffer: edge.name.clone(),
+                    demanded_words_per_cycle: write_words,
+                    ports: edge.write_ports,
+                    is_read: false,
+                });
+            }
+            let read_words = (edge.consumer_rate / edge.pixels_per_word).ceil() as u64;
+            if read_words > u64::from(edge.read_ports) {
+                return Err(SimError::InsufficientPorts {
+                    buffer: edge.name.clone(),
+                    demanded_words_per_cycle: read_words,
+                    ports: edge.read_ports,
+                    is_read: true,
+                });
+            }
+        }
+        // Topological order (Kahn); a residual node means a graph cycle.
+        let order = topo_order(&self.nodes).ok_or_else(|| SimError::Deadlock {
+            cycle: 0,
+            stage: "<graph>".into(),
+            reason: "the digital pipeline graph contains a cycle".into(),
+        })?;
+        Ok(PipelineSim {
+            nodes: self.nodes,
+            edges: self.edges,
+            order,
+        })
+    }
+}
+
+fn topo_order(nodes: &[Node]) -> Option<Vec<usize>> {
+    // Build per-node predecessor counts through edges.
+    let mut incoming = vec![0usize; nodes.len()];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        for &e in &node.out_edges {
+            for (j, other) in nodes.iter().enumerate() {
+                if other.in_edges.contains(&e) {
+                    incoming[j] += 1;
+                    consumers[i].push(j);
+                }
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..nodes.len()).filter(|&i| incoming[i] == 0).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(i) = ready.pop() {
+        order.push(i);
+        for &j in &consumers[i] {
+            incoming[j] -= 1;
+            if incoming[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    (order.len() == nodes.len()).then_some(order)
+}
+
+/// A runnable cycle-level pipeline simulation.
+#[derive(Debug)]
+pub struct PipelineSim {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    order: Vec<usize>,
+}
+
+impl PipelineSim {
+    /// Runs the simulation for at most `max_cycles` cycles.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SourceOverflow`] — a continuous source hit a full
+    ///   buffer (the pipeline cannot sustain the readout rate),
+    /// * [`SimError::Deadlock`] — no unit can make progress,
+    /// * [`SimError::CycleLimitExceeded`] — the frame did not finish
+    ///   within `max_cycles`.
+    pub fn run(&self, max_cycles: u64) -> Result<SimReport, SimError> {
+        let mut node_states = vec![NodeState::default(); self.nodes.len()];
+        let mut edge_states = vec![EdgeState::default(); self.edges.len()];
+
+        let mut cycle: u64 = 0;
+        let mut fired_sources: Vec<usize> = Vec::new();
+        loop {
+            if self.all_done(&edge_states) {
+                break;
+            }
+            if cycle >= max_cycles {
+                return Err(SimError::CycleLimitExceeded { limit: max_cycles });
+            }
+            let mut any_fired = false;
+            let mut only_sources_fired = true;
+            fired_sources.clear();
+            for &ni in &self.order {
+                let node = &self.nodes[ni];
+                if self.node_done(node, &edge_states) {
+                    continue;
+                }
+                let can = self.can_fire(node, &node_states[ni], &edge_states);
+                if can {
+                    self.fire(ni, &mut node_states, &mut edge_states);
+                    any_fired = true;
+                    if matches!(node.kind, NodeKind::Source { .. }) {
+                        fired_sources.push(ni);
+                    } else {
+                        only_sources_fired = false;
+                    }
+                } else {
+                    node_states[ni].stalled += 1;
+                    if let NodeKind::Source {
+                        mode: SourceMode::Continuous,
+                    } = node.kind
+                    {
+                        let buffer = node
+                            .out_edges
+                            .iter()
+                            .find(|&&e| {
+                                let st = &edge_states[e];
+                                let ed = &self.edges[e];
+                                st.produced < ed.total - EPS
+                                    && ed.capacity - st.level()
+                                        < ed.producer_rate.min(ed.total - st.produced) - EPS
+                            })
+                            .map(|&e| self.edges[e].name.clone())
+                            .unwrap_or_else(|| "<unknown>".into());
+                        return Err(SimError::SourceOverflow {
+                            cycle,
+                            source: node.name.clone(),
+                            buffer,
+                        });
+                    }
+                }
+            }
+            if !any_fired {
+                let (stage, reason) = self.diagnose_block(&edge_states);
+                return Err(SimError::Deadlock {
+                    cycle,
+                    stage,
+                    reason,
+                });
+            }
+            cycle += 1;
+            // Idle fast-forward: when only sources made progress, every
+            // consumer is waiting for tokens to accumulate. Rates are
+            // constant, so the next `k−1` cycles are identical source
+            // firings — apply them in one step. Exact: token totals and
+            // firing counts match the cycle-by-cycle execution.
+            if only_sources_fired && !fired_sources.is_empty() {
+                let k = self.idle_skip_cycles(&fired_sources, &edge_states);
+                if k > 1 {
+                    for &si in &fired_sources {
+                        self.fire_source_batch(si, k - 1, &mut node_states, &mut edge_states);
+                    }
+                    cycle += k - 1;
+                }
+            }
+        }
+
+        Ok(SimReport {
+            total_cycles: cycle,
+            stages: self
+                .nodes
+                .iter()
+                .zip(&node_states)
+                .map(|(n, s)| StageStats {
+                    name: n.name.clone(),
+                    active_cycles: s.fired,
+                    stalled_cycles: s.stalled,
+                })
+                .collect(),
+            buffers: self
+                .edges
+                .iter()
+                .zip(&edge_states)
+                .map(|(e, s)| BufferStats {
+                    name: e.name.clone(),
+                    pixels_written: s.produced,
+                    pixels_read: s.consumed * e.reads_per_pixel,
+                    peak_occupancy: s.peak,
+                })
+                .collect(),
+        })
+    }
+
+    /// Convenience wrapper measuring digital latency `T_D` at `clock_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from [`Self::run`].
+    pub fn digital_latency(&self, clock_hz: f64, max_cycles: u64) -> Result<Time, SimError> {
+        Ok(self.run(max_cycles)?.digital_latency(clock_hz))
+    }
+
+    fn all_done(&self, edge_states: &[EdgeState]) -> bool {
+        self.edges.iter().zip(edge_states).all(|(e, s)| {
+            s.produced >= e.total - EPS && s.consumed >= e.total - EPS
+        })
+    }
+
+    fn node_done(&self, node: &Node, edge_states: &[EdgeState]) -> bool {
+        let out_done = node
+            .out_edges
+            .iter()
+            .all(|&e| edge_states[e].produced >= self.edges[e].total - EPS);
+        let in_done = node
+            .in_edges
+            .iter()
+            .all(|&e| edge_states[e].consumed >= self.edges[e].total - EPS);
+        out_done && in_done
+    }
+
+    fn production_enabled(&self, node: &Node, state: &NodeState) -> bool {
+        match node.kind {
+            NodeKind::Source { .. } => true,
+            NodeKind::Stage { pipeline_depth } => {
+                state.fired + 1 >= u64::from(pipeline_depth)
+            }
+        }
+    }
+
+    fn can_fire(&self, node: &Node, state: &NodeState, edge_states: &[EdgeState]) -> bool {
+        // Inputs: every unfinished in-edge must hold enough pixels —
+        // unless the inputs are exhausted (drain phase).
+        for &e in &node.in_edges {
+            let ed = &self.edges[e];
+            let st = &edge_states[e];
+            if st.consumed >= ed.total - EPS {
+                continue;
+            }
+            let need = ed.consumer_rate.min(ed.total - st.consumed);
+            if st.level() < need - EPS {
+                return false;
+            }
+        }
+        // Outputs: every unfinished out-edge must have space, once the
+        // pipeline has filled.
+        if self.production_enabled(node, state) {
+            for &e in &node.out_edges {
+                let ed = &self.edges[e];
+                let st = &edge_states[e];
+                if st.produced >= ed.total - EPS {
+                    continue;
+                }
+                let amount = ed.producer_rate.min(ed.total - st.produced);
+                if ed.capacity - st.level() < amount - EPS {
+                    return false;
+                }
+            }
+        }
+        // A node with nothing left to consume and production disabled (or
+        // nothing left to produce) must not spin; node_done covers the
+        // fully-finished case, so here at least one side has work.
+        true
+    }
+
+    fn fire(&self, ni: usize, node_states: &mut [NodeState], edge_states: &mut [EdgeState]) {
+        let node = &self.nodes[ni];
+        for &e in &node.in_edges {
+            let ed = &self.edges[e];
+            let st = &mut edge_states[e];
+            if st.consumed >= ed.total - EPS {
+                continue;
+            }
+            // Clamp to the actual level so float drift can never push the
+            // buffer negative (can_fire guaranteed level ≥ amount − EPS).
+            let amount = ed
+                .consumer_rate
+                .min(ed.total - st.consumed)
+                .min(st.level());
+            st.consumed += amount;
+        }
+        if self.production_enabled(node, &node_states[ni]) {
+            for &e in &node.out_edges {
+                let ed = &self.edges[e];
+                let st = &mut edge_states[e];
+                if st.produced >= ed.total - EPS {
+                    continue;
+                }
+                let amount = ed.producer_rate.min(ed.total - st.produced);
+                st.produced += amount;
+                st.peak = st.peak.max(st.level());
+            }
+        }
+        node_states[ni].fired += 1;
+    }
+
+    /// How many identical cycles can be skipped while only sources fire:
+    /// bounded by (a) the first consumer in-edge reaching its need,
+    /// (b) any firing source filling its buffer, and (c) any firing
+    /// source exhausting its total.
+    fn idle_skip_cycles(&self, fired_sources: &[usize], edge_states: &[EdgeState]) -> u64 {
+        const MAX_SKIP: u64 = 1 << 40;
+        let mut k = MAX_SKIP;
+        let source_edges = fired_sources
+            .iter()
+            .flat_map(|&si| self.nodes[si].out_edges.iter().copied());
+        // (a) consumer deficits on source-fed edges.
+        for e in source_edges.clone() {
+            let ed = &self.edges[e];
+            let st = &edge_states[e];
+            if st.consumed >= ed.total - EPS {
+                continue;
+            }
+            let need = ed.consumer_rate.min(ed.total - st.consumed);
+            let deficit = need - st.level();
+            if deficit > EPS && ed.producer_rate > 0.0 {
+                k = k.min((deficit / ed.producer_rate).ceil() as u64);
+            }
+        }
+        if k == MAX_SKIP {
+            return 1;
+        }
+        // (b) capacity and (c) totals on every firing source's out-edges.
+        for e in source_edges {
+            let ed = &self.edges[e];
+            let st = &edge_states[e];
+            if st.produced >= ed.total - EPS {
+                continue;
+            }
+            let headroom = ((ed.capacity - st.level()) / ed.producer_rate).floor() as u64;
+            let remaining = ((ed.total - st.produced) / ed.producer_rate).ceil() as u64;
+            k = k.min(headroom.max(1)).min(remaining.max(1));
+        }
+        k.max(1)
+    }
+
+    /// Applies `times` identical firings of a source in one batched step.
+    fn fire_source_batch(
+        &self,
+        si: usize,
+        times: u64,
+        node_states: &mut [NodeState],
+        edge_states: &mut [EdgeState],
+    ) {
+        let node = &self.nodes[si];
+        for &e in &node.out_edges {
+            let ed = &self.edges[e];
+            let st = &mut edge_states[e];
+            if st.produced >= ed.total - EPS {
+                continue;
+            }
+            let amount = (ed.producer_rate * times as f64).min(ed.total - st.produced);
+            st.produced += amount;
+            st.peak = st.peak.max(st.level());
+        }
+        node_states[si].fired += times;
+    }
+
+    fn diagnose_block(&self, edge_states: &[EdgeState]) -> (String, String) {
+        for node in &self.nodes {
+            if self.node_done(node, edge_states) {
+                continue;
+            }
+            for &e in &node.in_edges {
+                let ed = &self.edges[e];
+                let st = &edge_states[e];
+                if st.consumed < ed.total - EPS {
+                    let need = ed.consumer_rate.min(ed.total - st.consumed);
+                    if st.level() < need - EPS {
+                        return (
+                            node.name.clone(),
+                            format!(
+                                "is starved on buffer '{}' (needs {:.1} pixels, has {:.1})",
+                                ed.name, need, st.level()
+                            ),
+                        );
+                    }
+                }
+            }
+            for &e in &node.out_edges {
+                let ed = &self.edges[e];
+                let st = &edge_states[e];
+                if st.produced < ed.total - EPS {
+                    let amount = ed.producer_rate.min(ed.total - st.produced);
+                    if ed.capacity - st.level() < amount - EPS {
+                        return (
+                            node.name.clone(),
+                            format!("is blocked on full buffer '{}'", ed.name),
+                        );
+                    }
+                }
+            }
+        }
+        ("<unknown>".into(), "no progress".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(name: &str, capacity: u64) -> MemoryStructure {
+        // Generous ports: these tests exercise dataflow, not port limits.
+        MemoryStructure::fifo(name, capacity).with_ports(8, 8)
+    }
+
+    #[test]
+    fn linear_pipeline_completes() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        b.connect(src, stage, &buf("f", 16), 4.0, 4.0, 256.0);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        // 256 pixels at 4/cycle = 64 producer firings; consumer trails by 1.
+        assert!(report.total_cycles >= 64 && report.total_cycles <= 66);
+        assert_eq!(report.stage("src").unwrap().active_cycles, 64);
+        let f = report.buffer("f").unwrap();
+        assert!((f.pixels_written - 256.0).abs() < 1e-6);
+        assert!((f.pixels_read - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_mismatch_throttles_pipeline() {
+        // Consumer half as fast as producer with a small buffer: the
+        // elastic source adapts; total time set by the consumer.
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let slow = b.add_stage("slow", 1);
+        b.connect(src, slow, &buf("f", 8), 4.0, 2.0, 256.0);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        // Consumer needs 128 firings.
+        assert!(report.total_cycles >= 128);
+        assert!(report.stage("src").unwrap().stalled_cycles > 0);
+    }
+
+    #[test]
+    fn continuous_source_overflows_slow_pipeline() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("readout", SourceMode::Continuous);
+        let slow = b.add_stage("slow", 1);
+        b.connect(src, slow, &buf("f", 8), 4.0, 2.0, 256.0);
+        let err = b.build().unwrap().run(10_000).unwrap_err();
+        assert!(matches!(err, SimError::SourceOverflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn continuous_source_ok_when_pipeline_keeps_pace() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("readout", SourceMode::Continuous);
+        let fast = b.add_stage("fast", 1);
+        b.connect(src, fast, &buf("f", 8), 2.0, 2.0, 256.0);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        assert_eq!(report.stage("readout").unwrap().stalled_cycles, 0);
+    }
+
+    #[test]
+    fn pipeline_depth_defers_production() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let deep = b.add_stage("deep", 8);
+        let sink = b.add_stage("sink", 1);
+        b.connect(src, deep, &buf("in", 64), 1.0, 1.0, 32.0);
+        b.connect(deep, sink, &buf("out", 64), 1.0, 1.0, 32.0);
+        let shallow_cycles = {
+            let mut b2 = PipelineSimBuilder::new();
+            let s = b2.add_source("src", SourceMode::Elastic);
+            let st = b2.add_stage("shallow", 1);
+            let sk = b2.add_stage("sink", 1);
+            b2.connect(s, st, &buf("in", 64), 1.0, 1.0, 32.0);
+            b2.connect(st, sk, &buf("out", 64), 1.0, 1.0, 32.0);
+            b2.build().unwrap().run(10_000).unwrap().total_cycles
+        };
+        let deep_cycles = b.build().unwrap().run(10_000).unwrap().total_cycles;
+        assert!(deep_cycles > shallow_cycles);
+    }
+
+    #[test]
+    fn insufficient_read_ports_detected_statically() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        // Demands 4 pixels/cycle from a 1-pixel-per-word, 1-port buffer.
+        let narrow = MemoryStructure::fifo("f", 16);
+        b.connect(src, stage, &narrow, 1.0, 4.0, 64.0);
+        let err = b.build().unwrap_err();
+        assert!(
+            matches!(err, SimError::InsufficientPorts { is_read: true, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn word_packing_relaxes_port_demand() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        let wide = MemoryStructure::fifo("f", 16).with_pixels_per_word(4);
+        b.connect(src, stage, &wide, 4.0, 4.0, 64.0);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn graph_cycle_rejected() {
+        let mut b = PipelineSimBuilder::new();
+        let a = b.add_stage("a", 1);
+        let c = b.add_stage("c", 1);
+        b.connect(a, c, &buf("ab", 8), 1.0, 1.0, 8.0);
+        b.connect(c, a, &buf("ba", 8), 1.0, 1.0, 8.0);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn fan_out_feeds_two_consumers() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let left = b.add_stage("left", 1);
+        let right = b.add_stage("right", 1);
+        b.connect(src, left, &buf("l", 16), 2.0, 2.0, 64.0);
+        b.connect(src, right, &buf("r", 16), 2.0, 2.0, 64.0);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        assert!((report.buffer("l").unwrap().pixels_read - 64.0).abs() < 1e-6);
+        assert!((report.buffer("r").unwrap().pixels_read - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        b.connect(src, stage, &buf("f", 16), 1.0, 1.0, 1_000_000.0);
+        let err = b.build().unwrap().run(10).unwrap_err();
+        assert!(matches!(err, SimError::CycleLimitExceeded { limit: 10 }));
+    }
+
+    #[test]
+    fn fractional_rates_fire_every_other_cycle() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        b.connect(src, stage, &buf("f", 16), 0.5, 0.5, 32.0);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        // 32 pixels at 0.5/cycle = 64 firings.
+        assert!(report.total_cycles >= 64);
+    }
+
+    #[test]
+    fn read_reuse_multiplies_statistics_only() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stencil", 1);
+        // A 3×3 stencil re-reads each fresh pixel 9 times on average.
+        b.connect_with_reuse(src, stage, &buf("lb", 16), 1.0, 1.0, 64.0, 9.0);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        let lb = report.buffer("lb").unwrap();
+        assert!((lb.pixels_written - 64.0).abs() < 1e-6);
+        assert!((lb.pixels_read - 576.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_occupancy_tracked() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        b.connect(src, stage, &buf("f", 16), 4.0, 2.0, 64.0);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        let peak = report.buffer("f").unwrap().peak_occupancy;
+        assert!(peak > 2.0 && peak <= 16.0, "peak {peak}");
+    }
+}

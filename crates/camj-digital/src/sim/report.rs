@@ -1,0 +1,102 @@
+//! Simulation results: cycle counts and access statistics.
+//!
+//! A [`SimReport`] carries everything the energy model needs from the
+//! cycle-level simulation (paper Sec. 4.3): per-unit active cycle counts
+//! (Eq. 15) and per-memory read/write word counts (Eq. 16), plus the
+//! total digital latency used by the analog delay estimator (Sec. 4.1).
+
+use serde::{Deserialize, Serialize};
+
+use camj_tech::units::Time;
+
+/// Per-stage activity statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name.
+    pub name: String,
+    /// Cycles the stage fired (consumed and/or produced).
+    pub active_cycles: u64,
+    /// Cycles the stage wanted to fire but was blocked.
+    pub stalled_cycles: u64,
+}
+
+/// Per-buffer traffic statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Buffer name.
+    pub name: String,
+    /// Pixels written into the buffer over the frame.
+    pub pixels_written: f64,
+    /// Pixels read out of the buffer over the frame.
+    pub pixels_read: f64,
+    /// Peak occupancy in pixels.
+    pub peak_occupancy: f64,
+}
+
+/// The outcome of a completed cycle-level simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total cycles from first injection to last production.
+    pub total_cycles: u64,
+    /// Per-stage statistics, in insertion order.
+    pub stages: Vec<StageStats>,
+    /// Per-buffer statistics, in insertion order.
+    pub buffers: Vec<BufferStats>,
+}
+
+impl SimReport {
+    /// The digital-domain latency `T_D` at the given clock (Sec. 4.1).
+    #[must_use]
+    pub fn digital_latency(&self, clock_hz: f64) -> Time {
+        Time::from_secs(self.total_cycles as f64 / clock_hz)
+    }
+
+    /// Looks up a stage's statistics by name.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a buffer's statistics by name.
+    #[must_use]
+    pub fn buffer(&self, name: &str) -> Option<&BufferStats> {
+        self.buffers.iter().find(|b| b.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_from_clock() {
+        let r = SimReport {
+            total_cycles: 1_000_000,
+            stages: vec![],
+            buffers: vec![],
+        };
+        let t = r.digital_latency(100e6);
+        assert!((t.millis() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = SimReport {
+            total_cycles: 1,
+            stages: vec![StageStats {
+                name: "edge".into(),
+                active_cycles: 5,
+                stalled_cycles: 0,
+            }],
+            buffers: vec![BufferStats {
+                name: "lb".into(),
+                pixels_written: 10.0,
+                pixels_read: 10.0,
+                peak_occupancy: 3.0,
+            }],
+        };
+        assert_eq!(r.stage("edge").unwrap().active_cycles, 5);
+        assert!(r.buffer("lb").is_some());
+        assert!(r.stage("missing").is_none());
+    }
+}

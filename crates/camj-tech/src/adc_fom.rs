@@ -1,0 +1,194 @@
+//! Walden figure-of-merit survey for ADC energy (paper Eq. 12).
+//!
+//! Non-linear analog cells (ADCs and comparators) mix dynamic, static, and
+//! digital circuitry, so CamJ estimates their energy from the empirical
+//! Walden FoM survey [Murmann, "ADC Performance Survey 1997–2022"] instead
+//! of analytical cell equations:
+//!
+//! ```text
+//! E_conversion = FoM(sample_rate) × 2^bits
+//! ```
+//!
+//! where `FoM` is the survey's **median** energy per conversion-step at the
+//! ADC's sampling rate. The median envelope is flat (design-limited) below
+//! ~50 MS/s and rises as a power law above it (speed-limited designs burn
+//! energy for metastability margin and calibration).
+//!
+//! Expert users who know their converter (e.g. the low-power dynamic SAR
+//! in the JSSC'21-II validation chip) can bypass the survey with
+//! [`AdcSurvey::with_fom`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Energy, Time};
+
+/// Median Walden FoM below the speed knee, joules per conversion-step.
+const FOM_FLOOR_J: f64 = 50e-15;
+
+/// Sample rate above which the median FoM starts rising, in Hz.
+const SPEED_KNEE_HZ: f64 = 50e6;
+
+/// Power-law exponent of the FoM rise above the knee.
+const SPEED_EXPONENT: f64 = 0.9;
+
+/// The Walden FoM survey curve, with an optional expert override.
+///
+/// # Examples
+///
+/// ```
+/// use camj_tech::adc_fom::AdcSurvey;
+///
+/// let survey = AdcSurvey::default();
+/// // A 10-bit column ADC converting one row per ~10 µs:
+/// let e = survey.conversion_energy(10, 100_000.0);
+/// assert!(e.picojoules() > 10.0 && e.picojoules() < 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AdcSurvey {
+    /// Expert-supplied FoM in joules/conversion-step; `None` = survey median.
+    fom_override: Option<f64>,
+}
+
+impl AdcSurvey {
+    /// Creates a survey-median FoM model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a model with an expert-supplied FoM (J per conversion-step),
+    /// bypassing the survey median.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fom_joules_per_step` is not positive and finite.
+    #[must_use]
+    pub fn with_fom(fom_joules_per_step: f64) -> Self {
+        assert!(
+            fom_joules_per_step.is_finite() && fom_joules_per_step > 0.0,
+            "FoM must be positive and finite, got {fom_joules_per_step}"
+        );
+        Self {
+            fom_override: Some(fom_joules_per_step),
+        }
+    }
+
+    /// The figure of merit at `sample_rate_hz`, in joules per
+    /// conversion-step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive and finite.
+    #[must_use]
+    pub fn fom(&self, sample_rate_hz: f64) -> f64 {
+        assert!(
+            sample_rate_hz.is_finite() && sample_rate_hz > 0.0,
+            "sample rate must be positive and finite, got {sample_rate_hz}"
+        );
+        if let Some(fom) = self.fom_override {
+            return fom;
+        }
+        if sample_rate_hz <= SPEED_KNEE_HZ {
+            FOM_FLOOR_J
+        } else {
+            FOM_FLOOR_J * (sample_rate_hz / SPEED_KNEE_HZ).powf(SPEED_EXPONENT)
+        }
+    }
+
+    /// Energy of one conversion for a `bits`-bit ADC sampling at
+    /// `sample_rate_hz` (paper Eq. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or `sample_rate_hz` is not positive/finite.
+    #[must_use]
+    pub fn conversion_energy(&self, bits: u32, sample_rate_hz: f64) -> Energy {
+        assert!(bits > 0, "ADC resolution must be at least 1 bit");
+        let steps = 2f64.powi(bits as i32);
+        Energy::from_joules(self.fom(sample_rate_hz) * steps)
+    }
+
+    /// Energy of one conversion given the converter's per-sample delay
+    /// (the reciprocal of its sampling rate), as produced by CamJ's delay
+    /// estimation.
+    #[must_use]
+    pub fn conversion_energy_for_delay(&self, bits: u32, delay: Time) -> Energy {
+        self.conversion_energy(bits, delay.as_frequency_hz())
+    }
+
+    /// Energy of one comparator decision — a comparator is a 1-bit ADC.
+    #[must_use]
+    pub fn comparator_energy(&self, sample_rate_hz: f64) -> Energy {
+        self.conversion_energy(1, sample_rate_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fom_is_flat_below_knee() {
+        let s = AdcSurvey::default();
+        assert_eq!(s.fom(1e3), s.fom(1e6));
+        assert_eq!(s.fom(1e6), s.fom(50e6));
+    }
+
+    #[test]
+    fn fom_rises_above_knee() {
+        let s = AdcSurvey::default();
+        assert!(s.fom(1e9) > s.fom(50e6));
+        // Power law: 20× the knee rate ⇒ 20^0.9 ≈ 14.8× the floor FoM.
+        let ratio = s.fom(1e9) / s.fom(50e6);
+        assert!((ratio - 20f64.powf(0.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ten_bit_column_adc_energy_is_tens_of_pj() {
+        let s = AdcSurvey::default();
+        let e = s.conversion_energy(10, 1e6);
+        // 50 fJ × 1024 = 51.2 pJ
+        assert!((e.picojoules() - 51.2).abs() < 0.1, "{} pJ", e.picojoules());
+    }
+
+    #[test]
+    fn each_extra_bit_doubles_energy() {
+        let s = AdcSurvey::default();
+        let e8 = s.conversion_energy(8, 1e6);
+        let e9 = s.conversion_energy(9, 1e6);
+        assert!((e9 / e8 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparator_is_one_bit() {
+        let s = AdcSurvey::default();
+        assert_eq!(s.comparator_energy(1e6), s.conversion_energy(1, 1e6));
+    }
+
+    #[test]
+    fn expert_override_wins() {
+        let s = AdcSurvey::with_fom(10e-15);
+        assert_eq!(s.fom(1e6), 10e-15);
+        assert_eq!(s.fom(1e9), 10e-15);
+    }
+
+    #[test]
+    fn delay_form_matches_rate_form() {
+        let s = AdcSurvey::default();
+        let by_rate = s.conversion_energy(10, 1e6);
+        let by_delay = s.conversion_energy_for_delay(10, Time::from_micros(1.0));
+        assert!((by_rate.joules() - by_delay.joules()).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn rejects_bad_rate() {
+        let _ = AdcSurvey::default().fom(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn rejects_zero_bits() {
+        let _ = AdcSurvey::default().conversion_energy(0, 1e6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Physical constants and canonical default parameters.
+
+/// Boltzmann constant, in joules per kelvin.
+pub const BOLTZMANN_J_PER_K: f64 = 1.380_649e-23;
+
+/// Default junction temperature assumed for thermal-noise sizing, in kelvin.
+///
+/// Image sensors run warm but not hot; 300 K (≈27 °C) is the standard
+/// assumption in the analog-design literature the paper draws its cell
+/// models from.
+pub const DEFAULT_TEMPERATURE_K: f64 = 300.0;
+
+/// `kT` at the default temperature, in joules.
+#[must_use]
+pub fn kt_default() -> f64 {
+    BOLTZMANN_J_PER_K * DEFAULT_TEMPERATURE_K
+}
+
+/// Default analog supply voltage `V_DDA`, in volts.
+///
+/// Classic CIS analog front-ends run between 2.5 V and 3.3 V; modern
+/// designs dip below 1 V. 2.5 V is the survey median used as a default.
+pub const DEFAULT_VDDA: f64 = 2.5;
+
+/// Default digital supply voltage at mature CIS nodes, in volts.
+pub const DEFAULT_VDD_DIGITAL: f64 = 1.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kt_is_about_4e_minus_21() {
+        let kt = kt_default();
+        assert!(kt > 4.0e-21 && kt < 4.2e-21, "kT = {kt}");
+    }
+}

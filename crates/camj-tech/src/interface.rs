@@ -1,0 +1,122 @@
+//! Data-communication interface energy (paper Sec. 4.4, Eq. 17).
+//!
+//! Communication energy is dominated by moving bytes across chip
+//! boundaries. The paper uses two literature numbers [49]:
+//!
+//! * **MIPI CSI-2** (sensor → host SoC): ≈100 pJ/B,
+//! * **µTSV / hybrid bond** (between stacked layers): ≈1 pJ/B,
+//!
+//! a 100× gap that is the entire economic case for in-sensor computing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Energy;
+
+/// Default MIPI CSI-2 transmit energy, joules per byte.
+pub const MIPI_CSI2_J_PER_BYTE: f64 = 100e-12;
+
+/// Default µTSV / hybrid-bond transfer energy, joules per byte.
+pub const MICRO_TSV_J_PER_BYTE: f64 = 1e-12;
+
+/// A chip-boundary communication interface.
+///
+/// # Examples
+///
+/// ```
+/// use camj_tech::interface::Interface;
+///
+/// let full_frame = 1920 * 1080 * 1; // bytes
+/// let off_sensor = Interface::MipiCsi2.transfer_energy(full_frame);
+/// let stacked = Interface::MicroTsv.transfer_energy(full_frame);
+/// assert!(off_sensor.joules() > 50.0 * stacked.joules());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Interface {
+    /// MIPI CSI-2 serial link out of the sensor package.
+    MipiCsi2,
+    /// Micro through-silicon via / hybrid bond between stacked layers.
+    MicroTsv,
+    /// A user-supplied interface with the given energy per byte (joules).
+    Custom {
+        /// Transfer energy in joules per byte.
+        joules_per_byte: f64,
+    },
+}
+
+impl Interface {
+    /// Creates a custom interface from an energy per byte in picojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pj_per_byte` is negative or non-finite.
+    #[must_use]
+    pub fn custom_pj_per_byte(pj_per_byte: f64) -> Self {
+        assert!(
+            pj_per_byte.is_finite() && pj_per_byte >= 0.0,
+            "interface energy must be non-negative and finite, got {pj_per_byte}"
+        );
+        Interface::Custom {
+            joules_per_byte: pj_per_byte * 1e-12,
+        }
+    }
+
+    /// Energy to move a single byte across this interface.
+    #[must_use]
+    pub fn energy_per_byte(self) -> Energy {
+        let j = match self {
+            Interface::MipiCsi2 => MIPI_CSI2_J_PER_BYTE,
+            Interface::MicroTsv => MICRO_TSV_J_PER_BYTE,
+            Interface::Custom { joules_per_byte } => joules_per_byte,
+        };
+        Energy::from_joules(j)
+    }
+
+    /// Energy to move `bytes` bytes across this interface (Eq. 17 term).
+    #[must_use]
+    pub fn transfer_energy(self, bytes: u64) -> Energy {
+        self.energy_per_byte() * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mipi_is_100x_tsv() {
+        let ratio = Interface::MipiCsi2.energy_per_byte().joules()
+            / Interface::MicroTsv.energy_per_byte().joules();
+        assert!((ratio - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let one = Interface::MipiCsi2.transfer_energy(1);
+        let mega = Interface::MipiCsi2.transfer_energy(1_000_000);
+        assert!((mega.joules() / one.joules() - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hd_frame_over_mipi_is_hundreds_of_microjoules() {
+        // The paper's example: ~6 MB for 1080p (3 B/px) costs ~0.6 mJ.
+        let e = Interface::MipiCsi2.transfer_energy(6 * 1024 * 1024);
+        assert!(e.microjoules() > 400.0 && e.microjoules() < 800.0);
+    }
+
+    #[test]
+    fn custom_interface() {
+        let iface = Interface::custom_pj_per_byte(10.0);
+        assert!((iface.energy_per_byte().picojoules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_custom() {
+        let _ = Interface::custom_pj_per_byte(-1.0);
+    }
+
+    #[test]
+    fn zero_bytes_zero_energy() {
+        assert_eq!(Interface::MicroTsv.transfer_energy(0), Energy::ZERO);
+    }
+}

@@ -1,0 +1,57 @@
+//! # camj-tech — technology substrate for CamJ-rs
+//!
+//! Self-contained models of the silicon technology facts that the CamJ
+//! energy framework consumes:
+//!
+//! * [`node`] — CMOS process nodes (CIS nodes lag SoC nodes; paper Fig. 3),
+//! * [`scaling`] — energy/delay/area/leakage scaling tables
+//!   (DeepScaleTool-style), including the non-monotonic 65 nm leakage bump,
+//! * [`sram`] — an analytical SRAM macro model (DESTINY/CACTI-style),
+//! * [`sttram`] — an analytical STT-RAM model (NVMExplorer-style),
+//! * [`adc_fom`] — the Walden ADC figure-of-merit survey (paper Eq. 12),
+//! * [`interface`] — MIPI CSI-2 and µTSV per-byte energies (paper Eq. 17),
+//! * [`thermal`] — the paper's future-work extension: power density →
+//!   junction temperature → thermal-noise penalty,
+//! * [`units`] — `Energy` / `Power` / `Time` quantity newtypes,
+//! * [`constants`] — physical constants (kT for thermal-noise sizing).
+//!
+//! These replace the external tools the paper's authors invoked (CACTI,
+//! DESTINY, NVMExplorer, DeepScaleTool, the Murmann survey); see DESIGN.md
+//! for the substitution rationale and calibration points.
+//!
+//! # Examples
+//!
+//! ```
+//! use camj_tech::node::ProcessNode;
+//! use camj_tech::sram::SramMacro;
+//! use camj_tech::interface::Interface;
+//!
+//! // How does a 64 KiB frame buffer at the sensor's 65 nm node compare
+//! // with shipping the frame out over MIPI?
+//! let buffer = SramMacro::new(64 * 1024, 64, ProcessNode::N65);
+//! let hold_frame = buffer.leakage_power() * camj_tech::units::Time::from_millis(33.0);
+//! let ship_frame = Interface::MipiCsi2.transfer_energy(64 * 1024);
+//! assert!(hold_frame.joules() > 0.0 && ship_frame.joules() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adc_fom;
+pub mod constants;
+pub mod interface;
+pub mod node;
+pub mod scaling;
+pub mod sram;
+pub mod sttram;
+pub mod thermal;
+pub mod units;
+
+pub use adc_fom::AdcSurvey;
+pub use interface::Interface;
+pub use node::ProcessNode;
+pub use scaling::ScalingTable;
+pub use sram::{SramCellType, SramMacro};
+pub use sttram::{SttRamError, SttRamMacro};
+pub use thermal::ThermalModel;
+pub use units::{Energy, Power, Time};

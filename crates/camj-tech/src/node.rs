@@ -1,0 +1,153 @@
+//! CMOS process node representation.
+//!
+//! CIS designs lag conventional CMOS by several generations (paper Fig. 3):
+//! pixel pitch barely shrinks (photon sensitivity), so CIS commonly sit at
+//! 180–65 nm while companion SoCs use 28–7 nm. [`ProcessNode`] is the key
+//! shared vocabulary between the technology models and the rest of CamJ-rs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A CMOS process node, identified by its feature size in nanometres.
+///
+/// # Examples
+///
+/// ```
+/// use camj_tech::node::ProcessNode;
+///
+/// let cis = ProcessNode::N65;
+/// let soc = ProcessNode::N22;
+/// assert!(cis.nanometers() > soc.nanometers());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessNode {
+    nm: f64,
+}
+
+impl ProcessNode {
+    /// 180 nm — oldest node in the scaling tables; common in low-power CIS.
+    pub const N180: Self = Self { nm: 180.0 };
+    /// 130 nm — common CIS analog/pixel node.
+    pub const N130: Self = Self { nm: 130.0 };
+    /// 110 nm — used by several validation chips (e.g. Sensors'20).
+    pub const N110: Self = Self { nm: 110.0 };
+    /// 90 nm.
+    pub const N90: Self = Self { nm: 90.0 };
+    /// 65 nm — the most common modern CIS logic node; notoriously leaky.
+    pub const N65: Self = Self { nm: 65.0 };
+    /// 45 nm.
+    pub const N45: Self = Self { nm: 45.0 };
+    /// 32 nm.
+    pub const N32: Self = Self { nm: 32.0 };
+    /// 28 nm — common stacked-CIS logic-layer node (e.g. VLSI'21 chip).
+    pub const N28: Self = Self { nm: 28.0 };
+    /// 22 nm — the SoC node used throughout the paper's case studies.
+    pub const N22: Self = Self { nm: 22.0 };
+    /// 14 nm.
+    pub const N14: Self = Self { nm: 14.0 };
+    /// 10 nm.
+    pub const N10: Self = Self { nm: 10.0 };
+    /// 7 nm — newest node in the scaling tables.
+    pub const N7: Self = Self { nm: 7.0 };
+
+    /// Creates a process node from a feature size in nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nm` is not a positive finite number.
+    #[must_use]
+    pub fn from_nanometers(nm: f64) -> Self {
+        assert!(
+            nm.is_finite() && nm > 0.0,
+            "process node must be a positive finite feature size, got {nm}"
+        );
+        Self { nm }
+    }
+
+    /// The feature size in nanometres.
+    #[must_use]
+    pub fn nanometers(self) -> f64 {
+        self.nm
+    }
+
+    /// The feature size in metres (convenient for area formulas).
+    #[must_use]
+    pub fn meters(self) -> f64 {
+        self.nm * 1e-9
+    }
+
+    /// Whether this node predates high-k/metal-gate processes (> 45 nm).
+    ///
+    /// Pre-HKMG nodes — 65 nm in particular — suffer elevated gate leakage,
+    /// which drives the paper's Ed-Gaze leakage findings.
+    #[must_use]
+    pub fn is_pre_hkmg(self) -> bool {
+        self.nm > 45.0
+    }
+}
+
+impl Eq for ProcessNode {}
+
+impl PartialOrd for ProcessNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ProcessNode {
+    /// Orders by feature size: smaller (more advanced) nodes sort first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.nm
+            .partial_cmp(&other.nm)
+            .expect("process node sizes are always finite")
+    }
+}
+
+impl std::hash::Hash for ProcessNode {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.nm.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_nodes_have_expected_sizes() {
+        assert_eq!(ProcessNode::N65.nanometers(), 65.0);
+        assert_eq!(ProcessNode::N22.nanometers(), 22.0);
+    }
+
+    #[test]
+    fn ordering_is_by_feature_size() {
+        assert!(ProcessNode::N7 < ProcessNode::N180);
+        assert!(ProcessNode::N65 > ProcessNode::N22);
+    }
+
+    #[test]
+    fn hkmg_boundary() {
+        assert!(ProcessNode::N65.is_pre_hkmg());
+        assert!(ProcessNode::N130.is_pre_hkmg());
+        assert!(!ProcessNode::N45.is_pre_hkmg());
+        assert!(!ProcessNode::N22.is_pre_hkmg());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_nonpositive_size() {
+        let _ = ProcessNode::from_nanometers(0.0);
+    }
+
+    #[test]
+    fn meters_conversion() {
+        assert!((ProcessNode::N65.meters() - 65e-9).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,204 @@
+//! Analytical STT-RAM (spin-transfer-torque MRAM) model.
+//!
+//! Plays the role of NVMExplorer [55] in the paper's 3D-In-STT case study
+//! (Sec. 6.2): replacing the compute-layer SRAM with STT-RAM trades a
+//! write-energy premium for near-zero array leakage, which wins decisively
+//! for frame buffers that can never be power-gated.
+//!
+//! Relative to an SRAM macro of the same geometry:
+//!
+//! * reads cost slightly more (sense currents through MTJs),
+//! * writes cost ~8× more (MTJ switching current over several ns),
+//! * leakage collapses to the CMOS periphery only (~2 % of SRAM),
+//! * the 1T-1MTJ bit-cell is ~4× denser than 6T SRAM.
+//!
+//! NVMExplorer does not model very small arrays; the paper notes its 2 KiB
+//! Rhythmic buffer "lacks STT-RAM results" for exactly this reason. We
+//! reproduce that constraint with [`SttRamError::CapacityTooSmall`].
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::ProcessNode;
+use crate::sram::SramMacro;
+use crate::units::{Energy, Power};
+
+/// Minimum modellable STT-RAM macro capacity, in bytes (4 KiB).
+pub const MIN_CAPACITY_BYTES: u64 = 4 * 1024;
+
+/// Error returned when an STT-RAM macro cannot be modelled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SttRamError {
+    /// The requested capacity is below [`MIN_CAPACITY_BYTES`]; the fit is
+    /// not valid for tiny arrays (mirroring NVMExplorer's limitation).
+    CapacityTooSmall {
+        /// Requested capacity in bytes.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for SttRamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SttRamError::CapacityTooSmall { requested } => write!(
+                f,
+                "STT-RAM macros below {MIN_CAPACITY_BYTES} bytes are not supported \
+                 (requested {requested} bytes)"
+            ),
+        }
+    }
+}
+
+impl Error for SttRamError {}
+
+/// Read premium over the equivalent SRAM read.
+const READ_FACTOR: f64 = 1.25;
+/// Write premium over the equivalent SRAM write (MTJ switching).
+const WRITE_FACTOR: f64 = 8.0;
+/// Peripheral leakage as a fraction of the equivalent SRAM macro.
+const LEAKAGE_FACTOR: f64 = 0.02;
+/// 1T-1MTJ cell area in F².
+const CELL_AREA_F2: f64 = 40.0;
+
+/// An STT-RAM macro model.
+///
+/// # Examples
+///
+/// ```
+/// use camj_tech::node::ProcessNode;
+/// use camj_tech::sttram::SttRamMacro;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stt = SttRamMacro::new(64 * 1024, 64, ProcessNode::N22)?;
+/// assert!(stt.write_energy() > stt.read_energy());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SttRamMacro {
+    /// Equivalent-geometry SRAM used as the CMOS-periphery baseline.
+    baseline: SramMacro,
+}
+
+impl SttRamMacro {
+    /// Creates an STT-RAM macro model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SttRamError::CapacityTooSmall`] if `capacity_bytes` is
+    /// below [`MIN_CAPACITY_BYTES`].
+    pub fn new(
+        capacity_bytes: u64,
+        word_bits: u32,
+        node: ProcessNode,
+    ) -> Result<Self, SttRamError> {
+        if capacity_bytes < MIN_CAPACITY_BYTES {
+            return Err(SttRamError::CapacityTooSmall {
+                requested: capacity_bytes,
+            });
+        }
+        Ok(Self {
+            baseline: SramMacro::new(capacity_bytes, word_bits, node),
+        })
+    }
+
+    /// Macro capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.baseline.capacity_bytes()
+    }
+
+    /// Access word width in bits.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.baseline.word_bits()
+    }
+
+    /// Process node of the CMOS periphery.
+    #[must_use]
+    pub fn node(&self) -> ProcessNode {
+        self.baseline.node()
+    }
+
+    /// Dynamic energy of one read access.
+    #[must_use]
+    pub fn read_energy(&self) -> Energy {
+        self.baseline.read_energy() * READ_FACTOR
+    }
+
+    /// Dynamic energy of one write access (MTJ switching premium).
+    #[must_use]
+    pub fn write_energy(&self) -> Energy {
+        self.baseline.write_energy() * WRITE_FACTOR
+    }
+
+    /// Static leakage power — CMOS periphery only; the array itself is
+    /// non-volatile and leaks nothing.
+    #[must_use]
+    pub fn leakage_power(&self) -> Power {
+        self.baseline.leakage_power() * LEAKAGE_FACTOR
+    }
+
+    /// Macro area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        // Rescale the SRAM area by the bit-cell area ratio; periphery
+        // overhead is already inside the baseline's array efficiency.
+        self.baseline.area_mm2() * CELL_AREA_F2
+            / self.baseline.cell_type().cell_area_f2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stt_64k_22nm() -> SttRamMacro {
+        SttRamMacro::new(64 * 1024, 64, ProcessNode::N22).expect("valid capacity")
+    }
+
+    #[test]
+    fn rejects_tiny_arrays() {
+        let err = SttRamMacro::new(2 * 1024, 64, ProcessNode::N22).unwrap_err();
+        assert!(matches!(err, SttRamError::CapacityTooSmall { requested } if requested == 2048));
+        assert!(err.to_string().contains("2048"));
+    }
+
+    #[test]
+    fn write_premium_over_read() {
+        let stt = stt_64k_22nm();
+        assert!(stt.write_energy().joules() > 4.0 * stt.read_energy().joules());
+    }
+
+    #[test]
+    fn leakage_is_tiny_versus_sram() {
+        let stt = stt_64k_22nm();
+        let sram = SramMacro::new(64 * 1024, 64, ProcessNode::N22);
+        assert!(stt.leakage_power().watts() < 0.05 * sram.leakage_power().watts());
+    }
+
+    #[test]
+    fn denser_than_sram() {
+        let stt = stt_64k_22nm();
+        let sram = SramMacro::new(64 * 1024, 64, ProcessNode::N22);
+        assert!(stt.area_mm2() < sram.area_mm2());
+    }
+
+    #[test]
+    fn reads_slightly_pricier_than_sram() {
+        let stt = stt_64k_22nm();
+        let sram = SramMacro::new(64 * 1024, 64, ProcessNode::N22);
+        assert!(stt.read_energy() > sram.read_energy());
+        assert!(stt.read_energy().joules() < 2.0 * sram.read_energy().joules());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let stt = stt_64k_22nm();
+        assert_eq!(stt.capacity_bytes(), 64 * 1024);
+        assert_eq!(stt.word_bits(), 64);
+        assert_eq!(stt.node(), ProcessNode::N22);
+    }
+}

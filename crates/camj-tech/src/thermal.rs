@@ -1,0 +1,186 @@
+//! Steady-state thermal model: power density → die temperature →
+//! thermal-noise penalty.
+//!
+//! The paper's Finding 2 ends with an open question: 3D stacking raises
+//! power density, which "increases the thermal-induced noise and worsens
+//! the imaging and computing quality … an exploration that CamJ enables
+//! and that we leave to future work". This module implements the first
+//! step of that exploration: a lumped thermal resistance maps a layer's
+//! power density to a steady-state temperature rise, and the kT/C noise
+//! equations ([`crate::constants`], paper Eq. 6) evaluate the penalty —
+//! either as lost effective resolution at fixed capacitance or as the
+//! extra capacitance (and energy) needed to hold resolution.
+//!
+//! The lumped model follows the mobile-device thermal literature the
+//! paper cites (Kodukula et al., Yu & Wu): sensor-class packages exhibit
+//! a junction-to-ambient thermal resistance around 20–40 K·mm²/mW-ish
+//! per unit area; we default to the conservative end.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::BOLTZMANN_J_PER_K;
+
+/// Default area-normalised junction-to-ambient thermal resistance for a
+/// sensor-class package, in K per (mW/mm²).
+///
+/// A bare CIS package dissipating 1 mW/mm² settles roughly 30 K above
+/// ambient under still air — the conservative end of the mobile thermal
+/// literature.
+pub const DEFAULT_THETA_K_PER_MW_MM2: f64 = 30.0;
+
+/// Default ambient temperature, kelvin.
+pub const DEFAULT_AMBIENT_K: f64 = 300.0;
+
+/// A lumped steady-state thermal model of a sensor package.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Area-normalised thermal resistance, K per (mW/mm²).
+    pub theta_k_per_mw_mm2: f64,
+    /// Ambient temperature, kelvin.
+    pub ambient_k: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self {
+            theta_k_per_mw_mm2: DEFAULT_THETA_K_PER_MW_MM2,
+            ambient_k: DEFAULT_AMBIENT_K,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Creates the default sensor-package model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Steady-state junction temperature (kelvin) at the given power
+    /// density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density_mw_per_mm2` is negative or non-finite.
+    #[must_use]
+    pub fn junction_temperature_k(&self, density_mw_per_mm2: f64) -> f64 {
+        assert!(
+            density_mw_per_mm2.is_finite() && density_mw_per_mm2 >= 0.0,
+            "power density must be non-negative and finite, got {density_mw_per_mm2}"
+        );
+        self.ambient_k + self.theta_k_per_mw_mm2 * density_mw_per_mm2
+    }
+
+    /// RMS thermal noise (volts) of a sampled capacitor at the junction
+    /// temperature reached under `density_mw_per_mm2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance_f` is not positive and finite.
+    #[must_use]
+    pub fn noise_rms_at_density(&self, capacitance_f: f64, density_mw_per_mm2: f64) -> f64 {
+        assert!(
+            capacitance_f.is_finite() && capacitance_f > 0.0,
+            "capacitance must be positive and finite, got {capacitance_f}"
+        );
+        let t = self.junction_temperature_k(density_mw_per_mm2);
+        (BOLTZMANN_J_PER_K * t / capacitance_f).sqrt()
+    }
+
+    /// The effective resolution (bits) a capacitor sustains at the hot
+    /// junction, under the paper's Eq. 6 criterion (`3σ < LSB/2`).
+    #[must_use]
+    pub fn effective_bits(
+        &self,
+        capacitance_f: f64,
+        v_swing: f64,
+        density_mw_per_mm2: f64,
+    ) -> u32 {
+        let sigma = self.noise_rms_at_density(capacitance_f, density_mw_per_mm2);
+        // 3σ < V_swing / (2·2^bits)  ⇒  bits < log2(V_swing / (6σ)).
+        let ratio = v_swing / (6.0 * sigma);
+        if ratio <= 1.0 {
+            0
+        } else {
+            ratio.log2().floor() as u32
+        }
+    }
+
+    /// The capacitance-scaling penalty of running hot: how much bigger
+    /// (and hence more energy-hungry, `E = C·V²`) every noise-sized
+    /// capacitor must be to hold resolution at the elevated junction
+    /// temperature, relative to ambient. Always ≥ 1.
+    #[must_use]
+    pub fn capacitance_penalty(&self, density_mw_per_mm2: f64) -> f64 {
+        self.junction_temperature_k(density_mw_per_mm2) / self.ambient_k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::DEFAULT_TEMPERATURE_K;
+
+    #[test]
+    fn zero_density_sits_at_ambient() {
+        let m = ThermalModel::default();
+        assert_eq!(m.junction_temperature_k(0.0), DEFAULT_AMBIENT_K);
+        assert!((m.capacitance_penalty(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_rises_linearly_with_density() {
+        let m = ThermalModel::default();
+        let t1 = m.junction_temperature_k(1.0);
+        let t2 = m.junction_temperature_k(2.0);
+        assert!((t2 - t1 - DEFAULT_THETA_K_PER_MW_MM2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_densities_are_thermally_benign() {
+        // The paper: CIS densities are 3–4 orders below CPUs, so no
+        // thermal hotspots — even the Ed-Gaze 2D-In outlier (~2 mW/mm²)
+        // warms the die by only tens of kelvin.
+        let m = ThermalModel::default();
+        let rise = m.junction_temperature_k(2.24) - m.ambient_k;
+        assert!(rise < 80.0, "rise {rise} K");
+    }
+
+    #[test]
+    fn hot_die_loses_effective_bits_eventually() {
+        let m = ThermalModel::default();
+        let c = crate::constants::kt_default(); // degenerate tiny cap
+        let _ = c;
+        // A 10 fF cap at 1 V holds 8 bits at ambient…
+        let cold = m.effective_bits(10e-15, 1.0, 0.0);
+        // …and loses margin on a CPU-class die (1 W/mm² ⇒ +30 000 K is
+        // unphysical for the lumped model, but monotonicity must hold).
+        let hot = m.effective_bits(10e-15, 1.0, 100.0);
+        assert!(cold >= hot, "cold {cold} vs hot {hot}");
+        assert!(cold >= 8, "cold {cold}");
+    }
+
+    #[test]
+    fn noise_grows_with_sqrt_temperature() {
+        let m = ThermalModel::default();
+        let n_cold = m.noise_rms_at_density(10e-15, 0.0);
+        // +300 K doubles T ⇒ noise × √2.
+        let density_doubling_t = DEFAULT_AMBIENT_K / DEFAULT_THETA_K_PER_MW_MM2;
+        let n_hot = m.noise_rms_at_density(10e-15, density_doubling_t);
+        assert!((n_hot / n_cold - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitance_penalty_tracks_temperature_ratio() {
+        let m = ThermalModel::default();
+        let density = 2.0;
+        let expected = m.junction_temperature_k(density) / DEFAULT_AMBIENT_K;
+        assert!((m.capacitance_penalty(density) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_density_rejected() {
+        let _ = ThermalModel::default().junction_temperature_k(-1.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Physical quantity newtypes used throughout CamJ-rs.
+//!
+//! All quantities are stored internally in base SI units (joules, watts,
+//! seconds) and expose convenience constructors/accessors for the scales
+//! that dominate image-sensor work (pico/femto-joules, micro/milli-watts,
+//! micro/nano-seconds).
+//!
+//! The newtypes deliberately implement only the arithmetic that is
+//! dimensionally meaningful: energies add, an energy divided by a time is
+//! a power, a power times a time is an energy, and scalar multiplication
+//! rescales any quantity.
+//!
+//! # Examples
+//!
+//! ```
+//! use camj_tech::units::{Energy, Power, Time};
+//!
+//! let per_access = Energy::from_picojoules(2.5);
+//! let accesses = 1_000_000.0;
+//! let frame_time = Time::from_millis(33.3);
+//!
+//! let dynamic = per_access * accesses;
+//! let leakage = Power::from_microwatts(320.0) * frame_time;
+//! let total = dynamic + leakage;
+//! assert!(total.joules() > dynamic.joules());
+//! let avg_power: Power = total / frame_time;
+//! assert!(avg_power.watts() > 0.0);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns `true` if the stored value is finite (not NaN/inf).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dimensionless ratio of two like quantities.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// An amount of energy, stored in joules.
+    Energy,
+    "J"
+);
+quantity!(
+    /// A power draw, stored in watts.
+    Power,
+    "W"
+);
+quantity!(
+    /// A time duration, stored in seconds.
+    Time,
+    "s"
+);
+
+impl Energy {
+    /// Creates an energy from joules.
+    #[must_use]
+    pub fn from_joules(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Creates an energy from microjoules (1e-6 J).
+    #[must_use]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Self(uj * 1e-6)
+    }
+
+    /// Creates an energy from nanojoules (1e-9 J).
+    #[must_use]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self(nj * 1e-9)
+    }
+
+    /// Creates an energy from picojoules (1e-12 J).
+    #[must_use]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self(pj * 1e-12)
+    }
+
+    /// Creates an energy from femtojoules (1e-15 J).
+    #[must_use]
+    pub fn from_femtojoules(fj: f64) -> Self {
+        Self(fj * 1e-15)
+    }
+
+    /// The stored value in joules.
+    #[must_use]
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// The stored value in microjoules.
+    #[must_use]
+    pub fn microjoules(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The stored value in nanojoules.
+    #[must_use]
+    pub fn nanojoules(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The stored value in picojoules.
+    #[must_use]
+    pub fn picojoules(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// The stored value in femtojoules.
+    #[must_use]
+    pub fn femtojoules(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Power {
+    /// Creates a power from watts.
+    #[must_use]
+    pub fn from_watts(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Creates a power from milliwatts (1e-3 W).
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts (1e-6 W).
+    #[must_use]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Creates a power from nanowatts (1e-9 W).
+    #[must_use]
+    pub fn from_nanowatts(nw: f64) -> Self {
+        Self(nw * 1e-9)
+    }
+
+    /// The stored value in watts.
+    #[must_use]
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// The stored value in milliwatts.
+    #[must_use]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The stored value in microwatts.
+    #[must_use]
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Time {
+    /// Creates a duration from seconds.
+    #[must_use]
+    pub fn from_secs(s: f64) -> Self {
+        Self(s)
+    }
+
+    /// Creates a duration from milliseconds (1e-3 s).
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds (1e-6 s).
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds (1e-9 s).
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// The stored value in seconds.
+    #[must_use]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// The stored value in milliseconds.
+    #[must_use]
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The stored value in microseconds.
+    #[must_use]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The stored value in nanoseconds.
+    #[must_use]
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The frequency whose period is this duration, in hertz.
+    ///
+    /// Returns `f64::INFINITY` for a zero duration.
+    #[must_use]
+    pub fn as_frequency_hz(self) -> f64 {
+        1.0 / self.0
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        Energy(self.0 * rhs.0)
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = Time;
+    fn div(self, rhs: Power) -> Time {
+        Time(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_unit_round_trips() {
+        let e = Energy::from_picojoules(123.0);
+        assert!((e.picojoules() - 123.0).abs() < 1e-9);
+        assert!((e.femtojoules() - 123_000.0).abs() < 1e-6);
+        assert!((e.joules() - 123.0e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let p = Power::from_milliwatts(1.0);
+        let t = Time::from_millis(1.0);
+        let e = p * t;
+        assert!((e.microjoules() - 1.0).abs() < 1e-12);
+        // commutes
+        let e2 = t * p;
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let e = Energy::from_microjoules(33.0);
+        let t = Time::from_millis(33.0);
+        let p = e / t;
+        assert!((p.milliwatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn like_quantities_divide_to_ratio() {
+        let a = Energy::from_picojoules(50.0);
+        let b = Energy::from_picojoules(100.0);
+        assert!((a / b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_energies() {
+        let parts = [
+            Energy::from_picojoules(1.0),
+            Energy::from_picojoules(2.0),
+            Energy::from_picojoules(3.0),
+        ];
+        let total: Energy = parts.iter().sum();
+        assert!((total.picojoules() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Energy::from_joules(1.5)), "1.5 J");
+        assert_eq!(format!("{}", Power::from_watts(2.0)), "2 W");
+        assert_eq!(format!("{}", Time::from_secs(0.5)), "0.5 s");
+    }
+
+    #[test]
+    fn frequency_of_period() {
+        let t = Time::from_micros(1.0);
+        assert!((t.as_frequency_hz() - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let mut e = Energy::from_picojoules(10.0);
+        e += Energy::from_picojoules(5.0);
+        e -= Energy::from_picojoules(3.0);
+        assert!((e.picojoules() - 12.0).abs() < 1e-12);
+        let doubled = e * 2.0;
+        assert!((doubled.picojoules() - 24.0).abs() < 1e-12);
+        let halved = doubled / 2.0;
+        assert!((halved.picojoules() - 12.0).abs() < 1e-12);
+        let neg = -halved;
+        assert!(neg.picojoules() < 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::from_micros(1.0);
+        let b = Time::from_micros(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

@@ -1,0 +1,246 @@
+//! Shared configuration machinery for the paper's case-study workloads
+//! (Sec. 6): sensor variants, node placement rules, and the technology
+//! helpers that turn a process node into unit energies.
+
+use std::error::Error;
+use std::fmt;
+
+use camj_analog::components::ApsParams;
+use camj_core::error::CamjError;
+use camj_core::hw::Layer;
+use camj_digital::memory::MemoryEnergy;
+use camj_tech::node::ProcessNode;
+use camj_tech::scaling::ScalingTable;
+use camj_tech::sram::SramMacro;
+use camj_tech::sttram::SttRamMacro;
+use camj_tech::units::Energy;
+
+/// The SoC node used throughout the paper's case studies ("We set the
+/// SoC process node to 22 nm").
+pub const SOC_NODE: ProcessNode = ProcessNode::N22;
+
+/// Frame-rate target for the case studies.
+pub const WORKLOAD_FPS: f64 = 30.0;
+
+/// System digital clock for the case studies.
+pub const DIGITAL_CLOCK_HZ: f64 = 200e6;
+
+/// Column-ADC resolution used by both case-study sensors.
+pub const COLUMN_ADC_BITS: u32 = 10;
+
+/// Expert Walden FoM for the case-study column ADCs (modern low-power
+/// single-slope designs beat the survey median), J per conversion-step.
+pub const COLUMN_ADC_FOM: f64 = 15e-15;
+
+/// Pixel pitch assumed for the case-study sensors, micrometres.
+pub const PIXEL_PITCH_UM: f64 = 4.0;
+
+/// The architecture variants of the paper's Sec. 6 exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorVariant {
+    /// 2D CIS, whole pipeline inside the sensor at the CIS node.
+    TwoDIn,
+    /// 2D CIS, everything after the ADC on a 22 nm SoC.
+    TwoDOff,
+    /// Two-layer stack: pixels at the CIS node, compute layer at 22 nm.
+    ThreeDIn,
+    /// Like [`SensorVariant::ThreeDIn`] with STT-RAM compute memories.
+    ThreeDInStt,
+    /// 2D CIS with the early stages in the analog domain (Fig. 10).
+    TwoDInMixed,
+}
+
+impl SensorVariant {
+    /// All variants, in the paper's presentation order.
+    pub const ALL: [SensorVariant; 5] = [
+        SensorVariant::TwoDIn,
+        SensorVariant::TwoDOff,
+        SensorVariant::ThreeDIn,
+        SensorVariant::ThreeDInStt,
+        SensorVariant::TwoDInMixed,
+    ];
+
+    /// The figure label used in the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SensorVariant::TwoDIn => "2D-In",
+            SensorVariant::TwoDOff => "2D-Off",
+            SensorVariant::ThreeDIn => "3D-In",
+            SensorVariant::ThreeDInStt => "3D-In-STT",
+            SensorVariant::TwoDInMixed => "2D-In-Mixed",
+        }
+    }
+
+    /// Which layer the digital pipeline sits on.
+    #[must_use]
+    pub fn digital_layer(self) -> Layer {
+        match self {
+            SensorVariant::TwoDIn | SensorVariant::TwoDInMixed => Layer::Sensor,
+            SensorVariant::TwoDOff => Layer::OffChip,
+            SensorVariant::ThreeDIn | SensorVariant::ThreeDInStt => Layer::Compute,
+        }
+    }
+
+    /// Which node the digital pipeline is fabricated in, given the CIS
+    /// (pixel-layer) node.
+    #[must_use]
+    pub fn digital_node(self, cis_node: ProcessNode) -> ProcessNode {
+        match self {
+            SensorVariant::TwoDIn | SensorVariant::TwoDInMixed => cis_node,
+            SensorVariant::TwoDOff
+            | SensorVariant::ThreeDIn
+            | SensorVariant::ThreeDInStt => SOC_NODE,
+        }
+    }
+
+    /// Whether compute memories use STT-RAM.
+    #[must_use]
+    pub fn uses_stt_ram(self) -> bool {
+        matches!(self, SensorVariant::ThreeDInStt)
+    }
+}
+
+impl fmt::Display for SensorVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Errors building a workload model.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The variant is not defined for this workload (e.g. Rhythmic's
+    /// 2 KiB buffer is below the STT-RAM model's minimum — the paper
+    /// makes the same exclusion).
+    Unsupported {
+        /// Why the combination is unavailable.
+        reason: String,
+    },
+    /// The underlying CamJ model rejected the configuration.
+    Camj(CamjError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Unsupported { reason } => {
+                write!(f, "unsupported workload configuration: {reason}")
+            }
+            WorkloadError::Camj(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Camj(e) => Some(e),
+            WorkloadError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<CamjError> for WorkloadError {
+    fn from(e: CamjError) -> Self {
+        WorkloadError::Camj(e)
+    }
+}
+
+/// Pixel parameters shared by the case-study sensors: a modern rolling-
+/// shutter 4T pixel driving a half-picofarad column line with CDS.
+#[must_use]
+pub fn workload_pixel() -> ApsParams {
+    ApsParams {
+        column_load_f: 0.5e-12,
+        ..ApsParams::default()
+    }
+}
+
+/// A per-operation datapath energy characterised at 65 nm, rescaled to
+/// `node` (DeepScaleTool-style, exactly as the paper's validation scales
+/// its 65 nm MAC datum).
+#[must_use]
+pub fn scaled_op_energy(pj_at_65nm: f64, node: ProcessNode) -> Energy {
+    ScalingTable::default().scale_energy(
+        Energy::from_picojoules(pj_at_65nm),
+        ProcessNode::N65,
+        node,
+    )
+}
+
+/// Memory energy parameters plus macro area for an SRAM of the given
+/// geometry at `node`.
+#[must_use]
+pub fn sram_parameters(capacity_bytes: u64, word_bits: u32, node: ProcessNode) -> (MemoryEnergy, f64) {
+    let m = SramMacro::new(capacity_bytes, word_bits, node);
+    (MemoryEnergy::from(&m), m.area_mm2())
+}
+
+/// Memory energy parameters plus macro area for an STT-RAM of the given
+/// geometry at `node`.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Unsupported`] for capacities below the
+/// STT-RAM model's minimum (mirroring NVMExplorer's limitation that the
+/// paper cites for Rhythmic's 2 KiB buffer).
+pub fn sttram_parameters(
+    capacity_bytes: u64,
+    word_bits: u32,
+    node: ProcessNode,
+) -> Result<(MemoryEnergy, f64), WorkloadError> {
+    let m = SttRamMacro::new(capacity_bytes, word_bits, node).map_err(|e| {
+        WorkloadError::Unsupported {
+            reason: e.to_string(),
+        }
+    })?;
+    Ok((MemoryEnergy::from(&m), m.area_mm2()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_placement_rules() {
+        assert_eq!(SensorVariant::TwoDIn.digital_layer(), Layer::Sensor);
+        assert_eq!(SensorVariant::TwoDOff.digital_layer(), Layer::OffChip);
+        assert_eq!(SensorVariant::ThreeDIn.digital_layer(), Layer::Compute);
+        assert_eq!(
+            SensorVariant::TwoDIn.digital_node(ProcessNode::N130),
+            ProcessNode::N130
+        );
+        assert_eq!(
+            SensorVariant::ThreeDIn.digital_node(ProcessNode::N130),
+            SOC_NODE
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SensorVariant::ThreeDInStt.label(), "3D-In-STT");
+        assert_eq!(SensorVariant::TwoDInMixed.to_string(), "2D-In-Mixed");
+    }
+
+    #[test]
+    fn op_energy_scales() {
+        let at_65 = scaled_op_energy(1.0, ProcessNode::N65);
+        let at_22 = scaled_op_energy(1.0, ProcessNode::N22);
+        assert!((at_65.picojoules() - 1.0).abs() < 1e-9);
+        assert!(at_22 < at_65);
+    }
+
+    #[test]
+    fn tiny_sttram_is_unsupported() {
+        let err = sttram_parameters(2048, 16, SOC_NODE).unwrap_err();
+        assert!(matches!(err, WorkloadError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn sram_parameters_are_positive() {
+        let (e, area) = sram_parameters(64 * 1024, 64, ProcessNode::N65);
+        assert!(e.read_per_word.picojoules() > 0.0);
+        assert!(area > 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # camj-workloads — the paper's workloads for CamJ-rs
+//!
+//! Ready-made CamJ models for everything the ISCA'23 evaluation runs:
+//!
+//! * [`quickstart`] — the Fig. 5 running example (32×32 binning + edge
+//!   detection),
+//! * [`rhythmic`] — Rhythmic Pixel Regions (Fig. 9a, Table 3),
+//! * [`edgaze`] — Ed-Gaze with all five architecture variants including
+//!   the Fig. 10 mixed-signal design (Fig. 9b, 11–13, Table 3),
+//! * [`validation`] — the nine silicon chips of Table 2 / Fig. 7,
+//! * [`survey`] — the ISSCC/IEDM design-survey data behind Fig. 1 and 3,
+//! * [`configs`] — shared variant/node machinery.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod configs;
+pub mod edgaze;
+pub mod quickstart;
+pub mod rhythmic;
+pub mod survey;
+pub mod validation;
+
+pub use configs::{SensorVariant, WorkloadError};

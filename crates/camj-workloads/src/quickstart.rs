@@ -1,0 +1,123 @@
+//! The paper's Fig. 5 running example, packaged as a ready-made model:
+//! a 32×32 sensor that bins 2×2 inside the pixel array, edge-detects
+//! with a small digital unit, and ships the result over MIPI.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::components::{aps_4t, column_adc, ApsParams};
+use camj_core::energy::CamJ;
+use camj_core::hw::{
+    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
+};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+use camj_digital::compute::ComputeUnit;
+use camj_digital::memory::{MemoryEnergy, MemoryStructure};
+use camj_tech::units::Energy;
+
+/// Builds the Fig. 5 model at the given frame rate.
+///
+/// # Errors
+///
+/// Returns a [`camj_core::error::CamjError`] if a check fails — which
+/// would indicate a bug, since this configuration is the paper's own
+/// worked example.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let report = camj_workloads::quickstart::model(30.0)?.estimate()?;
+/// println!("total: {:.1} pJ", report.total().picojoules());
+/// # Ok(())
+/// # }
+/// ```
+pub fn model(fps: f64) -> Result<CamJ, camj_core::error::CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [32, 32, 1]));
+    algo.add_stage(Stage::stencil(
+        "Binning",
+        [32, 32, 1],
+        [16, 16, 1],
+        [2, 2, 1],
+        [2, 2, 1],
+    ));
+    algo.add_stage(Stage::stencil(
+        "EdgeDetection",
+        [16, 16, 1],
+        [16, 16, 1],
+        [3, 3, 1],
+        [1, 1, 1],
+    ));
+    algo.connect("Input", "Binning")?;
+    algo.connect("Binning", "EdgeDetection")?;
+
+    let mut hw = HardwareDesc::new(200e6);
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(ApsParams::default().with_shared_pixels(4)), 16, 16),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(3.0),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "ADCArray",
+        AnalogArray::new(column_adc(10), 1, 16),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.add_memory(MemoryDesc::new(
+        MemoryStructure::line_buffer("LineBuffer", 3, 16)
+            .with_energy(MemoryEnergy::from_pj_per_word(0.3, 0.3, 0.0))
+            .with_ports(3, 1),
+        Layer::Sensor,
+        0.0,
+    ));
+    hw.add_digital(DigitalUnitDesc::pipelined(
+        ComputeUnit::new("EdgeUnit", [1, 3, 1], [1, 1, 1], 2)
+            .with_energy_per_cycle(Energy::from_picojoules(3.0)),
+        Layer::Sensor,
+    ));
+    hw.connect("PixelArray", "ADCArray");
+    hw.connect("ADCArray", "LineBuffer");
+    hw.connect("LineBuffer", "EdgeUnit");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("Binning", "PixelArray")
+        .map("EdgeDetection", "EdgeUnit");
+
+    CamJ::new(algo, hw, mapping, fps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn quickstart_estimates() {
+        let report = model(30.0).unwrap().estimate().unwrap();
+        assert!(report.total().picojoules() > 0.0);
+        // All three analog pipeline stages of Fig. 6 are present:
+        // exposure + binned readout + ADC.
+        assert_eq!(report.delay.analog_stage_count, 3);
+    }
+
+    #[test]
+    fn mipi_carries_the_edge_map() {
+        let report = model(30.0).unwrap().estimate().unwrap();
+        let mipi = report.breakdown.category_total(EnergyCategory::Mipi);
+        // 256 output pixels × 100 pJ/B.
+        assert!((mipi.picojoules() - 25_600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn faster_frame_rate_costs_no_less() {
+        // Shrinking the analog time budget cannot reduce energy.
+        let slow = model(30.0).unwrap().estimate().unwrap();
+        let fast = model(120.0).unwrap().estimate().unwrap();
+        assert!(fast.total() >= slow.total() * 0.999);
+    }
+}

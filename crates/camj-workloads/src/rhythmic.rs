@@ -1,0 +1,210 @@
+//! Rhythmic Pixel Regions [37] — the paper's first case-study workload
+//! (Fig. 8a, Fig. 9a, Table 3).
+//!
+//! A 1280×720 sensor feeds a dedicated "Compare & Sample" accelerator
+//! that encodes a region-of-interest stream, halving the image volume
+//! (~7.4 × 10⁶ arithmetic operations per frame). Because the workload is
+//! communication-dominated, it is the paper's showcase for when in-CIS
+//! computing wins (Finding 1).
+
+use camj_analog::array::AnalogArray;
+use camj_analog::components::{aps_4t, column_adc_with_fom};
+use camj_core::energy::CamJ;
+use camj_core::hw::{
+    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
+};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+use camj_digital::compute::ComputeUnit;
+use camj_digital::memory::MemoryStructure;
+use camj_tech::node::ProcessNode;
+
+use crate::configs::{
+    scaled_op_energy, sram_parameters, workload_pixel, SensorVariant, WorkloadError,
+    COLUMN_ADC_BITS, COLUMN_ADC_FOM, DIGITAL_CLOCK_HZ, WORKLOAD_FPS,
+};
+
+/// Sensor width in pixels.
+pub const WIDTH: u32 = 1280;
+/// Sensor height in pixels.
+pub const HEIGHT: u32 = 720;
+/// Arithmetic operations per frame (from the original paper).
+pub const OPS_PER_FRAME: u64 = 7_400_000;
+/// ROI encoding halves the transmitted image volume.
+pub const ROI_FRACTION: f64 = 0.5;
+/// Compare & Sample PE count.
+pub const PE_COUNT: u32 = 16;
+/// Per-operation energy of one Compare & Sample PE at 65 nm, pJ
+/// (a 16-bit compare-and-accumulate datapath from synthesis).
+pub const OP_ENERGY_65NM_PJ: f64 = 1.5;
+/// Row-FIFO capacity in pixels (two rows — the "2K memory" the paper
+/// notes NVMExplorer cannot model as STT-RAM).
+pub const FIFO_PIXELS: u64 = 2 * WIDTH as u64;
+/// Pixel pitch of the 720p sensor, micrometres (a large-pixel HDR part).
+pub const RHYTHMIC_PIXEL_PITCH_UM: f64 = 8.0;
+
+/// The Rhythmic Pixel Regions algorithm DAG.
+#[must_use]
+pub fn algorithm() -> AlgorithmGraph {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [WIDTH, HEIGHT, 1]));
+    // Output volume is halved; the op total comes from the paper, and
+    // each output reads the two candidate rows it compares.
+    let out_h = (HEIGHT as f64 * ROI_FRACTION) as u32;
+    algo.add_stage(Stage::custom(
+        "CompareSample",
+        [WIDTH, HEIGHT, 1],
+        [WIDTH, out_h, 1],
+        OPS_PER_FRAME,
+        2.0,
+    ));
+    algo.connect("Input", "CompareSample")
+        .expect("stages exist by construction");
+    algo
+}
+
+/// Builds the full CamJ model for one architecture variant.
+///
+/// # Errors
+///
+/// * [`WorkloadError::Unsupported`] for [`SensorVariant::TwoDInMixed`]
+///   (the paper defines no mixed-signal Rhythmic design) and for
+///   [`SensorVariant::ThreeDInStt`] (its 2 KiB buffer is below the
+///   STT-RAM model's minimum, as the paper notes), and
+/// * [`WorkloadError::Camj`] if the assembled model fails a check.
+pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, WorkloadError> {
+    match variant {
+        SensorVariant::TwoDInMixed => {
+            return Err(WorkloadError::Unsupported {
+                reason: "Rhythmic Pixel Regions has no mixed-signal design in the paper".into(),
+            })
+        }
+        SensorVariant::ThreeDInStt => {
+            return Err(WorkloadError::Unsupported {
+                reason: "Rhythmic requires only a 2 KiB memory, below the STT-RAM \
+                         model's 4 KiB minimum (the paper makes the same exclusion)"
+                    .into(),
+            })
+        }
+        _ => {}
+    }
+
+    let digital_layer = variant.digital_layer();
+    let digital_node = variant.digital_node(cis_node);
+
+    let mut hw = HardwareDesc::new(DIGITAL_CLOCK_HZ);
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(workload_pixel()), HEIGHT, WIDTH),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(RHYTHMIC_PIXEL_PITCH_UM),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "ADCArray",
+        AnalogArray::new(column_adc_with_fom(COLUMN_ADC_BITS, COLUMN_ADC_FOM), 1, WIDTH),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+
+    let (fifo_energy, fifo_area) = sram_parameters(FIFO_PIXELS, 16, digital_node);
+    hw.add_memory(MemoryDesc::new(
+        MemoryStructure::fifo("RowFIFO", FIFO_PIXELS)
+            .with_energy(fifo_energy)
+            .with_pixels_per_word(2)
+            .with_ports(2, 2),
+        digital_layer,
+        fifo_area,
+    ));
+
+    let e_cycle = scaled_op_energy(OP_ENERGY_65NM_PJ, digital_node) * f64::from(PE_COUNT);
+    hw.add_digital(DigitalUnitDesc::pipelined(
+        ComputeUnit::new("CompareSamplePE", [2, 1, 1], [1, 1, 1], 2)
+            .with_energy_per_cycle(e_cycle),
+        digital_layer,
+    ));
+
+    hw.connect("PixelArray", "ADCArray");
+    hw.connect("ADCArray", "RowFIFO");
+    hw.connect("RowFIFO", "CompareSamplePE");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("CompareSample", "CompareSamplePE");
+
+    CamJ::new(algorithm(), hw, mapping, WORKLOAD_FPS).map_err(WorkloadError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn ops_match_paper() {
+        let algo = algorithm();
+        assert_eq!(algo.stage("CompareSample").unwrap().ops_per_frame(), OPS_PER_FRAME);
+    }
+
+    #[test]
+    fn two_d_in_estimates() {
+        let report = model(SensorVariant::TwoDIn, ProcessNode::N65)
+            .unwrap()
+            .estimate()
+            .unwrap();
+        // Communication must be a major budget: ROI over MIPI is 46 µJ.
+        let mipi = report.breakdown.category_total(EnergyCategory::Mipi);
+        assert!(
+            (mipi.microjoules() - 46.08).abs() < 0.5,
+            "MIPI {} µJ",
+            mipi.microjoules()
+        );
+    }
+
+    #[test]
+    fn in_sensor_beats_off_sensor() {
+        // Finding 1: Rhythmic is communication-dominant, so 2D-In wins.
+        for node in [ProcessNode::N130, ProcessNode::N65] {
+            let on = model(SensorVariant::TwoDIn, node).unwrap().estimate().unwrap();
+            let off = model(SensorVariant::TwoDOff, node).unwrap().estimate().unwrap();
+            assert!(
+                on.total() < off.total(),
+                "2D-In should beat 2D-Off at {node}: {} vs {} µJ",
+                on.total().microjoules(),
+                off.total().microjoules()
+            );
+        }
+    }
+
+    #[test]
+    fn savings_grow_with_newer_cis_node() {
+        let saving = |node| {
+            let on = model(SensorVariant::TwoDIn, node).unwrap().estimate().unwrap();
+            let off = model(SensorVariant::TwoDOff, node).unwrap().estimate().unwrap();
+            1.0 - on.total() / off.total()
+        };
+        assert!(saving(ProcessNode::N65) > saving(ProcessNode::N130));
+    }
+
+    #[test]
+    fn three_d_beats_two_d_in() {
+        for node in [ProcessNode::N130, ProcessNode::N65] {
+            let two_d = model(SensorVariant::TwoDIn, node).unwrap().estimate().unwrap();
+            let three_d = model(SensorVariant::ThreeDIn, node).unwrap().estimate().unwrap();
+            assert!(three_d.total() < two_d.total());
+        }
+    }
+
+    #[test]
+    fn stt_variant_is_excluded_like_the_paper() {
+        let err = model(SensorVariant::ThreeDInStt, ProcessNode::N65).unwrap_err();
+        assert!(matches!(err, WorkloadError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn mixed_variant_is_undefined() {
+        assert!(model(SensorVariant::TwoDInMixed, ProcessNode::N65).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! The ISSCC/IEDM CIS design survey behind the paper's motivation
+//! figures (Fig. 1: share of computational / stacked designs per year;
+//! Fig. 3: CIS process node vs pixel pitch vs the IRDS logic roadmap).
+//!
+//! The authors hand-surveyed every CIS paper from 2000–2022; we do not
+//! have their spreadsheet, so this module **synthesizes** a survey
+//! dataset with the same aggregate trends (documented substitution — see
+//! DESIGN.md): computational designs grow from a rarity to a majority,
+//! stacking appears after ~2012, and the CIS node tracks pixel-pitch
+//! scaling while falling ever further behind the IRDS logic roadmap.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// First survey year.
+pub const FIRST_YEAR: u32 = 2000;
+/// Last survey year.
+pub const LAST_YEAR: u32 = 2022;
+
+/// What kind of CIS a surveyed paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CisKind {
+    /// A pure imaging sensor.
+    Imaging,
+    /// A sensor with integrated (analog or digital) computation.
+    Computational,
+    /// A computational sensor using 3D stacking.
+    StackedComputational,
+}
+
+/// One surveyed design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyEntry {
+    /// Publication year.
+    pub year: u32,
+    /// Design kind.
+    pub kind: CisKind,
+    /// CIS process node in nanometres.
+    pub node_nm: f64,
+    /// Pixel pitch in micrometres.
+    pub pixel_pitch_um: f64,
+}
+
+/// Per-year design-share summary (the stacked bars of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YearShare {
+    /// Year.
+    pub year: u32,
+    /// Percentage of pure-imaging designs.
+    pub imaging_pct: f64,
+    /// Percentage of (non-stacked) computational designs.
+    pub computational_pct: f64,
+    /// Percentage of stacked computational designs.
+    pub stacked_pct: f64,
+}
+
+/// Synthesizes the survey with a deterministic seed.
+#[must_use]
+pub fn survey(seed: u64) -> Vec<SurveyEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::new();
+    for year in FIRST_YEAR..=LAST_YEAR {
+        let t = f64::from(year - FIRST_YEAR) / f64::from(LAST_YEAR - FIRST_YEAR);
+        let papers = rng.random_range(8..=15);
+        // Computational share: ~8 % in 2000 rising to ~65 % in 2022.
+        let p_comp = 0.08 + 0.57 * t;
+        // Stacking share of computational designs: none before ~2012,
+        // then rising to ~55 %.
+        let p_stacked = if year < 2012 {
+            0.0
+        } else {
+            0.55 * f64::from(year - 2012) / f64::from(LAST_YEAR - 2012)
+        };
+        // Pixel pitch shrinks slowly: ~6 µm (2000) → ~1.4 µm (2022).
+        let pitch_center = 6.0 * (1.4f64 / 6.0).powf(t);
+        // CIS node tracks the pitch scaling, ~350 nm → ~65 nm.
+        let node_center = 350.0 * (65.0f64 / 350.0).powf(t);
+        for _ in 0..papers {
+            let kind = if rng.random_bool(p_comp) {
+                if rng.random_bool(p_stacked) {
+                    CisKind::StackedComputational
+                } else {
+                    CisKind::Computational
+                }
+            } else {
+                CisKind::Imaging
+            };
+            let jitter = |rng: &mut StdRng| rng.random_range(0.75..1.33);
+            entries.push(SurveyEntry {
+                year,
+                kind,
+                node_nm: node_center * jitter(&mut rng),
+                pixel_pitch_um: pitch_center * jitter(&mut rng),
+            });
+        }
+    }
+    entries
+}
+
+/// Per-year shares (Fig. 1).
+#[must_use]
+pub fn shares_by_year(entries: &[SurveyEntry]) -> Vec<YearShare> {
+    (FIRST_YEAR..=LAST_YEAR)
+        .map(|year| {
+            let in_year: Vec<_> = entries.iter().filter(|e| e.year == year).collect();
+            let n = in_year.len().max(1) as f64;
+            let count = |kind: CisKind| {
+                in_year.iter().filter(|e| e.kind == kind).count() as f64 / n * 100.0
+            };
+            YearShare {
+                year,
+                imaging_pct: count(CisKind::Imaging),
+                computational_pct: count(CisKind::Computational),
+                stacked_pct: count(CisKind::StackedComputational),
+            }
+        })
+        .collect()
+}
+
+/// Least-squares fit of `ln(y) = a + b·(year − 2000)` — the trend lines
+/// of Fig. 3. Returns `(a, b)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied.
+#[must_use]
+pub fn log_linear_fit(points: &[(u32, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let xs = |p: &(u32, f64)| f64::from(p.0 - FIRST_YEAR);
+    let ys = |p: &(u32, f64)| p.1.ln();
+    let sx: f64 = points.iter().map(xs).sum();
+    let sy: f64 = points.iter().map(ys).sum();
+    let sxx: f64 = points.iter().map(|p| xs(p) * xs(p)).sum();
+    let sxy: f64 = points.iter().map(|p| xs(p) * ys(p)).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// The CIS node trend line fitted from the survey.
+#[must_use]
+pub fn cis_node_trend(entries: &[SurveyEntry]) -> (f64, f64) {
+    let pts: Vec<(u32, f64)> = entries.iter().map(|e| (e.year, e.node_nm)).collect();
+    log_linear_fit(&pts)
+}
+
+/// The pixel-pitch trend line fitted from the survey.
+#[must_use]
+pub fn pixel_pitch_trend(entries: &[SurveyEntry]) -> (f64, f64) {
+    let pts: Vec<(u32, f64)> = entries.iter().map(|e| (e.year, e.pixel_pitch_um)).collect();
+    log_linear_fit(&pts)
+}
+
+/// The IRDS conventional-CMOS roadmap (year, node in nm) — the blue
+/// reference line of Fig. 3.
+#[must_use]
+pub fn irds_roadmap() -> Vec<(u32, f64)> {
+    vec![
+        (2000, 180.0),
+        (2002, 130.0),
+        (2004, 90.0),
+        (2006, 65.0),
+        (2008, 45.0),
+        (2010, 32.0),
+        (2012, 22.0),
+        (2014, 14.0),
+        (2016, 10.0),
+        (2018, 7.0),
+        (2020, 5.0),
+        (2022, 3.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_is_deterministic() {
+        assert_eq!(survey(42), survey(42));
+        assert_ne!(survey(42), survey(43));
+    }
+
+    #[test]
+    fn computational_share_rises() {
+        let entries = survey(7);
+        let shares = shares_by_year(&entries);
+        let early: f64 = shares[..5]
+            .iter()
+            .map(|s| s.computational_pct + s.stacked_pct)
+            .sum::<f64>()
+            / 5.0;
+        let late: f64 = shares[shares.len() - 5..]
+            .iter()
+            .map(|s| s.computational_pct + s.stacked_pct)
+            .sum::<f64>()
+            / 5.0;
+        assert!(late > 2.0 * early, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn stacking_appears_only_after_2012() {
+        let entries = survey(7);
+        assert!(entries
+            .iter()
+            .filter(|e| e.year < 2012)
+            .all(|e| e.kind != CisKind::StackedComputational));
+        assert!(entries
+            .iter()
+            .any(|e| e.kind == CisKind::StackedComputational));
+    }
+
+    #[test]
+    fn shares_sum_to_100() {
+        for s in shares_by_year(&survey(7)) {
+            let sum = s.imaging_pct + s.computational_pct + s.stacked_pct;
+            assert!((sum - 100.0).abs() < 1e-9, "year {}: {sum}", s.year);
+        }
+    }
+
+    #[test]
+    fn node_trend_slopes_downward_slower_than_irds() {
+        let entries = survey(7);
+        let (_, cis_slope) = cis_node_trend(&entries);
+        let (_, irds_slope) = log_linear_fit(&irds_roadmap());
+        assert!(cis_slope < 0.0, "CIS nodes shrink: slope {cis_slope}");
+        // Fig. 3's point: the CIS slope is shallower than the IRDS slope.
+        assert!(
+            cis_slope > irds_slope,
+            "CIS ({cis_slope}) lags IRDS ({irds_slope})"
+        );
+    }
+
+    #[test]
+    fn node_tracks_pixel_pitch() {
+        let entries = survey(7);
+        let (_, node_slope) = cis_node_trend(&entries);
+        let (_, pitch_slope) = pixel_pitch_trend(&entries);
+        // "The slope of CIS process node scaling almost follows exactly
+        // that of the pixel size scaling."
+        assert!((node_slope - pitch_slope).abs() < 0.03);
+    }
+
+    #[test]
+    fn fit_recovers_known_line() {
+        // y = e^(1 + 0.1·x)
+        let pts: Vec<(u32, f64)> = (0..10)
+            .map(|i| (FIRST_YEAR + i, (1.0 + 0.1 * f64::from(i)).exp()))
+            .collect();
+        let (a, b) = log_linear_fit(&pts);
+        assert!((a - 1.0).abs() < 1e-9 && (b - 0.1).abs() < 1e-9);
+    }
+}

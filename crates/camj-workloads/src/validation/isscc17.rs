@@ -1,0 +1,147 @@
+//! ISSCC'17 [5] — Bong et al., "A 0.62 mW ultra-low-power CNN face
+//! recognition processor and a CIS integrated with always-on Haar-like
+//! face detector".
+//!
+//! Table 2 row: 65 nm, not stacked, 3T APS, 20×80 analog memory,
+//! Avg&Add analog PEs (column & chip, charge/voltage domains), 160 KB
+//! digital memory, 4×4×64 digital PEs running a CNN.
+//!
+//! Reported energy reconstructed from the published always-on power at
+//! QVGA/30 fps; the big 160 KB always-on SRAM dominates — this chip
+//! anchors the top of the Fig. 7 energy range.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::components::{adder, aps_3t, column_adc_with_fom, ApsParams};
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{
+    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
+};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+use camj_digital::compute::SystolicArray;
+use camj_digital::memory::{MemoryEnergy, MemoryStructure};
+use camj_tech::node::ProcessNode;
+use camj_tech::sram::SramMacro;
+
+use super::ChipSpec;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "ISSCC'17",
+        summary: "65nm | 3T APS | analog Avg&Add + 160KB, 4x4x64 PE CNN",
+        reported_pj_per_px: 5_700.0,
+        build: model,
+    }
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [320, 240, 1]));
+    // Haar-like face detector: 2×2 averaging pyramids in analog.
+    algo.add_stage(Stage::stencil(
+        "HaarAvg",
+        [320, 240, 1],
+        [160, 120, 1],
+        [2, 2, 1],
+        [2, 2, 1],
+    ));
+    // The always-on CNN face recogniser.
+    algo.add_stage(Stage::dnn(
+        "CnnFace",
+        [160, 120, 1],
+        [32, 32, 1],
+        30_000_000,
+        100_000,
+    ));
+    algo.connect("Input", "HaarAvg")?;
+    algo.connect("HaarAvg", "CnnFace")?;
+
+    let mut hw = HardwareDesc::new(200e6);
+    let pixel = ApsParams {
+        column_load_f: 0.8e-12,
+        correlated_double_sampling: false,
+        ..ApsParams::default()
+    };
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_3t(pixel), 240, 320),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(5.0),
+    );
+    // Column-parallel charge-averaging PEs (Avg&Add).
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "AvgAddArray",
+            AnalogArray::new(adder(8, 1.0), 1, 320),
+            Layer::Sensor,
+            AnalogCategory::Compute,
+        )
+        .with_ops_per_output(4.0),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "ADCArray",
+        AnalogArray::new(column_adc_with_fom(10, 20e-15), 1, 320),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+
+    let sram = SramMacro::new(160 * 1024, 64, ProcessNode::N65);
+    hw.add_memory(MemoryDesc::new(
+        MemoryStructure::double_buffer("CnnSram", 160 * 1024)
+            .with_energy(MemoryEnergy::from(&sram))
+            .with_pixels_per_word(8)
+            .with_ports(2, 2),
+        Layer::Sensor,
+        sram.area_mm2(),
+    ));
+    // 4×4×64 = 1024 MACs, modelled as a 32×32 grid.
+    hw.add_digital(DigitalUnitDesc::systolic(
+        SystolicArray::new("CnnPe", 32, 32, ProcessNode::N65),
+        Layer::Sensor,
+    ));
+
+    hw.connect("PixelArray", "AvgAddArray");
+    hw.connect("AvgAddArray", "ADCArray");
+    hw.connect("ADCArray", "CnnSram");
+    hw.connect("CnnSram", "CnnPe");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("HaarAvg", "AvgAddArray")
+        .map("CnnFace", "CnnPe");
+
+    CamJ::new(algo, hw, mapping, 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn leaky_sram_dominates() {
+        let report = model().unwrap().estimate().unwrap();
+        let mem = report
+            .breakdown
+            .category_total(EnergyCategory::DigitalMemory);
+        assert!(mem / report.total() > 0.5, "always-on SRAM should dominate");
+    }
+
+    #[test]
+    fn estimate_is_in_the_multi_nanojoule_class() {
+        let report = model().unwrap().estimate().unwrap();
+        let pj = report.energy_per_pixel().picojoules();
+        assert!(pj > 1_000.0 && pj < 20_000.0, "{pj} pJ/px");
+    }
+}

@@ -1,0 +1,128 @@
+//! ISSCC'21 [16] — Eki et al. (Sony IMX500), "A 1/2.3 inch 12.3 Mpixel
+//! with on-chip 4.97 TOPS/W CNN processor back-illuminated stacked CMOS
+//! image sensor".
+//!
+//! Table 2 row: 65 nm / 22 nm stacked, 4T APS, 8 MB digital memory,
+//! 1×2304 DNN PEs — the flagship commercial stacked computational CIS.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::components::{aps_4t, column_adc_with_fom, ApsParams};
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{
+    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
+};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+use camj_digital::compute::SystolicArray;
+use camj_digital::memory::{MemoryEnergy, MemoryStructure};
+use camj_tech::node::ProcessNode;
+use camj_tech::sram::SramMacro;
+
+use super::ChipSpec;
+
+/// Sensor resolution: 4056 × 3040 ≈ 12.3 Mpx.
+const WIDTH: u32 = 4056;
+/// Sensor rows.
+const HEIGHT: u32 = 3040;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "ISSCC'21",
+        summary: "65/22nm stacked | 4T APS | 8MB + 1x2304 PE CNN (IMX500)",
+        reported_pj_per_px: 570.0,
+        build: model,
+    }
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [WIDTH, HEIGHT, 1]));
+    // A MobileNet-class backbone over the full frame.
+    algo.add_stage(Stage::dnn(
+        "CnnBackbone",
+        [WIDTH, HEIGHT, 1],
+        [32, 32, 1],
+        4_000_000_000,
+        3_000_000,
+    ));
+    algo.connect("Input", "CnnBackbone")?;
+
+    let mut hw = HardwareDesc::new(400e6);
+    let pixel = ApsParams {
+        column_load_f: 0.5e-12,
+        ..ApsParams::default()
+    };
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(pixel), HEIGHT, WIDTH),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(1.55),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "ADCArray",
+        AnalogArray::new(column_adc_with_fom(10, 12e-15), 1, WIDTH),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+
+    let sram = SramMacro::new(8 * 1024 * 1024, 64, ProcessNode::N22);
+    hw.add_memory(MemoryDesc::new(
+        MemoryStructure::double_buffer("DnnSram", 8 * 1024 * 1024)
+            .with_energy(MemoryEnergy::from(&sram))
+            .with_pixels_per_word(8)
+            .with_ports(2, 2),
+        Layer::Compute,
+        sram.area_mm2(),
+    ));
+    // 2304 MACs arranged 48×48 on the 22 nm logic die.
+    hw.add_digital(DigitalUnitDesc::systolic(
+        SystolicArray::new("CnnProcessor", 48, 48, ProcessNode::N22),
+        Layer::Compute,
+    ));
+
+    hw.connect("PixelArray", "ADCArray");
+    hw.connect("ADCArray", "DnnSram");
+    hw.connect("DnnSram", "CnnProcessor");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("CnnBackbone", "CnnProcessor");
+
+    CamJ::new(algo, hw, mapping, 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn tsv_carries_the_full_frame() {
+        let report = model().unwrap().estimate().unwrap();
+        let tsv = report.breakdown.category_total(EnergyCategory::MicroTsv);
+        // 12.3 MB × 1 pJ/B ≈ 12.3 µJ.
+        assert!((tsv.microjoules() - 12.33).abs() < 0.2, "{} µJ", tsv.microjoules());
+    }
+
+    #[test]
+    fn estimate_is_in_the_half_nanojoule_class() {
+        let pj = model()
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .energy_per_pixel()
+            .picojoules();
+        assert!(pj > 200.0 && pj < 2_000.0, "{pj} pJ/px");
+    }
+}

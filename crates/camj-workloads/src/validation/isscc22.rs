@@ -1,0 +1,162 @@
+//! ISSCC'22 [29] — Hsu et al., "A 0.8 V intelligent vision sensor with
+//! tiny convolutional neural network and programmable weights using
+//! mixed-mode processing-in-sensor technique for image classification".
+//!
+//! Table 2 row: 180 nm, PWM pixels, column MAC in time & current
+//! domains, 256 B digital memory, a single digital PE.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::cell::AnalogCell;
+use camj_analog::component::AnalogComponentSpec;
+use camj_analog::domain::SignalDomain;
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{
+    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
+};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+use camj_digital::compute::ComputeUnit;
+use camj_digital::memory::{MemoryEnergy, MemoryStructure};
+use camj_tech::units::Energy;
+
+use super::ChipSpec;
+
+/// Supply voltage of the chip.
+const VDDA: f64 = 0.8;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "ISSCC'22",
+        summary: "180nm | PWM pixel | mixed-mode tiny CNN, 256B + 1 PE",
+        reported_pj_per_px: 14.0,
+        build: model,
+    }
+}
+
+fn pwm_pixel_08v() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("PWM-pixel-0.8V")
+        .input_domain(SignalDomain::Optical)
+        .output_domain(SignalDomain::Time)
+        .vdda(VDDA)
+        .cell("PD", AnalogCell::dynamic(3e-15, 0.6))
+        .cell("ramp", AnalogCell::dynamic(15e-15, 0.6))
+        .cell("pwm-quantiser", AnalogCell::adc(8))
+        .build()
+}
+
+fn time_current_mac() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("TI-MAC")
+        .input_domain(SignalDomain::Time)
+        .output_domain(SignalDomain::Current)
+        .vdda(VDDA)
+        .cell("gated-current", AnalogCell::source_follower(20e-15, 0.6))
+        .cell("integrator-cap", AnalogCell::dynamic(20e-15, 0.6))
+        .build()
+}
+
+fn current_adc() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("I-ADC")
+        .input_domain(SignalDomain::Current)
+        .output_domain(SignalDomain::Digital)
+        .vdda(VDDA)
+        .cell("ADC", AnalogCell::adc_with_fom(8, 20e-15))
+        .build()
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [160, 120, 1]));
+    // The tiny CNN's first conv layer runs mixed-mode in the columns.
+    algo.add_stage(Stage::stencil(
+        "TinyConv",
+        [160, 120, 1],
+        [40, 30, 1],
+        [3, 3, 1],
+        [4, 4, 1],
+    ));
+    // A single digital PE reduces features to a 10-class score vector.
+    algo.add_stage(Stage::custom("Classify", [40, 30, 1], [10, 1, 1], 12_000, 1.0));
+    algo.connect("Input", "TinyConv")?;
+    algo.connect("TinyConv", "Classify")?;
+
+    let mut hw = HardwareDesc::new(20e6);
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(pwm_pixel_08v(), 120, 160),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(7.0),
+    );
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "TiMacArray",
+            AnalogArray::new(time_current_mac(), 1, 160),
+            Layer::Sensor,
+            AnalogCategory::Compute,
+        )
+        .with_ops_per_output(9.0),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "IAdcArray",
+        AnalogArray::new(current_adc(), 1, 160),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+
+    let feature_fifo = MemoryStructure::fifo("FeatureFifo", 256)
+        .with_energy(MemoryEnergy::from_pj_per_word(0.2, 0.2, 0.05))
+        .with_ports(2, 2);
+    hw.add_memory(MemoryDesc::new(feature_fifo, Layer::Sensor, 0.0));
+    hw.add_digital(DigitalUnitDesc::pipelined(
+        ComputeUnit::new("ClassifierPE", [1, 1, 1], [1, 1, 1], 2)
+            .with_energy_per_cycle(Energy::from_picojoules(1.0)),
+        Layer::Sensor,
+    ));
+
+    hw.connect("PixelArray", "TiMacArray");
+    hw.connect("TiMacArray", "IAdcArray");
+    hw.connect("IAdcArray", "FeatureFifo");
+    hw.connect("FeatureFifo", "ClassifierPE");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("TinyConv", "TiMacArray")
+        .map("Classify", "ClassifierPE");
+
+    CamJ::new(algo, hw, mapping, 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn classification_output_is_tiny() {
+        let report = model().unwrap().estimate().unwrap();
+        let mipi = report.breakdown.category_total(EnergyCategory::Mipi);
+        // 10 bytes of labels × 100 pJ/B.
+        assert!((mipi.picojoules() - 1_000.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn estimate_is_in_the_ten_pj_class() {
+        let pj = model()
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .energy_per_pixel()
+            .picojoules();
+        assert!(pj > 2.0 && pj < 50.0, "{pj} pJ/px");
+    }
+}

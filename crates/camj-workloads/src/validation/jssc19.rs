@@ -1,0 +1,113 @@
+//! JSSC'19 [72] — Young et al., "A data-compressive 1.5/2.75-bit
+//! log-gradient QVGA image sensor with multi-scale readout for always-on
+//! object detection".
+//!
+//! Table 2 row: 130 nm, 4T APS, logarithmic-subtraction column PEs in
+//! the voltage domain, no memory, no digital PEs.
+//!
+//! This is the chip the paper singles out as its best-calibrated analog
+//! PE (0.4 % error) because the original publication documents the
+//! circuit parameters in detail.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::components::{aps_4t, column_adc_with_fom, log_amp, ApsParams};
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{AnalogCategory, AnalogUnitDesc, HardwareDesc, Layer};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+
+use super::ChipSpec;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "JSSC'19",
+        summary: "130nm | 4T APS | column log-gradient readout",
+        reported_pj_per_px: 109.0,
+        build: model,
+    }
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [320, 240, 1]));
+    // Log-gradient readout: each output compares a pixel with its
+    // neighbour through the logarithmic amplifier chain (2.75-bit codes;
+    // the interface still ships whole bytes).
+    algo.add_stage(
+        Stage::custom("LogGradient", [320, 240, 1], [320, 240, 1], 76_800, 2.0).with_bits(3),
+    );
+    algo.connect("Input", "LogGradient")?;
+
+    let mut hw = HardwareDesc::new(100e6);
+    let pixel = ApsParams {
+        column_load_f: 0.6e-12,
+        ..ApsParams::default()
+    };
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(pixel), 240, 320),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(5.6),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "LogSubArray",
+        AnalogArray::new(log_amp(1.0, 60e-15), 1, 320),
+        Layer::Sensor,
+        AnalogCategory::Compute,
+    ));
+    hw.add_analog(AnalogUnitDesc::new(
+        "ADCArray",
+        AnalogArray::new(column_adc_with_fom(3, 18e-15), 1, 320),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.connect("PixelArray", "LogSubArray");
+    hw.connect("LogSubArray", "ADCArray");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("LogGradient", "LogSubArray");
+
+    CamJ::new(algo, hw, mapping, 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn purely_analog_no_digital_compute() {
+        let report = model().unwrap().estimate().unwrap();
+        assert_eq!(
+            report
+                .breakdown
+                .category_total(EnergyCategory::DigitalCompute)
+                .joules(),
+            0.0
+        );
+        assert!(report.sim.is_none(), "no digital pipeline to simulate");
+    }
+
+    #[test]
+    fn estimate_is_in_the_hundred_pj_class() {
+        let pj = model()
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .energy_per_pixel()
+            .picojoules();
+        assert!(pj > 30.0 && pj < 300.0, "{pj} pJ/px");
+    }
+}

@@ -1,0 +1,149 @@
+//! JSSC'21-I [30] — Hsu et al., "A 0.5-V real-time computational CMOS
+//! image sensor with programmable kernel for feature extraction".
+//!
+//! Table 2 row: 180 nm, PWM pixels, column MAC PEs operating in the
+//! time & current domains, no memory, no digital PEs.
+//!
+//! The chip runs from a 0.5 V supply, so every component is built
+//! through the expert interface with `vdda = 0.5` — the paper's
+//! validation notes this chip's pixel estimate is off by 12.4 % for lack
+//! of ramp-generator detail, which we inherit.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::cell::AnalogCell;
+use camj_analog::component::AnalogComponentSpec;
+use camj_analog::domain::SignalDomain;
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{AnalogCategory, AnalogUnitDesc, HardwareDesc, Layer};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+
+use super::ChipSpec;
+
+/// Supply voltage of the chip.
+const VDDA: f64 = 0.5;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "JSSC'21-I",
+        summary: "180nm | PWM pixel | column time/current MAC",
+        reported_pj_per_px: 21.0,
+        build: model,
+    }
+}
+
+/// A PWM pixel at 0.5 V: photodiode, ramp capacitor, comparator.
+fn pwm_pixel_05v() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("PWM-pixel-0.5V")
+        .input_domain(SignalDomain::Optical)
+        .output_domain(SignalDomain::Time)
+        .vdda(VDDA)
+        .cell("PD", AnalogCell::dynamic(3e-15, 0.4))
+        .cell("ramp", AnalogCell::dynamic(20e-15, 0.4))
+        .cell("pwm-quantiser", AnalogCell::adc(8))
+        .build()
+}
+
+/// A time/current-domain MAC: pulse-gated current source integrating
+/// onto a small capacitor.
+fn time_current_mac() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("TI-MAC")
+        .input_domain(SignalDomain::Time)
+        .output_domain(SignalDomain::Current)
+        .vdda(VDDA)
+        .cell("gated-current", AnalogCell::source_follower(25e-15, 0.4))
+        .cell("integrator-cap", AnalogCell::dynamic(25e-15, 0.4))
+        .build()
+}
+
+/// A current-input 8-bit column ADC.
+fn current_adc() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("I-ADC")
+        .input_domain(SignalDomain::Current)
+        .output_domain(SignalDomain::Digital)
+        .vdda(VDDA)
+        .cell("ADC", AnalogCell::adc_with_fom(8, 20e-15))
+        .build()
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [320, 240, 1]));
+    // Programmable 3×3 kernel, stride 4 (feature map subsampling).
+    algo.add_stage(Stage::stencil(
+        "FeatureExtract",
+        [320, 240, 1],
+        [80, 60, 1],
+        [3, 3, 1],
+        [4, 4, 1],
+    ));
+    algo.connect("Input", "FeatureExtract")?;
+
+    let mut hw = HardwareDesc::new(50e6);
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(pwm_pixel_05v(), 240, 320),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(7.0),
+    );
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "TiMacArray",
+            AnalogArray::new(time_current_mac(), 1, 320),
+            Layer::Sensor,
+            AnalogCategory::Compute,
+        )
+        .with_ops_per_output(9.0),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "IAdcArray",
+        AnalogArray::new(current_adc(), 1, 320),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.connect("PixelArray", "TiMacArray");
+    hw.connect("TiMacArray", "IAdcArray");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("FeatureExtract", "TiMacArray");
+
+    CamJ::new(algo, hw, mapping, 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_chain_time_to_current_to_digital() {
+        let pixel = pwm_pixel_05v();
+        let mac = time_current_mac();
+        let adc = current_adc();
+        assert!(pixel.output_domain().can_drive(mac.input_domain()));
+        assert!(mac.output_domain().can_drive(adc.input_domain()));
+        assert_eq!(adc.output_domain(), SignalDomain::Digital);
+    }
+
+    #[test]
+    fn estimate_is_in_the_tens_of_pj_class() {
+        let pj = model()
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .energy_per_pixel()
+            .picojoules();
+        assert!(pj > 3.0 && pj < 100.0, "{pj} pJ/px");
+    }
+}

@@ -1,0 +1,114 @@
+//! Sensors'20 [13] — Choi et al., "Design of an always-on image sensor
+//! using an analog lightweight convolutional neural network".
+//!
+//! Table 2 row: 110 nm, 4T APS, column-parallel analog MAC & MaxPool in
+//! the voltage domain, no memory, no digital PEs.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::components::{aps_4t, column_adc_with_fom, switched_cap_mac, ApsParams};
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{AnalogCategory, AnalogUnitDesc, HardwareDesc, Layer};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+
+use super::ChipSpec;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "Sensors'20",
+        summary: "110nm | 4T APS | column analog MAC & MaxPool CNN",
+        reported_pj_per_px: 30.0,
+        build: model,
+    }
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [320, 240, 1]));
+    // First conv layer of the lightweight CNN, fused with 2×2 pooling:
+    // a strided 3×3 stencil computed by the column MAC array.
+    algo.add_stage(Stage::stencil(
+        "ConvPool",
+        [320, 240, 1],
+        [160, 120, 1],
+        [3, 3, 1],
+        [2, 2, 1],
+    ));
+    algo.connect("Input", "ConvPool")?;
+
+    let mut hw = HardwareDesc::new(100e6);
+    let pixel = ApsParams {
+        column_load_f: 0.5e-12,
+        ..ApsParams::default()
+    };
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(aps_4t(pixel), 240, 320),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(4.5),
+    );
+    // Each 3×3 output costs nine MAC accesses on the column array.
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "MacArray",
+            AnalogArray::new(switched_cap_mac(8, 1.0), 1, 320),
+            Layer::Sensor,
+            AnalogCategory::Compute,
+        )
+        .with_ops_per_output(9.0),
+    );
+    hw.add_analog(AnalogUnitDesc::new(
+        "ADCArray",
+        AnalogArray::new(column_adc_with_fom(8, 18e-15), 1, 320),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.connect("PixelArray", "MacArray");
+    hw.connect("MacArray", "ADCArray");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("ConvPool", "MacArray");
+
+    CamJ::new(algo, hw, mapping, 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn analog_compute_is_present() {
+        let report = model().unwrap().estimate().unwrap();
+        assert!(
+            report
+                .breakdown
+                .category_total(EnergyCategory::AnalogCompute)
+                .joules()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn estimate_is_in_the_tens_of_pj_class() {
+        let pj = model()
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .energy_per_pixel()
+            .picojoules();
+        assert!(pj > 10.0 && pj < 100.0, "{pj} pJ/px");
+    }
+}

@@ -1,0 +1,121 @@
+//! TCAS-I'22 [70] — Xu et al., "Senputing: An ultra-low-power always-on
+//! vision perception chip featuring the deep fusion of sensing and
+//! computing".
+//!
+//! Table 2 row: 180 nm, 3T APS, current-domain Mul&Add fused into the
+//! pixels and chip periphery, no memory, no digital PEs. At a few
+//! picojoules per pixel this chip anchors the bottom of the Fig. 7
+//! range; the paper's validation reports 33 % errors on pixel and
+//! memory from unreported photodiode swing and custom 8T cells.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::cell::AnalogCell;
+use camj_analog::component::AnalogComponentSpec;
+use camj_analog::domain::SignalDomain;
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{AnalogCategory, AnalogUnitDesc, HardwareDesc, Layer};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+
+use super::ChipSpec;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "TCAS-I'22",
+        summary: "180nm | 3T APS | in-pixel current Mul&Add (Senputing)",
+        reported_pj_per_px: 3.6,
+        build: model,
+    }
+}
+
+/// A sensing-computing fused pixel: the photodiode current is weighted
+/// directly in the pixel (binary weights), no column readout chain.
+fn senputing_pixel() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("Senputing-pixel")
+        .input_domain(SignalDomain::Optical)
+        .output_domain(SignalDomain::Current)
+        .cell("PD", AnalogCell::dynamic(4e-15, 0.8))
+        .cell("weight-switch", AnalogCell::dynamic(2e-15, 0.8))
+        .build()
+}
+
+/// The chip-level current-mode accumulator and 1-bit quantiser.
+fn current_accumulator() -> AnalogComponentSpec {
+    AnalogComponentSpec::builder("I-Accumulate")
+        .input_domain(SignalDomain::Current)
+        .output_domain(SignalDomain::Digital)
+        .cell("summing-node", AnalogCell::dynamic(60e-15, 0.8))
+        .cell("comparator", AnalogCell::comparator())
+        .build()
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [32, 32, 1]));
+    // A binary MLP layer fused into sensing: every pixel contributes a
+    // weighted current to 16 output neurons.
+    algo.add_stage(
+        Stage::custom("BinaryMlp", [32, 32, 1], [16, 1, 1], 16_384, 64.0).with_bits(1),
+    );
+    algo.connect("Input", "BinaryMlp")?;
+
+    let mut hw = HardwareDesc::new(10e6);
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "PixelArray",
+            AnalogArray::new(senputing_pixel(), 32, 32),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(15.0),
+    );
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "AccumulatorBank",
+            AnalogArray::new(current_accumulator(), 1, 16),
+            Layer::Sensor,
+            AnalogCategory::Compute,
+        )
+        // Each output neuron integrates all 1024 pixel currents.
+        .with_ops_per_output(1024.0),
+    );
+    hw.connect("PixelArray", "AccumulatorBank");
+
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("BinaryMlp", "AccumulatorBank");
+
+    CamJ::new(algo, hw, mapping, 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_one_bit_neurons() {
+        let algo = model().unwrap().algorithm().clone();
+        let s = algo.stage("BinaryMlp").unwrap();
+        assert_eq!(s.bits(), 1);
+        assert_eq!(s.output_bytes(), 16);
+    }
+
+    #[test]
+    fn estimate_is_in_the_single_digit_pj_class() {
+        let pj = model()
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .energy_per_pixel()
+            .picojoules();
+        assert!(pj > 0.3 && pj < 20.0, "{pj} pJ/px");
+    }
+}

@@ -1,0 +1,144 @@
+//! VLSI'21 [61] — Seo et al., "A 2.6 e-rms low-random-noise, 116.2 mW
+//! low-power 2-Mp global shutter CMOS image sensor with pixel-level ADC
+//! and in-pixel memory".
+//!
+//! Table 2 row: 65 nm / 28 nm stacked, DPS (digital pixel sensor), 6 MB
+//! in-pixel memory, no PEs — a pure-imaging stacked chip that stresses
+//! the DPS and memory models. The paper's validation notes a 16 % ADC
+//! error (per-pixel converters beat the survey FoM) and uses custom
+//! low-leakage cells for the in-pixel memory, which we model with the
+//! 8T cell flavor.
+
+use camj_analog::array::AnalogArray;
+use camj_analog::components::{dps, ApsParams};
+use camj_core::energy::CamJ;
+use camj_core::error::CamjError;
+use camj_core::hw::{
+    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
+};
+use camj_core::mapping::Mapping;
+use camj_core::sw::{AlgorithmGraph, Stage};
+use camj_digital::compute::ComputeUnit;
+use camj_digital::memory::{MemoryEnergy, MemoryStructure};
+use camj_tech::node::ProcessNode;
+use camj_tech::sram::{SramCellType, SramMacro};
+use camj_tech::units::Energy;
+
+use super::ChipSpec;
+
+/// Columns (2 Mpx at 1632×1228).
+const WIDTH: u32 = 1632;
+/// Rows.
+const HEIGHT: u32 = 1228;
+/// Global-shutter frame rate.
+const FPS: f64 = 120.0;
+
+/// The chip's validation descriptor.
+#[must_use]
+pub fn spec() -> ChipSpec {
+    ChipSpec {
+        id: "VLSI'21",
+        summary: "65/28nm stacked | DPS | 6MB in-pixel memory, imaging only",
+        reported_pj_per_px: 484.0,
+        build: model,
+    }
+}
+
+/// Builds the CamJ model of the chip.
+///
+/// # Errors
+///
+/// Propagates [`CamjError`] from the framework checks (none expected).
+pub fn model() -> Result<CamJ, CamjError> {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [WIDTH, HEIGHT, 1]));
+    // No computation: a readout controller streams the globally-shuttered
+    // frame out of the in-pixel memory.
+    algo.add_stage(Stage::custom(
+        "Readout",
+        [WIDTH, HEIGHT, 1],
+        [WIDTH, HEIGHT, 1],
+        u64::from(WIDTH) * u64::from(HEIGHT),
+        1.0,
+    ));
+    algo.connect("Input", "Readout")?;
+
+    let mut hw = HardwareDesc::new(400e6);
+    let pixel = ApsParams {
+        // DPS pixels convert locally: the "column" load is a short
+        // in-pixel wire, not a full column line.
+        column_load_f: 40e-15,
+        ..ApsParams::default()
+    };
+    hw.add_analog(
+        AnalogUnitDesc::new(
+            "DpsArray",
+            AnalogArray::new(dps(pixel, 10), HEIGHT, WIDTH),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        )
+        .with_pixel_pitch_um(2.8),
+    );
+
+    let sram = SramMacro::with_cell_type(
+        6 * 1024 * 1024,
+        64,
+        ProcessNode::N28,
+        SramCellType::EightT,
+    );
+    hw.add_memory(MemoryDesc::new(
+        MemoryStructure::double_buffer("InPixelMemory", 6 * 1024 * 1024)
+            .with_energy(MemoryEnergy::from(&sram))
+            .with_pixels_per_word(8)
+            .with_ports(4, 4)
+            // Global shutter: the in-pixel memory holds a frame only
+            // until readout drains it, then power-collapses for the
+            // next exposure (~half the frame time).
+            .with_active_fraction(0.5),
+        Layer::Compute,
+        sram.area_mm2(),
+    ));
+    hw.add_digital(DigitalUnitDesc::pipelined(
+        ComputeUnit::new("ReadoutCtrl", [8, 1, 1], [8, 1, 1], 2)
+            .with_energy_per_cycle(Energy::from_picojoules(2.0)),
+        Layer::Compute,
+    ));
+
+    hw.connect("DpsArray", "InPixelMemory");
+    hw.connect("InPixelMemory", "ReadoutCtrl");
+
+    let mapping = Mapping::new()
+        .map("Input", "DpsArray")
+        .map("Readout", "ReadoutCtrl");
+
+    CamJ::new(algo, hw, mapping, FPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_core::energy::EnergyCategory;
+
+    #[test]
+    fn mipi_ships_the_full_frame() {
+        let report = model().unwrap().estimate().unwrap();
+        let mipi = report.breakdown.category_total(EnergyCategory::Mipi);
+        // 2 Mpx × 100 pJ/B ≈ 200 µJ.
+        assert!(
+            (mipi.microjoules() - 200.4).abs() < 1.0,
+            "{} µJ",
+            mipi.microjoules()
+        );
+    }
+
+    #[test]
+    fn estimate_is_in_the_half_nanojoule_class() {
+        let pj = model()
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .energy_per_pixel()
+            .picojoules();
+        assert!(pj > 150.0 && pj < 1_500.0, "{pj} pJ/px");
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: the paper's Fig. 5 running example, end to end.
+//!
+//! A 32×32 sensor bins 2×2 inside the pixel array, runs a 3×3 edge
+//! detection on a small digital unit, and ships the edge map over MIPI.
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = camj::workloads::quickstart::model(30.0)?;
+    let report = model.estimate()?;
+
+    println!("Fig. 5 quickstart sensor @ 30 FPS");
+    println!("---------------------------------");
+    println!(
+        "frame time {:.2} ms | digital latency {:.3} ms | {} analog stages x {:.2} ms",
+        report.delay.frame_time.millis(),
+        report.delay.digital_latency.millis(),
+        report.delay.analog_stage_count,
+        report.delay.analog_unit_time.millis(),
+    );
+    println!();
+    println!("per-frame energy: {:.2} nJ", report.total().nanojoules());
+    println!("per-pixel energy: {:.2} pJ", report.energy_per_pixel().picojoules());
+    println!();
+    println!("component breakdown:");
+    for item in report.breakdown.items() {
+        println!(
+            "  {:<22} {:>10.1} pJ   [{}]",
+            item.unit,
+            item.energy.picojoules(),
+            item.category,
+        );
+    }
+    println!();
+    println!("category totals:");
+    for (category, energy) in report.breakdown.by_category() {
+        if energy.joules() > 0.0 {
+            println!("  {:<7} {:>10.1} pJ", category.label(), energy.picojoules());
+        }
+    }
+    Ok(())
+}

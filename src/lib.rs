@@ -1,0 +1,54 @@
+//! # camj — system-level energy modeling for in-sensor visual computing
+//!
+//! A from-scratch Rust reproduction of **CamJ** (Ma, Feng, Zhang, Zhu —
+//! ISCA 2023): a component-level energy modeling framework for
+//! computational CMOS image sensors under a frame-rate target.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`](camj_core) — the framework: declarative algorithm /
+//!   hardware / mapping descriptions, pre-simulation checks, delay
+//!   estimation, and the energy estimator,
+//! * [`analog`](camj_analog) — A-Cell/A-Component circuit energy models,
+//! * [`digital`](camj_digital) — memory structures, compute units, and
+//!   the cycle-level pipeline simulator,
+//! * [`tech`](camj_tech) — process-node scaling, SRAM/STT-RAM macros,
+//!   the ADC FoM survey, and interface energies,
+//! * [`workloads`](camj_workloads) — the paper's validation chips and
+//!   case-study workloads, ready to run.
+//!
+//! # Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Fig. 5 example: 32×32 sensor, 2×2 binning in the
+//! // pixel array, digital edge detection, MIPI out — at 30 FPS.
+//! let model = camj::workloads::quickstart::model(30.0)?;
+//! let report = model.estimate()?;
+//! println!(
+//!     "{:.1} nJ/frame, {:.1} pJ/pixel",
+//!     report.total().nanojoules(),
+//!     report.energy_per_pixel().picojoules()
+//! );
+//! for (category, energy) in report.breakdown.by_category() {
+//!     println!("  {category:>7}: {:.1} pJ", energy.picojoules());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for architectural exploration walkthroughs and
+//! `crates/camj-bench` for the harnesses that regenerate every table and
+//! figure of the paper's evaluation.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use camj_analog as analog;
+pub use camj_core as core;
+pub use camj_digital as digital;
+pub use camj_tech as tech;
+pub use camj_workloads as workloads;
+
+pub use camj_core::energy::{CamJ, EnergyBreakdown, EnergyCategory, EstimateReport};
+pub use camj_core::error::CamjError;

@@ -1,0 +1,155 @@
+//! Integration tests of the pre-simulation checks: every mis-design the
+//! paper's checker catches must surface as a descriptive error.
+
+use camj::analog::array::AnalogArray;
+use camj::analog::components::{aps_4t, column_adc, switched_cap_mac, ApsParams};
+use camj::core::energy::CamJ;
+use camj::core::hw::{
+    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
+};
+use camj::core::mapping::Mapping;
+use camj::core::sw::{AlgorithmGraph, Stage};
+use camj::digital::compute::ComputeUnit;
+use camj::digital::memory::MemoryStructure;
+use camj::CamjError;
+
+fn simple_algo() -> AlgorithmGraph {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [16, 16, 1]));
+    algo.add_stage(Stage::element_wise("Proc", [16, 16, 1], 1));
+    algo.connect("Input", "Proc").unwrap();
+    algo
+}
+
+fn viable_hw() -> HardwareDesc {
+    let mut hw = HardwareDesc::new(100e6);
+    hw.add_analog(AnalogUnitDesc::new(
+        "PixelArray",
+        AnalogArray::new(aps_4t(ApsParams::default()), 16, 16),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.add_analog(AnalogUnitDesc::new(
+        "ADCArray",
+        AnalogArray::new(column_adc(10), 1, 16),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.add_memory(MemoryDesc::new(
+        MemoryStructure::fifo("Fifo", 64).with_ports(2, 2),
+        Layer::Sensor,
+        0.0,
+    ));
+    hw.add_digital(DigitalUnitDesc::pipelined(
+        ComputeUnit::new("PE", [1, 1, 1], [1, 1, 1], 1),
+        Layer::Sensor,
+    ));
+    hw.connect("PixelArray", "ADCArray");
+    hw.connect("ADCArray", "Fifo");
+    hw.connect("Fifo", "PE");
+    hw
+}
+
+#[test]
+fn viable_design_is_accepted() {
+    let mapping = Mapping::new().map("Input", "PixelArray").map("Proc", "PE");
+    let model = CamJ::new(simple_algo(), viable_hw(), mapping, 30.0).unwrap();
+    assert!(model.estimate().is_ok());
+}
+
+#[test]
+fn unmapped_stage_is_a_mapping_error() {
+    let mapping = Mapping::new().map("Input", "PixelArray");
+    let err = CamJ::new(simple_algo(), viable_hw(), mapping, 30.0).unwrap_err();
+    assert!(matches!(err, CamjError::CheckMapping { .. }), "{err}");
+}
+
+#[test]
+fn unknown_unit_is_a_mapping_error() {
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("Proc", "Phantom");
+    let err = CamJ::new(simple_algo(), viable_hw(), mapping, 30.0).unwrap_err();
+    assert!(err.to_string().contains("Phantom"), "{err}");
+}
+
+#[test]
+fn missing_adc_is_a_functional_error() {
+    // Wire the pixel array straight into the digital FIFO.
+    let mut hw = HardwareDesc::new(100e6);
+    hw.add_analog(AnalogUnitDesc::new(
+        "PixelArray",
+        AnalogArray::new(aps_4t(ApsParams::default()), 16, 16),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.add_memory(MemoryDesc::new(
+        MemoryStructure::fifo("Fifo", 64).with_ports(2, 2),
+        Layer::Sensor,
+        0.0,
+    ));
+    hw.add_digital(DigitalUnitDesc::pipelined(
+        ComputeUnit::new("PE", [1, 1, 1], [1, 1, 1], 1),
+        Layer::Sensor,
+    ));
+    hw.connect("PixelArray", "Fifo");
+    hw.connect("Fifo", "PE");
+    let mapping = Mapping::new().map("Input", "PixelArray").map("Proc", "PE");
+    let err = CamJ::new(simple_algo(), hw, mapping, 30.0).unwrap_err();
+    assert!(matches!(err, CamjError::CheckFunctional { .. }), "{err}");
+    assert!(err.to_string().contains("ADC"), "{err}");
+}
+
+#[test]
+fn analog_output_cannot_exit_the_chip() {
+    // Final stage computes in the voltage domain with no ADC downstream.
+    let mut hw = HardwareDesc::new(100e6);
+    hw.add_analog(AnalogUnitDesc::new(
+        "PixelArray",
+        AnalogArray::new(aps_4t(ApsParams::default()), 16, 16),
+        Layer::Sensor,
+        AnalogCategory::Sensing,
+    ));
+    hw.add_analog(AnalogUnitDesc::new(
+        "MacArray",
+        AnalogArray::new(switched_cap_mac(8, 1.0), 1, 16),
+        Layer::Sensor,
+        AnalogCategory::Compute,
+    ));
+    hw.connect("PixelArray", "MacArray");
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("Proc", "MacArray");
+    let err = CamJ::new(simple_algo(), hw, mapping, 30.0).unwrap_err();
+    assert!(matches!(err, CamjError::CheckFunctional { .. }), "{err}");
+}
+
+#[test]
+fn dag_size_mismatch_is_caught() {
+    let mut algo = AlgorithmGraph::new();
+    algo.add_stage(Stage::input("Input", [16, 16, 1]));
+    algo.add_stage(Stage::element_wise("Proc", [8, 8, 1], 1)); // wrong size
+    algo.connect("Input", "Proc").unwrap();
+    let mapping = Mapping::new().map("Input", "PixelArray").map("Proc", "PE");
+    let err = CamJ::new(algo, viable_hw(), mapping, 30.0).unwrap_err();
+    assert!(matches!(err, CamjError::CheckDag { .. }), "{err}");
+    assert!(err.to_string().contains("size mismatch"), "{err}");
+}
+
+#[test]
+fn stage_mapped_to_memory_is_rejected() {
+    let mapping = Mapping::new()
+        .map("Input", "PixelArray")
+        .map("Proc", "Fifo");
+    let err = CamJ::new(simple_algo(), viable_hw(), mapping, 30.0).unwrap_err();
+    assert!(err.to_string().contains("memory"), "{err}");
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    // Every error carries enough context to locate the problem.
+    let mapping = Mapping::new().map("Input", "PixelArray");
+    let err = CamJ::new(simple_algo(), viable_hw(), mapping, 30.0).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("Proc"), "should name the unmapped stage: {msg}");
+}

@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! technology, analog, digital, and framework layers.
+
+use proptest::prelude::*;
+
+use camj::analog::cell::{AnalogCell, CellContext};
+use camj::analog::components::{switched_cap_mac, ApsParams};
+use camj::analog::noise::{min_capacitance_for_resolution, thermal_noise_rms};
+use camj::digital::memory::MemoryStructure;
+use camj::digital::sim::{PipelineSimBuilder, SourceMode};
+use camj::tech::interface::Interface;
+use camj::tech::node::ProcessNode;
+use camj::tech::scaling::ScalingTable;
+use camj::tech::sram::SramMacro;
+use camj::tech::units::{Energy, Time};
+
+proptest! {
+    /// Smaller nodes never cost more dynamic energy.
+    #[test]
+    fn scaling_energy_monotone(a in 7.0f64..180.0, b in 7.0f64..180.0) {
+        prop_assume!(a < b);
+        let table = ScalingTable::default();
+        let small = table.energy_factor(ProcessNode::from_nanometers(a));
+        let large = table.energy_factor(ProcessNode::from_nanometers(b));
+        prop_assert!(small <= large, "{a}nm: {small} vs {b}nm: {large}");
+    }
+
+    /// Scaling round-trips: A→B→A is the identity.
+    #[test]
+    fn scaling_round_trip(a in 7.0f64..180.0, b in 7.0f64..180.0, pj in 0.01f64..100.0) {
+        let table = ScalingTable::default();
+        let na = ProcessNode::from_nanometers(a);
+        let nb = ProcessNode::from_nanometers(b);
+        let e = Energy::from_picojoules(pj);
+        let back = table.scale_energy(table.scale_energy(e, na, nb), nb, na);
+        prop_assert!((back.picojoules() - pj).abs() < 1e-9 * pj.max(1.0));
+    }
+
+    /// Bigger SRAMs never get cheaper to access or leak less.
+    #[test]
+    fn sram_monotone_in_capacity(
+        small_kb in 1u64..64,
+        grow in 2u64..32,
+        word in prop::sample::select(vec![8u32, 16, 32, 64, 128]),
+    ) {
+        let small = SramMacro::new(small_kb * 1024, word, ProcessNode::N65);
+        let large = SramMacro::new(small_kb * grow * 1024, word, ProcessNode::N65);
+        prop_assert!(large.read_energy() >= small.read_energy());
+        prop_assert!(large.leakage_power().watts() >= small.leakage_power().watts());
+        prop_assert!(large.area_mm2() >= small.area_mm2());
+    }
+
+    /// Thermal-noise sizing: the returned capacitor really keeps noise
+    /// below half an LSB with 3σ margin.
+    #[test]
+    fn noise_sizing_meets_spec(bits in 1u32..14, swing in 0.2f64..3.0) {
+        let c = min_capacitance_for_resolution(bits, swing);
+        let sigma = thermal_noise_rms(c);
+        let lsb = swing / 2f64.powi(bits as i32);
+        prop_assert!(3.0 * sigma <= lsb / 2.0 + 1e-12);
+    }
+
+    /// Dynamic cell energy scales exactly with C·V².
+    #[test]
+    fn dynamic_cell_cv2(c_ff in 0.1f64..1000.0, v in 0.1f64..3.0) {
+        let cell = AnalogCell::dynamic(c_ff * 1e-15, v);
+        let e = cell.energy(&CellContext::solo(Time::from_micros(1.0)));
+        let expected = c_ff * 1e-15 * v * v;
+        prop_assert!((e.joules() - expected).abs() < 1e-25);
+    }
+
+    /// Analog MAC energy is monotone in precision (Eq. 6 cap sizing).
+    #[test]
+    fn analog_mac_monotone_in_bits(bits in 2u32..12) {
+        let d = Time::from_micros(1.0);
+        let lo = switched_cap_mac(bits, 1.0).energy_per_access(d);
+        let hi = switched_cap_mac(bits + 1, 1.0).energy_per_access(d);
+        prop_assert!(hi > lo);
+    }
+
+    /// Interface energy is linear in bytes.
+    #[test]
+    fn interface_linearity(bytes in 1u64..10_000_000) {
+        let one = Interface::MipiCsi2.transfer_energy(1).joules();
+        let many = Interface::MipiCsi2.transfer_energy(bytes).joules();
+        prop_assert!((many - one * bytes as f64).abs() < 1e-12 * many.max(1e-30));
+    }
+
+    /// Pixel components: CDS never reduces energy, shared photodiodes
+    /// never reduce it either.
+    #[test]
+    fn pixel_energy_monotonicity(shared in 1u32..8, load_ff in 100.0f64..2000.0) {
+        use camj::analog::components::aps_4t;
+        let base = ApsParams {
+            column_load_f: load_ff * 1e-15,
+            ..ApsParams::default()
+        };
+        let d = Time::from_micros(10.0);
+        let one = aps_4t(base).energy_per_access(d);
+        let many = aps_4t(base.with_shared_pixels(shared)).energy_per_access(d);
+        prop_assert!(many >= one);
+        let no_cds = aps_4t(ApsParams { correlated_double_sampling: false, ..base });
+        prop_assert!(no_cds.energy_per_access(d) <= one);
+    }
+
+    /// Cycle-level sim conservation: a linear pipeline moves exactly the
+    /// requested pixel total, and reads equal writes for plain edges.
+    #[test]
+    fn sim_conserves_pixels(
+        total in 16u64..4096,
+        rate in 1u64..8,
+        cap in 16u64..256,
+    ) {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        let buf = MemoryStructure::fifo("f", cap).with_ports(8, 8);
+        b.connect(src, stage, &buf, rate as f64, rate as f64, total as f64);
+        let report = b.build().unwrap().run(1_000_000).unwrap();
+        let f = report.buffer("f").unwrap();
+        prop_assert!((f.pixels_written - total as f64).abs() < 1e-6);
+        prop_assert!((f.pixels_read - total as f64).abs() < 1e-6);
+        prop_assert!(f.peak_occupancy <= cap as f64 + 1e-6);
+    }
+
+    /// Random DAGs with an injected cycle are always rejected.
+    #[test]
+    fn algorithm_cycles_always_rejected(n in 2usize..8, seed in 0u64..1000) {
+        use camj::core::sw::{AlgorithmGraph, Stage};
+        let mut algo = AlgorithmGraph::new();
+        algo.add_stage(Stage::input("s0", [8, 8, 1]));
+        for i in 1..n {
+            algo.add_stage(Stage::element_wise(format!("s{i}"), [8, 8, 1], 1));
+        }
+        // A chain plus one back edge chosen by the seed.
+        for i in 1..n {
+            algo.connect(&format!("s{}", i - 1), &format!("s{i}")).unwrap();
+        }
+        let from = (seed as usize % (n - 1)) + 1; // not the input stage
+        let back_to = (seed as usize) % from;
+        if back_to == 0 {
+            // Input stages cannot have producers; the validator must
+            // reject this edge for that reason instead.
+            algo.connect(&format!("s{from}"), "s0").unwrap();
+        } else {
+            algo.connect(&format!("s{from}"), &format!("s{back_to}")).unwrap();
+        }
+        prop_assert!(algo.validate().is_err());
+    }
+
+    /// Energy breakdowns are additive under merge.
+    #[test]
+    fn breakdown_extend_is_additive(a_pj in 0.0f64..1e6, b_pj in 0.0f64..1e6) {
+        use camj::core::energy::{EnergyBreakdown, EnergyItem};
+        use camj::core::hw::Layer;
+        use camj::EnergyCategory;
+        let item = |pj| EnergyItem {
+            unit: "u".into(),
+            stage: None,
+            category: EnergyCategory::Sensing,
+            layer: Layer::Sensor,
+            energy: Energy::from_picojoules(pj),
+        };
+        let mut a = EnergyBreakdown::new();
+        a.push(item(a_pj));
+        let mut b = EnergyBreakdown::new();
+        b.push(item(b_pj));
+        let (ta, tb) = (a.total(), b.total());
+        a.extend(b);
+        prop_assert!((a.total().joules() - (ta + tb).joules()).abs() < 1e-24);
+    }
+}

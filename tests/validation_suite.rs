@@ -1,0 +1,49 @@
+//! Integration test: the Fig. 7 validation suite meets the paper's
+//! quality bar across all nine chips.
+
+use camj::workloads::validation::{all_chips, mape, pearson, validate_all};
+
+#[test]
+fn validation_matches_paper_quality() {
+    let results = validate_all().expect("all nine chips estimate");
+    assert_eq!(results.len(), 9);
+
+    let r = pearson(&results);
+    assert!(r > 0.999, "Pearson {r} (paper: 0.9999)");
+
+    let m = mape(&results);
+    assert!(m < 10.0, "MAPE {m} % (paper: 7.5 %)");
+
+    // Estimates span roughly four orders of magnitude like Fig. 7a.
+    let min = results
+        .iter()
+        .map(|c| c.estimated_pj_per_px)
+        .fold(f64::INFINITY, f64::min);
+    let max = results
+        .iter()
+        .map(|c| c.estimated_pj_per_px)
+        .fold(0.0f64, f64::max);
+    assert!(max / min > 500.0, "span {min:.1}..{max:.1} pJ/px");
+}
+
+#[test]
+fn every_chip_is_within_twenty_percent() {
+    for chip in validate_all().unwrap() {
+        assert!(
+            chip.error_pct.abs() < 20.0,
+            "{}: {:+.1} %",
+            chip.id,
+            chip.error_pct
+        );
+    }
+}
+
+#[test]
+fn chip_registry_is_complete_and_distinct() {
+    let chips = all_chips();
+    assert_eq!(chips.len(), 9);
+    let mut ids: Vec<_> = chips.iter().map(|c| c.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 9, "chip ids must be unique");
+}
