@@ -143,7 +143,12 @@ impl AnalogCell {
     /// A gm/Id-biased OpAmp cell (Eq. 10) with the given closed-loop gain
     /// and `gm/Id` factor.
     #[must_use]
-    pub fn opamp(load_capacitance_f: f64, voltage_swing_v: f64, gain: f64, gm_over_id: f64) -> Self {
+    pub fn opamp(
+        load_capacitance_f: f64,
+        voltage_swing_v: f64,
+        gain: f64,
+        gm_over_id: f64,
+    ) -> Self {
         AnalogCell::StaticBiased {
             load_capacitance_f,
             voltage_swing_v,
@@ -181,18 +186,16 @@ impl AnalogCell {
     #[must_use]
     pub fn energy(&self, ctx: &CellContext) -> Energy {
         match self {
-            AnalogCell::Dynamic { nodes } => {
-                nodes.iter().map(|n| n.switching_energy()).sum()
-            }
+            AnalogCell::Dynamic { nodes } => nodes.iter().map(|n| n.switching_energy()).sum(),
             AnalogCell::StaticBiased {
                 load_capacitance_f,
                 voltage_swing_v,
                 bias,
             } => match bias {
                 // Eq. 9: the integral collapses; no time dependence.
-                BiasMode::DirectDrive => Energy::from_joules(
-                    load_capacitance_f * voltage_swing_v * ctx.vdda,
-                ),
+                BiasMode::DirectDrive => {
+                    Energy::from_joules(load_capacitance_f * voltage_swing_v * ctx.vdda)
+                }
                 // Eq. 7 + 10: E = Vdda · I_bias · t_static,
                 //   I_bias = 2π · C · (gain · BW) / (gm/Id),
                 //   BW = 1 / t_cell.
@@ -203,8 +206,7 @@ impl AnalogCell {
                         return Energy::ZERO;
                     }
                     let gbw = gain / t_cell;
-                    let i_bias = 2.0 * std::f64::consts::PI * load_capacitance_f * gbw
-                        / gm_over_id;
+                    let i_bias = 2.0 * std::f64::consts::PI * load_capacitance_f * gbw / gm_over_id;
                     Energy::from_joules(ctx.vdda * i_bias * t_static)
                 }
             },

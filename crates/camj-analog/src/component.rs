@@ -54,7 +54,12 @@ impl CellInstance {
 
     /// Creates a cell instance with explicit counts.
     #[must_use]
-    pub fn counted(label: impl Into<String>, cell: AnalogCell, spatial: u32, temporal: u32) -> Self {
+    pub fn counted(
+        label: impl Into<String>,
+        cell: AnalogCell,
+        spatial: u32,
+        temporal: u32,
+    ) -> Self {
         Self {
             label: label.into(),
             cell,

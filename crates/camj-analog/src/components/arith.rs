@@ -43,7 +43,10 @@ pub fn switched_cap_mac(bits: u32, v_swing: f64) -> AnalogComponentSpec {
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Voltage)
         .cell("CDAC", cdac)
-        .cell("OpAmp", AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .cell(
+            "OpAmp",
+            AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID),
+        )
         .build()
 }
 
@@ -67,7 +70,10 @@ pub fn switched_cap_subtractor(bits: u32, v_swing: f64) -> AnalogComponentSpec {
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Voltage)
         .cell("CDAC", AnalogCell::dynamic_for_resolution(bits, v_swing))
-        .cell("OpAmp", AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .cell(
+            "OpAmp",
+            AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID),
+        )
         .build()
 }
 
@@ -77,7 +83,10 @@ pub fn scaler(bits: u32, v_swing: f64) -> AnalogComponentSpec {
     AnalogComponentSpec::builder("Scaler")
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Charge)
-        .cell("cap-divider", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .cell(
+            "cap-divider",
+            AnalogCell::dynamic_for_resolution(bits, v_swing),
+        )
         .build()
 }
 
@@ -89,8 +98,14 @@ pub fn adder(bits: u32, v_swing: f64) -> AnalogComponentSpec {
     AnalogComponentSpec::builder("Adder")
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Voltage)
-        .cell("sum-caps", AnalogCell::dynamic_for_resolution(bits, v_swing))
-        .cell("buffer", AnalogCell::opamp(load, v_swing, 1.0, DEFAULT_GM_ID))
+        .cell(
+            "sum-caps",
+            AnalogCell::dynamic_for_resolution(bits, v_swing),
+        )
+        .cell(
+            "buffer",
+            AnalogCell::opamp(load, v_swing, 1.0, DEFAULT_GM_ID),
+        )
         .build()
 }
 
@@ -103,7 +118,10 @@ pub fn abs_diff(bits: u32, v_swing: f64) -> AnalogComponentSpec {
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Voltage)
         .cell("CDAC", AnalogCell::dynamic_for_resolution(bits, v_swing))
-        .cell("OpAmp", AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .cell(
+            "OpAmp",
+            AnalogCell::opamp(load, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID),
+        )
         .cell("sign-comparator", AnalogCell::comparator())
         .build()
 }
@@ -122,7 +140,10 @@ pub fn abs_diff_digitizing(cap_f: f64, v_swing: f64) -> AnalogComponentSpec {
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Digital)
         .cell("CDAC", AnalogCell::dynamic(cap_f, v_swing))
-        .cell("OpAmp", AnalogCell::opamp(cap_f, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID))
+        .cell(
+            "OpAmp",
+            AnalogCell::opamp(cap_f, v_swing, DEFAULT_GAIN, DEFAULT_GM_ID),
+        )
         .cell("delta-comparator", AnalogCell::adc(8))
         .build()
 }
@@ -134,7 +155,10 @@ pub fn log_amp(v_swing: f64, load_capacitance_f: f64) -> AnalogComponentSpec {
     AnalogComponentSpec::builder("LogAmp")
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Voltage)
-        .cell("log-stage", AnalogCell::opamp(load_capacitance_f, v_swing, 5.0, DEFAULT_GM_ID))
+        .cell(
+            "log-stage",
+            AnalogCell::opamp(load_capacitance_f, v_swing, 5.0, DEFAULT_GM_ID),
+        )
         .build()
 }
 

@@ -34,7 +34,10 @@ pub fn passive_sample_hold(bits: u32, v_swing: f64) -> AnalogComponentSpec {
     AnalogComponentSpec::builder("passive-S&H")
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Charge)
-        .cell("hold-cap", AnalogCell::dynamic_for_resolution(bits, v_swing))
+        .cell(
+            "hold-cap",
+            AnalogCell::dynamic_for_resolution(bits, v_swing),
+        )
         .build()
 }
 
@@ -57,8 +60,14 @@ pub fn active_sample_hold(bits: u32, v_swing: f64) -> AnalogComponentSpec {
     AnalogComponentSpec::builder("active-S&H")
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Voltage)
-        .cell("hold-cap", AnalogCell::dynamic_for_resolution(bits, v_swing))
-        .cell("buffer", AnalogCell::opamp(load, v_swing, 1.0, DEFAULT_GM_ID))
+        .cell(
+            "hold-cap",
+            AnalogCell::dynamic_for_resolution(bits, v_swing),
+        )
+        .cell(
+            "buffer",
+            AnalogCell::opamp(load, v_swing, 1.0, DEFAULT_GM_ID),
+        )
         .build()
 }
 
@@ -70,7 +79,10 @@ pub fn active_sample_hold_with_cap(capacitance_f: f64, v_swing: f64) -> AnalogCo
         .input_domain(SignalDomain::Voltage)
         .output_domain(SignalDomain::Voltage)
         .cell("hold-cap", AnalogCell::dynamic(capacitance_f, v_swing))
-        .cell("buffer", AnalogCell::opamp(capacitance_f, v_swing, 1.0, DEFAULT_GM_ID))
+        .cell(
+            "buffer",
+            AnalogCell::opamp(capacitance_f, v_swing, 1.0, DEFAULT_GM_ID),
+        )
         .build()
 }
 

@@ -118,7 +118,10 @@ pub fn aps_3t(params: ApsParams) -> AnalogComponentSpec {
             params.shared_pixels,
             1,
         )
-        .cell("SF", AnalogCell::source_follower(params.column_load_f, params.voltage_swing_v))
+        .cell(
+            "SF",
+            AnalogCell::source_follower(params.column_load_f, params.voltage_swing_v),
+        )
         .build()
 }
 
@@ -163,7 +166,10 @@ pub fn pwm_pixel(params: ApsParams, ramp_capacitance_f: f64, bits: u32) -> Analo
             params.shared_pixels,
             1,
         )
-        .cell("ramp", AnalogCell::dynamic(ramp_capacitance_f, params.voltage_swing_v))
+        .cell(
+            "ramp",
+            AnalogCell::dynamic(ramp_capacitance_f, params.voltage_swing_v),
+        )
         .cell("pwm-quantiser", AnalogCell::adc(bits))
         .build()
 }

@@ -55,11 +55,7 @@ pub fn min_capacitance_for_resolution_at(bits: u32, v_swing: f64, temperature_k:
 /// [`min_capacitance_for_resolution_at`] at the default 300 K.
 #[must_use]
 pub fn min_capacitance_for_resolution(bits: u32, v_swing: f64) -> f64 {
-    min_capacitance_for_resolution_at(
-        bits,
-        v_swing,
-        camj_tech::constants::DEFAULT_TEMPERATURE_K,
-    )
+    min_capacitance_for_resolution_at(bits, v_swing, camj_tech::constants::DEFAULT_TEMPERATURE_K)
 }
 
 /// RMS thermal noise voltage of a sampled capacitor, `sqrt(kT/C)`, volts.

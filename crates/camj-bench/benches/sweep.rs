@@ -1,0 +1,172 @@
+//! Criterion benches of the `camj-explore` sweep paths: the cost of a
+//! 64-point frame-rate sweep under the four execution strategies —
+//! naive rebuild-per-point vs the staged pipeline's cached artifacts,
+//! each serial and parallel.
+//!
+//! The staged rows reuse one `ValidatedModel`: checks, routing, and the
+//! elastic latency simulation run once for the whole sweep instead of
+//! once per point. The parallel rows additionally fan points across
+//! cores (a no-op on single-core hosts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use camj_core::energy::ValidatedModel;
+use camj_explore::{Explorer, PointError, Sweep};
+use camj_tech::node::ProcessNode;
+use camj_workloads::configs::SensorVariant;
+use camj_workloads::{edgaze, quickstart};
+
+/// 64 frame-rate targets, all feasible for the Fig. 5 quickstart chip.
+fn fps_targets() -> Vec<f64> {
+    (0..64).map(|i| 10.0 + i as f64).collect()
+}
+
+/// 64 frame-rate targets feasible for the Ed-Gaze 2D-In sensor (its
+/// 57.6M-MAC DNN leaves a much smaller frame budget than quickstart's).
+fn edgaze_fps_targets() -> Vec<f64> {
+    (0..64).map(|i| 10.0 + 0.25 * i as f64).collect()
+}
+
+fn naive_edgaze_sweep(explorer: &Explorer, targets: &[f64]) -> usize {
+    // From-scratch per point: rebuild the model (checks + routes) and
+    // run both simulations again.
+    let sweep = Sweep::new().fps_targets(targets.iter().copied());
+    let results = explorer.run(&sweep, |point| {
+        let model =
+            edgaze::model(SensorVariant::TwoDIn, ProcessNode::N65).map_err(PointError::new)?;
+        model
+            .into_validated()
+            .estimate_at_fps(point.fps("fps"))
+            .map_err(PointError::from)
+    });
+    assert_eq!(results.error_count(), 0);
+    results.ok_count()
+}
+
+fn naive_sweep(explorer: &Explorer, targets: &[f64]) -> usize {
+    // The pre-explorer flow: every point re-validates, re-routes, and
+    // re-simulates from scratch.
+    let sweep = Sweep::new().fps_targets(targets.iter().copied());
+    let results = explorer.run(&sweep, |point| {
+        let model = quickstart::model(point.fps("fps")).map_err(PointError::new)?;
+        model.estimate().map_err(PointError::from)
+    });
+    assert_eq!(results.error_count(), 0);
+    results.ok_count()
+}
+
+fn staged_sweep(explorer: &Explorer, model: &ValidatedModel, targets: &[f64]) -> usize {
+    let results = explorer.sweep_fps(model, targets.iter().copied());
+    assert_eq!(results.error_count(), 0);
+    results.ok_count()
+}
+
+fn bench_sweep_paths(c: &mut Criterion) {
+    let targets = fps_targets();
+    let model = quickstart::model(30.0).expect("builds").into_validated();
+
+    let mut g = c.benchmark_group("sweep64");
+    g.sample_size(10);
+    g.bench_function("naive_serial", |b| {
+        b.iter(|| black_box(naive_sweep(&Explorer::serial(), &targets)))
+    });
+    g.bench_function("naive_parallel", |b| {
+        b.iter(|| black_box(naive_sweep(&Explorer::parallel(), &targets)))
+    });
+    g.bench_function("staged_serial", |b| {
+        b.iter(|| black_box(staged_sweep(&Explorer::serial(), &model, &targets)))
+    });
+    g.bench_function("staged_parallel", |b| {
+        b.iter(|| black_box(staged_sweep(&Explorer::parallel(), &model, &targets)))
+    });
+    g.finish();
+
+    let edgaze_targets = edgaze_fps_targets();
+    let edgaze_model = edgaze::model(SensorVariant::TwoDIn, ProcessNode::N65)
+        .expect("builds")
+        .into_validated();
+    let mut g = c.benchmark_group("sweep64_edgaze");
+    g.sample_size(10);
+    g.bench_function("naive_serial", |b| {
+        b.iter(|| black_box(naive_edgaze_sweep(&Explorer::serial(), &edgaze_targets)))
+    });
+    g.bench_function("staged_parallel", |b| {
+        b.iter(|| {
+            black_box(staged_sweep(
+                &Explorer::parallel(),
+                &edgaze_model,
+                &edgaze_targets,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// One-shot speedup summary over medians of repeated runs, for the PR
+/// record: staged (cached artifacts) and parallel speedups vs the
+/// naive serial path.
+fn speedup_summary(_c: &mut Criterion) {
+    let targets = fps_targets();
+    let model = quickstart::model(30.0).expect("builds").into_validated();
+    let time = |f: &dyn Fn() -> usize| {
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let naive_serial = time(&|| naive_sweep(&Explorer::serial(), &targets));
+    let staged_serial = time(&|| staged_sweep(&Explorer::serial(), &model, &targets));
+    let staged_parallel = time(&|| staged_sweep(&Explorer::parallel(), &model, &targets));
+    println!();
+    println!("sweep64 (quickstart) speedups vs naive serial (median of 5):");
+    println!(
+        "  staged serial:   {:6.2}x  ({:.1} ms -> {:.1} ms)",
+        naive_serial / staged_serial,
+        naive_serial * 1e3,
+        staged_serial * 1e3
+    );
+    println!(
+        "  staged parallel: {:6.2}x  ({:.1} ms -> {:.1} ms, {} worker thread(s))",
+        naive_serial / staged_parallel,
+        naive_serial * 1e3,
+        staged_parallel * 1e3,
+        rayon_threads()
+    );
+
+    let targets = edgaze_fps_targets();
+    let model = edgaze::model(SensorVariant::TwoDIn, ProcessNode::N65)
+        .expect("builds")
+        .into_validated();
+    let naive_serial = time(&|| naive_edgaze_sweep(&Explorer::serial(), &targets));
+    let staged_serial = time(&|| staged_sweep(&Explorer::serial(), &model, &targets));
+    let staged_parallel = time(&|| staged_sweep(&Explorer::parallel(), &model, &targets));
+    println!();
+    println!("sweep64 (edgaze 2D-In @65nm) speedups vs naive serial (median of 5):");
+    println!(
+        "  staged serial:   {:6.2}x  ({:.1} ms -> {:.1} ms)",
+        naive_serial / staged_serial,
+        naive_serial * 1e3,
+        staged_serial * 1e3
+    );
+    println!(
+        "  staged parallel: {:6.2}x  ({:.1} ms -> {:.1} ms, {} worker thread(s))",
+        naive_serial / staged_parallel,
+        naive_serial * 1e3,
+        staged_parallel * 1e3,
+        rayon_threads()
+    );
+}
+
+fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+criterion_group!(benches, bench_sweep_paths, speedup_summary);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! * Fig. 13 — compute-vs-memory breakdown of the first two stages.
 
 use camj_core::energy::{EnergyCategory, EstimateReport};
+use camj_explore::{Explorer, PointError, Sweep};
 use camj_tech::node::ProcessNode;
 use camj_workloads::configs::SensorVariant;
 use camj_workloads::edgaze;
@@ -54,10 +55,35 @@ pub struct Fig13Row {
     pub memory_uj: f64,
 }
 
-fn estimate(variant: SensorVariant, node: ProcessNode) -> EstimateReport {
-    edgaze::model(variant, node)
-        .and_then(|m| m.estimate().map_err(Into::into))
-        .unwrap_or_else(|e| panic!("edgaze {variant} at {node}: {e}"))
+/// The Fig. 11–13 (node × {2D-In, 2D-In-Mixed}) grid, estimated in
+/// parallel through `camj-explore` and returned in the figures'
+/// presentation order.
+fn mixed_signal_grid() -> Vec<(SensorVariant, ProcessNode, EstimateReport)> {
+    let sweep = Sweep::new()
+        .tech_nodes([ProcessNode::N130, ProcessNode::N65])
+        .labels(
+            "variant",
+            [SensorVariant::TwoDIn, SensorVariant::TwoDInMixed]
+                .iter()
+                .map(|v| v.label()),
+        );
+    let results = Explorer::parallel().run(&sweep, |point| {
+        let node = point.node("tech_node");
+        let variant =
+            SensorVariant::from_label(point.text("variant")).expect("axis built from labels");
+        edgaze::model(variant, node)
+            .and_then(|m| m.estimate().map_err(Into::into))
+            .map(|report| (variant, node, report))
+            .map_err(PointError::new)
+    });
+    if let Some((point, e)) = results.failures().next() {
+        panic!("edgaze {point}: {e}");
+    }
+    results
+        .into_outcomes()
+        .into_iter()
+        .map(|o| o.result.expect("failures handled above"))
+        .collect()
 }
 
 fn stage_of(item_stage: Option<&str>) -> Option<u8> {
@@ -74,24 +100,21 @@ fn stage_of(item_stage: Option<&str>) -> Option<u8> {
 #[must_use]
 pub fn run_fig11() -> Vec<Fig11Bar> {
     let mut bars = Vec::new();
-    for &node in &[ProcessNode::N130, ProcessNode::N65] {
-        for &variant in &[SensorVariant::TwoDIn, SensorVariant::TwoDInMixed] {
-            let report = estimate(variant, node);
-            bars.push(Fig11Bar {
-                variant: variant.label().to_owned(),
-                cis_node_nm: node.nanometers(),
-                categories: EnergyCategory::ALL
-                    .iter()
-                    .map(|&c| {
-                        (
-                            c.label().to_owned(),
-                            report.breakdown.category_total(c).microjoules(),
-                        )
-                    })
-                    .collect(),
-                total_uj: report.total().microjoules(),
-            });
-        }
+    for (variant, node, report) in mixed_signal_grid() {
+        bars.push(Fig11Bar {
+            variant: variant.label().to_owned(),
+            cis_node_nm: node.nanometers(),
+            categories: EnergyCategory::ALL
+                .iter()
+                .map(|&c| {
+                    (
+                        c.label().to_owned(),
+                        report.breakdown.category_total(c).microjoules(),
+                    )
+                })
+                .collect(),
+            total_uj: report.total().microjoules(),
+        });
     }
 
     output::header("Fig. 11: mixed-signal vs fully-digital in-sensor Ed-Gaze");
@@ -108,7 +131,17 @@ pub fn run_fig11() -> Vec<Fig11Bar> {
         })
         .collect();
     output::table(
-        &["Config", "SEN", "COMP-A", "MEM-A", "COMP-D", "MEM-D", "MIPI", "uTSV", "Total µJ"],
+        &[
+            "Config",
+            "SEN",
+            "COMP-A",
+            "MEM-A",
+            "COMP-D",
+            "MEM-D",
+            "MIPI",
+            "uTSV",
+            "Total µJ",
+        ],
         &rows,
     );
     println!();
@@ -137,24 +170,21 @@ pub fn run_fig11() -> Vec<Fig11Bar> {
 #[must_use]
 pub fn run_fig12() -> Vec<Fig12Row> {
     let mut rows = Vec::new();
-    for &node in &[ProcessNode::N130, ProcessNode::N65] {
-        for &variant in &[SensorVariant::TwoDIn, SensorVariant::TwoDInMixed] {
-            let report = estimate(variant, node);
-            let mut stage_uj = [0.0f64; 3];
-            for item in report.breakdown.items() {
-                if let Some(s) = stage_of(item.stage.as_deref()) {
-                    stage_uj[s as usize - 1] += item.energy.microjoules();
-                }
+    for (variant, node, report) in mixed_signal_grid() {
+        let mut stage_uj = [0.0f64; 3];
+        for item in report.breakdown.items() {
+            if let Some(s) = stage_of(item.stage.as_deref()) {
+                stage_uj[s as usize - 1] += item.energy.microjoules();
             }
-            let total: f64 = stage_uj.iter().sum();
-            rows.push(Fig12Row {
-                variant: variant.label().to_owned(),
-                cis_node_nm: node.nanometers(),
-                s1_pct: stage_uj[0] / total * 100.0,
-                s2_pct: stage_uj[1] / total * 100.0,
-                s3_pct: stage_uj[2] / total * 100.0,
-            });
         }
+        let total: f64 = stage_uj.iter().sum();
+        rows.push(Fig12Row {
+            variant: variant.label().to_owned(),
+            cis_node_nm: node.nanometers(),
+            s1_pct: stage_uj[0] / total * 100.0,
+            s2_pct: stage_uj[1] / total * 100.0,
+            s3_pct: stage_uj[2] / total * 100.0,
+        });
     }
 
     output::header("Fig. 12: normalized Ed-Gaze energy by stage (S1/S2/S3)");
@@ -182,35 +212,32 @@ pub fn run_fig12() -> Vec<Fig12Row> {
 #[must_use]
 pub fn run_fig13() -> Vec<Fig13Row> {
     let mut rows = Vec::new();
-    for &node in &[ProcessNode::N130, ProcessNode::N65] {
-        for &variant in &[SensorVariant::TwoDIn, SensorVariant::TwoDInMixed] {
-            let report = estimate(variant, node);
-            let mut compute = 0.0f64;
-            let mut memory = 0.0f64;
-            for item in report.breakdown.items() {
-                let Some(stage) = stage_of(item.stage.as_deref()) else {
-                    continue;
-                };
-                if stage == 3 {
-                    continue; // first two stages only
-                }
-                match item.category {
-                    EnergyCategory::AnalogCompute | EnergyCategory::DigitalCompute => {
-                        compute += item.energy.microjoules();
-                    }
-                    EnergyCategory::AnalogMemory | EnergyCategory::DigitalMemory => {
-                        memory += item.energy.microjoules();
-                    }
-                    _ => {}
-                }
+    for (variant, node, report) in mixed_signal_grid() {
+        let mut compute = 0.0f64;
+        let mut memory = 0.0f64;
+        for item in report.breakdown.items() {
+            let Some(stage) = stage_of(item.stage.as_deref()) else {
+                continue;
+            };
+            if stage == 3 {
+                continue; // first two stages only
             }
-            rows.push(Fig13Row {
-                variant: variant.label().to_owned(),
-                cis_node_nm: node.nanometers(),
-                compute_uj: compute,
-                memory_uj: memory,
-            });
+            match item.category {
+                EnergyCategory::AnalogCompute | EnergyCategory::DigitalCompute => {
+                    compute += item.energy.microjoules();
+                }
+                EnergyCategory::AnalogMemory | EnergyCategory::DigitalMemory => {
+                    memory += item.energy.microjoules();
+                }
+                _ => {}
+            }
         }
+        rows.push(Fig13Row {
+            variant: variant.label().to_owned(),
+            cis_node_nm: node.nanometers(),
+            compute_uj: compute,
+            memory_uj: memory,
+        });
     }
 
     output::header("Fig. 13: Ed-Gaze first-two-stage energy (S1+S2)");

@@ -57,9 +57,7 @@ pub fn run() -> Vec<ChipResult> {
             .and_then(|model| model.estimate())
             .expect("chip estimates");
         let px = report.input_pixels.max(1) as f64;
-        let per_px = |cat: EnergyCategory| {
-            report.breakdown.category_total(cat).picojoules() / px
-        };
+        let per_px = |cat: EnergyCategory| report.breakdown.category_total(cat).picojoules() / px;
         rows.push(vec![
             chip.id.to_owned(),
             format!("{:.1}", per_px(EnergyCategory::Sensing)),
@@ -72,7 +70,9 @@ pub fn run() -> Vec<ChipResult> {
         ]);
     }
     output::table(
-        &["Chip", "SEN", "COMP-A", "MEM-A", "COMP-D", "MEM-D", "MIPI", "uTSV"],
+        &[
+            "Chip", "SEN", "COMP-A", "MEM-A", "COMP-D", "MEM-D", "MIPI", "uTSV",
+        ],
         &rows,
     );
 

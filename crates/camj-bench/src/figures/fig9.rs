@@ -3,6 +3,7 @@
 //! 130 nm and 65 nm CIS nodes.
 
 use camj_core::energy::EnergyCategory;
+use camj_explore::{Explorer, PointError, Sweep};
 use camj_tech::node::ProcessNode;
 use camj_workloads::configs::SensorVariant;
 use camj_workloads::{edgaze, rhythmic, WorkloadError};
@@ -40,30 +41,52 @@ fn categories_of(report: &camj_core::energy::EstimateReport) -> Vec<(String, f64
 fn run_workload(
     name: &str,
     variants: &[SensorVariant],
-    build: impl Fn(SensorVariant, ProcessNode) -> Result<camj_core::energy::CamJ, WorkloadError>,
+    build: impl Fn(SensorVariant, ProcessNode) -> Result<camj_core::energy::CamJ, WorkloadError> + Sync,
 ) -> Vec<Fig9Bar> {
-    let mut bars = Vec::new();
-    for &node in &[ProcessNode::N130, ProcessNode::N65] {
-        for &variant in variants {
-            let report = build(variant, node)
-                .and_then(|m| m.estimate().map_err(WorkloadError::from))
-                .unwrap_or_else(|e| panic!("{name} {variant} at {node}: {e}"));
-            bars.push(Fig9Bar {
-                workload: name.to_owned(),
-                variant: variant.label().to_owned(),
-                cis_node_nm: node.nanometers(),
-                categories: categories_of(&report),
-                total_uj: report.total().microjoules(),
-            });
-        }
+    // The paper's (node × variant) grid as a declarative sweep; points
+    // estimate in parallel and come back in grid order, so the bars
+    // print exactly as the serial loop used to.
+    let sweep = Sweep::new()
+        .tech_nodes([ProcessNode::N130, ProcessNode::N65])
+        .labels("variant", variants.iter().map(|v| v.label()));
+    let results = Explorer::parallel().run(&sweep, |point| {
+        let node = point.node("tech_node");
+        let variant =
+            SensorVariant::from_label(point.text("variant")).expect("axis built from labels");
+        let report = build(variant, node)
+            .and_then(|m| m.estimate().map_err(WorkloadError::from))
+            .map_err(PointError::new)?;
+        Ok(Fig9Bar {
+            workload: name.to_owned(),
+            variant: variant.label().to_owned(),
+            cis_node_nm: node.nanometers(),
+            categories: categories_of(&report),
+            total_uj: report.total().microjoules(),
+        })
+    });
+    // Figures are paper artifacts: every grid point must estimate.
+    if let Some((point, e)) = results.failures().next() {
+        panic!("{name} {point}: {e}");
     }
-    bars
+    results
+        .into_outcomes()
+        .into_iter()
+        .map(|o| o.result.expect("failures handled above"))
+        .collect()
 }
 
 fn print_bars(title: &str, bars: &[Fig9Bar]) {
     output::header(title);
     let headers = [
-        "Config", "SEN", "COMP-A", "MEM-A", "COMP-D", "MEM-D", "MIPI", "uTSV", "Total µJ",
+        "Config",
+        "SEN",
+        "COMP-A",
+        "MEM-A",
+        "COMP-D",
+        "MEM-D",
+        "MIPI",
+        "uTSV",
+        "Total µJ",
     ];
     let rows: Vec<Vec<String>> = bars
         .iter()
@@ -116,7 +139,10 @@ pub fn run_rhythmic() -> Vec<Fig9Bar> {
         .map(|&n| 1.0 - total_of(&bars, "3D-In", n) / total_of(&bars, "2D-In", n))
         .sum::<f64>()
         / 2.0;
-    println!("  3D-In saves {:.1} % vs 2D-In on average  (paper: 15.8 %)", avg_3d * 100.0);
+    println!(
+        "  3D-In saves {:.1} % vs 2D-In on average  (paper: 15.8 %)",
+        avg_3d * 100.0
+    );
 
     output::save_json("fig9a_rhythmic", &bars);
     bars
@@ -155,7 +181,10 @@ pub fn run_edgaze() -> Vec<Fig9Bar> {
         .map(|&n| 1.0 - total_of(&bars, "3D-In", n) / total_of(&bars, "2D-In", n))
         .sum::<f64>()
         / 2.0;
-    println!("  3D-In saves {:.1} % vs 2D-In on average  (paper: 38.5 %)", avg_3d * 100.0);
+    println!(
+        "  3D-In saves {:.1} % vs 2D-In on average  (paper: 38.5 %)",
+        avg_3d * 100.0
+    );
     for node in [65.0, 130.0] {
         println!(
             "  3D-In-STT saves {:.1} % vs 3D-In at {node:.0} nm  (paper: {})",

@@ -42,8 +42,8 @@ fn density(
     let model = build(variant, node).expect("variant supported");
     let report = model.estimate().expect("estimates");
     // In-package power: everything not dissipated on the host SoC.
-    let in_package = report.breakdown.layer_total(Layer::Sensor)
-        + report.breakdown.layer_total(Layer::Compute);
+    let in_package =
+        report.breakdown.layer_total(Layer::Sensor) + report.breakdown.layer_total(Layer::Compute);
     let power_mw = (in_package / report.delay.frame_time).milliwatts();
     let hw = model.hardware();
     let sensor_area = layer_area_mm2(hw, Layer::Sensor);
@@ -99,7 +99,14 @@ pub fn run() -> Vec<DensityCell> {
         })
         .collect();
     output::table(
-        &["Nodes", "Workload", "Variant", "Power mW", "Area mm²", "mW/mm²"],
+        &[
+            "Nodes",
+            "Workload",
+            "Variant",
+            "Power mW",
+            "Area mm²",
+            "mW/mm²",
+        ],
         &rows,
     );
 

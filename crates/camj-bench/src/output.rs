@@ -45,7 +45,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) {
 #[must_use]
 pub fn results_dir() -> PathBuf {
     // The harness binaries run from the workspace; prefer its results/.
-    let candidates = [Path::new("results"), Path::new("../results"), Path::new("../../results")];
+    let candidates = [
+        Path::new("results"),
+        Path::new("../results"),
+        Path::new("../../results"),
+    ];
     for c in candidates {
         if c.is_dir() {
             return c.to_path_buf();

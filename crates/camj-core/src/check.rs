@@ -192,7 +192,9 @@ mod tests {
     }
 
     fn mapping() -> Mapping {
-        Mapping::new().map("Input", "PixelArray").map("Edge", "EdgeUnit")
+        Mapping::new()
+            .map("Input", "PixelArray")
+            .map("Edge", "EdgeUnit")
     }
 
     #[test]
@@ -237,11 +239,7 @@ mod tests {
         ));
         hw.add_analog(AnalogUnitDesc::new(
             "WTA",
-            AnalogArray::new(
-                camj_analog::components::max_wta(4, 1.0, 50e-15),
-                1,
-                32,
-            ),
+            AnalogArray::new(camj_analog::components::max_wta(4, 1.0, 50e-15), 1, 32),
             Layer::Sensor,
             AnalogCategory::Compute,
         ));
@@ -285,7 +283,9 @@ mod tests {
     #[test]
     fn input_stage_must_be_photosensitive() {
         let hw = hw_with_adc();
-        let m = Mapping::new().map("Input", "EdgeUnit").map("Edge", "EdgeUnit");
+        let m = Mapping::new()
+            .map("Input", "EdgeUnit")
+            .map("Edge", "EdgeUnit");
         let err = validate(&base_algo(), &hw, &m).unwrap_err();
         assert!(err.to_string().contains("photon-sensitive"), "{err}");
     }

@@ -43,7 +43,10 @@ impl DelayEstimate {
         digital_latency: Time,
         analog_stage_count: usize,
     ) -> Result<Self, CamjError> {
-        assert!(fps.is_finite() && fps > 0.0, "FPS must be positive, got {fps}");
+        assert!(
+            fps.is_finite() && fps > 0.0,
+            "FPS must be positive, got {fps}"
+        );
         assert!(
             analog_stage_count >= 1,
             "a CIS pipeline has at least the exposure stage"
@@ -73,8 +76,7 @@ mod tests {
     fn fig6_arithmetic() {
         // 3 × T_A + T_D = T_FR.
         let est = DelayEstimate::solve(30.0, Time::from_millis(3.333), 3).unwrap();
-        let reconstructed =
-            est.analog_unit_time * 3.0 + est.digital_latency;
+        let reconstructed = est.analog_unit_time * 3.0 + est.digital_latency;
         assert!((reconstructed.secs() - est.frame_time.secs()).abs() < 1e-12);
     }
 

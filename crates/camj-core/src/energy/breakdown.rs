@@ -115,7 +115,13 @@ impl EnergyBreakdown {
 mod tests {
     use super::*;
 
-    fn item(unit: &str, stage: Option<&str>, cat: EnergyCategory, layer: Layer, pj: f64) -> EnergyItem {
+    fn item(
+        unit: &str,
+        stage: Option<&str>,
+        cat: EnergyCategory,
+        layer: Layer,
+        pj: f64,
+    ) -> EnergyItem {
         EnergyItem {
             unit: unit.into(),
             stage: stage.map(Into::into),
@@ -127,10 +133,34 @@ mod tests {
 
     fn sample() -> EnergyBreakdown {
         let mut b = EnergyBreakdown::new();
-        b.push(item("px", Some("Input"), EnergyCategory::Sensing, Layer::Sensor, 100.0));
-        b.push(item("adc", Some("Input"), EnergyCategory::Sensing, Layer::Sensor, 50.0));
-        b.push(item("pe", Some("Edge"), EnergyCategory::DigitalCompute, Layer::Compute, 30.0));
-        b.push(item("mipi", Some("Edge"), EnergyCategory::Mipi, Layer::Compute, 20.0));
+        b.push(item(
+            "px",
+            Some("Input"),
+            EnergyCategory::Sensing,
+            Layer::Sensor,
+            100.0,
+        ));
+        b.push(item(
+            "adc",
+            Some("Input"),
+            EnergyCategory::Sensing,
+            Layer::Sensor,
+            50.0,
+        ));
+        b.push(item(
+            "pe",
+            Some("Edge"),
+            EnergyCategory::DigitalCompute,
+            Layer::Compute,
+            30.0,
+        ));
+        b.push(item(
+            "mipi",
+            Some("Edge"),
+            EnergyCategory::Mipi,
+            Layer::Compute,
+            20.0,
+        ));
         b
     }
 

@@ -1,9 +1,12 @@
-//! Energy estimation: categories, breakdowns, and the estimator itself.
+//! Energy estimation: categories, breakdowns, the staged pipeline, and
+//! the estimator facade.
 
 mod breakdown;
 mod category;
 mod model;
+mod pipeline;
 
 pub use breakdown::{EnergyBreakdown, EnergyItem};
 pub use category::EnergyCategory;
 pub use model::{CamJ, EstimateReport};
+pub use pipeline::{ElasticSim, ValidatedModel};

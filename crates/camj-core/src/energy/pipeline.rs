@@ -1,0 +1,778 @@
+//! The staged estimation pipeline.
+//!
+//! [`CamJ::estimate`](super::CamJ::estimate) used to be one monolithic
+//! pass. It is now five explicit, independently-invokable stages over a
+//! [`ValidatedModel`]:
+//!
+//! ```text
+//! validate ─→ route ─→ simulate ─→ estimate_delay ─→ energy
+//! (new)       (new)    (cached)     (per FPS)         (per FPS)
+//! ```
+//!
+//! * **validate + route** run once, in [`ValidatedModel::new`]: the
+//!   static checks (paper Sec. 3.2) and the physical routes are
+//!   intrinsic to the design, not to the frame-rate target.
+//! * **simulate** ([`ValidatedModel::simulate`]) runs the elastic
+//!   cycle-level simulation that measures digital latency `T_D`. It is
+//!   FPS-independent, so the result is memoised — re-estimating the
+//!   same design at another frame rate (the common design-space-sweep
+//!   axis) reuses it for free.
+//! * **estimate_delay** ([`ValidatedModel::estimate_delay`]) solves the
+//!   frame budget `N_A·T_A + T_D = 1/FPS` (Sec. 4.1).
+//! * **energy** ([`ValidatedModel::energy_breakdown`]) books the three
+//!   energy domains of Eq. 1 plus communication.
+//!
+//! [`ValidatedModel::estimate`] chains the stages into the classic
+//! one-call flow (including the constant-rate-readout stall check);
+//! [`ValidatedModel::estimate_at_fps`] re-runs only the FPS-dependent
+//! tail. The `camj-explore` crate drives either entry point across
+//! design grids in parallel.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use camj_digital::memory::MemoryStructure;
+use camj_digital::sim::{NodeId, PipelineSimBuilder, SimError, SimReport, SourceMode};
+use camj_tech::units::Time;
+
+use crate::check;
+use crate::delay::DelayEstimate;
+use crate::error::CamjError;
+use crate::hw::{DigitalUnitKind, HardwareDesc, UnitKind};
+use crate::mapping::Mapping;
+use crate::power_density::layer_powers;
+use crate::route::{routes, Route};
+use crate::sw::{AlgorithmGraph, Stage, StageKind};
+
+use super::breakdown::{EnergyBreakdown, EnergyItem};
+use super::category::EnergyCategory;
+use super::model::EstimateReport;
+
+/// Safety bound for the cycle-level simulation.
+const MAX_SIM_CYCLES: u64 = 200_000_000;
+
+/// The FPS-independent result of the **simulate** stage: the elastic
+/// cycle-level simulation and the digital latency derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSim {
+    /// Simulation statistics (`None` for all-analog designs, which have
+    /// nothing to simulate).
+    pub report: Option<SimReport>,
+    /// Digital latency `T_D` at the hardware's digital clock.
+    pub digital_latency: Time,
+}
+
+/// Per-digital-stage simulation parameters.
+struct StagePlan<'a> {
+    stage: &'a Stage,
+    firings: u64,
+    out_rate: f64,
+    pipeline_depth: u32,
+    /// Physical buffer reads per fresh input pixel.
+    reads_per_fresh: f64,
+}
+
+/// Memoised stall-check verdict, exploiting monotonicity in the
+/// readout time: a pipeline that keeps pace with a readout of `T_A`
+/// seconds per stage also keeps pace with any slower readout. Sweeping
+/// the frame-rate axis therefore needs one stall simulation at its
+/// fastest passing point instead of one per point. Only passes are
+/// cached: failures re-simulate so each failing point reports a
+/// diagnosis exact for its own readout.
+#[derive(Debug, Clone, Default)]
+struct StallCache {
+    /// Fastest (smallest) per-stage readout time known to pass.
+    pass_min: Option<f64>,
+}
+
+/// A design that has passed the **validate** and **route** stages, with
+/// the routes and (lazily) the elastic simulation cached for reuse.
+///
+/// The cache is what makes sweeps cheap: clones made through
+/// [`ValidatedModel::with_fps`] share the already-resolved routes and
+/// simulation instead of re-deriving them, and
+/// [`ValidatedModel::estimate_at_fps`] re-runs only the FPS-dependent
+/// stages on a single instance.
+#[derive(Debug)]
+pub struct ValidatedModel {
+    algo: AlgorithmGraph,
+    hw: HardwareDesc,
+    mapping: Mapping,
+    fps: f64,
+    routes: Vec<Route>,
+    elastic: OnceLock<Result<ElasticSim, CamjError>>,
+    stall: Mutex<StallCache>,
+}
+
+impl Clone for ValidatedModel {
+    fn clone(&self) -> Self {
+        Self {
+            algo: self.algo.clone(),
+            hw: self.hw.clone(),
+            mapping: self.mapping.clone(),
+            fps: self.fps,
+            routes: self.routes.clone(),
+            elastic: self.elastic.clone(),
+            stall: Mutex::new(self.stall.lock().expect("stall cache lock").clone()),
+        }
+    }
+}
+
+impl ValidatedModel {
+    /// The **validate** and **route** stages: runs all static checks
+    /// (paper Sec. 3.2) and resolves every physical route.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check as a [`CamjError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not a positive finite number.
+    pub fn new(
+        algo: AlgorithmGraph,
+        hw: HardwareDesc,
+        mapping: Mapping,
+        fps: f64,
+    ) -> Result<Self, CamjError> {
+        assert!(
+            fps.is_finite() && fps > 0.0,
+            "FPS must be positive, got {fps}"
+        );
+        check::validate(&algo, &hw, &mapping)?;
+        let routes = routes(&algo, &hw, &mapping)?;
+        Ok(Self {
+            algo,
+            hw,
+            mapping,
+            fps,
+            routes,
+            elastic: OnceLock::new(),
+            stall: Mutex::new(StallCache::default()),
+        })
+    }
+
+    /// The algorithm description.
+    #[must_use]
+    pub fn algorithm(&self) -> &AlgorithmGraph {
+        &self.algo
+    }
+
+    /// The hardware description.
+    #[must_use]
+    pub fn hardware(&self) -> &HardwareDesc {
+        &self.hw
+    }
+
+    /// The stage-to-unit mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The target frame rate.
+    #[must_use]
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// The resolved physical routes (the **route** stage's artifact).
+    #[must_use]
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// A copy of this model targeting a different frame rate, sharing
+    /// the cached routes and elastic simulation. Checks do not re-run:
+    /// FPS feasibility is established by the delay/stall stages, not by
+    /// the static checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not a positive finite number.
+    #[must_use]
+    pub fn with_fps(&self, fps: f64) -> Self {
+        assert!(
+            fps.is_finite() && fps > 0.0,
+            "FPS must be positive, got {fps}"
+        );
+        let mut clone = self.clone();
+        clone.fps = fps;
+        clone
+    }
+
+    /// The **simulate** stage: the elastic cycle-level simulation
+    /// measuring digital latency `T_D` (Sec. 4.1). FPS-independent and
+    /// memoised — repeated calls (and calls on [`Self::with_fps`]
+    /// clones made *after* the first call) return the cached artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamjError::Sim`] when the simulation fails.
+    pub fn simulate(&self) -> Result<&ElasticSim, CamjError> {
+        self.elastic
+            .get_or_init(|| self.run_elastic())
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn run_elastic(&self) -> Result<ElasticSim, CamjError> {
+        let plans = self.stage_plans();
+        if plans.is_empty() {
+            return Ok(ElasticSim {
+                report: None,
+                digital_latency: Time::ZERO,
+            });
+        }
+        let sim = self.build_sim(&plans, None)?;
+        let report = sim.run(MAX_SIM_CYCLES)?;
+        let digital_latency = report.digital_latency(self.hw.digital_clock_hz());
+        Ok(ElasticSim {
+            report: Some(report),
+            digital_latency,
+        })
+    }
+
+    /// The **estimate_delay** stage at this model's frame rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures; returns
+    /// [`CamjError::FrameRateInfeasible`] when `T_D` exceeds the frame
+    /// budget.
+    pub fn estimate_delay(&self) -> Result<DelayEstimate, CamjError> {
+        self.estimate_delay_at(self.fps)
+    }
+
+    /// The **estimate_delay** stage at an explicit frame rate.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::estimate_delay`].
+    pub fn estimate_delay_at(&self, fps: f64) -> Result<DelayEstimate, CamjError> {
+        let t_d = self.simulate()?.digital_latency;
+        DelayEstimate::solve(fps, t_d, self.analog_stage_count())
+    }
+
+    /// The stall check (Sec. 4.1): re-simulates with the source pinned
+    /// to the constant readout rate the delay estimate implies.
+    ///
+    /// Passing verdicts are memoised by readout time (stall freedom is
+    /// monotone in it: a slower readout only relaxes the source rate),
+    /// so a frame-rate sweep pays for one stall simulation at its
+    /// fastest passing point plus one per failing point. Failures are
+    /// never answered from cache — each re-simulates so the overflow
+    /// diagnosis is exact for that readout and results stay identical
+    /// across serial and parallel sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamjError::StallDetected`] when the digital pipeline
+    /// cannot keep pace with the pixel readout.
+    pub fn check_stall(&self, delay: &DelayEstimate) -> Result<(), CamjError> {
+        let t_a = delay.analog_unit_time.secs();
+        if self
+            .stall
+            .lock()
+            .expect("stall cache lock")
+            .pass_min
+            .is_some_and(|pass| t_a >= pass)
+        {
+            return Ok(());
+        }
+        self.check_stall_with(&self.stage_plans(), delay)
+    }
+
+    fn check_stall_with(
+        &self,
+        plans: &[StagePlan<'_>],
+        delay: &DelayEstimate,
+    ) -> Result<(), CamjError> {
+        if plans.is_empty() {
+            return Ok(());
+        }
+        let t_a = delay.analog_unit_time.secs();
+        let readout = delay.analog_unit_time;
+        let sim = self.build_sim(plans, Some(readout))?;
+        let budget =
+            (delay.frame_time.secs() * self.hw.digital_clock_hz() * 2.0) as u64 + 1_000_000;
+        match sim.run(budget.min(MAX_SIM_CYCLES)) {
+            Ok(_) => {
+                let mut cache = self.stall.lock().expect("stall cache lock");
+                cache.pass_min = Some(cache.pass_min.map_or(t_a, |p| p.min(t_a)));
+                Ok(())
+            }
+            Err(e @ SimError::SourceOverflow { .. }) => Err(CamjError::StallDetected { cause: e }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The **energy** stage: books all component energies (Eq. 1's
+    /// three domains plus communication) for a solved delay split.
+    #[must_use]
+    pub fn energy_breakdown(
+        &self,
+        sim: Option<&SimReport>,
+        delay: &DelayEstimate,
+    ) -> EnergyBreakdown {
+        self.energy_breakdown_with(&self.stage_plans(), sim, delay)
+    }
+
+    fn energy_breakdown_with(
+        &self,
+        plans: &[StagePlan<'_>],
+        sim: Option<&SimReport>,
+        delay: &DelayEstimate,
+    ) -> EnergyBreakdown {
+        let mut breakdown = EnergyBreakdown::new();
+        self.analog_energy(delay, &mut breakdown);
+        self.digital_compute_energy(plans, sim, &mut breakdown);
+        self.digital_memory_energy(plans, sim, delay, &mut breakdown);
+        self.communication_energy(&mut breakdown);
+        breakdown
+    }
+
+    /// Runs the full staged flow at this model's frame rate.
+    ///
+    /// # Errors
+    ///
+    /// See [`super::CamJ::estimate`].
+    pub fn estimate(&self) -> Result<EstimateReport, CamjError> {
+        self.estimate_at_fps(self.fps)
+    }
+
+    /// Runs the FPS-dependent stages (delay → stall check → energy) at
+    /// an explicit frame rate, reusing the cached routes and elastic
+    /// simulation. This is the sweep fast path: across N frame-rate
+    /// targets the checks, routing, and latency simulation run once
+    /// instead of N times.
+    ///
+    /// # Errors
+    ///
+    /// See [`super::CamJ::estimate`].
+    pub fn estimate_at_fps(&self, fps: f64) -> Result<EstimateReport, CamjError> {
+        let elastic = self.simulate()?;
+        let delay = DelayEstimate::solve(fps, elastic.digital_latency, self.analog_stage_count())?;
+        // Plans serve both the stall check and the energy passes; build
+        // them once (and only after the cheap feasibility solve above).
+        let t_a = delay.analog_unit_time.secs();
+        let stall_settled = self
+            .stall
+            .lock()
+            .expect("stall cache lock")
+            .pass_min
+            .is_some_and(|pass| t_a >= pass);
+        let plans = self.stage_plans();
+        if !stall_settled {
+            self.check_stall_with(&plans, &delay)?;
+        }
+        let breakdown = self.energy_breakdown_with(&plans, elastic.report.as_ref(), &delay);
+        let layers = layer_powers(&breakdown, &self.hw, delay.frame_time);
+        let input_pixels = self
+            .algo
+            .stages()
+            .iter()
+            .filter(|s| matches!(s.kind(), StageKind::Input))
+            .map(|s| s.output_size().count())
+            .sum();
+        Ok(EstimateReport {
+            breakdown,
+            delay,
+            sim: elastic.report.clone(),
+            layers,
+            input_pixels,
+        })
+    }
+
+    /// Builds per-digital-stage simulation parameters.
+    fn stage_plans(&self) -> Vec<StagePlan<'_>> {
+        let mut plans = Vec::new();
+        for stage in self.algo.stages() {
+            let Some(unit_name) = self.mapping.unit_for(stage.name()) else {
+                continue;
+            };
+            let Some(unit) = self.hw.digital(unit_name) else {
+                continue;
+            };
+            let outputs = stage.output_size().count();
+            let fresh_total: f64 = self
+                .algo
+                .producers_of(stage.name())
+                .iter()
+                .map(|p| {
+                    self.algo
+                        .stage(p)
+                        .expect("producer exists")
+                        .output_size()
+                        .count() as f64
+                })
+                .sum();
+            let (firings, out_rate, depth, reads_total) = match unit.kind() {
+                DigitalUnitKind::Pipelined(cu) => {
+                    // The unit fires until BOTH its output quota and its
+                    // input stream are through — a reducing stage (many
+                    // inputs per output) is input-throughput-limited.
+                    let out_limited = outputs.div_ceil(cu.output_pixels_per_cycle());
+                    let in_limited =
+                        (fresh_total / cu.input_pixels_per_cycle() as f64).ceil() as u64;
+                    let firings = out_limited.max(in_limited).max(1);
+                    let reads = stage.reads_per_output() * outputs as f64;
+                    (
+                        firings,
+                        outputs as f64 / firings as f64,
+                        cu.num_stages(),
+                        reads,
+                    )
+                }
+                DigitalUnitKind::Systolic(sa) => {
+                    let (macs, weights) = match stage.kind() {
+                        StageKind::Dnn { macs, weights } => (macs, weights),
+                        _ => (stage.ops_per_frame(), 0),
+                    };
+                    let firings = sa.cycles_for_macs(macs).max(1);
+                    // Tiled weight-stationary dataflow with on-array
+                    // register reuse: each activation and each weight is
+                    // fetched from SRAM a small constant number of times
+                    // across tiles (2 on average), not once per MAC.
+                    const SRAM_FETCH_PASSES: f64 = 2.0;
+                    let reads = SRAM_FETCH_PASSES * (fresh_total + weights as f64);
+                    (firings, outputs as f64 / firings as f64, sa.rows(), reads)
+                }
+            };
+            let reads_per_fresh = if fresh_total > 0.0 {
+                reads_total / fresh_total
+            } else {
+                0.0
+            };
+            plans.push(StagePlan {
+                stage,
+                firings,
+                out_rate,
+                pipeline_depth: depth,
+                reads_per_fresh,
+            });
+        }
+        plans
+    }
+
+    /// Builds the pipeline simulation. `readout_time` selects the source
+    /// mode: `None` ⇒ elastic (latency measurement), `Some(T_A)` ⇒
+    /// continuous at the physical readout rate (stall check).
+    fn build_sim(
+        &self,
+        plans: &[StagePlan<'_>],
+        readout_time: Option<Time>,
+    ) -> Result<camj_digital::sim::PipelineSim, CamjError> {
+        let mut b = PipelineSimBuilder::new();
+        let mut nodes: BTreeMap<&str, NodeId> = BTreeMap::new();
+        for plan in plans {
+            let id = b.add_stage(plan.stage.name(), plan.pipeline_depth);
+            nodes.insert(plan.stage.name(), id);
+        }
+        for plan in plans {
+            let consumer = nodes[plan.stage.name()];
+            for producer_name in self.algo.producers_of(plan.stage.name()) {
+                let producer_stage = self.algo.stage(producer_name).expect("producer exists");
+                let edge_pixels = producer_stage.output_size().count() as f64;
+                let fresh_rate = (edge_pixels / plan.firings as f64).max(f64::MIN_POSITIVE);
+                let buffer = self.buffer_between(producer_name, plan.stage.name());
+                let (from, producer_rate) = match nodes.get(producer_name) {
+                    Some(&id) => {
+                        let producer_plan = plans
+                            .iter()
+                            .find(|p| p.stage.name() == producer_name)
+                            .expect("digital producer has a plan");
+                        (id, producer_plan.out_rate)
+                    }
+                    None => {
+                        // Analog producer: a readout source.
+                        let (mode, rate) = match readout_time {
+                            None => (SourceMode::Elastic, fresh_rate),
+                            Some(t_a) => {
+                                let cycles = t_a.secs() * self.hw.digital_clock_hz();
+                                (SourceMode::Continuous, edge_pixels / cycles.max(1.0))
+                            }
+                        };
+                        let id = b.add_source(format!("src:{producer_name}"), mode);
+                        (id, rate)
+                    }
+                };
+                b.connect_with_reuse(
+                    from,
+                    consumer,
+                    &buffer,
+                    producer_rate,
+                    fresh_rate,
+                    edge_pixels,
+                    plan.reads_per_fresh,
+                );
+            }
+        }
+        b.build().map_err(CamjError::from)
+    }
+
+    /// The physical buffer a consumer reads its input from: the last
+    /// memory on the route, or a synthetic free wire when the units are
+    /// directly connected (or fused on one unit).
+    fn buffer_between(&self, producer: &str, consumer: &str) -> MemoryStructure {
+        let route = self
+            .routes
+            .iter()
+            .find(|r| r.from_stage == producer && r.to_stage.as_deref() == Some(consumer));
+        if let Some(route) = route {
+            let mem = route
+                .intermediates()
+                .iter()
+                .rev()
+                .find(|hop| self.hw.kind_of(hop) == Some(UnitKind::Memory));
+            if let Some(name) = mem {
+                return self
+                    .hw
+                    .memory(name)
+                    .expect("kind said memory")
+                    .structure()
+                    .clone();
+            }
+        }
+        // Fused or directly-wired: a generous free conduit.
+        MemoryStructure::fifo(format!("wire:{producer}->{consumer}"), 1 << 20)
+            .with_pixels_per_word(64)
+            .with_ports(64, 64)
+    }
+
+    /// Analog pipeline stage count `N_A`, including exposure.
+    fn analog_stage_count(&self) -> usize {
+        let mut units: Vec<String> = Vec::new();
+        let mapped = self
+            .mapping
+            .iter()
+            .filter(|(stage, _)| self.algo.stage(stage).is_some())
+            .map(|(_, unit)| unit);
+        let routed = self
+            .routes
+            .iter()
+            .flat_map(|r| r.path.iter().map(String::as_str));
+        for name in mapped.chain(routed) {
+            if self.hw.analog(name).is_some() && !units.iter().any(|u| u == name) {
+                units.push(name.to_owned());
+            }
+        }
+        units.len() + 1 // + exposure
+    }
+
+    /// Analog energy (Sec. 4.2, Eq. 2–3): access counts from the mapping
+    /// and routing, per-access energy from the component models under the
+    /// inferred delay budget.
+    fn analog_energy(&self, delay: &DelayEstimate, breakdown: &mut EnergyBreakdown) {
+        let mut accesses: BTreeMap<String, f64> = BTreeMap::new();
+        let mut attribution: BTreeMap<String, String> = BTreeMap::new();
+
+        // Mapped stages: the exit stage of each fused group drives the
+        // unit's access count.
+        for unit in self.hw.analog_units() {
+            for stage_name in self.mapping.stages_on(unit.name()) {
+                let Some(stage) = self.algo.stage(stage_name) else {
+                    continue;
+                };
+                let consumers = self.algo.consumers_of(stage_name);
+                let is_exit = consumers.is_empty()
+                    || consumers
+                        .iter()
+                        .any(|c| self.mapping.unit_for(c) != Some(unit.name()));
+                if is_exit {
+                    *accesses.entry(unit.name().to_owned()).or_default() +=
+                        stage.output_size().count() as f64 * unit.ops_per_stage_output();
+                    attribution.insert(unit.name().to_owned(), stage_name.to_owned());
+                }
+            }
+        }
+
+        // Pass-through units on routes: ADC arrays convert every pixel;
+        // analog buffers additionally serve the consumer's reads.
+        for route in &self.routes {
+            let inter = route.intermediates();
+            for (i, hop) in inter.iter().enumerate() {
+                if self.hw.analog(hop).is_none() {
+                    continue;
+                }
+                *accesses.entry(hop.clone()).or_default() += route.pixels as f64;
+                let is_last = i + 1 == inter.len();
+                if is_last {
+                    if let Some(to_stage) = &route.to_stage {
+                        let consumer_unit = self.mapping.unit_for(to_stage);
+                        let consumer_is_analog =
+                            consumer_unit.is_some_and(|u| self.hw.analog(u).is_some());
+                        if consumer_is_analog {
+                            let cons = self.algo.stage(to_stage).expect("stage exists");
+                            *accesses.entry(hop.clone()).or_default() +=
+                                cons.reads_per_output() * cons.output_size().count() as f64;
+                        }
+                    }
+                }
+                attribution
+                    .entry(hop.clone())
+                    .or_insert_with(|| route.from_stage.clone());
+            }
+        }
+
+        for unit in self.hw.analog_units() {
+            let Some(&n) = accesses.get(unit.name()) else {
+                continue;
+            };
+            if n <= 0.0 {
+                continue;
+            }
+            // Eq. 3: accesses spread uniformly over the AFA's components;
+            // each component gets T_A / (n / count) per access.
+            let per_component = n / unit.array().component_count() as f64;
+            let per_access_delay = delay.analog_unit_time / per_component.max(1.0);
+            let energy = unit.array().component().energy_per_access(per_access_delay) * n;
+            breakdown.push(EnergyItem {
+                unit: unit.name().to_owned(),
+                stage: attribution.get(unit.name()).cloned(),
+                category: match unit.category() {
+                    crate::hw::AnalogCategory::Sensing => EnergyCategory::Sensing,
+                    crate::hw::AnalogCategory::Compute => EnergyCategory::AnalogCompute,
+                    crate::hw::AnalogCategory::Memory => EnergyCategory::AnalogMemory,
+                },
+                layer: unit.layer(),
+                energy,
+            });
+        }
+    }
+
+    /// Digital compute energy (Eq. 15): per-cycle energy × simulated
+    /// cycles for pipelined units, per-MAC energy × MACs for systolic
+    /// arrays.
+    fn digital_compute_energy(
+        &self,
+        plans: &[StagePlan<'_>],
+        sim: Option<&SimReport>,
+        breakdown: &mut EnergyBreakdown,
+    ) {
+        for plan in plans {
+            let unit_name = self
+                .mapping
+                .unit_for(plan.stage.name())
+                .expect("planned stages are mapped");
+            let unit = self
+                .hw
+                .digital(unit_name)
+                .expect("planned units are digital");
+            let energy = match unit.kind() {
+                DigitalUnitKind::Pipelined(cu) => {
+                    let cycles = sim
+                        .and_then(|r| r.stage(plan.stage.name()))
+                        .map_or(plan.firings, |s| s.active_cycles);
+                    cu.energy_per_cycle() * cycles as f64
+                }
+                DigitalUnitKind::Systolic(sa) => {
+                    let macs = match plan.stage.kind() {
+                        StageKind::Dnn { macs, .. } => macs,
+                        _ => plan.stage.ops_per_frame(),
+                    };
+                    sa.energy_for_macs(macs)
+                }
+            };
+            breakdown.push(EnergyItem {
+                unit: unit_name.to_owned(),
+                stage: Some(plan.stage.name().to_owned()),
+                category: EnergyCategory::DigitalCompute,
+                layer: unit.layer(),
+                energy,
+            });
+        }
+    }
+
+    /// Digital memory energy (Eq. 16): dynamic traffic from the
+    /// simulation plus DNN weight loading, and leakage over the powered
+    /// fraction of the frame.
+    fn digital_memory_energy(
+        &self,
+        plans: &[StagePlan<'_>],
+        sim: Option<&SimReport>,
+        delay: &DelayEstimate,
+        breakdown: &mut EnergyBreakdown,
+    ) {
+        // Aggregate traffic per physical memory name.
+        let mut traffic: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        if let Some(report) = sim {
+            for buf in &report.buffers {
+                let slot = traffic.entry(buf.name.clone()).or_default();
+                slot.0 += buf.pixels_read;
+                slot.1 += buf.pixels_written;
+            }
+        }
+        // DNN weights are loaded into the stage's input buffer once per
+        // frame (weight-stationary reuse across the frame's tiles).
+        for plan in plans {
+            if let StageKind::Dnn { weights, .. } = plan.stage.kind() {
+                for producer in self.algo.producers_of(plan.stage.name()) {
+                    let buffer = self.buffer_between(producer, plan.stage.name());
+                    if self.hw.memory(buffer.name()).is_some() {
+                        traffic.entry(buffer.name().to_owned()).or_default().1 += weights as f64;
+                    }
+                }
+            }
+        }
+
+        for mem in self.hw.memories() {
+            let (reads, writes) = traffic.get(mem.name()).copied().unwrap_or((0.0, 0.0));
+            let s = mem.structure();
+            let dynamic = s.dynamic_energy(reads, writes);
+            let leakage = s.leakage() * delay.frame_time * s.active_fraction();
+            let energy = dynamic + leakage;
+            if energy.joules() == 0.0 {
+                continue;
+            }
+            let stage = self
+                .routes
+                .iter()
+                .find(|r| r.intermediates().iter().any(|h| h == mem.name()))
+                .and_then(|r| r.to_stage.clone());
+            breakdown.push(EnergyItem {
+                unit: mem.name().to_owned(),
+                stage,
+                category: EnergyCategory::DigitalMemory,
+                layer: mem.layer(),
+                energy,
+            });
+        }
+    }
+
+    /// Communication energy (Eq. 17): bytes crossing layer boundaries pay
+    /// the boundary's interface energy; results exiting the package pay
+    /// MIPI.
+    fn communication_energy(&self, breakdown: &mut EnergyBreakdown) {
+        use camj_tech::interface::Interface;
+        for route in &self.routes {
+            let mut hops: Vec<(&str, crate::hw::Layer)> = route
+                .path
+                .iter()
+                .map(|h| (h.as_str(), self.hw.layer_of(h).expect("path units exist")))
+                .collect();
+            if route.is_host_exit() {
+                hops.push(("<host>", crate::hw::Layer::OffChip));
+            }
+            for pair in hops.windows(2) {
+                let (from, from_layer) = pair[0];
+                let (_, to_layer) = pair[1];
+                let Some(iface) = from_layer.interface_to(to_layer) else {
+                    continue;
+                };
+                let category = match iface {
+                    Interface::MicroTsv => EnergyCategory::MicroTsv,
+                    // Custom interfaces are booked as package-exit links.
+                    Interface::MipiCsi2 | Interface::Custom { .. } => EnergyCategory::Mipi,
+                };
+                breakdown.push(EnergyItem {
+                    unit: format!("{}:{}", category.label(), from),
+                    stage: Some(route.from_stage.clone()),
+                    category,
+                    layer: from_layer,
+                    energy: iface.transfer_energy(route.bytes),
+                });
+            }
+        }
+    }
+}

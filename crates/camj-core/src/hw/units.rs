@@ -279,11 +279,7 @@ mod tests {
 
     #[test]
     fn memory_descriptor_round_trips() {
-        let m = MemoryDesc::new(
-            MemoryStructure::fifo("buf", 1024),
-            Layer::Compute,
-            0.25,
-        );
+        let m = MemoryDesc::new(MemoryStructure::fifo("buf", 1024), Layer::Compute, 0.25);
         assert_eq!(m.name(), "buf");
         assert_eq!(m.layer(), Layer::Compute);
         assert!((m.area_mm2() - 0.25).abs() < 1e-12);

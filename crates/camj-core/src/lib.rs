@@ -106,7 +106,9 @@ pub mod route;
 pub mod sw;
 
 pub use delay::DelayEstimate;
-pub use energy::{CamJ, EnergyBreakdown, EnergyCategory, EnergyItem, EstimateReport};
+pub use energy::{
+    CamJ, ElasticSim, EnergyBreakdown, EnergyCategory, EnergyItem, EstimateReport, ValidatedModel,
+};
 pub use error::CamjError;
 pub use hw::{
     AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, DigitalUnitKind, HardwareDesc, Layer,

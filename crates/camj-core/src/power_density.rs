@@ -110,9 +110,9 @@ mod tests {
 
     #[test]
     fn density_is_power_over_area() {
+        use crate::hw::{AnalogCategory, AnalogUnitDesc};
         use camj_analog::array::AnalogArray;
         use camj_analog::components::{aps_4t, ApsParams};
-        use crate::hw::{AnalogCategory, AnalogUnitDesc};
 
         let mut hw = HardwareDesc::new(100e6);
         hw.add_analog(

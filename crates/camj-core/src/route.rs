@@ -136,9 +136,11 @@ pub(crate) fn unit_of<'m>(
     hw: &HardwareDesc,
     stage: &str,
 ) -> Result<&'m str, CamjError> {
-    let unit = mapping.unit_for(stage).ok_or_else(|| CamjError::CheckMapping {
-        reason: format!("stage '{stage}' is not mapped to any hardware unit"),
-    })?;
+    let unit = mapping
+        .unit_for(stage)
+        .ok_or_else(|| CamjError::CheckMapping {
+            reason: format!("stage '{stage}' is not mapped to any hardware unit"),
+        })?;
     if hw.kind_of(unit).is_none() {
         return Err(CamjError::CheckMapping {
             reason: format!("stage '{stage}' is mapped to unknown unit '{unit}'"),
@@ -218,7 +220,10 @@ mod tests {
         // EdgeDetection exits to the host.
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].from_stage, "Binning");
-        assert_eq!(rs[0].path, vec!["PixelArray", "ADCArray", "LineBuffer", "EdgeUnit"]);
+        assert_eq!(
+            rs[0].path,
+            vec!["PixelArray", "ADCArray", "LineBuffer", "EdgeUnit"]
+        );
         assert_eq!(rs[0].pixels, 256);
         assert!(rs[1].is_host_exit());
         assert_eq!(rs[1].bytes, 256);

@@ -276,9 +276,7 @@ impl Stage {
                 let k = u64::from(kernel[0]) * u64::from(kernel[1]) * u64::from(kernel[2]);
                 self.output_size.count() * k
             }
-            StageKind::ElementWise { operands } => {
-                self.output_size.count() * u64::from(operands)
-            }
+            StageKind::ElementWise { operands } => self.output_size.count() * u64::from(operands),
             StageKind::Dnn { macs, .. } => macs,
             StageKind::Custom { ops, .. } => ops,
         }
@@ -294,9 +292,7 @@ impl Stage {
                 (u64::from(kernel[0]) * u64::from(kernel[1]) * u64::from(kernel[2])) as f64
             }
             StageKind::ElementWise { operands } => f64::from(operands),
-            StageKind::Dnn { macs, .. } => {
-                macs as f64 / self.output_size.count() as f64
-            }
+            StageKind::Dnn { macs, .. } => macs as f64 / self.output_size.count() as f64,
             StageKind::Custom {
                 reads_per_output, ..
             } => reads_per_output,

@@ -151,8 +151,7 @@ impl ComputeUnit {
     /// Active cycles needed to produce `output_pixels` outputs.
     #[must_use]
     pub fn cycles_for_output(&self, output_pixels: u64) -> u64 {
-        output_pixels.div_ceil(self.output_pixels_per_cycle())
-            + u64::from(self.num_stages - 1)
+        output_pixels.div_ceil(self.output_pixels_per_cycle()) + u64::from(self.num_stages - 1)
     }
 
     /// Compute energy for producing `output_pixels` outputs (Eq. 15).

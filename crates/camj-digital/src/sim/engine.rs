@@ -33,11 +33,30 @@ use crate::memory::MemoryStructure;
 use super::error::SimError;
 use super::report::{BufferStats, SimReport, StageStats};
 
-/// Tolerance for fluid-token comparisons. Fractional rates accumulate
-/// floating-point error over millions of cycles; pixel quantities are
-/// O(1)–O(10⁷), so a microtoken tolerance is far above the drift and far
-/// below any real pixel.
-const EPS: f64 = 1e-6;
+/// Relative scale of the fluid-token comparison tolerance, see
+/// [`flow_tolerance`].
+const REL_EPS: f64 = 1e-8;
+/// Tolerance floor: guards edges whose totals are far below one pixel.
+const MIN_EPS: f64 = 1e-12;
+/// Tolerance ceiling: even the largest edge never gets a slack
+/// approaching one pixel.
+const MAX_EPS: f64 = 1e-2;
+
+/// Tolerance for fluid-token comparisons on an edge moving `total`
+/// pixels with `min_rate` as its slower per-cycle rate.
+///
+/// Fractional rates accumulate floating-point error over millions of
+/// cycles, and the error is proportional to the magnitude of the
+/// accumulators — an absolute epsilon either drowns sub-pixel rates
+/// (too large) or trips on drift at O(10⁷)-pixel frames (too small).
+/// The tolerance therefore scales with the edge's token volume,
+/// clamped to [`MIN_EPS`]..[`MAX_EPS`] and capped well below the edge's
+/// slower rate so flow control (which compares against per-cycle
+/// amounts) is never swamped.
+fn flow_tolerance(total: f64, min_rate: f64) -> f64 {
+    let scale = (total * REL_EPS).clamp(MIN_EPS, MAX_EPS);
+    scale.min(0.25 * min_rate).max(MIN_EPS)
+}
 
 /// Handle to a node added to a [`PipelineSimBuilder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +99,17 @@ struct Edge {
     /// weight re-reads): flow control moves fresh pixels, the energy
     /// statistics multiply by this factor.
     reads_per_pixel: f64,
+    /// Precomputed [`flow_tolerance`] — rates and totals are immutable
+    /// after construction, and the simulation loop compares against
+    /// this every edge every cycle.
+    tolerance: f64,
+}
+
+impl Edge {
+    /// This edge's fluid-token comparison tolerance.
+    fn tol(&self) -> f64 {
+        self.tolerance
+    }
 }
 
 #[derive(Debug, Clone, Default)]
@@ -188,7 +218,15 @@ impl PipelineSimBuilder {
         consumer_rate: f64,
         total_pixels: f64,
     ) {
-        self.connect_with_reuse(from, to, buffer, producer_rate, consumer_rate, total_pixels, 1.0);
+        self.connect_with_reuse(
+            from,
+            to,
+            buffer,
+            producer_rate,
+            consumer_rate,
+            total_pixels,
+            1.0,
+        );
     }
 
     /// Like [`Self::connect`], but each fresh pixel consumed counts as
@@ -240,6 +278,7 @@ impl PipelineSimBuilder {
             read_ports: buffer.read_ports(),
             write_ports: buffer.write_ports(),
             reads_per_pixel,
+            tolerance: flow_tolerance(total_pixels, producer_rate.min(consumer_rate)),
         });
         self.nodes[from.0].out_edges.push(idx);
         self.nodes[to.0].in_edges.push(idx);
@@ -376,9 +415,9 @@ impl PipelineSim {
                             .find(|&&e| {
                                 let st = &edge_states[e];
                                 let ed = &self.edges[e];
-                                st.produced < ed.total - EPS
+                                st.produced < ed.total - ed.tol()
                                     && ed.capacity - st.level()
-                                        < ed.producer_rate.min(ed.total - st.produced) - EPS
+                                        < ed.producer_rate.min(ed.total - st.produced) - ed.tol()
                             })
                             .map(|&e| self.edges[e].name.clone())
                             .unwrap_or_else(|| "<unknown>".into());
@@ -451,29 +490,28 @@ impl PipelineSim {
     }
 
     fn all_done(&self, edge_states: &[EdgeState]) -> bool {
-        self.edges.iter().zip(edge_states).all(|(e, s)| {
-            s.produced >= e.total - EPS && s.consumed >= e.total - EPS
-        })
+        self.edges
+            .iter()
+            .zip(edge_states)
+            .all(|(e, s)| s.produced >= e.total - e.tol() && s.consumed >= e.total - e.tol())
     }
 
     fn node_done(&self, node: &Node, edge_states: &[EdgeState]) -> bool {
         let out_done = node
             .out_edges
             .iter()
-            .all(|&e| edge_states[e].produced >= self.edges[e].total - EPS);
+            .all(|&e| edge_states[e].produced >= self.edges[e].total - self.edges[e].tol());
         let in_done = node
             .in_edges
             .iter()
-            .all(|&e| edge_states[e].consumed >= self.edges[e].total - EPS);
+            .all(|&e| edge_states[e].consumed >= self.edges[e].total - self.edges[e].tol());
         out_done && in_done
     }
 
     fn production_enabled(&self, node: &Node, state: &NodeState) -> bool {
         match node.kind {
             NodeKind::Source { .. } => true,
-            NodeKind::Stage { pipeline_depth } => {
-                state.fired + 1 >= u64::from(pipeline_depth)
-            }
+            NodeKind::Stage { pipeline_depth } => state.fired + 1 >= u64::from(pipeline_depth),
         }
     }
 
@@ -483,11 +521,11 @@ impl PipelineSim {
         for &e in &node.in_edges {
             let ed = &self.edges[e];
             let st = &edge_states[e];
-            if st.consumed >= ed.total - EPS {
+            if st.consumed >= ed.total - ed.tol() {
                 continue;
             }
             let need = ed.consumer_rate.min(ed.total - st.consumed);
-            if st.level() < need - EPS {
+            if st.level() < need - ed.tol() {
                 return false;
             }
         }
@@ -497,11 +535,11 @@ impl PipelineSim {
             for &e in &node.out_edges {
                 let ed = &self.edges[e];
                 let st = &edge_states[e];
-                if st.produced >= ed.total - EPS {
+                if st.produced >= ed.total - ed.tol() {
                     continue;
                 }
                 let amount = ed.producer_rate.min(ed.total - st.produced);
-                if ed.capacity - st.level() < amount - EPS {
+                if ed.capacity - st.level() < amount - ed.tol() {
                     return false;
                 }
             }
@@ -517,22 +555,19 @@ impl PipelineSim {
         for &e in &node.in_edges {
             let ed = &self.edges[e];
             let st = &mut edge_states[e];
-            if st.consumed >= ed.total - EPS {
+            if st.consumed >= ed.total - ed.tol() {
                 continue;
             }
             // Clamp to the actual level so float drift can never push the
             // buffer negative (can_fire guaranteed level ≥ amount − EPS).
-            let amount = ed
-                .consumer_rate
-                .min(ed.total - st.consumed)
-                .min(st.level());
+            let amount = ed.consumer_rate.min(ed.total - st.consumed).min(st.level());
             st.consumed += amount;
         }
         if self.production_enabled(node, &node_states[ni]) {
             for &e in &node.out_edges {
                 let ed = &self.edges[e];
                 let st = &mut edge_states[e];
-                if st.produced >= ed.total - EPS {
+                if st.produced >= ed.total - ed.tol() {
                     continue;
                 }
                 let amount = ed.producer_rate.min(ed.total - st.produced);
@@ -557,12 +592,12 @@ impl PipelineSim {
         for e in source_edges.clone() {
             let ed = &self.edges[e];
             let st = &edge_states[e];
-            if st.consumed >= ed.total - EPS {
+            if st.consumed >= ed.total - ed.tol() {
                 continue;
             }
             let need = ed.consumer_rate.min(ed.total - st.consumed);
             let deficit = need - st.level();
-            if deficit > EPS && ed.producer_rate > 0.0 {
+            if deficit > ed.tol() && ed.producer_rate > 0.0 {
                 k = k.min((deficit / ed.producer_rate).ceil() as u64);
             }
         }
@@ -573,7 +608,7 @@ impl PipelineSim {
         for e in source_edges {
             let ed = &self.edges[e];
             let st = &edge_states[e];
-            if st.produced >= ed.total - EPS {
+            if st.produced >= ed.total - ed.tol() {
                 continue;
             }
             let headroom = ((ed.capacity - st.level()) / ed.producer_rate).floor() as u64;
@@ -595,7 +630,7 @@ impl PipelineSim {
         for &e in &node.out_edges {
             let ed = &self.edges[e];
             let st = &mut edge_states[e];
-            if st.produced >= ed.total - EPS {
+            if st.produced >= ed.total - ed.tol() {
                 continue;
             }
             let amount = (ed.producer_rate * times as f64).min(ed.total - st.produced);
@@ -613,14 +648,16 @@ impl PipelineSim {
             for &e in &node.in_edges {
                 let ed = &self.edges[e];
                 let st = &edge_states[e];
-                if st.consumed < ed.total - EPS {
+                if st.consumed < ed.total - ed.tol() {
                     let need = ed.consumer_rate.min(ed.total - st.consumed);
-                    if st.level() < need - EPS {
+                    if st.level() < need - ed.tol() {
                         return (
                             node.name.clone(),
                             format!(
                                 "is starved on buffer '{}' (needs {:.1} pixels, has {:.1})",
-                                ed.name, need, st.level()
+                                ed.name,
+                                need,
+                                st.level()
                             ),
                         );
                     }
@@ -629,9 +666,9 @@ impl PipelineSim {
             for &e in &node.out_edges {
                 let ed = &self.edges[e];
                 let st = &edge_states[e];
-                if st.produced < ed.total - EPS {
+                if st.produced < ed.total - ed.tol() {
                     let amount = ed.producer_rate.min(ed.total - st.produced);
-                    if ed.capacity - st.level() < amount - EPS {
+                    if ed.capacity - st.level() < amount - ed.tol() {
                         return (
                             node.name.clone(),
                             format!("is blocked on full buffer '{}'", ed.name),
@@ -804,6 +841,74 @@ mod tests {
         let lb = report.buffer("lb").unwrap();
         assert!((lb.pixels_written - 64.0).abs() < 1e-6);
         assert!((lb.pixels_read - 576.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerance_scales_with_volume_and_respects_rates() {
+        // Mid-size edge: proportional to the token volume.
+        assert!((flow_tolerance(256.0, 4.0) - 256.0 * REL_EPS).abs() < 1e-18);
+        // Large frame: grows with the volume but stays far below a pixel.
+        let big = flow_tolerance(2.0e7, 4096.0);
+        assert!(big > 1e-4 && big <= MAX_EPS, "big-frame tol {big}");
+        // Sub-microtoken rates: the tolerance must sit well below the
+        // per-cycle amounts or flow control stops waiting for tokens.
+        let tiny = flow_tolerance(3e-6, 1e-6);
+        assert!(tiny < 1e-6 / 2.0, "tiny-rate tol {tiny}");
+        assert!(tiny >= MIN_EPS);
+    }
+
+    /// Regression: with the old absolute 1e-6 tolerance, sub-microtoken
+    /// rates were invisible — `need - EPS` went negative, consumers
+    /// fired without waiting for tokens, and `total - EPS` declared the
+    /// edge done a whole firing early, silently losing a third of the
+    /// traffic here.
+    #[test]
+    fn sub_microtoken_rates_flow_exactly() {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Elastic);
+        let stage = b.add_stage("stage", 1);
+        b.connect(src, stage, &buf("f", 16), 1e-6, 1e-6, 3e-6);
+        let report = b.build().unwrap().run(10_000).unwrap();
+        // Three full producer firings (the old absolute tolerance
+        // declared the edge done after two).
+        assert!(report.total_cycles >= 3, "cycles {}", report.total_cycles);
+        assert_eq!(report.stage("src").unwrap().active_cycles, 3);
+        let f = report.buffer("f").unwrap();
+        assert!(
+            (f.pixels_written - 3e-6).abs() < 1e-12,
+            "{}",
+            f.pixels_written
+        );
+        assert!((f.pixels_read - 3e-6).abs() < 1e-12, "{}", f.pixels_read);
+    }
+
+    /// Regression companion at the other end of the scale: O(10⁷)
+    /// tokens moved at a fractional rate must complete and conserve
+    /// pixels within the relative tolerance (absolute comparisons sit
+    /// in accumulated-drift territory at this magnitude).
+    #[test]
+    fn ten_million_tokens_conserved_at_fractional_rates() {
+        let rate = 3333.37; // fractional: every firing rounds the sums
+        let firings = 4000.0;
+        let total = rate * firings; // ≈ 1.33e7 pixels
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("src", SourceMode::Continuous);
+        let stage = b.add_stage("stage", 1);
+        let wide = MemoryStructure::fifo("f", 16_384)
+            .with_pixels_per_word(512)
+            .with_ports(8, 8);
+        b.connect(src, stage, &wide, rate, rate, total);
+        let report = b.build().unwrap().run(100_000).unwrap();
+        assert!(report.total_cycles >= firings as u64);
+        let f = report.buffer("f").unwrap();
+        let slack = total * REL_EPS;
+        assert!(
+            (f.pixels_written - total).abs() <= slack,
+            "{}",
+            f.pixels_written
+        );
+        assert!((f.pixels_read - total).abs() <= slack, "{}", f.pixels_read);
+        assert!(f.peak_occupancy <= 16_384.0 + slack, "{}", f.peak_occupancy);
     }
 
     #[test]

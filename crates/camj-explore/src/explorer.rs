@@ -1,0 +1,337 @@
+//! The sweep evaluator: serial or parallel, with per-point error
+//! capture and deterministic, grid-ordered results.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rayon::prelude::*;
+
+use camj_core::energy::{EstimateReport, ValidatedModel};
+use camj_core::error::CamjError;
+use camj_tech::units::Energy;
+
+use crate::sweep::{DesignPoint, Sweep};
+
+/// How a sweep's points are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One point after another on the calling thread. Useful for
+    /// debugging and as the reference for determinism tests.
+    Serial,
+    /// Points fanned out across the rayon worker pool.
+    #[default]
+    Parallel,
+}
+
+/// Evaluation failure at one design point.
+///
+/// Sweeps explore aggressively — many grid points are *supposed* to be
+/// infeasible (frame rate too high, memory too small, variant
+/// unsupported). A failing point therefore becomes data, not an abort:
+/// it is recorded here and its neighbours complete normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointError {
+    message: String,
+}
+
+impl PointError {
+    /// Wraps any displayable error.
+    pub fn new(error: impl fmt::Display) -> Self {
+        Self {
+            message: error.to_string(),
+        }
+    }
+
+    /// The error description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for PointError {}
+
+impl From<CamjError> for PointError {
+    fn from(e: CamjError) -> Self {
+        Self::new(e)
+    }
+}
+
+/// One evaluated grid point: the point and what happened there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome<R> {
+    /// The design point.
+    pub point: DesignPoint,
+    /// The evaluation result.
+    pub result: Result<R, PointError>,
+}
+
+/// The outcome of a sweep, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults<R> {
+    outcomes: Vec<PointOutcome<R>>,
+}
+
+impl<R> SweepResults<R> {
+    /// All outcomes, ordered by [`DesignPoint::index`].
+    #[must_use]
+    pub fn outcomes(&self) -> &[PointOutcome<R>] {
+        &self.outcomes
+    }
+
+    /// Consumes into the ordered outcome list.
+    #[must_use]
+    pub fn into_outcomes(self) -> Vec<PointOutcome<R>> {
+        self.outcomes
+    }
+
+    /// Number of evaluated points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the sweep had no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Number of points that evaluated successfully.
+    #[must_use]
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+
+    /// Number of points that failed.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.len() - self.ok_count()
+    }
+
+    /// Successful points, in grid order.
+    pub fn successes(&self) -> impl Iterator<Item = (&DesignPoint, &R)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok().map(|r| (&o.point, r)))
+    }
+
+    /// Failed points, in grid order.
+    pub fn failures(&self) -> impl Iterator<Item = (&DesignPoint, &PointError)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().err().map(|e| (&o.point, e)))
+    }
+}
+
+impl SweepResults<EstimateReport> {
+    /// The successful point with the lowest total per-frame energy —
+    /// the usual "winner" question a sweep answers.
+    #[must_use]
+    pub fn min_energy(&self) -> Option<(&DesignPoint, &EstimateReport)> {
+        self.successes().min_by(|(_, a), (_, b)| {
+            a.total()
+                .joules()
+                .partial_cmp(&b.total().joules())
+                .expect("energy totals are finite")
+        })
+    }
+
+    /// `(point, total energy)` pairs for the successful points.
+    #[must_use]
+    pub fn total_energies(&self) -> Vec<(&DesignPoint, Energy)> {
+        self.successes().map(|(p, r)| (p, r.total())).collect()
+    }
+}
+
+/// Evaluates sweeps over a design grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Explorer {
+    mode: ExecutionMode,
+}
+
+impl Explorer {
+    /// An explorer with the default (parallel) execution mode.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A serial explorer.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            mode: ExecutionMode::Serial,
+        }
+    }
+
+    /// A parallel explorer.
+    #[must_use]
+    pub fn parallel() -> Self {
+        Self {
+            mode: ExecutionMode::Parallel,
+        }
+    }
+
+    /// The configured execution mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Evaluates `eval` at every point of `sweep`'s grid.
+    ///
+    /// Guarantees, regardless of mode:
+    ///
+    /// * results come back in grid order ([`DesignPoint::index`]),
+    /// * a failing point (error **or** panic) is captured as its own
+    ///   [`PointOutcome`] and does not affect any other point,
+    /// * parallel and serial runs of a deterministic `eval` produce
+    ///   identical [`SweepResults`].
+    pub fn run<R, F>(&self, sweep: &Sweep, eval: F) -> SweepResults<R>
+    where
+        R: Send,
+        F: Fn(&DesignPoint) -> Result<R, PointError> + Sync,
+    {
+        self.run_points(sweep.points(), eval)
+    }
+
+    /// Like [`Self::run`], over an explicit point list (e.g. a filtered
+    /// or hand-built grid).
+    pub fn run_points<R, F>(&self, points: Vec<DesignPoint>, eval: F) -> SweepResults<R>
+    where
+        R: Send,
+        F: Fn(&DesignPoint) -> Result<R, PointError> + Sync,
+    {
+        let evaluate = |point: DesignPoint| -> PointOutcome<R> {
+            let result = catch_unwind(AssertUnwindSafe(|| eval(&point)))
+                .unwrap_or_else(|payload| Err(PointError::new(panic_message(payload.as_ref()))));
+            PointOutcome { point, result }
+        };
+        let outcomes: Vec<PointOutcome<R>> = match self.mode {
+            ExecutionMode::Serial => points.into_iter().map(evaluate).collect(),
+            ExecutionMode::Parallel => points.into_par_iter().map(evaluate).collect(),
+        };
+        SweepResults { outcomes }
+    }
+
+    /// The frame-rate sweep fast path: estimates `model` at every FPS in
+    /// `fps_targets`, going through the staged pipeline so checks,
+    /// routing, and the elastic latency simulation run **once** and only
+    /// the FPS-dependent stages run per point.
+    ///
+    /// Points that are infeasible at their frame rate (or stall) come
+    /// back as error entries like any other sweep failure.
+    pub fn sweep_fps(
+        &self,
+        model: &ValidatedModel,
+        fps_targets: impl IntoIterator<Item = f64>,
+    ) -> SweepResults<EstimateReport> {
+        // Resolve the shared artifacts up front so workers hit caches
+        // instead of racing to fill them: the elastic simulation, and —
+        // because stall freedom is monotone in readout time — one stall
+        // verdict at the *fastest* target, which settles every slower
+        // one. Errors here simply resurface at the points themselves.
+        let _ = model.simulate();
+        let sweep = Sweep::new().fps_targets(fps_targets);
+        let fastest = sweep.axes()[0]
+            .values()
+            .iter()
+            .filter_map(crate::AxisValue::as_f64)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if fastest.is_finite() && fastest > 0.0 {
+            let _ = model
+                .estimate_delay_at(fastest)
+                .and_then(|delay| model.check_stall(&delay));
+        }
+        self.run(&sweep, |point| {
+            model
+                .estimate_at_fps(point.fps("fps"))
+                .map_err(PointError::from)
+        })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked: <non-string payload>".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sweep;
+
+    fn grid() -> Sweep {
+        Sweep::new().bit_widths([4, 6, 8]).fps_targets([15.0, 30.0])
+    }
+
+    #[test]
+    fn results_come_back_in_grid_order() {
+        for explorer in [Explorer::serial(), Explorer::parallel()] {
+            let results = explorer.run(&grid(), |p| {
+                Ok::<_, PointError>(p.u32("bit_width") as f64 * p.fps("fps"))
+            });
+            assert_eq!(results.len(), 6);
+            let values: Vec<f64> = results.successes().map(|(_, v)| *v).collect();
+            assert_eq!(values, vec![60.0, 120.0, 90.0, 180.0, 120.0, 240.0]);
+            for (i, o) in results.outcomes().iter().enumerate() {
+                assert_eq!(o.point.index, i);
+            }
+        }
+    }
+
+    #[test]
+    fn one_failure_does_not_poison_neighbours() {
+        let results = Explorer::parallel().run(&grid(), |p| {
+            if p.u32("bit_width") == 6 {
+                Err(PointError::new("infeasible by construction"))
+            } else {
+                Ok(p.index)
+            }
+        });
+        assert_eq!(results.ok_count(), 4);
+        assert_eq!(results.error_count(), 2);
+        for (point, err) in results.failures() {
+            assert_eq!(point.u32("bit_width"), 6);
+            assert!(err.message().contains("infeasible"));
+        }
+    }
+
+    #[test]
+    fn panics_are_captured_per_point() {
+        let results = Explorer::parallel().run(&grid(), |p| {
+            assert!(p.index != 3, "boom at point 3");
+            Ok::<_, PointError>(())
+        });
+        assert_eq!(results.error_count(), 1);
+        let (point, err) = results.failures().next().unwrap();
+        assert_eq!(point.index, 3);
+        assert!(err.message().contains("boom"), "{err}");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_exactly() {
+        let eval = |p: &DesignPoint| {
+            if p.index % 4 == 2 {
+                Err(PointError::new(format!("bad point {}", p.index)))
+            } else {
+                Ok(format!("{p}"))
+            }
+        };
+        let serial = Explorer::serial().run(&grid(), eval);
+        let parallel = Explorer::parallel().run(&grid(), eval);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,70 @@
+//! # camj-explore — design-space exploration for CamJ-rs
+//!
+//! CamJ's headline use case (ISCA'23 Sec. 5–6) is *architectural
+//! exploration*: re-estimating a sensor design dozens-to-hundreds of
+//! times while sweeping analog precision, technology node, memory
+//! technology, and the frame-rate target. This crate turns that loop
+//! into a declarative, parallel pipeline over the staged estimator in
+//! [`camj_core::energy::ValidatedModel`]:
+//!
+//! 1. **Declare axes** with [`Sweep`]: each axis is a named list of
+//!    [`AxisValue`]s (bit-widths, [`ProcessNode`]s, [`MemoryKind`]s,
+//!    FPS targets, free-form labels …).
+//! 2. **Generate the grid**: [`Sweep::points`] takes the cartesian
+//!    product, producing one [`DesignPoint`] per combination in a
+//!    stable row-major order.
+//! 3. **Evaluate in parallel** with [`Explorer::run`]: your closure
+//!    builds and estimates a model per point; the explorer fans the
+//!    grid out across cores (rayon), captures each point's
+//!    [`Result`] individually — one infeasible design surfaces as an
+//!    error entry without poisoning its neighbours — and returns
+//!    [`SweepResults`] in grid order regardless of completion order,
+//!    so a parallel sweep is bit-identical to a serial one.
+//!
+//! For the common frame-rate axis, [`Explorer::sweep_fps`] goes through
+//! the staged pipeline's cached artifacts: checks, routing, and the
+//! elastic cycle-level simulation run **once** for the design, and only
+//! the FPS-dependent stages (delay solve, stall check, energy) re-run
+//! per point.
+//!
+//! # Example
+//!
+//! ```
+//! use camj_explore::{Explorer, PointError, Sweep};
+//! use camj_workloads::quickstart;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Axes: frame-rate target × (here) a single-variant placeholder.
+//! let sweep = Sweep::new()
+//!     .fps_targets([15.0, 30.0, 60.0])
+//!     .labels("sensor", ["fig5"]);
+//! assert_eq!(sweep.len(), 3);
+//!
+//! let results = Explorer::parallel().run(&sweep, |point| {
+//!     let model = quickstart::model(point.fps("fps")).map_err(PointError::new)?;
+//!     model.estimate().map_err(PointError::from)
+//! });
+//!
+//! assert_eq!(results.len(), 3);
+//! assert_eq!(results.error_count(), 0);
+//! for (point, report) in results.successes() {
+//!     println!("{point}: {:.1} nJ", report.total().nanojoules());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod axis;
+mod explorer;
+mod sweep;
+
+pub use axis::{Axis, AxisValue};
+pub use explorer::{ExecutionMode, Explorer, PointError, PointOutcome, SweepResults};
+pub use sweep::{DesignPoint, Sweep};
+
+// Re-exported for axis construction without extra imports downstream.
+pub use camj_digital::memory::MemoryKind;
+pub use camj_tech::node::ProcessNode;

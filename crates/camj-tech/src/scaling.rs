@@ -59,18 +59,90 @@ struct ScalingRow {
 /// curves (nominal supply); leakage encodes the well-documented pre-HKMG
 /// leakage bump peaking at 65 nm (Gielen & Dehaene, DATE'05).
 const NOMINAL_ROWS: [ScalingRow; 12] = [
-    ScalingRow { nm: 180.0, energy: 1.000, delay: 1.000, area: 1.000, leakage: 0.30 },
-    ScalingRow { nm: 130.0, energy: 0.513, delay: 0.722, area: 0.522, leakage: 0.55 },
-    ScalingRow { nm: 110.0, energy: 0.395, delay: 0.622, area: 0.373, leakage: 0.85 },
-    ScalingRow { nm: 90.0, energy: 0.302, delay: 0.522, area: 0.250, leakage: 1.40 },
-    ScalingRow { nm: 65.0, energy: 0.189, delay: 0.377, area: 0.130, leakage: 2.00 },
-    ScalingRow { nm: 45.0, energy: 0.114, delay: 0.272, area: 0.063, leakage: 1.30 },
-    ScalingRow { nm: 32.0, energy: 0.069, delay: 0.196, area: 0.032, leakage: 0.95 },
-    ScalingRow { nm: 28.0, energy: 0.059, delay: 0.179, area: 0.024, leakage: 0.80 },
-    ScalingRow { nm: 22.0, energy: 0.041, delay: 0.141, area: 0.015, leakage: 0.55 },
-    ScalingRow { nm: 14.0, energy: 0.025, delay: 0.102, area: 0.006, leakage: 0.42 },
-    ScalingRow { nm: 10.0, energy: 0.016, delay: 0.074, area: 0.003, leakage: 0.36 },
-    ScalingRow { nm: 7.0, energy: 0.010, delay: 0.053, area: 0.0015, leakage: 0.30 },
+    ScalingRow {
+        nm: 180.0,
+        energy: 1.000,
+        delay: 1.000,
+        area: 1.000,
+        leakage: 0.30,
+    },
+    ScalingRow {
+        nm: 130.0,
+        energy: 0.513,
+        delay: 0.722,
+        area: 0.522,
+        leakage: 0.55,
+    },
+    ScalingRow {
+        nm: 110.0,
+        energy: 0.395,
+        delay: 0.622,
+        area: 0.373,
+        leakage: 0.85,
+    },
+    ScalingRow {
+        nm: 90.0,
+        energy: 0.302,
+        delay: 0.522,
+        area: 0.250,
+        leakage: 1.40,
+    },
+    ScalingRow {
+        nm: 65.0,
+        energy: 0.189,
+        delay: 0.377,
+        area: 0.130,
+        leakage: 2.00,
+    },
+    ScalingRow {
+        nm: 45.0,
+        energy: 0.114,
+        delay: 0.272,
+        area: 0.063,
+        leakage: 1.30,
+    },
+    ScalingRow {
+        nm: 32.0,
+        energy: 0.069,
+        delay: 0.196,
+        area: 0.032,
+        leakage: 0.95,
+    },
+    ScalingRow {
+        nm: 28.0,
+        energy: 0.059,
+        delay: 0.179,
+        area: 0.024,
+        leakage: 0.80,
+    },
+    ScalingRow {
+        nm: 22.0,
+        energy: 0.041,
+        delay: 0.141,
+        area: 0.015,
+        leakage: 0.55,
+    },
+    ScalingRow {
+        nm: 14.0,
+        energy: 0.025,
+        delay: 0.102,
+        area: 0.006,
+        leakage: 0.42,
+    },
+    ScalingRow {
+        nm: 10.0,
+        energy: 0.016,
+        delay: 0.074,
+        area: 0.003,
+        leakage: 0.36,
+    },
+    ScalingRow {
+        nm: 7.0,
+        energy: 0.010,
+        delay: 0.053,
+        area: 0.0015,
+        leakage: 0.30,
+    },
 ];
 
 /// Which scaling quantity to interpolate.
@@ -271,6 +343,9 @@ mod tests {
         let table = ScalingTable::default();
         let ratio = table.area_factor(ProcessNode::N90) / table.area_factor(ProcessNode::N180);
         let quad = (90.0f64 / 180.0).powi(2);
-        assert!((ratio - quad).abs() / quad < 0.05, "ratio {ratio} vs {quad}");
+        assert!(
+            (ratio - quad).abs() / quad < 0.05,
+            "ratio {ratio} vs {quad}"
+        );
     }
 }

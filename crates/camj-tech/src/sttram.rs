@@ -146,8 +146,7 @@ impl SttRamMacro {
     pub fn area_mm2(&self) -> f64 {
         // Rescale the SRAM area by the bit-cell area ratio; periphery
         // overhead is already inside the baseline's array efficiency.
-        self.baseline.area_mm2() * CELL_AREA_F2
-            / self.baseline.cell_type().cell_area_f2()
+        self.baseline.area_mm2() * CELL_AREA_F2 / self.baseline.cell_type().cell_area_f2()
     }
 }
 

@@ -90,12 +90,7 @@ impl ThermalModel {
     /// The effective resolution (bits) a capacitor sustains at the hot
     /// junction, under the paper's Eq. 6 criterion (`3σ < LSB/2`).
     #[must_use]
-    pub fn effective_bits(
-        &self,
-        capacitance_f: f64,
-        v_swing: f64,
-        density_mw_per_mm2: f64,
-    ) -> u32 {
+    pub fn effective_bits(&self, capacitance_f: f64, v_swing: f64, density_mw_per_mm2: f64) -> u32 {
         let sigma = self.noise_rms_at_density(capacitance_f, density_mw_per_mm2);
         // 3σ < V_swing / (2·2^bits)  ⇒  bits < log2(V_swing / (6σ)).
         let ratio = v_swing / (6.0 * sigma);
@@ -119,7 +114,6 @@ impl ThermalModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::constants::DEFAULT_TEMPERATURE_K;
 
     #[test]
     fn zero_density_sits_at_ambient() {

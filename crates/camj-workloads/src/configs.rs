@@ -60,6 +60,14 @@ impl SensorVariant {
         SensorVariant::TwoDInMixed,
     ];
 
+    /// The variant with the given paper label, if any — the inverse of
+    /// [`SensorVariant::label`], used to round-trip variants through
+    /// `camj-explore` label axes.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|v| v.label() == label)
+    }
+
     /// The figure label used in the paper.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -88,9 +96,9 @@ impl SensorVariant {
     pub fn digital_node(self, cis_node: ProcessNode) -> ProcessNode {
         match self {
             SensorVariant::TwoDIn | SensorVariant::TwoDInMixed => cis_node,
-            SensorVariant::TwoDOff
-            | SensorVariant::ThreeDIn
-            | SensorVariant::ThreeDInStt => SOC_NODE,
+            SensorVariant::TwoDOff | SensorVariant::ThreeDIn | SensorVariant::ThreeDInStt => {
+                SOC_NODE
+            }
         }
     }
 
@@ -172,7 +180,11 @@ pub fn scaled_op_energy(pj_at_65nm: f64, node: ProcessNode) -> Energy {
 /// Memory energy parameters plus macro area for an SRAM of the given
 /// geometry at `node`.
 #[must_use]
-pub fn sram_parameters(capacity_bytes: u64, word_bits: u32, node: ProcessNode) -> (MemoryEnergy, f64) {
+pub fn sram_parameters(
+    capacity_bytes: u64,
+    word_bits: u32,
+    node: ProcessNode,
+) -> (MemoryEnergy, f64) {
     let m = SramMacro::new(capacity_bytes, word_bits, node);
     (MemoryEnergy::from(&m), m.area_mm2())
 }
@@ -221,6 +233,14 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(SensorVariant::ThreeDInStt.label(), "3D-In-STT");
         assert_eq!(SensorVariant::TwoDInMixed.to_string(), "2D-In-Mixed");
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for v in SensorVariant::ALL {
+            assert_eq!(SensorVariant::from_label(v.label()), Some(v));
+        }
+        assert_eq!(SensorVariant::from_label("4D-Maybe"), None);
     }
 
     #[test]

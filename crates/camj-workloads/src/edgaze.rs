@@ -26,8 +26,7 @@ use camj_tech::node::ProcessNode;
 
 use crate::configs::{
     scaled_op_energy, sram_parameters, sttram_parameters, workload_pixel, SensorVariant,
-    WorkloadError, COLUMN_ADC_BITS, COLUMN_ADC_FOM, DIGITAL_CLOCK_HZ, PIXEL_PITCH_UM,
-    WORKLOAD_FPS,
+    WorkloadError, COLUMN_ADC_BITS, COLUMN_ADC_FOM, DIGITAL_CLOCK_HZ, PIXEL_PITCH_UM, WORKLOAD_FPS,
 };
 
 /// Sensor width in pixels.
@@ -74,11 +73,7 @@ pub fn algorithm() -> AlgorithmGraph {
         [2, 2, 1],
         [2, 2, 1],
     ));
-    algo.add_stage(Stage::element_wise(
-        "FrameSub",
-        [DS_WIDTH, DS_HEIGHT, 1],
-        2,
-    ));
+    algo.add_stage(Stage::element_wise("FrameSub", [DS_WIDTH, DS_HEIGHT, 1], 2));
     algo.add_stage(Stage::dnn(
         "RoiDnn",
         [DS_WIDTH, DS_HEIGHT, 1],
@@ -87,7 +82,8 @@ pub fn algorithm() -> AlgorithmGraph {
         DNN_WEIGHTS,
     ));
     algo.connect("Input", "Downsample").expect("stage exists");
-    algo.connect("Downsample", "FrameSub").expect("stage exists");
+    algo.connect("Downsample", "FrameSub")
+        .expect("stage exists");
     algo.connect("FrameSub", "RoiDnn").expect("stage exists");
     algo
 }
@@ -118,7 +114,11 @@ pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, Work
     );
     hw.add_analog(AnalogUnitDesc::new(
         "ADCArray",
-        AnalogArray::new(column_adc_with_fom(COLUMN_ADC_BITS, COLUMN_ADC_FOM), 1, WIDTH),
+        AnalogArray::new(
+            column_adc_with_fom(COLUMN_ADC_BITS, COLUMN_ADC_FOM),
+            1,
+            WIDTH,
+        ),
         Layer::Sensor,
         AnalogCategory::Sensing,
     ));
@@ -355,7 +355,10 @@ mod tests {
         let at_130 = saving(ProcessNode::N130);
         let at_65 = saving(ProcessNode::N65);
         assert!(at_130 > 0.2, "saving at 130 nm: {at_130}");
-        assert!(at_65 > at_130, "65 nm should save more: {at_65} vs {at_130}");
+        assert!(
+            at_65 > at_130,
+            "65 nm should save more: {at_65} vs {at_130}"
+        );
     }
 
     #[test]
@@ -378,8 +381,7 @@ mod tests {
             .items()
             .iter()
             .filter(|i| {
-                i.category == EnergyCategory::DigitalCompute
-                    && i.stage.as_deref() != Some("RoiDnn")
+                i.category == EnergyCategory::DigitalCompute && i.stage.as_deref() != Some("RoiDnn")
             })
             .map(|i| i.energy)
             .sum();

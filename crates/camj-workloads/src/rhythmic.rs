@@ -104,7 +104,11 @@ pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, Work
     );
     hw.add_analog(AnalogUnitDesc::new(
         "ADCArray",
-        AnalogArray::new(column_adc_with_fom(COLUMN_ADC_BITS, COLUMN_ADC_FOM), 1, WIDTH),
+        AnalogArray::new(
+            column_adc_with_fom(COLUMN_ADC_BITS, COLUMN_ADC_FOM),
+            1,
+            WIDTH,
+        ),
         Layer::Sensor,
         AnalogCategory::Sensing,
     ));
@@ -121,8 +125,7 @@ pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, Work
 
     let e_cycle = scaled_op_energy(OP_ENERGY_65NM_PJ, digital_node) * f64::from(PE_COUNT);
     hw.add_digital(DigitalUnitDesc::pipelined(
-        ComputeUnit::new("CompareSamplePE", [2, 1, 1], [1, 1, 1], 2)
-            .with_energy_per_cycle(e_cycle),
+        ComputeUnit::new("CompareSamplePE", [2, 1, 1], [1, 1, 1], 2).with_energy_per_cycle(e_cycle),
         digital_layer,
     ));
 
@@ -145,7 +148,10 @@ mod tests {
     #[test]
     fn ops_match_paper() {
         let algo = algorithm();
-        assert_eq!(algo.stage("CompareSample").unwrap().ops_per_frame(), OPS_PER_FRAME);
+        assert_eq!(
+            algo.stage("CompareSample").unwrap().ops_per_frame(),
+            OPS_PER_FRAME
+        );
     }
 
     #[test]
@@ -167,8 +173,14 @@ mod tests {
     fn in_sensor_beats_off_sensor() {
         // Finding 1: Rhythmic is communication-dominant, so 2D-In wins.
         for node in [ProcessNode::N130, ProcessNode::N65] {
-            let on = model(SensorVariant::TwoDIn, node).unwrap().estimate().unwrap();
-            let off = model(SensorVariant::TwoDOff, node).unwrap().estimate().unwrap();
+            let on = model(SensorVariant::TwoDIn, node)
+                .unwrap()
+                .estimate()
+                .unwrap();
+            let off = model(SensorVariant::TwoDOff, node)
+                .unwrap()
+                .estimate()
+                .unwrap();
             assert!(
                 on.total() < off.total(),
                 "2D-In should beat 2D-Off at {node}: {} vs {} µJ",
@@ -181,8 +193,14 @@ mod tests {
     #[test]
     fn savings_grow_with_newer_cis_node() {
         let saving = |node| {
-            let on = model(SensorVariant::TwoDIn, node).unwrap().estimate().unwrap();
-            let off = model(SensorVariant::TwoDOff, node).unwrap().estimate().unwrap();
+            let on = model(SensorVariant::TwoDIn, node)
+                .unwrap()
+                .estimate()
+                .unwrap();
+            let off = model(SensorVariant::TwoDOff, node)
+                .unwrap()
+                .estimate()
+                .unwrap();
             1.0 - on.total() / off.total()
         };
         assert!(saving(ProcessNode::N65) > saving(ProcessNode::N130));
@@ -191,8 +209,14 @@ mod tests {
     #[test]
     fn three_d_beats_two_d_in() {
         for node in [ProcessNode::N130, ProcessNode::N65] {
-            let two_d = model(SensorVariant::TwoDIn, node).unwrap().estimate().unwrap();
-            let three_d = model(SensorVariant::ThreeDIn, node).unwrap().estimate().unwrap();
+            let two_d = model(SensorVariant::TwoDIn, node)
+                .unwrap()
+                .estimate()
+                .unwrap();
+            let three_d = model(SensorVariant::ThreeDIn, node)
+                .unwrap()
+                .estimate()
+                .unwrap();
             assert!(three_d.total() < two_d.total());
         }
     }

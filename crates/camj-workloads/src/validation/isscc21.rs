@@ -112,7 +112,11 @@ mod tests {
         let report = model().unwrap().estimate().unwrap();
         let tsv = report.breakdown.category_total(EnergyCategory::MicroTsv);
         // 12.3 MB × 1 pJ/B ≈ 12.3 µJ.
-        assert!((tsv.microjoules() - 12.33).abs() < 0.2, "{} µJ", tsv.microjoules());
+        assert!(
+            (tsv.microjoules() - 12.33).abs() < 0.2,
+            "{} µJ",
+            tsv.microjoules()
+        );
     }
 
     #[test]

@@ -83,7 +83,13 @@ pub fn model() -> Result<CamJ, CamjError> {
         [4, 4, 1],
     ));
     // A single digital PE reduces features to a 10-class score vector.
-    algo.add_stage(Stage::custom("Classify", [40, 30, 1], [10, 1, 1], 12_000, 1.0));
+    algo.add_stage(Stage::custom(
+        "Classify",
+        [40, 30, 1],
+        [10, 1, 1],
+        12_000,
+        1.0,
+    ));
     algo.connect("Input", "TinyConv")?;
     algo.connect("TinyConv", "Classify")?;
 

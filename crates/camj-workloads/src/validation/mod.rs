@@ -85,8 +85,7 @@ pub fn validate_all() -> Result<Vec<ChipResult>, CamjError> {
                 summary: chip.summary.to_owned(),
                 reported_pj_per_px: chip.reported_pj_per_px,
                 estimated_pj_per_px: estimated,
-                error_pct: (estimated - chip.reported_pj_per_px) / chip.reported_pj_per_px
-                    * 100.0,
+                error_pct: (estimated - chip.reported_pj_per_px) / chip.reported_pj_per_px * 100.0,
             })
         })
         .collect()

@@ -62,9 +62,7 @@ pub fn model() -> Result<CamJ, CamjError> {
     algo.add_stage(Stage::input("Input", [32, 32, 1]));
     // A binary MLP layer fused into sensing: every pixel contributes a
     // weighted current to 16 output neurons.
-    algo.add_stage(
-        Stage::custom("BinaryMlp", [32, 32, 1], [16, 1, 1], 16_384, 64.0).with_bits(1),
-    );
+    algo.add_stage(Stage::custom("BinaryMlp", [32, 32, 1], [16, 1, 1], 16_384, 64.0).with_bits(1));
     algo.connect("Input", "BinaryMlp")?;
 
     let mut hw = HardwareDesc::new(10e6);

@@ -80,12 +80,8 @@ pub fn model() -> Result<CamJ, CamjError> {
         .with_pixel_pitch_um(2.8),
     );
 
-    let sram = SramMacro::with_cell_type(
-        6 * 1024 * 1024,
-        64,
-        ProcessNode::N28,
-        SramCellType::EightT,
-    );
+    let sram =
+        SramMacro::with_cell_type(6 * 1024 * 1024, 64, ProcessNode::N28, SramCellType::EightT);
     hw.add_memory(MemoryDesc::new(
         MemoryStructure::double_buffer("InPixelMemory", 6 * 1024 * 1024)
             .with_energy(MemoryEnergy::from(&sram))

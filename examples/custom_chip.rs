@@ -111,9 +111,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Custom always-on motion sensor @ 15 FPS (3D-stacked)");
     println!("----------------------------------------------------");
-    println!("total: {:.2} µJ/frame  ({:.1} pJ/px)",
+    println!(
+        "total: {:.2} µJ/frame  ({:.1} pJ/px)",
         report.total().microjoules(),
-        report.energy_per_pixel().picojoules());
+        report.energy_per_pixel().picojoules()
+    );
     for (category, energy) in report.breakdown.by_category() {
         if energy.joules() > 0.0 {
             println!("  {:<7} {:>8.2} µJ", category.label(), energy.microjoules());

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
     println!("per-frame energy: {:.2} nJ", report.total().nanojoules());
-    println!("per-pixel energy: {:.2} pJ", report.energy_per_pixel().picojoules());
+    println!(
+        "per-pixel energy: {:.2} pJ",
+        report.energy_per_pixel().picojoules()
+    );
     println!();
     println!("component breakdown:");
     for item in report.breakdown.items() {

@@ -26,7 +26,10 @@ fn model_with_roi(
     // Re-describe the algorithm with the swept output height; hardware
     // and mapping are reused unchanged — the paper's decoupling at work.
     let mut algo = AlgorithmGraph::new();
-    algo.add_stage(Stage::input("Input", [rhythmic::WIDTH, rhythmic::HEIGHT, 1]));
+    algo.add_stage(Stage::input(
+        "Input",
+        [rhythmic::WIDTH, rhythmic::HEIGHT, 1],
+    ));
     let out_h = ((f64::from(rhythmic::HEIGHT) * roi_fraction) as u32).max(1);
     algo.add_stage(Stage::custom(
         "CompareSample",

@@ -1,0 +1,168 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API this workspace's benches
+//! use — [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of plain
+//! `std::time::Instant` sampling: one untimed warmup iteration, then up
+//! to `sample_size` timed iterations bounded by a per-bench wall-clock
+//! budget, reporting min / median / mean. No statistical regression
+//! machinery; numbers are honest wall-clock samples, which is what the
+//! sweep speedup benches need.
+
+use std::time::{Duration, Instant};
+
+/// Per-bench wall-clock budget; sampling stops once it is exhausted.
+const TIME_BUDGET: Duration = Duration::from_secs(5);
+
+/// Stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("  {id}: no samples collected");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "  {id}: min {} / median {} / mean {}  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Stand-in for `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warmup call, then up to `sample_size`
+    /// timed calls bounded by the wall-clock budget.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        std::hint::black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+            if started.elapsed() > TIME_BUDGET && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Stand-in for `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stand-in for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

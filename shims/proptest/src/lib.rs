@@ -1,0 +1,222 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range
+//! strategies over floats and integers, `prop::sample::select`, and the
+//! `prop_assume!` / `prop_assert!` assertions. Sampling is driven by a
+//! deterministic per-test RNG (seeded from the test name), so failures
+//! reproduce exactly; there is no shrinking — the failing values are
+//! printed instead.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy, TestRng};
+}
+
+/// Cases run per property (`PROPTEST_CASES` overrides).
+#[must_use]
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test random source (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name, so every test draws a
+    /// stable, independent sequence.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then splitmix to spread the bits.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self {
+            state: (z ^ (z >> 31)).max(1),
+        }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The next uniform value in [0, 1).
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value source the [`proptest!`] macro can draw from.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        let v = self.start + rng.next_unit_f64() * (self.end - self.start);
+        v.min(self.end - (self.end - self.start) * f64::EPSILON)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + r) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Strategy combinators namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice from `values`.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select needs at least one value");
+            Select { values }
+        }
+
+        /// The strategy returned by [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let idx = (rng.next_u64() % self.values.len() as u64) as usize;
+                self.values[idx].clone()
+            }
+        }
+    }
+}
+
+/// Stand-in for `proptest!`: expands each property into a plain test
+/// that redraws its bindings [`cases`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut prop_rng = $crate::TestRng::deterministic(stringify!($name));
+                for prop_case in 0..$crate::cases() {
+                    let _ = prop_case;
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut prop_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Stand-in for `prop_assume!`: skips the current case when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Stand-in for `prop_assert!`: a plain assertion (values are printed,
+/// not shrunk).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Stand-in for `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges respect their bounds.
+        #[test]
+        fn f64_in_bounds(x in 1.5f64..9.25) {
+            prop_assert!((1.5..9.25).contains(&x));
+        }
+
+        /// Integer ranges respect their bounds; assume works.
+        #[test]
+        fn ints_in_bounds(a in 3u32..17, b in 0u64..5) {
+            prop_assume!(a != 4);
+            prop_assert!((3..17).contains(&a), "a = {a}");
+            prop_assert!(b < 5);
+        }
+
+        /// Select draws from the list.
+        #[test]
+        fn select_draws_members(w in prop::sample::select(vec![8u32, 16, 32])) {
+            prop_assert!(w == 8 || w == 16 || w == 32);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("some_test");
+        let mut b = TestRng::deterministic("some_test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("other_test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for `rand` (0.9-era API surface).
+//!
+//! Provides exactly what this workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] /
+//! [`Rng::random_bool`] over integer and float ranges. The generator is
+//! xorshift64*, which is deterministic, seedable, and statistically far
+//! better than the survey-jitter use case needs. Not cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Stand-in for `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0, 1], got {p}"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// Stand-in for `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T;
+}
+
+/// Maps 64 random bits to [0, 1).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + u * (self.end - self.start);
+        // Rounding can land exactly on `end`; nudge back inside.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<G: Rng>(self, rng: &mut G) -> $ty {
+                    assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + r) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<G: Rng>(self, rng: &mut G) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty inclusive range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let r = (u128::from(rng.next_u64()) % span) as i128;
+                    (start as i128 + r) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: xorshift64*.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna); period 2^64 − 1.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // A zero state would trap xorshift at zero; splitmix the seed.
+            let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            Self { state: z.max(1) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random_range(0.75..1.33);
+            assert!((0.75..1.33).contains(&x));
+            let n: i32 = rng.random_range(8..=15);
+            assert!((8..=15).contains(&n));
+            let u: usize = rng.random_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

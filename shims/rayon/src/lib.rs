@@ -1,0 +1,185 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no crate-registry access, so this shim
+//! reimplements the slice of rayon this workspace uses:
+//!
+//! * [`prelude`] with [`IntoParallelIterator`] /
+//!   [`IntoParallelRefIterator`] providing `into_par_iter()` /
+//!   `par_iter()`,
+//! * `map(...)` and `collect::<Vec<_>>()` on the resulting iterator,
+//! * [`current_num_threads`] and the `RAYON_NUM_THREADS` override.
+//!
+//! Execution model: an eager, order-preserving work queue drained by
+//! `std::thread::scope` workers (one per available core). Results are
+//! tagged with their input index and re-sorted, so `collect` returns
+//! items in input order regardless of completion order — the same
+//! guarantee real rayon's indexed `collect` gives, which the explorer's
+//! determinism contract relies on. On a single-core host the queue
+//! degenerates to a plain serial loop with no thread spawn.
+
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads the pool would use: `RAYON_NUM_THREADS` if
+/// set and positive, otherwise `std::thread::available_parallelism`.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` over `items`, in parallel when more than one worker is
+/// available, returning results in input order.
+fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Index-tagged queue; workers pop from the back, results re-sort.
+    let mut queue: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    queue.reverse(); // pop() then hands out items in input order
+    let queue = Mutex::new(queue);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((idx, item)) = job else { break };
+                let out = f(item);
+                results.lock().expect("results lock").push((idx, out));
+            });
+        }
+    });
+    let mut tagged = results.into_inner().expect("results lock");
+    tagged.sort_by_key(|(idx, _)| *idx);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// An eager parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (the parallel stage).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items unchanged.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A pending parallel map; `collect` runs it.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Runs the map across the worker pool and collects results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map(self.items, self.f))
+    }
+}
+
+/// Types convertible into a [`ParIter`] by value (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into the eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..257).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let input: Vec<String> = (0..64).map(|i| format!("item{i}")).collect();
+        let lens: Vec<usize> = input.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 5);
+        assert_eq!(lens[63], 6);
+        assert_eq!(lens.len(), 64);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to a crate registry, so the real
+//! serde derive machinery is unavailable. These derives parse just
+//! enough of the item (name + generics) to emit empty trait impls for
+//! the shim traits in the sibling `serde` crate, keeping every
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiling.
+//! Swapping the path dependency for the real crates.io `serde` is the
+//! only change needed to restore full serialization support.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a `struct`/`enum` item: its name and the raw
+/// generic parameter/argument lists needed to write an `impl` for it.
+struct ItemShape {
+    name: String,
+    /// Generic parameters as declared (bounds included), e.g.
+    /// `T: Clone, 'a`. Empty for non-generic items.
+    params: String,
+    /// Generic arguments for the self type, e.g. `T, 'a`.
+    args: String,
+}
+
+/// Scans the item token stream for `struct Name<...>` / `enum Name<...>`,
+/// skipping attributes and visibility.
+fn parse_item(input: TokenStream) -> ItemShape {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // `#[attr]` — skip the bracket group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            // `pub` / `pub(crate)` — skip an optional paren group.
+            TokenTree::Ident(i) if i.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(i)
+                if matches!(i.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde shim derive: could not find item name");
+
+    // Generic parameter list, if `<` immediately follows the name.
+    let mut params = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut raw: Vec<String> = Vec::new();
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                raw.push(tt.to_string());
+            }
+            params = raw.join(" ");
+            // Arguments: parameter names with bounds/defaults stripped.
+            let mut depth = 0usize;
+            let mut current: Vec<String> = Vec::new();
+            let mut pieces: Vec<String> = Vec::new();
+            for tok in raw.iter().chain(std::iter::once(&",".to_owned())) {
+                match tok.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth = depth.saturating_sub(1),
+                    "," if depth == 0 => {
+                        // First token of the parameter is its name
+                        // (`'a`, `T`, or `const N : usize` → `N`).
+                        let name_tok = if current.first().map(String::as_str) == Some("const") {
+                            current.get(1)
+                        } else {
+                            current.first()
+                        };
+                        if let Some(n) = name_tok {
+                            pieces.push(n.clone());
+                        }
+                        current.clear();
+                        continue;
+                    }
+                    _ => {}
+                }
+                // Stop collecting a parameter's tokens at its bound/default.
+                if depth == 0 && (tok == ":" || tok == "=") {
+                    current.push("\u{0}".into()); // sentinel: ignore the rest
+                }
+                if current.last().map(String::as_str) != Some("\u{0}") {
+                    current.push(tok.clone());
+                }
+            }
+            args = pieces.join(", ");
+        }
+    }
+    ItemShape { name, params, args }
+}
+
+fn self_ty(shape: &ItemShape) -> String {
+    if shape.args.is_empty() {
+        shape.name.clone()
+    } else {
+        format!("{}<{}>", shape.name, shape.args)
+    }
+}
+
+/// No-op `Serialize` derive: emits an empty impl of the shim trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let imp = if shape.params.is_empty() {
+        format!("impl ::serde::Serialize for {} {{}}", self_ty(&shape))
+    } else {
+        format!(
+            "impl<{}> ::serde::Serialize for {} {{}}",
+            shape.params,
+            self_ty(&shape)
+        )
+    };
+    imp.parse()
+        .expect("serde shim derive: generated impl parses")
+}
+
+/// No-op `Deserialize` derive: emits an empty impl of the shim trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let imp = if shape.params.is_empty() {
+        format!(
+            "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+            self_ty(&shape)
+        )
+    } else {
+        format!(
+            "impl<'de, {}> ::serde::Deserialize<'de> for {} {{}}",
+            shape.params,
+            self_ty(&shape)
+        )
+    };
+    imp.parse()
+        .expect("serde shim derive: generated impl parses")
+}

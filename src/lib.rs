@@ -15,7 +15,9 @@
 //! * [`tech`](camj_tech) — process-node scaling, SRAM/STT-RAM macros,
 //!   the ADC FoM survey, and interface energies,
 //! * [`workloads`](camj_workloads) — the paper's validation chips and
-//!   case-study workloads, ready to run.
+//!   case-study workloads, ready to run,
+//! * [`explore`](camj_explore) — declarative design-space sweeps with a
+//!   parallel evaluator over the staged estimation pipeline.
 //!
 //! # Quick start
 //!
@@ -47,8 +49,12 @@
 pub use camj_analog as analog;
 pub use camj_core as core;
 pub use camj_digital as digital;
+pub use camj_explore as explore;
 pub use camj_tech as tech;
 pub use camj_workloads as workloads;
 
-pub use camj_core::energy::{CamJ, EnergyBreakdown, EnergyCategory, EstimateReport};
+pub use camj_core::energy::{
+    CamJ, EnergyBreakdown, EnergyCategory, EstimateReport, ValidatedModel,
+};
 pub use camj_core::error::CamjError;
+pub use camj_explore::{Explorer, Sweep};

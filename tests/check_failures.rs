@@ -151,5 +151,8 @@ fn error_messages_are_actionable() {
     let mapping = Mapping::new().map("Input", "PixelArray");
     let err = CamJ::new(simple_algo(), viable_hw(), mapping, 30.0).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("Proc"), "should name the unmapped stage: {msg}");
+    assert!(
+        msg.contains("Proc"),
+        "should name the unmapped stage: {msg}"
+    );
 }

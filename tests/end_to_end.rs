@@ -6,9 +6,7 @@ use camj::workloads::{edgaze, quickstart, rhythmic};
 use camj::EnergyCategory;
 use camj_tech::node::ProcessNode;
 
-fn total_uj(
-    build: impl Fn() -> Result<camj::CamJ, camj::workloads::WorkloadError>,
-) -> f64 {
+fn total_uj(build: impl Fn() -> Result<camj::CamJ, camj::workloads::WorkloadError>) -> f64 {
     build()
         .expect("model builds")
         .estimate()
@@ -25,9 +23,27 @@ fn quickstart_full_flow() {
     let reconstructed = report.delay.analog_unit_time * 3.0 + report.delay.digital_latency;
     assert!((reconstructed.secs() - report.delay.frame_time.secs()).abs() < 1e-12);
     // All three energy domains are present (Eq. 1).
-    assert!(report.breakdown.category_total(EnergyCategory::Sensing).joules() > 0.0);
-    assert!(report.breakdown.category_total(EnergyCategory::DigitalCompute).joules() > 0.0);
-    assert!(report.breakdown.category_total(EnergyCategory::Mipi).joules() > 0.0);
+    assert!(
+        report
+            .breakdown
+            .category_total(EnergyCategory::Sensing)
+            .joules()
+            > 0.0
+    );
+    assert!(
+        report
+            .breakdown
+            .category_total(EnergyCategory::DigitalCompute)
+            .joules()
+            > 0.0
+    );
+    assert!(
+        report
+            .breakdown
+            .category_total(EnergyCategory::Mipi)
+            .joules()
+            > 0.0
+    );
 }
 
 #[test]
@@ -36,13 +52,19 @@ fn finding_1_communication_dominant_workloads_benefit_from_in_sensor() {
     for node in [ProcessNode::N130, ProcessNode::N65] {
         let on = total_uj(|| rhythmic::model(SensorVariant::TwoDIn, node));
         let off = total_uj(|| rhythmic::model(SensorVariant::TwoDOff, node));
-        assert!(on < off, "Rhythmic 2D-In should win at {node}: {on} vs {off}");
+        assert!(
+            on < off,
+            "Rhythmic 2D-In should win at {node}: {on} vs {off}"
+        );
     }
     // Ed-Gaze (compute-dominant): in-CIS loses.
     for node in [ProcessNode::N130, ProcessNode::N65] {
         let on = total_uj(|| edgaze::model(SensorVariant::TwoDIn, node));
         let off = total_uj(|| edgaze::model(SensorVariant::TwoDOff, node));
-        assert!(on > off, "Ed-Gaze 2D-In should lose at {node}: {on} vs {off}");
+        assert!(
+            on > off,
+            "Ed-Gaze 2D-In should lose at {node}: {on} vs {off}"
+        );
     }
 }
 
@@ -78,18 +100,21 @@ fn finding_3_analog_processing_wins_through_memory() {
         let mem_digital = digital
             .breakdown
             .category_total(EnergyCategory::DigitalMemory);
-        let mem_mixed = mixed.breakdown.category_total(EnergyCategory::DigitalMemory)
+        let mem_mixed = mixed
+            .breakdown
+            .category_total(EnergyCategory::DigitalMemory)
             + mixed.breakdown.category_total(EnergyCategory::AnalogMemory);
         assert!(mem_mixed.joules() < 0.5 * mem_digital.joules());
         // Analog compute is NOT cheaper than the digital S1/S2 datapaths.
-        let comp_a = mixed.breakdown.category_total(EnergyCategory::AnalogCompute);
+        let comp_a = mixed
+            .breakdown
+            .category_total(EnergyCategory::AnalogCompute);
         let comp_d_s12: camj_tech::units::Energy = digital
             .breakdown
             .items()
             .iter()
             .filter(|i| {
-                i.category == EnergyCategory::DigitalCompute
-                    && i.stage.as_deref() != Some("RoiDnn")
+                i.category == EnergyCategory::DigitalCompute && i.stage.as_deref() != Some("RoiDnn")
             })
             .map(|i| i.energy)
             .sum();

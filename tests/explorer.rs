@@ -1,0 +1,120 @@
+//! Integration tests of the `camj-explore` sweep machinery over real
+//! workload models: parallel/serial determinism, the staged-pipeline
+//! FPS fast path, and per-point failure isolation.
+
+use proptest::prelude::*;
+
+use camj::explore::{DesignPoint, Explorer, PointError, Sweep};
+use camj::tech::node::ProcessNode;
+use camj::workloads::configs::SensorVariant;
+use camj::workloads::{edgaze, quickstart};
+
+/// A parallel sweep must return byte-identical `EstimateReport`s to the
+/// same sweep run serially — same grid order, same contents.
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let sweep = Sweep::new()
+        .tech_nodes([ProcessNode::N130, ProcessNode::N65])
+        .labels(
+            "variant",
+            [SensorVariant::TwoDIn, SensorVariant::ThreeDIn]
+                .iter()
+                .map(|v| v.label()),
+        );
+    let eval = |point: &DesignPoint| {
+        let variant = SensorVariant::from_label(point.text("variant")).expect("known label");
+        let model = edgaze::model(variant, point.node("tech_node")).map_err(PointError::new)?;
+        model.estimate().map_err(PointError::from)
+    };
+    let serial = Explorer::serial().run(&sweep, eval);
+    let parallel = Explorer::parallel().run(&sweep, eval);
+
+    assert_eq!(serial.len(), 4);
+    assert_eq!(serial.error_count(), 0);
+    // Structural equality first (clearer failures), then the literal
+    // byte-identity claim over the full debug rendering.
+    assert_eq!(serial, parallel);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// The staged pipeline's FPS fast path (cached checks/routes/latency
+/// sim) must produce byte-identical reports to building and estimating
+/// each point from scratch.
+#[test]
+fn fps_fast_path_matches_scratch_estimates() {
+    let model = quickstart::model(30.0).expect("builds").into_validated();
+    let targets = [15.0, 30.0, 45.0, 90.0, 240.0];
+    let swept = Explorer::parallel().sweep_fps(&model, targets);
+    assert_eq!(swept.error_count(), 0);
+    for (point, fast) in swept.successes() {
+        let fps = point.fps("fps");
+        let scratch = quickstart::model(fps)
+            .expect("builds")
+            .estimate()
+            .expect("estimates");
+        assert_eq!(*fast, scratch, "divergence at {fps} FPS");
+        assert_eq!(format!("{fast:?}"), format!("{scratch:?}"));
+    }
+}
+
+/// One infeasible design point surfaces as an error entry; its
+/// neighbours estimate normally and order is preserved.
+#[test]
+fn failing_point_does_not_poison_neighbours() {
+    let model = quickstart::model(30.0).expect("builds").into_validated();
+    // 10 MFPS leaves less frame time than the digital latency alone.
+    let results = Explorer::parallel().sweep_fps(&model, [30.0, 10_000_000.0, 60.0]);
+    assert_eq!(results.len(), 3);
+    assert_eq!(results.ok_count(), 2);
+    assert_eq!(results.error_count(), 1);
+    let outcomes = results.outcomes();
+    assert!(outcomes[0].result.is_ok());
+    assert!(outcomes[2].result.is_ok());
+    let err = outcomes[1].result.as_ref().unwrap_err();
+    assert!(
+        err.message().contains("frame time") || err.message().contains("stall"),
+        "unexpected error: {err}"
+    );
+}
+
+/// Sweeps with *several* failing points must also be identical across
+/// serial and parallel runs — including the error diagnoses, which must
+/// each describe their own point (stall verdicts are only cache-served
+/// on the passing side).
+#[test]
+fn multiple_failures_stay_deterministic() {
+    let model = quickstart::model(30.0).expect("builds").into_validated();
+    let targets = [30.0, 2_000_000.0, 60.0, 10_000_000.0, 5_000_000.0];
+    let serial = Explorer::serial().sweep_fps(&model, targets);
+    let parallel = Explorer::parallel().sweep_fps(&model, targets);
+    assert_eq!(serial, parallel);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    assert_eq!(serial.ok_count(), 2);
+    assert_eq!(serial.error_count(), 3);
+}
+
+proptest! {
+    /// Random grid shapes: serial and parallel evaluation agree exactly
+    /// (values, errors, and order) for any deterministic evaluator.
+    #[test]
+    fn random_grids_evaluate_identically(
+        axis_a in 1usize..6,
+        axis_b in 1usize..5,
+        fail_every in 2usize..5,
+    ) {
+        let sweep = Sweep::new()
+            .axis("a", (0..axis_a as u32).collect::<Vec<_>>())
+            .axis("b", (0..axis_b as u32).collect::<Vec<_>>());
+        let eval = |p: &DesignPoint| {
+            if p.index % fail_every == 1 {
+                Err(PointError::new(format!("synthetic failure at {}", p.index)))
+            } else {
+                Ok((p.u32("a") as u64) << 32 | p.u32("b") as u64)
+            }
+        };
+        let serial = Explorer::serial().run(&sweep, eval);
+        let parallel = Explorer::parallel().run(&sweep, eval);
+        prop_assert!(serial == parallel);
+        prop_assert_eq!(serial.len(), axis_a * axis_b);
+    }
+}
