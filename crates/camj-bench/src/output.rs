@@ -41,7 +41,8 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// The directory JSON results are written to (`results/` at the
-/// workspace root, falling back to the current directory).
+/// workspace root — created on first use now that the serde shim
+/// actually serializes — falling back to the current directory).
 #[must_use]
 pub fn results_dir() -> PathBuf {
     // The harness binaries run from the workspace; prefer its results/.
@@ -55,7 +56,11 @@ pub fn results_dir() -> PathBuf {
             return c.to_path_buf();
         }
     }
-    PathBuf::from(".")
+    if fs::create_dir_all("results").is_ok() {
+        PathBuf::from("results")
+    } else {
+        PathBuf::from(".")
+    }
 }
 
 /// Serialises `value` to `results/<name>.json`; prints a note on success

@@ -186,6 +186,13 @@ impl HardwareDesc {
             .or_else(|| self.memory(name).map(MemoryDesc::layer))
     }
 
+    /// All declared `(from, to)` connections, in declaration order —
+    /// the raw connectivity a design description round-trips.
+    #[must_use]
+    pub fn connections(&self) -> &[(String, String)] {
+        &self.connections
+    }
+
     /// Direct successors of `name` in the physical connectivity.
     #[must_use]
     pub fn successors(&self, name: &str) -> Vec<&str> {

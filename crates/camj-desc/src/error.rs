@@ -1,0 +1,113 @@
+//! Loader errors: parse failures, path-qualified semantic diagnostics,
+//! and framework check failures.
+
+use std::fmt;
+
+use camj_core::error::CamjError;
+
+/// One semantic problem in a description, pinned to a JSON path and
+/// quoting the offending value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Dotted/bracketed JSON path, e.g. `hw.analog[2].pixel_pitch_um`.
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+    /// The offending value, rendered compactly.
+    pub value: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        path: impl Into<String>,
+        message: impl Into<String>,
+        value: impl fmt::Display,
+    ) -> Self {
+        Self {
+            path: path.into(),
+            message: message.into(),
+            value: value.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (got {})", self.path, self.message, self.value)
+    }
+}
+
+/// Any failure while parsing, validating, or building a description.
+#[derive(Debug)]
+pub enum DescError {
+    /// The JSON is malformed or does not match the description schema;
+    /// already carries line/column or a JSON path.
+    Parse(serde_json::Error),
+    /// The description parsed but violates semantic constraints; every
+    /// diagnostic names the exact field and the offending value.
+    Invalid(Vec<Diagnostic>),
+    /// The assembled model failed a CamJ framework check.
+    Model(CamjError),
+}
+
+impl fmt::Display for DescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescError::Parse(e) => write!(f, "description parse error: {e}"),
+            DescError::Invalid(diags) => {
+                writeln!(f, "invalid description ({} problem(s)):", diags.len())?;
+                for d in diags {
+                    writeln!(f, "  - {d}")?;
+                }
+                Ok(())
+            }
+            DescError::Model(e) => write!(f, "model check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DescError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DescError::Parse(e) => Some(e),
+            DescError::Model(e) => Some(e),
+            DescError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for DescError {
+    fn from(e: serde_json::Error) -> Self {
+        DescError::Parse(e)
+    }
+}
+
+impl From<CamjError> for DescError {
+    fn from(e: CamjError) -> Self {
+        DescError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_display_names_path_and_value() {
+        let d = Diagnostic::new("hw.analog[2].rows", "must be positive", 0);
+        assert_eq!(d.to_string(), "hw.analog[2].rows: must be positive (got 0)");
+    }
+
+    #[test]
+    fn invalid_lists_every_diagnostic() {
+        let e = DescError::Invalid(vec![
+            Diagnostic::new("fps", "must be positive and finite", -1.0),
+            Diagnostic::new("sw.stages[0].bits", "must be at least 1", 0),
+        ]);
+        let text = e.to_string();
+        assert!(text.contains("fps:"), "{text}");
+        assert!(text.contains("sw.stages[0].bits:"), "{text}");
+        assert!(text.contains("2 problem(s)"), "{text}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Exporting: a Rust-built CamJ model → [`DesignDesc`].
+//!
+//! [`describe`] is lossless: every `f64` is copied in the unit the core
+//! type stores it in, so `describe` → JSON → [`DesignDesc::build`]
+//! reproduces a model whose energy estimates are byte-identical to the
+//! original's, and a second export reproduces the JSON byte-for-byte.
+
+use camj_analog::cell::{AnalogCell, BiasMode};
+use camj_analog::component::AnalogComponentSpec;
+use camj_analog::domain::SignalDomain;
+use camj_core::energy::ValidatedModel;
+use camj_core::hw::{AnalogCategory, DigitalUnitKind, HardwareDesc, Layer};
+use camj_core::sw::{AlgorithmGraph, ImageSize, Stage, StageKind};
+
+use crate::ir::{
+    AlgorithmIr, AnalogCategoryIr, AnalogUnitIr, BiasIr, BindingIr, CapNodeIr, CellIr, CellKindIr,
+    ComponentIr, ConnectionIr, DesignDesc, DigitalKindIr, DigitalUnitIr, DomainIr, EdgeIr,
+    HardwareIr, LayerIr, MemoryEnergyIr, MemoryIr, MemoryKindIr, StageIr, StageKindIr,
+    FORMAT_VERSION,
+};
+
+/// Exports a validated model as a description named `name`.
+#[must_use]
+pub fn describe(name: &str, model: &ValidatedModel) -> DesignDesc {
+    DesignDesc {
+        version: FORMAT_VERSION,
+        name: name.to_owned(),
+        fps: model.fps(),
+        hw: export_hw(model.hardware()),
+        sw: export_sw(model.algorithm()),
+        mapping: model
+            .mapping()
+            .iter()
+            .map(|(stage, unit)| BindingIr {
+                stage: stage.to_owned(),
+                unit: unit.to_owned(),
+            })
+            .collect(),
+        sweep: None,
+    }
+}
+
+fn export_hw(hw: &HardwareDesc) -> HardwareIr {
+    HardwareIr {
+        digital_clock_hz: hw.digital_clock_hz(),
+        analog: hw
+            .analog_units()
+            .iter()
+            .map(|u| AnalogUnitIr {
+                name: u.name().to_owned(),
+                layer: layer(u.layer()),
+                category: match u.category() {
+                    AnalogCategory::Sensing => AnalogCategoryIr::Sensing,
+                    AnalogCategory::Compute => AnalogCategoryIr::Compute,
+                    AnalogCategory::Memory => AnalogCategoryIr::Memory,
+                },
+                rows: u.array().rows(),
+                cols: u.array().cols(),
+                ops_per_output: u.ops_per_stage_output(),
+                pixel_pitch_um: u.pixel_pitch_um(),
+                component: export_component(u.array().component()),
+            })
+            .collect(),
+        digital: hw
+            .digital_units()
+            .iter()
+            .map(|u| DigitalUnitIr {
+                name: u.name().to_owned(),
+                layer: layer(u.layer()),
+                unit: match u.kind() {
+                    DigitalUnitKind::Pipelined(cu) => DigitalKindIr::Pipelined {
+                        input_per_cycle: shape(cu.input_shape()),
+                        output_per_cycle: shape(cu.output_shape()),
+                        pipeline_stages: cu.num_stages(),
+                        energy_per_cycle_j: cu.energy_per_cycle().joules(),
+                    },
+                    DigitalUnitKind::Systolic(sa) => DigitalKindIr::Systolic {
+                        rows: sa.rows(),
+                        cols: sa.cols(),
+                        node_nm: sa.node().nanometers(),
+                        mac_energy_j: sa.mac_energy().joules(),
+                        utilization: sa.utilization(),
+                    },
+                },
+            })
+            .collect(),
+        memories: hw
+            .memories()
+            .iter()
+            .map(|m| {
+                let s = m.structure();
+                MemoryIr {
+                    name: m.name().to_owned(),
+                    layer: layer(m.layer()),
+                    kind: match s.kind() {
+                        camj_digital::memory::MemoryKind::Fifo => MemoryKindIr::Fifo,
+                        camj_digital::memory::MemoryKind::LineBuffer => MemoryKindIr::LineBuffer,
+                        camj_digital::memory::MemoryKind::DoubleBuffer => {
+                            MemoryKindIr::DoubleBuffer
+                        }
+                    },
+                    capacity_pixels: s.capacity_pixels(),
+                    energy: MemoryEnergyIr {
+                        read_j_per_word: s.energy().read_per_word.joules(),
+                        write_j_per_word: s.energy().write_per_word.joules(),
+                        leakage_w: s.energy().leakage.watts(),
+                    },
+                    pixels_per_word: s.pixels_per_word(),
+                    read_ports: s.read_ports(),
+                    write_ports: s.write_ports(),
+                    active_fraction: s.active_fraction(),
+                    area_mm2: m.area_mm2(),
+                }
+            })
+            .collect(),
+        connections: hw
+            .connections()
+            .iter()
+            .map(|(from, to)| ConnectionIr {
+                from: from.clone(),
+                to: to.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn export_component(c: &AnalogComponentSpec) -> ComponentIr {
+    ComponentIr {
+        name: c.name().to_owned(),
+        input_domain: domain(c.input_domain()),
+        output_domain: domain(c.output_domain()),
+        vdda_v: c.vdda(),
+        cells: c
+            .cells()
+            .iter()
+            .map(|inst| CellIr {
+                label: inst.label.clone(),
+                spatial: inst.spatial,
+                temporal: inst.temporal,
+                cell: match &inst.cell {
+                    AnalogCell::Dynamic { nodes } => CellKindIr::Dynamic {
+                        nodes: nodes
+                            .iter()
+                            .map(|n| CapNodeIr {
+                                capacitance_f: n.capacitance_f,
+                                voltage_swing_v: n.voltage_swing_v,
+                            })
+                            .collect(),
+                    },
+                    AnalogCell::StaticBiased {
+                        load_capacitance_f,
+                        voltage_swing_v,
+                        bias,
+                    } => CellKindIr::StaticBiased {
+                        load_capacitance_f: *load_capacitance_f,
+                        voltage_swing_v: *voltage_swing_v,
+                        bias: match bias {
+                            BiasMode::DirectDrive => BiasIr::DirectDrive,
+                            BiasMode::GmId { gain, gm_over_id } => BiasIr::GmId {
+                                gain: *gain,
+                                gm_over_id: *gm_over_id,
+                            },
+                        },
+                    },
+                    AnalogCell::NonLinear { bits, survey } => CellKindIr::NonLinear {
+                        bits: *bits,
+                        fom_j_per_step: survey.fom_override(),
+                    },
+                },
+            })
+            .collect(),
+    }
+}
+
+fn export_sw(algo: &AlgorithmGraph) -> AlgorithmIr {
+    AlgorithmIr {
+        stages: algo.stages().iter().map(export_stage).collect(),
+        edges: algo
+            .edge_names()
+            .into_iter()
+            .map(|(from, to)| EdgeIr {
+                from: from.to_owned(),
+                to: to.to_owned(),
+            })
+            .collect(),
+    }
+}
+
+fn export_stage(s: &Stage) -> StageIr {
+    StageIr {
+        name: s.name().to_owned(),
+        input_size: size(s.input_size()),
+        output_size: size(s.output_size()),
+        bits: s.bits(),
+        kind: match s.kind() {
+            StageKind::Input => StageKindIr::Input,
+            StageKind::Stencil { kernel, stride } => StageKindIr::Stencil { kernel, stride },
+            StageKind::ElementWise { operands } => StageKindIr::ElementWise { operands },
+            StageKind::Dnn { macs, weights } => StageKindIr::Dnn { macs, weights },
+            StageKind::Custom {
+                ops,
+                reads_per_output,
+            } => StageKindIr::Custom {
+                ops,
+                reads_per_output,
+            },
+        },
+    }
+}
+
+fn layer(l: Layer) -> LayerIr {
+    match l {
+        Layer::Sensor => LayerIr::Sensor,
+        Layer::Compute => LayerIr::Compute,
+        Layer::OffChip => LayerIr::OffChip,
+    }
+}
+
+fn domain(d: SignalDomain) -> DomainIr {
+    match d {
+        SignalDomain::Optical => DomainIr::Optical,
+        SignalDomain::Charge => DomainIr::Charge,
+        SignalDomain::Voltage => DomainIr::Voltage,
+        SignalDomain::Current => DomainIr::Current,
+        SignalDomain::Time => DomainIr::Time,
+        SignalDomain::Digital => DomainIr::Digital,
+    }
+}
+
+fn shape(p: camj_digital::compute::PixelShape) -> [u32; 3] {
+    [p.width, p.height, p.channels]
+}
+
+fn size(s: ImageSize) -> [u32; 3] {
+    [s.width, s.height, s.channels]
+}

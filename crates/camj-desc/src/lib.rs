@@ -1,0 +1,54 @@
+//! # camj-desc — declarative design descriptions for CamJ-rs
+//!
+//! CAMJ's core contribution is a *declarative* interface: a sensor
+//! design is data, not code. This crate makes that literal — a
+//! versioned JSON format covering the full modeling surface (analog
+//! arrays and their cell-level components, digital compute and memory
+//! units, the algorithm DAG, the hardware↔software mapping, and the
+//! frame-rate target), with:
+//!
+//! * [`DesignDesc::from_json`] — parse + format-version check, with
+//!   syntax errors at line/column and shape errors at the JSON path,
+//! * [`DesignDesc::validate`] / [`DesignDesc::build`] — semantic
+//!   validation that reports **every** violation with its JSON path and
+//!   offending value (`hw.analog[2].pixel_pitch_um: must be positive
+//!   and finite (got -3)`), then construction of a
+//!   [`camj_core::energy::ValidatedModel`],
+//! * [`describe`] — the lossless inverse: any Rust-built model exports
+//!   to a description that loads back to a model with **byte-identical**
+//!   energy estimates, and re-exports byte-for-byte.
+//!
+//! The `camj` CLI (workspace root) drives this crate:
+//! `camj estimate --design descriptions/quickstart.json --fps 30`.
+//!
+//! # Examples
+//!
+//! Round-trip the Fig. 5 quickstart hardware through JSON:
+//!
+//! ```
+//! use camj_desc::DesignDesc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let json = include_str!("../examples-data/minimal.json");
+//! let desc = DesignDesc::from_json(json)?;
+//! let model = desc.build()?;
+//! let report = model.estimate()?;
+//! assert!(report.total().picojoules() > 0.0);
+//! // Export → load → export is byte-stable.
+//! let exported = camj_desc::describe(&desc.name, &model);
+//! assert_eq!(exported.to_json_pretty()?, desc.to_json_pretty()?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod error;
+pub mod export;
+pub mod ir;
+mod load;
+
+pub use error::{DescError, Diagnostic};
+pub use export::describe;
+pub use ir::{DesignDesc, FORMAT_VERSION};

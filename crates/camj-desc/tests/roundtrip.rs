@@ -1,0 +1,400 @@
+//! Round-trip and diagnostics tests for the description format.
+//!
+//! The core property (ISSUE 2 satellite): for any description `x`,
+//! `parse(serialize(parse(x))) == parse(x)` — serialization is a stable
+//! fixed point after one normalization pass. Generated descriptions
+//! additionally round-trip byte-identically, and loader failures name
+//! the exact JSON path and offending value.
+
+use proptest::prelude::*;
+
+use camj_desc::ir::{
+    AlgorithmIr, AnalogCategoryIr, AnalogUnitIr, BiasIr, BindingIr, CapNodeIr, CellIr, CellKindIr,
+    ComponentIr, ConnectionIr, DigitalKindIr, DigitalUnitIr, DomainIr, EdgeIr, HardwareIr, LayerIr,
+    MemoryEnergyIr, MemoryIr, MemoryKindIr, StageIr, StageKindIr, SweepIr,
+};
+use camj_desc::{DescError, DesignDesc, FORMAT_VERSION};
+
+const MINIMAL: &str = include_str!("../examples-data/minimal.json");
+
+// ---------------------------------------------------------------------
+// Random description generation (driven by the proptest shim's RNG)
+// ---------------------------------------------------------------------
+
+struct Gen {
+    rng: proptest::TestRng,
+}
+
+impl Gen {
+    fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        proptest::Strategy::sample(&(lo..hi), &mut self.rng)
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        proptest::Strategy::sample(&(lo..hi), &mut self.rng)
+    }
+
+    fn pick<T: Clone>(&mut self, options: &[T]) -> T {
+        let i = self.u32(0, options.len() as u32) as usize;
+        options[i].clone()
+    }
+
+    fn cell_kind(&mut self) -> CellKindIr {
+        match self.u32(0, 3) {
+            0 => CellKindIr::Dynamic {
+                nodes: (0..self.u32(1, 4))
+                    .map(|_| CapNodeIr {
+                        capacitance_f: self.f64(1e-15, 1e-12),
+                        voltage_swing_v: self.f64(0.1, 3.0),
+                    })
+                    .collect(),
+            },
+            1 => CellKindIr::StaticBiased {
+                load_capacitance_f: self.f64(1e-15, 1e-12),
+                voltage_swing_v: self.f64(0.1, 3.0),
+                bias: if self.u32(0, 2) == 0 {
+                    BiasIr::DirectDrive
+                } else {
+                    BiasIr::GmId {
+                        gain: self.f64(0.5, 8.0),
+                        gm_over_id: self.f64(5.0, 25.0),
+                    }
+                },
+            },
+            _ => CellKindIr::NonLinear {
+                bits: self.u32(1, 14),
+                fom_j_per_step: if self.u32(0, 2) == 0 {
+                    None
+                } else {
+                    Some(self.f64(1e-15, 1e-13))
+                },
+            },
+        }
+    }
+
+    fn design(&mut self) -> DesignDesc {
+        let rows = self.u32(2, 33);
+        let cols = self.u32(2, 33);
+        let pixel = AnalogUnitIr {
+            name: "PixelArray".into(),
+            layer: LayerIr::Sensor,
+            category: AnalogCategoryIr::Sensing,
+            rows,
+            cols,
+            ops_per_output: self.f64(0.5, 4.0),
+            pixel_pitch_um: if self.u32(0, 2) == 0 {
+                None
+            } else {
+                Some(self.f64(1.0, 10.0))
+            },
+            component: ComponentIr {
+                name: "pixel".into(),
+                input_domain: DomainIr::Optical,
+                output_domain: DomainIr::Voltage,
+                vdda_v: self.f64(1.0, 3.3),
+                cells: (0..self.u32(1, 4))
+                    .map(|i| CellIr {
+                        label: format!("cell{i}"),
+                        spatial: self.u32(1, 5),
+                        temporal: self.u32(1, 3),
+                        cell: self.cell_kind(),
+                    })
+                    .collect(),
+            },
+        };
+        let adc = AnalogUnitIr {
+            name: "ADCArray".into(),
+            layer: LayerIr::Sensor,
+            category: AnalogCategoryIr::Sensing,
+            rows: 1,
+            cols,
+            ops_per_output: 1.0,
+            pixel_pitch_um: None,
+            component: ComponentIr {
+                name: "ADC".into(),
+                input_domain: DomainIr::Voltage,
+                output_domain: DomainIr::Digital,
+                vdda_v: 2.5,
+                cells: vec![CellIr {
+                    label: "ADC".into(),
+                    spatial: 1,
+                    temporal: 1,
+                    cell: CellKindIr::NonLinear {
+                        bits: self.u32(6, 13),
+                        fom_j_per_step: Some(self.f64(1e-15, 1e-13)),
+                    },
+                }],
+            },
+        };
+        let digital = DigitalUnitIr {
+            name: "EdgeUnit".into(),
+            layer: self.pick(&[LayerIr::Sensor, LayerIr::Compute]),
+            unit: if self.u32(0, 2) == 0 {
+                DigitalKindIr::Pipelined {
+                    input_per_cycle: [1, self.u32(1, 4), 1],
+                    output_per_cycle: [1, 1, 1],
+                    pipeline_stages: self.u32(1, 5),
+                    energy_per_cycle_j: self.f64(1e-13, 1e-11),
+                }
+            } else {
+                DigitalKindIr::Systolic {
+                    rows: self.u32(4, 33),
+                    cols: self.u32(4, 33),
+                    node_nm: self.pick(&[22.0, 28.0, 65.0, 130.0]),
+                    mac_energy_j: self.f64(1e-14, 1e-12),
+                    utilization: self.f64(0.2, 1.0),
+                }
+            },
+        };
+        let memory = MemoryIr {
+            name: "Buffer".into(),
+            layer: LayerIr::Sensor,
+            kind: self.pick(&[
+                MemoryKindIr::Fifo,
+                MemoryKindIr::LineBuffer,
+                MemoryKindIr::DoubleBuffer,
+            ]),
+            capacity_pixels: 2 * u64::from(self.u32(8, 2048)),
+            energy: MemoryEnergyIr {
+                read_j_per_word: self.f64(1e-14, 1e-12),
+                write_j_per_word: self.f64(1e-14, 1e-12),
+                leakage_w: self.f64(0.0, 1e-5),
+            },
+            pixels_per_word: self.u32(1, 9),
+            read_ports: self.u32(1, 4),
+            write_ports: self.u32(1, 4),
+            active_fraction: self.f64(0.0, 1.0),
+            area_mm2: self.f64(0.0, 0.5),
+        };
+        let size = [cols, rows, 1];
+        DesignDesc {
+            version: FORMAT_VERSION,
+            name: format!("generated-{rows}x{cols}"),
+            fps: self.f64(1.0, 240.0),
+            hw: HardwareIr {
+                digital_clock_hz: self.f64(50e6, 500e6),
+                analog: vec![pixel, adc],
+                digital: vec![digital],
+                memories: vec![memory],
+                connections: vec![
+                    ConnectionIr {
+                        from: "PixelArray".into(),
+                        to: "ADCArray".into(),
+                    },
+                    ConnectionIr {
+                        from: "ADCArray".into(),
+                        to: "Buffer".into(),
+                    },
+                    ConnectionIr {
+                        from: "Buffer".into(),
+                        to: "EdgeUnit".into(),
+                    },
+                ],
+            },
+            sw: AlgorithmIr {
+                stages: vec![
+                    StageIr {
+                        name: "Input".into(),
+                        input_size: size,
+                        output_size: size,
+                        bits: self.u32(1, 17),
+                        kind: StageKindIr::Input,
+                    },
+                    StageIr {
+                        name: "Edge".into(),
+                        input_size: size,
+                        output_size: size,
+                        bits: 8,
+                        kind: StageKindIr::Stencil {
+                            kernel: [self.u32(1, 6), self.u32(1, 6), 1],
+                            stride: [1, 1, 1],
+                        },
+                    },
+                ],
+                edges: vec![EdgeIr {
+                    from: "Input".into(),
+                    to: "Edge".into(),
+                }],
+            },
+            mapping: vec![
+                BindingIr {
+                    stage: "Input".into(),
+                    unit: "PixelArray".into(),
+                },
+                BindingIr {
+                    stage: "Edge".into(),
+                    unit: "EdgeUnit".into(),
+                },
+            ],
+            sweep: if self.u32(0, 2) == 0 {
+                None
+            } else {
+                Some(SweepIr {
+                    fps: (0..self.u32(1, 5)).map(|_| self.f64(1.0, 120.0)).collect(),
+                })
+            },
+        }
+    }
+}
+
+proptest! {
+    /// Generated descriptions serialize → parse → serialize to the
+    /// exact same bytes, and the parsed value equals the original.
+    #[test]
+    fn generated_descriptions_round_trip_byte_identically(seed in 0u64..1_000_000) {
+        let mut g = Gen { rng: proptest::TestRng::deterministic(&format!("desc-{seed}")) };
+        let desc = g.design();
+        let text = desc.to_json_pretty().expect("serializable");
+        let parsed = DesignDesc::from_json(&text).expect("parses back");
+        prop_assert_eq!(&parsed, &desc);
+        let text2 = parsed.to_json_pretty().expect("serializable");
+        prop_assert_eq!(&text2, &text);
+    }
+
+    /// The normalization fixed point: parse(serialize(parse(x))) ==
+    /// parse(x) for inputs with non-canonical formatting.
+    #[test]
+    fn reparse_of_reserialization_is_identity(noise in 0u32..4) {
+        // Vary the formatting of the same document: floats spelled as
+        // "30.0", exponent notation, shuffled whitespace.
+        let variant = match noise {
+            0 => MINIMAL.to_owned(),
+            1 => MINIMAL.replace("\"fps\": 30", "\"fps\": 30.0"),
+            2 => MINIMAL.replace("200000000", "2.0e8"),
+            _ => MINIMAL.replace("\n", " "),
+        };
+        let first = DesignDesc::from_json(&variant).expect("parses");
+        let text = first.to_json_pretty().expect("serializable");
+        let second = DesignDesc::from_json(&text).expect("reparses");
+        prop_assert_eq!(&second, &first);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loader diagnostics (satellite: errors carry path + offending value)
+// ---------------------------------------------------------------------
+
+#[test]
+fn minimal_description_builds_and_estimates() {
+    let desc = DesignDesc::from_json(MINIMAL).unwrap();
+    let model = desc.build().unwrap();
+    let report = model.estimate().unwrap();
+    assert!(report.total().picojoules() > 0.0);
+}
+
+#[test]
+fn wrong_type_names_the_exact_field_and_value() {
+    // Regression test: a malformed description must name the exact
+    // field, not just produce a generic message.
+    let broken = MINIMAL.replace("\"bits\": 10", "\"bits\": \"ten\"");
+    let err = DesignDesc::from_json(&broken).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("hw.analog[1].component.cells[0].cell.non_linear.bits"),
+        "error must carry the full JSON path: {msg}"
+    );
+    assert!(msg.contains("\"ten\""), "error must quote the value: {msg}");
+}
+
+#[test]
+fn typoed_optional_field_is_rejected_not_silently_dropped() {
+    // Regression: a misspelled *optional* field must not silently
+    // deserialize as "absent" (which would quietly change the area /
+    // power-density model).
+    let broken = MINIMAL.replace("\"pixel_pitch_um\": 3,", "\"pixel_pich_um\": 3,");
+    let err = DesignDesc::from_json(&broken).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("hw.analog[0].pixel_pich_um"), "{msg}");
+    assert!(msg.contains("unknown field"), "{msg}");
+    assert!(msg.contains("pixel_pitch_um"), "lists the real keys: {msg}");
+}
+
+#[test]
+fn missing_field_names_the_exact_field() {
+    let broken = MINIMAL.replace("\"rows\": 4,", "");
+    let err = DesignDesc::from_json(&broken).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("hw.analog[0].rows"), "{msg}");
+    assert!(msg.contains("missing required field"), "{msg}");
+}
+
+#[test]
+fn unknown_enum_variant_is_reported_with_options() {
+    let broken = MINIMAL.replace("\"layer\": \"sensor\"", "\"layer\": \"sensing\"");
+    let err = DesignDesc::from_json(&broken).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("sensing"), "{msg}");
+    assert!(msg.contains("sensor") && msg.contains("off_chip"), "{msg}");
+}
+
+#[test]
+fn semantic_diagnostics_carry_path_and_value() {
+    let mut desc = DesignDesc::from_json(MINIMAL).unwrap();
+    desc.fps = -5.0;
+    desc.hw.analog[0].pixel_pitch_um = Some(-3.0);
+    desc.sw.stages[0].bits = 0;
+    let err = desc.validate().unwrap_err();
+    let DescError::Invalid(diags) = err else {
+        panic!("expected Invalid, got {err}");
+    };
+    let paths: Vec<&str> = diags.iter().map(|d| d.path.as_str()).collect();
+    assert!(paths.contains(&"fps"), "{paths:?}");
+    assert!(paths.contains(&"hw.analog[0].pixel_pitch_um"), "{paths:?}");
+    assert!(paths.contains(&"sw.stages[0].bits"), "{paths:?}");
+    let pitch = diags
+        .iter()
+        .find(|d| d.path == "hw.analog[0].pixel_pitch_um")
+        .unwrap();
+    assert_eq!(pitch.value, "-3");
+}
+
+#[test]
+fn unknown_references_are_diagnosed() {
+    let mut desc = DesignDesc::from_json(MINIMAL).unwrap();
+    desc.mapping[0].unit = "Ghost".into();
+    desc.hw.connections[0].to = "Nowhere".into();
+    let err = desc.validate().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("mapping[0].unit"), "{msg}");
+    assert!(msg.contains("\"Ghost\""), "{msg}");
+    assert!(msg.contains("hw.connections[0].to"), "{msg}");
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let broken = MINIMAL.replace("\"version\": 1", "\"version\": 99");
+    let err = DesignDesc::from_json(&broken).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+    assert!(err.to_string().contains("99"), "{err}");
+}
+
+#[test]
+fn framework_checks_surface_as_model_errors() {
+    // Map the input stage onto the ADC (not photon-sensitive): passes
+    // the schema and semantic layers, fails the framework check.
+    let mut desc = DesignDesc::from_json(MINIMAL).unwrap();
+    desc.mapping[0].unit = "ADCArray".into();
+    let err = desc.build().unwrap_err();
+    let DescError::Model(_) = err else {
+        panic!("expected Model error, got {err}");
+    };
+    assert!(err.to_string().contains("photon-sensitive"), "{err}");
+}
+
+#[test]
+fn export_of_built_model_round_trips() {
+    let desc = DesignDesc::from_json(MINIMAL).unwrap();
+    let model = desc.build().unwrap();
+    let exported = camj_desc::describe(&desc.name, &model);
+    assert_eq!(exported, desc);
+    // And the reloaded model estimates byte-identically.
+    let reloaded = exported.build().unwrap();
+    let a = model.estimate().unwrap();
+    let b = reloaded.estimate().unwrap();
+    assert_eq!(a, b);
+    assert_eq!(
+        a.total().joules().to_bits(),
+        b.total().joules().to_bits(),
+        "estimates must be bit-exact"
+    );
+}

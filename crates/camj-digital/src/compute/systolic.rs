@@ -139,6 +139,12 @@ impl SystolicArray {
         self.mac_energy
     }
 
+    /// Utilization factor in `(0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
     /// Effective MACs retired per cycle (PEs × utilization).
     #[must_use]
     pub fn macs_per_cycle(&self) -> f64 {

@@ -101,6 +101,23 @@ impl MemoryStructure {
         Self::new(name, MemoryKind::DoubleBuffer, 2 * bank_pixels)
     }
 
+    /// Creates a structure from its kind and **total** capacity — the
+    /// inverse of [`Self::kind`] + [`Self::capacity_pixels`], used when
+    /// rebuilding a structure from a design description. For
+    /// [`MemoryKind::DoubleBuffer`] the capacity covers both banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pixels` is zero, or odd for a double buffer.
+    #[must_use]
+    pub fn from_kind(name: impl Into<String>, kind: MemoryKind, capacity_pixels: u64) -> Self {
+        assert!(
+            kind != MemoryKind::DoubleBuffer || capacity_pixels % 2 == 0,
+            "double buffer capacity covers two equal banks and must be even, got {capacity_pixels}"
+        );
+        Self::new(name, kind, capacity_pixels)
+    }
+
     /// Sets the energy parameters (builder-style).
     #[must_use]
     pub fn with_energy(mut self, energy: MemoryEnergy) -> Self {

@@ -73,6 +73,14 @@ impl AdcSurvey {
         }
     }
 
+    /// The expert-supplied FoM override in joules per conversion-step,
+    /// or `None` when the survey median is in effect — the exact datum
+    /// a design description must carry to rebuild this model.
+    #[must_use]
+    pub fn fom_override(&self) -> Option<f64> {
+        self.fom_override
+    }
+
     /// The figure of merit at `sample_rate_hz`, in joules per
     /// conversion-step.
     ///

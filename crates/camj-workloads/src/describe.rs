@@ -1,0 +1,156 @@
+//! Exporters: every built-in workload as a declarative description.
+//!
+//! This is the bridge between the Rust-built workload library and the
+//! `camj-desc` JSON format: [`export`] builds a workload's CamJ model
+//! and hands it to [`camj_desc::describe`], which is lossless — the
+//! resulting description loads back to a model with byte-identical
+//! energy estimates. The `camj` CLI's `list`/`export` subcommands and
+//! the committed golden files under `descriptions/` are driven from
+//! here.
+//!
+//! Named variants: the case studies export their paper-canonical
+//! configuration (`2D-In` at 65 nm — the showcase variant of Sec. 6);
+//! other variant/node combinations remain available through the Rust
+//! API or by editing the exported JSON.
+
+use camj_desc::DesignDesc;
+
+use crate::configs::{SensorVariant, WorkloadError};
+use crate::validation;
+use camj_tech::node::ProcessNode;
+
+/// A named built-in workload the CLI can export.
+pub struct BuiltinWorkload {
+    /// CLI name (e.g. `"quickstart"`, `"edgaze"`, `"isscc17"`).
+    pub name: String,
+    /// One-line summary.
+    pub summary: String,
+}
+
+/// The CIS node the case-study exports use (the paper's 65 nm focus).
+const EXPORT_CIS_NODE: ProcessNode = ProcessNode::N65;
+
+/// Lowercases a validation-chip id into a CLI name: `ISSCC'17` →
+/// `isscc17`, `JSSC'21-I` → `jssc21-i`.
+fn chip_slug(id: &str) -> String {
+    id.chars()
+        .filter(|c| *c != '\'')
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// All built-in workloads, in presentation order: the quickstart, the
+/// two case studies, then the nine validation chips.
+#[must_use]
+pub fn builtins() -> Vec<BuiltinWorkload> {
+    let mut list = vec![
+        BuiltinWorkload {
+            name: "quickstart".into(),
+            summary: "Fig. 5 running example: 32x32 binning + edge detection @ 30 FPS".into(),
+        },
+        BuiltinWorkload {
+            name: "rhythmic".into(),
+            summary: "Rhythmic Pixel Regions, 2D-In @ 65 nm (Fig. 9a)".into(),
+        },
+        BuiltinWorkload {
+            name: "edgaze".into(),
+            summary: "Ed-Gaze eye tracking, 2D-In @ 65 nm (Fig. 9b)".into(),
+        },
+    ];
+    for chip in validation::all_chips() {
+        list.push(BuiltinWorkload {
+            name: chip_slug(chip.id),
+            summary: format!("validation chip {}: {}", chip.id, chip.summary),
+        });
+    }
+    list
+}
+
+/// Exports a built-in workload as a design description.
+///
+/// # Errors
+///
+/// [`WorkloadError::Unsupported`] for unknown names, or whatever the
+/// workload builder itself reports.
+pub fn export(name: &str) -> Result<DesignDesc, WorkloadError> {
+    let model = match name {
+        "quickstart" => crate::quickstart::model(crate::configs::WORKLOAD_FPS)?,
+        "rhythmic" => crate::rhythmic::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE)?,
+        "edgaze" => crate::edgaze::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE)?,
+        other => {
+            let chip = validation::all_chips()
+                .into_iter()
+                .find(|c| chip_slug(c.id) == other)
+                .ok_or_else(|| WorkloadError::Unsupported {
+                    reason: format!(
+                        "unknown workload '{other}'; run `camj list` for the available names"
+                    ),
+                })?;
+            (chip.build)()?
+        }
+    };
+    Ok(camj_desc::describe(name, model.validated()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_cli_friendly() {
+        assert_eq!(chip_slug("ISSCC'17"), "isscc17");
+        assert_eq!(chip_slug("JSSC'21-I"), "jssc21-i");
+        assert_eq!(chip_slug("TCAS-I'22"), "tcas-i22");
+    }
+
+    #[test]
+    fn every_builtin_exports_and_rebuilds() {
+        for b in builtins() {
+            let desc = export(&b.name).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let model = desc
+                .build()
+                .unwrap_or_else(|e| panic!("{} rebuild: {e}", b.name));
+            let report = model
+                .estimate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(report.total().joules() > 0.0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_reported() {
+        let err = export("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn exports_are_byte_identical_to_their_models() {
+        // The acceptance bar: description-loaded models estimate
+        // byte-identically to the Rust-built originals.
+        for name in ["quickstart", "rhythmic", "edgaze", "isscc17"] {
+            let desc = export(name).unwrap();
+            let rebuilt = desc.build().unwrap();
+            let original = match name {
+                "quickstart" => crate::quickstart::model(30.0).unwrap(),
+                "rhythmic" => {
+                    crate::rhythmic::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE).unwrap()
+                }
+                "edgaze" => crate::edgaze::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE).unwrap(),
+                _ => (validation::all_chips()
+                    .into_iter()
+                    .find(|c| chip_slug(c.id) == name)
+                    .unwrap()
+                    .build)()
+                .unwrap(),
+            };
+            let a = original.estimate().unwrap();
+            let b = rebuilt.estimate().unwrap();
+            assert_eq!(a, b, "{name}");
+            assert_eq!(
+                a.total().joules().to_bits(),
+                b.total().joules().to_bits(),
+                "{name} total must be bit-exact"
+            );
+        }
+    }
+}

@@ -9,12 +9,15 @@
 //!   the Fig. 10 mixed-signal design (Fig. 9b, 11–13, Table 3),
 //! * [`validation`] — the nine silicon chips of Table 2 / Fig. 7,
 //! * [`survey`] — the ISSCC/IEDM design-survey data behind Fig. 1 and 3,
-//! * [`configs`] — shared variant/node machinery.
+//! * [`configs`] — shared variant/node machinery,
+//! * [`describe`] — every built-in workload exported as a `camj-desc`
+//!   JSON description (the source of the `descriptions/` golden files).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod configs;
+pub mod describe;
 pub mod edgaze;
 pub mod quickstart;
 pub mod rhythmic;

@@ -1,115 +1,33 @@
-//! Building a custom computational CIS from scratch with the full
-//! expert interface: custom analog components (cell by cell), a custom
-//! digital accelerator, and a 3D-stacked floorplan.
+//! A custom computational CIS loaded **from a declarative JSON
+//! description** — no Rust edits or recompiles needed to explore it.
 //!
-//! The design: a QVGA always-on motion sensor. Pixels difference
-//! against an analog memory in-sensor; only motion tiles are digitised
-//! and a small digital unit compresses them before MIPI.
+//! The design (see `descriptions/custom_chip.json`): a QVGA always-on
+//! motion sensor. Pixels difference against an analog memory in-sensor
+//! (a custom cell-by-cell "MotionPE": sample cap → diff OpAmp →
+//! threshold comparator); only motion tiles are digitised, and a small
+//! digital unit on a stacked 22 nm die compresses them before MIPI.
+//!
+//! Everything the old Rust-built version of this example expressed —
+//! custom analog components, an expert ADC FoM, a 3D-stacked floorplan
+//! — now lives in the JSON file. Edit the file (say, change
+//! `MotionPE`'s comparator bits or move the compressor to the sensor
+//! layer) and re-run; the same description also drives the `camj` CLI:
 //!
 //! ```text
 //! cargo run --example custom_chip
+//! camj estimate --design descriptions/custom_chip.json
+//! camj sweep --design descriptions/custom_chip.json
 //! ```
 
-use camj::analog::array::AnalogArray;
-use camj::analog::cell::AnalogCell;
-use camj::analog::component::AnalogComponentSpec;
-use camj::analog::components::{aps_4t, column_adc_with_fom, ApsParams};
-use camj::analog::domain::SignalDomain;
-use camj::core::energy::CamJ;
-use camj::core::hw::{
-    AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
-};
-use camj::core::mapping::Mapping;
-use camj::core::sw::{AlgorithmGraph, Stage};
-use camj::digital::compute::ComputeUnit;
-use camj::digital::memory::{MemoryEnergy, MemoryStructure};
-use camj::tech::units::Energy;
-
-/// A motion-detect PE built cell-by-cell: sample the pixel, difference
-/// it against the held previous value, threshold with a comparator.
-fn motion_pe() -> AnalogComponentSpec {
-    AnalogComponentSpec::builder("MotionPE")
-        .input_domain(SignalDomain::Voltage)
-        .output_domain(SignalDomain::Voltage)
-        .vdda(1.8)
-        .cell("sample-cap", AnalogCell::dynamic_for_resolution(6, 1.0))
-        .cell("diff-opamp", AnalogCell::opamp(30e-15, 1.0, 2.0, 12.0))
-        .cell("threshold", AnalogCell::comparator())
-        .build()
-}
+use camj::desc::DesignDesc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Algorithm: full-res capture → motion gating (8× fewer pixels pass)
-    // → tile compression on a digital unit.
-    let mut algo = AlgorithmGraph::new();
-    algo.add_stage(Stage::input("Capture", [320, 240, 1]));
-    algo.add_stage(Stage::custom(
-        "MotionGate",
-        [320, 240, 1],
-        [320, 30, 1],
-        76_800,
-        1.0,
-    ));
-    algo.add_stage(Stage::custom(
-        "TileCompress",
-        [320, 30, 1],
-        [160, 15, 1],
-        38_400,
-        4.0,
-    ));
-    algo.connect("Capture", "MotionGate")?;
-    algo.connect("MotionGate", "TileCompress")?;
+    let path = "descriptions/custom_chip.json";
+    let desc = DesignDesc::from_json(&std::fs::read_to_string(path)?)?;
+    let model = desc.build()?;
+    let report = model.estimate()?;
 
-    // Hardware: a two-layer stack. Pixels + analog motion PEs on the
-    // sensor die; ADC, buffer, and the compressor on a 22 nm logic die.
-    let mut hw = HardwareDesc::new(100e6);
-    hw.add_analog(
-        AnalogUnitDesc::new(
-            "PixelArray",
-            AnalogArray::new(aps_4t(ApsParams::default()), 240, 320),
-            Layer::Sensor,
-            AnalogCategory::Sensing,
-        )
-        .with_pixel_pitch_um(3.0),
-    );
-    hw.add_analog(AnalogUnitDesc::new(
-        "MotionArray",
-        AnalogArray::new(motion_pe(), 1, 320),
-        Layer::Sensor,
-        AnalogCategory::Compute,
-    ));
-    hw.add_analog(AnalogUnitDesc::new(
-        "ADCArray",
-        AnalogArray::new(column_adc_with_fom(8, 20e-15), 1, 320),
-        Layer::Sensor,
-        AnalogCategory::Sensing,
-    ));
-    hw.add_memory(MemoryDesc::new(
-        MemoryStructure::fifo("TileFifo", 2 * 320)
-            .with_energy(MemoryEnergy::from_pj_per_word(0.5, 0.6, 2.0))
-            .with_pixels_per_word(4)
-            .with_ports(2, 2),
-        Layer::Compute,
-        0.01,
-    ));
-    hw.add_digital(DigitalUnitDesc::pipelined(
-        ComputeUnit::new("Compressor", [4, 1, 1], [2, 1, 1], 3)
-            .with_energy_per_cycle(Energy::from_picojoules(1.2)),
-        Layer::Compute,
-    ));
-    hw.connect("PixelArray", "MotionArray");
-    hw.connect("MotionArray", "ADCArray");
-    hw.connect("ADCArray", "TileFifo");
-    hw.connect("TileFifo", "Compressor");
-
-    let mapping = Mapping::new()
-        .map("Capture", "PixelArray")
-        .map("MotionGate", "MotionArray")
-        .map("TileCompress", "Compressor");
-
-    let report = CamJ::new(algo, hw, mapping, 15.0)?.estimate()?;
-
-    println!("Custom always-on motion sensor @ 15 FPS (3D-stacked)");
+    println!("{} @ {} FPS (loaded from {path})", desc.name, desc.fps);
     println!("----------------------------------------------------");
     println!(
         "total: {:.2} µJ/frame  ({:.1} pJ/px)",
@@ -132,6 +50,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .density_mw_per_mm2
                 .map_or(String::new(), |d| format!("→ {d:.3} mW/mm²")),
         );
+    }
+
+    // The description carries its own sweep spec (`sweep.fps`); drive
+    // the staged pipeline across it, exactly like `camj sweep`.
+    if let Some(sweep) = &desc.sweep {
+        let results = camj::Explorer::new().sweep_fps(&model, sweep.fps.iter().copied());
+        println!();
+        println!("  frame-rate sweep (from the description's sweep.fps):");
+        for (point, r) in results.successes() {
+            println!(
+                "    {:>5} FPS: {:>8.2} µJ/frame",
+                point.fps("fps"),
+                r.total().microjoules()
+            );
+        }
     }
     Ok(())
 }

@@ -1,0 +1,322 @@
+//! Deserialization error type and the helpers the derive expands to.
+//!
+//! [`DeError`] carries a structured JSON **path** that grows as the
+//! error bubbles out of nested `from_value` calls, so a failure deep in
+//! a description reads like
+//!
+//! ```text
+//! hw.analog[2].component.cells[0].bits: expected an unsigned integer, found "ten"
+//! ```
+//!
+//! — the exact field and the offending value, not just a message.
+
+use std::fmt;
+
+use crate::value::{Map, Value};
+
+/// One step of a JSON path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathSeg {
+    /// An object field.
+    Field(String),
+    /// An array index.
+    Index(usize),
+}
+
+/// A deserialization failure with the JSON path to the offending value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    path: Vec<PathSeg>,
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with an empty path.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            path: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// A type-mismatch error quoting the found value.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::new(format!(
+            "expected {what}, found {} {}",
+            found.kind(),
+            found.preview()
+        ))
+    }
+
+    /// A missing-required-field error.
+    #[must_use]
+    pub fn missing_field(name: &str) -> Self {
+        Self::new(format!("missing required field `{name}`"))
+    }
+
+    /// An unknown-enum-variant error listing the accepted tags.
+    #[must_use]
+    pub fn unknown_variant(found: &str, expected: &[&str]) -> Self {
+        Self::new(format!(
+            "unknown variant \"{found}\", expected one of: {}",
+            expected.join(", ")
+        ))
+    }
+
+    /// Prefixes the path with an object field.
+    #[must_use]
+    pub fn in_field(mut self, name: &str) -> Self {
+        self.path.insert(0, PathSeg::Field(name.to_owned()));
+        self
+    }
+
+    /// Prefixes the path with an array index.
+    #[must_use]
+    pub fn in_index(mut self, index: usize) -> Self {
+        self.path.insert(0, PathSeg::Index(index));
+        self
+    }
+
+    /// The dotted/bracketed path, e.g. `hw.analog[2].bits` (or `$` at
+    /// the document root).
+    #[must_use]
+    pub fn path(&self) -> String {
+        if self.path.is_empty() {
+            return "$".to_owned();
+        }
+        let mut out = String::new();
+        for seg in &self.path {
+            match seg {
+                PathSeg::Field(name) => {
+                    if !out.is_empty() {
+                        out.push('.');
+                    }
+                    out.push_str(name);
+                }
+                PathSeg::Index(i) => {
+                    out.push('[');
+                    out.push_str(&i.to_string());
+                    out.push(']');
+                }
+            }
+        }
+        out
+    }
+
+    /// The message without the path prefix.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path(), self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// The value as an object, or a type error.
+///
+/// # Errors
+///
+/// When `v` is not an object.
+pub fn as_object(v: &Value) -> Result<&Map, DeError> {
+    v.as_object()
+        .ok_or_else(|| DeError::expected("an object", v))
+}
+
+/// The value as an array of exactly `len` elements (tuple decoding).
+///
+/// # Errors
+///
+/// When `v` is not an array or the length differs.
+pub fn as_tuple(v: &Value, len: usize) -> Result<&[Value], DeError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| DeError::expected(&format!("an array of {len} elements"), v))?;
+    if arr.len() != len {
+        return Err(DeError::new(format!(
+            "expected an array of {len} elements, found {}",
+            arr.len()
+        )));
+    }
+    Ok(arr)
+}
+
+/// Decodes a struct field: missing keys read as `Null` (so `Option`
+/// fields default to `None`), and errors gain the field name.
+///
+/// # Errors
+///
+/// Propagates the field type's `from_value` failure, path-qualified.
+pub fn field<T: for<'de> crate::Deserialize<'de>>(obj: &Map, key: &str) -> Result<T, DeError> {
+    let v = obj.get(key).unwrap_or(&Value::Null);
+    T::from_value(v).map_err(|e| {
+        // A required (non-Option) type sees the synthetic Null and
+        // reports a type mismatch; translate that into the clearer
+        // missing-field message.
+        if obj.get(key).is_none() {
+            DeError::missing_field(key).in_field(key)
+        } else {
+            e.in_field(key)
+        }
+    })
+}
+
+/// Decodes a `#[serde(default)]` field: missing keys produce
+/// `Default::default()` instead of an error.
+///
+/// # Errors
+///
+/// Propagates the field type's `from_value` failure, path-qualified.
+pub fn field_or_default<T>(obj: &Map, key: &str) -> Result<T, DeError>
+where
+    T: for<'de> crate::Deserialize<'de> + Default,
+{
+    match obj.get(key) {
+        None => Ok(T::default()),
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(key)),
+    }
+}
+
+/// Rejects object keys outside `known` (pass `None` to accept any —
+/// the conservative answer when a `#[serde(flatten)]` field has an
+/// open key set). The error's path names the unknown key itself.
+///
+/// # Errors
+///
+/// [`DeError`] at the first unknown key.
+pub fn check_unknown(obj: &Map, known: &Option<Vec<&'static str>>) -> Result<(), DeError> {
+    let Some(known) = known else { return Ok(()) };
+    for (key, _) in obj.iter() {
+        if !known.contains(&key) {
+            return Err(DeError::new(format!(
+                "unknown field, expected one of: {}",
+                known.join(", ")
+            ))
+            .in_field(key));
+        }
+    }
+    Ok(())
+}
+
+/// `T::known_fields()` behind a `for<'de>` bound, so derive-generated
+/// code can query a flattened field's key set without naming a
+/// lifetime.
+#[must_use]
+pub fn known_fields_of<T: for<'de> crate::Deserialize<'de>>() -> Option<Vec<&'static str>> {
+    <T as crate::Deserialize<'static>>::known_fields()
+}
+
+/// Decodes a `#[serde(flatten)]` field from the parent's whole object,
+/// skipping the field type's own unknown-key check (the parent's check
+/// covers the merged key set).
+///
+/// # Errors
+///
+/// Propagates the field type's `from_value_flat` failure.
+pub fn flat_field<T: for<'de> crate::Deserialize<'de>>(v: &Value) -> Result<T, DeError> {
+    <T as crate::Deserialize<'static>>::from_value_flat(v)
+}
+
+/// A decoded enum tag.
+#[derive(Debug)]
+pub enum Tag<'a> {
+    /// A bare string — a unit variant.
+    Unit(&'a str),
+    /// A single-entry object — a data-carrying variant.
+    Data(&'a str, &'a Value),
+}
+
+/// Decodes the externally-tagged enum encoding: a string or a
+/// single-key object.
+///
+/// # Errors
+///
+/// When `v` is neither.
+pub fn tag<'a>(v: &'a Value, type_name: &str) -> Result<Tag<'a>, DeError> {
+    match v {
+        Value::String(s) => Ok(Tag::Unit(s)),
+        Value::Object(m) if m.len() == 1 => {
+            let (k, inner) = &m.entries()[0];
+            Ok(Tag::Data(k, inner))
+        }
+        _ => Err(DeError::expected(
+            &format!("a variant of {type_name} (a string or a single-key object)"),
+            v,
+        )),
+    }
+}
+
+/// Accepts `null` (a unit variant spelled with the data encoding).
+///
+/// # Errors
+///
+/// When `v` is not `null`.
+pub fn expect_null(v: &Value) -> Result<(), DeError> {
+    match v {
+        Value::Null => Ok(()),
+        _ => Err(DeError::expected("null (the variant carries no data)", v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Number;
+
+    #[test]
+    fn path_rendering() {
+        let e = DeError::new("boom")
+            .in_field("bits")
+            .in_field("adc")
+            .in_index(2)
+            .in_field("arrays")
+            .in_field("hw");
+        assert_eq!(e.path(), "hw.arrays[2].adc.bits");
+        assert_eq!(e.to_string(), "hw.arrays[2].adc.bits: boom");
+    }
+
+    #[test]
+    fn root_path_is_dollar() {
+        assert_eq!(DeError::new("x").path(), "$");
+    }
+
+    #[test]
+    fn expected_quotes_the_found_value() {
+        let e = DeError::expected("an unsigned integer", &Value::String("ten".into()));
+        assert!(e.to_string().contains("\"ten\""), "{e}");
+        assert!(e.to_string().contains("string"), "{e}");
+    }
+
+    #[test]
+    fn missing_field_message() {
+        let obj = Map::new();
+        let err = field::<u32>(&obj, "bits").unwrap_err();
+        assert_eq!(err.path(), "bits");
+        assert!(err.message().contains("missing required field `bits`"));
+    }
+
+    #[test]
+    fn tuple_length_checked() {
+        let v = Value::Array(vec![Value::Null]);
+        assert!(as_tuple(&v, 2).is_err());
+        assert!(as_tuple(&v, 1).is_ok());
+    }
+
+    #[test]
+    fn tag_decodes_both_encodings() {
+        assert!(matches!(
+            tag(&Value::String("input".into()), "K").unwrap(),
+            Tag::Unit("input")
+        ));
+        let v = Value::tagged("stencil", Value::Number(Number::Int(1)));
+        assert!(matches!(tag(&v, "K").unwrap(), Tag::Data("stencil", _)));
+        assert!(tag(&Value::Null, "K").is_err());
+    }
+}

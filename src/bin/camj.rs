@@ -1,0 +1,415 @@
+//! `camj` — estimate, sweep, validate, and export sensor designs from
+//! declarative JSON descriptions, without recompiling.
+//!
+//! ```text
+//! camj list
+//! camj export <workload> [--out FILE]
+//! camj validate <file>...
+//! camj estimate --design FILE [--fps N] [--json]
+//! camj sweep --design FILE [--fps A,B,C] [--json]
+//! ```
+//!
+//! Exit codes: 0 success, 1 validation/model failure, 2 usage or I/O
+//! error. All output is deterministic — CI diffs `camj estimate`
+//! against a committed snapshot.
+
+use std::fs;
+use std::process::ExitCode;
+
+use camj_core::energy::{EstimateReport, ValidatedModel};
+use camj_desc::DesignDesc;
+use camj_explore::Explorer;
+
+const USAGE: &str = "\
+camj — declarative energy estimation for in-sensor visual computing
+
+USAGE:
+    camj list
+        List the built-in workloads available to `export`.
+    camj export <workload> [--out FILE]
+        Write a built-in workload's design description (JSON) to stdout
+        or FILE.
+    camj validate <file>...
+        Parse, validate, and type-check one or more descriptions.
+    camj estimate --design FILE [--fps N] [--json]
+        Estimate per-frame energy for a description (optionally
+        overriding its frame rate).
+    camj sweep --design FILE [--fps A,B,C] [--json]
+        Sweep frame-rate targets (from --fps, or the description's
+        `sweep.fps` list) through the staged pipeline.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "export" => cmd_export(rest),
+        "validate" => cmd_validate(rest),
+        "estimate" => cmd_estimate(rest),
+        "sweep" => cmd_sweep(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown subcommand '{other}'\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------
+
+/// Parsed `--flag value` / `--switch` arguments plus positionals.
+struct Flags {
+    design: Option<String>,
+    fps: Option<String>,
+    out: Option<String>,
+    json: bool,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        design: None,
+        fps: None,
+        out: None,
+        json: false,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--design" => {
+                flags.design = Some(
+                    it.next()
+                        .ok_or_else(|| "--design needs a file path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--fps" => {
+                flags.fps = Some(
+                    it.next()
+                        .ok_or_else(|| "--fps needs a value".to_owned())?
+                        .clone(),
+                );
+            }
+            "--out" => {
+                flags.out = Some(
+                    it.next()
+                        .ok_or_else(|| "--out needs a file path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--json" => flags.json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            positional => flags.positional.push(positional.to_owned()),
+        }
+    }
+    Ok(flags)
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+// ---------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------
+
+fn cmd_list() -> ExitCode {
+    println!("built-in workloads (usable with `camj export <name>`):");
+    for b in camj_workloads::describe::builtins() {
+        println!("  {:<12} {}", b.name, b.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let [name] = flags.positional.as_slice() else {
+        return usage_error("export takes exactly one workload name");
+    };
+    let desc = match camj_workloads::describe::export(name) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match desc.to_json_pretty() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &flags.out {
+        None => print!("{json}"),
+        Some(path) => {
+            if let Err(e) = fs::write(path, &json) {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    if flags.positional.is_empty() {
+        return usage_error("validate needs at least one description file");
+    }
+    let mut failures = 0usize;
+    for path in &flags.positional {
+        match load_design(path, None) {
+            Ok((desc, _model)) => {
+                println!("{path}: OK ({}, fps {})", desc.name, desc.fps);
+            }
+            Err(message) => {
+                failures += 1;
+                println!("{path}: FAILED");
+                for line in message.lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{failures} of {} description(s) failed",
+            flags.positional.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_estimate(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(path) = &flags.design else {
+        return usage_error("estimate needs --design FILE");
+    };
+    let fps_override = match flags.fps.as_deref().map(parse_fps_single) {
+        None => None,
+        Some(Ok(v)) => Some(v),
+        Some(Err(e)) => return usage_error(&e),
+    };
+    let (desc, model) = match load_design(path, fps_override) {
+        Ok(x) => x,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match model.estimate() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: estimation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: could not serialize the report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print_report(&desc, model.fps(), &report);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(path) = &flags.design else {
+        return usage_error("sweep needs --design FILE");
+    };
+    let (desc, model) = match load_design(path, None) {
+        Ok(x) => x,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let targets: Vec<f64> = match (&flags.fps, &desc.sweep) {
+        (Some(list), _) => match list.split(',').map(parse_fps_single).collect() {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        },
+        (None, Some(sweep)) => sweep.fps.clone(),
+        (None, None) => {
+            return usage_error(
+                "sweep needs frame-rate targets: pass --fps A,B,C or add a `sweep.fps` \
+                 list to the description",
+            )
+        }
+    };
+    let results = Explorer::new().sweep_fps(&model, targets);
+    if flags.json {
+        let rows: Vec<serde_json::Value> = results
+            .outcomes()
+            .iter()
+            .map(|o| {
+                let fps = o.point.fps("fps");
+                match &o.result {
+                    Ok(r) => serde_json::to_value(&SweepRow {
+                        fps,
+                        total_pj: Some(r.total().picojoules()),
+                        per_pixel_pj: Some(r.energy_per_pixel().picojoules()),
+                        error: None,
+                    }),
+                    Err(e) => serde_json::to_value(&SweepRow {
+                        fps,
+                        total_pj: None,
+                        per_pixel_pj: None,
+                        error: Some(e.message().to_owned()),
+                    }),
+                }
+            })
+            .collect();
+        match serde_json::to_string_pretty(&rows) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: could not serialize sweep results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!("== sweep: {} ({} points) ==", desc.name, results.len());
+        println!(
+            "{:>10}  {:>16}  {:>14}",
+            "fps", "total pJ/frame", "pJ/pixel"
+        );
+        for o in results.outcomes() {
+            let fps = o.point.fps("fps");
+            match &o.result {
+                Ok(r) => println!(
+                    "{:>10}  {:>16.3}  {:>14.4}",
+                    fps,
+                    r.total().picojoules(),
+                    r.energy_per_pixel().picojoules()
+                ),
+                Err(e) => println!("{fps:>10}  infeasible: {}", e.message()),
+            }
+        }
+        if let Some((point, best)) = results.min_energy() {
+            println!(
+                "minimum: {:.3} pJ/frame at {point}",
+                best.total().picojoules()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// A sweep result row for `--json` output: totals are absent and
+/// `error` is set for infeasible points.
+#[derive(serde::Serialize)]
+struct SweepRow {
+    fps: f64,
+    total_pj: Option<f64>,
+    per_pixel_pj: Option<f64>,
+    error: Option<String>,
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+fn parse_fps_single(s: &str) -> Result<f64, String> {
+    s.trim()
+        .parse::<f64>()
+        .map_err(|_| format!("invalid FPS value '{s}'"))
+}
+
+/// Reads, parses, validates, and builds a description file, optionally
+/// overriding its frame rate.
+fn load_design(path: &str, fps: Option<f64>) -> Result<(DesignDesc, ValidatedModel), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let mut desc = DesignDesc::from_json(&text).map_err(|e| e.to_string())?;
+    if let Some(fps) = fps {
+        if !(fps.is_finite() && fps > 0.0) {
+            return Err(format!(
+                "fps override must be positive and finite, got {fps}"
+            ));
+        }
+        desc.fps = fps;
+    }
+    let model = desc.build().map_err(|e| e.to_string())?;
+    Ok((desc, model))
+}
+
+fn print_report(desc: &DesignDesc, fps: f64, report: &EstimateReport) {
+    println!("== {} @ {} FPS ==", desc.name, fps);
+    println!(
+        "total: {:.4} pJ/frame  ({:.4} pJ/pixel over {} input pixels)",
+        report.total().picojoules(),
+        report.energy_per_pixel().picojoules(),
+        report.input_pixels
+    );
+    println!(
+        "frame time: {:.4} ms = {} analog stages x {:.4} ms + {:.4} ms digital",
+        report.delay.frame_time.millis(),
+        report.delay.analog_stage_count,
+        report.delay.analog_unit_time.millis(),
+        report.delay.digital_latency.millis()
+    );
+    println!("breakdown by category:");
+    for (category, energy) in report.breakdown.by_category() {
+        if energy.joules() > 0.0 {
+            println!("  {:<7} {:>14.4} pJ", category.label(), energy.picojoules());
+        }
+    }
+    println!("breakdown by unit:");
+    for item in report.breakdown.items() {
+        let stage = item.stage.as_deref().unwrap_or("-");
+        println!(
+            "  {:<24} {:<7} stage={:<16} {:>14.4} pJ",
+            item.unit,
+            item.category.label(),
+            stage,
+            item.energy.picojoules()
+        );
+    }
+    for layer in &report.layers {
+        println!(
+            "layer {:?}: {:.4} mW over {:.4} mm2{}",
+            layer.layer,
+            layer.power.milliwatts(),
+            layer.area_mm2,
+            layer
+                .density_mw_per_mm2
+                .map_or(String::new(), |d| format!(" -> {d:.4} mW/mm2")),
+        );
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`workloads`](camj_workloads) — the paper's validation chips and
 //!   case-study workloads, ready to run,
 //! * [`explore`](camj_explore) — declarative design-space sweeps with a
-//!   parallel evaluator over the staged estimation pipeline.
+//!   parallel evaluator over the staged estimation pipeline,
+//! * [`desc`](camj_desc) — JSON design descriptions: load, validate,
+//!   estimate, and export designs without recompiling (see the `camj`
+//!   CLI and the golden files under `descriptions/`).
 //!
 //! # Quick start
 //!
@@ -48,6 +51,7 @@
 
 pub use camj_analog as analog;
 pub use camj_core as core;
+pub use camj_desc as desc;
 pub use camj_digital as digital;
 pub use camj_explore as explore;
 pub use camj_tech as tech;
