@@ -1,0 +1,141 @@
+//! [`Fingerprintable`] implementations for the analog substrate.
+//!
+//! A cell's fingerprint covers every parameter its energy equations
+//! read (Eq. 5–13): capacitances, swings, bias modes, converter
+//! resolutions and FoM overrides. Components add their cell ordering,
+//! access counts, and supply voltage; arrays add their geometry. Two
+//! analog units with equal fingerprints therefore produce bit-identical
+//! per-access energies under equal delay budgets — the property the
+//! cross-point estimate cache in `camj-core` relies on.
+
+use camj_tech::fingerprint::{Fingerprintable, FpHasher};
+
+use crate::array::AnalogArray;
+use crate::cell::{AnalogCell, BiasMode, CapacitorNode};
+use crate::component::{AnalogComponentSpec, CellInstance};
+use crate::domain::SignalDomain;
+
+impl Fingerprintable for SignalDomain {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag(match self {
+            SignalDomain::Optical => 0,
+            SignalDomain::Charge => 1,
+            SignalDomain::Voltage => 2,
+            SignalDomain::Current => 3,
+            SignalDomain::Time => 4,
+            SignalDomain::Digital => 5,
+        });
+    }
+}
+
+impl Fingerprintable for CapacitorNode {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_f64(self.capacitance_f);
+        h.write_f64(self.voltage_swing_v);
+    }
+}
+
+impl Fingerprintable for BiasMode {
+    fn feed(&self, h: &mut FpHasher) {
+        match self {
+            BiasMode::DirectDrive => h.write_tag(0),
+            BiasMode::GmId { gain, gm_over_id } => {
+                h.write_tag(1);
+                h.write_f64(*gain);
+                h.write_f64(*gm_over_id);
+            }
+        }
+    }
+}
+
+impl Fingerprintable for AnalogCell {
+    fn feed(&self, h: &mut FpHasher) {
+        match self {
+            AnalogCell::Dynamic { nodes } => {
+                h.write_tag(0);
+                nodes.feed(h);
+            }
+            AnalogCell::StaticBiased {
+                load_capacitance_f,
+                voltage_swing_v,
+                bias,
+            } => {
+                h.write_tag(1);
+                h.write_f64(*load_capacitance_f);
+                h.write_f64(*voltage_swing_v);
+                bias.feed(h);
+            }
+            AnalogCell::NonLinear { bits, survey } => {
+                h.write_tag(2);
+                h.write_u32(*bits);
+                survey.feed(h);
+            }
+        }
+    }
+}
+
+impl Fingerprintable for CellInstance {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_str(&self.label);
+        self.cell.feed(h);
+        h.write_u32(self.spatial);
+        h.write_u32(self.temporal);
+    }
+}
+
+impl Fingerprintable for AnalogComponentSpec {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_str(self.name());
+        self.input_domain().feed(h);
+        self.output_domain().feed(h);
+        h.write_f64(self.vdda());
+        self.cells().feed(h);
+    }
+}
+
+impl Fingerprintable for AnalogArray {
+    fn feed(&self, h: &mut FpHasher) {
+        self.component().feed(h);
+        h.write_u32(self.rows());
+        h.write_u32(self.cols());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{aps_4t, column_adc, column_adc_with_fom, ApsParams};
+
+    #[test]
+    fn identical_arrays_share_a_fingerprint() {
+        let a = AnalogArray::new(aps_4t(ApsParams::default()), 32, 32);
+        let b = AnalogArray::new(aps_4t(ApsParams::default()), 32, 32);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn geometry_changes_the_fingerprint() {
+        let a = AnalogArray::new(column_adc(10), 1, 16);
+        let b = AnalogArray::new(column_adc(10), 1, 32);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn adc_resolution_and_fom_change_the_fingerprint() {
+        assert_ne!(
+            AnalogArray::new(column_adc(10), 1, 16).fingerprint(),
+            AnalogArray::new(column_adc(12), 1, 16).fingerprint()
+        );
+        assert_ne!(
+            AnalogArray::new(column_adc(10), 1, 16).fingerprint(),
+            AnalogArray::new(column_adc_with_fom(10, 15e-15), 1, 16).fingerprint()
+        );
+    }
+
+    #[test]
+    fn cell_variants_are_tag_separated() {
+        let dynamic = AnalogCell::dynamic(100e-15, 1.0);
+        let biased = AnalogCell::source_follower(100e-15, 1.0);
+        assert_ne!(dynamic.fingerprint(), biased.fingerprint());
+    }
+}

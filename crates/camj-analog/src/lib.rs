@@ -46,6 +46,7 @@ pub mod cell;
 pub mod component;
 pub mod components;
 pub mod domain;
+pub mod fingerprint;
 pub mod noise;
 
 pub use array::AnalogArray;

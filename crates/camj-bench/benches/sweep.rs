@@ -12,8 +12,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use camj_core::energy::ValidatedModel;
-use camj_explore::{Explorer, PointError, Sweep};
+use camj_core::energy::{CacheStats, CamJ, EstimateReport, ValidatedModel};
+use camj_explore::{
+    DesignPoint, EstimateCache, Explorer, MemoryKind, PointError, Sweep, SweepResults,
+};
 use camj_tech::node::ProcessNode;
 use camj_workloads::configs::SensorVariant;
 use camj_workloads::{edgaze, quickstart};
@@ -168,5 +170,182 @@ fn rayon_threads() -> usize {
     rayon::current_num_threads()
 }
 
-criterion_group!(benches, bench_sweep_paths, speedup_summary);
+// ---------------------------------------------------------------------
+// 4-axis incremental sweep: fps × bit width × tech node × memory kind
+// ---------------------------------------------------------------------
+
+/// The 256-point Ed-Gaze 2D-In grid of the incremental-engine
+/// acceptance benchmark: 8 frame rates × 4 ADC bit widths × 4 CIS
+/// nodes × 2 frame-buffer structures.
+fn four_axis_sweep() -> Sweep {
+    Sweep::new()
+        .fps_targets((0..8).map(|i| 10.0 + 2.0 * f64::from(i)))
+        .bit_widths([8, 9, 10, 11])
+        .tech_nodes([
+            ProcessNode::N130,
+            ProcessNode::N110,
+            ProcessNode::N90,
+            ProcessNode::N65,
+        ])
+        .memory_kinds([MemoryKind::DoubleBuffer, MemoryKind::LineBuffer])
+}
+
+/// Builds the Ed-Gaze model a 4-axis grid point describes.
+fn build_point(point: &DesignPoint) -> Result<ValidatedModel, PointError> {
+    let config = edgaze::EdGazeConfig::new(SensorVariant::TwoDIn, point.node("tech_node"))
+        .with_adc_bits(point.u32("bit_width"))
+        .with_frame_buffer_kind(point.memory("memory"));
+    edgaze::model_with(config)
+        .map(CamJ::into_validated)
+        .map_err(PointError::new)
+}
+
+/// The PR 1 staged path on a multi-axis grid: every point rebuilds the
+/// model from the closure and re-runs validate → route → simulate →
+/// energy; the per-model caches never help because each model lives for
+/// exactly one point.
+fn staged_baseline(sweep: &Sweep) -> SweepResults<EstimateReport> {
+    Explorer::serial().run(sweep, |point| {
+        build_point(point)?
+            .estimate_at_fps(point.fps("fps"))
+            .map_err(PointError::from)
+    })
+}
+
+/// The incremental path: delta-planned grid, one model per rebuild
+/// group, one shared content-addressed cache across all points.
+fn incremental(explorer: &Explorer, sweep: &Sweep) -> (SweepResults<EstimateReport>, CacheStats) {
+    let cache = EstimateCache::shared();
+    let results = explorer.sweep_incremental(sweep, &cache, build_point);
+    let stats = cache.stats();
+    (results, stats)
+}
+
+/// Timed samples per mode: `CAMJ_BENCH_SAMPLES` (CI smoke sets 1),
+/// default 5.
+fn bench_samples() -> usize {
+    std::env::var("CAMJ_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5)
+}
+
+fn median_secs(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The acceptance benchmark: medians of the staged (PR 1) vs
+/// incremental paths on the 256-point grid, a bit-identity check
+/// between them, and a `BENCH_sweep.json` record at the workspace root.
+fn four_axis_summary(_c: &mut Criterion) {
+    let sweep = four_axis_sweep();
+    let samples = bench_samples();
+
+    // Correctness first: the incremental sweep must be bit-identical to
+    // the staged full-rebuild sweep, serial and parallel.
+    let reference = staged_baseline(&sweep);
+    assert_eq!(reference.error_count(), 0, "grid must be fully feasible");
+    let (serial_results, stats) = incremental(&Explorer::serial(), &sweep);
+    assert_eq!(
+        reference, serial_results,
+        "incremental serial sweep must be bit-identical to the staged baseline"
+    );
+    let (parallel_results, _) = incremental(&Explorer::parallel(), &sweep);
+    assert_eq!(
+        reference, parallel_results,
+        "incremental parallel sweep must be bit-identical to the staged baseline"
+    );
+
+    let time = |f: &dyn Fn()| {
+        let mut t: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        median_secs(&mut t)
+    };
+    let baseline_s = time(&|| {
+        black_box(staged_baseline(&sweep).ok_count());
+    });
+    let incremental_serial_s = time(&|| {
+        black_box(incremental(&Explorer::serial(), &sweep).0.ok_count());
+    });
+    let incremental_parallel_s = time(&|| {
+        black_box(incremental(&Explorer::parallel(), &sweep).0.ok_count());
+    });
+
+    println!();
+    println!(
+        "sweep4axis (edgaze 2D-In, {} points: fps x bit_width x tech_node x memory), \
+         median of {samples}:",
+        sweep.len()
+    );
+    println!("  staged per-point (PR 1):  {:8.1} ms", baseline_s * 1e3);
+    println!(
+        "  incremental serial:       {:8.1} ms  ({:5.2}x)",
+        incremental_serial_s * 1e3,
+        baseline_s / incremental_serial_s
+    );
+    println!(
+        "  incremental parallel:     {:8.1} ms  ({:5.2}x, {} worker thread(s))",
+        incremental_parallel_s * 1e3,
+        baseline_s / incremental_parallel_s,
+        rayon_threads()
+    );
+    println!("  cache: {stats}");
+
+    let record = BenchRecord {
+        workload: "edgaze 2D-In".to_owned(),
+        grid: "fps(8) x bit_width(4) x tech_node(4) x memory(2)".to_owned(),
+        points: sweep.len(),
+        samples,
+        staged_baseline_ms: baseline_s * 1e3,
+        incremental_serial_ms: incremental_serial_s * 1e3,
+        incremental_parallel_ms: incremental_parallel_s * 1e3,
+        speedup_serial: baseline_s / incremental_serial_s,
+        speedup_parallel: baseline_s / incremental_parallel_s,
+        bit_identical: true,
+        worker_threads: rayon_threads(),
+        cache: stats,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match serde_json::to_string_pretty(&record) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("[warn: could not write {path}: {e}]");
+            } else {
+                println!("  wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("[warn: could not serialise the bench record: {e}]"),
+    }
+}
+
+/// The committed `BENCH_sweep.json` schema.
+#[derive(serde::Serialize)]
+struct BenchRecord {
+    workload: String,
+    grid: String,
+    points: usize,
+    samples: usize,
+    staged_baseline_ms: f64,
+    incremental_serial_ms: f64,
+    incremental_parallel_ms: f64,
+    speedup_serial: f64,
+    speedup_parallel: f64,
+    bit_identical: bool,
+    worker_threads: usize,
+    cache: CacheStats,
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_paths,
+    speedup_summary,
+    four_axis_summary
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! * Fig. 13 — compute-vs-memory breakdown of the first two stages.
 
 use camj_core::energy::{EnergyCategory, EstimateReport};
-use camj_explore::{Explorer, PointError, Sweep};
+use camj_explore::{EstimateCache, Explorer, PointError, Sweep};
 use camj_tech::node::ProcessNode;
 use camj_workloads::configs::SensorVariant;
 use camj_workloads::edgaze;
@@ -56,8 +56,8 @@ pub struct Fig13Row {
 }
 
 /// The Fig. 11–13 (node × {2D-In, 2D-In-Mixed}) grid, estimated in
-/// parallel through `camj-explore` and returned in the figures'
-/// presentation order.
+/// parallel through the incremental engine (one shared estimate cache
+/// across the grid) and returned in the figures' presentation order.
 fn mixed_signal_grid() -> Vec<(SensorVariant, ProcessNode, EstimateReport)> {
     let sweep = Sweep::new()
         .tech_nodes([ProcessNode::N130, ProcessNode::N65])
@@ -67,13 +67,13 @@ fn mixed_signal_grid() -> Vec<(SensorVariant, ProcessNode, EstimateReport)> {
                 .iter()
                 .map(|v| v.label()),
         );
-    let results = Explorer::parallel().run(&sweep, |point| {
+    let cache = EstimateCache::shared();
+    let results = Explorer::parallel().sweep_incremental(&sweep, &cache, |point| {
         let node = point.node("tech_node");
         let variant =
             SensorVariant::from_label(point.text("variant")).expect("axis built from labels");
         edgaze::model(variant, node)
-            .and_then(|m| m.estimate().map_err(Into::into))
-            .map(|report| (variant, node, report))
+            .map(camj_core::energy::CamJ::into_validated)
             .map_err(PointError::new)
     });
     if let Some((point, e)) = results.failures().next() {
@@ -82,7 +82,12 @@ fn mixed_signal_grid() -> Vec<(SensorVariant, ProcessNode, EstimateReport)> {
     results
         .into_outcomes()
         .into_iter()
-        .map(|o| o.result.expect("failures handled above"))
+        .map(|o| {
+            let node = o.point.node("tech_node");
+            let variant =
+                SensorVariant::from_label(o.point.text("variant")).expect("axis built from labels");
+            (variant, node, o.result.expect("failures handled above"))
+        })
         .collect()
 }
 

@@ -3,7 +3,7 @@
 //! 130 nm and 65 nm CIS nodes.
 
 use camj_core::energy::EnergyCategory;
-use camj_explore::{Explorer, PointError, Sweep};
+use camj_explore::{EstimateCache, Explorer, PointError, Sweep};
 use camj_tech::node::ProcessNode;
 use camj_workloads::configs::SensorVariant;
 use camj_workloads::{edgaze, rhythmic, WorkloadError};
@@ -43,26 +43,23 @@ fn run_workload(
     variants: &[SensorVariant],
     build: impl Fn(SensorVariant, ProcessNode) -> Result<camj_core::energy::CamJ, WorkloadError> + Sync,
 ) -> Vec<Fig9Bar> {
-    // The paper's (node × variant) grid as a declarative sweep; points
-    // estimate in parallel and come back in grid order, so the bars
-    // print exactly as the serial loop used to.
+    // The paper's (node × variant) grid as a declarative sweep, driven
+    // through the incremental engine: one shared estimate cache, one
+    // model per (node, variant) group, and content-addressed reuse of
+    // simulations and energy kernels across the grid. Results come back
+    // in grid order, so the bars print exactly as the serial loop used
+    // to.
     let sweep = Sweep::new()
         .tech_nodes([ProcessNode::N130, ProcessNode::N65])
         .labels("variant", variants.iter().map(|v| v.label()));
-    let results = Explorer::parallel().run(&sweep, |point| {
+    let cache = EstimateCache::shared();
+    let results = Explorer::parallel().sweep_incremental(&sweep, &cache, |point| {
         let node = point.node("tech_node");
         let variant =
             SensorVariant::from_label(point.text("variant")).expect("axis built from labels");
-        let report = build(variant, node)
-            .and_then(|m| m.estimate().map_err(WorkloadError::from))
-            .map_err(PointError::new)?;
-        Ok(Fig9Bar {
-            workload: name.to_owned(),
-            variant: variant.label().to_owned(),
-            cis_node_nm: node.nanometers(),
-            categories: categories_of(&report),
-            total_uj: report.total().microjoules(),
-        })
+        build(variant, node)
+            .map(camj_core::energy::CamJ::into_validated)
+            .map_err(PointError::new)
     });
     // Figures are paper artifacts: every grid point must estimate.
     if let Some((point, e)) = results.failures().next() {
@@ -71,7 +68,19 @@ fn run_workload(
     results
         .into_outcomes()
         .into_iter()
-        .map(|o| o.result.expect("failures handled above"))
+        .map(|o| {
+            let node = o.point.node("tech_node");
+            let variant =
+                SensorVariant::from_label(o.point.text("variant")).expect("axis built from labels");
+            let report = o.result.expect("failures handled above");
+            Fig9Bar {
+                workload: name.to_owned(),
+                variant: variant.label().to_owned(),
+                cis_node_nm: node.nanometers(),
+                categories: categories_of(&report),
+                total_uj: report.total().microjoules(),
+            }
+        })
         .collect()
 }
 

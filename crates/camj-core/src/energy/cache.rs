@@ -1,0 +1,306 @@
+//! The cross-point estimate cache: a sharded concurrent map from input
+//! [`Fingerprint`]s to computed artifacts.
+//!
+//! One cache is shared by every design point of a sweep (and by every
+//! worker thread of a parallel sweep). Three artifact families live in
+//! it, all keyed content-addressed — by a hash of *everything the
+//! computation reads* — so a hit is guaranteed to replay a bit-identical
+//! result:
+//!
+//! * **elastic simulations** ([`ElasticSim`]): the expensive cycle-level
+//!   digital simulation, keyed by the dataflow topology (stages, rates,
+//!   buffer geometry, clock) and *not* by energy parameters — so points
+//!   differing only in technology node, bit width, or memory energy
+//!   share one simulation,
+//! * **energy kernel outputs** (`Vec<EnergyItem>`): the per-domain
+//!   energy bookings of [`super::EnergyKernel`]s, keyed by component
+//!   parameters + inferred access counts + the delay budget,
+//! * **stall verdicts**: the fastest per-stage readout time known to
+//!   pass the constant-rate stall check for a given topology — stall
+//!   freedom is monotone in the readout time, so one cached pass settles
+//!   every slower point. Failures are never cached: each failing point
+//!   re-simulates so its overflow diagnosis stays exact.
+//!
+//! Locking: the map is split into [`SHARD_COUNT`] mutex-guarded shards
+//! selected by the fingerprint's low half. A shard's lock **is held
+//! while computing a missing entry** — that serialises duplicate
+//! requests for the same expensive simulation into one computation
+//! instead of racing N workers through it, while requests for different
+//! shards proceed untouched.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use camj_tech::fingerprint::Fingerprint;
+
+use crate::error::CamjError;
+
+use super::breakdown::EnergyItem;
+use super::pipeline::ElasticSim;
+
+/// Number of independent shards; a power of two keeps selection cheap.
+pub const SHARD_COUNT: usize = 64;
+
+/// A point-in-time snapshot of cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored the result).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate resident payload size in bytes.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero for an unused cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {} entries, ~{} KiB)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.bytes / 1024
+        )
+    }
+}
+
+/// One stored artifact.
+#[derive(Debug, Clone)]
+enum CacheEntry {
+    Elastic(Arc<Result<ElasticSim, CamjError>>),
+    Energy(Arc<Vec<EnergyItem>>),
+    /// Fastest per-stage readout time (seconds) known to pass the stall
+    /// check for this topology.
+    StallPass(f64),
+}
+
+/// The sharded cross-point cache. Cheap to share: wrap it in an [`Arc`]
+/// and hand clones to every model / worker of a sweep.
+#[derive(Debug)]
+pub struct EstimateCache {
+    shards: Vec<Mutex<HashMap<Fingerprint, CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Default for EstimateCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EstimateCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty cache behind an [`Arc`], ready to thread through a sweep.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<Fingerprint, CacheEntry>> {
+        &self.shards[fp.shard(SHARD_COUNT)]
+    }
+
+    /// The elastic simulation for topology `fp`, computing (and storing)
+    /// it on first request. The shard lock is held across `compute`, so
+    /// concurrent requests for the same topology run it exactly once.
+    pub fn elastic_or(
+        &self,
+        fp: Fingerprint,
+        compute: impl FnOnce() -> Result<ElasticSim, CamjError>,
+    ) -> Arc<Result<ElasticSim, CamjError>> {
+        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        if let Some(CacheEntry::Elastic(arc)) = shard.get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(arc);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        self.bytes
+            .fetch_add(approx_elastic_bytes(&value), Ordering::Relaxed);
+        shard.insert(fp, CacheEntry::Elastic(Arc::clone(&value)));
+        value
+    }
+
+    /// The energy items for kernel input `fp`, computing (and storing)
+    /// them on first request.
+    pub fn energy_or(
+        &self,
+        fp: Fingerprint,
+        compute: impl FnOnce() -> Vec<EnergyItem>,
+    ) -> Arc<Vec<EnergyItem>> {
+        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        if let Some(CacheEntry::Energy(arc)) = shard.get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(arc);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        self.bytes
+            .fetch_add(approx_energy_bytes(&value), Ordering::Relaxed);
+        shard.insert(fp, CacheEntry::Energy(Arc::clone(&value)));
+        value
+    }
+
+    /// Whether a readout of `t_a_secs` per analog stage is already known
+    /// to pass the stall check for topology `fp` (monotonicity: any
+    /// readout at least as slow as a recorded pass also passes).
+    ///
+    /// Counts both outcomes: a settled lookup is a hit, an unsettled
+    /// one (which the caller answers with a stall simulation) is a
+    /// miss — so [`CacheStats::hit_rate`] stays honest across all three
+    /// artifact families.
+    #[must_use]
+    pub fn stall_settled(&self, fp: Fingerprint, t_a_secs: f64) -> bool {
+        let shard = self.shard(fp).lock().expect("cache shard lock");
+        let settled = matches!(
+            shard.get(&fp),
+            Some(CacheEntry::StallPass(pass_min)) if t_a_secs >= *pass_min
+        );
+        drop(shard);
+        if settled {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        settled
+    }
+
+    /// Records that readout `t_a_secs` passed the stall check for
+    /// topology `fp`, keeping the fastest known pass.
+    pub fn record_stall_pass(&self, fp: Fingerprint, t_a_secs: f64) {
+        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        match shard.get_mut(&fp) {
+            Some(CacheEntry::StallPass(pass_min)) => {
+                *pass_min = pass_min.min(t_a_secs);
+            }
+            Some(_) => {}
+            None => {
+                self.bytes.fetch_add(48, Ordering::Relaxed);
+                shard.insert(fp, CacheEntry::StallPass(t_a_secs));
+            }
+        }
+    }
+
+    /// A snapshot of the hit/miss counters and resident size.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Rough resident size of an elastic-simulation entry.
+fn approx_elastic_bytes(value: &Result<ElasticSim, CamjError>) -> u64 {
+    match value {
+        Ok(sim) => {
+            let report = sim.report.as_ref();
+            let stages = report.map_or(0, |r| r.stages.len()) as u64;
+            let buffers = report.map_or(0, |r| r.buffers.len()) as u64;
+            96 + stages * 56 + buffers * 64
+        }
+        Err(_) => 128,
+    }
+}
+
+/// Rough resident size of an energy-kernel entry.
+fn approx_energy_bytes(items: &[EnergyItem]) -> u64 {
+    items
+        .iter()
+        .map(|i| 96 + i.unit.len() as u64 + i.stage.as_ref().map_or(0, |s| s.len() as u64))
+        .sum::<u64>()
+        + 48
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::fingerprint::Fingerprintable;
+
+    #[test]
+    fn energy_entries_replay_identically() {
+        let cache = EstimateCache::new();
+        let fp = ("kernel", 1u32).fingerprint();
+        let first = cache.energy_or(fp, Vec::new);
+        let second = cache.energy_or(fp, || panic!("must not recompute"));
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn stall_passes_are_monotone() {
+        let cache = EstimateCache::new();
+        let fp = ("topology", 7u32).fingerprint();
+        assert!(!cache.stall_settled(fp, 1.0));
+        cache.record_stall_pass(fp, 0.5);
+        assert!(cache.stall_settled(fp, 0.5));
+        assert!(cache.stall_settled(fp, 2.0));
+        assert!(!cache.stall_settled(fp, 0.1));
+        cache.record_stall_pass(fp, 0.1);
+        assert!(cache.stall_settled(fp, 0.1));
+    }
+
+    #[test]
+    fn artifact_families_do_not_collide() {
+        // Same base fingerprint, different derived domains.
+        let cache = EstimateCache::new();
+        let base = ("model", 3u32).fingerprint();
+        cache.record_stall_pass(base.derive("stall"), 0.2);
+        let energy = cache.energy_or(base.derive("energy"), Vec::new);
+        assert!(energy.is_empty());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn stats_display_is_human_readable() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+            bytes: 2048,
+        };
+        let text = s.to_string();
+        assert!(text.contains("75.0%"), "{text}");
+    }
+}

@@ -1,0 +1,549 @@
+//! Per-domain energy kernels: the four independent passes of the
+//! **energy** stage, each behind the unified [`EnergyKernel`] trait.
+//!
+//! A kernel is a *resolved* computation: its constructor runs the
+//! model-wide derivations (analog access counting, simulated traffic
+//! aggregation, DNN weight-loading attribution) once, leaving `compute`
+//! a pure function of the captured inputs. That purity is what makes
+//! kernels content-addressable — [`EnergyKernel::fingerprint`] hashes
+//! exactly the captured inputs (component parameters, inferred access
+//! counts, the delay budget, technology-derived energies), so two
+//! kernels with equal fingerprints are guaranteed to produce
+//! bit-identical [`EnergyItem`] lists, and the cross-point
+//! [`EstimateCache`](super::EstimateCache) can replay one's output for
+//! the other.
+//!
+//! The four kernels mirror the paper's Eq. 1 decomposition plus
+//! communication:
+//!
+//! | kernel | paper | books |
+//! |---|---|---|
+//! | [`AnalogKernel`] | Eq. 2–13 | pixel arrays, ADCs, analog PEs/memories |
+//! | [`DigitalComputeKernel`] | Eq. 15 | pipelined accelerators, systolic arrays |
+//! | [`DigitalMemoryKernel`] | Eq. 16 | SRAM/STT-RAM dynamic traffic + leakage |
+//! | [`InterfaceKernel`] | Eq. 17 | µTSV / MIPI layer crossings |
+
+use std::collections::BTreeMap;
+
+use camj_digital::sim::SimReport;
+use camj_tech::fingerprint::{Fingerprint, Fingerprintable, FpHasher};
+use camj_tech::units::Time;
+
+use crate::delay::DelayEstimate;
+use crate::hw::{DigitalUnitKind, HardwareDesc, Layer};
+use crate::route::Route;
+use crate::sw::StageKind;
+
+use super::breakdown::EnergyItem;
+use super::category::EnergyCategory;
+use super::pipeline::{StagePlan, ValidatedModel};
+
+/// Which energy domain a kernel books.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Analog functional arrays (sensing, analog compute, analog memory).
+    Analog,
+    /// Digital compute units (pipelined accelerators, systolic arrays).
+    DigitalCompute,
+    /// Digital memory structures (dynamic traffic + leakage).
+    DigitalMemory,
+    /// Layer-crossing interfaces (µTSV, MIPI).
+    Interface,
+}
+
+impl KernelKind {
+    /// All kinds, in booking order (the order items appear in a
+    /// breakdown).
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Analog,
+        KernelKind::DigitalCompute,
+        KernelKind::DigitalMemory,
+        KernelKind::Interface,
+    ];
+
+    /// Short human label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Analog => "analog",
+            KernelKind::DigitalCompute => "digital-compute",
+            KernelKind::DigitalMemory => "digital-memory",
+            KernelKind::Interface => "interface",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            KernelKind::Analog => 0xa0,
+            KernelKind::DigitalCompute => 0xa1,
+            KernelKind::DigitalMemory => 0xa2,
+            KernelKind::Interface => 0xa3,
+        }
+    }
+}
+
+/// A resolved, content-addressable energy computation.
+pub trait EnergyKernel {
+    /// The energy domain this kernel books.
+    fn kind(&self) -> KernelKind;
+
+    /// Feeds every captured input into `h`. Implementations must cover
+    /// *everything* [`EnergyKernel::compute`] reads — the cache replays
+    /// outputs across design points on the strength of this hash.
+    fn feed(&self, h: &mut FpHasher);
+
+    /// This kernel's cache key: the kind tag plus all captured inputs.
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_tag(self.kind().tag());
+        self.feed(&mut h);
+        h.finish()
+    }
+
+    /// Books the kernel's energy items, in deterministic order.
+    fn compute(&self) -> Vec<EnergyItem>;
+}
+
+// ---------------------------------------------------------------------
+// Analog
+// ---------------------------------------------------------------------
+
+/// Analog energy (Sec. 4.2, Eq. 2–3): access counts inferred from the
+/// mapping and routing, per-access energy from the component models
+/// under the inferred delay budget.
+pub struct AnalogKernel<'a> {
+    hw: &'a HardwareDesc,
+    analog_unit_time: Time,
+    accesses: BTreeMap<String, f64>,
+    attribution: BTreeMap<String, String>,
+}
+
+impl<'a> AnalogKernel<'a> {
+    /// Resolves per-unit access counts and stage attributions from the
+    /// model's mapping and routes.
+    pub(crate) fn new(model: &'a ValidatedModel, delay: &DelayEstimate) -> Self {
+        let hw = model.hardware();
+        let algo = model.algorithm();
+        let mapping = model.mapping();
+        let mut accesses: BTreeMap<String, f64> = BTreeMap::new();
+        let mut attribution: BTreeMap<String, String> = BTreeMap::new();
+
+        // Mapped stages: the exit stage of each fused group drives the
+        // unit's access count.
+        for unit in hw.analog_units() {
+            for stage_name in mapping.stages_on(unit.name()) {
+                let Some(stage) = algo.stage(stage_name) else {
+                    continue;
+                };
+                let consumers = algo.consumers_of(stage_name);
+                let is_exit = consumers.is_empty()
+                    || consumers
+                        .iter()
+                        .any(|c| mapping.unit_for(c) != Some(unit.name()));
+                if is_exit {
+                    *accesses.entry(unit.name().to_owned()).or_default() +=
+                        stage.output_size().count() as f64 * unit.ops_per_stage_output();
+                    attribution.insert(unit.name().to_owned(), stage_name.to_owned());
+                }
+            }
+        }
+
+        // Pass-through units on routes: ADC arrays convert every pixel;
+        // analog buffers additionally serve the consumer's reads.
+        for route in model.routes() {
+            let inter = route.intermediates();
+            for (i, hop) in inter.iter().enumerate() {
+                if hw.analog(hop).is_none() {
+                    continue;
+                }
+                *accesses.entry(hop.clone()).or_default() += route.pixels as f64;
+                let is_last = i + 1 == inter.len();
+                if is_last {
+                    if let Some(to_stage) = &route.to_stage {
+                        let consumer_unit = mapping.unit_for(to_stage);
+                        let consumer_is_analog =
+                            consumer_unit.is_some_and(|u| hw.analog(u).is_some());
+                        if consumer_is_analog {
+                            let cons = algo.stage(to_stage).expect("stage exists");
+                            *accesses.entry(hop.clone()).or_default() +=
+                                cons.reads_per_output() * cons.output_size().count() as f64;
+                        }
+                    }
+                }
+                attribution
+                    .entry(hop.clone())
+                    .or_insert_with(|| route.from_stage.clone());
+            }
+        }
+
+        Self {
+            hw,
+            analog_unit_time: delay.analog_unit_time,
+            accesses,
+            attribution,
+        }
+    }
+}
+
+impl EnergyKernel for AnalogKernel<'_> {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Analog
+    }
+
+    fn feed(&self, h: &mut FpHasher) {
+        self.analog_unit_time.feed(h);
+        // Only units with a non-zero access count contribute items; the
+        // rest are invisible to `compute` and stay out of the key.
+        for unit in self.hw.analog_units() {
+            let Some(&n) = self.accesses.get(unit.name()) else {
+                continue;
+            };
+            if n <= 0.0 {
+                continue;
+            }
+            unit.feed(h);
+            h.write_f64(n);
+            self.attribution.get(unit.name()).feed(h);
+        }
+    }
+
+    fn compute(&self) -> Vec<EnergyItem> {
+        let mut items = Vec::new();
+        for unit in self.hw.analog_units() {
+            let Some(&n) = self.accesses.get(unit.name()) else {
+                continue;
+            };
+            if n <= 0.0 {
+                continue;
+            }
+            // Eq. 3: accesses spread uniformly over the AFA's components;
+            // each component gets T_A / (n / count) per access.
+            let per_component = n / unit.array().component_count() as f64;
+            let per_access_delay = self.analog_unit_time / per_component.max(1.0);
+            let energy = unit.array().component().energy_per_access(per_access_delay) * n;
+            items.push(EnergyItem {
+                unit: unit.name().to_owned(),
+                stage: self.attribution.get(unit.name()).cloned(),
+                category: match unit.category() {
+                    crate::hw::AnalogCategory::Sensing => EnergyCategory::Sensing,
+                    crate::hw::AnalogCategory::Compute => EnergyCategory::AnalogCompute,
+                    crate::hw::AnalogCategory::Memory => EnergyCategory::AnalogMemory,
+                },
+                layer: unit.layer(),
+                energy,
+            });
+        }
+        items
+    }
+}
+
+// ---------------------------------------------------------------------
+// Digital compute
+// ---------------------------------------------------------------------
+
+/// The work a digital unit performed for one stage, as resolved from
+/// the simulation (or its static fallback).
+enum Work {
+    Cycles(u64),
+    Macs(u64),
+}
+
+impl Fingerprintable for Work {
+    fn feed(&self, h: &mut FpHasher) {
+        match self {
+            Work::Cycles(c) => {
+                h.write_tag(0);
+                h.write_u64(*c);
+            }
+            Work::Macs(m) => {
+                h.write_tag(1);
+                h.write_u64(*m);
+            }
+        }
+    }
+}
+
+struct ComputeRow {
+    stage: String,
+    unit: String,
+    work: Work,
+}
+
+/// Digital compute energy (Eq. 15): per-cycle energy × simulated cycles
+/// for pipelined units, per-MAC energy × MACs for systolic arrays.
+pub struct DigitalComputeKernel<'a> {
+    hw: &'a HardwareDesc,
+    rows: Vec<ComputeRow>,
+}
+
+impl<'a> DigitalComputeKernel<'a> {
+    /// Resolves each planned stage's work from the simulation report.
+    pub(crate) fn new(
+        model: &'a ValidatedModel,
+        plans: &[StagePlan<'_>],
+        sim: Option<&SimReport>,
+    ) -> Self {
+        let hw = model.hardware();
+        let mapping = model.mapping();
+        let rows = plans
+            .iter()
+            .map(|plan| {
+                let unit_name = mapping
+                    .unit_for(plan.stage.name())
+                    .expect("planned stages are mapped");
+                let unit = hw.digital(unit_name).expect("planned units are digital");
+                let work = match unit.kind() {
+                    DigitalUnitKind::Pipelined(_) => {
+                        let cycles = sim
+                            .and_then(|r| r.stage(plan.stage.name()))
+                            .map_or(plan.firings, |s| s.active_cycles);
+                        Work::Cycles(cycles)
+                    }
+                    DigitalUnitKind::Systolic(_) => {
+                        let macs = match plan.stage.kind() {
+                            StageKind::Dnn { macs, .. } => macs,
+                            _ => plan.stage.ops_per_frame(),
+                        };
+                        Work::Macs(macs)
+                    }
+                };
+                ComputeRow {
+                    stage: plan.stage.name().to_owned(),
+                    unit: unit_name.to_owned(),
+                    work,
+                }
+            })
+            .collect();
+        Self { hw, rows }
+    }
+}
+
+impl EnergyKernel for DigitalComputeKernel<'_> {
+    fn kind(&self) -> KernelKind {
+        KernelKind::DigitalCompute
+    }
+
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_usize(self.rows.len());
+        for row in &self.rows {
+            h.write_str(&row.stage);
+            let unit = self.hw.digital(&row.unit).expect("row units are digital");
+            unit.feed(h);
+            row.work.feed(h);
+        }
+    }
+
+    fn compute(&self) -> Vec<EnergyItem> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let unit = self.hw.digital(&row.unit).expect("row units are digital");
+                let energy = match (unit.kind(), &row.work) {
+                    (DigitalUnitKind::Pipelined(cu), Work::Cycles(cycles)) => {
+                        cu.energy_per_cycle() * *cycles as f64
+                    }
+                    (DigitalUnitKind::Systolic(sa), Work::Macs(macs)) => sa.energy_for_macs(*macs),
+                    _ => unreachable!("work kind follows unit kind by construction"),
+                };
+                EnergyItem {
+                    unit: row.unit.clone(),
+                    stage: Some(row.stage.clone()),
+                    category: EnergyCategory::DigitalCompute,
+                    layer: unit.layer(),
+                    energy,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Digital memory
+// ---------------------------------------------------------------------
+
+/// Digital memory energy (Eq. 16): dynamic traffic from the simulation
+/// plus DNN weight loading, and leakage over the powered fraction of
+/// the frame.
+pub struct DigitalMemoryKernel<'a> {
+    hw: &'a HardwareDesc,
+    frame_time: Time,
+    /// Per-memory `(pixels_read, pixels_written)`.
+    traffic: BTreeMap<String, (f64, f64)>,
+    /// Per-memory consuming stage, from the first route through it.
+    attribution: BTreeMap<String, Option<String>>,
+}
+
+impl<'a> DigitalMemoryKernel<'a> {
+    /// Aggregates simulated traffic and DNN weight loads per memory.
+    pub(crate) fn new(
+        model: &'a ValidatedModel,
+        plans: &[StagePlan<'_>],
+        sim: Option<&SimReport>,
+        delay: &DelayEstimate,
+    ) -> Self {
+        let hw = model.hardware();
+        let algo = model.algorithm();
+        let mut traffic: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        if let Some(report) = sim {
+            for buf in &report.buffers {
+                let slot = traffic.entry(buf.name.clone()).or_default();
+                slot.0 += buf.pixels_read;
+                slot.1 += buf.pixels_written;
+            }
+        }
+        // DNN weights are loaded into the stage's input buffer once per
+        // frame (weight-stationary reuse across the frame's tiles).
+        for plan in plans {
+            if let StageKind::Dnn { weights, .. } = plan.stage.kind() {
+                for producer in algo.producers_of(plan.stage.name()) {
+                    let buffer = model.buffer_between(producer, plan.stage.name());
+                    if hw.memory(buffer.name()).is_some() {
+                        traffic.entry(buffer.name().to_owned()).or_default().1 += weights as f64;
+                    }
+                }
+            }
+        }
+        let attribution = hw
+            .memories()
+            .iter()
+            .map(|mem| {
+                let stage = model
+                    .routes()
+                    .iter()
+                    .find(|r| r.intermediates().iter().any(|h| h == mem.name()))
+                    .and_then(|r| r.to_stage.clone());
+                (mem.name().to_owned(), stage)
+            })
+            .collect();
+        Self {
+            hw,
+            frame_time: delay.frame_time,
+            traffic,
+            attribution,
+        }
+    }
+}
+
+impl EnergyKernel for DigitalMemoryKernel<'_> {
+    fn kind(&self) -> KernelKind {
+        KernelKind::DigitalMemory
+    }
+
+    fn feed(&self, h: &mut FpHasher) {
+        self.frame_time.feed(h);
+        for mem in self.hw.memories() {
+            let (reads, writes) = self.traffic.get(mem.name()).copied().unwrap_or((0.0, 0.0));
+            mem.feed(h);
+            h.write_f64(reads);
+            h.write_f64(writes);
+            self.attribution.get(mem.name()).feed(h);
+        }
+    }
+
+    fn compute(&self) -> Vec<EnergyItem> {
+        let mut items = Vec::new();
+        for mem in self.hw.memories() {
+            let (reads, writes) = self.traffic.get(mem.name()).copied().unwrap_or((0.0, 0.0));
+            let s = mem.structure();
+            let dynamic = s.dynamic_energy(reads, writes);
+            let leakage = s.leakage() * self.frame_time * s.active_fraction();
+            let energy = dynamic + leakage;
+            if energy.joules() == 0.0 {
+                continue;
+            }
+            items.push(EnergyItem {
+                unit: mem.name().to_owned(),
+                stage: self.attribution.get(mem.name()).cloned().flatten(),
+                category: EnergyCategory::DigitalMemory,
+                layer: mem.layer(),
+                energy,
+            });
+        }
+        items
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interface
+// ---------------------------------------------------------------------
+
+/// Communication energy (Eq. 17): bytes crossing layer boundaries pay
+/// the boundary's interface energy; results exiting the package pay
+/// MIPI.
+pub struct InterfaceKernel<'a> {
+    routes: &'a [Route],
+    /// Per-route `(unit, layer)` hop lists, host exits appended.
+    hops: Vec<Vec<(String, Layer)>>,
+}
+
+impl<'a> InterfaceKernel<'a> {
+    /// Resolves each route's layer-crossing hop list.
+    pub(crate) fn new(model: &'a ValidatedModel) -> Self {
+        let hw = model.hardware();
+        let hops = model
+            .routes()
+            .iter()
+            .map(|route| {
+                let mut hops: Vec<(String, Layer)> = route
+                    .path
+                    .iter()
+                    .map(|h| (h.clone(), hw.layer_of(h).expect("path units exist")))
+                    .collect();
+                if route.is_host_exit() {
+                    hops.push(("<host>".to_owned(), Layer::OffChip));
+                }
+                hops
+            })
+            .collect();
+        Self {
+            routes: model.routes(),
+            hops,
+        }
+    }
+}
+
+impl EnergyKernel for InterfaceKernel<'_> {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Interface
+    }
+
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_usize(self.routes.len());
+        for (route, hops) in self.routes.iter().zip(&self.hops) {
+            h.write_str(&route.from_stage);
+            h.write_u64(route.bytes);
+            h.write_usize(hops.len());
+            for (unit, layer) in hops {
+                h.write_str(unit);
+                layer.feed(h);
+            }
+        }
+    }
+
+    fn compute(&self) -> Vec<EnergyItem> {
+        use camj_tech::interface::Interface;
+        let mut items = Vec::new();
+        for (route, hops) in self.routes.iter().zip(&self.hops) {
+            for pair in hops.windows(2) {
+                let (from, from_layer) = &pair[0];
+                let (_, to_layer) = &pair[1];
+                let Some(iface) = from_layer.interface_to(*to_layer) else {
+                    continue;
+                };
+                let category = match iface {
+                    Interface::MicroTsv => EnergyCategory::MicroTsv,
+                    // Custom interfaces are booked as package-exit links.
+                    Interface::MipiCsi2 | Interface::Custom { .. } => EnergyCategory::Mipi,
+                };
+                items.push(EnergyItem {
+                    unit: format!("{}:{}", category.label(), from),
+                    stage: Some(route.from_stage.clone()),
+                    category,
+                    layer: *from_layer,
+                    energy: iface.transfer_energy(route.bytes),
+                });
+            }
+        }
+        items
+    }
+}

@@ -1,12 +1,20 @@
-//! Energy estimation: categories, breakdowns, the staged pipeline, and
-//! the estimator facade.
+//! Energy estimation: categories, breakdowns, the staged pipeline with
+//! its content-addressed energy kernels and cross-point cache, and the
+//! estimator facade.
 
 mod breakdown;
+mod cache;
 mod category;
+mod kernel;
 mod model;
 mod pipeline;
 
 pub use breakdown::{EnergyBreakdown, EnergyItem};
+pub use cache::{CacheStats, EstimateCache, SHARD_COUNT};
 pub use category::EnergyCategory;
+pub use kernel::{
+    AnalogKernel, DigitalComputeKernel, DigitalMemoryKernel, EnergyKernel, InterfaceKernel,
+    KernelKind,
+};
 pub use model::{CamJ, EstimateReport};
 pub use pipeline::{ElasticSim, ValidatedModel};

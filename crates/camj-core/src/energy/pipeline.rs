@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! validate ─→ route ─→ simulate ─→ estimate_delay ─→ energy
-//! (new)       (new)    (cached)     (per FPS)         (per FPS)
+//! (new)       (new)    (cached)     (per FPS)         (kernels)
 //! ```
 //!
 //! * **validate + route** run once, in [`ValidatedModel::new`]: the
@@ -14,25 +14,33 @@
 //!   intrinsic to the design, not to the frame-rate target.
 //! * **simulate** ([`ValidatedModel::simulate`]) runs the elastic
 //!   cycle-level simulation that measures digital latency `T_D`. It is
-//!   FPS-independent, so the result is memoised — re-estimating the
-//!   same design at another frame rate (the common design-space-sweep
-//!   axis) reuses it for free.
+//!   FPS-independent, so the result is memoised per model — and, when a
+//!   cross-point [`EstimateCache`] is attached, shared across *models*
+//!   keyed by [`ValidatedModel::sim_fingerprint`]: a hash of the
+//!   dataflow topology only, independent of analog parameters and
+//!   energy numbers, so sweeping bit widths or technology nodes pays
+//!   for one simulation, not one per point.
 //! * **estimate_delay** ([`ValidatedModel::estimate_delay`]) solves the
 //!   frame budget `N_A·T_A + T_D = 1/FPS` (Sec. 4.1).
 //! * **energy** ([`ValidatedModel::energy_breakdown`]) books the three
-//!   energy domains of Eq. 1 plus communication.
+//!   energy domains of Eq. 1 plus communication through the four
+//!   [`EnergyKernel`](super::EnergyKernel)s, each content-addressed by
+//!   a fingerprint of its resolved inputs and replayed from the shared
+//!   cache on a hit.
 //!
 //! [`ValidatedModel::estimate`] chains the stages into the classic
 //! one-call flow (including the constant-rate-readout stall check);
 //! [`ValidatedModel::estimate_at_fps`] re-runs only the FPS-dependent
 //! tail. The `camj-explore` crate drives either entry point across
-//! design grids in parallel.
+//! design grids in parallel, threading one shared cache through every
+//! point via [`ValidatedModel::with_cache`].
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use camj_digital::memory::MemoryStructure;
 use camj_digital::sim::{NodeId, PipelineSimBuilder, SimError, SimReport, SourceMode};
+use camj_tech::fingerprint::{Fingerprint, FpHasher};
 use camj_tech::units::Time;
 
 use crate::check;
@@ -44,12 +52,19 @@ use crate::power_density::layer_powers;
 use crate::route::{routes, Route};
 use crate::sw::{AlgorithmGraph, Stage, StageKind};
 
-use super::breakdown::{EnergyBreakdown, EnergyItem};
-use super::category::EnergyCategory;
+use super::breakdown::EnergyBreakdown;
+use super::cache::EstimateCache;
+use super::kernel::{
+    AnalogKernel, DigitalComputeKernel, DigitalMemoryKernel, EnergyKernel, InterfaceKernel,
+};
 use super::model::EstimateReport;
 
 /// Safety bound for the cycle-level simulation.
 const MAX_SIM_CYCLES: u64 = 200_000_000;
+
+/// Domain tag of the elastic-simulation fingerprint; bump when the
+/// simulator's semantics change so stale cache keys cannot alias.
+const SIM_FINGERPRINT_DOMAIN: &str = "camj.sim/v1";
 
 /// The FPS-independent result of the **simulate** stage: the elastic
 /// cycle-level simulation and the digital latency derived from it.
@@ -63,13 +78,13 @@ pub struct ElasticSim {
 }
 
 /// Per-digital-stage simulation parameters.
-struct StagePlan<'a> {
-    stage: &'a Stage,
-    firings: u64,
-    out_rate: f64,
-    pipeline_depth: u32,
+pub(crate) struct StagePlan<'a> {
+    pub(crate) stage: &'a Stage,
+    pub(crate) firings: u64,
+    pub(crate) out_rate: f64,
+    pub(crate) pipeline_depth: u32,
     /// Physical buffer reads per fresh input pixel.
-    reads_per_fresh: f64,
+    pub(crate) reads_per_fresh: f64,
 }
 
 /// Memoised stall-check verdict, exploiting monotonicity in the
@@ -79,6 +94,10 @@ struct StagePlan<'a> {
 /// fastest passing point instead of one per point. Only passes are
 /// cached: failures re-simulate so each failing point reports a
 /// diagnosis exact for its own readout.
+///
+/// This is the per-model L1; with an [`EstimateCache`] attached the
+/// verdict is also shared cross-model, keyed by the simulation
+/// fingerprint plus the analog stage count.
 #[derive(Debug, Clone, Default)]
 struct StallCache {
     /// Fastest (smallest) per-stage readout time known to pass.
@@ -88,11 +107,13 @@ struct StallCache {
 /// A design that has passed the **validate** and **route** stages, with
 /// the routes and (lazily) the elastic simulation cached for reuse.
 ///
-/// The cache is what makes sweeps cheap: clones made through
+/// The caches are what make sweeps cheap: clones made through
 /// [`ValidatedModel::with_fps`] share the already-resolved routes and
-/// simulation instead of re-deriving them, and
-/// [`ValidatedModel::estimate_at_fps`] re-runs only the FPS-dependent
-/// stages on a single instance.
+/// simulation, [`ValidatedModel::estimate_at_fps`] re-runs only the
+/// FPS-dependent stages, and a cross-point [`EstimateCache`] attached
+/// via [`ValidatedModel::with_cache`] shares simulations, stall
+/// verdicts, and energy-kernel outputs *between* models whose
+/// fingerprinted inputs coincide.
 #[derive(Debug)]
 pub struct ValidatedModel {
     algo: AlgorithmGraph,
@@ -100,8 +121,10 @@ pub struct ValidatedModel {
     mapping: Mapping,
     fps: f64,
     routes: Vec<Route>,
-    elastic: OnceLock<Result<ElasticSim, CamjError>>,
+    elastic: OnceLock<Arc<Result<ElasticSim, CamjError>>>,
+    sim_fp: OnceLock<Fingerprint>,
     stall: Mutex<StallCache>,
+    cache: Option<Arc<EstimateCache>>,
 }
 
 impl Clone for ValidatedModel {
@@ -113,7 +136,9 @@ impl Clone for ValidatedModel {
             fps: self.fps,
             routes: self.routes.clone(),
             elastic: self.elastic.clone(),
+            sim_fp: self.sim_fp.clone(),
             stall: Mutex::new(self.stall.lock().expect("stall cache lock").clone()),
+            cache: self.cache.clone(),
         }
     }
 }
@@ -148,7 +173,9 @@ impl ValidatedModel {
             fps,
             routes,
             elastic: OnceLock::new(),
+            sim_fp: OnceLock::new(),
             stall: Mutex::new(StallCache::default()),
+            cache: None,
         })
     }
 
@@ -182,6 +209,22 @@ impl ValidatedModel {
         &self.routes
     }
 
+    /// Attaches a cross-point estimate cache (builder-style). All
+    /// models of one sweep should share one cache: simulations, stall
+    /// verdicts, and energy-kernel outputs are then computed once per
+    /// distinct fingerprint instead of once per model.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<EstimateCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cross-point cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<EstimateCache>> {
+        self.cache.as_ref()
+    }
+
     /// A copy of this model targeting a different frame rate, sharing
     /// the cached routes and elastic simulation. Checks do not re-run:
     /// FPS feasibility is established by the delay/stall stages, not by
@@ -201,17 +244,77 @@ impl ValidatedModel {
         clone
     }
 
+    /// The content address of this model's elastic simulation: a hash
+    /// of the dataflow topology the cycle-level simulator reads —
+    /// stage firing plans, producer/consumer edges, buffer geometry,
+    /// and the digital clock. Deliberately independent of analog
+    /// parameters and of every energy number, so designs differing
+    /// only along those axes share one cached simulation.
+    #[must_use]
+    pub fn sim_fingerprint(&self) -> Fingerprint {
+        *self
+            .sim_fp
+            .get_or_init(|| self.compute_sim_fingerprint(&self.stage_plans()))
+    }
+
+    fn compute_sim_fingerprint(&self, plans: &[StagePlan<'_>]) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_str(SIM_FINGERPRINT_DOMAIN);
+        h.write_f64(self.hw.digital_clock_hz());
+        h.write_usize(plans.len());
+        for plan in plans {
+            h.write_str(plan.stage.name());
+            h.write_u64(plan.firings);
+            h.write_f64(plan.out_rate);
+            h.write_u32(plan.pipeline_depth);
+            h.write_f64(plan.reads_per_fresh);
+            let producers = self.algo.producers_of(plan.stage.name());
+            h.write_usize(producers.len());
+            for producer_name in producers {
+                h.write_str(producer_name);
+                let producer_stage = self.algo.stage(producer_name).expect("producer exists");
+                h.write_u64(producer_stage.output_size().count());
+                // Digital producers connect stage-to-stage; analog
+                // producers become readout sources.
+                let is_digital = plans.iter().any(|p| p.stage.name() == producer_name);
+                h.write_bool(is_digital);
+                self.buffer_between(producer_name, plan.stage.name())
+                    .feed_sim_view(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// The cross-model stall-verdict key: the simulation topology plus
+    /// the analog stage count (which converts a readout time into the
+    /// frame budget the stall simulation runs under).
+    fn stall_fingerprint(&self) -> Fingerprint {
+        let (hi, lo) = self.sim_fingerprint().parts();
+        let mut h = FpHasher::new();
+        h.write_u64(hi);
+        h.write_u64(lo);
+        h.write_str("stall");
+        h.write_usize(self.analog_stage_count());
+        h.finish()
+    }
+
     /// The **simulate** stage: the elastic cycle-level simulation
     /// measuring digital latency `T_D` (Sec. 4.1). FPS-independent and
     /// memoised — repeated calls (and calls on [`Self::with_fps`]
     /// clones made *after* the first call) return the cached artifact.
+    /// With an attached [`EstimateCache`], the artifact is shared
+    /// across every model whose [`Self::sim_fingerprint`] matches.
     ///
     /// # Errors
     ///
     /// Returns [`CamjError::Sim`] when the simulation fails.
     pub fn simulate(&self) -> Result<&ElasticSim, CamjError> {
         self.elastic
-            .get_or_init(|| self.run_elastic())
+            .get_or_init(|| match &self.cache {
+                Some(cache) => cache.elastic_or(self.sim_fingerprint(), || self.run_elastic()),
+                None => Arc::new(self.run_elastic()),
+            })
+            .as_ref()
             .as_ref()
             .map_err(Clone::clone)
     }
@@ -254,6 +357,36 @@ impl ValidatedModel {
         DelayEstimate::solve(fps, t_d, self.analog_stage_count())
     }
 
+    /// Whether the stall check for readout `t_a` is already answered by
+    /// a cached pass — the per-model L1 first, then the cross-model
+    /// cache.
+    fn stall_settled(&self, t_a: f64) -> bool {
+        if self
+            .stall
+            .lock()
+            .expect("stall cache lock")
+            .pass_min
+            .is_some_and(|pass| t_a >= pass)
+        {
+            return true;
+        }
+        match &self.cache {
+            Some(cache) => cache.stall_settled(self.stall_fingerprint(), t_a),
+            None => false,
+        }
+    }
+
+    /// Records a stall pass in the per-model L1 and the cross-model
+    /// cache.
+    fn record_stall_pass(&self, t_a: f64) {
+        let mut local = self.stall.lock().expect("stall cache lock");
+        local.pass_min = Some(local.pass_min.map_or(t_a, |p| p.min(t_a)));
+        drop(local);
+        if let Some(cache) = &self.cache {
+            cache.record_stall_pass(self.stall_fingerprint(), t_a);
+        }
+    }
+
     /// The stall check (Sec. 4.1): re-simulates with the source pinned
     /// to the constant readout rate the delay estimate implies.
     ///
@@ -270,14 +403,7 @@ impl ValidatedModel {
     /// Returns [`CamjError::StallDetected`] when the digital pipeline
     /// cannot keep pace with the pixel readout.
     pub fn check_stall(&self, delay: &DelayEstimate) -> Result<(), CamjError> {
-        let t_a = delay.analog_unit_time.secs();
-        if self
-            .stall
-            .lock()
-            .expect("stall cache lock")
-            .pass_min
-            .is_some_and(|pass| t_a >= pass)
-        {
+        if self.stall_settled(delay.analog_unit_time.secs()) {
             return Ok(());
         }
         self.check_stall_with(&self.stage_plans(), delay)
@@ -298,8 +424,7 @@ impl ValidatedModel {
             (delay.frame_time.secs() * self.hw.digital_clock_hz() * 2.0) as u64 + 1_000_000;
         match sim.run(budget.min(MAX_SIM_CYCLES)) {
             Ok(_) => {
-                let mut cache = self.stall.lock().expect("stall cache lock");
-                cache.pass_min = Some(cache.pass_min.map_or(t_a, |p| p.min(t_a)));
+                self.record_stall_pass(t_a);
                 Ok(())
             }
             Err(e @ SimError::SourceOverflow { .. }) => Err(CamjError::StallDetected { cause: e }),
@@ -308,7 +433,9 @@ impl ValidatedModel {
     }
 
     /// The **energy** stage: books all component energies (Eq. 1's
-    /// three domains plus communication) for a solved delay split.
+    /// three domains plus communication) for a solved delay split, by
+    /// running the four energy kernels (replaying cached outputs when a
+    /// cross-point cache is attached).
     #[must_use]
     pub fn energy_breakdown(
         &self,
@@ -324,11 +451,28 @@ impl ValidatedModel {
         sim: Option<&SimReport>,
         delay: &DelayEstimate,
     ) -> EnergyBreakdown {
+        let analog = AnalogKernel::new(self, delay);
+        let digital_compute = DigitalComputeKernel::new(self, plans, sim);
+        let digital_memory = DigitalMemoryKernel::new(self, plans, sim, delay);
+        let interface = InterfaceKernel::new(self);
+        let kernels: [&dyn EnergyKernel; 4] =
+            [&analog, &digital_compute, &digital_memory, &interface];
         let mut breakdown = EnergyBreakdown::new();
-        self.analog_energy(delay, &mut breakdown);
-        self.digital_compute_energy(plans, sim, &mut breakdown);
-        self.digital_memory_energy(plans, sim, delay, &mut breakdown);
-        self.communication_energy(&mut breakdown);
+        for kernel in kernels {
+            match &self.cache {
+                Some(cache) => {
+                    let items = cache.energy_or(kernel.fingerprint(), || kernel.compute());
+                    for item in items.iter() {
+                        breakdown.push(item.clone());
+                    }
+                }
+                None => {
+                    for item in kernel.compute() {
+                        breakdown.push(item);
+                    }
+                }
+            }
+        }
         breakdown
     }
 
@@ -355,13 +499,7 @@ impl ValidatedModel {
         let delay = DelayEstimate::solve(fps, elastic.digital_latency, self.analog_stage_count())?;
         // Plans serve both the stall check and the energy passes; build
         // them once (and only after the cheap feasibility solve above).
-        let t_a = delay.analog_unit_time.secs();
-        let stall_settled = self
-            .stall
-            .lock()
-            .expect("stall cache lock")
-            .pass_min
-            .is_some_and(|pass| t_a >= pass);
+        let stall_settled = self.stall_settled(delay.analog_unit_time.secs());
         let plans = self.stage_plans();
         if !stall_settled {
             self.check_stall_with(&plans, &delay)?;
@@ -385,7 +523,7 @@ impl ValidatedModel {
     }
 
     /// Builds per-digital-stage simulation parameters.
-    fn stage_plans(&self) -> Vec<StagePlan<'_>> {
+    pub(crate) fn stage_plans(&self) -> Vec<StagePlan<'_>> {
         let mut plans = Vec::new();
         for stage in self.algo.stages() {
             let Some(unit_name) = self.mapping.unit_for(stage.name()) else {
@@ -514,7 +652,7 @@ impl ValidatedModel {
     /// The physical buffer a consumer reads its input from: the last
     /// memory on the route, or a synthetic free wire when the units are
     /// directly connected (or fused on one unit).
-    fn buffer_between(&self, producer: &str, consumer: &str) -> MemoryStructure {
+    pub(crate) fn buffer_between(&self, producer: &str, consumer: &str) -> MemoryStructure {
         let route = self
             .routes
             .iter()
@@ -541,7 +679,7 @@ impl ValidatedModel {
     }
 
     /// Analog pipeline stage count `N_A`, including exposure.
-    fn analog_stage_count(&self) -> usize {
+    pub(crate) fn analog_stage_count(&self) -> usize {
         let mut units: Vec<String> = Vec::new();
         let mapped = self
             .mapping
@@ -558,221 +696,5 @@ impl ValidatedModel {
             }
         }
         units.len() + 1 // + exposure
-    }
-
-    /// Analog energy (Sec. 4.2, Eq. 2–3): access counts from the mapping
-    /// and routing, per-access energy from the component models under the
-    /// inferred delay budget.
-    fn analog_energy(&self, delay: &DelayEstimate, breakdown: &mut EnergyBreakdown) {
-        let mut accesses: BTreeMap<String, f64> = BTreeMap::new();
-        let mut attribution: BTreeMap<String, String> = BTreeMap::new();
-
-        // Mapped stages: the exit stage of each fused group drives the
-        // unit's access count.
-        for unit in self.hw.analog_units() {
-            for stage_name in self.mapping.stages_on(unit.name()) {
-                let Some(stage) = self.algo.stage(stage_name) else {
-                    continue;
-                };
-                let consumers = self.algo.consumers_of(stage_name);
-                let is_exit = consumers.is_empty()
-                    || consumers
-                        .iter()
-                        .any(|c| self.mapping.unit_for(c) != Some(unit.name()));
-                if is_exit {
-                    *accesses.entry(unit.name().to_owned()).or_default() +=
-                        stage.output_size().count() as f64 * unit.ops_per_stage_output();
-                    attribution.insert(unit.name().to_owned(), stage_name.to_owned());
-                }
-            }
-        }
-
-        // Pass-through units on routes: ADC arrays convert every pixel;
-        // analog buffers additionally serve the consumer's reads.
-        for route in &self.routes {
-            let inter = route.intermediates();
-            for (i, hop) in inter.iter().enumerate() {
-                if self.hw.analog(hop).is_none() {
-                    continue;
-                }
-                *accesses.entry(hop.clone()).or_default() += route.pixels as f64;
-                let is_last = i + 1 == inter.len();
-                if is_last {
-                    if let Some(to_stage) = &route.to_stage {
-                        let consumer_unit = self.mapping.unit_for(to_stage);
-                        let consumer_is_analog =
-                            consumer_unit.is_some_and(|u| self.hw.analog(u).is_some());
-                        if consumer_is_analog {
-                            let cons = self.algo.stage(to_stage).expect("stage exists");
-                            *accesses.entry(hop.clone()).or_default() +=
-                                cons.reads_per_output() * cons.output_size().count() as f64;
-                        }
-                    }
-                }
-                attribution
-                    .entry(hop.clone())
-                    .or_insert_with(|| route.from_stage.clone());
-            }
-        }
-
-        for unit in self.hw.analog_units() {
-            let Some(&n) = accesses.get(unit.name()) else {
-                continue;
-            };
-            if n <= 0.0 {
-                continue;
-            }
-            // Eq. 3: accesses spread uniformly over the AFA's components;
-            // each component gets T_A / (n / count) per access.
-            let per_component = n / unit.array().component_count() as f64;
-            let per_access_delay = delay.analog_unit_time / per_component.max(1.0);
-            let energy = unit.array().component().energy_per_access(per_access_delay) * n;
-            breakdown.push(EnergyItem {
-                unit: unit.name().to_owned(),
-                stage: attribution.get(unit.name()).cloned(),
-                category: match unit.category() {
-                    crate::hw::AnalogCategory::Sensing => EnergyCategory::Sensing,
-                    crate::hw::AnalogCategory::Compute => EnergyCategory::AnalogCompute,
-                    crate::hw::AnalogCategory::Memory => EnergyCategory::AnalogMemory,
-                },
-                layer: unit.layer(),
-                energy,
-            });
-        }
-    }
-
-    /// Digital compute energy (Eq. 15): per-cycle energy × simulated
-    /// cycles for pipelined units, per-MAC energy × MACs for systolic
-    /// arrays.
-    fn digital_compute_energy(
-        &self,
-        plans: &[StagePlan<'_>],
-        sim: Option<&SimReport>,
-        breakdown: &mut EnergyBreakdown,
-    ) {
-        for plan in plans {
-            let unit_name = self
-                .mapping
-                .unit_for(plan.stage.name())
-                .expect("planned stages are mapped");
-            let unit = self
-                .hw
-                .digital(unit_name)
-                .expect("planned units are digital");
-            let energy = match unit.kind() {
-                DigitalUnitKind::Pipelined(cu) => {
-                    let cycles = sim
-                        .and_then(|r| r.stage(plan.stage.name()))
-                        .map_or(plan.firings, |s| s.active_cycles);
-                    cu.energy_per_cycle() * cycles as f64
-                }
-                DigitalUnitKind::Systolic(sa) => {
-                    let macs = match plan.stage.kind() {
-                        StageKind::Dnn { macs, .. } => macs,
-                        _ => plan.stage.ops_per_frame(),
-                    };
-                    sa.energy_for_macs(macs)
-                }
-            };
-            breakdown.push(EnergyItem {
-                unit: unit_name.to_owned(),
-                stage: Some(plan.stage.name().to_owned()),
-                category: EnergyCategory::DigitalCompute,
-                layer: unit.layer(),
-                energy,
-            });
-        }
-    }
-
-    /// Digital memory energy (Eq. 16): dynamic traffic from the
-    /// simulation plus DNN weight loading, and leakage over the powered
-    /// fraction of the frame.
-    fn digital_memory_energy(
-        &self,
-        plans: &[StagePlan<'_>],
-        sim: Option<&SimReport>,
-        delay: &DelayEstimate,
-        breakdown: &mut EnergyBreakdown,
-    ) {
-        // Aggregate traffic per physical memory name.
-        let mut traffic: BTreeMap<String, (f64, f64)> = BTreeMap::new();
-        if let Some(report) = sim {
-            for buf in &report.buffers {
-                let slot = traffic.entry(buf.name.clone()).or_default();
-                slot.0 += buf.pixels_read;
-                slot.1 += buf.pixels_written;
-            }
-        }
-        // DNN weights are loaded into the stage's input buffer once per
-        // frame (weight-stationary reuse across the frame's tiles).
-        for plan in plans {
-            if let StageKind::Dnn { weights, .. } = plan.stage.kind() {
-                for producer in self.algo.producers_of(plan.stage.name()) {
-                    let buffer = self.buffer_between(producer, plan.stage.name());
-                    if self.hw.memory(buffer.name()).is_some() {
-                        traffic.entry(buffer.name().to_owned()).or_default().1 += weights as f64;
-                    }
-                }
-            }
-        }
-
-        for mem in self.hw.memories() {
-            let (reads, writes) = traffic.get(mem.name()).copied().unwrap_or((0.0, 0.0));
-            let s = mem.structure();
-            let dynamic = s.dynamic_energy(reads, writes);
-            let leakage = s.leakage() * delay.frame_time * s.active_fraction();
-            let energy = dynamic + leakage;
-            if energy.joules() == 0.0 {
-                continue;
-            }
-            let stage = self
-                .routes
-                .iter()
-                .find(|r| r.intermediates().iter().any(|h| h == mem.name()))
-                .and_then(|r| r.to_stage.clone());
-            breakdown.push(EnergyItem {
-                unit: mem.name().to_owned(),
-                stage,
-                category: EnergyCategory::DigitalMemory,
-                layer: mem.layer(),
-                energy,
-            });
-        }
-    }
-
-    /// Communication energy (Eq. 17): bytes crossing layer boundaries pay
-    /// the boundary's interface energy; results exiting the package pay
-    /// MIPI.
-    fn communication_energy(&self, breakdown: &mut EnergyBreakdown) {
-        use camj_tech::interface::Interface;
-        for route in &self.routes {
-            let mut hops: Vec<(&str, crate::hw::Layer)> = route
-                .path
-                .iter()
-                .map(|h| (h.as_str(), self.hw.layer_of(h).expect("path units exist")))
-                .collect();
-            if route.is_host_exit() {
-                hops.push(("<host>", crate::hw::Layer::OffChip));
-            }
-            for pair in hops.windows(2) {
-                let (from, from_layer) = pair[0];
-                let (_, to_layer) = pair[1];
-                let Some(iface) = from_layer.interface_to(to_layer) else {
-                    continue;
-                };
-                let category = match iface {
-                    Interface::MicroTsv => EnergyCategory::MicroTsv,
-                    // Custom interfaces are booked as package-exit links.
-                    Interface::MipiCsi2 | Interface::Custom { .. } => EnergyCategory::Mipi,
-                };
-                breakdown.push(EnergyItem {
-                    unit: format!("{}:{}", category.label(), from),
-                    stage: Some(route.from_stage.clone()),
-                    category,
-                    layer: from_layer,
-                    energy: iface.transfer_energy(route.bytes),
-                });
-            }
-        }
     }
 }

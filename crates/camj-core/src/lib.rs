@@ -99,6 +99,7 @@ pub mod check;
 pub mod delay;
 pub mod energy;
 pub mod error;
+pub mod fingerprint;
 pub mod hw;
 pub mod mapping;
 pub mod power_density;
@@ -107,7 +108,8 @@ pub mod sw;
 
 pub use delay::DelayEstimate;
 pub use energy::{
-    CamJ, ElasticSim, EnergyBreakdown, EnergyCategory, EnergyItem, EstimateReport, ValidatedModel,
+    CacheStats, CamJ, ElasticSim, EnergyBreakdown, EnergyCategory, EnergyItem, EnergyKernel,
+    EstimateCache, EstimateReport, KernelKind, ValidatedModel,
 };
 pub use error::CamjError;
 pub use hw::{

@@ -1,0 +1,145 @@
+//! [`Fingerprintable`] implementations for the digital substrate.
+//!
+//! Compute units fingerprint their geometry and per-cycle / per-MAC
+//! energies (Eq. 15); memory structures fingerprint capacity, port,
+//! word-packing, and energy parameters (Eq. 16).
+//!
+//! Memories additionally expose a **sim view** fingerprint
+//! ([`MemoryStructure::feed_sim_view`]) that deliberately *excludes*
+//! the energy parameters and the power-gating fraction: the cycle-level
+//! simulator only reads capacity, geometry, and ports, so two memories
+//! differing only in per-word energy (e.g. the same buffer at two
+//! technology nodes, or SRAM vs STT-RAM) share one elastic simulation
+//! in the cross-point cache. This is what makes tech-node sweeps cheap:
+//! the expensive simulation is keyed by *dataflow*, not by *energy*.
+
+use camj_tech::fingerprint::{Fingerprintable, FpHasher};
+
+use crate::compute::{ComputeUnit, PixelShape, SystolicArray};
+use crate::memory::{MemoryEnergy, MemoryKind, MemoryStructure};
+
+impl Fingerprintable for PixelShape {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_u32(self.width);
+        h.write_u32(self.height);
+        h.write_u32(self.channels);
+    }
+}
+
+impl Fingerprintable for ComputeUnit {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_str(self.name());
+        self.input_shape().feed(h);
+        self.output_shape().feed(h);
+        h.write_u32(self.num_stages());
+        self.energy_per_cycle().feed(h);
+    }
+}
+
+impl Fingerprintable for SystolicArray {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_str(self.name());
+        h.write_u32(self.rows());
+        h.write_u32(self.cols());
+        self.node().feed(h);
+        self.mac_energy().feed(h);
+        h.write_f64(self.utilization());
+    }
+}
+
+impl Fingerprintable for MemoryKind {
+    fn feed(&self, h: &mut FpHasher) {
+        h.write_tag(match self {
+            MemoryKind::Fifo => 0,
+            MemoryKind::LineBuffer => 1,
+            MemoryKind::DoubleBuffer => 2,
+        });
+    }
+}
+
+impl Fingerprintable for MemoryEnergy {
+    fn feed(&self, h: &mut FpHasher) {
+        self.read_per_word.feed(h);
+        self.write_per_word.feed(h);
+        self.leakage.feed(h);
+    }
+}
+
+impl Fingerprintable for MemoryStructure {
+    fn feed(&self, h: &mut FpHasher) {
+        self.feed_sim_view(h);
+        self.energy().feed(h);
+        h.write_f64(self.active_fraction());
+    }
+}
+
+impl MemoryStructure {
+    /// Feeds only the fields the cycle-level simulator reads: name,
+    /// kind, capacity, word packing, and ports. Energy parameters and
+    /// the power-gating fraction are excluded on purpose — they do not
+    /// influence simulated dataflow, so memories that differ only in
+    /// energy share one cached elastic simulation.
+    pub fn feed_sim_view(&self, h: &mut FpHasher) {
+        h.write_str(self.name());
+        self.kind().feed(h);
+        h.write_u64(self.capacity_pixels());
+        h.write_u32(self.pixels_per_word());
+        h.write_u32(self.read_ports());
+        h.write_u32(self.write_ports());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::fingerprint::Fingerprint;
+    use camj_tech::node::ProcessNode;
+
+    fn sim_view(m: &MemoryStructure) -> Fingerprint {
+        let mut h = FpHasher::new();
+        m.feed_sim_view(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn energy_is_invisible_to_the_sim_view() {
+        let base = MemoryStructure::double_buffer("fb", 1024).with_ports(2, 2);
+        let pricier = base
+            .clone()
+            .with_energy(MemoryEnergy::from_pj_per_word(2.0, 3.0, 10.0));
+        assert_eq!(sim_view(&base), sim_view(&pricier));
+        assert_ne!(base.fingerprint(), pricier.fingerprint());
+    }
+
+    #[test]
+    fn geometry_is_visible_to_the_sim_view() {
+        let a = MemoryStructure::fifo("f", 256);
+        let b = MemoryStructure::fifo("f", 512);
+        assert_ne!(sim_view(&a), sim_view(&b));
+    }
+
+    #[test]
+    fn active_fraction_changes_only_the_full_fingerprint() {
+        let base = MemoryStructure::double_buffer("db", 512);
+        let gated = base.clone().with_active_fraction(0.1);
+        assert_eq!(sim_view(&base), sim_view(&gated));
+        assert_ne!(base.fingerprint(), gated.fingerprint());
+    }
+
+    #[test]
+    fn compute_units_fingerprint_their_energy() {
+        use camj_tech::units::Energy;
+        let a = ComputeUnit::new("pe", [1, 1, 1], [1, 1, 1], 2);
+        let b = a
+            .clone()
+            .with_energy_per_cycle(Energy::from_picojoules(3.0));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn systolic_node_scaling_is_captured() {
+        let a = SystolicArray::new("dnn", 16, 16, ProcessNode::N65);
+        let b = SystolicArray::new("dnn", 16, 16, ProcessNode::N22);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

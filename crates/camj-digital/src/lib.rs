@@ -44,6 +44,7 @@
 #![warn(clippy::all)]
 
 pub mod compute;
+pub mod fingerprint;
 pub mod memory;
 pub mod sim;
 

@@ -3,13 +3,16 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use camj_core::energy::{EstimateReport, ValidatedModel};
+use camj_core::energy::{EstimateCache, EstimateReport, ValidatedModel};
 use camj_core::error::CamjError;
 use camj_tech::units::Energy;
 
+use crate::axis::AxisValue;
+use crate::plan::SweepPlan;
 use crate::sweep::{DesignPoint, Sweep};
 
 /// How a sweep's points are evaluated.
@@ -39,6 +42,15 @@ impl PointError {
     pub fn new(error: impl fmt::Display) -> Self {
         Self {
             message: error.to_string(),
+        }
+    }
+
+    /// Wraps an error with the failing point's axis coordinates, so a
+    /// captured panic in a million-point grid still names exactly which
+    /// design died.
+    pub fn at_point(point: &DesignPoint, error: impl fmt::Display) -> Self {
+        Self {
+            message: format!("at point [{point}]: {error}"),
         }
     }
 
@@ -210,8 +222,13 @@ impl Explorer {
         F: Fn(&DesignPoint) -> Result<R, PointError> + Sync,
     {
         let evaluate = |point: DesignPoint| -> PointOutcome<R> {
-            let result = catch_unwind(AssertUnwindSafe(|| eval(&point)))
-                .unwrap_or_else(|payload| Err(PointError::new(panic_message(payload.as_ref()))));
+            let result =
+                catch_unwind(AssertUnwindSafe(|| eval(&point))).unwrap_or_else(|payload| {
+                    Err(PointError::at_point(
+                        &point,
+                        panic_message(payload.as_ref()),
+                    ))
+                });
             PointOutcome { point, result }
         };
         let outcomes: Vec<PointOutcome<R>> = match self.mode {
@@ -255,6 +272,119 @@ impl Explorer {
                 .estimate_at_fps(point.fps("fps"))
                 .map_err(PointError::from)
         })
+    }
+
+    /// The cross-point incremental sweep: plans the grid with
+    /// [`SweepPlan`] (heaviest axes slowest, points grouped by their
+    /// model-rebuilding coordinates), builds **one** [`ValidatedModel`]
+    /// per group via `build`, attaches the shared [`EstimateCache`] to
+    /// every model, and runs only the FPS-dependent pipeline tail per
+    /// point.
+    ///
+    /// Content-addressing does the rest: groups whose digital dataflow
+    /// coincides share one elastic simulation and one stall verdict,
+    /// and energy kernels whose fingerprinted inputs repeat replay
+    /// cached items — on a typical 4-axis grid (fps × bit width × tech
+    /// node × memory kind) the expensive simulation runs a handful of
+    /// times instead of once per point.
+    ///
+    /// Guarantees (inherited from [`Self::run`] semantics):
+    ///
+    /// * results come back in original grid order, byte-identical to a
+    ///   cold, unplanned sweep of the same `build` + estimate closure,
+    /// * serial and parallel modes produce identical results,
+    /// * a failing or panicking point is captured as its own outcome
+    ///   (with its axis coordinates in the message) without poisoning
+    ///   neighbours; if a group's representative build fails, every
+    ///   point of the group falls back to an individual build so
+    ///   per-point diagnoses stay exact.
+    ///
+    /// Read `cache.stats()` afterwards for the [`CacheStats`] report.
+    ///
+    /// [`CacheStats`]: camj_core::energy::CacheStats
+    pub fn sweep_incremental<F>(
+        &self,
+        sweep: &Sweep,
+        cache: &Arc<EstimateCache>,
+        build: F,
+    ) -> SweepResults<EstimateReport>
+    where
+        F: Fn(&DesignPoint) -> Result<ValidatedModel, PointError> + Sync,
+    {
+        let groups = SweepPlan::new(sweep).into_groups();
+        let estimate_on = |model: &ValidatedModel, point: &DesignPoint| {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                match point.get("fps").and_then(AxisValue::as_f64) {
+                    Some(fps) => model.estimate_at_fps(fps),
+                    None => model.estimate(),
+                }
+                .map_err(PointError::from)
+            }));
+            result.unwrap_or_else(|payload| {
+                Err(PointError::at_point(point, panic_message(payload.as_ref())))
+            })
+        };
+        let eval_group = |points: Vec<DesignPoint>| -> Vec<PointOutcome<EstimateReport>> {
+            let representative = &points[0];
+            let built = catch_unwind(AssertUnwindSafe(|| build(representative)));
+            match built {
+                Ok(Ok(model)) => {
+                    let model = model.with_cache(Arc::clone(cache));
+                    // Pre-warm the stall verdict at the group's fastest
+                    // frame rate: stall freedom is monotone in the
+                    // readout time, so one simulation settles every
+                    // slower point (and, through the shared cache,
+                    // every other group with the same topology).
+                    let fastest = points
+                        .iter()
+                        .filter_map(|p| p.get("fps").and_then(AxisValue::as_f64))
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if fastest.is_finite() && fastest > 0.0 {
+                        let _ = model
+                            .estimate_delay_at(fastest)
+                            .and_then(|delay| model.check_stall(&delay));
+                    }
+                    points
+                        .into_iter()
+                        .map(|point| {
+                            let result = estimate_on(&model, &point);
+                            PointOutcome { point, result }
+                        })
+                        .collect()
+                }
+                _ => {
+                    // The representative build failed (error or panic).
+                    // Fall back to per-point builds so every point gets
+                    // the exact outcome a naive sweep would give it.
+                    points
+                        .into_iter()
+                        .map(|point| {
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                build(&point).map(|m| m.with_cache(Arc::clone(cache)))
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(PointError::at_point(
+                                    &point,
+                                    panic_message(payload.as_ref()),
+                                ))
+                            })
+                            .and_then(|model| estimate_on(&model, &point));
+                            PointOutcome { point, result }
+                        })
+                        .collect()
+                }
+            }
+        };
+        let mut outcomes: Vec<PointOutcome<EstimateReport>> = match self.mode {
+            ExecutionMode::Serial => groups.into_iter().flat_map(eval_group).collect(),
+            ExecutionMode::Parallel => {
+                let per_group: Vec<Vec<PointOutcome<EstimateReport>>> =
+                    groups.into_par_iter().map(eval_group).collect();
+                per_group.into_iter().flatten().collect()
+            }
+        };
+        outcomes.sort_by_key(|o| o.point.index);
+        SweepResults { outcomes }
     }
 }
 

@@ -1,0 +1,209 @@
+//! Machine-readable sweep output: JSON and CSV serializers for
+//! [`SweepResults`], the backend of `camj sweep --format json|csv`.
+//!
+//! Every row carries the point's axis coordinates (one column per
+//! axis), the headline metrics of a successful estimate, and the error
+//! message of a failed one. Output is deterministic and byte-stable —
+//! rows come in grid order and floats print via the shortest-round-trip
+//! formatter — so sweep artifacts can be diffed and committed.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde_json::{Map, Number, Value};
+
+use camj_core::energy::EstimateReport;
+
+use crate::axis::AxisValue;
+use crate::explorer::SweepResults;
+
+/// The output formats `camj sweep` can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepFormat {
+    /// The human-readable table (default).
+    #[default]
+    Human,
+    /// A JSON array with one object per grid point.
+    Json,
+    /// A CSV table with one row per grid point.
+    Csv,
+}
+
+impl FromStr for SweepFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "human" | "table" => Ok(SweepFormat::Human),
+            "json" => Ok(SweepFormat::Json),
+            "csv" => Ok(SweepFormat::Csv),
+            other => Err(format!(
+                "unknown sweep format '{other}' (expected human, json, or csv)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SweepFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SweepFormat::Human => "human",
+            SweepFormat::Json => "json",
+            SweepFormat::Csv => "csv",
+        })
+    }
+}
+
+/// An axis coordinate as a JSON value: numeric axes stay numbers,
+/// symbolic axes (process nodes, memory kinds, labels) become strings.
+fn axis_value_json(value: &AxisValue) -> Value {
+    match value {
+        AxisValue::U32(v) => Value::Number(Number::from_u64(u64::from(*v))),
+        AxisValue::F64(v) => Value::Number(Number::from_f64(*v)),
+        other => Value::String(other.to_string()),
+    }
+}
+
+/// One CSV field, quoted iff it contains a delimiter, quote, or
+/// newline.
+fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_owned()
+    }
+}
+
+/// Formats a float the way the JSON printer does (shortest string that
+/// round-trips), so CSV and JSON agree byte-for-byte on every number.
+fn csv_f64(v: f64) -> String {
+    serde_json::to_string(&v).unwrap_or_else(|_| v.to_string())
+}
+
+impl SweepResults<EstimateReport> {
+    /// The per-point rows as JSON objects: one key per axis, then
+    /// `total_pj`, `per_pixel_pj`, `frame_ms`, and `error` (`null` on
+    /// success; the metrics are `null` on failure).
+    #[must_use]
+    pub fn to_json_rows(&self) -> Vec<Value> {
+        self.outcomes()
+            .iter()
+            .map(|outcome| {
+                let mut row = Map::new();
+                for (axis, value) in outcome.point.coords() {
+                    row.insert(axis.clone(), axis_value_json(value));
+                }
+                match &outcome.result {
+                    Ok(report) => {
+                        row.insert(
+                            "total_pj",
+                            Value::Number(Number::from_f64(report.total().picojoules())),
+                        );
+                        row.insert(
+                            "per_pixel_pj",
+                            Value::Number(Number::from_f64(report.energy_per_pixel().picojoules())),
+                        );
+                        row.insert(
+                            "frame_ms",
+                            Value::Number(Number::from_f64(report.delay.frame_time.millis())),
+                        );
+                        row.insert("error", Value::Null);
+                    }
+                    Err(e) => {
+                        row.insert("total_pj", Value::Null);
+                        row.insert("per_pixel_pj", Value::Null);
+                        row.insert("frame_ms", Value::Null);
+                        row.insert("error", Value::String(e.message().to_owned()));
+                    }
+                }
+                Value::Object(row)
+            })
+            .collect()
+    }
+
+    /// The whole sweep as a pretty-printed JSON array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a report contains a non-finite number — estimation
+    /// never produces one, so this indicates a model bug.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&Value::Array(self.to_json_rows()))
+            .expect("sweep metrics are finite")
+    }
+
+    /// The whole sweep as CSV: a header of axis names plus
+    /// `total_pj,per_pixel_pj,frame_ms,error`, then one row per point
+    /// in grid order. Empty cells mark inapplicable columns (metrics of
+    /// failed points, the error of successful ones).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let Some(first) = self.outcomes().first() else {
+            return out;
+        };
+        let axes: Vec<&str> = first
+            .point
+            .coords()
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect();
+        for axis in &axes {
+            out.push_str(&csv_field(axis));
+            out.push(',');
+        }
+        out.push_str("total_pj,per_pixel_pj,frame_ms,error\n");
+        for outcome in self.outcomes() {
+            for (_, value) in outcome.point.coords() {
+                let cell = match value {
+                    AxisValue::F64(v) => csv_f64(*v),
+                    other => other.to_string(),
+                };
+                out.push_str(&csv_field(&cell));
+                out.push(',');
+            }
+            match &outcome.result {
+                Ok(report) => {
+                    out.push_str(&csv_f64(report.total().picojoules()));
+                    out.push(',');
+                    out.push_str(&csv_f64(report.energy_per_pixel().picojoules()));
+                    out.push(',');
+                    out.push_str(&csv_f64(report.delay.frame_time.millis()));
+                    out.push(',');
+                }
+                Err(e) => {
+                    out.push_str(",,,");
+                    out.push_str(&csv_field(e.message()));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parsing_round_trips() {
+        for (text, format) in [
+            ("human", SweepFormat::Human),
+            ("json", SweepFormat::Json),
+            ("csv", SweepFormat::Csv),
+        ] {
+            assert_eq!(text.parse::<SweepFormat>().unwrap(), format);
+            assert_eq!(format.to_string(), text);
+        }
+        assert!("yaml".parse::<SweepFormat>().is_err());
+    }
+
+    #[test]
+    fn csv_fields_escape_delimiters() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -27,6 +27,20 @@
 //! the FPS-dependent stages (delay solve, stall check, energy) re-run
 //! per point.
 //!
+//! Multi-axis grids go further through the **incremental engine**:
+//! [`Explorer::sweep_incremental`] plans the grid with [`SweepPlan`] —
+//! each axis declares which pipeline artifacts it can invalidate
+//! ([`axis_impact`]), the most-invalidating axes vary slowest, and
+//! points sharing every model-rebuilding coordinate build **one**
+//! model — then threads a content-addressed [`EstimateCache`] through
+//! every point, so elastic simulations, stall verdicts, and energy
+//! kernels are computed once per distinct fingerprint instead of once
+//! per point. Results stay byte-identical to a cold sweep, in grid
+//! order, serial or parallel; `cache.stats()` reports the
+//! [`CacheStats`] (hits/misses/bytes). Machine-readable output comes
+//! from the [`SweepResults`] serializers
+//! ([`SweepResults::to_json`] / [`SweepResults::to_csv`]).
+//!
 //! # Example
 //!
 //! ```
@@ -59,12 +73,20 @@
 
 mod axis;
 mod explorer;
+mod format;
+mod plan;
 mod sweep;
 
 pub use axis::{Axis, AxisValue};
 pub use explorer::{ExecutionMode, Explorer, PointError, PointOutcome, SweepResults};
+pub use format::SweepFormat;
+pub use plan::{axis_impact, axis_requires_rebuild, KernelSet, SweepPlan};
 pub use sweep::{DesignPoint, Sweep};
 
 // Re-exported for axis construction without extra imports downstream.
 pub use camj_digital::memory::MemoryKind;
 pub use camj_tech::node::ProcessNode;
+
+// Re-exported so sweep drivers can create and inspect the cross-point
+// cache without importing camj-core directly.
+pub use camj_core::energy::{CacheStats, EstimateCache};

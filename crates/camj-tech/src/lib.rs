@@ -13,7 +13,9 @@
 //! * [`thermal`] — the paper's future-work extension: power density →
 //!   junction temperature → thermal-noise penalty,
 //! * [`units`] — `Energy` / `Power` / `Time` quantity newtypes,
-//! * [`constants`] — physical constants (kT for thermal-noise sizing).
+//! * [`constants`] — physical constants (kT for thermal-noise sizing),
+//! * [`fingerprint`] — stable 128-bit content hashes over model inputs,
+//!   the keys of the incremental estimation engine's cross-point cache.
 //!
 //! These replace the external tools the paper's authors invoked (CACTI,
 //! DESTINY, NVMExplorer, DeepScaleTool, the Murmann survey); see DESIGN.md
@@ -39,6 +41,7 @@
 
 pub mod adc_fom;
 pub mod constants;
+pub mod fingerprint;
 pub mod interface;
 pub mod node;
 pub mod scaling;
@@ -48,6 +51,7 @@ pub mod thermal;
 pub mod units;
 
 pub use adc_fom::AdcSurvey;
+pub use fingerprint::{Fingerprint, Fingerprintable, FpHasher};
 pub use interface::Interface;
 pub use node::ProcessNode;
 pub use scaling::ScalingTable;

@@ -21,7 +21,7 @@ use camj_core::hw::{
 use camj_core::mapping::Mapping;
 use camj_core::sw::{AlgorithmGraph, Stage};
 use camj_digital::compute::{ComputeUnit, SystolicArray};
-use camj_digital::memory::MemoryStructure;
+use camj_digital::memory::{MemoryKind, MemoryStructure};
 use camj_tech::node::ProcessNode;
 
 use crate::configs::{
@@ -88,15 +88,86 @@ pub fn algorithm() -> AlgorithmGraph {
     algo
 }
 
-/// Builds the full CamJ model for one architecture variant.
+/// A configurable Ed-Gaze build: the paper's variant/node axes plus
+/// the precision and memory-structure axes a 4-axis design-space sweep
+/// explores (bit width × tech node × memory kind × frame rate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdGazeConfig {
+    /// Architecture variant (2D-In, 3D-In, …).
+    pub variant: SensorVariant,
+    /// CIS (pixel-layer) process node.
+    pub cis_node: ProcessNode,
+    /// Column-ADC resolution in bits.
+    pub adc_bits: u32,
+    /// Structure kind of the frame buffer (the workload's dominant,
+    /// never-power-gated memory).
+    pub frame_buffer_kind: MemoryKind,
+}
+
+impl EdGazeConfig {
+    /// The paper's baseline configuration for `variant` at `cis_node`:
+    /// a 10-bit column ADC and a double-buffered frame buffer.
+    #[must_use]
+    pub fn new(variant: SensorVariant, cis_node: ProcessNode) -> Self {
+        Self {
+            variant,
+            cis_node,
+            adc_bits: COLUMN_ADC_BITS,
+            frame_buffer_kind: MemoryKind::DoubleBuffer,
+        }
+    }
+
+    /// Overrides the column-ADC resolution (builder-style).
+    #[must_use]
+    pub fn with_adc_bits(mut self, bits: u32) -> Self {
+        self.adc_bits = bits;
+        self
+    }
+
+    /// Overrides the frame-buffer structure kind (builder-style).
+    #[must_use]
+    pub fn with_frame_buffer_kind(mut self, kind: MemoryKind) -> Self {
+        self.frame_buffer_kind = kind;
+        self
+    }
+}
+
+/// Builds the full CamJ model for one architecture variant, at the
+/// paper's baseline precision and memory structure.
+///
+/// # Errors
+///
+/// See [`model_with`].
+pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, WorkloadError> {
+    model_with(EdGazeConfig::new(variant, cis_node))
+}
+
+/// Builds the full CamJ model for one [`EdGazeConfig`].
 ///
 /// # Errors
 ///
 /// Returns [`WorkloadError::Camj`] if the assembled model fails a
 /// pre-simulation check, or [`WorkloadError::Unsupported`] if the
 /// STT-RAM model rejects a memory geometry.
-pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, WorkloadError> {
+pub fn model_with(config: EdGazeConfig) -> Result<CamJ, WorkloadError> {
+    let EdGazeConfig {
+        variant, cis_node, ..
+    } = config;
     if variant == SensorVariant::TwoDInMixed {
+        // The mixed-signal design has no column ADC bank and no digital
+        // frame buffer, so the precision/memory axes do not apply —
+        // reject overrides instead of silently ignoring them (a sweep
+        // would otherwise report those axes as having zero effect).
+        if config != EdGazeConfig::new(variant, cis_node) {
+            return Err(WorkloadError::Unsupported {
+                reason: format!(
+                    "the 2D-In-Mixed variant digitises via per-column comparators and \
+                     holds frames in an analog S&H array; adc_bits={} / \
+                     frame_buffer_kind={:?} overrides do not apply",
+                    config.adc_bits, config.frame_buffer_kind
+                ),
+            });
+        }
         return mixed_model(cis_node);
     }
     let digital_layer = variant.digital_layer();
@@ -115,7 +186,7 @@ pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, Work
     hw.add_analog(AnalogUnitDesc::new(
         "ADCArray",
         AnalogArray::new(
-            column_adc_with_fom(COLUMN_ADC_BITS, COLUMN_ADC_FOM),
+            column_adc_with_fom(config.adc_bits, COLUMN_ADC_FOM),
             1,
             WIDTH,
         ),
@@ -144,11 +215,19 @@ pub fn model(variant: SensorVariant, cis_node: ProcessNode) -> Result<CamJ, Work
         lb_area,
     ));
 
-    // Frame buffer: one downsampled frame, never power-gated.
+    // Frame buffer: one downsampled frame, never power-gated. The
+    // structure kind is a sweep axis: double-buffered (the paper's
+    // baseline, two banks so producer and consumer never collide), or a
+    // single-bank line buffer / FIFO trading capacity for port pressure.
     let fb_pixels = u64::from(DS_WIDTH) * u64::from(DS_HEIGHT);
     let (fb_energy, fb_area) = mem_parameters(fb_pixels, 64)?;
+    let frame_buffer = match config.frame_buffer_kind {
+        MemoryKind::DoubleBuffer => MemoryStructure::double_buffer("FrameBuffer", fb_pixels),
+        MemoryKind::LineBuffer => MemoryStructure::line_buffer("FrameBuffer", DS_HEIGHT, DS_WIDTH),
+        MemoryKind::Fifo => MemoryStructure::fifo("FrameBuffer", fb_pixels),
+    };
     hw.add_memory(MemoryDesc::new(
-        MemoryStructure::double_buffer("FrameBuffer", fb_pixels)
+        frame_buffer
             .with_energy(fb_energy)
             .with_pixels_per_word(8)
             .with_ports(2, 2),

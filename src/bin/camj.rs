@@ -6,7 +6,7 @@
 //! camj export <workload> [--out FILE]
 //! camj validate <file>...
 //! camj estimate --design FILE [--fps N] [--json]
-//! camj sweep --design FILE [--fps A,B,C] [--json]
+//! camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
 //! ```
 //!
 //! Exit codes: 0 success, 1 validation/model failure, 2 usage or I/O
@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use camj_core::energy::{EstimateReport, ValidatedModel};
 use camj_desc::DesignDesc;
-use camj_explore::Explorer;
+use camj_explore::{EstimateCache, Explorer, Sweep, SweepFormat};
 
 const USAGE: &str = "\
 camj — declarative energy estimation for in-sensor visual computing
@@ -34,9 +34,12 @@ USAGE:
     camj estimate --design FILE [--fps N] [--json]
         Estimate per-frame energy for a description (optionally
         overriding its frame rate).
-    camj sweep --design FILE [--fps A,B,C] [--json]
+    camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
         Sweep frame-rate targets (from --fps, or the description's
-        `sweep.fps` list) through the staged pipeline.
+        `sweep.fps` list) through the incremental estimation engine.
+        --format selects machine-readable output (--json is shorthand
+        for --format json); --no-cache opts out of the cross-point
+        estimate cache and runs the plain staged pipeline instead.
 ";
 
 fn main() -> ExitCode {
@@ -72,7 +75,9 @@ struct Flags {
     design: Option<String>,
     fps: Option<String>,
     out: Option<String>,
+    format: Option<String>,
     json: bool,
+    no_cache: bool,
     positional: Vec<String>,
 }
 
@@ -81,7 +86,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         design: None,
         fps: None,
         out: None,
+        format: None,
         json: false,
+        no_cache: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -108,7 +115,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .clone(),
                 );
             }
+            "--format" => {
+                flags.format = Some(
+                    it.next()
+                        .ok_or_else(|| "--format needs a value (human, json, or csv)".to_owned())?
+                        .clone(),
+                );
+            }
             "--json" => flags.json = true,
+            "--no-cache" => flags.no_cache = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -274,72 +289,60 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             )
         }
     };
-    let results = Explorer::new().sweep_fps(&model, targets);
-    if flags.json {
-        let rows: Vec<serde_json::Value> = results
-            .outcomes()
-            .iter()
-            .map(|o| {
+    let format = match (&flags.format, flags.json) {
+        (Some(text), _) => match text.parse::<SweepFormat>() {
+            Ok(f) => f,
+            Err(e) => return usage_error(&e),
+        },
+        (None, true) => SweepFormat::Json,
+        (None, false) => SweepFormat::Human,
+    };
+    // Default path: the incremental engine — one shared cross-point
+    // cache, models built once per planned group, kernels replayed on
+    // fingerprint hits. `--no-cache` falls back to the plain staged
+    // pipeline (still model-cached within the sweep, as in PR 1).
+    let (results, cache_stats) = if flags.no_cache {
+        (Explorer::new().sweep_fps(&model, targets), None)
+    } else {
+        let sweep = Sweep::new().fps_targets(targets);
+        let cache = EstimateCache::shared();
+        let results = Explorer::new()
+            .sweep_incremental(&sweep, &cache, |point| Ok(model.with_fps(point.fps("fps"))));
+        (results, Some(cache.stats()))
+    };
+    match format {
+        SweepFormat::Json => println!("{}", results.to_json()),
+        SweepFormat::Csv => print!("{}", results.to_csv()),
+        SweepFormat::Human => {
+            println!("== sweep: {} ({} points) ==", desc.name, results.len());
+            println!(
+                "{:>10}  {:>16}  {:>14}",
+                "fps", "total pJ/frame", "pJ/pixel"
+            );
+            for o in results.outcomes() {
                 let fps = o.point.fps("fps");
                 match &o.result {
-                    Ok(r) => serde_json::to_value(&SweepRow {
+                    Ok(r) => println!(
+                        "{:>10}  {:>16.3}  {:>14.4}",
                         fps,
-                        total_pj: Some(r.total().picojoules()),
-                        per_pixel_pj: Some(r.energy_per_pixel().picojoules()),
-                        error: None,
-                    }),
-                    Err(e) => serde_json::to_value(&SweepRow {
-                        fps,
-                        total_pj: None,
-                        per_pixel_pj: None,
-                        error: Some(e.message().to_owned()),
-                    }),
+                        r.total().picojoules(),
+                        r.energy_per_pixel().picojoules()
+                    ),
+                    Err(e) => println!("{fps:>10}  infeasible: {}", e.message()),
                 }
-            })
-            .collect();
-        match serde_json::to_string_pretty(&rows) {
-            Ok(json) => println!("{json}"),
-            Err(e) => {
-                eprintln!("error: could not serialize sweep results: {e}");
-                return ExitCode::FAILURE;
             }
-        }
-    } else {
-        println!("== sweep: {} ({} points) ==", desc.name, results.len());
-        println!(
-            "{:>10}  {:>16}  {:>14}",
-            "fps", "total pJ/frame", "pJ/pixel"
-        );
-        for o in results.outcomes() {
-            let fps = o.point.fps("fps");
-            match &o.result {
-                Ok(r) => println!(
-                    "{:>10}  {:>16.3}  {:>14.4}",
-                    fps,
-                    r.total().picojoules(),
-                    r.energy_per_pixel().picojoules()
-                ),
-                Err(e) => println!("{fps:>10}  infeasible: {}", e.message()),
+            if let Some((point, best)) = results.min_energy() {
+                println!(
+                    "minimum: {:.3} pJ/frame at {point}",
+                    best.total().picojoules()
+                );
             }
-        }
-        if let Some((point, best)) = results.min_energy() {
-            println!(
-                "minimum: {:.3} pJ/frame at {point}",
-                best.total().picojoules()
-            );
+            if let Some(stats) = cache_stats {
+                println!("cache: {stats}");
+            }
         }
     }
     ExitCode::SUCCESS
-}
-
-/// A sweep result row for `--json` output: totals are absent and
-/// `error` is set for infeasible points.
-#[derive(serde::Serialize)]
-struct SweepRow {
-    fps: f64,
-    total_pj: Option<f64>,
-    per_pixel_pj: Option<f64>,
-    error: Option<String>,
 }
 
 // ---------------------------------------------------------------------
@@ -347,9 +350,14 @@ struct SweepRow {
 // ---------------------------------------------------------------------
 
 fn parse_fps_single(s: &str) -> Result<f64, String> {
-    s.trim()
+    let fps = s
+        .trim()
         .parse::<f64>()
-        .map_err(|_| format!("invalid FPS value '{s}'"))
+        .map_err(|_| format!("invalid FPS value '{s}'"))?;
+    if !(fps.is_finite() && fps > 0.0) {
+        return Err(format!("FPS must be positive and finite, got '{s}'"));
+    }
+    Ok(fps)
 }
 
 /// Reads, parses, validates, and builds a description file, optionally

@@ -1,0 +1,154 @@
+//! Determinism suite for the content-addressed incremental estimation
+//! engine: cached (incremental) sweeps must be bit-identical to cold
+//! full-pipeline sweeps, serial must equal parallel (under
+//! `RAYON_NUM_THREADS=8`), across the quickstart, Ed-Gaze, and Rhythmic
+//! workloads.
+
+use camj::core::energy::EstimateReport;
+use camj::explore::{
+    DesignPoint, EstimateCache, Explorer, MemoryKind, PointError, ProcessNode, Sweep, SweepResults,
+};
+use camj::workloads::configs::SensorVariant;
+use camj::workloads::{edgaze, quickstart, rhythmic};
+
+/// Forces the threaded rayon path. Every test sets the same value, so
+/// concurrent setting is benign.
+fn force_threads() {
+    std::env::set_var("RAYON_NUM_THREADS", "8");
+}
+
+/// Evaluates `sweep` three ways — cold full-pipeline (build + estimate
+/// per point, no shared cache), incremental serial, and incremental
+/// parallel — and asserts all three produce identical results. Returns
+/// the incremental-serial cache for hit-rate assertions.
+fn assert_three_way_identical<B>(
+    sweep: &Sweep,
+    build: B,
+) -> (SweepResults<EstimateReport>, camj::core::energy::CacheStats)
+where
+    B: Fn(&DesignPoint) -> Result<camj::core::energy::ValidatedModel, PointError> + Sync,
+{
+    force_threads();
+    // Cold path: every point pays validate → route → simulate → energy.
+    let cold = Explorer::serial().run(sweep, |point| {
+        let model = build(point)?;
+        match point.get("fps").and_then(camj::explore::AxisValue::as_f64) {
+            Some(fps) => model.estimate_at_fps(fps),
+            None => model.estimate(),
+        }
+        .map_err(PointError::from)
+    });
+
+    let serial_cache = EstimateCache::shared();
+    let serial = Explorer::serial().sweep_incremental(sweep, &serial_cache, &build);
+
+    let parallel_cache = EstimateCache::shared();
+    let parallel = Explorer::parallel().sweep_incremental(sweep, &parallel_cache, &build);
+
+    assert_eq!(
+        cold, serial,
+        "incremental serial sweep diverged from the cold full-pipeline sweep"
+    );
+    assert_eq!(
+        serial, parallel,
+        "parallel incremental sweep diverged from serial"
+    );
+    let stats = serial_cache.stats();
+    (serial, stats)
+}
+
+#[test]
+fn quickstart_fps_sweep_is_deterministic_and_cached() {
+    let sweep = Sweep::new().fps_targets([10.0, 20.0, 30.0, 60.0]);
+    let (results, stats) = assert_three_way_identical(&sweep, |point| {
+        quickstart::model(point.fps("fps"))
+            .map(camj::core::energy::CamJ::into_validated)
+            .map_err(PointError::new)
+    });
+    assert_eq!(results.error_count(), 0);
+    // One group, one simulation; the remaining points replay it.
+    assert!(stats.hits > 0, "expected cache hits, got {stats}");
+}
+
+#[test]
+fn edgaze_four_axis_sweep_is_deterministic_and_cached() {
+    let sweep = Sweep::new()
+        .fps_targets([15.0, 20.0])
+        .bit_widths([8, 10])
+        .tech_nodes([ProcessNode::N130, ProcessNode::N65])
+        .memory_kinds([MemoryKind::DoubleBuffer, MemoryKind::LineBuffer]);
+    assert_eq!(sweep.len(), 16);
+    let (results, stats) = assert_three_way_identical(&sweep, |point| {
+        let config = edgaze::EdGazeConfig::new(SensorVariant::TwoDIn, point.node("tech_node"))
+            .with_adc_bits(point.u32("bit_width"))
+            .with_frame_buffer_kind(point.memory("memory"));
+        edgaze::model_with(config)
+            .map(camj::core::energy::CamJ::into_validated)
+            .map_err(PointError::new)
+    });
+    assert_eq!(results.error_count(), 0, "{:?}", results.failures().next());
+    // bit_width and tech_node axes cannot invalidate the elastic
+    // simulation, so at most one simulation per memory kind runs and
+    // the hit rate must be substantial.
+    assert!(
+        stats.hits > stats.misses,
+        "expected a cache-dominated sweep, got {stats}"
+    );
+}
+
+#[test]
+fn rhythmic_variant_sweep_is_deterministic_and_cached() {
+    let sweep = Sweep::new()
+        .fps_targets([15.0, 30.0])
+        .tech_nodes([ProcessNode::N130, ProcessNode::N65])
+        .labels(
+            "variant",
+            [SensorVariant::TwoDIn, SensorVariant::TwoDOff]
+                .iter()
+                .map(|v| v.label()),
+        );
+    let (results, stats) = assert_three_way_identical(&sweep, |point| {
+        let variant =
+            SensorVariant::from_label(point.text("variant")).expect("axis built from labels");
+        rhythmic::model(variant, point.node("tech_node"))
+            .map(camj::core::energy::CamJ::into_validated)
+            .map_err(PointError::new)
+    });
+    assert_eq!(results.error_count(), 0, "{:?}", results.failures().next());
+    assert!(stats.hits > 0, "expected cache hits, got {stats}");
+}
+
+#[test]
+fn infeasible_points_fail_identically_on_every_path() {
+    // 10 MFPS is infeasible for Ed-Gaze; the failure must surface as the
+    // same per-point error on cold, serial, and parallel paths.
+    let sweep = Sweep::new().fps_targets([15.0, 10_000_000.0]);
+    let (results, _) = assert_three_way_identical(&sweep, |point| {
+        edgaze::model(SensorVariant::TwoDIn, ProcessNode::N65)
+            .map(|m| camj::core::energy::CamJ::into_validated(m).with_fps(point.fps("fps")))
+            .map_err(PointError::new)
+    });
+    assert_eq!(results.ok_count(), 1);
+    assert_eq!(results.error_count(), 1);
+}
+
+#[test]
+fn group_build_panics_carry_axis_coordinates() {
+    force_threads();
+    let sweep = Sweep::new().fps_targets([30.0]).bit_widths([4, 8]);
+    let cache = EstimateCache::shared();
+    let results = Explorer::parallel().sweep_incremental(&sweep, &cache, |point| {
+        assert!(point.u32("bit_width") != 8, "unsupported precision");
+        quickstart::model(point.fps("fps"))
+            .map(camj::core::energy::CamJ::into_validated)
+            .map_err(PointError::new)
+    });
+    assert_eq!(results.ok_count(), 1);
+    let (point, error) = results.failures().next().expect("one failing point");
+    assert_eq!(point.u32("bit_width"), 8);
+    assert!(
+        error.message().contains("bit_width=8"),
+        "panic message must name the failing point: {error}"
+    );
+    assert!(error.message().contains("unsupported precision"), "{error}");
+}
