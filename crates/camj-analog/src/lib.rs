@@ -12,7 +12,7 @@
 //! * [`components`] — the built-in component library of paper Table 1
 //!   (APS/DPS/PWM pixels, ADCs, switched-capacitor arithmetic, analog
 //!   memories),
-//! * [`array`] — Analog Functional Arrays with uniform access counting
+//! * [`array`](mod@array) — Analog Functional Arrays with uniform access counting
 //!   (Eq. 2–3).
 //!
 //! Typical users never touch cells directly: they pick components from

@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use camj_core::energy::{CacheStats, CamJ, EstimateReport, ValidatedModel};
 use camj_explore::{
-    DesignPoint, EstimateCache, Explorer, MemoryKind, PointError, Sweep, SweepResults,
+    Constraint, DesignPoint, EstimateCache, Explorer, MemoryKind, MetricVector, Objective,
+    ParetoFront, ParetoQuery, PointError, PruneStats, Sweep, SweepResults,
 };
 use camj_tech::node::ProcessNode;
 use camj_workloads::configs::SensorVariant;
@@ -236,6 +237,38 @@ fn median_secs(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The thermal budget of the Pareto-pruning acceptance benchmark, in
+/// mW/mm². Deliberately **active** on the 4-axis grid: most points'
+/// final peak density exceeds it, so the constraint gate cuts them
+/// after the digital-memory kernel (or earlier) and their remaining
+/// energy kernels never run.
+const PRUNING_BUDGET_MW_PER_MM2: f64 = 0.4;
+
+/// The Pareto query of the acceptance benchmark: minimise (total
+/// energy, peak power density) under the active thermal budget.
+fn pareto_query() -> ParetoQuery {
+    ParetoQuery::new(vec![Objective::TotalEnergy, Objective::PowerDensity])
+        .constrain(Constraint::MaxPowerDensity(PRUNING_BUDGET_MW_PER_MM2))
+}
+
+/// The cold reference frontier: run the full unconstrained staged sweep
+/// (every kernel on every point), then post-filter the completed
+/// reports through the same constraint and dominance filter.
+fn cold_postfilter_front(reference: &SweepResults<EstimateReport>) -> ParetoFront {
+    let query = pareto_query();
+    let mut front = ParetoFront::new(query.objectives().to_vec());
+    for (point, report) in reference.successes() {
+        let density = report.peak_power_density_mw_per_mm2().unwrap_or(0.0);
+        if density <= PRUNING_BUDGET_MW_PER_MM2 {
+            front.insert(
+                point.clone(),
+                MetricVector::measure(query.objectives(), report),
+            );
+        }
+    }
+    front
+}
+
 /// The acceptance benchmark: medians of the staged (PR 1) vs
 /// incremental paths on the 256-point grid, a bit-identity check
 /// between them, and a `BENCH_sweep.json` record at the workspace root.
@@ -298,19 +331,114 @@ fn four_axis_summary(_c: &mut Criterion) {
     );
     println!("  cache: {stats}");
 
-    let record = BenchRecord {
-        workload: "edgaze 2D-In".to_owned(),
-        grid: "fps(8) x bit_width(4) x tech_node(4) x memory(2)".to_owned(),
-        points: sweep.len(),
-        samples,
-        staged_baseline_ms: baseline_s * 1e3,
-        incremental_serial_ms: incremental_serial_s * 1e3,
-        incremental_parallel_ms: incremental_parallel_s * 1e3,
-        speedup_serial: baseline_s / incremental_serial_s,
-        speedup_parallel: baseline_s / incremental_parallel_s,
-        bit_identical: true,
-        worker_threads: rayon_threads(),
-        cache: stats,
+    // -----------------------------------------------------------------
+    // Pareto pruning: same grid, (energy, density) objectives, active
+    // power-density budget. Correctness first — the pruned incremental
+    // frontier must be bit-identical to post-filtering the cold full
+    // sweep — then the ≥20 % kernel-skip acceptance bar, then timing.
+    // -----------------------------------------------------------------
+    let query = pareto_query();
+    let cold_front = cold_postfilter_front(&reference);
+    let pareto_serial = {
+        let cache = EstimateCache::shared();
+        Explorer::serial().pareto(&sweep, &cache, &query, build_point)
+    };
+    let pareto_parallel = {
+        let cache = EstimateCache::shared();
+        Explorer::parallel().pareto(&sweep, &cache, &query, build_point)
+    };
+    for (mode, results) in [("serial", &pareto_serial), ("parallel", &pareto_parallel)] {
+        assert_eq!(
+            results.frontier().len(),
+            cold_front.frontier().len(),
+            "{mode}: pruned frontier size must match the cold post-filter"
+        );
+        for (pruned, cold) in results.frontier().iter().zip(cold_front.frontier()) {
+            assert_eq!(pruned.point, cold.point, "{mode}: frontier points differ");
+            assert!(
+                pruned.metrics.same_as(&cold.metrics),
+                "{mode}: frontier metrics must be bit-identical at [{}]",
+                pruned.point
+            );
+        }
+    }
+    let prune_stats = *pareto_serial.stats();
+    assert!(
+        prune_stats.points_pruned > 0,
+        "the power-density budget must be active on this grid"
+    );
+    assert!(
+        prune_stats.skip_fraction() >= 0.20,
+        "acceptance bar: pruning must skip >= 20% of energy-kernel work, got {:.1}%",
+        prune_stats.skip_fraction() * 100.0
+    );
+
+    let pareto_serial_s = time(&|| {
+        let cache = EstimateCache::shared();
+        black_box(
+            Explorer::serial()
+                .pareto(&sweep, &cache, &query, build_point)
+                .frontier()
+                .len(),
+        );
+    });
+    let pareto_postfilter_s = time(&|| {
+        let cache = EstimateCache::shared();
+        let results = Explorer::serial().sweep_incremental(&sweep, &cache, build_point);
+        black_box(cold_postfilter_front(&results).frontier().len());
+    });
+    println!();
+    println!(
+        "pareto4axis (edgaze 2D-In, {} points, density <= {PRUNING_BUDGET_MW_PER_MM2} mW/mm2), \
+         median of {samples}:",
+        sweep.len()
+    );
+    println!(
+        "  incremental + post-filter: {:8.1} ms",
+        pareto_postfilter_s * 1e3
+    );
+    println!(
+        "  pruned incremental:        {:8.1} ms  ({:5.2}x)",
+        pareto_serial_s * 1e3,
+        pareto_postfilter_s / pareto_serial_s
+    );
+    println!(
+        "  frontier {} / dominated {} / pruned {}; {}",
+        pareto_serial.frontier().len(),
+        pareto_serial.dominated_count(),
+        pareto_serial.pruned().len(),
+        prune_stats
+    );
+
+    let record = BenchFile {
+        incremental: BenchRecord {
+            workload: "edgaze 2D-In".to_owned(),
+            grid: "fps(8) x bit_width(4) x tech_node(4) x memory(2)".to_owned(),
+            points: sweep.len(),
+            samples,
+            staged_baseline_ms: baseline_s * 1e3,
+            incremental_serial_ms: incremental_serial_s * 1e3,
+            incremental_parallel_ms: incremental_parallel_s * 1e3,
+            speedup_serial: baseline_s / incremental_serial_s,
+            speedup_parallel: baseline_s / incremental_parallel_s,
+            bit_identical: true,
+            worker_threads: rayon_threads(),
+            cache: stats,
+        },
+        pareto_pruning: ParetoRecord {
+            objectives: query.objectives().iter().map(Objective::key).collect(),
+            constraint: format!("power density <= {PRUNING_BUDGET_MW_PER_MM2} mW/mm2"),
+            points: sweep.len(),
+            samples,
+            frontier_points: pareto_serial.frontier().len(),
+            dominated: pareto_serial.dominated_count(),
+            pruned_points: pareto_serial.pruned().len(),
+            prune: prune_stats,
+            skip_fraction: prune_stats.skip_fraction(),
+            frontier_bit_identical_to_cold_postfilter: true,
+            postfilter_ms: pareto_postfilter_s * 1e3,
+            pruned_incremental_ms: pareto_serial_s * 1e3,
+        },
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     match serde_json::to_string_pretty(&record) {
@@ -325,7 +453,15 @@ fn four_axis_summary(_c: &mut Criterion) {
     }
 }
 
-/// The committed `BENCH_sweep.json` schema.
+/// The committed `BENCH_sweep.json` schema: the PR 3 incremental-engine
+/// record plus the PR 4 Pareto-pruning record.
+#[derive(serde::Serialize)]
+struct BenchFile {
+    incremental: BenchRecord,
+    pareto_pruning: ParetoRecord,
+}
+
+/// The incremental-engine acceptance record (PR 3).
 #[derive(serde::Serialize)]
 struct BenchRecord {
     workload: String,
@@ -340,6 +476,26 @@ struct BenchRecord {
     bit_identical: bool,
     worker_threads: usize,
     cache: CacheStats,
+}
+
+/// The Pareto constraint-pruning acceptance record (PR 4): the frontier
+/// must be bit-identical to a cold post-filter, and pruning must skip
+/// at least 20 % of energy-kernel invocations under the active
+/// power-density budget.
+#[derive(serde::Serialize)]
+struct ParetoRecord {
+    objectives: Vec<String>,
+    constraint: String,
+    points: usize,
+    samples: usize,
+    frontier_points: usize,
+    dominated: usize,
+    pruned_points: usize,
+    prune: PruneStats,
+    skip_fraction: f64,
+    frontier_bit_identical_to_cold_postfilter: bool,
+    postfilter_ms: f64,
+    pruned_incremental_ms: f64,
 }
 
 criterion_group!(

@@ -6,6 +6,7 @@ fn main() {
     let _ = camj_bench::figures::fig9::run_rhythmic();
     let _ = camj_bench::figures::fig9::run_edgaze();
     let _ = camj_bench::figures::table3::run();
+    let _ = camj_bench::figures::pareto::run();
     let _ = camj_bench::figures::fig11::run_fig11();
     let _ = camj_bench::figures::fig11::run_fig12();
     let _ = camj_bench::figures::fig11::run_fig13();

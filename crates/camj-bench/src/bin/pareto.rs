@@ -1,0 +1,4 @@
+//! Regenerates the multi-objective Pareto companion to Fig. 9/Table 3.
+fn main() {
+    let _ = camj_bench::figures::pareto::run();
+}

@@ -4,4 +4,5 @@ pub mod fig1;
 pub mod fig11;
 pub mod fig7;
 pub mod fig9;
+pub mod pareto;
 pub mod table3;

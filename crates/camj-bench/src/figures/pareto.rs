@@ -1,0 +1,135 @@
+//! The multi-objective companion to Fig. 9 / Table 3: the Ed-Gaze
+//! (variant × CIS node × frame rate) grid pushed through the Pareto
+//! engine, minimising (total energy, peak power density) under the
+//! paper's 3D-stacking thermal framing.
+//!
+//! Fig. 9 shows *where the energy goes* per design; Table 3 shows
+//! *whether the density is safe*. This harness answers the question
+//! the two figures raise together: which designs are worth keeping
+//! once both axes count at once — and which are cut by a thermal
+//! budget before their energy is even fully booked.
+
+use camj_core::energy::CamJ;
+use camj_explore::{
+    Constraint, DesignPoint, EstimateCache, Explorer, Objective, ParetoQuery, PointError, Sweep,
+};
+use camj_tech::node::ProcessNode;
+use camj_workloads::configs::SensorVariant;
+use camj_workloads::edgaze;
+use serde::Serialize;
+
+use crate::output;
+
+/// The thermal budget the harness enforces, in mW/mm². Chosen at the
+/// paper's Table 3 scale: generous for planar designs, fatal for the
+/// stacked ones whose compute-layer density concentrates.
+pub const DENSITY_BUDGET_MW_PER_MM2: f64 = 20.0;
+
+/// One frontier row of the harness output.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParetoRow {
+    /// Variant label (2D-In, …).
+    pub variant: String,
+    /// CIS node in nm.
+    pub cis_node_nm: f64,
+    /// Frame-rate target.
+    pub fps: f64,
+    /// Total per-frame energy in µJ.
+    pub total_uj: f64,
+    /// Peak per-layer power density in mW/mm².
+    pub peak_density_mw_per_mm2: f64,
+}
+
+/// The harness result: the frontier plus the counts that summarise the
+/// rest of the grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParetoFigure {
+    /// The thermal budget enforced.
+    pub density_budget_mw_per_mm2: f64,
+    /// Frontier rows, in grid order.
+    pub frontier: Vec<ParetoRow>,
+    /// Feasible designs the frontier dominates.
+    pub dominated: usize,
+    /// Designs cut by the thermal budget mid-estimate.
+    pub pruned: usize,
+    /// Designs that failed to estimate (infeasible frame rate, stall).
+    pub errors: usize,
+    /// Fraction of energy-kernel invocations the pruning skipped.
+    pub kernel_skip_fraction: f64,
+}
+
+fn build_point(point: &DesignPoint) -> Result<camj_core::energy::ValidatedModel, PointError> {
+    let variant = SensorVariant::from_label(point.text("variant")).expect("label axis");
+    edgaze::model(variant, point.node("tech_node"))
+        .map(CamJ::into_validated)
+        .map_err(PointError::new)
+}
+
+/// Runs the harness: 5 variants × 2 CIS nodes × 4 frame rates through
+/// [`Explorer::pareto`], printing the frontier and the cut list.
+#[must_use]
+pub fn run() -> ParetoFigure {
+    let sweep = Sweep::new()
+        .tech_nodes([ProcessNode::N130, ProcessNode::N65])
+        .labels("variant", SensorVariant::ALL.map(|v| v.label()))
+        .fps_targets([10.0, 20.0, 30.0, 40.0]);
+    let query = ParetoQuery::new(vec![Objective::TotalEnergy, Objective::PowerDensity])
+        .constrain(Constraint::MaxPowerDensity(DENSITY_BUDGET_MW_PER_MM2));
+    let cache = EstimateCache::shared();
+    let results = Explorer::parallel().pareto(&sweep, &cache, &query, build_point);
+
+    output::header(&format!(
+        "Pareto frontier: Ed-Gaze variants x nodes x FPS, density <= {DENSITY_BUDGET_MW_PER_MM2} mW/mm2"
+    ));
+    let rows: Vec<ParetoRow> = results
+        .frontier()
+        .iter()
+        .map(|entry| {
+            let values = entry.metrics.values();
+            ParetoRow {
+                variant: entry.point.text("variant").to_owned(),
+                cis_node_nm: entry.point.node("tech_node").nanometers(),
+                fps: entry.point.fps("fps"),
+                total_uj: values[0] / 1e6,
+                peak_density_mw_per_mm2: values[1],
+            }
+        })
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} ({:.0}nm)", r.variant, r.cis_node_nm),
+                format!("{:.0}", r.fps),
+                format!("{:.1}", r.total_uj),
+                format!("{:.2}", r.peak_density_mw_per_mm2),
+            ]
+        })
+        .collect();
+    output::table(&["Config", "FPS", "Total µJ", "mW/mm2"], &table);
+    println!(
+        "  {} frontier / {} dominated / {} thermally pruned / {} errors; {}",
+        results.frontier().len(),
+        results.dominated_count(),
+        results.pruned().len(),
+        results.errors().len(),
+        results.stats()
+    );
+    for pruned in results.pruned() {
+        println!(
+            "    cut [{}]: {} after {} kernel(s)",
+            pruned.point, pruned.constraint, pruned.kernels_done
+        );
+    }
+
+    let figure = ParetoFigure {
+        density_budget_mw_per_mm2: DENSITY_BUDGET_MW_PER_MM2,
+        frontier: rows,
+        dominated: results.dominated_count(),
+        pruned: results.pruned().len(),
+        errors: results.errors().len(),
+        kernel_skip_fraction: results.stats().skip_fraction(),
+    };
+    output::save_json("pareto_edgaze", &figure);
+    figure
+}

@@ -17,4 +17,4 @@ pub use kernel::{
     KernelKind,
 };
 pub use model::{CamJ, EstimateReport};
-pub use pipeline::{ElasticSim, ValidatedModel};
+pub use pipeline::{ElasticSim, GateContext, GatedEstimate, ValidatedModel, ENERGY_KERNEL_COUNT};

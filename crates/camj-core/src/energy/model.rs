@@ -61,6 +61,23 @@ impl EstimateReport {
     pub fn energy_per_pixel(&self) -> Energy {
         self.breakdown.per_pixel(self.input_pixels.max(1))
     }
+
+    /// Digital-domain latency `T_D` measured by the cycle-level
+    /// simulation — the delay a design *needs*, as opposed to the
+    /// frame time it was *given*.
+    #[must_use]
+    pub fn digital_latency(&self) -> camj_tech::units::Time {
+        self.delay.digital_latency
+    }
+
+    /// The worst per-layer power density in mW/mm² (Sec. 6.2) — the
+    /// single number Table 3 reports per design, and the thermal
+    /// feasibility metric of multi-objective exploration. `None` when
+    /// no in-sensor layer has a defined area.
+    #[must_use]
+    pub fn peak_power_density_mw_per_mm2(&self) -> Option<f64> {
+        crate::power_density::peak_density_mw_per_mm2(&self.layers)
+    }
 }
 
 impl CamJ {

@@ -62,6 +62,54 @@ use super::model::EstimateReport;
 /// Safety bound for the cycle-level simulation.
 const MAX_SIM_CYCLES: u64 = 200_000_000;
 
+/// Number of energy kernels the **energy** stage runs per estimate
+/// (analog, digital compute, digital memory, interface — in that
+/// order). Gated estimation reports progress against this total.
+pub const ENERGY_KERNEL_COUNT: usize = 4;
+
+/// The partial estimation state an energy gate inspects between
+/// pipeline steps (see [`ValidatedModel::estimate_at_fps_gated`]).
+///
+/// Every component energy is non-negative, so any aggregate over
+/// [`GateContext::partial`] — a total, a category split, a per-layer
+/// power density — is a **lower bound** of the value the completed
+/// breakdown would report. That makes "abort when a partial aggregate
+/// already exceeds a budget" a sound pruning rule: it can only reject
+/// points the finished estimate would also reject.
+#[derive(Debug)]
+pub struct GateContext<'a> {
+    /// The solved frame-timing split for this point.
+    pub delay: &'a DelayEstimate,
+    /// Energy items booked so far (empty before the first kernel).
+    pub partial: &'a EnergyBreakdown,
+    /// Kernels that have already contributed to `partial`, in
+    /// `0..=ENERGY_KERNEL_COUNT`. Zero means the gate runs right after
+    /// the delay solve, before the stall check and every kernel.
+    pub kernels_done: usize,
+}
+
+/// Outcome of [`ValidatedModel::estimate_at_fps_gated`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatedEstimate {
+    /// The gate admitted every step; the report is byte-identical to
+    /// what [`ValidatedModel::estimate_at_fps`] returns for the same
+    /// frame rate.
+    Complete(Box<EstimateReport>),
+    /// The gate stopped the pass. `kernels_done` counts the energy
+    /// kernels that ran before the stop (the remaining
+    /// `ENERGY_KERNEL_COUNT - kernels_done` were skipped entirely);
+    /// `partial` retains their bookings for reporting.
+    Pruned {
+        /// The solved frame-timing split (always available: pruning
+        /// happens after the delay solve).
+        delay: DelayEstimate,
+        /// The partial breakdown at the moment the gate said stop.
+        partial: EnergyBreakdown,
+        /// Number of energy kernels that ran (`0..=ENERGY_KERNEL_COUNT`).
+        kernels_done: usize,
+    },
+}
+
 /// Domain tag of the elastic-simulation fingerprint; bump when the
 /// simulator's semantics change so stale cache keys cannot alias.
 const SIM_FINGERPRINT_DOMAIN: &str = "camj.sim/v1";
@@ -451,14 +499,33 @@ impl ValidatedModel {
         sim: Option<&SimReport>,
         delay: &DelayEstimate,
     ) -> EnergyBreakdown {
+        self.run_energy_kernels(plans, sim, delay, &mut |_| true)
+            .unwrap_or_else(|_| unreachable!("an always-admitting gate never prunes"))
+    }
+
+    /// Runs the four energy kernels in order, consulting `gate` after
+    /// each one. Both the gated and the ungated estimate paths go
+    /// through here, so an admitted pass is byte-identical to a plain
+    /// [`Self::energy_breakdown`] — same kernels, same order, same
+    /// cache fingerprints.
+    ///
+    /// Returns the completed breakdown, or `Err((partial, done))` when
+    /// the gate stopped after `done` kernels.
+    fn run_energy_kernels(
+        &self,
+        plans: &[StagePlan<'_>],
+        sim: Option<&SimReport>,
+        delay: &DelayEstimate,
+        gate: &mut dyn FnMut(&GateContext<'_>) -> bool,
+    ) -> Result<EnergyBreakdown, (EnergyBreakdown, usize)> {
         let analog = AnalogKernel::new(self, delay);
         let digital_compute = DigitalComputeKernel::new(self, plans, sim);
         let digital_memory = DigitalMemoryKernel::new(self, plans, sim, delay);
         let interface = InterfaceKernel::new(self);
-        let kernels: [&dyn EnergyKernel; 4] =
+        let kernels: [&dyn EnergyKernel; ENERGY_KERNEL_COUNT] =
             [&analog, &digital_compute, &digital_memory, &interface];
         let mut breakdown = EnergyBreakdown::new();
-        for kernel in kernels {
+        for (ran, kernel) in kernels.into_iter().enumerate() {
             match &self.cache {
                 Some(cache) => {
                     let items = cache.energy_or(kernel.fingerprint(), || kernel.compute());
@@ -472,8 +539,17 @@ impl ValidatedModel {
                     }
                 }
             }
+            let kernels_done = ran + 1;
+            let admitted = gate(&GateContext {
+                delay,
+                partial: &breakdown,
+                kernels_done,
+            });
+            if !admitted {
+                return Err((breakdown, kernels_done));
+            }
         }
-        breakdown
+        Ok(breakdown)
     }
 
     /// Runs the full staged flow at this model's frame rate.
@@ -505,6 +581,81 @@ impl ValidatedModel {
             self.check_stall_with(&plans, &delay)?;
         }
         let breakdown = self.energy_breakdown_with(&plans, elastic.report.as_ref(), &delay);
+        Ok(self.assemble_report(breakdown, delay, elastic))
+    }
+
+    /// The budget-gated variant of [`Self::estimate_at_fps`]: runs the
+    /// same FPS-dependent stages, but consults `gate` right after the
+    /// delay solve (with `kernels_done == 0`, before the stall check)
+    /// and again after each energy kernel. The first `false` stops the
+    /// pass and returns [`GatedEstimate::Pruned`], skipping every
+    /// remaining kernel.
+    ///
+    /// This is the engine behind constraint-based sweep pruning
+    /// (`camj-explore`'s Pareto path): a point whose partial energy
+    /// already blows a power-density or total-energy budget — or whose
+    /// digital latency blows a delay budget — never pays for the
+    /// kernels it no longer needs. Admitted passes stay cache-compatible
+    /// and byte-identical to the ungated path: kernels run in the same
+    /// order with the same fingerprints, so surviving points replay and
+    /// populate a shared [`EstimateCache`] exactly as a plain sweep
+    /// would.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Self::estimate_at_fps`]; a gate stop is
+    /// not an error but a [`GatedEstimate::Pruned`] outcome. Note that
+    /// a point pruned at `kernels_done == 0` skips the stall check, so
+    /// a design that would *also* stall reports as pruned, not stalled.
+    pub fn estimate_at_fps_gated<G>(
+        &self,
+        fps: f64,
+        mut gate: G,
+    ) -> Result<GatedEstimate, CamjError>
+    where
+        G: FnMut(&GateContext<'_>) -> bool,
+    {
+        let elastic = self.simulate()?;
+        let delay = DelayEstimate::solve(fps, elastic.digital_latency, self.analog_stage_count())?;
+        let empty = EnergyBreakdown::new();
+        let admitted = gate(&GateContext {
+            delay: &delay,
+            partial: &empty,
+            kernels_done: 0,
+        });
+        if !admitted {
+            return Ok(GatedEstimate::Pruned {
+                delay,
+                partial: empty,
+                kernels_done: 0,
+            });
+        }
+        let stall_settled = self.stall_settled(delay.analog_unit_time.secs());
+        let plans = self.stage_plans();
+        if !stall_settled {
+            self.check_stall_with(&plans, &delay)?;
+        }
+        match self.run_energy_kernels(&plans, elastic.report.as_ref(), &delay, &mut gate) {
+            Ok(breakdown) => Ok(GatedEstimate::Complete(Box::new(
+                self.assemble_report(breakdown, delay, elastic),
+            ))),
+            Err((partial, kernels_done)) => Ok(GatedEstimate::Pruned {
+                delay,
+                partial,
+                kernels_done,
+            }),
+        }
+    }
+
+    /// Bundles a completed breakdown into the full [`EstimateReport`]
+    /// (per-layer power densities, input pixel count, simulation
+    /// statistics). Shared by the gated and ungated estimate paths.
+    fn assemble_report(
+        &self,
+        breakdown: EnergyBreakdown,
+        delay: DelayEstimate,
+        elastic: &ElasticSim,
+    ) -> EstimateReport {
         let layers = layer_powers(&breakdown, &self.hw, delay.frame_time);
         let input_pixels = self
             .algo
@@ -513,13 +664,13 @@ impl ValidatedModel {
             .filter(|s| matches!(s.kind(), StageKind::Input))
             .map(|s| s.output_size().count())
             .sum();
-        Ok(EstimateReport {
+        EstimateReport {
             breakdown,
             delay,
             sim: elastic.report.clone(),
             layers,
             input_pixels,
-        })
+        }
     }
 
     /// Builds per-digital-stage simulation parameters.

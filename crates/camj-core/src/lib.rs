@@ -92,7 +92,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod check;
@@ -109,7 +109,8 @@ pub mod sw;
 pub use delay::DelayEstimate;
 pub use energy::{
     CacheStats, CamJ, ElasticSim, EnergyBreakdown, EnergyCategory, EnergyItem, EnergyKernel,
-    EstimateCache, EstimateReport, KernelKind, ValidatedModel,
+    EstimateCache, EstimateReport, GateContext, GatedEstimate, KernelKind, ValidatedModel,
+    ENERGY_KERNEL_COUNT,
 };
 pub use error::CamjError;
 pub use hw::{

@@ -48,11 +48,35 @@ pub struct BindingIr {
     pub unit: String,
 }
 
-/// A sweep specification: the axes `camj sweep` expands.
+/// A sweep specification: the axes `camj sweep` expands, plus the
+/// optional multi-objective block `camj pareto` reads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepIr {
     /// Frame-rate targets to sweep.
     pub fps: Vec<f64>,
+    /// Objectives for `camj pareto`, in the shared objective grammar:
+    /// `total_energy`, `delay`, `power_density`, `category:<LABEL>`
+    /// (a Fig. 9 category label such as `MEM-D`, case-insensitive), or
+    /// `stage:<name>` (an algorithm stage name). Absent ⇒ the CLI's
+    /// defaults apply.
+    pub objectives: Option<Vec<String>>,
+    /// Feasibility budgets for `camj pareto`. Absent ⇒ unconstrained.
+    pub constraints: Option<SweepConstraintsIr>,
+}
+
+/// Feasibility budgets of a sweep's multi-objective block. Every field
+/// is optional; present fields must be positive and finite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConstraintsIr {
+    /// Thermal budget: the worst per-layer power density must not
+    /// exceed this many mW/mm² (paper Sec. 6.2, Table 3).
+    pub max_power_density_mw_per_mm2: Option<f64>,
+    /// Latency budget: the digital latency `T_D` must not exceed this
+    /// many ms.
+    pub max_digital_latency_ms: Option<f64>,
+    /// Energy budget: total per-frame energy must not exceed this many
+    /// pJ.
+    pub max_total_energy_pj: Option<f64>,
 }
 
 // ---------------------------------------------------------------------

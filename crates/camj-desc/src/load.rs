@@ -37,6 +37,30 @@ impl DesignDesc {
     /// Parses a description from JSON text and checks its format
     /// version.
     ///
+    /// # Examples
+    ///
+    /// Load, validate, build, and estimate a bundled description:
+    ///
+    /// ```rust
+    /// use camj_desc::DesignDesc;
+    ///
+    /// let json = include_str!("../examples-data/minimal.json");
+    /// let desc = DesignDesc::from_json(json)?;
+    /// let model = desc.build()?; // validates, then constructs the model
+    /// let report = model.estimate()?;
+    /// assert!(report.total().picojoules() > 0.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// A shape error names the JSON path of the offending value:
+    ///
+    /// ```rust
+    /// use camj_desc::DesignDesc;
+    ///
+    /// let err = DesignDesc::from_json(r#"{ "version": 1, "name": 3 }"#).unwrap_err();
+    /// assert!(err.to_string().contains("name"), "{err}");
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`DescError::Parse`] for malformed JSON or schema mismatches
@@ -89,6 +113,33 @@ impl DesignDesc {
             }
             for (i, fps) in sweep.fps.iter().enumerate() {
                 c.positive(format!("sweep.fps[{i}]"), *fps);
+            }
+            if let Some(objectives) = &sweep.objectives {
+                if objectives.is_empty() {
+                    c.push(
+                        "sweep.objectives",
+                        "must list at least one objective when present",
+                        "[]",
+                    );
+                }
+                for (i, objective) in objectives.iter().enumerate() {
+                    self.validate_objective(&mut c, i, objective);
+                }
+            }
+            if let Some(constraints) = &sweep.constraints {
+                let budgets = [
+                    (
+                        "max_power_density_mw_per_mm2",
+                        constraints.max_power_density_mw_per_mm2,
+                    ),
+                    ("max_digital_latency_ms", constraints.max_digital_latency_ms),
+                    ("max_total_energy_pj", constraints.max_total_energy_pj),
+                ];
+                for (field, budget) in budgets {
+                    if let Some(v) = budget {
+                        c.positive(format!("sweep.constraints.{field}"), v);
+                    }
+                }
             }
         }
         if c.diags.is_empty() {
@@ -200,6 +251,39 @@ impl DesignDesc {
         }
 
         ValidatedModel::new(algo, hw, mapping, self.fps).map_err(DescError::from)
+    }
+
+    /// Checks one `sweep.objectives` entry against the shared objective
+    /// grammar (`camj-explore`'s `Objective` parser reads the same
+    /// strings): `total_energy`, `delay`, `power_density`,
+    /// `category:<LABEL>`, or `stage:<name>` with a stage the algorithm
+    /// actually declares.
+    fn validate_objective(&self, c: &mut Check, index: usize, objective: &str) {
+        let path = format!("sweep.objectives[{index}]");
+        match objective {
+            "total_energy" | "delay" | "power_density" => {}
+            other => {
+                if let Some(label) = other.strip_prefix("category:") {
+                    if !camj_core::EnergyCategory::ALL
+                        .iter()
+                        .any(|cat| cat.label().eq_ignore_ascii_case(label))
+                    {
+                        c.push(path, "unknown energy category label", quoted(label));
+                    }
+                } else if let Some(stage) = other.strip_prefix("stage:") {
+                    if !self.sw.stages.iter().any(|s| s.name == stage) {
+                        c.push(path, "references an unknown stage", quoted(stage));
+                    }
+                } else {
+                    c.push(
+                        path,
+                        "unknown objective (expected total_energy, delay, power_density, \
+                         category:<LABEL>, or stage:<name>)",
+                        quoted(other),
+                    );
+                }
+            }
+        }
     }
 
     fn validate_hw(&self, c: &mut Check) {

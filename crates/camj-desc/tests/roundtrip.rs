@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use camj_desc::ir::{
     AlgorithmIr, AnalogCategoryIr, AnalogUnitIr, BiasIr, BindingIr, CapNodeIr, CellIr, CellKindIr,
     ComponentIr, ConnectionIr, DigitalKindIr, DigitalUnitIr, DomainIr, EdgeIr, HardwareIr, LayerIr,
-    MemoryEnergyIr, MemoryIr, MemoryKindIr, StageIr, StageKindIr, SweepIr,
+    MemoryEnergyIr, MemoryIr, MemoryKindIr, StageIr, StageKindIr, SweepConstraintsIr, SweepIr,
 };
 use camj_desc::{DescError, DesignDesc, FORMAT_VERSION};
 
@@ -231,6 +231,24 @@ impl Gen {
             } else {
                 Some(SweepIr {
                     fps: (0..self.u32(1, 5)).map(|_| self.f64(1.0, 120.0)).collect(),
+                    objectives: if self.u32(0, 2) == 0 {
+                        None
+                    } else {
+                        Some(vec![
+                            "total_energy".to_owned(),
+                            "power_density".to_owned(),
+                            "stage:Edge".to_owned(),
+                        ])
+                    },
+                    constraints: if self.u32(0, 2) == 0 {
+                        None
+                    } else {
+                        Some(SweepConstraintsIr {
+                            max_power_density_mw_per_mm2: Some(self.f64(1.0, 100.0)),
+                            max_digital_latency_ms: None,
+                            max_total_energy_pj: Some(self.f64(1e3, 1e9)),
+                        })
+                    },
                 })
             },
         }

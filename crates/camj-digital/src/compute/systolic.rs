@@ -13,7 +13,7 @@ use camj_tech::node::ProcessNode;
 use camj_tech::scaling::ScalingTable;
 use camj_tech::units::Energy;
 
-/// The 65 nm synthesised MAC energy the paper's validation uses [5],
+/// The 65 nm synthesised MAC energy the paper's validation uses \[5\],
 /// in picojoules per multiply-accumulate.
 ///
 /// 0.55 pJ corresponds to an 8-bit fixed-point MAC at 65 nm — the

@@ -71,11 +71,31 @@ impl AxisValue {
     }
 }
 
+/// The canonical text form of a real axis coordinate: the shortest
+/// string that round-trips the value (the same formatter the JSON/CSV
+/// sweep serializers use), with explicit spellings for the non-finite
+/// values the plan keying logic tolerates. Everything that prints an
+/// axis coordinate — [`AxisValue`]'s `Display`, point-tagged error
+/// messages, the sweep serializers — goes through here, so a
+/// coordinate reads identically wherever it surfaces.
+#[must_use]
+pub fn canonical_f64(v: f64) -> String {
+    if v.is_finite() {
+        serde_json::to_string(&v).unwrap_or_else(|_| v.to_string())
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else if v > 0.0 {
+        "inf".to_owned()
+    } else {
+        "-inf".to_owned()
+    }
+}
+
 impl fmt::Display for AxisValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AxisValue::U32(v) => write!(f, "{v}"),
-            AxisValue::F64(v) => write!(f, "{v}"),
+            AxisValue::F64(v) => f.write_str(&canonical_f64(*v)),
             AxisValue::Node(v) => write!(f, "{v}"),
             AxisValue::Memory(v) => write!(f, "{v:?}"),
             AxisValue::Text(v) => f.write_str(v),
@@ -194,6 +214,22 @@ mod tests {
     fn display_is_compact() {
         assert_eq!(AxisValue::from(8u32).to_string(), "8");
         assert_eq!(AxisValue::from("x").to_string(), "x");
+    }
+
+    #[test]
+    fn f64_display_matches_the_serializers_and_tolerates_nan() {
+        // Finite values print the shortest round-trip form the JSON/CSV
+        // serializers use; the pathological values the plan keying
+        // logic tolerates print explicitly instead of via raw Display.
+        assert_eq!(AxisValue::from(30.0f64).to_string(), "30");
+        assert_eq!(AxisValue::from(0.25f64).to_string(), "0.25");
+        assert_eq!(AxisValue::from(f64::NAN).to_string(), "NaN");
+        assert_eq!(AxisValue::from(f64::INFINITY).to_string(), "inf");
+        assert_eq!(AxisValue::from(f64::NEG_INFINITY).to_string(), "-inf");
+        // Round-trip: the finite form parses back to the same bits.
+        let tricky = 0.1f64 + 0.2;
+        let text = canonical_f64(tricky);
+        assert_eq!(text.parse::<f64>().unwrap().to_bits(), tricky.to_bits());
     }
 
     #[test]

@@ -7,12 +7,15 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use camj_core::energy::{EstimateCache, EstimateReport, ValidatedModel};
+use camj_core::energy::{EstimateCache, EstimateReport, GatedEstimate, ValidatedModel};
 use camj_core::error::CamjError;
 use camj_tech::units::Energy;
 
 use crate::axis::AxisValue;
+use crate::objective::MetricVector;
+use crate::pareto::{ParetoFront, ParetoQuery, ParetoResults, PrunedPoint};
 use crate::plan::SweepPlan;
+use crate::prune::{Constraint, PruneStats};
 use crate::sweep::{DesignPoint, Sweep};
 
 /// How a sweep's points are evaluated.
@@ -301,6 +304,29 @@ impl Explorer {
     ///
     /// Read `cache.stats()` afterwards for the [`CacheStats`] report.
     ///
+    /// # Examples
+    ///
+    /// A 2-axis (frame rate × precision) grid over the Fig. 5
+    /// quickstart chip, one shared cache across all six points:
+    ///
+    /// ```rust
+    /// use camj_explore::{EstimateCache, Explorer, PointError, Sweep};
+    /// use camj_workloads::quickstart;
+    ///
+    /// let sweep = Sweep::new().fps_targets([15.0, 30.0, 60.0]);
+    /// let cache = EstimateCache::shared();
+    /// let results = Explorer::parallel().sweep_incremental(&sweep, &cache, |point| {
+    ///     quickstart::model(point.fps("fps"))
+    ///         .map(camj_core::energy::CamJ::into_validated)
+    ///         .map_err(PointError::new)
+    /// });
+    /// assert_eq!(results.ok_count(), 3);
+    /// // fps is a tail axis: all three points share one group, one
+    /// // model, one elastic simulation — and the fps-independent
+    /// // energy kernels replay from the shared cache.
+    /// assert!(cache.stats().hits > 0);
+    /// ```
+    ///
     /// [`CacheStats`]: camj_core::energy::CacheStats
     pub fn sweep_incremental<F>(
         &self,
@@ -311,43 +337,158 @@ impl Explorer {
     where
         F: Fn(&DesignPoint) -> Result<ValidatedModel, PointError> + Sync,
     {
-        let groups = SweepPlan::new(sweep).into_groups();
-        let estimate_on = |model: &ValidatedModel, point: &DesignPoint| {
-            let result = catch_unwind(AssertUnwindSafe(|| {
+        self.run_grouped(
+            sweep,
+            cache,
+            build,
+            |model, points| warm_stall(model, points, |_| true),
+            |model, point| {
                 match point.get("fps").and_then(AxisValue::as_f64) {
                     Some(fps) => model.estimate_at_fps(fps),
                     None => model.estimate(),
                 }
                 .map_err(PointError::from)
-            }));
-            result.unwrap_or_else(|payload| {
+            },
+        )
+    }
+
+    /// Multi-objective Pareto exploration over a design grid: evaluates
+    /// the grid through the same planned, cache-shared incremental path
+    /// as [`Self::sweep_incremental`], but
+    ///
+    /// * each point runs the **gated** pipeline
+    ///   ([`ValidatedModel::estimate_at_fps_gated`]): the query's
+    ///   [`Constraint`]s are checked after the delay solve and after
+    ///   every energy kernel, so an infeasible point skips the kernels
+    ///   it no longer needs (sound pruning — partial aggregates are
+    ///   lower bounds, so only genuinely-violating points are cut, and
+    ///   surviving points stay byte-identical to an unconstrained
+    ///   sweep), and
+    /// * completed points stream into a [`ParetoFront`] in grid order,
+    ///   so the frontier, its dominated-point provenance, and the
+    ///   pruned/error lists are fully deterministic — identical between
+    ///   serial and parallel modes, and identical to filtering a cold
+    ///   full sweep through the same constraints and front.
+    ///
+    /// Read `cache.stats()` for cache effectiveness and
+    /// [`ParetoResults::stats`] for how much kernel work the pruning
+    /// skipped.
+    ///
+    /// [`ValidatedModel::estimate_at_fps_gated`]: camj_core::energy::ValidatedModel::estimate_at_fps_gated
+    pub fn pareto<F>(
+        &self,
+        sweep: &Sweep,
+        cache: &Arc<EstimateCache>,
+        query: &ParetoQuery,
+        build: F,
+    ) -> ParetoResults
+    where
+        F: Fn(&DesignPoint) -> Result<ValidatedModel, PointError> + Sync,
+    {
+        let constraints = query.constraints();
+        let results = self.run_grouped(
+            sweep,
+            cache,
+            build,
+            |model, points| {
+                // Pre-warm only at frame rates whose delay split the
+                // constraints admit: a delay-pruned point never runs
+                // the stall check, so warming past the budget would do
+                // work the gated path deliberately skips.
+                warm_stall(model, points, |delay| constraints.admits_delay(delay));
+            },
+            |model, point| {
+                let fps = point
+                    .get("fps")
+                    .and_then(AxisValue::as_f64)
+                    .unwrap_or_else(|| model.fps());
+                let mut fired: Option<Constraint> = None;
+                let outcome = model.estimate_at_fps_gated(fps, |ctx| {
+                    match constraints.first_violated(model, ctx) {
+                        Some(c) => {
+                            fired = Some(c);
+                            false
+                        }
+                        None => true,
+                    }
+                });
+                match outcome.map_err(PointError::from)? {
+                    GatedEstimate::Complete(report) => Ok(PointEval::Complete(report)),
+                    GatedEstimate::Pruned { kernels_done, .. } => Ok(PointEval::Pruned {
+                        constraint: fired.expect("the gate only stops on a violation"),
+                        kernels_done,
+                    }),
+                }
+            },
+        );
+        let mut front = ParetoFront::new(query.objectives().to_vec());
+        let mut stats = PruneStats::default();
+        let mut pruned = Vec::new();
+        let mut errors = Vec::new();
+        for outcome in results.into_outcomes() {
+            match outcome.result {
+                Ok(PointEval::Complete(report)) => {
+                    stats.record_complete();
+                    let metrics = MetricVector::measure(query.objectives(), &report);
+                    front.insert(outcome.point, metrics);
+                }
+                Ok(PointEval::Pruned {
+                    constraint,
+                    kernels_done,
+                }) => {
+                    stats.record_pruned(kernels_done);
+                    pruned.push(PrunedPoint {
+                        point: outcome.point,
+                        constraint,
+                        kernels_done,
+                    });
+                }
+                Err(error) => {
+                    stats.record_error();
+                    errors.push((outcome.point, error));
+                }
+            }
+        }
+        ParetoResults::assemble(front, pruned, errors, stats)
+    }
+
+    /// The shared engine of [`Self::sweep_incremental`] and
+    /// [`Self::pareto`]: plans the grid, builds one cache-attached
+    /// model per rebuild group (falling back to per-point builds when
+    /// the representative build fails), runs `warm` once per healthy
+    /// group, evaluates `eval` per point with panic capture, and
+    /// returns outcomes in grid order.
+    fn run_grouped<R, F, W, E>(
+        &self,
+        sweep: &Sweep,
+        cache: &Arc<EstimateCache>,
+        build: F,
+        warm: W,
+        eval: E,
+    ) -> SweepResults<R>
+    where
+        R: Send,
+        F: Fn(&DesignPoint) -> Result<ValidatedModel, PointError> + Sync,
+        W: Fn(&ValidatedModel, &[DesignPoint]) + Sync,
+        E: Fn(&ValidatedModel, &DesignPoint) -> Result<R, PointError> + Sync,
+    {
+        let groups = SweepPlan::new(sweep).into_groups();
+        let eval_on = |model: &ValidatedModel, point: &DesignPoint| {
+            catch_unwind(AssertUnwindSafe(|| eval(model, point))).unwrap_or_else(|payload| {
                 Err(PointError::at_point(point, panic_message(payload.as_ref())))
             })
         };
-        let eval_group = |points: Vec<DesignPoint>| -> Vec<PointOutcome<EstimateReport>> {
+        let eval_group = |points: Vec<DesignPoint>| -> Vec<PointOutcome<R>> {
             let representative = &points[0];
             let built = catch_unwind(AssertUnwindSafe(|| build(representative)));
             match built {
                 Ok(Ok(model)) => {
                     let model = model.with_cache(Arc::clone(cache));
-                    // Pre-warm the stall verdict at the group's fastest
-                    // frame rate: stall freedom is monotone in the
-                    // readout time, so one simulation settles every
-                    // slower point (and, through the shared cache,
-                    // every other group with the same topology).
-                    let fastest = points
-                        .iter()
-                        .filter_map(|p| p.get("fps").and_then(AxisValue::as_f64))
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    if fastest.is_finite() && fastest > 0.0 {
-                        let _ = model
-                            .estimate_delay_at(fastest)
-                            .and_then(|delay| model.check_stall(&delay));
-                    }
+                    warm(&model, &points);
                     points
                         .into_iter()
                         .map(|point| {
-                            let result = estimate_on(&model, &point);
+                            let result = eval_on(&model, &point);
                             PointOutcome { point, result }
                         })
                         .collect()
@@ -368,23 +509,62 @@ impl Explorer {
                                     panic_message(payload.as_ref()),
                                 ))
                             })
-                            .and_then(|model| estimate_on(&model, &point));
+                            .and_then(|model| eval_on(&model, &point));
                             PointOutcome { point, result }
                         })
                         .collect()
                 }
             }
         };
-        let mut outcomes: Vec<PointOutcome<EstimateReport>> = match self.mode {
+        let mut outcomes: Vec<PointOutcome<R>> = match self.mode {
             ExecutionMode::Serial => groups.into_iter().flat_map(eval_group).collect(),
             ExecutionMode::Parallel => {
-                let per_group: Vec<Vec<PointOutcome<EstimateReport>>> =
+                let per_group: Vec<Vec<PointOutcome<R>>> =
                     groups.into_par_iter().map(eval_group).collect();
                 per_group.into_iter().flatten().collect()
             }
         };
         outcomes.sort_by_key(|o| o.point.index);
         SweepResults { outcomes }
+    }
+}
+
+/// A gated point evaluation: completed with a full report, or pruned by
+/// a constraint after `kernels_done` kernels.
+enum PointEval {
+    Complete(Box<EstimateReport>),
+    Pruned {
+        constraint: Constraint,
+        kernels_done: usize,
+    },
+}
+
+/// Pre-warms a group's stall verdict at its fastest admitted frame
+/// rate: stall freedom is monotone in the readout time, so one
+/// simulation settles every slower point (and, through the shared
+/// cache, every other group with the same topology). `admit` filters
+/// out frame rates a constraint gate would prune before the stall
+/// check.
+fn warm_stall(
+    model: &ValidatedModel,
+    points: &[DesignPoint],
+    admit: impl Fn(&camj_core::DelayEstimate) -> bool,
+) {
+    let fastest = points
+        .iter()
+        .filter_map(|p| p.get("fps").and_then(AxisValue::as_f64))
+        .filter(|&fps| {
+            fps.is_finite()
+                && fps > 0.0
+                && model
+                    .estimate_delay_at(fps)
+                    .is_ok_and(|delay| admit(&delay))
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    if fastest.is_finite() && fastest > 0.0 {
+        let _ = model
+            .estimate_delay_at(fastest)
+            .and_then(|delay| model.check_stall(&delay));
     }
 }
 

@@ -16,6 +16,7 @@ use camj_core::energy::EstimateReport;
 
 use crate::axis::AxisValue;
 use crate::explorer::SweepResults;
+use crate::pareto::ParetoResults;
 
 /// The output formats `camj sweep` can emit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,8 +77,11 @@ fn csv_field(raw: &str) -> String {
 
 /// Formats a float the way the JSON printer does (shortest string that
 /// round-trips), so CSV and JSON agree byte-for-byte on every number.
+/// Shared with [`AxisValue`]'s `Display` via
+/// [`canonical_f64`](crate::axis::canonical_f64), so point-tagged error
+/// messages print coordinates identically to the serializers.
 fn csv_f64(v: f64) -> String {
-    serde_json::to_string(&v).unwrap_or_else(|_| v.to_string())
+    crate::axis::canonical_f64(v)
 }
 
 impl SweepResults<EstimateReport> {
@@ -177,6 +181,105 @@ impl SweepResults<EstimateReport> {
                     out.push_str(&csv_field(e.message()));
                 }
             }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ParetoResults {
+    /// The frontier as JSON rows: one object per frontier point with a
+    /// key per axis followed by a key per objective (the
+    /// [`Objective::key`](crate::Objective::key) names), in grid order.
+    #[must_use]
+    pub fn to_json_rows(&self) -> Vec<Value> {
+        let keys: Vec<String> = self
+            .front()
+            .objectives()
+            .iter()
+            .map(crate::Objective::key)
+            .collect();
+        self.frontier()
+            .iter()
+            .map(|entry| {
+                let mut row = Map::new();
+                for (axis, value) in entry.point.coords() {
+                    row.insert(axis.clone(), axis_value_json(value));
+                }
+                for (key, value) in keys.iter().zip(entry.metrics.values()) {
+                    row.insert(key.clone(), Value::Number(Number::from_f64(*value)));
+                }
+                Value::Object(row)
+            })
+            .collect()
+    }
+
+    /// The whole result as a pretty-printed JSON object: the objective
+    /// key list, the frontier rows, and the dominated/pruned/error
+    /// counts that summarise the rest of the grid. Deterministic and
+    /// byte-stable (grid-ordered rows, shortest-round-trip floats), so
+    /// frontier artifacts can be diffed and committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metric is non-finite — estimation never produces
+    /// one, so this indicates a model bug.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = Map::new();
+        out.insert(
+            "objectives",
+            Value::Array(
+                self.front()
+                    .objectives()
+                    .iter()
+                    .map(|o| Value::String(o.key()))
+                    .collect(),
+            ),
+        );
+        out.insert("frontier", Value::Array(self.to_json_rows()));
+        let count = |n: usize| Value::Number(Number::from_u64(n as u64));
+        out.insert("dominated", count(self.dominated_count()));
+        out.insert("pruned", count(self.pruned().len()));
+        out.insert("errors", count(self.errors().len()));
+        out.insert("points", count(self.total_points()));
+        serde_json::to_string_pretty(&Value::Object(out)).expect("pareto metrics are finite")
+    }
+
+    /// The frontier as CSV: a header of axis names plus one column per
+    /// objective key, then one row per frontier point in grid order.
+    /// Empty for an empty frontier.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let Some(first) = self.frontier().first() else {
+            return out;
+        };
+        for (axis, _) in first.point.coords() {
+            out.push_str(&csv_field(axis));
+            out.push(',');
+        }
+        // Objective keys can embed free-form stage names, so they are
+        // escaped exactly like the axis-name cells above.
+        let keys: Vec<String> = self
+            .front()
+            .objectives()
+            .iter()
+            .map(|o| csv_field(&o.key()))
+            .collect();
+        out.push_str(&keys.join(","));
+        out.push('\n');
+        for entry in self.frontier() {
+            for (_, value) in entry.point.coords() {
+                let cell = match value {
+                    AxisValue::F64(v) => csv_f64(*v),
+                    other => other.to_string(),
+                };
+                out.push_str(&csv_field(&cell));
+                out.push(',');
+            }
+            let metrics: Vec<String> = entry.metrics.values().iter().map(|v| csv_f64(*v)).collect();
+            out.push_str(&metrics.join(","));
             out.push('\n');
         }
         out

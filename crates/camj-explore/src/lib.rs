@@ -41,6 +41,22 @@
 //! from the [`SweepResults`] serializers
 //! ([`SweepResults::to_json`] / [`SweepResults::to_csv`]).
 //!
+//! On top of the incremental engine sits **multi-objective Pareto
+//! exploration** ([`Explorer::pareto`]): a [`ParetoQuery`] names the
+//! [`Objective`]s to minimise (total energy, a per-category or
+//! per-stage energy split, digital latency, peak power density) and
+//! the feasibility [`Constraint`]s to enforce (a thermal power-density
+//! budget, a latency budget, an energy budget). Constraints prune
+//! *during* estimation — a point whose partial energy already blows a
+//! budget skips its remaining energy kernels entirely, without
+//! changing a single bit of any surviving point — and completed points
+//! stream through the [`ParetoFront`] dominance filter into
+//! [`ParetoResults`]: the frontier, dominated-point provenance, pruned
+//! points with the constraint that cut them, and [`PruneStats`]
+//! kernel-skip accounting. The `camj pareto` CLI subcommand and the
+//! frontier serializers ([`ParetoResults::to_json`] /
+//! [`ParetoResults::to_csv`]) expose the same machinery declaratively.
+//!
 //! # Example
 //!
 //! ```
@@ -68,19 +84,27 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod axis;
 mod explorer;
 mod format;
+mod objective;
+mod pareto;
 mod plan;
+mod prune;
 mod sweep;
 
-pub use axis::{Axis, AxisValue};
+pub use axis::{canonical_f64, Axis, AxisValue};
 pub use explorer::{ExecutionMode, Explorer, PointError, PointOutcome, SweepResults};
 pub use format::SweepFormat;
+pub use objective::{MetricVector, Objective};
+pub use pareto::{
+    DominatedEntry, ParetoEntry, ParetoFront, ParetoQuery, ParetoResults, PrunedPoint,
+};
 pub use plan::{axis_impact, axis_requires_rebuild, KernelSet, SweepPlan};
+pub use prune::{Constraint, ConstraintSet, PruneStats};
 pub use sweep::{DesignPoint, Sweep};
 
 // Re-exported for axis construction without extra imports downstream.

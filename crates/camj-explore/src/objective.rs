@@ -1,0 +1,286 @@
+//! Objectives and metric vectors: what multi-objective exploration
+//! minimises.
+//!
+//! The paper's findings come from comparing designs along several axes
+//! at once — per-frame energy, where that energy goes (Fig. 9's
+//! category bars, Fig. 13's per-stage split), the digital latency a
+//! design needs, and the per-layer power density that decides thermal
+//! feasibility (Table 3). An [`Objective`] names one such quantity;
+//! [`MetricVector`] evaluates a fixed objective list against an
+//! [`EstimateReport`], producing the coordinates the
+//! [`ParetoFront`](crate::ParetoFront) dominance filter compares.
+//!
+//! Every objective is **minimised**; all extracted values are finite
+//! and non-negative by construction of the estimator.
+
+use std::fmt;
+use std::str::FromStr;
+
+use camj_core::energy::{EnergyCategory, EstimateReport};
+
+/// One quantity a multi-objective exploration minimises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Objective {
+    /// Total per-frame energy in pJ (Eq. 1).
+    TotalEnergy,
+    /// Per-frame energy of one breakdown category in pJ — the
+    /// per-category split of Fig. 9 (e.g. `MEM-D` for digital memory).
+    CategoryEnergy(EnergyCategory),
+    /// Per-frame energy attributed to one algorithm stage in pJ — the
+    /// per-stage split of Fig. 13. Items without a stage attribution
+    /// (readout, communication) are not counted.
+    StageEnergy(String),
+    /// Digital-domain latency `T_D` in ms — the delay a design *needs*
+    /// out of its frame budget. Lower latency leaves more time for the
+    /// analog pipeline (Sec. 4.1).
+    Delay,
+    /// Worst per-layer power density in mW/mm² (Sec. 6.2, Table 3).
+    /// Designs with no defined layer area report 0 (no thermal
+    /// concern to minimise).
+    PowerDensity,
+}
+
+impl Objective {
+    /// The column key this objective uses in JSON and CSV exports.
+    #[must_use]
+    pub fn key(&self) -> String {
+        match self {
+            Objective::TotalEnergy => "total_pj".to_owned(),
+            Objective::CategoryEnergy(c) => {
+                format!("{}_pj", c.label().to_ascii_lowercase().replace('-', "_"))
+            }
+            Objective::StageEnergy(stage) => format!("stage_{stage}_pj"),
+            Objective::Delay => "digital_latency_ms".to_owned(),
+            Objective::PowerDensity => "peak_density_mw_per_mm2".to_owned(),
+        }
+    }
+
+    /// Extracts this objective's value from a completed estimate.
+    #[must_use]
+    pub fn extract(&self, report: &EstimateReport) -> f64 {
+        match self {
+            Objective::TotalEnergy => report.total().picojoules(),
+            Objective::CategoryEnergy(c) => report.breakdown.category_total(*c).picojoules(),
+            Objective::StageEnergy(stage) => report
+                .breakdown
+                .items()
+                .iter()
+                .filter(|i| i.stage.as_deref() == Some(stage.as_str()))
+                .map(|i| i.energy.picojoules())
+                .sum(),
+            Objective::Delay => report.digital_latency().millis(),
+            Objective::PowerDensity => report.peak_power_density_mw_per_mm2().unwrap_or(0.0),
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::TotalEnergy => f.write_str("total_energy"),
+            Objective::CategoryEnergy(c) => write!(f, "category:{}", c.label()),
+            Objective::StageEnergy(stage) => write!(f, "stage:{stage}"),
+            Objective::Delay => f.write_str("delay"),
+            Objective::PowerDensity => f.write_str("power_density"),
+        }
+    }
+}
+
+impl FromStr for Objective {
+    type Err = String;
+
+    /// Parses the objective grammar shared by `camj pareto
+    /// --objectives` and the description format's `sweep.objectives`
+    /// list: `total_energy`, `delay`, `power_density`,
+    /// `category:<LABEL>` (a Fig. 9 category label such as `MEM-D`,
+    /// case-insensitive), or `stage:<name>` (an algorithm stage,
+    /// case-sensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "total_energy" => return Ok(Objective::TotalEnergy),
+            "delay" => return Ok(Objective::Delay),
+            "power_density" => return Ok(Objective::PowerDensity),
+            _ => {}
+        }
+        if let Some(label) = s.strip_prefix("category:") {
+            return EnergyCategory::ALL
+                .iter()
+                .find(|c| c.label().eq_ignore_ascii_case(label))
+                .map(|c| Objective::CategoryEnergy(*c))
+                .ok_or_else(|| {
+                    format!(
+                        "unknown energy category '{label}' (expected one of {})",
+                        EnergyCategory::ALL.map(|c| c.label()).join(", ")
+                    )
+                });
+        }
+        if let Some(stage) = s.strip_prefix("stage:") {
+            if stage.is_empty() {
+                return Err("stage objective needs a stage name after 'stage:'".to_owned());
+            }
+            return Ok(Objective::StageEnergy(stage.to_owned()));
+        }
+        Err(format!(
+            "unknown objective '{s}' (expected total_energy, delay, power_density, \
+             category:<LABEL>, or stage:<name>)"
+        ))
+    }
+}
+
+/// The coordinates of one design point in objective space: one value
+/// per objective, in the query's objective order. All values are
+/// minimised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricVector {
+    values: Vec<f64>,
+}
+
+impl MetricVector {
+    /// Evaluates `objectives` against a completed estimate.
+    #[must_use]
+    pub fn measure(objectives: &[Objective], report: &EstimateReport) -> Self {
+        Self {
+            values: objectives.iter().map(|o| o.extract(report)).collect(),
+        }
+    }
+
+    /// A vector from raw values (for synthetic fronts and tests); must
+    /// match the owning front's objective count and contain no NaN.
+    #[must_use]
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "metric values must not be NaN"
+        );
+        Self { values }
+    }
+
+    /// The coordinate values, in objective order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of coordinates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector has no coordinates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Pareto dominance for minimisation: `self` dominates `other` iff
+    /// it is no worse on every coordinate and strictly better on at
+    /// least one. Equal vectors do not dominate each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths (they belong to
+    /// different objective sets).
+    #[must_use]
+    pub fn dominates(&self, other: &MetricVector) -> bool {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "metric vectors must share one objective set"
+        );
+        let mut strictly_better = false;
+        for (a, b) in self.values.iter().zip(&other.values) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strictly_better = true;
+            }
+        }
+        strictly_better
+    }
+
+    /// Exact coordinate-wise equality (bitwise on each value).
+    #[must_use]
+    pub fn same_as(&self, other: &MetricVector) -> bool {
+        self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_grammar_round_trips() {
+        for text in [
+            "total_energy",
+            "delay",
+            "power_density",
+            "category:MEM-D",
+            "stage:RoiDnn",
+        ] {
+            let objective: Objective = text.parse().unwrap();
+            assert_eq!(objective.to_string(), text);
+            assert_eq!(
+                objective.to_string().parse::<Objective>().unwrap(),
+                objective
+            );
+        }
+    }
+
+    #[test]
+    fn category_labels_parse_case_insensitively() {
+        assert_eq!(
+            "category:mem-d".parse::<Objective>().unwrap(),
+            Objective::CategoryEnergy(EnergyCategory::DigitalMemory)
+        );
+    }
+
+    #[test]
+    fn bad_objectives_are_reported() {
+        assert!("category:BOGUS".parse::<Objective>().is_err());
+        assert!("stage:".parse::<Objective>().is_err());
+        assert!("energy".parse::<Objective>().is_err());
+    }
+
+    #[test]
+    fn keys_are_column_safe() {
+        assert_eq!(Objective::TotalEnergy.key(), "total_pj");
+        assert_eq!(
+            Objective::CategoryEnergy(EnergyCategory::DigitalMemory).key(),
+            "mem_d_pj"
+        );
+        assert_eq!(
+            Objective::StageEnergy("RoiDnn".into()).key(),
+            "stage_RoiDnn_pj"
+        );
+        assert_eq!(Objective::Delay.key(), "digital_latency_ms");
+        assert_eq!(Objective::PowerDensity.key(), "peak_density_mw_per_mm2");
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere_and_weak_everywhere() {
+        let a = MetricVector::from_values(vec![1.0, 2.0]);
+        let b = MetricVector::from_values(vec![1.0, 3.0]);
+        let c = MetricVector::from_values(vec![0.5, 4.0]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "trade-off points do not dominate");
+        assert!(!c.dominates(&a));
+        assert!(!a.dominates(&a), "equal vectors never dominate");
+        assert!(a.same_as(&a));
+        assert!(!a.same_as(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_metrics_are_rejected() {
+        let _ = MetricVector::from_values(vec![f64::NAN]);
+    }
+}

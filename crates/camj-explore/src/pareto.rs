@@ -1,0 +1,516 @@
+//! The Pareto frontier: an incremental dominance filter over design
+//! points in objective space.
+//!
+//! [`ParetoFront`] maintains the set of non-dominated points as points
+//! stream in (insert-time pruning: a dominated insert is rejected
+//! immediately, a dominating insert evicts what it beats), with two
+//! determinism guarantees:
+//!
+//! * **insert order never changes the resulting frontier set** — the
+//!   frontier is a pure function of the inserted point set (ties
+//!   between metric-identical points always resolve to the lowest grid
+//!   index), and
+//! * **dominated points keep their provenance** — each eviction or
+//!   rejection records the point, its metrics, and the grid index of a
+//!   point that dominates it, so a report can explain *why* a design
+//!   is off the frontier.
+//!
+//! # Examples
+//!
+//! ```rust
+//! use camj_explore::{MetricVector, Objective, ParetoFront, Sweep};
+//!
+//! // Two designs, two objectives (energy pJ, peak density mW/mm²).
+//! let sweep = Sweep::new().labels("design", ["A", "B", "C"]);
+//! let points = sweep.points();
+//! let mut front = ParetoFront::new(vec![Objective::TotalEnergy, Objective::PowerDensity]);
+//! front.insert(points[0].clone(), MetricVector::from_values(vec![100.0, 2.0]));
+//! front.insert(points[1].clone(), MetricVector::from_values(vec![80.0, 3.0]));
+//! front.insert(points[2].clone(), MetricVector::from_values(vec![90.0, 3.5]));
+//! // A and B trade off; C is dominated by B (worse on both axes).
+//! assert_eq!(front.len(), 2);
+//! assert_eq!(front.dominated().len(), 1);
+//! assert_eq!(front.dominated()[0].dominated_by, points[1].index);
+//! ```
+
+use crate::explorer::PointError;
+use crate::objective::{MetricVector, Objective};
+use crate::prune::{Constraint, ConstraintSet, PruneStats};
+use crate::sweep::DesignPoint;
+
+/// One point on the frontier: the design and its objective-space
+/// coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEntry {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Its metric vector, in the front's objective order.
+    pub metrics: MetricVector,
+}
+
+/// A point that fell off (or never reached) the frontier, with
+/// provenance: the grid index of a frontier point that dominates it.
+///
+/// The witness always sits on the **current** frontier: when a witness
+/// is itself evicted later, every entry pointing at it is remapped to
+/// the evictor (dominance is transitive, so the evictor dominates
+/// those entries too). When several frontier points dominate the same
+/// design, `dominated_by` records one of them — *a* witness, not a
+/// canonical one; which witness is recorded may depend on insert order
+/// even though the frontier set itself does not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominatedEntry {
+    /// The dominated design point.
+    pub point: DesignPoint,
+    /// Its metric vector.
+    pub metrics: MetricVector,
+    /// Grid index ([`DesignPoint::index`]) of a dominating point.
+    pub dominated_by: usize,
+}
+
+/// An incremental Pareto-dominance filter (all objectives minimised).
+///
+/// Two determinism guarantees hold: the frontier **set** is a pure
+/// function of the inserted points (insert order never changes it;
+/// metric-identical ties resolve to the lowest grid index), and every
+/// dominated point keeps provenance — the grid index of a point that
+/// beats it. [`Explorer::pareto`](crate::Explorer::pareto) feeds one
+/// of these from an evaluated sweep, but the filter also works
+/// stand-alone:
+///
+/// ```rust
+/// use camj_explore::{MetricVector, Objective, ParetoFront, Sweep};
+///
+/// let points = Sweep::new().fps_targets([15.0, 30.0]).points();
+/// let mut front = ParetoFront::new(vec![Objective::TotalEnergy, Objective::Delay]);
+/// front.insert(points[0].clone(), MetricVector::from_values(vec![10.0, 2.0]));
+/// front.insert(points[1].clone(), MetricVector::from_values(vec![9.0, 1.0]));
+/// // The second point dominates the first on both axes.
+/// assert_eq!(front.len(), 1);
+/// assert_eq!(front.frontier()[0].point.index, 1);
+/// assert_eq!(front.dominated()[0].dominated_by, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    objectives: Vec<Objective>,
+    /// Non-dominated entries, kept sorted by grid index.
+    frontier: Vec<ParetoEntry>,
+    /// Every point rejected or evicted so far, in the order it was
+    /// decided, with a dominating witness each.
+    dominated: Vec<DominatedEntry>,
+}
+
+impl ParetoFront {
+    /// An empty front over `objectives`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objectives` is empty — a zero-dimensional frontier
+    /// would declare every point equal to every other.
+    #[must_use]
+    pub fn new(objectives: Vec<Objective>) -> Self {
+        assert!(
+            !objectives.is_empty(),
+            "a Pareto front needs at least one objective"
+        );
+        Self {
+            objectives,
+            frontier: Vec::new(),
+            dominated: Vec::new(),
+        }
+    }
+
+    /// The objective list, in coordinate order.
+    #[must_use]
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Inserts a point, updating the frontier. Returns `true` when the
+    /// point joined the frontier, `false` when it was dominated (and
+    /// recorded under [`Self::dominated`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` has a different coordinate count than the
+    /// front's objective list.
+    pub fn insert(&mut self, point: DesignPoint, metrics: MetricVector) -> bool {
+        assert_eq!(
+            metrics.len(),
+            self.objectives.len(),
+            "metric vector must have one coordinate per objective"
+        );
+        // Metric-identical twin: the lower grid index keeps the frontier
+        // slot regardless of arrival order (stable tie-breaking).
+        if let Some(slot) = self
+            .frontier
+            .iter()
+            .position(|e| e.metrics.same_as(&metrics))
+        {
+            let twin = &self.frontier[slot];
+            if point.index < twin.point.index {
+                let evicted = std::mem::replace(
+                    &mut self.frontier[slot],
+                    ParetoEntry {
+                        point,
+                        metrics: metrics.clone(),
+                    },
+                );
+                let winner = self.frontier[slot].point.index;
+                self.remap_witness(evicted.point.index, winner);
+                self.dominated.push(DominatedEntry {
+                    point: evicted.point,
+                    metrics: evicted.metrics,
+                    dominated_by: winner,
+                });
+                self.frontier.sort_by_key(|e| e.point.index);
+                return true;
+            }
+            self.dominated.push(DominatedEntry {
+                point,
+                metrics,
+                dominated_by: twin.point.index,
+            });
+            return false;
+        }
+        // Dominated by an incumbent: reject with provenance. (A point
+        // cannot be both dominated by one incumbent and dominate
+        // another — that would make the dominator dominate the other
+        // incumbent too, contradicting both being on the frontier.)
+        if let Some(dominator) = self.frontier.iter().find(|e| e.metrics.dominates(&metrics)) {
+            self.dominated.push(DominatedEntry {
+                point,
+                metrics,
+                dominated_by: dominator.point.index,
+            });
+            return false;
+        }
+        // Evict everything the new point dominates, then join.
+        let new_index = point.index;
+        let mut kept = Vec::with_capacity(self.frontier.len() + 1);
+        let mut evicted = Vec::new();
+        for entry in self.frontier.drain(..) {
+            if metrics.dominates(&entry.metrics) {
+                evicted.push(entry);
+            } else {
+                kept.push(entry);
+            }
+        }
+        for entry in evicted {
+            // Keep provenance anchored to the frontier: anything the
+            // evicted point dominated is transitively dominated by its
+            // evictor.
+            self.remap_witness(entry.point.index, new_index);
+            self.dominated.push(DominatedEntry {
+                point: entry.point,
+                metrics: entry.metrics,
+                dominated_by: new_index,
+            });
+        }
+        kept.push(ParetoEntry { point, metrics });
+        kept.sort_by_key(|e| e.point.index);
+        self.frontier = kept;
+        true
+    }
+
+    /// Rewrites every dominated entry whose witness is `from` (just
+    /// evicted) to point at `to` (the evictor), preserving the
+    /// invariant that `dominated_by` always names a current frontier
+    /// point.
+    fn remap_witness(&mut self, from: usize, to: usize) {
+        for entry in &mut self.dominated {
+            if entry.dominated_by == from {
+                entry.dominated_by = to;
+            }
+        }
+    }
+
+    /// The frontier entries, sorted by grid index.
+    #[must_use]
+    pub fn frontier(&self) -> &[ParetoEntry] {
+        &self.frontier
+    }
+
+    /// Every dominated point decided so far, with provenance, in
+    /// decision order.
+    #[must_use]
+    pub fn dominated(&self) -> &[DominatedEntry] {
+        &self.dominated
+    }
+
+    /// Number of frontier points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Whether the frontier is empty (no successful insert yet).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
+}
+
+/// A multi-objective exploration query: what to minimise and which
+/// feasibility budgets to enforce (see [`Explorer::pareto`]).
+///
+/// [`Explorer::pareto`]: crate::Explorer::pareto
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoQuery {
+    objectives: Vec<Objective>,
+    constraints: ConstraintSet,
+}
+
+impl ParetoQuery {
+    /// A query minimising `objectives`, initially unconstrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objectives` is empty.
+    #[must_use]
+    pub fn new(objectives: Vec<Objective>) -> Self {
+        assert!(
+            !objectives.is_empty(),
+            "a Pareto query needs at least one objective"
+        );
+        Self {
+            objectives,
+            constraints: ConstraintSet::new(),
+        }
+    }
+
+    /// Adds a feasibility constraint (builder-style).
+    #[must_use]
+    pub fn constrain(mut self, constraint: Constraint) -> Self {
+        self.constraints = self.constraints.with(constraint);
+        self
+    }
+
+    /// The objectives, in coordinate order.
+    #[must_use]
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// The constraint set.
+    #[must_use]
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+}
+
+/// A point cut by a constraint before completing its estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedPoint {
+    /// The pruned design point.
+    pub point: DesignPoint,
+    /// The first constraint the gate saw violated.
+    pub constraint: Constraint,
+    /// Energy kernels that ran before the cut (the remaining
+    /// `ENERGY_KERNEL_COUNT - kernels_done` were skipped).
+    ///
+    /// [`ENERGY_KERNEL_COUNT`]: camj_core::energy::ENERGY_KERNEL_COUNT
+    pub kernels_done: usize,
+}
+
+/// The outcome of [`Explorer::pareto`]: the frontier plus everything a
+/// report needs to explain the rest of the grid — dominated points with
+/// provenance, constraint-pruned points, per-point errors, and the
+/// kernel-skip accounting.
+///
+/// [`Explorer::pareto`]: crate::Explorer::pareto
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoResults {
+    front: ParetoFront,
+    pruned: Vec<PrunedPoint>,
+    errors: Vec<(DesignPoint, PointError)>,
+    stats: PruneStats,
+}
+
+impl ParetoResults {
+    pub(crate) fn assemble(
+        front: ParetoFront,
+        pruned: Vec<PrunedPoint>,
+        errors: Vec<(DesignPoint, PointError)>,
+        stats: PruneStats,
+    ) -> Self {
+        Self {
+            front,
+            pruned,
+            errors,
+            stats,
+        }
+    }
+
+    /// The dominance filter, with frontier and dominated provenance.
+    #[must_use]
+    pub fn front(&self) -> &ParetoFront {
+        &self.front
+    }
+
+    /// The frontier entries, sorted by grid index.
+    #[must_use]
+    pub fn frontier(&self) -> &[ParetoEntry] {
+        self.front.frontier()
+    }
+
+    /// Points cut by a constraint, in grid order.
+    #[must_use]
+    pub fn pruned(&self) -> &[PrunedPoint] {
+        &self.pruned
+    }
+
+    /// Points whose estimation failed outright (infeasible frame rate,
+    /// stall, build error), in grid order.
+    #[must_use]
+    pub fn errors(&self) -> &[(DesignPoint, PointError)] {
+        &self.errors
+    }
+
+    /// Kernel-skip accounting for the constrained evaluation.
+    #[must_use]
+    pub fn stats(&self) -> &PruneStats {
+        &self.stats
+    }
+
+    /// Number of feasible points the frontier beat.
+    #[must_use]
+    pub fn dominated_count(&self) -> usize {
+        self.front.dominated().len()
+    }
+
+    /// Total grid points evaluated.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.front.frontier().len()
+            + self.front.dominated().len()
+            + self.pruned.len()
+            + self.errors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Sweep;
+
+    fn points(n: usize) -> Vec<DesignPoint> {
+        let labels: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+        Sweep::new()
+            .labels("design", labels.iter().map(String::as_str))
+            .points()
+    }
+
+    fn front2() -> ParetoFront {
+        ParetoFront::new(vec![Objective::TotalEnergy, Objective::PowerDensity])
+    }
+
+    #[test]
+    fn dominated_inserts_are_rejected_with_provenance() {
+        let p = points(3);
+        let mut front = front2();
+        assert!(front.insert(p[0].clone(), MetricVector::from_values(vec![1.0, 1.0])));
+        assert!(!front.insert(p[1].clone(), MetricVector::from_values(vec![2.0, 2.0])));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.dominated()[0].dominated_by, p[0].index);
+    }
+
+    #[test]
+    fn dominating_insert_evicts_the_beaten() {
+        let p = points(3);
+        let mut front = front2();
+        front.insert(p[1].clone(), MetricVector::from_values(vec![2.0, 2.0]));
+        front.insert(p[2].clone(), MetricVector::from_values(vec![3.0, 1.5]));
+        assert!(front.insert(p[0].clone(), MetricVector::from_values(vec![1.0, 1.0])));
+        // p0 dominates both incumbents.
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.frontier()[0].point.index, p[0].index);
+        assert_eq!(front.dominated().len(), 2);
+        assert!(front.dominated().iter().all(|d| d.dominated_by == 0));
+    }
+
+    #[test]
+    fn witnesses_follow_evictions_onto_the_final_frontier() {
+        // X is first dominated by A; then B evicts A. X's witness must
+        // be remapped to B so provenance keeps naming a frontier point.
+        let p = points(3);
+        let mut front = front2();
+        front.insert(p[0].clone(), MetricVector::from_values(vec![2.0, 2.0])); // A
+        front.insert(p[1].clone(), MetricVector::from_values(vec![3.0, 3.0])); // X
+        front.insert(p[2].clone(), MetricVector::from_values(vec![1.0, 1.0])); // B
+        assert_eq!(front.len(), 1);
+        let frontier_indices: Vec<usize> = front.frontier().iter().map(|e| e.point.index).collect();
+        assert_eq!(frontier_indices, vec![2]);
+        for entry in front.dominated() {
+            assert!(
+                frontier_indices.contains(&entry.dominated_by),
+                "witness {} of point {} is not on the final frontier",
+                entry.dominated_by,
+                entry.point.index
+            );
+        }
+    }
+
+    #[test]
+    fn metric_ties_resolve_to_the_lowest_index() {
+        let p = points(2);
+        let metrics = || MetricVector::from_values(vec![1.0, 1.0]);
+        // Arrival order 1 then 0, and 0 then 1, give the same frontier.
+        for order in [[1, 0], [0, 1]] {
+            let mut front = front2();
+            for &i in &order {
+                front.insert(p[i].clone(), metrics());
+            }
+            assert_eq!(front.len(), 1);
+            assert_eq!(front.frontier()[0].point.index, 0, "order {order:?}");
+            assert_eq!(front.dominated()[0].point.index, 1);
+        }
+    }
+
+    #[test]
+    fn frontier_is_insert_order_invariant() {
+        // Six points with a mix of trade-offs, dominance, and a tie.
+        let p = points(6);
+        let vectors = [
+            vec![5.0, 1.0], // frontier (best density)
+            vec![1.0, 5.0], // frontier (best energy)
+            vec![3.0, 3.0], // frontier (trade-off)
+            vec![4.0, 4.0], // dominated by #2
+            vec![3.0, 3.0], // tie with #2 → loses on index
+            vec![6.0, 6.0], // dominated by everyone
+        ];
+        let orders: [[usize; 6]; 4] = [
+            [0, 1, 2, 3, 4, 5],
+            [5, 4, 3, 2, 1, 0],
+            [4, 2, 0, 5, 3, 1],
+            [3, 5, 1, 0, 4, 2],
+        ];
+        let mut reference: Option<Vec<usize>> = None;
+        for order in orders {
+            let mut front = front2();
+            for &i in &order {
+                front.insert(p[i].clone(), MetricVector::from_values(vectors[i].clone()));
+            }
+            let indices: Vec<usize> = front.frontier().iter().map(|e| e.point.index).collect();
+            match &reference {
+                None => reference = Some(indices),
+                Some(expected) => assert_eq!(&indices, expected, "order {order:?}"),
+            }
+        }
+        assert_eq!(reference.unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one objective")]
+    fn empty_objective_list_rejected() {
+        let _ = ParetoFront::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one coordinate per objective")]
+    fn wrong_arity_rejected() {
+        let p = points(1);
+        let mut front = front2();
+        front.insert(p[0].clone(), MetricVector::from_values(vec![1.0]));
+    }
+}

@@ -1,0 +1,238 @@
+//! Constraint-based early pruning: feasibility budgets that stop a
+//! point's estimation before it pays for energy kernels it cannot
+//! possibly need.
+//!
+//! The gated pipeline ([`ValidatedModel::estimate_at_fps_gated`]) calls
+//! back after the delay solve and after each energy kernel. Because
+//! every component energy is non-negative, any aggregate of the partial
+//! breakdown — total energy, a per-layer power density — is a **lower
+//! bound** of its final value, so "already over budget" is a sound
+//! verdict: pruning only rejects points the completed estimate would
+//! reject too. Surviving points run every kernel exactly as an
+//! unconstrained sweep would (same order, same cache fingerprints), so
+//! their results are byte-identical and a shared
+//! [`EstimateCache`](camj_core::energy::EstimateCache) stays coherent.
+//!
+//! [`ValidatedModel::estimate_at_fps_gated`]: camj_core::energy::ValidatedModel::estimate_at_fps_gated
+
+use std::fmt;
+
+use camj_core::energy::{GateContext, ValidatedModel, ENERGY_KERNEL_COUNT};
+use camj_core::power_density::layer_powers;
+use camj_core::DelayEstimate;
+
+/// One feasibility budget a design point must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// Thermal feasibility (Sec. 6.2): the worst per-layer power
+    /// density must not exceed this many mW/mm². Checked against the
+    /// partial breakdown after every kernel — a lower bound, so the
+    /// check is conservative until the last kernel makes it exact.
+    MaxPowerDensity(f64),
+    /// The digital latency `T_D` must not exceed this many ms. Checked
+    /// right after the delay solve, before the stall check and every
+    /// kernel.
+    MaxDigitalLatency(f64),
+    /// Total per-frame energy must not exceed this many pJ.
+    MaxTotalEnergy(f64),
+}
+
+impl Constraint {
+    /// Whether a delay split alone already violates this constraint.
+    #[must_use]
+    fn violated_by_delay(&self, delay: &DelayEstimate) -> bool {
+        match self {
+            Constraint::MaxDigitalLatency(ms) => delay.digital_latency.millis() > *ms,
+            Constraint::MaxPowerDensity(_) | Constraint::MaxTotalEnergy(_) => false,
+        }
+    }
+
+    /// Whether the gated pipeline's partial state already violates this
+    /// constraint (sound: partial aggregates are lower bounds).
+    #[must_use]
+    fn violated_by(&self, model: &ValidatedModel, ctx: &GateContext<'_>) -> bool {
+        match self {
+            Constraint::MaxDigitalLatency(_) => self.violated_by_delay(ctx.delay),
+            Constraint::MaxTotalEnergy(pj) => ctx.partial.total().picojoules() > *pj,
+            Constraint::MaxPowerDensity(budget) => {
+                layer_powers(ctx.partial, model.hardware(), ctx.delay.frame_time)
+                    .iter()
+                    .filter_map(|l| l.density_mw_per_mm2)
+                    .any(|d| d > *budget)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::MaxPowerDensity(v) => write!(f, "power density <= {v} mW/mm2"),
+            Constraint::MaxDigitalLatency(v) => write!(f, "digital latency <= {v} ms"),
+            Constraint::MaxTotalEnergy(v) => write!(f, "total energy <= {v} pJ"),
+        }
+    }
+}
+
+/// An ordered set of constraints, evaluated together as a gate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty (always-admitting) set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint (builder-style).
+    #[must_use]
+    pub fn with(mut self, constraint: Constraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// The constraints, in declaration order.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Whether the set admits everything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The first constraint a gate context violates, if any — the
+    /// provenance a pruned point reports.
+    #[must_use]
+    pub fn first_violated(
+        &self,
+        model: &ValidatedModel,
+        ctx: &GateContext<'_>,
+    ) -> Option<Constraint> {
+        self.constraints
+            .iter()
+            .find(|c| c.violated_by(model, ctx))
+            .copied()
+    }
+
+    /// Whether a delay split alone already violates some constraint
+    /// (used to skip stall pre-warming for hopeless frame rates).
+    #[must_use]
+    pub(crate) fn admits_delay(&self, delay: &DelayEstimate) -> bool {
+        !self.constraints.iter().any(|c| c.violated_by_delay(delay))
+    }
+}
+
+/// Energy-kernel accounting for a constrained sweep: how much of the
+/// energy stage the pruning actually skipped.
+///
+/// Kernel "work" counts cache interactions too — a replayed kernel
+/// still costs a fingerprint and a lookup — so the skip fraction is a
+/// fraction of kernel *invocations*, the unit the acceptance benchmark
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct PruneStats {
+    /// Points that completed estimation (all kernels ran).
+    pub points_complete: u64,
+    /// Points stopped by a constraint.
+    pub points_pruned: u64,
+    /// Points that failed estimation (infeasible frame rate, stall, …).
+    pub points_error: u64,
+    /// Energy kernels that ran (computed or replayed from cache).
+    pub kernels_run: u64,
+    /// Energy kernels skipped by pruning.
+    pub kernels_skipped: u64,
+}
+
+impl PruneStats {
+    /// Books a completed point.
+    pub(crate) fn record_complete(&mut self) {
+        self.points_complete += 1;
+        self.kernels_run += ENERGY_KERNEL_COUNT as u64;
+    }
+
+    /// Books a point pruned after `kernels_done` kernels.
+    pub(crate) fn record_pruned(&mut self, kernels_done: usize) {
+        self.points_pruned += 1;
+        self.kernels_run += kernels_done as u64;
+        self.kernels_skipped += (ENERGY_KERNEL_COUNT - kernels_done) as u64;
+    }
+
+    /// Books an errored point (no kernel accounting: the energy stage
+    /// was never reached for reasons unrelated to pruning).
+    pub(crate) fn record_error(&mut self) {
+        self.points_error += 1;
+    }
+
+    /// Fraction of energy-kernel invocations the pruning skipped, over
+    /// the points that reached the energy stage; zero for an empty
+    /// sweep.
+    #[must_use]
+    pub fn skip_fraction(&self) -> f64 {
+        let possible = self.kernels_run + self.kernels_skipped;
+        if possible == 0 {
+            0.0
+        } else {
+            self.kernels_skipped as f64 / possible as f64
+        }
+    }
+}
+
+impl fmt::Display for PruneStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} complete / {} pruned / {} errors; {} of {} kernel invocations skipped ({:.1}%)",
+            self.points_complete,
+            self.points_pruned,
+            self.points_error,
+            self.kernels_skipped,
+            self.kernels_run + self.kernels_skipped,
+            self.skip_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_fraction_counts_only_energy_stage_points() {
+        let mut stats = PruneStats::default();
+        stats.record_complete(); // 4 run
+        stats.record_pruned(1); // 1 run, 3 skipped
+        stats.record_error(); // no kernel accounting
+        assert_eq!(stats.kernels_run, 5);
+        assert_eq!(stats.kernels_skipped, 3);
+        assert!((stats.skip_fraction() - 3.0 / 8.0).abs() < 1e-12);
+        let text = stats.to_string();
+        assert!(text.contains("3 of 8"), "{text}");
+    }
+
+    #[test]
+    fn empty_stats_have_zero_skip_fraction() {
+        assert_eq!(PruneStats::default().skip_fraction(), 0.0);
+    }
+
+    #[test]
+    fn constraints_display_their_budgets() {
+        assert_eq!(
+            Constraint::MaxPowerDensity(30.0).to_string(),
+            "power density <= 30 mW/mm2"
+        );
+        assert_eq!(
+            Constraint::MaxDigitalLatency(12.5).to_string(),
+            "digital latency <= 12.5 ms"
+        );
+        assert_eq!(
+            Constraint::MaxTotalEnergy(1e6).to_string(),
+            "total energy <= 1000000 pJ"
+        );
+    }
+}

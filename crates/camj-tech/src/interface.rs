@@ -1,7 +1,7 @@
 //! Data-communication interface energy (paper Sec. 4.4, Eq. 17).
 //!
 //! Communication energy is dominated by moving bytes across chip
-//! boundaries. The paper uses two literature numbers [49]:
+//! boundaries. The paper uses two literature numbers \[49\]:
 //!
 //! * **MIPI CSI-2** (sensor → host SoC): ≈100 pJ/B,
 //! * **µTSV / hybrid bond** (between stacked layers): ≈1 pJ/B,

@@ -36,7 +36,7 @@
 //! assert!(hold_frame.joules() > 0.0 && ship_frame.joules() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod adc_fom;

@@ -1,6 +1,6 @@
 //! Analytical on-chip SRAM model.
 //!
-//! Plays the role DESTINY [57] / CACTI [3] play in the paper's flow:
+//! Plays the role DESTINY \[57\] / CACTI \[3\] play in the paper's flow:
 //! given a macro's capacity, word width, and process node it produces the
 //! per-access read/write energy, leakage power, and macro area that feed
 //! the digital memory energy equation (paper Eq. 16).

@@ -1,6 +1,6 @@
 //! Analytical STT-RAM (spin-transfer-torque MRAM) model.
 //!
-//! Plays the role of NVMExplorer [55] in the paper's 3D-In-STT case study
+//! Plays the role of NVMExplorer \[55\] in the paper's 3D-In-STT case study
 //! (Sec. 6.2): replacing the compute-layer SRAM with STT-RAM trades a
 //! write-energy premium for near-zero array leakage, which wins decisively
 //! for frame buffers that can never be power-gated.

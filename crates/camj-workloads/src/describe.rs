@@ -13,6 +13,7 @@
 //! other variant/node combinations remain available through the Rust
 //! API or by editing the exported JSON.
 
+use camj_desc::ir::{SweepConstraintsIr, SweepIr};
 use camj_desc::DesignDesc;
 
 use crate::configs::{SensorVariant, WorkloadError};
@@ -73,10 +74,22 @@ pub fn builtins() -> Vec<BuiltinWorkload> {
 /// [`WorkloadError::Unsupported`] for unknown names, or whatever the
 /// workload builder itself reports.
 pub fn export(name: &str) -> Result<DesignDesc, WorkloadError> {
-    let model = match name {
-        "quickstart" => crate::quickstart::model(crate::configs::WORKLOAD_FPS)?,
-        "rhythmic" => crate::rhythmic::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE)?,
-        "edgaze" => crate::edgaze::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE)?,
+    // Each arm pairs the workload's model with the sweep spec (if any)
+    // its exported description bundles, so a workload's spec lives next
+    // to the model it describes instead of in name-keyed special cases.
+    let (model, sweep) = match name {
+        "quickstart" => (
+            crate::quickstart::model(crate::configs::WORKLOAD_FPS)?,
+            None,
+        ),
+        "rhythmic" => (
+            crate::rhythmic::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE)?,
+            None,
+        ),
+        "edgaze" => (
+            crate::edgaze::model(SensorVariant::TwoDIn, EXPORT_CIS_NODE)?,
+            Some(edgaze_sweep_spec()),
+        ),
         other => {
             let chip = validation::all_chips()
                 .into_iter()
@@ -86,10 +99,30 @@ pub fn export(name: &str) -> Result<DesignDesc, WorkloadError> {
                         "unknown workload '{other}'; run `camj list` for the available names"
                     ),
                 })?;
-            (chip.build)()?
+            ((chip.build)()?, None)
         }
     };
-    Ok(camj_desc::describe(name, model.validated()))
+    let mut desc = camj_desc::describe(name, model.validated());
+    desc.sweep = sweep;
+    Ok(desc)
+}
+
+/// Ed-Gaze's bundled multi-objective sweep spec: the frame-rate axis
+/// trades per-frame energy (leakage amortises at high FPS) against
+/// sensor-layer power density (power concentrates at high FPS), under
+/// the paper's Table 3 thermal framing. The 1.6 mW/mm² budget is
+/// deliberately *active* on this grid — the fastest targets violate
+/// it — so `camj pareto` exercises constraint pruning out of the box.
+fn edgaze_sweep_spec() -> SweepIr {
+    SweepIr {
+        fps: vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+        objectives: Some(vec!["total_energy".to_owned(), "power_density".to_owned()]),
+        constraints: Some(SweepConstraintsIr {
+            max_power_density_mw_per_mm2: Some(1.6),
+            max_digital_latency_ms: None,
+            max_total_energy_pj: None,
+        }),
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Ed-Gaze [17] — the paper's second case-study workload (Fig. 8b,
+//! Ed-Gaze \[17\] — the paper's second case-study workload (Fig. 8b,
 //! Fig. 9b, Fig. 10–13, Table 3).
 //!
 //! A 640×400 eye-tracking sensor: 2×2 downsampling (S1), frame

@@ -1,4 +1,4 @@
-//! Rhythmic Pixel Regions [37] — the paper's first case-study workload
+//! Rhythmic Pixel Regions \[37\] — the paper's first case-study workload
 //! (Fig. 8a, Fig. 9a, Table 3).
 //!
 //! A 1280×720 sensor feeds a dedicated "Compare & Sample" accelerator

@@ -1,4 +1,4 @@
-//! ISSCC'17 [5] — Bong et al., "A 0.62 mW ultra-low-power CNN face
+//! ISSCC'17 \[5\] — Bong et al., "A 0.62 mW ultra-low-power CNN face
 //! recognition processor and a CIS integrated with always-on Haar-like
 //! face detector".
 //!

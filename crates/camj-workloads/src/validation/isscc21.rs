@@ -1,4 +1,4 @@
-//! ISSCC'21 [16] — Eki et al. (Sony IMX500), "A 1/2.3 inch 12.3 Mpixel
+//! ISSCC'21 \[16\] — Eki et al. (Sony IMX500), "A 1/2.3 inch 12.3 Mpixel
 //! with on-chip 4.97 TOPS/W CNN processor back-illuminated stacked CMOS
 //! image sensor".
 //!

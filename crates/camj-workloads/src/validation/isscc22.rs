@@ -1,4 +1,4 @@
-//! ISSCC'22 [29] — Hsu et al., "A 0.8 V intelligent vision sensor with
+//! ISSCC'22 \[29\] — Hsu et al., "A 0.8 V intelligent vision sensor with
 //! tiny convolutional neural network and programmable weights using
 //! mixed-mode processing-in-sensor technique for image classification".
 //!

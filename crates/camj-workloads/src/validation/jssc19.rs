@@ -1,4 +1,4 @@
-//! JSSC'19 [72] — Young et al., "A data-compressive 1.5/2.75-bit
+//! JSSC'19 \[72\] — Young et al., "A data-compressive 1.5/2.75-bit
 //! log-gradient QVGA image sensor with multi-scale readout for always-on
 //! object detection".
 //!

@@ -1,4 +1,4 @@
-//! JSSC'21-I [30] — Hsu et al., "A 0.5-V real-time computational CMOS
+//! JSSC'21-I \[30\] — Hsu et al., "A 0.5-V real-time computational CMOS
 //! image sensor with programmable kernel for feature extraction".
 //!
 //! Table 2 row: 180 nm, PWM pixels, column MAC PEs operating in the

@@ -1,4 +1,4 @@
-//! JSSC'21-II [54] — Park et al., "A 51-pJ/pixel 33.7-dB PSNR 4×
+//! JSSC'21-II \[54\] — Park et al., "A 51-pJ/pixel 33.7-dB PSNR 4×
 //! compressive CMOS image sensor with column-parallel single-shot
 //! compressive sensing".
 //!

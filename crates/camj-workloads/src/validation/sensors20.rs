@@ -1,4 +1,4 @@
-//! Sensors'20 [13] — Choi et al., "Design of an always-on image sensor
+//! Sensors'20 \[13\] — Choi et al., "Design of an always-on image sensor
 //! using an analog lightweight convolutional neural network".
 //!
 //! Table 2 row: 110 nm, 4T APS, column-parallel analog MAC & MaxPool in

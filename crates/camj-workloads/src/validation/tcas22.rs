@@ -1,4 +1,4 @@
-//! TCAS-I'22 [70] — Xu et al., "Senputing: An ultra-low-power always-on
+//! TCAS-I'22 \[70\] — Xu et al., "Senputing: An ultra-low-power always-on
 //! vision perception chip featuring the deep fusion of sensing and
 //! computing".
 //!

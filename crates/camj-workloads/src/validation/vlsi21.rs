@@ -1,4 +1,4 @@
-//! VLSI'21 [61] — Seo et al., "A 2.6 e-rms low-random-noise, 116.2 mW
+//! VLSI'21 \[61\] — Seo et al., "A 2.6 e-rms low-random-noise, 116.2 mW
 //! low-power 2-Mp global shutter CMOS image sensor with pixel-level ADC
 //! and in-pixel memory".
 //!

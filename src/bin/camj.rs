@@ -7,6 +7,9 @@
 //! camj validate <file>...
 //! camj estimate --design FILE [--fps N] [--json]
 //! camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
+//! camj pareto --design FILE [--fps A,B,C] [--objectives O,O,...]
+//!             [--max-density X] [--max-latency-ms X] [--max-energy-pj X]
+//!             [--format json|csv]
 //! ```
 //!
 //! Exit codes: 0 success, 1 validation/model failure, 2 usage or I/O
@@ -18,7 +21,9 @@ use std::process::ExitCode;
 
 use camj_core::energy::{EstimateReport, ValidatedModel};
 use camj_desc::DesignDesc;
-use camj_explore::{EstimateCache, Explorer, Sweep, SweepFormat};
+use camj_explore::{
+    Constraint, EstimateCache, Explorer, Objective, ParetoQuery, Sweep, SweepFormat,
+};
 
 const USAGE: &str = "\
 camj — declarative energy estimation for in-sensor visual computing
@@ -40,6 +45,16 @@ USAGE:
         --format selects machine-readable output (--json is shorthand
         for --format json); --no-cache opts out of the cross-point
         estimate cache and runs the plain staged pipeline instead.
+    camj pareto --design FILE [--fps A,B,C] [--objectives O,O,...]
+                [--max-density X] [--max-latency-ms X] [--max-energy-pj X]
+                [--format json|csv]
+        Multi-objective Pareto exploration over the frame-rate grid.
+        Objectives (minimised): total_energy, delay, power_density,
+        category:<LABEL>, stage:<name>; defaults come from the
+        description's `sweep.objectives` (falling back to
+        total_energy,power_density). Constraint flags override the
+        description's `sweep.constraints`; violating points are pruned
+        mid-estimate, skipping their remaining energy kernels.
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +69,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(rest),
         "estimate" => cmd_estimate(rest),
         "sweep" => cmd_sweep(rest),
+        "pareto" => cmd_pareto(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -71,56 +87,42 @@ fn main() -> ExitCode {
 // ---------------------------------------------------------------------
 
 /// Parsed `--flag value` / `--switch` arguments plus positionals.
+#[derive(Default)]
 struct Flags {
     design: Option<String>,
     fps: Option<String>,
     out: Option<String>,
     format: Option<String>,
+    objectives: Option<String>,
+    max_density: Option<String>,
+    max_latency_ms: Option<String>,
+    max_energy_pj: Option<String>,
     json: bool,
     no_cache: bool,
     positional: Vec<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
-    let mut flags = Flags {
-        design: None,
-        fps: None,
-        out: None,
-        format: None,
-        json: false,
-        no_cache: false,
-        positional: Vec::new(),
-    };
+    let mut flags = Flags::default();
     let mut it = args.iter();
+    let value_of = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--design" => {
-                flags.design = Some(
-                    it.next()
-                        .ok_or_else(|| "--design needs a file path".to_owned())?
-                        .clone(),
-                );
+            "--design" => flags.design = Some(value_of("--design", &mut it)?),
+            "--fps" => flags.fps = Some(value_of("--fps", &mut it)?),
+            "--out" => flags.out = Some(value_of("--out", &mut it)?),
+            "--format" => flags.format = Some(value_of("--format", &mut it)?),
+            "--objectives" => flags.objectives = Some(value_of("--objectives", &mut it)?),
+            "--max-density" => flags.max_density = Some(value_of("--max-density", &mut it)?),
+            "--max-latency-ms" => {
+                flags.max_latency_ms = Some(value_of("--max-latency-ms", &mut it)?);
             }
-            "--fps" => {
-                flags.fps = Some(
-                    it.next()
-                        .ok_or_else(|| "--fps needs a value".to_owned())?
-                        .clone(),
-                );
-            }
-            "--out" => {
-                flags.out = Some(
-                    it.next()
-                        .ok_or_else(|| "--out needs a file path".to_owned())?
-                        .clone(),
-                );
-            }
-            "--format" => {
-                flags.format = Some(
-                    it.next()
-                        .ok_or_else(|| "--format needs a value (human, json, or csv)".to_owned())?
-                        .clone(),
-                );
+            "--max-energy-pj" => {
+                flags.max_energy_pj = Some(value_of("--max-energy-pj", &mut it)?);
             }
             "--json" => flags.json = true,
             "--no-cache" => flags.no_cache = true,
@@ -343,6 +345,177 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_pareto(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(path) = &flags.design else {
+        return usage_error("pareto needs --design FILE");
+    };
+    if let [stray, ..] = flags.positional.as_slice() {
+        return usage_error(&format!("pareto takes no positional argument '{stray}'"));
+    }
+    if flags.no_cache {
+        return usage_error(
+            "--no-cache is not supported by pareto (pruning requires the shared \
+             estimate cache); use `camj sweep --no-cache` for uncached sweeps",
+        );
+    }
+    if flags.out.is_some() {
+        return usage_error("pareto prints to stdout; redirect instead of passing --out");
+    }
+    let (desc, model) = match load_design(path, None) {
+        Ok(x) => x,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = desc.sweep.as_ref();
+    let targets: Vec<f64> = match (&flags.fps, spec) {
+        (Some(list), _) => match list.split(',').map(parse_fps_single).collect() {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        },
+        (None, Some(sweep)) if !sweep.fps.is_empty() => sweep.fps.clone(),
+        _ => {
+            return usage_error(
+                "pareto needs frame-rate targets: pass --fps A,B,C or add a `sweep.fps` \
+                 list to the description",
+            )
+        }
+    };
+    // Objectives: --objectives beats the description's sweep.objectives
+    // beats the (total_energy, power_density) default.
+    let objective_names: Vec<String> = match (&flags.objectives, spec) {
+        (Some(list), _) => list.split(',').map(|s| s.trim().to_owned()).collect(),
+        (None, Some(sweep)) => sweep
+            .objectives
+            .clone()
+            .unwrap_or_else(default_objective_names),
+        (None, None) => default_objective_names(),
+    };
+    let objectives: Vec<Objective> = {
+        let mut parsed = Vec::with_capacity(objective_names.len());
+        for name in &objective_names {
+            match name.parse::<Objective>() {
+                Ok(o) => parsed.push(o),
+                Err(e) => return usage_error(&e),
+            }
+        }
+        parsed
+    };
+    if objectives.is_empty() {
+        return usage_error("pareto needs at least one objective");
+    }
+    let mut query = ParetoQuery::new(objectives);
+    // Constraints: any constraint flag overrides the description's
+    // whole `sweep.constraints` block (flags and block do not mix).
+    let flagged = [
+        &flags.max_density,
+        &flags.max_latency_ms,
+        &flags.max_energy_pj,
+    ]
+    .iter()
+    .any(|f| f.is_some());
+    if flagged {
+        let budgets = [
+            (&flags.max_density, "--max-density"),
+            (&flags.max_latency_ms, "--max-latency-ms"),
+            (&flags.max_energy_pj, "--max-energy-pj"),
+        ];
+        for (value, flag) in budgets {
+            let Some(text) = value else { continue };
+            let budget = match text.parse::<f64>() {
+                Ok(v) if v.is_finite() && v > 0.0 => v,
+                _ => return usage_error(&format!("{flag} needs a positive number, got '{text}'")),
+            };
+            query = query.constrain(match flag {
+                "--max-density" => Constraint::MaxPowerDensity(budget),
+                "--max-latency-ms" => Constraint::MaxDigitalLatency(budget),
+                _ => Constraint::MaxTotalEnergy(budget),
+            });
+        }
+    } else if let Some(constraints) = spec.and_then(|s| s.constraints.as_ref()) {
+        if let Some(v) = constraints.max_power_density_mw_per_mm2 {
+            query = query.constrain(Constraint::MaxPowerDensity(v));
+        }
+        if let Some(v) = constraints.max_digital_latency_ms {
+            query = query.constrain(Constraint::MaxDigitalLatency(v));
+        }
+        if let Some(v) = constraints.max_total_energy_pj {
+            query = query.constrain(Constraint::MaxTotalEnergy(v));
+        }
+    }
+    let format = match (&flags.format, flags.json) {
+        (Some(text), _) => match text.parse::<SweepFormat>() {
+            Ok(f) => f,
+            Err(e) => return usage_error(&e),
+        },
+        (None, true) => SweepFormat::Json,
+        (None, false) => SweepFormat::Human,
+    };
+    let sweep = Sweep::new().fps_targets(targets);
+    let cache = EstimateCache::shared();
+    let results = Explorer::new().pareto(&sweep, &cache, &query, |point| {
+        Ok(model.with_fps(point.fps("fps")))
+    });
+    match format {
+        SweepFormat::Json => println!("{}", results.to_json()),
+        SweepFormat::Csv => print!("{}", results.to_csv()),
+        SweepFormat::Human => {
+            println!(
+                "== pareto: {} ({} points, {} objectives) ==",
+                desc.name,
+                results.total_points(),
+                query.objectives().len()
+            );
+            for constraint in query.constraints().constraints() {
+                println!("constraint: {constraint}");
+            }
+            let keys: Vec<String> = query.objectives().iter().map(Objective::key).collect();
+            print!("{:>10}", "fps");
+            for key in &keys {
+                print!("  {key:>24}");
+            }
+            println!();
+            for entry in results.frontier() {
+                print!("{:>10}", entry.point.fps("fps"));
+                for value in entry.metrics.values() {
+                    print!("  {value:>24.4}");
+                }
+                println!();
+            }
+            println!(
+                "frontier: {} point(s); dominated: {}; pruned: {}; errors: {}",
+                results.frontier().len(),
+                results.dominated_count(),
+                results.pruned().len(),
+                results.errors().len()
+            );
+            for pruned in results.pruned() {
+                println!(
+                    "  pruned [{}]: violates {} after {} kernel(s)",
+                    pruned.point, pruned.constraint, pruned.kernels_done
+                );
+            }
+            for (point, error) in results.errors() {
+                println!("  error [{point}]: {}", error.message());
+            }
+            println!("prune: {}", results.stats());
+            println!("cache: {}", cache.stats());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The objectives `camj pareto` minimises when neither `--objectives`
+/// nor the description's `sweep.objectives` names any.
+fn default_objective_names() -> Vec<String> {
+    vec!["total_energy".to_owned(), "power_density".to_owned()]
 }
 
 // ---------------------------------------------------------------------

@@ -6,21 +6,27 @@
 //!
 //! This umbrella crate re-exports the workspace:
 //!
-//! * [`core`](camj_core) — the framework: declarative algorithm /
-//!   hardware / mapping descriptions, pre-simulation checks, delay
-//!   estimation, and the energy estimator,
-//! * [`analog`](camj_analog) — A-Cell/A-Component circuit energy models,
-//! * [`digital`](camj_digital) — memory structures, compute units, and
-//!   the cycle-level pipeline simulator,
-//! * [`tech`](camj_tech) — process-node scaling, SRAM/STT-RAM macros,
-//!   the ADC FoM survey, and interface energies,
-//! * [`workloads`](camj_workloads) — the paper's validation chips and
-//!   case-study workloads, ready to run,
-//! * [`explore`](camj_explore) — declarative design-space sweeps with a
-//!   parallel evaluator over the staged estimation pipeline,
-//! * [`desc`](camj_desc) — JSON design descriptions: load, validate,
-//!   estimate, and export designs without recompiling (see the `camj`
-//!   CLI and the golden files under `descriptions/`).
+//! * [`core`] — the framework: declarative algorithm / hardware /
+//!   mapping descriptions, pre-simulation checks, delay estimation,
+//!   and the energy estimator,
+//! * [`analog`] — A-Cell/A-Component circuit energy models,
+//! * [`digital`] — memory structures, compute units, and the
+//!   cycle-level pipeline simulator,
+//! * [`tech`] — process-node scaling, SRAM/STT-RAM macros, the ADC FoM
+//!   survey, and interface energies,
+//! * [`workloads`] — the paper's validation chips and case-study
+//!   workloads, ready to run,
+//! * [`explore`] — declarative design-space sweeps, the incremental
+//!   estimation engine, and multi-objective Pareto exploration over
+//!   the staged pipeline,
+//! * [`desc`] — JSON design descriptions: load, validate, estimate,
+//!   and export designs without recompiling (see the `camj` CLI and
+//!   the golden files under `descriptions/`).
+//!
+//! `docs/ARCHITECTURE.md` walks the whole machine — the staged
+//! pipeline, the fingerprint/cache model, the delta-sweep planner, and
+//! the Pareto layer — and `docs/DESCRIPTIONS.md` is the JSON schema
+//! reference.
 //!
 //! # Quick start
 //!
