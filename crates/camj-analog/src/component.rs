@@ -25,6 +25,7 @@ use camj_tech::units::{Energy, Time};
 
 use crate::cell::{AnalogCell, CellContext};
 use crate::domain::SignalDomain;
+use crate::noise::NoiseSource;
 
 /// A cell placed inside a component, with spatial/temporal access counts
 /// (Eq. 13).
@@ -75,7 +76,10 @@ impl CellInstance {
     }
 }
 
-/// A named analog component: ordered cells plus I/O signal domains.
+/// A named analog component: ordered cells plus I/O signal domains,
+/// and optionally the physical [`NoiseSource`]s the component injects
+/// into the signal chain (empty for energy-only modeling; noise never
+/// changes an energy estimate).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnalogComponentSpec {
     name: String,
@@ -83,6 +87,8 @@ pub struct AnalogComponentSpec {
     output_domain: SignalDomain,
     cells: Vec<CellInstance>,
     vdda: f64,
+    #[serde(default)]
+    noise: Vec<NoiseSource>,
 }
 
 impl AnalogComponentSpec {
@@ -95,6 +101,7 @@ impl AnalogComponentSpec {
             output_domain: SignalDomain::Voltage,
             cells: Vec::new(),
             vdda: DEFAULT_VDDA,
+            noise: Vec::new(),
         }
     }
 
@@ -126,6 +133,42 @@ impl AnalogComponentSpec {
     #[must_use]
     pub fn vdda(&self) -> f64 {
         self.vdda
+    }
+
+    /// The noise sources this component injects, in declaration order
+    /// (empty for components modeled for energy only).
+    #[must_use]
+    pub fn noise_sources(&self) -> &[NoiseSource] {
+        &self.noise
+    }
+
+    /// Appends a noise source (builder-style on the finished spec, so
+    /// library components like `aps_4t` can be annotated per workload
+    /// without rebuilding them cell by cell). Noise sources are
+    /// energy-inert: they feed the functional simulation only.
+    #[must_use]
+    pub fn with_noise_source(mut self, source: NoiseSource) -> Self {
+        self.noise.push(source);
+        self
+    }
+
+    /// The resolution of this component's digitising back end: the
+    /// widest non-linear converter cell, provided the component's
+    /// output is digital. `None` for purely analog components — and
+    /// for components that merely *contain* a converter but keep an
+    /// analog output.
+    #[must_use]
+    pub fn conversion_bits(&self) -> Option<u32> {
+        if self.output_domain != SignalDomain::Digital {
+            return None;
+        }
+        self.cells
+            .iter()
+            .filter_map(|inst| match inst.cell {
+                AnalogCell::NonLinear { bits, .. } => Some(bits),
+                _ => None,
+            })
+            .max()
     }
 
     /// Per-access energy under delay budget `component_delay` (Eq. 4).
@@ -169,6 +212,7 @@ pub struct AnalogComponentBuilder {
     output_domain: SignalDomain,
     cells: Vec<CellInstance>,
     vdda: f64,
+    noise: Vec<NoiseSource>,
 }
 
 impl AnalogComponentBuilder {
@@ -208,6 +252,15 @@ impl AnalogComponentBuilder {
         self
     }
 
+    /// Appends a noise source the component injects into the signal
+    /// chain (functional simulation only; energy estimates never read
+    /// noise).
+    #[must_use]
+    pub fn noise_source(mut self, source: NoiseSource) -> Self {
+        self.noise.push(source);
+        self
+    }
+
     /// Appends a cell with explicit spatial/temporal counts.
     #[must_use]
     pub fn cell_counted(
@@ -241,6 +294,7 @@ impl AnalogComponentBuilder {
             output_domain: self.output_domain,
             cells: self.cells,
             vdda: self.vdda,
+            noise: self.noise,
         }
     }
 }
@@ -311,5 +365,36 @@ mod tests {
     fn instance_accesses() {
         let inst = CellInstance::counted("x", AnalogCell::comparator(), 3, 4);
         assert_eq!(inst.accesses(), 12);
+    }
+
+    #[test]
+    fn noise_sources_attach_and_are_energy_inert() {
+        let plain = two_cell_component();
+        let noisy = two_cell_component()
+            .with_noise_source(NoiseSource::read(0.001))
+            .with_noise_source(NoiseSource::ktc(100e-15, 1.0));
+        assert_eq!(noisy.noise_sources().len(), 2);
+        assert!(plain.noise_sources().is_empty());
+        let delay = Time::from_micros(2.0);
+        assert_eq!(
+            plain.energy_per_access(delay),
+            noisy.energy_per_access(delay),
+            "noise descriptors must never change energy"
+        );
+    }
+
+    #[test]
+    fn conversion_bits_require_a_digital_output() {
+        let adc = AnalogComponentSpec::builder("adc")
+            .output_domain(SignalDomain::Digital)
+            .cell("SAR", AnalogCell::adc(10))
+            .build();
+        assert_eq!(adc.conversion_bits(), Some(10));
+        // A comparator embedded in an analog-output component is not a
+        // digitising back end.
+        let analog = AnalogComponentSpec::builder("analog")
+            .cell("cmp", AnalogCell::comparator())
+            .build();
+        assert_eq!(analog.conversion_bits(), None);
     }
 }

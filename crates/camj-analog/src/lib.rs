@@ -53,3 +53,4 @@ pub use array::AnalogArray;
 pub use cell::{AnalogCell, BiasMode, CapacitorNode, CellContext};
 pub use component::{AnalogComponentSpec, CellInstance};
 pub use domain::SignalDomain;
+pub use noise::NoiseSource;

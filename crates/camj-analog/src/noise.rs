@@ -14,8 +14,26 @@
 //! 8-bit precision forces capacitors (and hence OpAmp bias currents) large
 //! enough that analog *compute* energy can exceed its digital equivalent,
 //! even as analog *memory* energy wins.
+//!
+//! Beyond sizing, this module also hosts the [`NoiseSource`]
+//! descriptors of the noise-aware functional simulation: photon shot
+//! noise, dark current, read noise, and `kT/C` sampling noise, each
+//! normalised to a fraction of full scale so `camj-core` can
+//! accumulate them along the analog pipeline and report per-stage SNR
+//! next to per-stage energy.
 
-use camj_tech::constants::{kt_default, BOLTZMANN_J_PER_K};
+use serde::{Deserialize, Serialize};
+
+use camj_tech::constants::{kt_default, BOLTZMANN_J_PER_K, DEFAULT_TEMPERATURE_K};
+use camj_tech::units::Time;
+
+/// The highest resolution the capacitor-sizing model accepts.
+///
+/// Beyond 32 bits `2^bits` no longer fits the intermediate arithmetic
+/// cleanly (and no physical analog chain approaches it), so
+/// out-of-range resolutions are rejected up front instead of silently
+/// collapsing the LSB to zero and the capacitance to infinity.
+pub const MAX_RESOLUTION_BITS: u32 = 32;
 
 /// Minimum capacitance (farads) that keeps thermal noise below half an
 /// LSB at `bits` resolution and `v_swing` volts of signal swing, at
@@ -23,8 +41,8 @@ use camj_tech::constants::{kt_default, BOLTZMANN_J_PER_K};
 ///
 /// # Panics
 ///
-/// Panics if `bits` is zero, or `v_swing`/`temperature_k` are not positive
-/// and finite.
+/// Panics if `bits` is zero or exceeds [`MAX_RESOLUTION_BITS`], or
+/// `v_swing`/`temperature_k` are not positive and finite.
 ///
 /// # Examples
 ///
@@ -38,6 +56,10 @@ use camj_tech::constants::{kt_default, BOLTZMANN_J_PER_K};
 #[must_use]
 pub fn min_capacitance_for_resolution_at(bits: u32, v_swing: f64, temperature_k: f64) -> f64 {
     assert!(bits > 0, "resolution must be at least 1 bit");
+    assert!(
+        bits <= MAX_RESOLUTION_BITS,
+        "resolution must be at most {MAX_RESOLUTION_BITS} bits, got {bits}"
+    );
     assert!(
         v_swing.is_finite() && v_swing > 0.0,
         "voltage swing must be positive and finite, got {v_swing}"
@@ -88,6 +110,184 @@ pub fn max_resolution_for_capacitance(capacitance_f: f64, v_swing: f64) -> u32 {
         bits += 1;
     }
     bits
+}
+
+/// One physical noise source attached to an analog component — the
+/// descriptors the noise-aware functional simulation evaluates
+/// alongside the energy model (the accuracy half of the paper's
+/// Finding 3 accuracy-vs-energy tension).
+///
+/// Every source reports its RMS amplitude as a **fraction of full
+/// scale** via [`NoiseSource::rms_fraction`], so sources in different
+/// physical domains (electrons at the photodiode, volts on a sampling
+/// capacitor) compose into one per-stage variance sum. ADC quantization
+/// is *not* a descriptor: it is intrinsic to a component's non-linear
+/// converter cells and derived automatically from their resolution
+/// (see `camj_digital::quantize`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum NoiseSource {
+    /// Photon shot noise: the Poisson statistics of photon arrival,
+    /// `σ = sqrt(N_signal)` electrons on a full well of
+    /// `full_well_electrons`. Signal-dependent: brighter pixels are
+    /// noisier in absolute terms but enjoy a better SNR.
+    PhotonShot {
+        /// Full-well capacity in electrons (the charge at full scale).
+        full_well_electrons: f64,
+    },
+    /// Dark-current shot noise: thermally generated electrons integrate
+    /// over the exposure, `σ = sqrt(i_dark · t_exp)` electrons.
+    DarkCurrent {
+        /// Dark-current generation rate in electrons per second.
+        electrons_per_sec: f64,
+        /// Full-well capacity in electrons (the charge at full scale).
+        full_well_electrons: f64,
+    },
+    /// Fixed read noise of the readout chain (source follower, column
+    /// amplifier), expressed directly as an RMS fraction of full scale.
+    Read {
+        /// RMS amplitude as a fraction of full scale.
+        rms_fraction: f64,
+    },
+    /// `kT/C` sampling noise of a switched capacitor against the
+    /// component's signal swing — the same physics Eq. 6 sizes
+    /// computation capacitors by.
+    KtcSampling {
+        /// Sampling capacitance in farads.
+        capacitance_f: f64,
+        /// Signal swing the noise is referred to, in volts.
+        v_swing_v: f64,
+    },
+}
+
+impl NoiseSource {
+    /// A photon-shot-noise source for a pixel with the given full well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_well_electrons` is not positive and finite.
+    #[must_use]
+    pub fn photon_shot(full_well_electrons: f64) -> Self {
+        assert!(
+            full_well_electrons.is_finite() && full_well_electrons > 0.0,
+            "full well must be positive and finite, got {full_well_electrons}"
+        );
+        NoiseSource::PhotonShot {
+            full_well_electrons,
+        }
+    }
+
+    /// A dark-current source generating `electrons_per_sec` on a full
+    /// well of `full_well_electrons`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `electrons_per_sec` is negative or `full_well_electrons`
+    /// is not positive (both must be finite).
+    #[must_use]
+    pub fn dark_current(electrons_per_sec: f64, full_well_electrons: f64) -> Self {
+        assert!(
+            electrons_per_sec.is_finite() && electrons_per_sec >= 0.0,
+            "dark current must be non-negative and finite, got {electrons_per_sec}"
+        );
+        assert!(
+            full_well_electrons.is_finite() && full_well_electrons > 0.0,
+            "full well must be positive and finite, got {full_well_electrons}"
+        );
+        NoiseSource::DarkCurrent {
+            electrons_per_sec,
+            full_well_electrons,
+        }
+    }
+
+    /// A fixed read-noise source of `rms_fraction` of full scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rms_fraction` is negative or non-finite.
+    #[must_use]
+    pub fn read(rms_fraction: f64) -> Self {
+        assert!(
+            rms_fraction.is_finite() && rms_fraction >= 0.0,
+            "read noise must be non-negative and finite, got {rms_fraction}"
+        );
+        NoiseSource::Read { rms_fraction }
+    }
+
+    /// A `kT/C` sampling source for an explicit capacitance and swing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive and finite.
+    #[must_use]
+    pub fn ktc(capacitance_f: f64, v_swing_v: f64) -> Self {
+        assert!(
+            capacitance_f.is_finite() && capacitance_f > 0.0,
+            "capacitance must be positive and finite, got {capacitance_f}"
+        );
+        assert!(
+            v_swing_v.is_finite() && v_swing_v > 0.0,
+            "voltage swing must be positive and finite, got {v_swing_v}"
+        );
+        NoiseSource::KtcSampling {
+            capacitance_f,
+            v_swing_v,
+        }
+    }
+
+    /// The `kT/C` source of a computation capacitor sized *exactly* at
+    /// the Eq. 6 minimum for `bits` of precision at `v_swing_v` — the
+    /// worst-case sampling noise a resolution-sized capacitor admits.
+    /// This reuses [`min_capacitance_for_resolution_at`], so the noise
+    /// descriptor and the energy model agree on the capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`min_capacitance_for_resolution_at`].
+    #[must_use]
+    pub fn ktc_for_resolution(bits: u32, v_swing_v: f64) -> Self {
+        let c = min_capacitance_for_resolution_at(bits, v_swing_v, DEFAULT_TEMPERATURE_K);
+        Self::ktc(c, v_swing_v)
+    }
+
+    /// RMS noise amplitude as a fraction of full scale, for a mean
+    /// signal of `signal_fraction` (of full scale), an integration time
+    /// of `exposure`, at `temperature_k` kelvin.
+    ///
+    /// Only the sources that physically depend on a parameter read it:
+    /// shot noise reads the signal, dark current the exposure, `kT/C`
+    /// the temperature; read noise is constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_fraction` is outside `[0, 1]` or
+    /// `temperature_k` is not positive and finite.
+    #[must_use]
+    pub fn rms_fraction(&self, signal_fraction: f64, exposure: Time, temperature_k: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&signal_fraction),
+            "signal fraction must be in [0, 1], got {signal_fraction}"
+        );
+        assert!(
+            temperature_k.is_finite() && temperature_k > 0.0,
+            "temperature must be positive and finite, got {temperature_k}"
+        );
+        match *self {
+            NoiseSource::PhotonShot {
+                full_well_electrons,
+            } => (signal_fraction / full_well_electrons).sqrt(),
+            NoiseSource::DarkCurrent {
+                electrons_per_sec,
+                full_well_electrons,
+            } => (electrons_per_sec * exposure.secs().max(0.0)).sqrt() / full_well_electrons,
+            NoiseSource::Read { rms_fraction } => rms_fraction,
+            NoiseSource::KtcSampling {
+                capacitance_f,
+                v_swing_v,
+            } => (BOLTZMANN_J_PER_K * temperature_k / capacitance_f).sqrt() / v_swing_v,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +345,75 @@ mod tests {
     #[should_panic(expected = "at least 1 bit")]
     fn zero_bits_rejected() {
         let _ = min_capacitance_for_resolution(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 bits")]
+    fn out_of_range_bits_rejected() {
+        // Regression: `2^bits` used to saturate silently for bits > 32,
+        // collapsing the LSB to zero and the capacitance to infinity.
+        let _ = min_capacitance_for_resolution(33, 1.0);
+    }
+
+    #[test]
+    fn thirty_two_bits_still_finite() {
+        let c = min_capacitance_for_resolution(32, 1.0);
+        assert!(c.is_finite() && c > 0.0, "C = {c}");
+    }
+
+    fn exposure() -> Time {
+        Time::from_millis(10.0)
+    }
+
+    #[test]
+    fn shot_noise_grows_with_signal_but_snr_improves() {
+        let src = NoiseSource::photon_shot(10_000.0);
+        let dim = src.rms_fraction(0.1, exposure(), 300.0);
+        let bright = src.rms_fraction(0.9, exposure(), 300.0);
+        assert!(bright > dim, "absolute noise grows with signal");
+        assert!(0.9 / bright > 0.1 / dim, "but SNR still improves");
+        // σ/FS = sqrt(S/FW): at S = 1, FW = 10⁴ ⇒ 1 %.
+        let full = src.rms_fraction(1.0, exposure(), 300.0);
+        assert!((full - 0.01).abs() < 1e-12, "{full}");
+    }
+
+    #[test]
+    fn dark_current_integrates_over_exposure() {
+        let src = NoiseSource::dark_current(100.0, 10_000.0);
+        let short = src.rms_fraction(0.5, Time::from_millis(1.0), 300.0);
+        let long = src.rms_fraction(0.5, Time::from_millis(100.0), 300.0);
+        assert!((long / short - 10.0).abs() < 1e-9, "σ scales with sqrt(t)");
+    }
+
+    #[test]
+    fn ktc_source_matches_thermal_rms() {
+        let src = NoiseSource::ktc(100e-15, 1.0);
+        let rms = src.rms_fraction(0.5, exposure(), DEFAULT_TEMPERATURE_K);
+        assert!((rms - thermal_noise_rms(100e-15)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn resolution_sized_cap_noise_stays_under_half_lsb() {
+        // The whole point of Eq. 6: a capacitor sized for `bits` keeps
+        // 3σ of kT/C noise below half an LSB.
+        for bits in 4..=12 {
+            let src = NoiseSource::ktc_for_resolution(bits, 1.0);
+            let sigma = src.rms_fraction(0.5, exposure(), DEFAULT_TEMPERATURE_K);
+            let half_lsb = 0.5 / 2f64.powi(bits as i32);
+            assert!(3.0 * sigma <= half_lsb * 1.000_001, "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn read_noise_is_constant() {
+        let src = NoiseSource::read(0.002);
+        assert_eq!(src.rms_fraction(0.1, exposure(), 250.0), 0.002);
+        assert_eq!(src.rms_fraction(0.9, Time::ZERO, 400.0), 0.002);
+    }
+
+    #[test]
+    #[should_panic(expected = "full well")]
+    fn bad_full_well_rejected() {
+        let _ = NoiseSource::photon_shot(0.0);
     }
 }

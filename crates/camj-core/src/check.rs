@@ -8,7 +8,9 @@
 //! [`AlgorithmGraph::validate`]; stall freedom is checked against the
 //! cycle-level simulation in the estimator.
 
+use camj_analog::cell::AnalogCell;
 use camj_analog::domain::SignalDomain;
+use camj_analog::noise::MAX_RESOLUTION_BITS;
 
 use crate::error::CamjError;
 use crate::hw::{HardwareDesc, UnitKind};
@@ -28,8 +30,35 @@ pub fn validate(
     mapping: &Mapping,
 ) -> Result<(), CamjError> {
     algo.validate()?;
+    check_converter_resolutions(hw)?;
     check_mapping_targets(algo, hw, mapping)?;
     check_domains(algo, hw, mapping)?;
+    Ok(())
+}
+
+/// Non-linear converter cells must stay within the supported
+/// resolution range: beyond [`MAX_RESOLUTION_BITS`] the `2^bits`
+/// arithmetic of the sizing and quantization models degenerates (and
+/// no physical converter approaches it), so the Rust builder API is
+/// rejected here with the same bound the description loader enforces.
+fn check_converter_resolutions(hw: &HardwareDesc) -> Result<(), CamjError> {
+    for unit in hw.analog_units() {
+        for inst in unit.array().component().cells() {
+            if let AnalogCell::NonLinear { bits, .. } = inst.cell {
+                if bits > MAX_RESOLUTION_BITS {
+                    return Err(CamjError::CheckFunctional {
+                        reason: format!(
+                            "cell '{}' of unit '{}' declares a {bits}-bit converter; \
+                             resolutions above {MAX_RESOLUTION_BITS} bits are not \
+                             supported",
+                            inst.label,
+                            unit.name()
+                        ),
+                    });
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -296,5 +325,23 @@ mod tests {
         let m = Mapping::new().map("Input", "PixelArray").map("Edge", "LB");
         let err = validate(&base_algo(), &hw, &m).unwrap_err();
         assert!(err.to_string().contains("memory"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_converter_resolution_rejected() {
+        // A 33-bit ADC must be caught at validation, not as a panic
+        // inside the noise model's 2^bits arithmetic.
+        let mut hw = hw_with_adc();
+        hw.add_analog(AnalogUnitDesc::new(
+            "WideAdc",
+            AnalogArray::new(column_adc(33), 1, 4),
+            Layer::Sensor,
+            AnalogCategory::Sensing,
+        ));
+        let m = Mapping::new()
+            .map("Input", "PixelArray")
+            .map("Edge", "EdgeUnit");
+        let err = validate(&base_algo(), &hw, &m).unwrap_err();
+        assert!(err.to_string().contains("33-bit"), "{err}");
     }
 }

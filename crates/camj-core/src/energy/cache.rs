@@ -22,15 +22,37 @@
 //!   re-simulates so its overflow diagnosis stays exact.
 //!
 //! Locking: the map is split into [`SHARD_COUNT`] mutex-guarded shards
-//! selected by the fingerprint's low half. A shard's lock **is held
-//! while computing a missing entry** — that serialises duplicate
-//! requests for the same expensive simulation into one computation
-//! instead of racing N workers through it, while requests for different
-//! shards proceed untouched.
+//! selected by the fingerprint's low half, and the shard lock is held
+//! only for map bookkeeping — never across a computation. A missing
+//! entry is claimed by inserting a per-entry **in-flight slot**
+//! (an `Arc<OnceLock>`); the expensive computation then runs inside
+//! `OnceLock::get_or_init` *outside* the shard critical section.
+//! Duplicate requests for the same fingerprint still run the
+//! computation exactly once (late arrivals block on the slot, not the
+//! shard), while distinct fingerprints that merely hash to the same
+//! shard proceed concurrently instead of convoying behind each other's
+//! simulations.
+//!
+//! Panic safety: sweep drivers catch per-point panics
+//! (`camj-explore`'s explorer wraps every evaluation in
+//! `catch_unwind`), so the cache must survive a computation that
+//! unwinds mid-flight. Two properties guarantee that:
+//!
+//! * a panic inside `get_or_init` leaves the slot **uninitialized**
+//!   (std's `OnceLock` is unwind-safe by design), so the next request
+//!   for the same fingerprint simply recomputes, and
+//! * every `Mutex` acquisition recovers from poisoning via
+//!   [`PoisonError::into_inner`] — safe here because shard maps are
+//!   only ever mutated by whole-entry inserts and the scalar
+//!   stall-pass minimum, both of which leave the map consistent even
+//!   if the panicking thread died between them. A captured panic at
+//!   one design point therefore can never manufacture a fake
+//!   `"cache shard lock"` panic at a healthy neighbouring point (or in
+//!   the final [`EstimateCache::stats`] call a CLI prints).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use camj_tech::fingerprint::Fingerprint;
 
@@ -82,14 +104,40 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// An in-flight-or-completed artifact slot. The slot is inserted into
+/// the shard map *before* the computation runs; the value materialises
+/// via `OnceLock::get_or_init` outside the shard lock.
+type Slot<T> = Arc<OnceLock<T>>;
+
 /// One stored artifact.
 #[derive(Debug, Clone)]
 enum CacheEntry {
-    Elastic(Arc<Result<ElasticSim, CamjError>>),
-    Energy(Arc<Vec<EnergyItem>>),
+    Elastic(Slot<Arc<Result<ElasticSim, CamjError>>>),
+    Energy(Slot<Arc<Vec<EnergyItem>>>),
     /// Fastest per-stage readout time (seconds) known to pass the stall
     /// check for this topology.
     StallPass(f64),
+}
+
+impl CacheEntry {
+    /// Whether the entry holds a materialised value (an in-flight slot
+    /// whose computation has not finished — or panicked — does not).
+    fn is_resident(&self) -> bool {
+        match self {
+            CacheEntry::Elastic(slot) => slot.get().is_some(),
+            CacheEntry::Energy(slot) => slot.get().is_some(),
+            CacheEntry::StallPass(_) => true,
+        }
+    }
+}
+
+/// Locks a shard, recovering from poisoning: entries are inserted
+/// whole (never mutated in place mid-compute except the scalar stall
+/// minimum), so the map is consistent even after a panicking holder.
+fn lock_shard(
+    shard: &Mutex<HashMap<Fingerprint, CacheEntry>>,
+) -> MutexGuard<'_, HashMap<Fingerprint, CacheEntry>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The sharded cross-point cache. Cheap to share: wrap it in an [`Arc`]
@@ -133,43 +181,87 @@ impl EstimateCache {
     }
 
     /// The elastic simulation for topology `fp`, computing (and storing)
-    /// it on first request. The shard lock is held across `compute`, so
-    /// concurrent requests for the same topology run it exactly once.
+    /// it on first request. Concurrent requests for the same topology
+    /// run `compute` exactly once (late arrivals block on the entry's
+    /// slot); requests for *different* topologies never wait on each
+    /// other, even when they share a shard.
     pub fn elastic_or(
         &self,
         fp: Fingerprint,
         compute: impl FnOnce() -> Result<ElasticSim, CamjError>,
     ) -> Arc<Result<ElasticSim, CamjError>> {
-        let mut shard = self.shard(fp).lock().expect("cache shard lock");
-        if let Some(CacheEntry::Elastic(arc)) = shard.get(&fp) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(arc);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(compute());
-        self.bytes
-            .fetch_add(approx_elastic_bytes(&value), Ordering::Relaxed);
-        shard.insert(fp, CacheEntry::Elastic(Arc::clone(&value)));
-        value
+        self.slot_or_compute(
+            fp,
+            |entry| match entry {
+                CacheEntry::Elastic(slot) => Some(Arc::clone(slot)),
+                _ => None,
+            },
+            CacheEntry::Elastic,
+            || Arc::new(compute()),
+            |value| approx_elastic_bytes(value.as_ref()),
+        )
     }
 
     /// The energy items for kernel input `fp`, computing (and storing)
-    /// them on first request.
+    /// them on first request. Same concurrency contract as
+    /// [`Self::elastic_or`].
     pub fn energy_or(
         &self,
         fp: Fingerprint,
         compute: impl FnOnce() -> Vec<EnergyItem>,
     ) -> Arc<Vec<EnergyItem>> {
-        let mut shard = self.shard(fp).lock().expect("cache shard lock");
-        if let Some(CacheEntry::Energy(arc)) = shard.get(&fp) {
+        self.slot_or_compute(
+            fp,
+            |entry| match entry {
+                CacheEntry::Energy(slot) => Some(Arc::clone(slot)),
+                _ => None,
+            },
+            CacheEntry::Energy,
+            || Arc::new(compute()),
+            |value| approx_energy_bytes(value.as_ref()),
+        )
+    }
+
+    /// The shared claim-slot protocol of [`Self::elastic_or`] and
+    /// [`Self::energy_or`]: under the shard lock, reuse the entry's
+    /// in-flight slot (`as_slot`) or insert a fresh one (`wrap`); then
+    /// — outside the lock — materialise the value via `get_or_init`,
+    /// booking its approximate size and one miss when this caller
+    /// computed, one hit otherwise.
+    fn slot_or_compute<T: Clone>(
+        &self,
+        fp: Fingerprint,
+        as_slot: impl Fn(&CacheEntry) -> Option<Slot<T>>,
+        wrap: impl FnOnce(Slot<T>) -> CacheEntry,
+        compute: impl FnOnce() -> T,
+        approx_bytes: impl FnOnce(&T) -> u64,
+    ) -> T {
+        let slot = {
+            let mut shard = lock_shard(self.shard(fp));
+            match shard.get(&fp).and_then(as_slot) {
+                Some(slot) => slot,
+                None => {
+                    let slot: Slot<T> = Arc::new(OnceLock::new());
+                    shard.insert(fp, wrap(Arc::clone(&slot)));
+                    slot
+                }
+            }
+        };
+        let mut computed = false;
+        let value = slot
+            .get_or_init(|| {
+                computed = true;
+                let value = compute();
+                self.bytes
+                    .fetch_add(approx_bytes(&value), Ordering::Relaxed);
+                value
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(arc);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(compute());
-        self.bytes
-            .fetch_add(approx_energy_bytes(&value), Ordering::Relaxed);
-        shard.insert(fp, CacheEntry::Energy(Arc::clone(&value)));
         value
     }
 
@@ -183,7 +275,7 @@ impl EstimateCache {
     /// artifact families.
     #[must_use]
     pub fn stall_settled(&self, fp: Fingerprint, t_a_secs: f64) -> bool {
-        let shard = self.shard(fp).lock().expect("cache shard lock");
+        let shard = lock_shard(self.shard(fp));
         let settled = matches!(
             shard.get(&fp),
             Some(CacheEntry::StallPass(pass_min)) if t_a_secs >= *pass_min
@@ -200,7 +292,7 @@ impl EstimateCache {
     /// Records that readout `t_a_secs` passed the stall check for
     /// topology `fp`, keeping the fastest known pass.
     pub fn record_stall_pass(&self, fp: Fingerprint, t_a_secs: f64) {
-        let mut shard = self.shard(fp).lock().expect("cache shard lock");
+        let mut shard = lock_shard(self.shard(fp));
         match shard.get_mut(&fp) {
             Some(CacheEntry::StallPass(pass_min)) => {
                 *pass_min = pass_min.min(t_a_secs);
@@ -213,13 +305,15 @@ impl EstimateCache {
         }
     }
 
-    /// A snapshot of the hit/miss counters and resident size.
+    /// A snapshot of the hit/miss counters and resident size. Counts
+    /// only materialised entries — an in-flight (or panicked-and-
+    /// abandoned) slot is not yet an entry.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let entries = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("cache shard lock").len() as u64)
+            .map(|s| lock_shard(s).values().filter(|e| e.is_resident()).count() as u64)
             .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -302,5 +396,100 @@ mod tests {
         };
         let text = s.to_string();
         assert!(text.contains("75.0%"), "{text}");
+    }
+
+    /// The ISSUE 5 poison regression: a computation that panics (and is
+    /// caught per-point by a sweep driver) must not corrupt the shard —
+    /// the same fingerprint recomputes cleanly, other fingerprints are
+    /// untouched, and `stats()` keeps working.
+    #[test]
+    fn panicking_compute_does_not_poison_the_shard() {
+        let cache = EstimateCache::new();
+        let fp = ("poison", 1u32).fingerprint();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.energy_or(fp, || panic!("injected kernel panic"))
+        }));
+        assert!(boom.is_err(), "the injected panic must propagate");
+        // The same fingerprint recovers: the abandoned slot recomputes.
+        let value = cache.energy_or(fp, Vec::new);
+        assert!(value.is_empty());
+        // A different fingerprint in the same shard map is unaffected.
+        let other = cache.energy_or(fp.derive("neighbour"), Vec::new);
+        assert!(other.is_empty());
+        // And the stats snapshot still works (the CLI calls it last).
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.misses >= 2);
+    }
+
+    /// Same for the elastic family: a panicked simulation must not take
+    /// the shard down with it.
+    #[test]
+    fn panicking_elastic_compute_recovers() {
+        let cache = EstimateCache::new();
+        let fp = ("elastic-poison", 9u32).fingerprint();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.elastic_or(fp, || panic!("injected sim panic"))
+        }));
+        assert!(boom.is_err());
+        let value = cache.elastic_or(fp, || {
+            Ok(ElasticSim {
+                report: None,
+                digital_latency: camj_tech::units::Time::ZERO,
+            })
+        });
+        assert!(value.is_ok());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    /// The convoying regression: computing one entry must not hold the
+    /// shard-wide lock, so a computation that itself consults the cache
+    /// for a *different* fingerprint on the same shard must not
+    /// deadlock. (Under the old held-across-compute locking this test
+    /// hangs on the re-entrant shard acquisition.)
+    #[test]
+    fn nested_compute_on_the_same_shard_does_not_deadlock() {
+        let cache = EstimateCache::new();
+        let a = ("nested", 1u32).fingerprint();
+        // Find a sibling fingerprint landing on the same shard.
+        let b = (2u32..)
+            .map(|i| ("nested", i).fingerprint())
+            .find(|fp| fp.shard(SHARD_COUNT) == a.shard(SHARD_COUNT))
+            .expect("some sibling shares the shard");
+        let value = cache.energy_or(a, || {
+            let inner = cache.energy_or(b, Vec::new);
+            assert!(inner.is_empty());
+            Vec::new()
+        });
+        assert!(value.is_empty());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    /// Duplicate concurrent requests still compute exactly once: the
+    /// in-flight slot, not the shard lock, serialises them.
+    #[test]
+    fn concurrent_requests_compute_once() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = Arc::new(EstimateCache::new());
+        let fp = ("race", 5u32).fingerprint();
+        let runs = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let runs = Arc::clone(&runs);
+                scope.spawn(move || {
+                    cache.energy_or(fp, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window a little.
+                        std::thread::yield_now();
+                        Vec::new()
+                    })
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "compute must run once");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert_eq!(stats.misses, 1);
     }
 }

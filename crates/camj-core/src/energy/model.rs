@@ -10,6 +10,7 @@ use camj_tech::units::Energy;
 
 use crate::delay::DelayEstimate;
 use crate::error::CamjError;
+use crate::functional::NoiseReport;
 use crate::hw::HardwareDesc;
 use crate::mapping::Mapping;
 use crate::power_density::LayerPower;
@@ -47,6 +48,11 @@ pub struct EstimateReport {
     pub layers: Vec<LayerPower>,
     /// Pixel count of the sensor's input stage(s), for per-pixel metrics.
     pub input_pixels: u64,
+    /// The analytic noise budget of the analog chain at this frame
+    /// rate (quoted at the default mid-scale signal level); absent for
+    /// designs whose chain contributes no noise.
+    #[serde(default)]
+    pub noise: Option<NoiseReport>,
 }
 
 impl EstimateReport {

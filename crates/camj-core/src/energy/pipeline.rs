@@ -46,7 +46,11 @@ use camj_tech::units::Time;
 use crate::check;
 use crate::delay::DelayEstimate;
 use crate::error::CamjError;
-use crate::hw::{DigitalUnitKind, HardwareDesc, UnitKind};
+use crate::functional::{
+    self, FrameSimReport, NoiseReport, NoiseStage, OutputStats, StageNoise, StageSim, Stimulus,
+    DEFAULT_SIGNAL_FRACTION,
+};
+use crate::hw::{AnalogUnitDesc, DigitalUnitKind, HardwareDesc, UnitKind};
 use crate::mapping::Mapping;
 use crate::power_density::layer_powers;
 use crate::route::{routes, Route};
@@ -152,6 +156,17 @@ struct StallCache {
     pass_min: Option<f64>,
 }
 
+/// Locks the per-model stall cache, recovering from poisoning: the
+/// guarded scalar is only ever overwritten whole, so the cache stays
+/// consistent even if a panicking thread died while holding the lock
+/// (per-point panics are caught by sweep drivers and must not corrupt
+/// neighbouring evaluations).
+fn lock_stall(stall: &Mutex<StallCache>) -> std::sync::MutexGuard<'_, StallCache> {
+    stall
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A design that has passed the **validate** and **route** stages, with
 /// the routes and (lazily) the elastic simulation cached for reuse.
 ///
@@ -185,7 +200,7 @@ impl Clone for ValidatedModel {
             routes: self.routes.clone(),
             elastic: self.elastic.clone(),
             sim_fp: self.sim_fp.clone(),
-            stall: Mutex::new(self.stall.lock().expect("stall cache lock").clone()),
+            stall: Mutex::new(lock_stall(&self.stall).clone()),
             cache: self.cache.clone(),
         }
     }
@@ -409,10 +424,7 @@ impl ValidatedModel {
     /// a cached pass — the per-model L1 first, then the cross-model
     /// cache.
     fn stall_settled(&self, t_a: f64) -> bool {
-        if self
-            .stall
-            .lock()
-            .expect("stall cache lock")
+        if lock_stall(&self.stall)
             .pass_min
             .is_some_and(|pass| t_a >= pass)
         {
@@ -427,7 +439,7 @@ impl ValidatedModel {
     /// Records a stall pass in the per-model L1 and the cross-model
     /// cache.
     fn record_stall_pass(&self, t_a: f64) {
-        let mut local = self.stall.lock().expect("stall cache lock");
+        let mut local = lock_stall(&self.stall);
         local.pass_min = Some(local.pass_min.map_or(t_a, |p| p.min(t_a)));
         drop(local);
         if let Some(cache) = &self.cache {
@@ -664,12 +676,14 @@ impl ValidatedModel {
             .filter(|s| matches!(s.kind(), StageKind::Input))
             .map(|s| s.output_size().count())
             .sum();
+        let noise = self.noise_report_for(&delay, DEFAULT_SIGNAL_FRACTION);
         EstimateReport {
             breakdown,
             delay,
             sim: elastic.report.clone(),
             layers,
             input_pixels,
+            noise,
         }
     }
 
@@ -848,4 +862,288 @@ impl ValidatedModel {
         }
         units.len() + 1 // + exposure
     }
+
+    // -----------------------------------------------------------------
+    // Noise-aware functional simulation
+    // -----------------------------------------------------------------
+
+    /// The analog units of the signal chain in signal-flow order:
+    /// the units Input stages map onto first (the pixel array leads),
+    /// then every analog unit the routes traverse in route order, then
+    /// any remaining mapped analog unit.
+    fn analog_signal_chain(&self) -> Vec<&AnalogUnitDesc> {
+        fn push<'a>(hw: &'a HardwareDesc, name: &str, units: &mut Vec<&'a AnalogUnitDesc>) {
+            if let Some(unit) = hw.analog(name) {
+                if !units.iter().any(|u| u.name() == name) {
+                    units.push(unit);
+                }
+            }
+        }
+        let mut units: Vec<&AnalogUnitDesc> = Vec::new();
+        for stage in self.algo.stages() {
+            if matches!(stage.kind(), StageKind::Input) {
+                if let Some(unit) = self.mapping.unit_for(stage.name()) {
+                    push(&self.hw, unit, &mut units);
+                }
+            }
+        }
+        for route in &self.routes {
+            for hop in &route.path {
+                push(&self.hw, hop, &mut units);
+            }
+        }
+        for (stage, unit) in self.mapping.iter() {
+            if self.algo.stage(stage).is_some() {
+                push(&self.hw, unit, &mut units);
+            }
+        }
+        units
+    }
+
+    /// Resolves the noise chain: one [`NoiseStage`] per analog unit,
+    /// carrying the component's declared [`NoiseSource`]s and the
+    /// implicit quantization of a digitising back end.
+    ///
+    /// [`NoiseSource`]: camj_analog::noise::NoiseSource
+    fn noise_chain(&self) -> Vec<NoiseStage> {
+        self.analog_signal_chain()
+            .into_iter()
+            .map(|unit| {
+                let component = unit.array().component();
+                NoiseStage {
+                    unit: unit.name().to_owned(),
+                    sources: component.noise_sources().to_vec(),
+                    quant_bits: component.conversion_bits(),
+                }
+            })
+            .collect()
+    }
+
+    /// The analytic noise budget for an already-solved delay split:
+    /// per-stage variance accumulation at `signal_fraction` of full
+    /// scale. `None` when the chain contributes no noise at all —
+    /// no descriptors and no digitising component, or only
+    /// zero-amplitude sources (a `read` of 0, a dark current of
+    /// 0 e⁻/s), which validation deliberately allows.
+    pub(crate) fn noise_report_for(
+        &self,
+        delay: &DelayEstimate,
+        signal_fraction: f64,
+    ) -> Option<NoiseReport> {
+        assert!(
+            signal_fraction > 0.0 && signal_fraction <= 1.0,
+            "signal fraction must be in (0, 1], got {signal_fraction}"
+        );
+        let chain = self.noise_chain();
+        if !chain.iter().any(NoiseStage::is_noisy) {
+            return None;
+        }
+        let exposure = delay.analog_unit_time;
+        let mut cumulative_var = 0.0;
+        let stages: Vec<StageNoise> = chain
+            .iter()
+            .map(|stage| {
+                let added_var = stage.variance(
+                    signal_fraction,
+                    exposure,
+                    camj_tech::constants::DEFAULT_TEMPERATURE_K,
+                );
+                cumulative_var += added_var;
+                let cumulative = cumulative_var.sqrt();
+                StageNoise {
+                    unit: stage.unit.clone(),
+                    added_noise_rms: added_var.sqrt(),
+                    cumulative_noise_rms: cumulative,
+                    snr_db: functional::snr_db(signal_fraction, cumulative),
+                }
+            })
+            .collect();
+        let output_noise_rms = cumulative_var.sqrt();
+        // Declared sources can all be zero-amplitude; such a chain is
+        // effectively noise-free, not an error.
+        let output_snr_db = functional::snr_db(signal_fraction, output_noise_rms)?;
+        Some(NoiseReport {
+            signal_fraction,
+            stages,
+            output_noise_rms,
+            output_snr_db,
+        })
+    }
+
+    /// The analytic noise budget at an explicit frame rate, quoted at
+    /// the default mid-scale signal level. This is the quantity the
+    /// explorer's `snr` objective minimises (as output noise RMS), and
+    /// what [`EstimateReport::noise`](super::EstimateReport) carries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation/feasibility failures from the delay solve
+    /// (the exposure time the dark-current sources integrate over
+    /// comes from the frame budget).
+    pub fn noise_report_at_fps(&self, fps: f64) -> Result<Option<NoiseReport>, CamjError> {
+        let delay = self.estimate_delay_at(fps)?;
+        Ok(self.noise_report_for(&delay, DEFAULT_SIGNAL_FRACTION))
+    }
+
+    /// Simulates one frame functionally: renders `stimulus` at the
+    /// input stage's resolution, pushes it through the analog signal
+    /// chain injecting each stage's noise with a seeded Gaussian
+    /// sampler (and applying real mid-tread quantization at digitising
+    /// stages), and measures per-stage SNR against the clean frame.
+    ///
+    /// Determinism contract: the result is a pure function of
+    /// `(model, seed, stimulus)` — per-stage RNG streams are derived
+    /// by fingerprint-mixing, never shared, so repeated runs and any
+    /// `RAYON_NUM_THREADS` setting produce byte-identical reports
+    /// (pinned by [`FrameSimReport::digest`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`CamjError::CheckDag`] when the algorithm has no input stage
+    ///   to render the stimulus at,
+    /// * the delay-solve errors of [`Self::estimate_delay`] (exposure
+    ///   time comes from the frame budget).
+    pub fn simulate_frame(
+        &self,
+        seed: u64,
+        stimulus: &Stimulus,
+    ) -> Result<FrameSimReport, CamjError> {
+        let delay = self.estimate_delay()?;
+        let input = self
+            .algo
+            .stages()
+            .iter()
+            .find(|s| matches!(s.kind(), StageKind::Input))
+            .ok_or_else(|| CamjError::CheckDag {
+                reason: "functional simulation needs an input stage to render the stimulus at"
+                    .to_owned(),
+            })?;
+        let size = input.output_size();
+        let (width, height, channels) = (size.width, size.height, size.channels);
+        let pixels = size.count() as usize;
+
+        let mut clean = Vec::with_capacity(pixels);
+        for y in 0..height {
+            let _ = y;
+            for x in 0..width {
+                for _ in 0..channels {
+                    clean.push(stimulus.value_at(x, width));
+                }
+            }
+        }
+        let signal_rms = (clean.iter().map(|v| v * v).sum::<f64>() / pixels.max(1) as f64).sqrt();
+
+        let exposure = delay.analog_unit_time;
+        let temperature_k = camj_tech::constants::DEFAULT_TEMPERATURE_K;
+        let mut noisy = clean.clone();
+        let mut stages = Vec::new();
+        for (index, stage) in self.noise_chain().iter().enumerate() {
+            let mut rng = functional::stage_rng(seed, index, &stage.unit);
+            if !stage.sources.is_empty() {
+                // Only photon shot noise depends on the pixel value;
+                // every other source's variance is constant across the
+                // frame, so evaluate it once per stage. Per-pixel terms
+                // keep the exact per-source expression and summation
+                // order, so frames stay bit-identical to the naive
+                // per-pixel evaluation.
+                enum VarTerm {
+                    Shot { full_well_electrons: f64 },
+                    Constant(f64),
+                }
+                let terms: Vec<VarTerm> = stage
+                    .sources
+                    .iter()
+                    .map(|s| match *s {
+                        camj_analog::noise::NoiseSource::PhotonShot {
+                            full_well_electrons,
+                        } => VarTerm::Shot {
+                            full_well_electrons,
+                        },
+                        _ => {
+                            let rms = s.rms_fraction(0.0, exposure, temperature_k);
+                            VarTerm::Constant(rms * rms)
+                        }
+                    })
+                    .collect();
+                for (value, reference) in noisy.iter_mut().zip(&clean) {
+                    // Signal-dependent sources (photon shot) read the
+                    // clean pixel value: deterministic, and unbiased by
+                    // upstream noise realisations.
+                    let var: f64 = terms
+                        .iter()
+                        .map(|term| match *term {
+                            VarTerm::Shot {
+                                full_well_electrons,
+                            } => {
+                                let rms = (*reference / full_well_electrons).sqrt();
+                                rms * rms
+                            }
+                            VarTerm::Constant(var) => var,
+                        })
+                        .sum();
+                    if var > 0.0 {
+                        *value += functional::gaussian(&mut rng) * var.sqrt();
+                    }
+                    // The physical rails clip: charge saturates at the
+                    // full well, swings at the supplies.
+                    *value = value.clamp(0.0, 1.0);
+                }
+            }
+            if let Some(bits) = stage.quant_bits {
+                for value in &mut noisy {
+                    *value = camj_digital::quantize::quantize(*value, bits);
+                }
+            }
+            let noise_rms = rms_error(&noisy, &clean);
+            stages.push(StageSim {
+                unit: stage.unit.clone(),
+                noise_rms,
+                snr_db: functional::snr_db(signal_rms, noise_rms),
+            });
+        }
+
+        let noise_rms = rms_error(&noisy, &clean);
+        let mean = noisy.iter().sum::<f64>() / pixels.max(1) as f64;
+        let (min, max) = noisy
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                (lo.min(*v), hi.max(*v))
+            });
+        let mut h = FpHasher::new();
+        h.write_str("camj.frame-digest/v1");
+        for v in &noisy {
+            h.write_f64(*v);
+        }
+        let (hi, lo) = h.finish().parts();
+        Ok(FrameSimReport {
+            seed,
+            stimulus: stimulus.to_string(),
+            width,
+            height,
+            channels,
+            stages,
+            output: OutputStats {
+                mean,
+                min,
+                max,
+                noise_rms,
+                snr_db: functional::snr_db(signal_rms, noise_rms),
+            },
+            digest: format!("{hi:016x}{lo:016x}"),
+        })
+    }
+}
+
+/// RMS deviation of `noisy` from `clean`, fraction of full scale.
+fn rms_error(noisy: &[f64], clean: &[f64]) -> f64 {
+    if noisy.is_empty() {
+        return 0.0;
+    }
+    (noisy
+        .iter()
+        .zip(clean)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / noisy.len() as f64)
+        .sqrt()
 }

@@ -1,0 +1,413 @@
+//! Noise-aware functional simulation: the signal-quality half of the
+//! accuracy-vs-energy design space.
+//!
+//! The energy pipeline answers "what does a frame cost?"; this module
+//! answers "what does a frame *look like*?". Both read the same model:
+//! the analog units the routes traverse, the delay split the frame
+//! budget solves, and the per-component [`NoiseSource`] descriptors
+//! plus the implicit ADC quantization of digitising components
+//! (`camj_digital::quantize`).
+//!
+//! Two complementary views exist:
+//!
+//! * the **analytic** [`NoiseReport`]
+//!   ([`ValidatedModel::noise_report_at_fps`]) accumulates noise
+//!   variance stage by stage for a mean signal level — closed-form, no
+//!   RNG, cheap enough to attach to every
+//!   [`EstimateReport`](crate::energy::EstimateReport) and to drive
+//!   the explorer's `snr` objective deterministically, and
+//! * the **sampled** [`FrameSimReport`]
+//!   ([`ValidatedModel::simulate_frame`]) renders a [`Stimulus`] into
+//!   a full-resolution frame and pushes it through the chain with a
+//!   seeded Gaussian sampler, measuring the per-stage SNR empirically.
+//!
+//! Determinism rules (the same contract the energy side honours):
+//! a simulated frame is a pure function of `(model, seed, stimulus)`.
+//! The per-stage RNG streams are derived by fingerprint-mixing the
+//! seed with the stage's position and unit name, so results are
+//! byte-identical across runs, across serial/parallel sweeps, and
+//! across `RAYON_NUM_THREADS` settings.
+//!
+//! [`ValidatedModel::noise_report_at_fps`]: crate::energy::ValidatedModel::noise_report_at_fps
+//! [`ValidatedModel::simulate_frame`]: crate::energy::ValidatedModel::simulate_frame
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use camj_analog::noise::NoiseSource;
+use camj_tech::fingerprint::FpHasher;
+use camj_tech::units::Time;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The mean signal level (fraction of full scale) the analytic noise
+/// report attached to every estimate assumes: a mid-scale scene, the
+/// conventional operating point for SNR comparisons.
+pub const DEFAULT_SIGNAL_FRACTION: f64 = 0.5;
+
+/// A synthetic input scene for the frame simulator, normalised to
+/// full scale (`0.0` = dark, `1.0` = full well).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Stimulus {
+    /// Every pixel at the same level.
+    Uniform {
+        /// Signal level, fraction of full scale in `[0, 1]`.
+        level: f64,
+    },
+    /// A horizontal ramp from `low` (left edge) to `high` (right edge).
+    Gradient {
+        /// Level at the left edge, in `[0, 1]`.
+        low: f64,
+        /// Level at the right edge, in `[0, 1]`; at least `low`.
+        high: f64,
+    },
+}
+
+impl Stimulus {
+    /// A flat field at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `[0, 1]`.
+    #[must_use]
+    pub fn uniform(level: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&level),
+            "stimulus level must be in [0, 1], got {level}"
+        );
+        Stimulus::Uniform { level }
+    }
+
+    /// A horizontal ramp from `low` to `high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is outside `[0, 1]` or `low > high`.
+    #[must_use]
+    pub fn gradient(low: f64, high: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high),
+            "stimulus levels must be in [0, 1], got {low}..{high}"
+        );
+        assert!(low <= high, "gradient must not descend: {low}..{high}");
+        Stimulus::Gradient { low, high }
+    }
+
+    /// The scene's mean level — the operating point analytic SNR is
+    /// quoted at.
+    #[must_use]
+    pub fn mean_fraction(&self) -> f64 {
+        match *self {
+            Stimulus::Uniform { level } => level,
+            Stimulus::Gradient { low, high } => (low + high) / 2.0,
+        }
+    }
+
+    /// The clean value of pixel `(x, y)` on a `width`-pixel-wide frame.
+    pub(crate) fn value_at(&self, x: u32, width: u32) -> f64 {
+        match *self {
+            Stimulus::Uniform { level } => level,
+            Stimulus::Gradient { low, high } => {
+                if width <= 1 {
+                    low
+                } else {
+                    low + (high - low) * f64::from(x) / f64::from(width - 1)
+                }
+            }
+        }
+    }
+}
+
+impl Default for Stimulus {
+    /// The CLI default: a `0.1..0.9` ramp, exercising the
+    /// signal-dependent sources across most of the dynamic range.
+    fn default() -> Self {
+        Stimulus::Gradient {
+            low: 0.1,
+            high: 0.9,
+        }
+    }
+}
+
+impl fmt::Display for Stimulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stimulus::Uniform { level } => write!(f, "uniform:{level}"),
+            Stimulus::Gradient { low, high } => write!(f, "gradient:{low},{high}"),
+        }
+    }
+}
+
+impl FromStr for Stimulus {
+    type Err = String;
+
+    /// Parses the CLI grammar: `uniform:<level>` or
+    /// `gradient:<low>,<high>`, all levels in `[0, 1]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse_level = |text: &str| -> Result<f64, String> {
+            let v = text
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| format!("invalid stimulus level '{text}'"))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("stimulus level must be in [0, 1], got '{text}'"));
+            }
+            Ok(v)
+        };
+        if let Some(level) = s.strip_prefix("uniform:") {
+            return Ok(Stimulus::Uniform {
+                level: parse_level(level)?,
+            });
+        }
+        if let Some(bounds) = s.strip_prefix("gradient:") {
+            let Some((low, high)) = bounds.split_once(',') else {
+                return Err(format!(
+                    "gradient stimulus needs two levels 'gradient:<low>,<high>', got '{s}'"
+                ));
+            };
+            let (low, high) = (parse_level(low)?, parse_level(high)?);
+            if low > high {
+                return Err(format!("gradient must not descend: '{s}'"));
+            }
+            return Ok(Stimulus::Gradient { low, high });
+        }
+        Err(format!(
+            "unknown stimulus '{s}' (expected uniform:<level> or gradient:<low>,<high>)"
+        ))
+    }
+}
+
+/// One stage of the resolved noise chain: an analog unit, the noise
+/// sources its component declares, and the implicit quantization of a
+/// digitising back end.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NoiseStage {
+    /// The analog unit's name.
+    pub(crate) unit: String,
+    /// The component's declared noise sources.
+    pub(crate) sources: Vec<NoiseSource>,
+    /// Converter resolution when the component digitises its output.
+    pub(crate) quant_bits: Option<u32>,
+}
+
+impl NoiseStage {
+    /// Whether the stage contributes any noise at all.
+    pub(crate) fn is_noisy(&self) -> bool {
+        !self.sources.is_empty() || self.quant_bits.is_some()
+    }
+
+    /// The stage's added noise variance (fraction² of full scale) at a
+    /// mean signal of `signal_fraction`, integrating over `exposure`.
+    pub(crate) fn variance(&self, signal_fraction: f64, exposure: Time, temperature_k: f64) -> f64 {
+        let mut var: f64 = self
+            .sources
+            .iter()
+            .map(|s| {
+                let rms = s.rms_fraction(signal_fraction, exposure, temperature_k);
+                rms * rms
+            })
+            .sum();
+        if let Some(bits) = self.quant_bits {
+            let q = camj_digital::quantize::quantization_noise_rms(bits);
+            var += q * q;
+        }
+        var
+    }
+}
+
+/// The analytic per-stage noise budget of a design at one frame rate —
+/// attached to every [`EstimateReport`](crate::energy::EstimateReport)
+/// whose analog chain declares (or implies) any noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseReport {
+    /// The mean signal level (fraction of full scale) the budget is
+    /// quoted at.
+    pub signal_fraction: f64,
+    /// Per-stage accounting, in signal-flow order.
+    pub stages: Vec<StageNoise>,
+    /// Total RMS noise at the chain's output, fraction of full scale.
+    pub output_noise_rms: f64,
+    /// End-to-end SNR in dB: `20·log10(signal / output_noise_rms)`.
+    pub output_snr_db: f64,
+}
+
+impl NoiseReport {
+    /// The accounting row of one named stage, if present.
+    #[must_use]
+    pub fn stage(&self, unit: &str) -> Option<&StageNoise> {
+        self.stages.iter().find(|s| s.unit == unit)
+    }
+}
+
+/// One analytic accounting row: what a stage adds and where the
+/// cumulative budget stands after it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageNoise {
+    /// The analog unit's name.
+    pub unit: String,
+    /// RMS noise this stage adds (all its sources plus quantization),
+    /// fraction of full scale.
+    pub added_noise_rms: f64,
+    /// Cumulative RMS noise after this stage, fraction of full scale.
+    pub cumulative_noise_rms: f64,
+    /// Cumulative SNR in dB after this stage; absent while the chain
+    /// is still noise-free.
+    pub snr_db: Option<f64>,
+}
+
+/// The result of one seeded functional frame simulation
+/// ([`ValidatedModel::simulate_frame`]): per-stage measured SNR and a
+/// digest that pins the output frame bit-for-bit.
+///
+/// [`ValidatedModel::simulate_frame`]: crate::energy::ValidatedModel::simulate_frame
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameSimReport {
+    /// The RNG seed the frame was simulated with.
+    pub seed: u64,
+    /// The stimulus, in its CLI grammar (`uniform:0.5`, …).
+    pub stimulus: String,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Channel count.
+    pub channels: u32,
+    /// Per-stage measurements, in signal-flow order.
+    pub stages: Vec<StageSim>,
+    /// Summary statistics of the final simulated frame.
+    pub output: OutputStats,
+    /// A 128-bit fingerprint of the final frame's raw `f64` bits,
+    /// hex-encoded — byte-identical runs produce identical digests.
+    pub digest: String,
+}
+
+/// One measured stage of a simulated frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSim {
+    /// The analog unit's name.
+    pub unit: String,
+    /// RMS deviation from the clean frame after this stage, fraction
+    /// of full scale.
+    pub noise_rms: f64,
+    /// Measured SNR in dB after this stage
+    /// (`20·log10(signal_rms / noise_rms)`); absent while the frame is
+    /// still bit-exact.
+    pub snr_db: Option<f64>,
+}
+
+/// Summary statistics of a simulated output frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputStats {
+    /// Mean pixel value, fraction of full scale.
+    pub mean: f64,
+    /// Smallest pixel value.
+    pub min: f64,
+    /// Largest pixel value.
+    pub max: f64,
+    /// RMS deviation from the clean frame, fraction of full scale.
+    pub noise_rms: f64,
+    /// Measured end-to-end SNR in dB; absent for a noise-free chain.
+    pub snr_db: Option<f64>,
+}
+
+/// `20·log10(signal / noise)`, or `None` when there is no noise to
+/// compare against (SNR would be infinite, which JSON cannot carry).
+pub(crate) fn snr_db(signal_rms: f64, noise_rms: f64) -> Option<f64> {
+    if noise_rms > 0.0 && signal_rms > 0.0 {
+        Some(20.0 * (signal_rms / noise_rms).log10())
+    } else {
+        None
+    }
+}
+
+/// Derives the RNG stream of one noise stage: a pure mix of the frame
+/// seed, the stage's position, and the unit name, so streams never
+/// depend on evaluation order or thread count.
+pub(crate) fn stage_rng(seed: u64, stage_index: usize, unit: &str) -> StdRng {
+    let mut h = FpHasher::new();
+    h.write_str("camj.frame-sim/v1");
+    h.write_u64(seed);
+    h.write_usize(stage_index);
+    h.write_str(unit);
+    let (hi, lo) = h.finish().parts();
+    StdRng::seed_from_u64(hi ^ lo)
+}
+
+/// One standard-normal sample via Box–Muller (the shim RNG only offers
+/// uniforms). Uses the open-closed unit interval so `ln` never sees 0.
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stimulus_grammar_round_trips() {
+        for text in ["uniform:0.5", "gradient:0.1,0.9", "uniform:1", "uniform:0"] {
+            let s: Stimulus = text.parse().unwrap();
+            assert_eq!(s.to_string().parse::<Stimulus>().unwrap(), s, "{text}");
+        }
+        assert_eq!(
+            Stimulus::default().to_string().parse::<Stimulus>().unwrap(),
+            Stimulus::default()
+        );
+    }
+
+    #[test]
+    fn bad_stimuli_are_reported() {
+        for text in [
+            "uniform:1.5",
+            "uniform:x",
+            "gradient:0.9,0.1",
+            "gradient:0.5",
+            "noise",
+        ] {
+            assert!(text.parse::<Stimulus>().is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn gradient_spans_its_bounds() {
+        let s = Stimulus::gradient(0.2, 0.8);
+        assert_eq!(s.value_at(0, 100), 0.2);
+        assert_eq!(s.value_at(99, 100), 0.8);
+        assert!((s.mean_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(Stimulus::gradient(0.3, 0.7).value_at(0, 1), 0.3);
+    }
+
+    #[test]
+    fn stage_rng_streams_are_independent_and_stable() {
+        let mut a = stage_rng(42, 0, "PixelArray");
+        let mut a2 = stage_rng(42, 0, "PixelArray");
+        let mut b = stage_rng(42, 1, "ADCArray");
+        assert_eq!(a.next_u64(), a2.next_u64(), "same stage ⇒ same stream");
+        let mut a = stage_rng(42, 0, "PixelArray");
+        assert_ne!(a.next_u64(), b.next_u64(), "stages get distinct streams");
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = stage_rng(7, 0, "x");
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn snr_handles_the_noise_free_edge() {
+        assert_eq!(snr_db(0.5, 0.0), None);
+        let db = snr_db(0.5, 0.005).unwrap();
+        assert!((db - 40.0).abs() < 1e-9, "{db}");
+    }
+}

@@ -100,6 +100,7 @@ pub mod delay;
 pub mod energy;
 pub mod error;
 pub mod fingerprint;
+pub mod functional;
 pub mod hw;
 pub mod mapping;
 pub mod power_density;
@@ -113,6 +114,10 @@ pub use energy::{
     ENERGY_KERNEL_COUNT,
 };
 pub use error::CamjError;
+pub use functional::{
+    FrameSimReport, NoiseReport, OutputStats, StageNoise, StageSim, Stimulus,
+    DEFAULT_SIGNAL_FRACTION,
+};
 pub use hw::{
     AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, DigitalUnitKind, HardwareDesc, Layer,
     MemoryDesc,

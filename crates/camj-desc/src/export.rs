@@ -8,6 +8,7 @@
 use camj_analog::cell::{AnalogCell, BiasMode};
 use camj_analog::component::AnalogComponentSpec;
 use camj_analog::domain::SignalDomain;
+use camj_analog::noise::NoiseSource;
 use camj_core::energy::ValidatedModel;
 use camj_core::hw::{AnalogCategory, DigitalUnitKind, HardwareDesc, Layer};
 use camj_core::sw::{AlgorithmGraph, ImageSize, Stage, StageKind};
@@ -15,8 +16,8 @@ use camj_core::sw::{AlgorithmGraph, ImageSize, Stage, StageKind};
 use crate::ir::{
     AlgorithmIr, AnalogCategoryIr, AnalogUnitIr, BiasIr, BindingIr, CapNodeIr, CellIr, CellKindIr,
     ComponentIr, ConnectionIr, DesignDesc, DigitalKindIr, DigitalUnitIr, DomainIr, EdgeIr,
-    HardwareIr, LayerIr, MemoryEnergyIr, MemoryIr, MemoryKindIr, StageIr, StageKindIr,
-    FORMAT_VERSION,
+    HardwareIr, LayerIr, MemoryEnergyIr, MemoryIr, MemoryKindIr, NoiseSourceIr, StageIr,
+    StageKindIr, FORMAT_VERSION,
 };
 
 /// Exports a validated model as a description named `name`.
@@ -130,6 +131,11 @@ fn export_component(c: &AnalogComponentSpec) -> ComponentIr {
         input_domain: domain(c.input_domain()),
         output_domain: domain(c.output_domain()),
         vdda_v: c.vdda(),
+        noise: if c.noise_sources().is_empty() {
+            None
+        } else {
+            Some(c.noise_sources().iter().map(export_noise).collect())
+        },
         cells: c
             .cells()
             .iter()
@@ -169,6 +175,31 @@ fn export_component(c: &AnalogComponentSpec) -> ComponentIr {
                 },
             })
             .collect(),
+    }
+}
+
+fn export_noise(source: &NoiseSource) -> NoiseSourceIr {
+    match *source {
+        NoiseSource::PhotonShot {
+            full_well_electrons,
+        } => NoiseSourceIr::PhotonShot {
+            full_well_electrons,
+        },
+        NoiseSource::DarkCurrent {
+            electrons_per_sec,
+            full_well_electrons,
+        } => NoiseSourceIr::DarkCurrent {
+            electrons_per_sec,
+            full_well_electrons,
+        },
+        NoiseSource::Read { rms_fraction } => NoiseSourceIr::Read { rms_fraction },
+        NoiseSource::KtcSampling {
+            capacitance_f,
+            v_swing_v,
+        } => NoiseSourceIr::KtcSampling {
+            capacitance_f,
+            v_swing_v,
+        },
     }
 }
 

@@ -182,8 +182,43 @@ pub struct ComponentIr {
     pub output_domain: DomainIr,
     /// Analog supply voltage in volts.
     pub vdda_v: f64,
+    /// Physical noise sources the component injects into the signal
+    /// chain (functional simulation only — noise never changes an
+    /// energy estimate). Absent ⇒ no declared sources; ADC
+    /// quantization is always implicit in non-linear converter cells.
+    pub noise: Option<Vec<NoiseSourceIr>>,
     /// Cells in critical-path order.
     pub cells: Vec<CellIr>,
+}
+
+/// One noise source of a component's `noise` block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum NoiseSourceIr {
+    /// Photon shot noise on a full well of `full_well_electrons`.
+    PhotonShot {
+        /// Full-well capacity in electrons.
+        full_well_electrons: f64,
+    },
+    /// Dark-current shot noise integrated over the exposure.
+    DarkCurrent {
+        /// Dark-current generation rate in electrons per second.
+        electrons_per_sec: f64,
+        /// Full-well capacity in electrons.
+        full_well_electrons: f64,
+    },
+    /// Fixed read noise as an RMS fraction of full scale.
+    Read {
+        /// RMS amplitude, fraction of full scale.
+        rms_fraction: f64,
+    },
+    /// `kT/C` sampling noise of a switched capacitor.
+    KtcSampling {
+        /// Sampling capacitance in farads.
+        capacitance_f: f64,
+        /// Signal swing the noise is referred to, in volts.
+        v_swing_v: f64,
+    },
 }
 
 /// One cell inside a component, with spatial/temporal access counts.

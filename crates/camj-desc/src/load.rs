@@ -15,6 +15,7 @@ use camj_analog::array::AnalogArray;
 use camj_analog::cell::{AnalogCell, BiasMode, CapacitorNode};
 use camj_analog::component::AnalogComponentSpec;
 use camj_analog::domain::SignalDomain;
+use camj_analog::noise::{NoiseSource, MAX_RESOLUTION_BITS};
 use camj_core::energy::ValidatedModel;
 use camj_core::hw::{
     AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
@@ -30,7 +31,7 @@ use camj_tech::units::{Energy, Power};
 use crate::error::{DescError, Diagnostic};
 use crate::ir::{
     AnalogCategoryIr, BiasIr, CellKindIr, DesignDesc, DigitalKindIr, DomainIr, LayerIr,
-    MemoryKindIr, StageIr, StageKindIr, FORMAT_VERSION,
+    MemoryKindIr, NoiseSourceIr, StageIr, StageKindIr, FORMAT_VERSION,
 };
 
 impl DesignDesc {
@@ -255,13 +256,14 @@ impl DesignDesc {
 
     /// Checks one `sweep.objectives` entry against the shared objective
     /// grammar (`camj-explore`'s `Objective` parser reads the same
-    /// strings): `total_energy`, `delay`, `power_density`,
-    /// `category:<LABEL>`, or `stage:<name>` with a stage the algorithm
-    /// actually declares.
+    /// strings): `total_energy`, `delay`, `power_density`, `snr`,
+    /// `category:<LABEL>`, `stage:<name>` with a stage the algorithm
+    /// actually declares, or `noise:<unit>` with an analog hardware
+    /// unit the design actually places.
     fn validate_objective(&self, c: &mut Check, index: usize, objective: &str) {
         let path = format!("sweep.objectives[{index}]");
         match objective {
-            "total_energy" | "delay" | "power_density" => {}
+            "total_energy" | "delay" | "power_density" | "snr" => {}
             other => {
                 if let Some(label) = other.strip_prefix("category:") {
                     if !camj_core::EnergyCategory::ALL
@@ -274,11 +276,15 @@ impl DesignDesc {
                     if !self.sw.stages.iter().any(|s| s.name == stage) {
                         c.push(path, "references an unknown stage", quoted(stage));
                     }
+                } else if let Some(unit) = other.strip_prefix("noise:") {
+                    if !self.hw.analog.iter().any(|a| a.name == unit) {
+                        c.push(path, "references an unknown analog unit", quoted(unit));
+                    }
                 } else {
                     c.push(
                         path,
                         "unknown objective (expected total_energy, delay, power_density, \
-                         category:<LABEL>, or stage:<name>)",
+                         snr, category:<LABEL>, stage:<name>, or noise:<unit>)",
                         quoted(other),
                     );
                 }
@@ -319,6 +325,51 @@ impl DesignDesc {
             let comp = &a.component;
             let cp = format!("{p}.component");
             c.positive(format!("{cp}.vdda_v"), comp.vdda_v);
+            if let Some(noise) = &comp.noise {
+                if noise.is_empty() {
+                    c.push(
+                        format!("{cp}.noise"),
+                        "must list at least one source when present",
+                        "[]",
+                    );
+                }
+                for (j, source) in noise.iter().enumerate() {
+                    let np = format!("{cp}.noise[{j}]");
+                    match source {
+                        NoiseSourceIr::PhotonShot {
+                            full_well_electrons,
+                        } => {
+                            c.positive(
+                                format!("{np}.photon_shot.full_well_electrons"),
+                                *full_well_electrons,
+                            );
+                        }
+                        NoiseSourceIr::DarkCurrent {
+                            electrons_per_sec,
+                            full_well_electrons,
+                        } => {
+                            c.non_negative(
+                                format!("{np}.dark_current.electrons_per_sec"),
+                                *electrons_per_sec,
+                            );
+                            c.positive(
+                                format!("{np}.dark_current.full_well_electrons"),
+                                *full_well_electrons,
+                            );
+                        }
+                        NoiseSourceIr::Read { rms_fraction } => {
+                            c.non_negative(format!("{np}.read.rms_fraction"), *rms_fraction);
+                        }
+                        NoiseSourceIr::KtcSampling {
+                            capacitance_f,
+                            v_swing_v,
+                        } => {
+                            c.positive(format!("{np}.ktc_sampling.capacitance_f"), *capacitance_f);
+                            c.positive(format!("{np}.ktc_sampling.v_swing_v"), *v_swing_v);
+                        }
+                    }
+                }
+            }
             if comp.cells.is_empty() {
                 c.push(
                     format!("{cp}.cells"),
@@ -364,6 +415,13 @@ impl DesignDesc {
                     } => {
                         let bp = format!("{kp}.cell.non_linear");
                         c.at_least_1(format!("{bp}.bits"), *bits);
+                        if *bits > MAX_RESOLUTION_BITS {
+                            c.push(
+                                format!("{bp}.bits"),
+                                "converter resolution must be at most 32 bits",
+                                bits,
+                            );
+                        }
                         if let Some(fom) = fom_j_per_step {
                             c.positive(format!("{bp}.fom_j_per_step"), *fom);
                         }
@@ -573,6 +631,30 @@ fn build_component(ir: &crate::ir::ComponentIr) -> AnalogComponentSpec {
         .input_domain(domain(ir.input_domain))
         .output_domain(domain(ir.output_domain))
         .vdda(ir.vdda_v);
+    for source in ir.noise.as_deref().unwrap_or(&[]) {
+        builder = builder.noise_source(match *source {
+            NoiseSourceIr::PhotonShot {
+                full_well_electrons,
+            } => NoiseSource::PhotonShot {
+                full_well_electrons,
+            },
+            NoiseSourceIr::DarkCurrent {
+                electrons_per_sec,
+                full_well_electrons,
+            } => NoiseSource::DarkCurrent {
+                electrons_per_sec,
+                full_well_electrons,
+            },
+            NoiseSourceIr::Read { rms_fraction } => NoiseSource::Read { rms_fraction },
+            NoiseSourceIr::KtcSampling {
+                capacitance_f,
+                v_swing_v,
+            } => NoiseSource::KtcSampling {
+                capacitance_f,
+                v_swing_v,
+            },
+        });
+    }
     for cell in &ir.cells {
         let model = match &cell.cell {
             CellKindIr::Dynamic { nodes } => AnalogCell::Dynamic {

@@ -11,7 +11,8 @@ use proptest::prelude::*;
 use camj_desc::ir::{
     AlgorithmIr, AnalogCategoryIr, AnalogUnitIr, BiasIr, BindingIr, CapNodeIr, CellIr, CellKindIr,
     ComponentIr, ConnectionIr, DigitalKindIr, DigitalUnitIr, DomainIr, EdgeIr, HardwareIr, LayerIr,
-    MemoryEnergyIr, MemoryIr, MemoryKindIr, StageIr, StageKindIr, SweepConstraintsIr, SweepIr,
+    MemoryEnergyIr, MemoryIr, MemoryKindIr, NoiseSourceIr, StageIr, StageKindIr,
+    SweepConstraintsIr, SweepIr,
 };
 use camj_desc::{DescError, DesignDesc, FORMAT_VERSION};
 
@@ -92,6 +93,25 @@ impl Gen {
                 input_domain: DomainIr::Optical,
                 output_domain: DomainIr::Voltage,
                 vdda_v: self.f64(1.0, 3.3),
+                noise: match self.u32(0, 3) {
+                    0 => None,
+                    1 => Some(vec![NoiseSourceIr::PhotonShot {
+                        full_well_electrons: self.f64(1e3, 2e4),
+                    }]),
+                    _ => Some(vec![
+                        NoiseSourceIr::DarkCurrent {
+                            electrons_per_sec: self.f64(1.0, 200.0),
+                            full_well_electrons: self.f64(1e3, 2e4),
+                        },
+                        NoiseSourceIr::Read {
+                            rms_fraction: self.f64(1e-4, 1e-2),
+                        },
+                        NoiseSourceIr::KtcSampling {
+                            capacitance_f: self.f64(1e-14, 1e-12),
+                            v_swing_v: self.f64(0.5, 2.0),
+                        },
+                    ]),
+                },
                 cells: (0..self.u32(1, 4))
                     .map(|i| CellIr {
                         label: format!("cell{i}"),
@@ -115,6 +135,7 @@ impl Gen {
                 input_domain: DomainIr::Voltage,
                 output_domain: DomainIr::Digital,
                 vdda_v: 2.5,
+                noise: None,
                 cells: vec![CellIr {
                     label: "ADC".into(),
                     spatial: 1,

@@ -9,7 +9,10 @@
 //!   the DNN-oriented `SystolicArray` (Eq. 15),
 //! * [`sim`] — a cycle-level pipeline simulator that verifies the CIS
 //!   pipeline never stalls, measures the digital latency `T_D`, and
-//!   counts unit cycles and memory accesses for the energy equations.
+//!   counts unit cycles and memory accesses for the energy equations,
+//! * [`quantize`] — ADC quantization (LSB sizing, `LSB/sqrt(12)` noise,
+//!   and a deterministic mid-tread quantizer) for the noise-aware
+//!   functional simulation.
 //!
 //! # Examples
 //!
@@ -46,6 +49,7 @@
 pub mod compute;
 pub mod fingerprint;
 pub mod memory;
+pub mod quantize;
 pub mod sim;
 
 pub use compute::{ComputeUnit, PixelShape, SystolicArray};

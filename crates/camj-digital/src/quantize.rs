@@ -1,0 +1,139 @@
+//! ADC quantization: the digital side of the noise model.
+//!
+//! Every analog-to-digital conversion rounds the continuous signal to
+//! one of `2^bits` levels. The rounding error is the one noise source
+//! that is *intrinsic* to the architecture rather than to a circuit,
+//! so the functional simulation derives it from a component's declared
+//! converter resolution instead of asking for a descriptor:
+//!
+//! ```text
+//! LSB = 1 / 2^bits (of full scale),   σ_q = LSB / sqrt(12)
+//! ```
+//!
+//! (the classic uniform-quantization result: the error of an unclipped
+//! mid-tread quantizer is uniform over `±LSB/2`).
+//!
+//! All values here are normalised to full scale: signals live in
+//! `[0, 1]` and noise amplitudes are fractions of full scale, matching
+//! `camj_analog::noise::NoiseSource::rms_fraction`.
+
+/// The widest converter resolution the quantization model accepts,
+/// matching `camj_analog::noise::MAX_RESOLUTION_BITS`.
+pub const MAX_QUANTIZE_BITS: u32 = 32;
+
+fn assert_bits(bits: u32) {
+    assert!(bits > 0, "conversion needs at least 1 bit");
+    assert!(
+        bits <= MAX_QUANTIZE_BITS,
+        "conversion resolution must be at most {MAX_QUANTIZE_BITS} bits, got {bits}"
+    );
+}
+
+/// One least-significant bit as a fraction of full scale, `2^-bits`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds [`MAX_QUANTIZE_BITS`].
+#[must_use]
+pub fn lsb_fraction(bits: u32) -> f64 {
+    assert_bits(bits);
+    (0.5f64).powi(bits as i32)
+}
+
+/// RMS quantization noise as a fraction of full scale,
+/// `LSB / sqrt(12)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds [`MAX_QUANTIZE_BITS`].
+#[must_use]
+pub fn quantization_noise_rms(bits: u32) -> f64 {
+    lsb_fraction(bits) / 12f64.sqrt()
+}
+
+/// Quantizes a full-scale-normalised `value` onto the uniform
+/// mid-tread grid of step [`lsb_fraction`]`(bits)` (values round to
+/// the nearest level; out-of-range inputs clip to the rails first, as
+/// a saturating converter does). The rounding error is therefore
+/// bounded by half an LSB, consistent with [`quantization_noise_rms`].
+///
+/// Deterministic and branch-free in the data, so a simulated frame
+/// quantizes byte-identically on every run and thread count.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds [`MAX_QUANTIZE_BITS`], or
+/// `value` is NaN.
+#[must_use]
+pub fn quantize(value: f64, bits: u32) -> f64 {
+    assert_bits(bits);
+    assert!(!value.is_nan(), "cannot quantize NaN");
+    let step = lsb_fraction(bits);
+    ((value.clamp(0.0, 1.0) / step).round() * step).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_halves_per_bit() {
+        assert_eq!(lsb_fraction(1), 0.5);
+        assert_eq!(lsb_fraction(8), 1.0 / 256.0);
+        assert!((lsb_fraction(10) / lsb_fraction(11) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_matches_uniform_error_statistics() {
+        // 10-bit: LSB ≈ 977 ppm, σ_q ≈ 282 ppm.
+        let rms = quantization_noise_rms(10);
+        assert!((rms - (1.0 / 1024.0) / 12f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantize_is_idempotent_and_clipping() {
+        for bits in [1, 4, 8, 12] {
+            for v in [0.0, 0.123, 0.5, 0.9999, 1.0] {
+                let q = quantize(v, bits);
+                assert_eq!(quantize(q, bits), q, "bits={bits} v={v}");
+                assert!((q - v).abs() <= lsb_fraction(bits) / 2.0 + 1e-12);
+            }
+        }
+        assert_eq!(quantize(-0.3, 8), 0.0);
+        assert_eq!(quantize(1.7, 8), 1.0);
+    }
+
+    #[test]
+    fn one_bit_is_a_comparator() {
+        assert_eq!(quantize(0.2, 1), 0.0);
+        assert_eq!(quantize(0.8, 1), 1.0);
+    }
+
+    #[test]
+    fn measured_error_matches_predicted_rms() {
+        // Sweep a dense ramp and compare the empirical RMS error to
+        // LSB/sqrt(12); they agree within a few percent.
+        let bits = 8;
+        let n = 100_000;
+        let mse: f64 = (0..n)
+            .map(|i| {
+                let v = (i as f64 + 0.5) / n as f64;
+                let e = quantize(v, bits) - v;
+                e * e
+            })
+            .sum::<f64>()
+            / n as f64;
+        let measured = mse.sqrt();
+        let predicted = quantization_noise_rms(bits);
+        assert!(
+            (measured / predicted - 1.0).abs() < 0.05,
+            "measured {measured}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 bits")]
+    fn out_of_range_bits_rejected() {
+        let _ = quantization_noise_rms(33);
+    }
+}

@@ -44,7 +44,9 @@
 //! On top of the incremental engine sits **multi-objective Pareto
 //! exploration** ([`Explorer::pareto`]): a [`ParetoQuery`] names the
 //! [`Objective`]s to minimise (total energy, a per-category or
-//! per-stage energy split, digital latency, peak power density) and
+//! per-stage energy split, digital latency, peak power density, or
+//! signal quality — output/per-stage noise from the analytic noise
+//! budget, so energy can be traded against SNR) and
 //! the feasibility [`Constraint`]s to enforce (a thermal power-density
 //! budget, a latency budget, an energy budget). Constraints prune
 //! *during* estimation — a point whose partial energy already blows a

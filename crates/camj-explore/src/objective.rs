@@ -38,6 +38,17 @@ pub enum Objective {
     /// Designs with no defined layer area report 0 (no thermal
     /// concern to minimise).
     PowerDensity,
+    /// Signal quality: the analytic output noise RMS of the analog
+    /// chain, as a fraction of full scale (from the noise budget every
+    /// estimate carries). Minimising it maximises SNR — every point of
+    /// one exploration is quoted at the same stimulus level, so the
+    /// ordering is exactly the SNR ordering reversed. Noise-free
+    /// designs report 0.
+    Snr,
+    /// Signal quality of one chain stage: the noise RMS a named analog
+    /// unit *adds* (its sources plus any ADC quantization), fraction
+    /// of full scale. Units absent from the chain report 0.
+    StageNoise(String),
 }
 
 impl Objective {
@@ -52,6 +63,8 @@ impl Objective {
             Objective::StageEnergy(stage) => format!("stage_{stage}_pj"),
             Objective::Delay => "digital_latency_ms".to_owned(),
             Objective::PowerDensity => "peak_density_mw_per_mm2".to_owned(),
+            Objective::Snr => "output_noise_rms".to_owned(),
+            Objective::StageNoise(unit) => format!("noise_{unit}_rms"),
         }
     }
 
@@ -70,6 +83,15 @@ impl Objective {
                 .sum(),
             Objective::Delay => report.digital_latency().millis(),
             Objective::PowerDensity => report.peak_power_density_mw_per_mm2().unwrap_or(0.0),
+            Objective::Snr => report
+                .noise
+                .as_ref()
+                .map_or(0.0, |noise| noise.output_noise_rms),
+            Objective::StageNoise(unit) => report
+                .noise
+                .as_ref()
+                .and_then(|noise| noise.stage(unit))
+                .map_or(0.0, |stage| stage.added_noise_rms),
         }
     }
 }
@@ -82,6 +104,8 @@ impl fmt::Display for Objective {
             Objective::StageEnergy(stage) => write!(f, "stage:{stage}"),
             Objective::Delay => f.write_str("delay"),
             Objective::PowerDensity => f.write_str("power_density"),
+            Objective::Snr => f.write_str("snr"),
+            Objective::StageNoise(unit) => write!(f, "noise:{unit}"),
         }
     }
 }
@@ -91,15 +115,17 @@ impl FromStr for Objective {
 
     /// Parses the objective grammar shared by `camj pareto
     /// --objectives` and the description format's `sweep.objectives`
-    /// list: `total_energy`, `delay`, `power_density`,
+    /// list: `total_energy`, `delay`, `power_density`, `snr`,
     /// `category:<LABEL>` (a Fig. 9 category label such as `MEM-D`,
-    /// case-insensitive), or `stage:<name>` (an algorithm stage,
+    /// case-insensitive), `stage:<name>` (an algorithm stage,
+    /// case-sensitive), or `noise:<unit>` (an analog hardware unit,
     /// case-sensitive).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "total_energy" => return Ok(Objective::TotalEnergy),
             "delay" => return Ok(Objective::Delay),
             "power_density" => return Ok(Objective::PowerDensity),
+            "snr" => return Ok(Objective::Snr),
             _ => {}
         }
         if let Some(label) = s.strip_prefix("category:") {
@@ -120,9 +146,15 @@ impl FromStr for Objective {
             }
             return Ok(Objective::StageEnergy(stage.to_owned()));
         }
+        if let Some(unit) = s.strip_prefix("noise:") {
+            if unit.is_empty() {
+                return Err("noise objective needs a unit name after 'noise:'".to_owned());
+            }
+            return Ok(Objective::StageNoise(unit.to_owned()));
+        }
         Err(format!(
-            "unknown objective '{s}' (expected total_energy, delay, power_density, \
-             category:<LABEL>, or stage:<name>)"
+            "unknown objective '{s}' (expected total_energy, delay, power_density, snr, \
+             category:<LABEL>, stage:<name>, or noise:<unit>)"
         ))
     }
 }
@@ -222,8 +254,10 @@ mod tests {
             "total_energy",
             "delay",
             "power_density",
+            "snr",
             "category:MEM-D",
             "stage:RoiDnn",
+            "noise:PixelArray",
         ] {
             let objective: Objective = text.parse().unwrap();
             assert_eq!(objective.to_string(), text);
@@ -246,6 +280,7 @@ mod tests {
     fn bad_objectives_are_reported() {
         assert!("category:BOGUS".parse::<Objective>().is_err());
         assert!("stage:".parse::<Objective>().is_err());
+        assert!("noise:".parse::<Objective>().is_err());
         assert!("energy".parse::<Objective>().is_err());
     }
 
@@ -262,6 +297,11 @@ mod tests {
         );
         assert_eq!(Objective::Delay.key(), "digital_latency_ms");
         assert_eq!(Objective::PowerDensity.key(), "peak_density_mw_per_mm2");
+        assert_eq!(Objective::Snr.key(), "output_noise_rms");
+        assert_eq!(
+            Objective::StageNoise("ADCArray".into()).key(),
+            "noise_ADCArray_rms"
+        );
     }
 
     #[test]

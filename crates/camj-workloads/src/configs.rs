@@ -35,6 +35,19 @@ pub const COLUMN_ADC_FOM: f64 = 15e-15;
 /// Pixel pitch assumed for the case-study sensors, micrometres.
 pub const PIXEL_PITCH_UM: f64 = 4.0;
 
+/// Full-well capacity of the workload pixels in electrons — a typical
+/// mid-size CIS well, setting the photon-shot-noise floor (≈ 1 % of
+/// full scale at saturation).
+pub const FULL_WELL_ELECTRONS: f64 = 10_000.0;
+
+/// Dark-current generation rate in electrons per second at room
+/// temperature (a clean modern process; integrates over the exposure).
+pub const DARK_CURRENT_E_PER_S: f64 = 50.0;
+
+/// Read noise of the pixel readout chain as an RMS fraction of full
+/// scale (≈ 10 e⁻ on the [`FULL_WELL_ELECTRONS`] well).
+pub const READ_NOISE_FRACTION: f64 = 0.001;
+
 /// The architecture variants of the paper's Sec. 6 exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SensorVariant {

@@ -11,9 +11,11 @@
 //! energy (Finding 3).
 
 use camj_analog::array::AnalogArray;
+use camj_analog::component::AnalogComponentSpec;
 use camj_analog::components::{
     abs_diff_digitizing, active_sample_hold_with_cap, aps_4t, column_adc_with_fom,
 };
+use camj_analog::noise::NoiseSource;
 use camj_core::energy::CamJ;
 use camj_core::hw::{
     AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
@@ -26,7 +28,8 @@ use camj_tech::node::ProcessNode;
 
 use crate::configs::{
     scaled_op_energy, sram_parameters, sttram_parameters, workload_pixel, SensorVariant,
-    WorkloadError, COLUMN_ADC_BITS, COLUMN_ADC_FOM, DIGITAL_CLOCK_HZ, PIXEL_PITCH_UM, WORKLOAD_FPS,
+    WorkloadError, COLUMN_ADC_BITS, COLUMN_ADC_FOM, DARK_CURRENT_E_PER_S, DIGITAL_CLOCK_HZ,
+    FULL_WELL_ELECTRONS, PIXEL_PITCH_UM, READ_NOISE_FRACTION, WORKLOAD_FPS,
 };
 
 /// Sensor width in pixels.
@@ -177,7 +180,7 @@ pub fn model_with(config: EdGazeConfig) -> Result<CamJ, WorkloadError> {
     hw.add_analog(
         AnalogUnitDesc::new(
             "PixelArray",
-            AnalogArray::new(aps_4t(workload_pixel()), HEIGHT, WIDTH),
+            AnalogArray::new(noisy_pixel(aps_4t(workload_pixel())), HEIGHT, WIDTH),
             Layer::Sensor,
             AnalogCategory::Sensing,
         )
@@ -281,6 +284,19 @@ pub fn model_with(config: EdGazeConfig) -> Result<CamJ, WorkloadError> {
     CamJ::new(algorithm(), hw, mapping, WORKLOAD_FPS).map_err(WorkloadError::from)
 }
 
+/// The Ed-Gaze pixel with its physical noise sources attached (photon
+/// shot, dark current, read noise). Noise is energy-inert: it feeds
+/// the functional simulation and the explorer's `snr` objective only.
+fn noisy_pixel(component: AnalogComponentSpec) -> AnalogComponentSpec {
+    component
+        .with_noise_source(NoiseSource::photon_shot(FULL_WELL_ELECTRONS))
+        .with_noise_source(NoiseSource::dark_current(
+            DARK_CURRENT_E_PER_S,
+            FULL_WELL_ELECTRONS,
+        ))
+        .with_noise_source(NoiseSource::read(READ_NOISE_FRACTION))
+}
+
 /// The mixed-signal design of Fig. 10: binning inside the pixel array
 /// (S1), an analog frame buffer, and switched-capacitor frame
 /// subtraction with comparator digitisation (S2); only the DNN (S3)
@@ -293,7 +309,7 @@ fn mixed_model(cis_node: ProcessNode) -> Result<CamJ, WorkloadError> {
         AnalogUnitDesc::new(
             "PixelArray",
             AnalogArray::new(
-                aps_4t(workload_pixel().with_shared_pixels(4)),
+                noisy_pixel(aps_4t(workload_pixel().with_shared_pixels(4))),
                 DS_HEIGHT,
                 DS_WIDTH,
             ),
@@ -303,10 +319,14 @@ fn mixed_model(cis_node: ProcessNode) -> Result<CamJ, WorkloadError> {
         // Same die: a binned "pixel" covers a 2×2 tile of the base pitch.
         .with_pixel_pitch_um(2.0 * PIXEL_PITCH_UM),
     );
+    // The analog S&H frame buffer and the switched-capacitor PE both
+    // resample the signal on their 100 fF caps, each paying one kT/C
+    // hit — the accuracy cost behind Finding 3's caveat.
     hw.add_analog(AnalogUnitDesc::new(
         "AnalogFrameBuffer",
         AnalogArray::new(
-            active_sample_hold_with_cap(MIXED_CAP_F, 1.0),
+            active_sample_hold_with_cap(MIXED_CAP_F, 1.0)
+                .with_noise_source(NoiseSource::ktc(MIXED_CAP_F, 1.0)),
             DS_HEIGHT,
             DS_WIDTH,
         ),
@@ -315,7 +335,12 @@ fn mixed_model(cis_node: ProcessNode) -> Result<CamJ, WorkloadError> {
     ));
     hw.add_analog(AnalogUnitDesc::new(
         "AnalogPEArray",
-        AnalogArray::new(abs_diff_digitizing(MIXED_CAP_F, 1.0), 1, DS_WIDTH),
+        AnalogArray::new(
+            abs_diff_digitizing(MIXED_CAP_F, 1.0)
+                .with_noise_source(NoiseSource::ktc(MIXED_CAP_F, 1.0)),
+            1,
+            DS_WIDTH,
+        ),
         Layer::Sensor,
         AnalogCategory::Compute,
     ));

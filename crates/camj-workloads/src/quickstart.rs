@@ -4,6 +4,7 @@
 
 use camj_analog::array::AnalogArray;
 use camj_analog::components::{aps_4t, column_adc, ApsParams};
+use camj_analog::noise::NoiseSource;
 use camj_core::energy::CamJ;
 use camj_core::hw::{
     AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, HardwareDesc, Layer, MemoryDesc,
@@ -52,10 +53,23 @@ pub fn model(fps: f64) -> Result<CamJ, camj_core::error::CamjError> {
     algo.connect("Binning", "EdgeDetection")?;
 
     let mut hw = HardwareDesc::new(200e6);
+    // The pixel carries the physical noise sources of the front end
+    // (photon shot, dark current, read noise); the 10-bit column ADC
+    // adds its quantization implicitly. Noise never changes energy —
+    // it feeds `camj simulate` and the explorer's `snr` objective.
+    let pixel = aps_4t(ApsParams::default().with_shared_pixels(4))
+        .with_noise_source(NoiseSource::photon_shot(
+            crate::configs::FULL_WELL_ELECTRONS,
+        ))
+        .with_noise_source(NoiseSource::dark_current(
+            crate::configs::DARK_CURRENT_E_PER_S,
+            crate::configs::FULL_WELL_ELECTRONS,
+        ))
+        .with_noise_source(NoiseSource::read(crate::configs::READ_NOISE_FRACTION));
     hw.add_analog(
         AnalogUnitDesc::new(
             "PixelArray",
-            AnalogArray::new(aps_4t(ApsParams::default().with_shared_pixels(4)), 16, 16),
+            AnalogArray::new(pixel, 16, 16),
             Layer::Sensor,
             AnalogCategory::Sensing,
         )

@@ -6,6 +6,7 @@
 //! camj export <workload> [--out FILE]
 //! camj validate <file>...
 //! camj estimate --design FILE [--fps N] [--json]
+//! camj simulate --design FILE [--seed N] [--fps N] [--stimulus SPEC] [--json]
 //! camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
 //! camj pareto --design FILE [--fps A,B,C] [--objectives O,O,...]
 //!             [--max-density X] [--max-latency-ms X] [--max-energy-pj X]
@@ -20,6 +21,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use camj_core::energy::{EstimateReport, ValidatedModel};
+use camj_core::functional::Stimulus;
 use camj_desc::DesignDesc;
 use camj_explore::{
     Constraint, EstimateCache, Explorer, Objective, ParetoQuery, Sweep, SweepFormat,
@@ -39,6 +41,14 @@ USAGE:
     camj estimate --design FILE [--fps N] [--json]
         Estimate per-frame energy for a description (optionally
         overriding its frame rate).
+    camj simulate --design FILE [--seed N] [--fps N] [--stimulus SPEC] [--json]
+        Noise-aware functional simulation of one frame: renders the
+        stimulus (uniform:<level> or gradient:<low>,<high>; default
+        gradient:0.1,0.9) at the input stage's resolution, injects each
+        analog stage's noise sources with the seeded deterministic RNG
+        (default seed 42), applies ADC quantization, and reports
+        per-stage SNR plus a digest pinning the output frame
+        bit-for-bit. Identical across runs and thread counts.
     camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
         Sweep frame-rate targets (from --fps, or the description's
         `sweep.fps` list) through the incremental estimation engine.
@@ -50,9 +60,9 @@ USAGE:
                 [--format json|csv]
         Multi-objective Pareto exploration over the frame-rate grid.
         Objectives (minimised): total_energy, delay, power_density,
-        category:<LABEL>, stage:<name>; defaults come from the
-        description's `sweep.objectives` (falling back to
-        total_energy,power_density). Constraint flags override the
+        snr, category:<LABEL>, stage:<name>, noise:<unit>; defaults
+        come from the description's `sweep.objectives` (falling back
+        to total_energy,power_density). Constraint flags override the
         description's `sweep.constraints`; violating points are pruned
         mid-estimate, skipping their remaining energy kernels.
 ";
@@ -68,6 +78,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(rest),
         "validate" => cmd_validate(rest),
         "estimate" => cmd_estimate(rest),
+        "simulate" => cmd_simulate(rest),
         "sweep" => cmd_sweep(rest),
         "pareto" => cmd_pareto(rest),
         "--help" | "-h" | "help" => {
@@ -93,6 +104,8 @@ struct Flags {
     fps: Option<String>,
     out: Option<String>,
     format: Option<String>,
+    seed: Option<String>,
+    stimulus: Option<String>,
     objectives: Option<String>,
     max_density: Option<String>,
     max_latency_ms: Option<String>,
@@ -116,6 +129,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--fps" => flags.fps = Some(value_of("--fps", &mut it)?),
             "--out" => flags.out = Some(value_of("--out", &mut it)?),
             "--format" => flags.format = Some(value_of("--format", &mut it)?),
+            "--seed" => flags.seed = Some(value_of("--seed", &mut it)?),
+            "--stimulus" => flags.stimulus = Some(value_of("--stimulus", &mut it)?),
             "--objectives" => flags.objectives = Some(value_of("--objectives", &mut it)?),
             "--max-density" => flags.max_density = Some(value_of("--max-density", &mut it)?),
             "--max-latency-ms" => {
@@ -260,6 +275,119 @@ fn cmd_estimate(args: &[String]) -> ExitCode {
     } else {
         print_report(&desc, model.fps(), &report);
     }
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let Some(path) = &flags.design else {
+        return usage_error("simulate needs --design FILE");
+    };
+    if let [stray, ..] = flags.positional.as_slice() {
+        return usage_error(&format!("simulate takes no positional argument '{stray}'"));
+    }
+    if flags.out.is_some() {
+        return usage_error("simulate prints to stdout; redirect instead of passing --out");
+    }
+    if flags.format.is_some() {
+        return usage_error("simulate has no --format; use --json for machine-readable output");
+    }
+    if flags.no_cache
+        || flags.objectives.is_some()
+        || flags.max_density.is_some()
+        || flags.max_latency_ms.is_some()
+        || flags.max_energy_pj.is_some()
+    {
+        return usage_error(
+            "simulate takes none of --no-cache/--objectives/--max-*; those are sweep/pareto flags",
+        );
+    }
+    let seed: u64 = match flags.seed.as_deref() {
+        None => 42,
+        Some(text) => match text.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                return usage_error(&format!("--seed needs an unsigned integer, got '{text}'"))
+            }
+        },
+    };
+    let stimulus = match flags.stimulus.as_deref() {
+        None => Stimulus::default(),
+        Some(text) => match text.parse::<Stimulus>() {
+            Ok(s) => s,
+            Err(e) => return usage_error(&e),
+        },
+    };
+    let fps_override = match flags.fps.as_deref().map(parse_fps_single) {
+        None => None,
+        Some(Ok(v)) => Some(v),
+        Some(Err(e)) => return usage_error(&e),
+    };
+    let (desc, model) = match load_design(path, fps_override) {
+        Ok(x) => x,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match model.simulate_frame(seed, &stimulus) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: functional simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: could not serialize the report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "== simulate: {} @ {} FPS (seed {}, stimulus {}) ==",
+        desc.name,
+        model.fps(),
+        report.seed,
+        report.stimulus
+    );
+    println!(
+        "frame: {}x{}x{} pixels",
+        report.width, report.height, report.channels
+    );
+    if report.stages.is_empty() {
+        println!("analog chain: no stages (nothing to simulate)");
+    } else {
+        println!("{:<24} {:>16} {:>12}", "stage", "noise rms (FS)", "SNR dB");
+        for stage in &report.stages {
+            println!(
+                "{:<24} {:>16.6} {:>12}",
+                stage.unit,
+                stage.noise_rms,
+                stage
+                    .snr_db
+                    .map_or_else(|| "-".to_owned(), |db| format!("{db:.2}")),
+            );
+        }
+    }
+    println!(
+        "output: mean {:.6}, range [{:.6}, {:.6}], noise rms {:.6}{}",
+        report.output.mean,
+        report.output.min,
+        report.output.max,
+        report.output.noise_rms,
+        report
+            .output
+            .snr_db
+            .map_or_else(String::new, |db| format!(", SNR {db:.2} dB")),
+    );
+    println!("digest: {}", report.digest);
     ExitCode::SUCCESS
 }
 

@@ -118,6 +118,42 @@ fn cli_estimate_matches_committed_snapshot() {
 }
 
 #[test]
+fn cli_simulate_matches_committed_snapshot() {
+    let run = |extra_env: Option<(&str, &str)>| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_camj"));
+        cmd.args([
+            "simulate",
+            "--design",
+            "descriptions/quickstart.json",
+            "--seed",
+            "42",
+        ]);
+        if let Some((key, value)) = extra_env {
+            cmd.env(key, value);
+        }
+        let out = cmd.output().expect("camj binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let expected = fs::read_to_string("descriptions/quickstart.simulate.txt").unwrap();
+    let first = run(None);
+    assert_eq!(
+        first, expected,
+        "CLI simulate output drifted from descriptions/quickstart.simulate.txt; \
+         regenerate it if the change is intentional"
+    );
+    // Byte-identical across repeat runs and thread counts (the ISSUE 5
+    // acceptance bar for `camj simulate --seed 42`).
+    assert_eq!(run(None), first);
+    assert_eq!(run(Some(("RAYON_NUM_THREADS", "8"))), first);
+    assert_eq!(run(Some(("RAYON_NUM_THREADS", "1"))), first);
+}
+
+#[test]
 fn cli_export_reproduces_golden_bytes() {
     for (name, path) in GOLDEN {
         let out = Command::new(env!("CARGO_BIN_EXE_camj"))
