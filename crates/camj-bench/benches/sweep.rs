@@ -13,6 +13,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use camj_core::energy::{CacheStats, CamJ, EstimateReport, ValidatedModel};
+use camj_core::functional::Stimulus;
 use camj_explore::{
     Constraint, DesignPoint, EstimateCache, Explorer, MemoryKind, MetricVector, Objective,
     ParetoFront, ParetoQuery, PointError, PruneStats, Sweep, SweepResults,
@@ -237,6 +238,162 @@ fn median_secs(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Where the bench record lives: the workspace root, committed so the
+/// CI smoke job can diff new medians against the recorded baselines.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+
+/// How much a hot-loop median may exceed its committed baseline before
+/// the bench fails (the CI regression gate).
+const REGRESSION_FACTOR: f64 = 1.5;
+
+/// The acceptance bar for the Monte-Carlo frame path: a 16-seed batch
+/// must cost less than ~4x one scalar-reference frame. Asserted with
+/// headroom for timer noise on busy CI hosts; the measured ratio is
+/// recorded in `frame_sim.mc16_over_scalar`.
+const MC16_SCALAR_BUDGET: f64 = 6.0;
+
+/// Seeds in the benchmarked Monte-Carlo batch.
+const MC_SEEDS: u64 = 16;
+
+/// Median wall time of `f` over `samples` runs, in seconds.
+fn time_median(samples: usize, f: &dyn Fn()) -> f64 {
+    let mut t: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_secs(&mut t)
+}
+
+// ---------------------------------------------------------------------
+// Hot loops: arena-backed elastic simulation + Monte-Carlo frame sim
+// ---------------------------------------------------------------------
+
+/// Medians of the two per-point hot loops on the Ed-Gaze 2D-In sensor:
+/// the cold-miss elastic simulation (model build + arena-backed cycle
+/// sim, what every cache miss in a sweep pays) and the functional frame
+/// paths (scalar reference, vectorized single-seed, 16-seed ziggurat
+/// Monte-Carlo batch).
+fn hot_loop_records(samples: usize) -> (ElasticRecord, FrameRecord) {
+    let cold_sim_s = time_median(samples, &|| {
+        let model = edgaze::model(SensorVariant::TwoDIn, ProcessNode::N65)
+            .expect("builds")
+            .into_validated();
+        black_box(model.simulate().expect("simulates"));
+    });
+
+    let model = edgaze::model(SensorVariant::TwoDIn, ProcessNode::N65)
+        .expect("builds")
+        .into_validated();
+    let stimulus = Stimulus::uniform(0.5);
+    let scalar_s = time_median(samples, &|| {
+        black_box(
+            model
+                .simulate_frame_reference(0, &stimulus)
+                .expect("simulates"),
+        );
+    });
+    let vectorized_s = time_median(samples, &|| {
+        black_box(model.simulate_frame(0, &stimulus).expect("simulates"));
+    });
+    let seeds: Vec<u64> = (0..MC_SEEDS).collect();
+    let mc16_s = time_median(samples, &|| {
+        black_box(model.simulate_frames(&seeds, &stimulus).expect("simulates"));
+    });
+
+    println!();
+    println!("hot loops (edgaze 2D-In @ 65nm), median of {samples}:");
+    println!(
+        "  elastic cold-miss (build + sim): {:8.2} ms",
+        cold_sim_s * 1e3
+    );
+    println!(
+        "  frame scalar reference:          {:8.2} ms",
+        scalar_s * 1e3
+    );
+    println!(
+        "  frame vectorized:                {:8.2} ms",
+        vectorized_s * 1e3
+    );
+    println!(
+        "  frame mc{MC_SEEDS} (ziggurat batch):       {:8.2} ms  ({:.2}x scalar)",
+        mc16_s * 1e3,
+        mc16_s / scalar_s
+    );
+
+    (
+        ElasticRecord {
+            workload: "edgaze 2D-In @ 65nm".to_owned(),
+            samples,
+            cold_sim_ms: cold_sim_s * 1e3,
+        },
+        FrameRecord {
+            workload: "edgaze 2D-In @ 65nm".to_owned(),
+            stimulus: "uniform(0.5)".to_owned(),
+            samples,
+            scalar_reference_ms: scalar_s * 1e3,
+            vectorized_ms: vectorized_s * 1e3,
+            mc16_seeds: MC_SEEDS as usize,
+            mc16_ms: mc16_s * 1e3,
+            mc16_over_scalar: mc16_s / scalar_s,
+        },
+    )
+}
+
+/// Loads the committed bench record's hot-loop sections, if any: the
+/// regression baselines. Missing file or missing sections (a first run)
+/// simply disable the corresponding gates.
+fn committed_baselines() -> CommittedBench {
+    std::fs::read_to_string(BENCH_PATH)
+        .ok()
+        .and_then(|json| serde_json::from_str(&json).ok())
+        .unwrap_or_default()
+}
+
+/// Fails the bench (and with it the CI smoke job) when a freshly
+/// measured hot-loop median regresses more than [`REGRESSION_FACTOR`]
+/// over its committed baseline.
+fn assert_no_regression(elastic: &ElasticRecord, frame: &FrameRecord) {
+    let committed = committed_baselines();
+    let gate = |label: &str, now_ms: f64, committed_ms: f64| {
+        assert!(
+            now_ms <= committed_ms * REGRESSION_FACTOR,
+            "{label} regressed: {now_ms:.2} ms vs committed {committed_ms:.2} ms \
+             (budget {REGRESSION_FACTOR}x)"
+        );
+    };
+    if let Some(prev) = committed.elastic_sim {
+        gate(
+            "elastic_sim.cold_sim_ms",
+            elastic.cold_sim_ms,
+            prev.cold_sim_ms,
+        );
+    }
+    if let Some(prev) = committed.frame_sim {
+        gate(
+            "frame_sim.scalar_reference_ms",
+            frame.scalar_reference_ms,
+            prev.scalar_reference_ms,
+        );
+        gate(
+            "frame_sim.vectorized_ms",
+            frame.vectorized_ms,
+            prev.vectorized_ms,
+        );
+        gate("frame_sim.mc16_ms", frame.mc16_ms, prev.mc16_ms);
+    }
+    assert!(
+        frame.mc16_ms < MC16_SCALAR_BUDGET * frame.scalar_reference_ms,
+        "a {MC_SEEDS}-seed Monte-Carlo batch must stay well under {MC16_SCALAR_BUDGET}x one \
+         scalar frame, got {:.2}x ({:.2} ms vs {:.2} ms)",
+        frame.mc16_over_scalar,
+        frame.mc16_ms,
+        frame.scalar_reference_ms
+    );
+}
+
 /// The thermal budget of the Pareto-pruning acceptance benchmark, in
 /// mW/mm². Deliberately **active** on the 4-axis grid: most points'
 /// final peak density exceeds it, so the constraint gate cuts them
@@ -410,6 +567,11 @@ fn four_axis_summary(_c: &mut Criterion) {
         prune_stats
     );
 
+    // Hot-loop medians last (quiet caches), gated against the committed
+    // baselines *before* the file is rewritten below.
+    let (elastic_record, frame_record) = hot_loop_records(samples);
+    assert_no_regression(&elastic_record, &frame_record);
+
     let record = BenchFile {
         incremental: BenchRecord {
             workload: "edgaze 2D-In".to_owned(),
@@ -439,14 +601,15 @@ fn four_axis_summary(_c: &mut Criterion) {
             postfilter_ms: pareto_postfilter_s * 1e3,
             pruned_incremental_ms: pareto_serial_s * 1e3,
         },
+        elastic_sim: elastic_record,
+        frame_sim: frame_record,
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     match serde_json::to_string_pretty(&record) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(path, json + "\n") {
-                eprintln!("[warn: could not write {path}: {e}]");
+            if let Err(e) = std::fs::write(BENCH_PATH, json + "\n") {
+                eprintln!("[warn: could not write {BENCH_PATH}: {e}]");
             } else {
-                println!("  wrote {path}");
+                println!("  wrote {BENCH_PATH}");
             }
         }
         Err(e) => eprintln!("[warn: could not serialise the bench record: {e}]"),
@@ -454,11 +617,65 @@ fn four_axis_summary(_c: &mut Criterion) {
 }
 
 /// The committed `BENCH_sweep.json` schema: the PR 3 incremental-engine
-/// record plus the PR 4 Pareto-pruning record.
+/// record, the PR 4 Pareto-pruning record, and the PR 6 hot-loop
+/// records (arena-backed elastic sim + Monte-Carlo frame sim).
 #[derive(serde::Serialize)]
 struct BenchFile {
     incremental: BenchRecord,
     pareto_pruning: ParetoRecord,
+    elastic_sim: ElasticRecord,
+    frame_sim: FrameRecord,
+}
+
+/// The elastic-simulation hot-loop record (PR 6): what one cache miss
+/// pays to build and cycle-simulate the model on arena-backed state.
+#[derive(serde::Serialize)]
+struct ElasticRecord {
+    workload: String,
+    samples: usize,
+    cold_sim_ms: f64,
+}
+
+/// The frame-simulation hot-loop record (PR 6). `scalar_reference` is
+/// the pre-vectorization per-pixel path kept as the semantic oracle;
+/// `vectorized` is the single-seed chunked path (bit-identical output);
+/// `mc16` is a 16-seed ziggurat Monte-Carlo batch, whose acceptance bar
+/// is costing less than ~4x one scalar frame.
+#[derive(serde::Serialize)]
+struct FrameRecord {
+    workload: String,
+    stimulus: String,
+    samples: usize,
+    scalar_reference_ms: f64,
+    vectorized_ms: f64,
+    mc16_seeds: usize,
+    mc16_ms: f64,
+    mc16_over_scalar: f64,
+}
+
+/// The subset of the committed `BENCH_sweep.json` the regression gate
+/// reads back. Every field is optional so a first run (or a record
+/// written by an older bench) disables the gate instead of failing it.
+#[derive(Default, serde::Deserialize)]
+struct CommittedBench {
+    #[serde(default)]
+    elastic_sim: Option<CommittedElastic>,
+    #[serde(default)]
+    frame_sim: Option<CommittedFrame>,
+}
+
+/// Committed elastic-sim baseline (see [`ElasticRecord`]).
+#[derive(serde::Deserialize)]
+struct CommittedElastic {
+    cold_sim_ms: f64,
+}
+
+/// Committed frame-sim baselines (see [`FrameRecord`]).
+#[derive(serde::Deserialize)]
+struct CommittedFrame {
+    scalar_reference_ms: f64,
+    vectorized_ms: f64,
+    mc16_ms: f64,
 }
 
 /// The incremental-engine acceptance record (PR 3).

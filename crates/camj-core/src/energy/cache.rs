@@ -324,14 +324,20 @@ impl EstimateCache {
     }
 }
 
-/// Rough resident size of an elastic-simulation entry.
+/// Rough resident size of an elastic-simulation entry. The arena the
+/// engine steps through is dropped when the run finishes — what the
+/// cache retains is the flat `SimReport` rows, so this counts the
+/// row structs (stage: name + 2 counters, buffer: name + 3 counters)
+/// plus their heap-resident name bytes, mirroring
+/// [`approx_energy_bytes`].
 fn approx_elastic_bytes(value: &Result<ElasticSim, CamjError>) -> u64 {
     match value {
         Ok(sim) => {
-            let report = sim.report.as_ref();
-            let stages = report.map_or(0, |r| r.stages.len()) as u64;
-            let buffers = report.map_or(0, |r| r.buffers.len()) as u64;
-            96 + stages * 56 + buffers * 64
+            96 + sim.report.as_ref().map_or(0, |r| {
+                let stages: u64 = r.stages.iter().map(|s| 40 + s.name.len() as u64).sum();
+                let buffers: u64 = r.buffers.iter().map(|b| 48 + b.name.len() as u64).sum();
+                56 + stages + buffers
+            })
         }
         Err(_) => 128,
     }
@@ -384,6 +390,61 @@ mod tests {
         let energy = cache.energy_or(base.derive("energy"), Vec::new);
         assert!(energy.is_empty());
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    /// `CacheStats.bytes` must track what an elastic entry actually
+    /// retains: the report rows and their names, not the (dropped)
+    /// simulation arena. A bigger report ⇒ strictly more bytes, and an
+    /// empty (all-analog) entry still costs its fixed overhead.
+    #[test]
+    fn elastic_bytes_scale_with_report_content() {
+        use camj_digital::sim::{BufferStats, SimReport, StageStats};
+        use camj_tech::units::Time;
+
+        let report = |stages: usize, buffers: usize| {
+            Ok(ElasticSim {
+                report: Some(SimReport {
+                    total_cycles: 1,
+                    stages: (0..stages)
+                        .map(|i| StageStats {
+                            name: format!("stage-{i}"),
+                            active_cycles: 1,
+                            stalled_cycles: 0,
+                        })
+                        .collect(),
+                    buffers: (0..buffers)
+                        .map(|i| BufferStats {
+                            name: format!("buffer-{i}"),
+                            pixels_written: 1.0,
+                            pixels_read: 1.0,
+                            peak_occupancy: 1.0,
+                        })
+                        .collect(),
+                }),
+                digital_latency: Time::from_secs(1e-3),
+            })
+        };
+
+        let cache = EstimateCache::new();
+        cache.elastic_or(("elastic", 1u32).fingerprint(), || report(2, 1));
+        let small = cache.stats().bytes;
+        cache.elastic_or(("elastic", 2u32).fingerprint(), || report(8, 4));
+        let grown = cache.stats().bytes - small;
+        assert!(
+            grown > small,
+            "8 stages + 4 buffers ({grown}B) must outweigh 2 + 1 ({small}B)"
+        );
+        // Per-row floor: each stage keeps its counters and name bytes.
+        assert!(grown >= 8 * 40 + 4 * 48, "grown {grown}B");
+
+        // All-analog designs cache a report-free marker at fixed cost.
+        cache.elastic_or(("elastic", 3u32).fingerprint(), || {
+            Ok(ElasticSim {
+                report: None,
+                digital_latency: Time::from_secs(0.0),
+            })
+        });
+        assert_eq!(cache.stats().bytes - small - grown, 96);
     }
 
     #[test]

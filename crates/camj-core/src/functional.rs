@@ -314,6 +314,98 @@ pub struct OutputStats {
     pub snr_db: Option<f64>,
 }
 
+/// The result of a Monte-Carlo functional simulation
+/// ([`ValidatedModel::simulate_frames`]): per-stage noise statistics
+/// aggregated over several independently seeded frames.
+///
+/// One frame samples one noise realisation; the analytic
+/// [`NoiseReport`] and the explorer's `snr` objective rest on a single
+/// closed-form estimate. Averaging seeded frames recovers an empirical
+/// SNR with a quantified spread (`…_std`), which is what the
+/// `mc_snr:<samples>` pareto objective minimises (as mean output noise
+/// RMS).
+///
+/// [`ValidatedModel::simulate_frames`]: crate::energy::ValidatedModel::simulate_frames
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McFrameSimReport {
+    /// The stimulus, in its CLI grammar (`uniform:0.5`, …).
+    pub stimulus: String,
+    /// The seeds simulated, in input order.
+    pub seeds: Vec<u64>,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Channel count.
+    pub channels: u32,
+    /// Per-stage aggregates, in signal-flow order.
+    pub stages: Vec<StageMcSim>,
+    /// Aggregate statistics of the final simulated frames.
+    pub output: McOutputStats,
+    /// The per-seed frame digests, in seed order — pins every
+    /// underlying frame bit-for-bit, so serial and parallel evaluations
+    /// of the same seed list are byte-comparable.
+    pub digests: Vec<String>,
+}
+
+/// One stage's Monte-Carlo aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMcSim {
+    /// The analog unit's name.
+    pub unit: String,
+    /// Mean over seeds of the stage's measured noise RMS.
+    pub noise_rms_mean: f64,
+    /// Sample standard deviation (n−1) of the noise RMS; `0` for a
+    /// single seed.
+    pub noise_rms_std: f64,
+    /// Mean measured SNR in dB; absent while the frame is bit-exact.
+    pub snr_db_mean: Option<f64>,
+    /// Sample standard deviation of the SNR in dB.
+    pub snr_db_std: Option<f64>,
+}
+
+/// Monte-Carlo aggregate of the output-frame statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McOutputStats {
+    /// Mean over seeds of the output frame's mean pixel value.
+    pub mean: f64,
+    /// Mean over seeds of the end-to-end noise RMS.
+    pub noise_rms_mean: f64,
+    /// Sample standard deviation (n−1) of the noise RMS.
+    pub noise_rms_std: f64,
+    /// Mean end-to-end SNR in dB; absent for a noise-free chain.
+    pub snr_db_mean: Option<f64>,
+    /// Sample standard deviation of the SNR in dB.
+    pub snr_db_std: Option<f64>,
+}
+
+/// Mean and sample standard deviation (n−1 denominator; `0` when fewer
+/// than two values).
+pub(crate) fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Aggregates optional per-seed values: statistics are reported only
+/// when every seed produced one (a noise realisation never changes
+/// whether a chain is noisy, so mixed presence would be a bug upstream).
+pub(crate) fn mean_std_opt(values: &[Option<f64>]) -> (Option<f64>, Option<f64>) {
+    let present: Vec<f64> = values.iter().copied().flatten().collect();
+    if present.len() != values.len() || present.is_empty() {
+        return (None, None);
+    }
+    let (mean, std) = mean_std(&present);
+    (Some(mean), Some(std))
+}
+
 /// `20·log10(signal / noise)`, or `None` when there is no noise to
 /// compare against (SNR would be infinite, which JSON cannot carry).
 pub(crate) fn snr_db(signal_rms: f64, noise_rms: f64) -> Option<f64> {

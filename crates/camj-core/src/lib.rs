@@ -115,8 +115,8 @@ pub use energy::{
 };
 pub use error::CamjError;
 pub use functional::{
-    FrameSimReport, NoiseReport, OutputStats, StageNoise, StageSim, Stimulus,
-    DEFAULT_SIGNAL_FRACTION,
+    FrameSimReport, McFrameSimReport, McOutputStats, NoiseReport, OutputStats, StageMcSim,
+    StageNoise, StageSim, Stimulus, DEFAULT_SIGNAL_FRACTION,
 };
 pub use hw::{
     AnalogCategory, AnalogUnitDesc, DigitalUnitDesc, DigitalUnitKind, HardwareDesc, Layer,

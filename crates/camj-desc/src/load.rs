@@ -258,8 +258,9 @@ impl DesignDesc {
     /// grammar (`camj-explore`'s `Objective` parser reads the same
     /// strings): `total_energy`, `delay`, `power_density`, `snr`,
     /// `category:<LABEL>`, `stage:<name>` with a stage the algorithm
-    /// actually declares, or `noise:<unit>` with an analog hardware
-    /// unit the design actually places.
+    /// actually declares, `noise:<unit>` with an analog hardware
+    /// unit the design actually places, or `mc_snr:<samples>` with a
+    /// Monte-Carlo sample count in `1..=1024`.
     fn validate_objective(&self, c: &mut Check, index: usize, objective: &str) {
         let path = format!("sweep.objectives[{index}]");
         match objective {
@@ -280,11 +281,23 @@ impl DesignDesc {
                     if !self.hw.analog.iter().any(|a| a.name == unit) {
                         c.push(path, "references an unknown analog unit", quoted(unit));
                     }
+                } else if let Some(samples) = other.strip_prefix("mc_snr:") {
+                    if !samples
+                        .parse::<u32>()
+                        .is_ok_and(|n| (1..=1024).contains(&n))
+                    {
+                        c.push(
+                            path,
+                            "mc_snr needs a sample count in 1..=1024",
+                            quoted(samples),
+                        );
+                    }
                 } else {
                     c.push(
                         path,
                         "unknown objective (expected total_energy, delay, power_density, \
-                         snr, category:<LABEL>, stage:<name>, or noise:<unit>)",
+                         snr, category:<LABEL>, stage:<name>, noise:<unit>, or \
+                         mc_snr:<samples>)",
                         quoted(other),
                     );
                 }

@@ -25,6 +25,18 @@
 //! arrives whether or not the pipeline is ready, so a full output buffer
 //! is an immediate [`SimError::SourceOverflow`]. A [`SourceMode::Elastic`]
 //! source waits politely — used when measuring best-case digital latency.
+//!
+//! ## Hot/cold split
+//!
+//! The steady-state token loop is the workspace's hottest code: one
+//! elastic latency run plus one stall-check run is the entire cost of a
+//! sweep cache miss. [`PipelineSim::run`] therefore steps a string-free
+//! [`arena::Arena`] — contiguous per-edge and per-node arrays laid out
+//! in topological firing order, with CSR adjacency lists — and touches
+//! the named graph only on the *cold* side: at build time (port checks),
+//! after a stall verdict (error formatting), and when assembling the
+//! final [`SimReport`]. By construction no `String` is reachable from
+//! the stepping path, which a counting-allocator test pins.
 
 use camj_tech::units::Time;
 
@@ -32,6 +44,8 @@ use crate::memory::MemoryStructure;
 
 use super::error::SimError;
 use super::report::{BufferStats, SimReport, StageStats};
+
+use arena::{Arena, RunState, Verdict};
 
 /// Relative scale of the fluid-token comparison tolerance, see
 /// [`flow_tolerance`].
@@ -77,6 +91,9 @@ enum NodeKind {
     Stage { pipeline_depth: u32 },
 }
 
+/// Cold node record: names and adjacency for build-time validation,
+/// stall diagnostics, and report assembly. Never touched while
+/// stepping.
 #[derive(Debug, Clone)]
 struct Node {
     name: String,
@@ -85,6 +102,9 @@ struct Node {
     out_edges: Vec<usize>,
 }
 
+/// Cold edge record. The stepping path reads the compact
+/// [`arena::HotEdge`] copy instead; this keeps the name and the
+/// statistics-only fields (`reads_per_pixel`, port widths).
 #[derive(Debug, Clone)]
 struct Edge {
     name: String,
@@ -112,25 +132,869 @@ impl Edge {
     }
 }
 
-#[derive(Debug, Clone, Default)]
-struct EdgeState {
-    produced: f64,
-    consumed: f64,
-    peak: f64,
-}
+/// String-free hot state: everything [`PipelineSim::run`] touches per
+/// cycle. Kept in a submodule so the split is visible at the type
+/// level — no field in here can reach a `String`.
+mod arena {
 
-impl EdgeState {
-    /// Buffer occupancy, derived from the two accumulators so that
-    /// float drift can never make it inconsistent with them.
-    fn level(&self) -> f64 {
-        (self.produced - self.consumed).max(0.0)
+    /// Node behaviour, flattened for the stepping loop.
+    #[derive(Debug, Clone, Copy)]
+    pub(super) enum HotKind {
+        /// Continuous source: stalling is a [`SourceOverflow`]
+        /// verdict.
+        ///
+        /// [`SourceOverflow`]: crate::sim::SimError::SourceOverflow
+        Continuous,
+        /// Elastic source: waits for space.
+        Elastic,
+        /// Compute stage; produces once `fired + 1 >= depth`.
+        Stage {
+            /// Pipeline depth, pre-widened to the comparison type.
+            depth: u64,
+        },
     }
-}
 
-#[derive(Debug, Clone, Default)]
-struct NodeState {
-    fired: u64,
-    stalled: u64,
+    /// The per-edge constants the stepping loop reads, contiguous and
+    /// compact (one cache line holds a whole edge plus change).
+    #[derive(Debug, Clone, Copy)]
+    pub(super) struct HotEdge {
+        pub capacity: f64,
+        pub producer_rate: f64,
+        pub consumer_rate: f64,
+        pub total: f64,
+        pub tolerance: f64,
+        /// Precomputed `total - tolerance`: the "done" threshold both
+        /// accumulators are compared against every cycle.
+        pub done_at: f64,
+    }
+
+    /// The immutable simulation arena: nodes laid out in topological
+    /// firing order (so the per-cycle scan is a linear walk), CSR
+    /// adjacency lists, and the hot edge constants. Edge indices match
+    /// the cold graph; node indices are arena-local with `orig`
+    /// mapping back.
+    #[derive(Debug)]
+    pub(super) struct Arena {
+        pub kinds: Vec<HotKind>,
+        /// CSR starts into `in_list`, length `nodes + 1`.
+        pub in_start: Vec<u32>,
+        pub in_list: Vec<u32>,
+        /// CSR starts into `out_list`, length `nodes + 1`.
+        pub out_start: Vec<u32>,
+        pub out_list: Vec<u32>,
+        /// Arena node → original (insertion-order) node index.
+        pub orig: Vec<u32>,
+        /// Original node index → arena node index.
+        pub arena_of: Vec<u32>,
+        pub edges: Vec<HotEdge>,
+        /// Edge → arena index of its producing node.
+        pub edge_producer: Vec<u32>,
+        /// Edge → arena index of its consuming node.
+        pub edge_consumer: Vec<u32>,
+    }
+
+    /// Why the stepping loop stopped.
+    #[derive(Debug, Clone, Copy)]
+    pub(super) enum Verdict {
+        /// Every edge moved its total: the frame completed.
+        Done { cycles: u64 },
+        /// A continuous source (arena index) stalled mid-cycle.
+        Overflow { node: u32, cycle: u64 },
+        /// No node fired this cycle.
+        Deadlock { cycle: u64 },
+        /// The cycle budget ran out.
+        CycleLimit,
+    }
+
+    /// Mutable per-run state, all flat arrays indexed by edge or arena
+    /// node. The `*_done` flags cache the monotone threshold
+    /// comparisons (`produced >= done_at` can never become false
+    /// again), and the `node_open`/`open_edges` counters turn the
+    /// per-node and whole-graph done checks into O(1) reads.
+    #[derive(Debug)]
+    pub(super) struct RunState {
+        pub produced: Vec<f64>,
+        pub consumed: Vec<f64>,
+        pub peak: Vec<f64>,
+        pub fired: Vec<u64>,
+        pub stalled: Vec<u64>,
+        produced_done: Vec<bool>,
+        consumed_done: Vec<bool>,
+        /// Per arena node: in-edges not consumed-done plus out-edges
+        /// not produced-done. Zero ⇔ the node is finished.
+        node_open: Vec<u32>,
+        /// Edges where either accumulator is still short of `done_at`.
+        /// Zero ⇔ the frame is done.
+        pub open_edges: u32,
+        /// Leap-chunk snapshot storage (3 floats per edge), allocated
+        /// once here so the stepping path stays allocation-free.
+        snapshot: Vec<f64>,
+        /// Per-edge firing amounts stashed by the check pass of
+        /// [`Arena::try_fire`] so the apply pass skips the min-chain
+        /// recomputation. Allocated once, like `snapshot`.
+        amount: Vec<f64>,
+        /// Steady-state anchor for the verdict-only early pass (see
+        /// [`Arena::steady_pass`]): per-edge accumulators as of the
+        /// anchor idle event, plus how many idle events have elapsed
+        /// since.
+        anchor_produced: Vec<f64>,
+        anchor_consumed: Vec<f64>,
+        anchor_open: u32,
+        anchor_cycle: u64,
+        anchor_events: u32,
+        anchor_valid: bool,
+    }
+
+    impl RunState {
+        pub(super) fn new(arena: &Arena) -> Self {
+            let (n, m) = (arena.kinds.len(), arena.edges.len());
+            let mut state = Self {
+                produced: vec![0.0; m],
+                consumed: vec![0.0; m],
+                peak: vec![0.0; m],
+                fired: vec![0; n],
+                stalled: vec![0; n],
+                produced_done: vec![false; m],
+                consumed_done: vec![false; m],
+                node_open: vec![0; n],
+                open_edges: 0,
+                snapshot: vec![0.0; 3 * m],
+                amount: vec![0.0; m],
+                anchor_produced: vec![0.0; m],
+                anchor_consumed: vec![0.0; m],
+                anchor_open: 0,
+                anchor_cycle: 0,
+                anchor_events: 0,
+                anchor_valid: false,
+            };
+            // Zero-total edges are born done (done_at < 0); everything
+            // else opens both node counters.
+            for (e, ed) in arena.edges.iter().enumerate() {
+                let pd = 0.0 >= ed.done_at;
+                let cd = 0.0 >= ed.done_at;
+                state.produced_done[e] = pd;
+                state.consumed_done[e] = cd;
+                if !pd {
+                    state.node_open[arena.edge_producer[e] as usize] += 1;
+                }
+                if !cd {
+                    state.node_open[arena.edge_consumer[e] as usize] += 1;
+                }
+                if !(pd && cd) {
+                    state.open_edges += 1;
+                }
+            }
+            state
+        }
+
+        #[inline]
+        fn mark_produced_done(&mut self, e: usize, producer: u32) {
+            self.produced_done[e] = true;
+            self.node_open[producer as usize] -= 1;
+            if self.consumed_done[e] {
+                self.open_edges -= 1;
+            }
+        }
+
+        #[inline]
+        fn mark_consumed_done(&mut self, e: usize, consumer: u32) {
+            self.consumed_done[e] = true;
+            self.node_open[consumer as usize] -= 1;
+            if self.produced_done[e] {
+                self.open_edges -= 1;
+            }
+        }
+    }
+
+    impl Arena {
+        #[inline]
+        fn in_edges(&self, ni: usize) -> &[u32] {
+            &self.in_list[self.in_start[ni] as usize..self.in_start[ni + 1] as usize]
+        }
+
+        #[inline]
+        fn out_edges(&self, ni: usize) -> &[u32] {
+            &self.out_list[self.out_start[ni] as usize..self.out_start[ni + 1] as usize]
+        }
+
+        #[inline]
+        fn production_enabled(&self, ni: usize, state: &RunState) -> bool {
+            match self.kinds[ni] {
+                HotKind::Continuous | HotKind::Elastic => true,
+                HotKind::Stage { depth } => state.fired[ni] + 1 >= depth,
+            }
+        }
+
+        /// Checks whether node `ni` can fire this cycle and, if so,
+        /// fires it — one fused pass so the min-chains and levels are
+        /// computed once instead of twice (check + apply). Amounts are
+        /// stashed per edge in `state.amount` during the check pass;
+        /// no state mutates unless every check passes, and on failure
+        /// the method returns at the first violated edge, exactly like
+        /// the split check used to.
+        #[inline]
+        pub(super) fn try_fire(&self, ni: usize, state: &mut RunState) -> bool {
+            // Inputs: every unfinished in-edge must hold enough pixels
+            // — unless the inputs are exhausted (drain phase).
+            for &e in self.in_edges(ni) {
+                let e = e as usize;
+                if state.consumed_done[e] {
+                    continue;
+                }
+                let ed = &self.edges[e];
+                let need = ed.consumer_rate.min(ed.total - state.consumed[e]);
+                let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                if level < need - ed.tolerance {
+                    return false;
+                }
+                // Clamp to the actual level so float drift can never
+                // push the buffer negative (the check above guaranteed
+                // level ≥ need − EPS).
+                state.amount[e] = need.min(level);
+            }
+            // Outputs: every unfinished out-edge must have space, once
+            // the pipeline has filled.
+            let enabled = self.production_enabled(ni, state);
+            if enabled {
+                for &e in self.out_edges(ni) {
+                    let e = e as usize;
+                    if state.produced_done[e] {
+                        continue;
+                    }
+                    let ed = &self.edges[e];
+                    let amount = ed.producer_rate.min(ed.total - state.produced[e]);
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    if ed.capacity - level < amount - ed.tolerance {
+                        return false;
+                    }
+                    state.amount[e] = amount;
+                }
+            }
+            // A node with nothing left to consume and production
+            // disabled (or nothing left to produce) must not spin;
+            // `node_open == 0` covers the fully-finished case, so here
+            // at least one side has work. Apply the stashed amounts.
+            for &e in self.in_edges(ni) {
+                let e = e as usize;
+                if state.consumed_done[e] {
+                    continue;
+                }
+                state.consumed[e] += state.amount[e];
+                if state.consumed[e] >= self.edges[e].done_at {
+                    state.mark_consumed_done(e, self.edge_consumer[e]);
+                }
+            }
+            if enabled {
+                for &e in self.out_edges(ni) {
+                    let e = e as usize;
+                    if state.produced_done[e] {
+                        continue;
+                    }
+                    state.produced[e] += state.amount[e];
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    state.peak[e] = state.peak[e].max(level);
+                    if state.produced[e] >= self.edges[e].done_at {
+                        state.mark_produced_done(e, self.edge_producer[e]);
+                    }
+                }
+            }
+            state.fired[ni] += 1;
+            true
+        }
+
+        /// The out-edge that made a stalled continuous source
+        /// overflow, if identifiable (cold path: only called to
+        /// format the error).
+        pub(super) fn overflow_edge(&self, ni: usize, state: &RunState) -> Option<usize> {
+            self.out_edges(ni).iter().map(|&e| e as usize).find(|&e| {
+                let ed = &self.edges[e];
+                let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                state.produced[e] < ed.done_at
+                    && ed.capacity - level
+                        < ed.producer_rate.min(ed.total - state.produced[e]) - ed.tolerance
+            })
+        }
+
+        /// How many identical cycles can be skipped while only sources
+        /// fire: bounded by (a) the first consumer in-edge reaching
+        /// its need, (b) any firing source filling its buffer, and
+        /// (c) any firing source exhausting its total.
+        pub(super) fn idle_skip_cycles(&self, fired_sources: &[u32], state: &RunState) -> u64 {
+            const MAX_SKIP: u64 = 1 << 40;
+            let mut k = MAX_SKIP;
+            // (a) consumer deficits on source-fed edges.
+            for &si in fired_sources {
+                for &e in self.out_edges(si as usize) {
+                    let e = e as usize;
+                    if state.consumed_done[e] {
+                        continue;
+                    }
+                    let ed = &self.edges[e];
+                    let need = ed.consumer_rate.min(ed.total - state.consumed[e]);
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    let deficit = need - level;
+                    if deficit > ed.tolerance && ed.producer_rate > 0.0 {
+                        k = k.min((deficit / ed.producer_rate).ceil() as u64);
+                    }
+                }
+            }
+            if k == MAX_SKIP {
+                return 1;
+            }
+            // (b) capacity and (c) totals on every firing source's
+            // out-edges.
+            for &si in fired_sources {
+                for &e in self.out_edges(si as usize) {
+                    let e = e as usize;
+                    if state.produced_done[e] {
+                        continue;
+                    }
+                    let ed = &self.edges[e];
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    let headroom = ((ed.capacity - level) / ed.producer_rate).floor() as u64;
+                    let remaining =
+                        ((ed.total - state.produced[e]) / ed.producer_rate).ceil() as u64;
+                    k = k.min(headroom.max(1)).min(remaining.max(1));
+                }
+            }
+            k.max(1)
+        }
+
+        /// Applies `times` identical firings of a source in one
+        /// batched step.
+        pub(super) fn fire_source_batch(&self, si: usize, times: u64, state: &mut RunState) {
+            for &e in self.out_edges(si) {
+                let e = e as usize;
+                if state.produced_done[e] {
+                    continue;
+                }
+                let ed = &self.edges[e];
+                let amount = (ed.producer_rate * times as f64).min(ed.total - state.produced[e]);
+                state.produced[e] += amount;
+                let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                state.peak[e] = state.peak[e].max(level);
+                if state.produced[e] >= ed.done_at {
+                    state.mark_produced_done(e, self.edge_producer[e]);
+                }
+            }
+            state.fired[si] += times;
+        }
+
+        /// Verdict-only steady-state early pass: returns `true` when
+        /// the run is provably stable and will finish without a stall,
+        /// so stepping can stop with a `Done` verdict immediately.
+        ///
+        /// Sampled once per idle fast-forward event (one readout
+        /// period in a stall-shaped pipeline). With constant rates,
+        /// fractional readout phases make buffer levels *quasi*-
+        /// periodic — they wander in a bounded band rather than recur
+        /// exactly — so the criterion is band stability over a long
+        /// baseline instead of state recurrence. After
+        /// [`STEADY_WINDOWS`] consecutive idle events with
+        ///
+        /// * no done-mark movement (no total/`done_at` clamp began),
+        /// * every open stage past its pipeline-fill point,
+        /// * both accumulators of every open edge strictly
+        ///   progressing, and
+        /// * each edge's projected level drift over the *whole*
+        ///   remaining frame — its per-window trend times the windows
+        ///   left until the earliest total clamp — at most a quarter
+        ///   of the headroom above the highest level seen so far,
+        ///
+        /// the regime is a stable steady state: constant-rate token
+        /// flow past pipeline fill is either bounded or linearly
+        /// trending, the trend is measured (noise from the phase band
+        /// is divided down by the long baseline), and the only
+        /// remaining phases — totals clamping, then the drain —
+        /// strictly reduce load. Hence no overflow or deadlock can
+        /// follow and the verdict is `Done`. Any wobble (a clamp, a
+        /// failed drift projection) re-anchors and keeps exact
+        /// stepping, so a verdict this pass cannot prove is simply
+        /// decided by the stepper as before.
+        fn steady_pass(&self, state: &mut RunState, cycle: u64, max_cycles: u64) -> bool {
+            if !state.anchor_valid || state.anchor_open != state.open_edges {
+                state.anchor_produced.copy_from_slice(&state.produced);
+                state.anchor_consumed.copy_from_slice(&state.consumed);
+                state.anchor_open = state.open_edges;
+                state.anchor_cycle = cycle;
+                state.anchor_events = 0;
+                state.anchor_valid = true;
+                return false;
+            }
+            state.anchor_events += 1;
+            if state.anchor_events < STEADY_WINDOWS {
+                return false;
+            }
+            let verdict = self.steady_verdict(state, cycle, max_cycles);
+            if !verdict {
+                // Re-anchor: the regime may have shifted (or still be
+                // settling); measure a fresh baseline before retrying.
+                state.anchor_valid = false;
+            }
+            verdict
+        }
+
+        /// The evaluation half of [`Self::steady_pass`], run once the
+        /// anchor baseline is [`STEADY_WINDOWS`] idle events old.
+        fn steady_verdict(&self, state: &RunState, cycle: u64, max_cycles: u64) -> bool {
+            let (n, m) = (self.kinds.len(), self.edges.len());
+            for ni in 0..n {
+                if state.node_open[ni] > 0 && !self.production_enabled(ni, state) {
+                    return false;
+                }
+            }
+            let window = f64::from(STEADY_WINDOWS);
+            // Pass 1: windows left until the last total clamp, and the
+            // progress requirement (a stalled accumulator would mean
+            // the frame never completes on its own).
+            let mut windows_left: f64 = 0.0;
+            for e in 0..m {
+                let ed = &self.edges[e];
+                let dp = state.produced[e] - state.anchor_produced[e];
+                let dc = state.consumed[e] - state.anchor_consumed[e];
+                if !state.produced_done[e] {
+                    if dp <= 0.0 {
+                        return false;
+                    }
+                    windows_left = windows_left.max((ed.total - state.produced[e]) / (dp / window));
+                }
+                if !state.consumed_done[e] {
+                    if dc <= 0.0 {
+                        return false;
+                    }
+                    windows_left = windows_left.max((ed.total - state.consumed[e]) / (dc / window));
+                }
+            }
+            // The projected remainder must comfortably fit the cycle
+            // budget, or a budget-limited exact run could instead end
+            // in `CycleLimit` — keep stepping and let it decide.
+            let span = (cycle - state.anchor_cycle) as f64 / window;
+            if cycle as f64 + 1.5 * windows_left * span > max_cycles as f64 {
+                return false;
+            }
+            // Pass 2: project each edge's level trend over the whole
+            // remaining frame against the headroom above its observed
+            // peak.
+            for e in 0..m {
+                let ed = &self.edges[e];
+                let drift = (state.produced[e] - state.anchor_produced[e])
+                    - (state.consumed[e] - state.anchor_consumed[e]);
+                if drift > 0.0
+                    && (drift / window) * windows_left > 0.25 * (ed.capacity - state.peak[e])
+                {
+                    return false;
+                }
+            }
+            true
+        }
+
+        /// The string-free steady-state loop: steps until a verdict.
+        /// `fired_sources` is caller-provided scratch so repeated runs
+        /// (and the allocation-count test) see a fixed allocation
+        /// profile.
+        /// When `verdict_only` is set the run may additionally end
+        /// early with `Done` once steady-state stability is proven
+        /// (see [`Self::steady_pass`]); counters and accumulators are
+        /// then frame-incomplete, so that mode must never feed a
+        /// report — only the verdict may be used.
+        pub(super) fn step_to_verdict(
+            &self,
+            state: &mut RunState,
+            max_cycles: u64,
+            fired_sources: &mut Vec<u32>,
+            verdict_only: bool,
+        ) -> Verdict {
+            let n = self.kinds.len();
+            // Leap bookkeeping is a 64-bit firing mask; wider graphs
+            // simply never leap (they still step correctly).
+            let leapable = n <= 64;
+            let mut prev_mask: u64 = 0;
+            // The last firing set whose leap attempt came up empty:
+            // short periodic runs (a drain of a few cycles every
+            // readout period) would otherwise pay a doomed bound
+            // computation each period. Cleared every few thousand
+            // stepped cycles so a set whose spans have meanwhile grown
+            // gets another look.
+            let mut failed_mask: u64 = 0;
+            let mut amnesty: u32 = 0;
+            let mut cycle: u64 = 0;
+            loop {
+                if state.open_edges == 0 {
+                    return Verdict::Done { cycles: cycle };
+                }
+                if cycle >= max_cycles {
+                    return Verdict::CycleLimit;
+                }
+                let mut any_fired = false;
+                let mut only_sources_fired = true;
+                let mut mask: u64 = 0;
+                fired_sources.clear();
+                for ni in 0..n {
+                    if state.node_open[ni] == 0 {
+                        continue;
+                    }
+                    if self.try_fire(ni, state) {
+                        any_fired = true;
+                        mask |= 1u64 << (ni & 63);
+                        if matches!(self.kinds[ni], HotKind::Stage { .. }) {
+                            only_sources_fired = false;
+                        } else {
+                            fired_sources.push(ni as u32);
+                        }
+                    } else {
+                        state.stalled[ni] += 1;
+                        if matches!(self.kinds[ni], HotKind::Continuous) {
+                            return Verdict::Overflow {
+                                node: ni as u32,
+                                cycle,
+                            };
+                        }
+                    }
+                }
+                if !any_fired {
+                    return Verdict::Deadlock { cycle };
+                }
+                cycle += 1;
+                amnesty += 1;
+                if amnesty >= 4096 {
+                    failed_mask = 0;
+                    amnesty = 0;
+                }
+                // Idle fast-forward: when only sources made progress,
+                // every consumer is waiting for tokens to accumulate.
+                // Rates are constant, so the next `k−1` cycles are
+                // identical source firings — apply them in one step.
+                // Exact: token totals and firing counts match the
+                // cycle-by-cycle execution.
+                if only_sources_fired && !fired_sources.is_empty() {
+                    let k = self.idle_skip_cycles(fired_sources, state);
+                    if k > 1 {
+                        for &si in fired_sources.iter() {
+                            self.fire_source_batch(si as usize, k - 1, state);
+                        }
+                        cycle += k - 1;
+                    }
+                    // Idle events mark readout-period boundaries — the
+                    // natural sampling points for the verdict-only
+                    // steady-state early pass.
+                    if verdict_only && self.steady_pass(state, cycle, max_cycles) {
+                        return Verdict::Done { cycles: cycle };
+                    }
+                } else if leapable && mask == prev_mask && mask != failed_mask {
+                    // Uniform leap: the same node set fired two cycles
+                    // running — if the pattern provably persists, replay
+                    // it wholesale (exact op-for-op, see `leap`).
+                    let k = self.leap_cycles(mask, state).min(max_cycles - cycle);
+                    let applied = if k >= LEAP_MIN {
+                        self.leap(mask, k, state)
+                    } else {
+                        0
+                    };
+                    cycle += applied;
+                    if applied == 0 {
+                        failed_mask = mask;
+                    }
+                }
+                prev_mask = mask;
+            }
+        }
+
+        /// How many upcoming cycles are *guaranteed* to repeat the
+        /// firing set `mask` exactly — every firing amount staying the
+        /// pure per-cycle rate (no total/`done_at` clamping, no
+        /// capacity squeeze) and every stalled node staying blocked.
+        ///
+        /// All bounds are conservative: token spans are divided by the
+        /// per-cycle drift rate and shrunk by [`leap_slack`], which
+        /// over-covers the worst-case float drift [`LEAP_MAX`] cycles
+        /// of accumulation can introduce. Underestimating merely hands
+        /// the boundary cycles back to the exact stepping loop.
+        fn leap_cycles(&self, mask: u64, state: &RunState) -> u64 {
+            let n = self.kinds.len();
+            let mut k = LEAP_MAX as f64;
+            let mut any_open_firing = false;
+            for ni in 0..n {
+                if state.node_open[ni] == 0 {
+                    continue;
+                }
+                if mask >> (ni & 63) & 1 == 1 {
+                    any_open_firing = true;
+                    k = k.min(self.firing_persists(ni, mask, state));
+                } else {
+                    k = k.min(self.stall_persists(ni, mask, state));
+                }
+                if k < 1.0 {
+                    return 0;
+                }
+            }
+            // A leap must move tokens: if every node that fired has
+            // meanwhile finished, the repeat heuristic is stale.
+            if !any_open_firing {
+                return 0;
+            }
+            k as u64
+        }
+
+        /// Cycles for which firing node `ni` provably keeps firing with
+        /// pure-rate amounts (helper of [`Self::leap_cycles`]).
+        fn firing_persists(&self, ni: usize, mask: u64, state: &RunState) -> f64 {
+            let mut k = LEAP_MAX as f64;
+            let enabled = self.production_enabled(ni, state);
+            if let HotKind::Stage { depth } = self.kinds[ni] {
+                // Production coming online mid-leap would change the op
+                // pattern — but only if there is anything left to push.
+                let pushes = self
+                    .out_edges(ni)
+                    .iter()
+                    .any(|&e| !state.produced_done[e as usize]);
+                if !enabled && pushes {
+                    k = k.min((depth - 1 - state.fired[ni]) as f64);
+                }
+            }
+            for &e in self.in_edges(ni) {
+                let e = e as usize;
+                if state.consumed_done[e] {
+                    continue;
+                }
+                let ed = &self.edges[e];
+                let c = ed.consumer_rate;
+                // Purity: amount == rate needs rate ≤ total − consumed
+                // and consumed must not cross `done_at` (marks flip).
+                // The other purity leg — the level covering the full
+                // rate — is verified exactly inside the replay loop
+                // ([`Self::leap`] aborts the chunk on a shortfall), so
+                // matched-rate edges whose level sits exactly at the
+                // rate still leap.
+                let limit = (ed.total - c).min(ed.done_at);
+                let slack = leap_slack(ed);
+                k = k.min((limit - state.consumed[e] - slack) / c);
+                // Declining levels additionally bound the schedule —
+                // without this, a short drain run would book a doomed
+                // leap and pay the rollback every time.
+                let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                let d = self.push_rate(e, mask, state) - c;
+                if d < 0.0 {
+                    k = k.min((level - c - slack) / -d);
+                }
+            }
+            if enabled {
+                for &e in self.out_edges(ni) {
+                    let e = e as usize;
+                    if state.produced_done[e] {
+                        continue;
+                    }
+                    let ed = &self.edges[e];
+                    let p = ed.producer_rate;
+                    let slack = leap_slack(ed);
+                    let limit = (ed.total - p).min(ed.done_at);
+                    k = k.min((limit - state.produced[e] - slack) / p);
+                    // Capacity: headroom must cover the rate (minus the
+                    // flow tolerance, as in `can_fire`).
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    let headroom = ed.capacity - level - (p - ed.tolerance);
+                    let d = p - self.pull_rate(e, mask, state);
+                    if d > 0.0 {
+                        k = k.min((headroom - slack) / d);
+                    } else if headroom < slack {
+                        return 0.0;
+                    }
+                }
+            }
+            k
+        }
+
+        /// Cycles for which stalled node `ni` provably stays blocked:
+        /// the max over its currently-active blockers' persistence
+        /// (helper of [`Self::leap_cycles`]).
+        fn stall_persists(&self, ni: usize, mask: u64, state: &RunState) -> f64 {
+            let mut k: f64 = 0.0;
+            for &e in self.in_edges(ni) {
+                let e = e as usize;
+                if state.consumed_done[e] {
+                    continue;
+                }
+                let ed = &self.edges[e];
+                let need = ed.consumer_rate.min(ed.total - state.consumed[e]);
+                let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                let deficit = need - ed.tolerance - level;
+                let slack = leap_slack(ed);
+                if deficit > slack {
+                    let p_in = self.push_rate(e, mask, state);
+                    if p_in > 0.0 {
+                        k = k.max((deficit - slack) / p_in);
+                    } else {
+                        return LEAP_MAX as f64;
+                    }
+                }
+            }
+            if self.production_enabled(ni, state) {
+                for &e in self.out_edges(ni) {
+                    let e = e as usize;
+                    if state.produced_done[e] {
+                        continue;
+                    }
+                    let ed = &self.edges[e];
+                    let amount = ed.producer_rate.min(ed.total - state.produced[e]);
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    let overfull = level - (ed.capacity - amount + ed.tolerance);
+                    let slack = leap_slack(ed);
+                    if overfull > slack {
+                        let c_out = self.pull_rate(e, mask, state);
+                        if c_out > 0.0 {
+                            k = k.max((overfull - slack) / c_out);
+                        } else {
+                            return LEAP_MAX as f64;
+                        }
+                    }
+                }
+            }
+            k
+        }
+
+        /// Per-cycle push onto edge `e` during a leap of firing set
+        /// `mask`: the producer rate if its producer fires and
+        /// actually produces, else zero.
+        fn push_rate(&self, e: usize, mask: u64, state: &RunState) -> f64 {
+            let prod = self.edge_producer[e] as usize;
+            if mask >> (prod & 63) & 1 == 1
+                && !state.produced_done[e]
+                && self.production_enabled(prod, state)
+            {
+                self.edges[e].producer_rate
+            } else {
+                0.0
+            }
+        }
+
+        /// Per-cycle pull off edge `e` during a leap of firing set
+        /// `mask`.
+        fn pull_rate(&self, e: usize, mask: u64, state: &RunState) -> f64 {
+            let cons = self.edge_consumer[e] as usize;
+            if mask >> (cons & 63) & 1 == 1 && !state.consumed_done[e] {
+                self.edges[e].consumer_rate
+            } else {
+                0.0
+            }
+        }
+
+        /// Replays up to `k` cycles of the firing set `mask` —
+        /// bit-identical to stepping them, cheaper by the per-cycle
+        /// scan — and returns how many cycles were actually applied.
+        ///
+        /// Exactness: per edge, `produced` and `consumed` are
+        /// independent addition chains (each only ever accumulates its
+        /// own rate while amounts stay pure), so replaying each edge's
+        /// additions in cycle order — producer before consumer, the
+        /// topological scan order — reproduces the exact float
+        /// trajectory, including every intermediate `peak` candidate.
+        /// [`Self::leap_cycles`] pre-proves every purity condition
+        /// except the consumer level covering the full rate (levels
+        /// of matched-rate edges sit *exactly* at the rate, which no
+        /// conservative upfront bound can clear); that one is checked
+        /// branchlessly inside the replay, per chunk: a chunk that
+        /// observes a shortfall is rolled back from the snapshot and
+        /// the boundary is handed back to the exact stepping loop.
+        fn leap(&self, mask: u64, k: u64, state: &mut RunState) -> u64 {
+            let m = self.edges.len();
+            let mut applied: u64 = 0;
+            while applied < k {
+                let chunk = (k - applied).min(LEAP_CHUNK);
+                let mut ok = true;
+                for e in 0..m {
+                    let ed = &self.edges[e];
+                    let pushing = self.push_rate(e, mask, state) > 0.0;
+                    let pulling = self.pull_rate(e, mask, state) > 0.0;
+                    let (p, c) = (ed.producer_rate, ed.consumer_rate);
+                    let mut produced = state.produced[e];
+                    let mut consumed = state.consumed[e];
+                    state.snapshot[3 * e] = produced;
+                    state.snapshot[3 * e + 1] = consumed;
+                    state.snapshot[3 * e + 2] = state.peak[e];
+                    if pushing && pulling {
+                        let mut peak = state.peak[e];
+                        for _ in 0..chunk {
+                            produced += p;
+                            let level = (produced - consumed).max(0.0);
+                            peak = peak.max(level);
+                            ok &= level >= c;
+                            consumed += c;
+                        }
+                        state.peak[e] = peak;
+                    } else if pushing {
+                        for _ in 0..chunk {
+                            produced += p;
+                        }
+                        // Levels rise monotonically while the consumer
+                        // idles: the running max equals the last level.
+                        let level = (produced - consumed).max(0.0);
+                        state.peak[e] = state.peak[e].max(level);
+                    } else if pulling {
+                        for _ in 0..chunk {
+                            let level = (produced - consumed).max(0.0);
+                            ok &= level >= c;
+                            consumed += c;
+                        }
+                    } else {
+                        continue;
+                    }
+                    state.produced[e] = produced;
+                    state.consumed[e] = consumed;
+                }
+                if !ok {
+                    // Roll the whole chunk back: the replay and the
+                    // stepping loop must part ways exactly at the
+                    // first impure cycle, which stepping re-executes.
+                    for e in 0..m {
+                        state.produced[e] = state.snapshot[3 * e];
+                        state.consumed[e] = state.snapshot[3 * e + 1];
+                        state.peak[e] = state.snapshot[3 * e + 2];
+                    }
+                    break;
+                }
+                applied += chunk;
+            }
+            for ni in 0..self.kinds.len() {
+                if state.node_open[ni] == 0 {
+                    continue;
+                }
+                if mask >> (ni & 63) & 1 == 1 {
+                    state.fired[ni] += applied;
+                } else {
+                    state.stalled[ni] += applied;
+                }
+            }
+            applied
+        }
+    }
+
+    /// Minimum profitable leap: computing the persistence bounds costs
+    /// about two stepped cycles.
+    const LEAP_MIN: u64 = 16;
+
+    /// Idle events a steady-state anchor must survive before the
+    /// verdict-only early pass may conclude (see
+    /// [`Arena::steady_pass`]). Long enough that quasi-periodic phase
+    /// wander divides down to a negligible trend estimate; short
+    /// enough that the stepped prefix stays a sliver of a full frame.
+    const STEADY_WINDOWS: u32 = 256;
+    /// Leap cap, sized so the drift slack stays small (see
+    /// [`leap_slack`]).
+    const LEAP_MAX: u64 = 1 << 24;
+    /// Replay chunk: the granularity of the in-loop purity check's
+    /// snapshot/rollback (chunk bookkeeping is ~1% of the replay cost
+    /// at this size).
+    const LEAP_CHUNK: u64 = 1 << 10;
+
+    /// Absolute token slack subtracted from every leap span: an upper
+    /// bound on the float drift [`LEAP_MAX`] cycles of rate
+    /// accumulation can introduce on this edge (each accumulator's
+    /// error per add is ≤ ε times its magnitude, bounded by the
+    /// edge's token volume plus its capacity), with a 4× safety
+    /// factor. Spans too small to absorb the slack fall back to exact
+    /// stepping.
+    fn leap_slack(ed: &HotEdge) -> f64 {
+        4.0 * (LEAP_MAX as f64) * f64::EPSILON * (ed.total + ed.capacity + 1.0)
+    }
 }
 
 /// Builder assembling a digital pipeline graph for simulation.
@@ -319,10 +1183,11 @@ impl PipelineSimBuilder {
             stage: "<graph>".into(),
             reason: "the digital pipeline graph contains a cycle".into(),
         })?;
+        let arena = build_arena(&self.nodes, &self.edges, &order);
         Ok(PipelineSim {
             nodes: self.nodes,
             edges: self.edges,
-            order,
+            arena,
         })
     }
 }
@@ -355,16 +1220,88 @@ fn topo_order(nodes: &[Node]) -> Option<Vec<usize>> {
     (order.len() == nodes.len()).then_some(order)
 }
 
+/// Flattens the validated cold graph into the stepping arena, nodes
+/// permuted into topological firing order.
+fn build_arena(nodes: &[Node], edges: &[Edge], order: &[usize]) -> Arena {
+    use arena::{HotEdge, HotKind};
+    let n = nodes.len();
+    let mut kinds = Vec::with_capacity(n);
+    let mut in_start = Vec::with_capacity(n + 1);
+    let mut in_list = Vec::new();
+    let mut out_start = Vec::with_capacity(n + 1);
+    let mut out_list = Vec::new();
+    let mut orig = Vec::with_capacity(n);
+    let mut arena_of = vec![0u32; n];
+    for (ai, &oi) in order.iter().enumerate() {
+        let node = &nodes[oi];
+        kinds.push(match node.kind {
+            NodeKind::Source {
+                mode: SourceMode::Continuous,
+            } => HotKind::Continuous,
+            NodeKind::Source {
+                mode: SourceMode::Elastic,
+            } => HotKind::Elastic,
+            NodeKind::Stage { pipeline_depth } => HotKind::Stage {
+                depth: u64::from(pipeline_depth),
+            },
+        });
+        in_start.push(in_list.len() as u32);
+        in_list.extend(node.in_edges.iter().map(|&e| e as u32));
+        out_start.push(out_list.len() as u32);
+        out_list.extend(node.out_edges.iter().map(|&e| e as u32));
+        orig.push(oi as u32);
+        arena_of[oi] = ai as u32;
+    }
+    in_start.push(in_list.len() as u32);
+    out_start.push(out_list.len() as u32);
+    let mut edge_producer = vec![0u32; edges.len()];
+    let mut edge_consumer = vec![0u32; edges.len()];
+    for (ai, &oi) in order.iter().enumerate() {
+        for &e in &nodes[oi].out_edges {
+            edge_producer[e] = ai as u32;
+        }
+        for &e in &nodes[oi].in_edges {
+            edge_consumer[e] = ai as u32;
+        }
+    }
+    Arena {
+        kinds,
+        in_start,
+        in_list,
+        out_start,
+        out_list,
+        orig,
+        arena_of,
+        edges: edges
+            .iter()
+            .map(|e| HotEdge {
+                capacity: e.capacity,
+                producer_rate: e.producer_rate,
+                consumer_rate: e.consumer_rate,
+                total: e.total,
+                tolerance: e.tolerance,
+                done_at: e.total - e.tolerance,
+            })
+            .collect(),
+        edge_producer,
+        edge_consumer,
+    }
+}
+
 /// A runnable cycle-level pipeline simulation.
 #[derive(Debug)]
 pub struct PipelineSim {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
-    order: Vec<usize>,
+    arena: Arena,
 }
 
 impl PipelineSim {
     /// Runs the simulation for at most `max_cycles` cycles.
+    ///
+    /// The steady-state loop steps the string-free arena; names are
+    /// only touched here — after the verdict — to format errors and
+    /// assemble the report.
     ///
     /// # Errors
     ///
@@ -374,110 +1311,26 @@ impl PipelineSim {
     /// * [`SimError::CycleLimitExceeded`] — the frame did not finish
     ///   within `max_cycles`.
     pub fn run(&self, max_cycles: u64) -> Result<SimReport, SimError> {
-        let mut node_states = vec![NodeState::default(); self.nodes.len()];
-        let mut edge_states = vec![EdgeState::default(); self.edges.len()];
-
-        let mut cycle: u64 = 0;
-        let mut fired_sources: Vec<usize> = Vec::new();
-        loop {
-            if self.all_done(&edge_states) {
-                break;
-            }
-            if cycle >= max_cycles {
-                return Err(SimError::CycleLimitExceeded { limit: max_cycles });
-            }
-            let mut any_fired = false;
-            let mut only_sources_fired = true;
-            fired_sources.clear();
-            for &ni in &self.order {
-                let node = &self.nodes[ni];
-                if self.node_done(node, &edge_states) {
-                    continue;
-                }
-                let can = self.can_fire(node, &node_states[ni], &edge_states);
-                if can {
-                    self.fire(ni, &mut node_states, &mut edge_states);
-                    any_fired = true;
-                    if matches!(node.kind, NodeKind::Source { .. }) {
-                        fired_sources.push(ni);
-                    } else {
-                        only_sources_fired = false;
-                    }
-                } else {
-                    node_states[ni].stalled += 1;
-                    if let NodeKind::Source {
-                        mode: SourceMode::Continuous,
-                    } = node.kind
-                    {
-                        let buffer = node
-                            .out_edges
-                            .iter()
-                            .find(|&&e| {
-                                let st = &edge_states[e];
-                                let ed = &self.edges[e];
-                                st.produced < ed.total - ed.tol()
-                                    && ed.capacity - st.level()
-                                        < ed.producer_rate.min(ed.total - st.produced) - ed.tol()
-                            })
-                            .map(|&e| self.edges[e].name.clone())
-                            .unwrap_or_else(|| "<unknown>".into());
-                        return Err(SimError::SourceOverflow {
-                            cycle,
-                            source: node.name.clone(),
-                            buffer,
-                        });
-                    }
-                }
-            }
-            if !any_fired {
-                let (stage, reason) = self.diagnose_block(&edge_states);
-                return Err(SimError::Deadlock {
+        let mut state = RunState::new(&self.arena);
+        let mut fired_sources: Vec<u32> = Vec::new();
+        // The hot region: step_to_verdict neither allocates nor
+        // formats — names come back into play only below.
+        let verdict = self
+            .arena
+            .step_to_verdict(&mut state, max_cycles, &mut fired_sources, false);
+        match verdict {
+            Verdict::Done { cycles } => Ok(self.assemble_report(cycles, &state)),
+            Verdict::CycleLimit => Err(SimError::CycleLimitExceeded { limit: max_cycles }),
+            Verdict::Overflow { node, cycle } => Err(self.overflow_error(node, cycle, &state)),
+            Verdict::Deadlock { cycle } => {
+                let (stage, reason) = self.diagnose_block(&state);
+                Err(SimError::Deadlock {
                     cycle,
                     stage,
                     reason,
-                });
-            }
-            cycle += 1;
-            // Idle fast-forward: when only sources made progress, every
-            // consumer is waiting for tokens to accumulate. Rates are
-            // constant, so the next `k−1` cycles are identical source
-            // firings — apply them in one step. Exact: token totals and
-            // firing counts match the cycle-by-cycle execution.
-            if only_sources_fired && !fired_sources.is_empty() {
-                let k = self.idle_skip_cycles(&fired_sources, &edge_states);
-                if k > 1 {
-                    for &si in &fired_sources {
-                        self.fire_source_batch(si, k - 1, &mut node_states, &mut edge_states);
-                    }
-                    cycle += k - 1;
-                }
+                })
             }
         }
-
-        Ok(SimReport {
-            total_cycles: cycle,
-            stages: self
-                .nodes
-                .iter()
-                .zip(&node_states)
-                .map(|(n, s)| StageStats {
-                    name: n.name.clone(),
-                    active_cycles: s.fired,
-                    stalled_cycles: s.stalled,
-                })
-                .collect(),
-            buffers: self
-                .edges
-                .iter()
-                .zip(&edge_states)
-                .map(|(e, s)| BufferStats {
-                    name: e.name.clone(),
-                    pixels_written: s.produced,
-                    pixels_read: s.consumed * e.reads_per_pixel,
-                    peak_occupancy: s.peak,
-                })
-                .collect(),
-        })
     }
 
     /// Convenience wrapper measuring digital latency `T_D` at `clock_hz`.
@@ -489,175 +1342,112 @@ impl PipelineSim {
         Ok(self.run(max_cycles)?.digital_latency(clock_hz))
     }
 
-    fn all_done(&self, edge_states: &[EdgeState]) -> bool {
-        self.edges
-            .iter()
-            .zip(edge_states)
-            .all(|(e, s)| s.produced >= e.total - e.tol() && s.consumed >= e.total - e.tol())
+    /// Verdict-only run for the stall check: same stepping semantics
+    /// as [`Self::run`], plus a steady-state early pass that stops
+    /// stepping once the token flow is provably stable for the rest
+    /// of the frame — orders of magnitude faster on long frames. An
+    /// early pass leaves counters frame-incomplete, so this entry
+    /// point deliberately returns no report, and every *failing*
+    /// verdict falls back to the cycle-exact [`Self::run`] so stall
+    /// diagnoses (cycle numbers, buffer levels) stay byte-identical
+    /// to an exact simulation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::run`].
+    pub fn run_check(&self, max_cycles: u64) -> Result<(), SimError> {
+        let mut state = RunState::new(&self.arena);
+        let mut fired_sources: Vec<u32> = Vec::new();
+        let verdict = self
+            .arena
+            .step_to_verdict(&mut state, max_cycles, &mut fired_sources, true);
+        match verdict {
+            Verdict::Done { .. } => Ok(()),
+            // Failures re-run exactly: they terminate early (at the
+            // overflow/deadlock), and the diagnosis must not carry
+            // fast-forward drift.
+            _ => self.run(max_cycles).map(drop),
+        }
     }
 
-    fn node_done(&self, node: &Node, edge_states: &[EdgeState]) -> bool {
+    fn assemble_report(&self, total_cycles: u64, state: &RunState) -> SimReport {
+        SimReport {
+            total_cycles,
+            stages: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    let ai = self.arena.arena_of[i] as usize;
+                    StageStats {
+                        name: n.name.clone(),
+                        active_cycles: state.fired[ai],
+                        stalled_cycles: state.stalled[ai],
+                    }
+                })
+                .collect(),
+            buffers: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(e, ed)| BufferStats {
+                    name: ed.name.clone(),
+                    pixels_written: state.produced[e],
+                    pixels_read: state.consumed[e] * ed.reads_per_pixel,
+                    peak_occupancy: state.peak[e],
+                })
+                .collect(),
+        }
+    }
+
+    /// Formats the overflow error for a stalled continuous source
+    /// (cold path).
+    fn overflow_error(&self, node: u32, cycle: u64, state: &RunState) -> SimError {
+        let source = self.nodes[self.arena.orig[node as usize] as usize]
+            .name
+            .clone();
+        let buffer = self
+            .arena
+            .overflow_edge(node as usize, state)
+            .map(|e| self.edges[e].name.clone())
+            .unwrap_or_else(|| "<unknown>".into());
+        SimError::SourceOverflow {
+            cycle,
+            source,
+            buffer,
+        }
+    }
+
+    fn node_done(&self, node: &Node, state: &RunState) -> bool {
         let out_done = node
             .out_edges
             .iter()
-            .all(|&e| edge_states[e].produced >= self.edges[e].total - self.edges[e].tol());
+            .all(|&e| state.produced[e] >= self.edges[e].total - self.edges[e].tol());
         let in_done = node
             .in_edges
             .iter()
-            .all(|&e| edge_states[e].consumed >= self.edges[e].total - self.edges[e].tol());
+            .all(|&e| state.consumed[e] >= self.edges[e].total - self.edges[e].tol());
         out_done && in_done
     }
 
-    fn production_enabled(&self, node: &Node, state: &NodeState) -> bool {
-        match node.kind {
-            NodeKind::Source { .. } => true,
-            NodeKind::Stage { pipeline_depth } => state.fired + 1 >= u64::from(pipeline_depth),
-        }
-    }
-
-    fn can_fire(&self, node: &Node, state: &NodeState, edge_states: &[EdgeState]) -> bool {
-        // Inputs: every unfinished in-edge must hold enough pixels —
-        // unless the inputs are exhausted (drain phase).
-        for &e in &node.in_edges {
-            let ed = &self.edges[e];
-            let st = &edge_states[e];
-            if st.consumed >= ed.total - ed.tol() {
-                continue;
-            }
-            let need = ed.consumer_rate.min(ed.total - st.consumed);
-            if st.level() < need - ed.tol() {
-                return false;
-            }
-        }
-        // Outputs: every unfinished out-edge must have space, once the
-        // pipeline has filled.
-        if self.production_enabled(node, state) {
-            for &e in &node.out_edges {
-                let ed = &self.edges[e];
-                let st = &edge_states[e];
-                if st.produced >= ed.total - ed.tol() {
-                    continue;
-                }
-                let amount = ed.producer_rate.min(ed.total - st.produced);
-                if ed.capacity - st.level() < amount - ed.tol() {
-                    return false;
-                }
-            }
-        }
-        // A node with nothing left to consume and production disabled (or
-        // nothing left to produce) must not spin; node_done covers the
-        // fully-finished case, so here at least one side has work.
-        true
-    }
-
-    fn fire(&self, ni: usize, node_states: &mut [NodeState], edge_states: &mut [EdgeState]) {
-        let node = &self.nodes[ni];
-        for &e in &node.in_edges {
-            let ed = &self.edges[e];
-            let st = &mut edge_states[e];
-            if st.consumed >= ed.total - ed.tol() {
-                continue;
-            }
-            // Clamp to the actual level so float drift can never push the
-            // buffer negative (can_fire guaranteed level ≥ amount − EPS).
-            let amount = ed.consumer_rate.min(ed.total - st.consumed).min(st.level());
-            st.consumed += amount;
-        }
-        if self.production_enabled(node, &node_states[ni]) {
-            for &e in &node.out_edges {
-                let ed = &self.edges[e];
-                let st = &mut edge_states[e];
-                if st.produced >= ed.total - ed.tol() {
-                    continue;
-                }
-                let amount = ed.producer_rate.min(ed.total - st.produced);
-                st.produced += amount;
-                st.peak = st.peak.max(st.level());
-            }
-        }
-        node_states[ni].fired += 1;
-    }
-
-    /// How many identical cycles can be skipped while only sources fire:
-    /// bounded by (a) the first consumer in-edge reaching its need,
-    /// (b) any firing source filling its buffer, and (c) any firing
-    /// source exhausting its total.
-    fn idle_skip_cycles(&self, fired_sources: &[usize], edge_states: &[EdgeState]) -> u64 {
-        const MAX_SKIP: u64 = 1 << 40;
-        let mut k = MAX_SKIP;
-        let source_edges = fired_sources
-            .iter()
-            .flat_map(|&si| self.nodes[si].out_edges.iter().copied());
-        // (a) consumer deficits on source-fed edges.
-        for e in source_edges.clone() {
-            let ed = &self.edges[e];
-            let st = &edge_states[e];
-            if st.consumed >= ed.total - ed.tol() {
-                continue;
-            }
-            let need = ed.consumer_rate.min(ed.total - st.consumed);
-            let deficit = need - st.level();
-            if deficit > ed.tol() && ed.producer_rate > 0.0 {
-                k = k.min((deficit / ed.producer_rate).ceil() as u64);
-            }
-        }
-        if k == MAX_SKIP {
-            return 1;
-        }
-        // (b) capacity and (c) totals on every firing source's out-edges.
-        for e in source_edges {
-            let ed = &self.edges[e];
-            let st = &edge_states[e];
-            if st.produced >= ed.total - ed.tol() {
-                continue;
-            }
-            let headroom = ((ed.capacity - st.level()) / ed.producer_rate).floor() as u64;
-            let remaining = ((ed.total - st.produced) / ed.producer_rate).ceil() as u64;
-            k = k.min(headroom.max(1)).min(remaining.max(1));
-        }
-        k.max(1)
-    }
-
-    /// Applies `times` identical firings of a source in one batched step.
-    fn fire_source_batch(
-        &self,
-        si: usize,
-        times: u64,
-        node_states: &mut [NodeState],
-        edge_states: &mut [EdgeState],
-    ) {
-        let node = &self.nodes[si];
-        for &e in &node.out_edges {
-            let ed = &self.edges[e];
-            let st = &mut edge_states[e];
-            if st.produced >= ed.total - ed.tol() {
-                continue;
-            }
-            let amount = (ed.producer_rate * times as f64).min(ed.total - st.produced);
-            st.produced += amount;
-            st.peak = st.peak.max(st.level());
-        }
-        node_states[si].fired += times;
-    }
-
-    fn diagnose_block(&self, edge_states: &[EdgeState]) -> (String, String) {
+    /// Names the first blocked stage and why (cold path: only called
+    /// once a deadlock verdict is already decided).
+    fn diagnose_block(&self, state: &RunState) -> (String, String) {
         for node in &self.nodes {
-            if self.node_done(node, edge_states) {
+            if self.node_done(node, state) {
                 continue;
             }
             for &e in &node.in_edges {
                 let ed = &self.edges[e];
-                let st = &edge_states[e];
-                if st.consumed < ed.total - ed.tol() {
-                    let need = ed.consumer_rate.min(ed.total - st.consumed);
-                    if st.level() < need - ed.tol() {
+                if state.consumed[e] < ed.total - ed.tol() {
+                    let need = ed.consumer_rate.min(ed.total - state.consumed[e]);
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    if level < need - ed.tol() {
                         return (
                             node.name.clone(),
                             format!(
                                 "is starved on buffer '{}' (needs {:.1} pixels, has {:.1})",
-                                ed.name,
-                                need,
-                                st.level()
+                                ed.name, need, level
                             ),
                         );
                     }
@@ -665,10 +1455,10 @@ impl PipelineSim {
             }
             for &e in &node.out_edges {
                 let ed = &self.edges[e];
-                let st = &edge_states[e];
-                if st.produced < ed.total - ed.tol() {
-                    let amount = ed.producer_rate.min(ed.total - st.produced);
-                    if ed.capacity - st.level() < amount - ed.tol() {
+                if state.produced[e] < ed.total - ed.tol() {
+                    let amount = ed.producer_rate.min(ed.total - state.produced[e]);
+                    let level = (state.produced[e] - state.consumed[e]).max(0.0);
+                    if ed.capacity - level < amount - ed.tol() {
                         return (
                             node.name.clone(),
                             format!("is blocked on full buffer '{}'", ed.name),
@@ -920,5 +1710,156 @@ mod tests {
         let report = b.build().unwrap().run(10_000).unwrap();
         let peak = report.buffer("f").unwrap().peak_occupancy;
         assert!(peak > 2.0 && peak <= 16.0, "peak {peak}");
+    }
+
+    /// Counting allocator for the zero-allocation hot-loop test: every
+    /// heap allocation on the calling thread bumps a thread-local
+    /// counter (thread-local so the parallel test harness can't
+    /// pollute the count).
+    mod counting_alloc {
+        use std::alloc::{GlobalAlloc, Layout, System};
+        use std::cell::Cell;
+
+        thread_local! {
+            static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        }
+
+        pub struct Counting;
+
+        // SAFETY: delegates verbatim to `System`; the counter is a
+        // const-initialised thread-local Cell, so bumping it performs
+        // no allocation (no recursion) and `try_with` tolerates
+        // teardown-time calls.
+        unsafe impl GlobalAlloc for Counting {
+            unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+                let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+                unsafe { System.alloc(layout) }
+            }
+
+            unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+                unsafe { System.dealloc(ptr, layout) }
+            }
+        }
+
+        #[global_allocator]
+        static COUNTING: Counting = Counting;
+
+        /// Allocations performed by this thread so far.
+        pub fn allocations() -> u64 {
+            ALLOCS.with(Cell::get)
+        }
+    }
+
+    /// The steady-state stepping loop must not allocate: a clean run's
+    /// allocation count is independent of how many cycles it steps.
+    /// Two otherwise-identical pipelines whose token totals differ 10×
+    /// (≈330 vs ≈3300 cycles) must allocate exactly the same number of
+    /// times — state setup, scratch, and report assembly are identical,
+    /// so any difference could only come from per-cycle allocations
+    /// (e.g. the `String` clones that used to sit in the stepping
+    /// path).
+    #[test]
+    fn steady_state_run_performs_zero_per_cycle_allocations() {
+        fn run_allocs(total: f64) -> u64 {
+            let mut b = PipelineSimBuilder::new();
+            let src = b.add_source("src", SourceMode::Elastic);
+            let mid = b.add_stage("mid", 2);
+            let sink = b.add_stage("sink", 1);
+            b.connect(src, mid, &buf("in", 16), 1.0, 1.0, total);
+            b.connect(mid, sink, &buf("out", 16), 1.0, 1.0, total);
+            let sim = b.build().unwrap();
+            let before = counting_alloc::allocations();
+            let report = sim.run(10_000_000).unwrap();
+            let after = counting_alloc::allocations();
+            assert!(report.total_cycles as f64 >= total);
+            after - before
+        }
+        let short = run_allocs(256.0);
+        let long = run_allocs(2560.0);
+        assert_eq!(
+            short, long,
+            "allocation count must not grow with cycle count"
+        );
+    }
+
+    /// A stall-shaped pipeline: continuous readout at a fractional
+    /// (quasi-periodic) rate feeding a three-stage chain, sized so a
+    /// run spans many thousands of readout periods.
+    fn quasi_periodic_sim(src_rate: f64, total_scale: f64) -> PipelineSim {
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("readout", SourceMode::Continuous);
+        let ds = b.add_stage("down", 2);
+        let fs = b.add_stage("sub", 2);
+        let dnn = b.add_stage("dnn", 16);
+        b.connect(
+            src,
+            ds,
+            &buf("b0", 1280),
+            src_rate,
+            4.0,
+            2560.0 * total_scale,
+        );
+        b.connect(ds, fs, &buf("b1", 1280), 1.0, 1.0, 640.0 * total_scale);
+        b.connect(
+            fs,
+            dnn,
+            &buf("b2", 1312),
+            1.0,
+            0.2417776703,
+            640.0 * total_scale,
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_check_agrees_with_exact_run_on_passing_sims() {
+        // Long enough that the steady-state early pass engages
+        // (hundreds of readout periods) yet cheap to also run exactly.
+        for scale in [1.0, 40.0] {
+            let sim = quasi_periodic_sim(0.095183500072, scale);
+            sim.run(100_000_000)
+                .unwrap_or_else(|e| panic!("exact run must pass at scale {scale}: {e}"));
+            sim.run_check(100_000_000)
+                .unwrap_or_else(|e| panic!("run_check must pass at scale {scale}: {e}"));
+        }
+    }
+
+    #[test]
+    fn run_check_reproduces_exact_failure_diagnoses() {
+        // Overflow: readout faster than the chain can drain.
+        let mut b = PipelineSimBuilder::new();
+        let src = b.add_source("readout", SourceMode::Continuous);
+        let slow = b.add_stage("slow", 1);
+        b.connect(src, slow, &buf("f", 8), 4.0, 2.0, 25600.0);
+        let sim = b.build().unwrap();
+        let exact = sim.run(10_000).unwrap_err();
+        let check = sim.run_check(10_000).unwrap_err();
+        assert_eq!(exact.to_string(), check.to_string());
+
+        // Cycle limit: budget far below the frame length.
+        let sim = quasi_periodic_sim(0.095183500072, 40.0);
+        let exact = sim.run(5_000).unwrap_err();
+        let check = sim.run_check(5_000).unwrap_err();
+        assert!(
+            matches!(exact, SimError::CycleLimitExceeded { .. }),
+            "{exact}"
+        );
+        assert_eq!(exact.to_string(), check.to_string());
+    }
+
+    #[test]
+    fn run_check_budget_guard_defers_to_cycle_limit() {
+        // Budget large enough for steady-state detection (≳256 readout
+        // periods ≈ 11k cycles) but below the full frame: the early
+        // pass must not claim `Done` where the exact run would report
+        // the cycle limit.
+        let sim = quasi_periodic_sim(0.095183500072, 40.0);
+        let exact = sim.run(40_000).unwrap_err();
+        let check = sim.run_check(40_000).unwrap_err();
+        assert!(
+            matches!(exact, SimError::CycleLimitExceeded { .. }),
+            "{exact}"
+        );
+        assert_eq!(exact.to_string(), check.to_string());
     }
 }

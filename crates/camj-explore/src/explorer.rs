@@ -413,7 +413,18 @@ impl Explorer {
                     }
                 });
                 match outcome.map_err(PointError::from)? {
-                    GatedEstimate::Complete(report) => Ok(PointEval::Complete(report)),
+                    // Metrics are measured here, in the worker, because
+                    // `mc_snr` objectives run seeded frame simulations
+                    // against the model — work that should share the
+                    // sweep's parallelism, not serialise in the reduce
+                    // loop. Seeds are fixed per sample count, so the
+                    // coordinates are byte-identical in serial and
+                    // parallel modes.
+                    GatedEstimate::Complete(report) => Ok(PointEval::Complete(measure_point(
+                        query.objectives(),
+                        &report,
+                        model,
+                    )?)),
                     GatedEstimate::Pruned { kernels_done, .. } => Ok(PointEval::Pruned {
                         constraint: fired.expect("the gate only stops on a violation"),
                         kernels_done,
@@ -427,9 +438,8 @@ impl Explorer {
         let mut errors = Vec::new();
         for outcome in results.into_outcomes() {
             match outcome.result {
-                Ok(PointEval::Complete(report)) => {
+                Ok(PointEval::Complete(metrics)) => {
                     stats.record_complete();
-                    let metrics = MetricVector::measure(query.objectives(), &report);
                     front.insert(outcome.point, metrics);
                 }
                 Ok(PointEval::Pruned {
@@ -529,14 +539,43 @@ impl Explorer {
     }
 }
 
-/// A gated point evaluation: completed with a full report, or pruned by
-/// a constraint after `kernels_done` kernels.
+/// A gated point evaluation: completed (already measured into its
+/// objective coordinates), or pruned by a constraint after
+/// `kernels_done` kernels.
 enum PointEval {
-    Complete(Box<EstimateReport>),
+    Complete(MetricVector),
     Pruned {
         constraint: Constraint,
         kernels_done: usize,
     },
+}
+
+/// Measures one completed point's objective coordinates. Plain
+/// objectives read the estimate report; `mc_snr:<n>` objectives run a
+/// seed-fixed (`0..n`) Monte-Carlo frame simulation against the model,
+/// quoted at the same mid-scale stimulus as the analytic `snr`
+/// objective so the two orderings are comparable.
+fn measure_point(
+    objectives: &[crate::objective::Objective],
+    report: &EstimateReport,
+    model: &ValidatedModel,
+) -> Result<MetricVector, PointError> {
+    let mut mc = std::collections::BTreeMap::new();
+    for samples in objectives
+        .iter()
+        .filter_map(crate::objective::Objective::mc_samples)
+    {
+        if mc.contains_key(&samples) {
+            continue;
+        }
+        let seeds: Vec<u64> = (0..u64::from(samples)).collect();
+        let stimulus = camj_core::functional::Stimulus::uniform(camj_core::DEFAULT_SIGNAL_FRACTION);
+        let sim = model
+            .simulate_frames(&seeds, &stimulus)
+            .map_err(PointError::from)?;
+        mc.insert(samples, sim.output.noise_rms_mean);
+    }
+    Ok(MetricVector::measure_with_mc(objectives, report, &mc))
 }
 
 /// Pre-warms a group's stall verdict at its fastest admitted frame

@@ -18,6 +18,10 @@ use std::str::FromStr;
 
 use camj_core::energy::{EnergyCategory, EstimateReport};
 
+/// Upper bound on `mc_snr:<samples>`: past ~1k seeds the standard
+/// error of the mean shrinks slower than the exploration can afford.
+pub const MAX_MC_SAMPLES: u32 = 1024;
+
 /// One quantity a multi-objective exploration minimises.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Objective {
@@ -49,6 +53,16 @@ pub enum Objective {
     /// unit *adds* (its sources plus any ADC quantization), fraction
     /// of full scale. Units absent from the chain report 0.
     StageNoise(String),
+    /// Monte-Carlo signal quality: mean output noise RMS (fraction of
+    /// full scale) over the given number of seeded frame simulations
+    /// (`mc_snr:<samples>`, 1..=1024 seeds `0..samples`, quoted at the
+    /// same mid-scale stimulus as the analytic `snr`). Unlike `snr`,
+    /// which reads one closed-form estimate, this measures the chain —
+    /// quantization, clipping, and all. Minimising it maximises the
+    /// measured SNR. Evaluating it needs the point's model, not just
+    /// its estimate report, so [`Objective::extract`] does not support
+    /// it — `Explorer::pareto` measures it per point.
+    McSnr(u32),
 }
 
 impl Objective {
@@ -65,10 +79,27 @@ impl Objective {
             Objective::PowerDensity => "peak_density_mw_per_mm2".to_owned(),
             Objective::Snr => "output_noise_rms".to_owned(),
             Objective::StageNoise(unit) => format!("noise_{unit}_rms"),
+            Objective::McSnr(samples) => format!("mc{samples}_noise_rms"),
+        }
+    }
+
+    /// The Monte-Carlo sample count when this objective needs seeded
+    /// frame simulations (and therefore the point's model) to evaluate.
+    #[must_use]
+    pub fn mc_samples(&self) -> Option<u32> {
+        match self {
+            Objective::McSnr(samples) => Some(*samples),
+            _ => None,
         }
     }
 
     /// Extracts this objective's value from a completed estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Objective::McSnr`], which cannot be answered from a
+    /// report alone — use `MetricVector::measure_with_mc` with
+    /// model-backed values (as `Explorer::pareto` does).
     #[must_use]
     pub fn extract(&self, report: &EstimateReport) -> f64 {
         match self {
@@ -92,6 +123,10 @@ impl Objective {
                 .as_ref()
                 .and_then(|noise| noise.stage(unit))
                 .map_or(0.0, |stage| stage.added_noise_rms),
+            Objective::McSnr(samples) => panic!(
+                "mc_snr:{samples} needs Monte-Carlo frame simulation; \
+                 measure it through MetricVector::measure_with_mc"
+            ),
         }
     }
 }
@@ -106,6 +141,7 @@ impl fmt::Display for Objective {
             Objective::PowerDensity => f.write_str("power_density"),
             Objective::Snr => f.write_str("snr"),
             Objective::StageNoise(unit) => write!(f, "noise:{unit}"),
+            Objective::McSnr(samples) => write!(f, "mc_snr:{samples}"),
         }
     }
 }
@@ -118,8 +154,9 @@ impl FromStr for Objective {
     /// list: `total_energy`, `delay`, `power_density`, `snr`,
     /// `category:<LABEL>` (a Fig. 9 category label such as `MEM-D`,
     /// case-insensitive), `stage:<name>` (an algorithm stage,
-    /// case-sensitive), or `noise:<unit>` (an analog hardware unit,
-    /// case-sensitive).
+    /// case-sensitive), `noise:<unit>` (an analog hardware unit,
+    /// case-sensitive), or `mc_snr:<samples>` (a Monte-Carlo sample
+    /// count in `1..=1024`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "total_energy" => return Ok(Objective::TotalEnergy),
@@ -152,9 +189,20 @@ impl FromStr for Objective {
             }
             return Ok(Objective::StageNoise(unit.to_owned()));
         }
+        if let Some(samples) = s.strip_prefix("mc_snr:") {
+            let samples: u32 = samples.parse().map_err(|_| {
+                format!("mc_snr needs an unsigned sample count after 'mc_snr:', got '{samples}'")
+            })?;
+            if !(1..=MAX_MC_SAMPLES).contains(&samples) {
+                return Err(format!(
+                    "mc_snr sample count must be in 1..={MAX_MC_SAMPLES}, got {samples}"
+                ));
+            }
+            return Ok(Objective::McSnr(samples));
+        }
         Err(format!(
             "unknown objective '{s}' (expected total_energy, delay, power_density, snr, \
-             category:<LABEL>, stage:<name>, or noise:<unit>)"
+             category:<LABEL>, stage:<name>, noise:<unit>, or mc_snr:<samples>)"
         ))
     }
 }
@@ -169,10 +217,44 @@ pub struct MetricVector {
 
 impl MetricVector {
     /// Evaluates `objectives` against a completed estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `objectives` contains [`Objective::McSnr`] — that
+    /// coordinate needs model-backed Monte-Carlo values; use
+    /// `Self::measure_with_mc`.
     #[must_use]
     pub fn measure(objectives: &[Objective], report: &EstimateReport) -> Self {
         Self {
             values: objectives.iter().map(|o| o.extract(report)).collect(),
+        }
+    }
+
+    /// Evaluates `objectives` against a completed estimate plus
+    /// Monte-Carlo results: `mc` maps each distinct `mc_snr` sample
+    /// count to its measured mean output noise RMS (the caller — in
+    /// practice `Explorer::pareto` — runs the frame simulations).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an [`Objective::McSnr`] sample count is missing
+    /// from `mc` (the caller failed to simulate it).
+    #[must_use]
+    pub(crate) fn measure_with_mc(
+        objectives: &[Objective],
+        report: &EstimateReport,
+        mc: &std::collections::BTreeMap<u32, f64>,
+    ) -> Self {
+        Self {
+            values: objectives
+                .iter()
+                .map(|o| match o.mc_samples() {
+                    Some(samples) => *mc
+                        .get(&samples)
+                        .unwrap_or_else(|| panic!("mc_snr:{samples} was not simulated")),
+                    None => o.extract(report),
+                })
+                .collect(),
         }
     }
 
@@ -258,6 +340,7 @@ mod tests {
             "category:MEM-D",
             "stage:RoiDnn",
             "noise:PixelArray",
+            "mc_snr:16",
         ] {
             let objective: Objective = text.parse().unwrap();
             assert_eq!(objective.to_string(), text);
@@ -282,6 +365,10 @@ mod tests {
         assert!("stage:".parse::<Objective>().is_err());
         assert!("noise:".parse::<Objective>().is_err());
         assert!("energy".parse::<Objective>().is_err());
+        assert!("mc_snr:".parse::<Objective>().is_err());
+        assert!("mc_snr:0".parse::<Objective>().is_err());
+        assert!("mc_snr:1025".parse::<Objective>().is_err());
+        assert!("mc_snr:-4".parse::<Objective>().is_err());
     }
 
     #[test]

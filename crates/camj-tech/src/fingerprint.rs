@@ -168,6 +168,20 @@ impl FpHasher {
         self.write_u8(u8::from(v));
     }
 
+    /// Feeds an `f64` slice word-at-a-time: one mix step per value
+    /// instead of one per byte, ~6x faster on megapixel buffers. The
+    /// stream is **not** compatible with repeated [`Self::write_f64`]
+    /// calls — callers must pick one granularity per domain tag and
+    /// stay with it (bulk digests use their own `…-mc/…` domain).
+    pub fn write_f64_slice_bulk(&mut self, values: &[f64]) {
+        for v in values {
+            let w = v.to_bits();
+            self.a = (self.a ^ w).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ w).wrapping_mul(MIX_MULT).rotate_left(23);
+        }
+        self.len = self.len.wrapping_add(8 * values.len() as u64);
+    }
+
     /// Feeds a string, length-prefixed so adjacent strings cannot alias.
     pub fn write_str(&mut self, s: &str) {
         self.write_usize(s.len());

@@ -6,7 +6,7 @@
 //! camj export <workload> [--out FILE]
 //! camj validate <file>...
 //! camj estimate --design FILE [--fps N] [--json]
-//! camj simulate --design FILE [--seed N] [--fps N] [--stimulus SPEC] [--json]
+//! camj simulate --design FILE [--seed N] [--samples N] [--fps N] [--stimulus SPEC] [--json]
 //! camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
 //! camj pareto --design FILE [--fps A,B,C] [--objectives O,O,...]
 //!             [--max-density X] [--max-latency-ms X] [--max-energy-pj X]
@@ -41,7 +41,7 @@ USAGE:
     camj estimate --design FILE [--fps N] [--json]
         Estimate per-frame energy for a description (optionally
         overriding its frame rate).
-    camj simulate --design FILE [--seed N] [--fps N] [--stimulus SPEC] [--json]
+    camj simulate --design FILE [--seed N] [--samples N] [--fps N] [--stimulus SPEC] [--json]
         Noise-aware functional simulation of one frame: renders the
         stimulus (uniform:<level> or gradient:<low>,<high>; default
         gradient:0.1,0.9) at the input stage's resolution, injects each
@@ -49,6 +49,8 @@ USAGE:
         (default seed 42), applies ADC quantization, and reports
         per-stage SNR plus a digest pinning the output frame
         bit-for-bit. Identical across runs and thread counts.
+        --samples N (default 1, max 1024) runs a Monte-Carlo batch over
+        seeds seed..seed+N and reports per-stage mean ± σ instead.
     camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
         Sweep frame-rate targets (from --fps, or the description's
         `sweep.fps` list) through the incremental estimation engine.
@@ -60,7 +62,8 @@ USAGE:
                 [--format json|csv]
         Multi-objective Pareto exploration over the frame-rate grid.
         Objectives (minimised): total_energy, delay, power_density,
-        snr, category:<LABEL>, stage:<name>, noise:<unit>; defaults
+        snr, category:<LABEL>, stage:<name>, noise:<unit>,
+        mc_snr:<samples> (Monte-Carlo mean output noise RMS); defaults
         come from the description's `sweep.objectives` (falling back
         to total_energy,power_density). Constraint flags override the
         description's `sweep.constraints`; violating points are pruned
@@ -105,6 +108,7 @@ struct Flags {
     out: Option<String>,
     format: Option<String>,
     seed: Option<String>,
+    samples: Option<String>,
     stimulus: Option<String>,
     objectives: Option<String>,
     max_density: Option<String>,
@@ -130,6 +134,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--out" => flags.out = Some(value_of("--out", &mut it)?),
             "--format" => flags.format = Some(value_of("--format", &mut it)?),
             "--seed" => flags.seed = Some(value_of("--seed", &mut it)?),
+            "--samples" => flags.samples = Some(value_of("--samples", &mut it)?),
             "--stimulus" => flags.stimulus = Some(value_of("--stimulus", &mut it)?),
             "--objectives" => flags.objectives = Some(value_of("--objectives", &mut it)?),
             "--max-density" => flags.max_density = Some(value_of("--max-density", &mut it)?),
@@ -314,6 +319,17 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             }
         },
     };
+    let samples: u32 = match flags.samples.as_deref() {
+        None => 1,
+        Some(text) => match text.parse() {
+            Ok(v) if (1..=1024).contains(&v) => v,
+            _ => {
+                return usage_error(&format!(
+                    "--samples needs an integer in 1..=1024, got '{text}'"
+                ))
+            }
+        },
+    };
     let stimulus = match flags.stimulus.as_deref() {
         None => Stimulus::default(),
         Some(text) => match text.parse::<Stimulus>() {
@@ -333,6 +349,69 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if samples > 1 {
+        // Monte-Carlo batch: seeds seed..seed+N through one shared
+        // frame plan, aggregated per stage. --samples 1 stays on the
+        // single-frame path below, byte-identical to previous releases.
+        let seeds: Vec<u64> = (0..u64::from(samples))
+            .map(|i| seed.wrapping_add(i))
+            .collect();
+        let mc = match model.simulate_frames(&seeds, &stimulus) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: functional simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if flags.json {
+            match serde_json::to_string_pretty(&mc) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("error: could not serialize the report: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
+        println!(
+            "== simulate: {} @ {} FPS ({} seeds {}.., stimulus {}) ==",
+            desc.name,
+            model.fps(),
+            samples,
+            seed,
+            mc.stimulus
+        );
+        println!("frame: {}x{}x{} pixels", mc.width, mc.height, mc.channels);
+        if mc.stages.is_empty() {
+            println!("analog chain: no stages (nothing to simulate)");
+        } else {
+            println!("{:<24} {:>22} {:>18}", "stage", "noise rms (FS)", "SNR dB");
+            for stage in &mc.stages {
+                println!(
+                    "{:<24} {:>14.6} ±{:.1e} {:>18}",
+                    stage.unit,
+                    stage.noise_rms_mean,
+                    stage.noise_rms_std,
+                    stage.snr_db_mean.map_or_else(
+                        || "-".to_owned(),
+                        |db| format!("{db:.2} ±{:.2}", stage.snr_db_std.unwrap_or(0.0))
+                    ),
+                );
+            }
+        }
+        println!(
+            "output: mean {:.6}, noise rms {:.6} ±{:.1e}{}",
+            mc.output.mean,
+            mc.output.noise_rms_mean,
+            mc.output.noise_rms_std,
+            mc.output.snr_db_mean.map_or_else(String::new, |db| format!(
+                ", SNR {db:.2} ±{:.2} dB",
+                mc.output.snr_db_std.unwrap_or(0.0)
+            )),
+        );
+        println!("digest: {}", mc.digests[0]);
+        return ExitCode::SUCCESS;
+    }
     let report = match model.simulate_frame(seed, &stimulus) {
         Ok(r) => r,
         Err(e) => {

@@ -202,6 +202,9 @@ fn desc_objective_validation_tracks_the_explore_grammar() {
         "delay".to_owned(),
         "power_density".to_owned(),
         format!("stage:{declared_stage}"),
+        "mc_snr:1".to_owned(),
+        "mc_snr:16".to_owned(),
+        "mc_snr:1024".to_owned(),
     ];
     accepted.extend(
         EnergyCategory::ALL
@@ -218,7 +221,16 @@ fn desc_objective_validation_tracks_the_explore_grammar() {
             "desc validation rejects '{objective}'"
         );
     }
-    for objective in ["energy", "category:BOGUS", "stage:", "TOTAL_ENERGY"] {
+    for objective in [
+        "energy",
+        "category:BOGUS",
+        "stage:",
+        "TOTAL_ENERGY",
+        "mc_snr:",
+        "mc_snr:0",
+        "mc_snr:1025",
+        "mc_snr:4.5",
+    ] {
         assert!(
             objective.parse::<Objective>().is_err(),
             "explore grammar accepts '{objective}'"
