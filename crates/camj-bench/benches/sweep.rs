@@ -394,6 +394,63 @@ fn assert_no_regression(elastic: &ElasticRecord, frame: &FrameRecord) {
     );
 }
 
+// ---------------------------------------------------------------------
+// Trace overhead: the cost of the disabled observability facade
+// ---------------------------------------------------------------------
+
+/// Acceptance bar: with no recording session, the observability
+/// instrumentation's worst-case cost must stay under this fraction of
+/// the incremental 4-axis sweep's median.
+const TRACE_OVERHEAD_BUDGET: f64 = 0.03;
+
+/// Bounds the disabled-recorder overhead of the incremental sweep.
+///
+/// The instrumentation is always compiled in, so there is no
+/// "uninstrumented" binary to difference against; instead the bound is
+/// built from its two factors: a traced run counts how many events the
+/// sweep's sites emit (an upper bound on the number of disabled
+/// `enabled()` checks — a span is two events but only one guarded
+/// open), and a microbench prices one disabled site. Their product over
+/// the sweep's measured median is the reported overhead fraction.
+fn trace_overhead_record(sweep: &Sweep, sweep_median_ms: f64) -> TraceOverheadRecord {
+    let session = camj_obs::ObsSession::begin();
+    let _ = incremental(&Explorer::serial(), sweep);
+    let events = session.finish().event_count();
+
+    // Price one disabled site: the recorder is installed but the
+    // session above has ended, so this loop walks the exact path every
+    // instrumented call takes during an untraced sweep.
+    const ITERS: u64 = 1_000_000;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let _g = obs_core::span(black_box("bench.disabled.span"));
+        obs_core::counter(black_box("bench.disabled.counter"), black_box(i), 1);
+    }
+    let disabled_site_ns = start.elapsed().as_secs_f64() * 1e9 / (2 * ITERS) as f64;
+
+    let overhead_fraction = events as f64 * disabled_site_ns / (sweep_median_ms * 1e6);
+    println!();
+    println!(
+        "trace overhead (disabled recorder): {events} events x {disabled_site_ns:.2} ns/site \
+         over {sweep_median_ms:.1} ms -> {:.4}%",
+        overhead_fraction * 100.0
+    );
+    assert!(
+        overhead_fraction < TRACE_OVERHEAD_BUDGET,
+        "disabled-recorder overhead must stay under {:.0}% of the incremental sweep median, \
+         got {:.3}%",
+        TRACE_OVERHEAD_BUDGET * 100.0,
+        overhead_fraction * 100.0
+    );
+    TraceOverheadRecord {
+        events,
+        disabled_site_ns,
+        sweep_median_ms,
+        overhead_fraction,
+        budget_fraction: TRACE_OVERHEAD_BUDGET,
+    }
+}
+
 /// The thermal budget of the Pareto-pruning acceptance benchmark, in
 /// mW/mm². Deliberately **active** on the 4-axis grid: most points'
 /// final peak density exceeds it, so the constraint gate cuts them
@@ -572,6 +629,8 @@ fn four_axis_summary(_c: &mut Criterion) {
     let (elastic_record, frame_record) = hot_loop_records(samples);
     assert_no_regression(&elastic_record, &frame_record);
 
+    let trace_overhead = trace_overhead_record(&sweep, incremental_serial_s * 1e3);
+
     let record = BenchFile {
         incremental: BenchRecord {
             workload: "edgaze 2D-In".to_owned(),
@@ -603,6 +662,7 @@ fn four_axis_summary(_c: &mut Criterion) {
         },
         elastic_sim: elastic_record,
         frame_sim: frame_record,
+        trace_overhead,
     };
     match serde_json::to_string_pretty(&record) {
         Ok(json) => {
@@ -625,6 +685,19 @@ struct BenchFile {
     pareto_pruning: ParetoRecord,
     elastic_sim: ElasticRecord,
     frame_sim: FrameRecord,
+    trace_overhead: TraceOverheadRecord,
+}
+
+/// The disabled-recorder overhead bound (PR 7): instrumentation event
+/// volume x per-site disabled cost, as a fraction of the incremental
+/// sweep median, gated at [`TRACE_OVERHEAD_BUDGET`].
+#[derive(serde::Serialize)]
+struct TraceOverheadRecord {
+    events: usize,
+    disabled_site_ns: f64,
+    sweep_median_ms: f64,
+    overhead_fraction: f64,
+    budget_fraction: f64,
 }
 
 /// The elastic-simulation hot-loop record (PR 6): what one cache miss

@@ -109,6 +109,34 @@ impl std::fmt::Display for CacheStats {
 /// via `OnceLock::get_or_init` outside the shard lock.
 type Slot<T> = Arc<OnceLock<T>>;
 
+/// `obs_core` counter names for one artifact family, all keyed by the
+/// fingerprint's shard index so a trace shows per-shard pressure.
+/// `lookup` and `miss` are deterministic for a deterministic workload
+/// (one miss per unique fingerprint — the slot creator); whether a
+/// concurrent duplicate request lands as `wait` (blocked on the
+/// in-flight slot) or `hit` (arrived after completion) is a race, and
+/// `camj-obs` excludes those from its determinism digest.
+struct FamilyCounters {
+    lookup: &'static str,
+    hit: &'static str,
+    miss: &'static str,
+    wait: &'static str,
+}
+
+const ELASTIC_COUNTERS: FamilyCounters = FamilyCounters {
+    lookup: "cache.elastic.lookup",
+    hit: "cache.elastic.hit",
+    miss: "cache.elastic.miss",
+    wait: "cache.elastic.wait",
+};
+
+const ENERGY_COUNTERS: FamilyCounters = FamilyCounters {
+    lookup: "cache.energy.lookup",
+    hit: "cache.energy.hit",
+    miss: "cache.energy.miss",
+    wait: "cache.energy.wait",
+};
+
 /// One stored artifact.
 #[derive(Debug, Clone)]
 enum CacheEntry {
@@ -199,6 +227,7 @@ impl EstimateCache {
             CacheEntry::Elastic,
             || Arc::new(compute()),
             |value| approx_elastic_bytes(value.as_ref()),
+            &ELASTIC_COUNTERS,
         )
     }
 
@@ -219,6 +248,7 @@ impl EstimateCache {
             CacheEntry::Energy,
             || Arc::new(compute()),
             |value| approx_energy_bytes(value.as_ref()),
+            &ENERGY_COUNTERS,
         )
     }
 
@@ -235,18 +265,23 @@ impl EstimateCache {
         wrap: impl FnOnce(Slot<T>) -> CacheEntry,
         compute: impl FnOnce() -> T,
         approx_bytes: impl FnOnce(&T) -> u64,
+        counters: &FamilyCounters,
     ) -> T {
-        let slot = {
+        let (slot, claimed) = {
             let mut shard = lock_shard(self.shard(fp));
             match shard.get(&fp).and_then(as_slot) {
-                Some(slot) => slot,
+                Some(slot) => (slot, false),
                 None => {
                     let slot: Slot<T> = Arc::new(OnceLock::new());
                     shard.insert(fp, wrap(Arc::clone(&slot)));
-                    slot
+                    (slot, true)
                 }
             }
         };
+        // A reused slot whose value has not materialised yet means the
+        // computing claimant is still in flight: `get_or_init` below
+        // will block on it. Sampled before the wait, for the trace only.
+        let in_flight = !claimed && obs_core::enabled() && slot.get().is_none();
         let mut computed = false;
         let value = slot
             .get_or_init(|| {
@@ -261,6 +296,18 @@ impl EstimateCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if obs_core::enabled() {
+            let key = fp.shard(SHARD_COUNT) as u64;
+            obs_core::counter(counters.lookup, key, 1);
+            let outcome = if computed {
+                counters.miss
+            } else if in_flight {
+                counters.wait
+            } else {
+                counters.hit
+            };
+            obs_core::counter(outcome, key, 1);
         }
         value
     }
@@ -285,6 +332,19 @@ impl EstimateCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if obs_core::enabled() {
+            let key = fp.shard(SHARD_COUNT) as u64;
+            obs_core::counter("cache.stall.lookup", key, 1);
+            obs_core::counter(
+                if settled {
+                    "cache.stall.hit"
+                } else {
+                    "cache.stall.miss"
+                },
+                key,
+                1,
+            );
         }
         settled
     }

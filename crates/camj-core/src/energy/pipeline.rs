@@ -60,6 +60,7 @@ use super::breakdown::EnergyBreakdown;
 use super::cache::EstimateCache;
 use super::kernel::{
     AnalogKernel, DigitalComputeKernel, DigitalMemoryKernel, EnergyKernel, InterfaceKernel,
+    KernelKind,
 };
 use super::model::EstimateReport;
 
@@ -161,6 +162,17 @@ struct StallCache {
 /// consistent even if a panicking thread died while holding the lock
 /// (per-point panics are caught by sweep drivers and must not corrupt
 /// neighbouring evaluations).
+/// The observability span name of one energy kernel; a static table so
+/// recording never formats (see `obs_core`'s static-name rule).
+fn kernel_span_name(kind: KernelKind) -> &'static str {
+    match kind {
+        KernelKind::Analog => "kernel.analog",
+        KernelKind::DigitalCompute => "kernel.digital_compute",
+        KernelKind::DigitalMemory => "kernel.digital_memory",
+        KernelKind::Interface => "kernel.interface",
+    }
+}
+
 fn lock_stall(stall: &Mutex<StallCache>) -> std::sync::MutexGuard<'_, StallCache> {
     stall
         .lock()
@@ -227,8 +239,14 @@ impl ValidatedModel {
             fps.is_finite() && fps > 0.0,
             "FPS must be positive, got {fps}"
         );
-        check::validate(&algo, &hw, &mapping)?;
-        let routes = routes(&algo, &hw, &mapping)?;
+        {
+            let _span = obs_core::span("pipeline.validate");
+            check::validate(&algo, &hw, &mapping)?;
+        }
+        let routes = {
+            let _span = obs_core::span("pipeline.route");
+            routes(&algo, &hw, &mapping)?
+        };
         Ok(Self {
             algo,
             hw,
@@ -383,6 +401,9 @@ impl ValidatedModel {
     }
 
     fn run_elastic(&self) -> Result<ElasticSim, CamjError> {
+        // Inside the cache's compute closure, so the span count is one
+        // per *unique* topology — deterministic across thread counts.
+        let _span = obs_core::span("pipeline.simulate");
         let plans = self.stage_plans();
         if plans.is_empty() {
             return Ok(ElasticSim {
@@ -477,6 +498,10 @@ impl ValidatedModel {
         if plans.is_empty() {
             return Ok(());
         }
+        // How many checks reach this point depends on which sibling
+        // settled the monotone stall verdict first — the span count is
+        // inherently racy across thread counts (see `camj-obs`).
+        let _span = obs_core::span("pipeline.stall_check");
         let t_a = delay.analog_unit_time.secs();
         let readout = delay.analog_unit_time;
         let sim = self.build_sim(plans, Some(readout))?;
@@ -542,15 +567,23 @@ impl ValidatedModel {
             [&analog, &digital_compute, &digital_memory, &interface];
         let mut breakdown = EnergyBreakdown::new();
         for (ran, kernel) in kernels.into_iter().enumerate() {
+            // The span/invocation counter sits inside the compute path,
+            // so cached replays cost nothing and the invocation count
+            // is one per unique kernel fingerprint.
+            let instrumented = || {
+                let _span = obs_core::span(kernel_span_name(kernel.kind()));
+                obs_core::counter("kernel.invocations", ran as u64, 1);
+                kernel.compute()
+            };
             match &self.cache {
                 Some(cache) => {
-                    let items = cache.energy_or(kernel.fingerprint(), || kernel.compute());
+                    let items = cache.energy_or(kernel.fingerprint(), instrumented);
                     for item in items.iter() {
                         breakdown.push(item.clone());
                     }
                 }
                 None => {
-                    for item in kernel.compute() {
+                    for item in instrumented() {
                         breakdown.push(item);
                     }
                 }
@@ -588,7 +621,10 @@ impl ValidatedModel {
     /// See [`super::CamJ::estimate`].
     pub fn estimate_at_fps(&self, fps: f64) -> Result<EstimateReport, CamjError> {
         let elastic = self.simulate()?;
-        let delay = DelayEstimate::solve(fps, elastic.digital_latency, self.analog_stage_count())?;
+        let delay = {
+            let _span = obs_core::span("pipeline.delay");
+            DelayEstimate::solve(fps, elastic.digital_latency, self.analog_stage_count())?
+        };
         // Plans serve both the stall check and the energy passes; build
         // them once (and only after the cheap feasibility solve above).
         let stall_settled = self.stall_settled(delay.analog_unit_time.secs());
@@ -632,7 +668,10 @@ impl ValidatedModel {
         G: FnMut(&GateContext<'_>) -> bool,
     {
         let elastic = self.simulate()?;
-        let delay = DelayEstimate::solve(fps, elastic.digital_latency, self.analog_stage_count())?;
+        let delay = {
+            let _span = obs_core::span("pipeline.delay");
+            DelayEstimate::solve(fps, elastic.digital_latency, self.analog_stage_count())?
+        };
         let empty = EnergyBreakdown::new();
         let admitted = gate(&GateContext {
             delay: &delay,
@@ -1049,6 +1088,8 @@ impl ValidatedModel {
     ) -> Result<McFrameSimReport, CamjError> {
         use rayon::prelude::*;
         assert!(!seeds.is_empty(), "simulate_frames needs at least one seed");
+        let _span = obs_core::span("frame.simulate_mc");
+        obs_core::counter("frame.seeds", 0, seeds.len() as u64);
         let plan = self.frame_plan(stimulus)?;
         let stds = plan.noise_stds();
         let reports: Vec<FrameSimReport> = seeds
@@ -1098,6 +1139,7 @@ impl ValidatedModel {
     /// and each stage's variance terms. One plan serves every seed of a
     /// Monte-Carlo run.
     fn frame_plan(&self, stimulus: &Stimulus) -> Result<FramePlan, CamjError> {
+        let _span = obs_core::span("frame.plan");
         let delay = self.estimate_delay()?;
         let input = self
             .algo
@@ -1329,6 +1371,15 @@ impl FramePlan {
     /// in pixel order — so the frame is bit-identical to
     /// [`ValidatedModel::simulate_frame_reference`].
     fn simulate(&self, seed: u64) -> FrameSimReport {
+        // One coarse span per frame; the chunked loops below are never
+        // probed individually.
+        let _span = obs_core::span("frame.simulate");
+        obs_core::counter("frame.pixels", 0, self.clean.len() as u64);
+        obs_core::counter(
+            "frame.chunks",
+            0,
+            (self.clean.len().div_ceil(FRAME_CHUNK) * self.stages.len()) as u64,
+        );
         let mut noisy = self.clean.clone();
         let mut var = [0.0_f64; FRAME_CHUNK];
         let mut normals = [0.0_f64; FRAME_CHUNK];
@@ -1454,6 +1505,13 @@ impl FramePlan {
     /// frame, which is what makes `mc_snr:<samples>` affordable inside
     /// a sweep.
     fn simulate_fast(&self, seed: u64, stds: &[Option<Vec<f64>>]) -> FrameSimReport {
+        let _span = obs_core::span("frame.simulate");
+        obs_core::counter("frame.pixels", 0, self.clean.len() as u64);
+        obs_core::counter(
+            "frame.chunks",
+            0,
+            (self.clean.len().div_ceil(FRAME_CHUNK) * self.stages.len()) as u64,
+        );
         let mut noisy = self.clean.clone();
         let mut normals = [0.0_f64; FRAME_CHUNK];
         let mut stages = Vec::with_capacity(self.stages.len());

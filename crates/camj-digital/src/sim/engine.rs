@@ -1311,6 +1311,9 @@ impl PipelineSim {
     /// * [`SimError::CycleLimitExceeded`] — the frame did not finish
     ///   within `max_cycles`.
     pub fn run(&self, max_cycles: u64) -> Result<SimReport, SimError> {
+        // One coarse span per run — never per token/cycle, so the
+        // stepping loop below stays allocation- and probe-free.
+        let _span = obs_core::span("sim.run");
         let mut state = RunState::new(&self.arena);
         let mut fired_sources: Vec<u32> = Vec::new();
         // The hot region: step_to_verdict neither allocates nor
@@ -1319,7 +1322,10 @@ impl PipelineSim {
             .arena
             .step_to_verdict(&mut state, max_cycles, &mut fired_sources, false);
         match verdict {
-            Verdict::Done { cycles } => Ok(self.assemble_report(cycles, &state)),
+            Verdict::Done { cycles } => {
+                obs_core::counter("sim.cycles", 0, cycles);
+                Ok(self.assemble_report(cycles, &state))
+            }
             Verdict::CycleLimit => Err(SimError::CycleLimitExceeded { limit: max_cycles }),
             Verdict::Overflow { node, cycle } => Err(self.overflow_error(node, cycle, &state)),
             Verdict::Deadlock { cycle } => {
@@ -1356,6 +1362,7 @@ impl PipelineSim {
     ///
     /// Same conditions as [`Self::run`].
     pub fn run_check(&self, max_cycles: u64) -> Result<(), SimError> {
+        let _span = obs_core::span("sim.check");
         let mut state = RunState::new(&self.arena);
         let mut fired_sources: Vec<u32> = Vec::new();
         let verdict = self

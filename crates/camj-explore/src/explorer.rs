@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use camj_core::energy::{EstimateCache, EstimateReport, GatedEstimate, ValidatedModel};
+use camj_core::energy::{
+    EstimateCache, EstimateReport, GatedEstimate, ValidatedModel, ENERGY_KERNEL_COUNT,
+};
 use camj_core::error::CamjError;
 use camj_tech::units::Energy;
 
@@ -432,6 +434,9 @@ impl Explorer {
                 }
             },
         );
+        // The fold runs serially in grid order, so every prune counter
+        // below is fully deterministic across thread counts.
+        let _span = obs_core::span("pareto.fold");
         let mut front = ParetoFront::new(query.objectives().to_vec());
         let mut stats = PruneStats::default();
         let mut pruned = Vec::new();
@@ -440,6 +445,7 @@ impl Explorer {
             match outcome.result {
                 Ok(PointEval::Complete(metrics)) => {
                     stats.record_complete();
+                    obs_core::count("prune.complete");
                     front.insert(outcome.point, metrics);
                 }
                 Ok(PointEval::Pruned {
@@ -447,6 +453,14 @@ impl Explorer {
                     kernels_done,
                 }) => {
                     stats.record_pruned(kernels_done);
+                    // Keyed by the stopping constraint, valued with the
+                    // kernels the prune saved.
+                    obs_core::counter("prune.pruned", constraint.trace_key(), 1);
+                    obs_core::counter(
+                        "prune.kernels_skipped",
+                        constraint.trace_key(),
+                        (ENERGY_KERNEL_COUNT - kernels_done) as u64,
+                    );
                     pruned.push(PrunedPoint {
                         point: outcome.point,
                         constraint,
@@ -455,6 +469,7 @@ impl Explorer {
                 }
                 Err(error) => {
                     stats.record_error();
+                    obs_core::count("prune.error");
                     errors.push((outcome.point, error));
                 }
             }
@@ -484,11 +499,15 @@ impl Explorer {
     {
         let groups = SweepPlan::new(sweep).into_groups();
         let eval_on = |model: &ValidatedModel, point: &DesignPoint| {
+            let _span = obs_core::span("explore.point");
             catch_unwind(AssertUnwindSafe(|| eval(model, point))).unwrap_or_else(|payload| {
                 Err(PointError::at_point(point, panic_message(payload.as_ref())))
             })
         };
         let eval_group = |points: Vec<DesignPoint>| -> Vec<PointOutcome<R>> {
+            // One span per rebuild group: covers the representative
+            // build, the warm-up, and every point of the group.
+            let _span = obs_core::span("explore.group");
             let representative = &points[0];
             let built = catch_unwind(AssertUnwindSafe(|| build(representative)));
             match built {
@@ -589,6 +608,7 @@ fn warm_stall(
     points: &[DesignPoint],
     admit: impl Fn(&camj_core::DelayEstimate) -> bool,
 ) {
+    let _span = obs_core::span("explore.warm");
     let fastest = points
         .iter()
         .filter_map(|p| p.get("fps").and_then(AxisValue::as_f64))

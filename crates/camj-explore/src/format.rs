@@ -12,7 +12,7 @@ use std::str::FromStr;
 
 use serde_json::{Map, Number, Value};
 
-use camj_core::energy::EstimateReport;
+use camj_core::energy::{CacheStats, EstimateReport};
 
 use crate::axis::AxisValue;
 use crate::explorer::SweepResults;
@@ -84,6 +84,15 @@ fn csv_f64(v: f64) -> String {
     crate::axis::canonical_f64(v)
 }
 
+/// The optional cache-stats snapshot as a JSON value: the full
+/// [`CacheStats`] object when a sweep shared a cache, `null` otherwise.
+fn cache_json(cache: Option<&CacheStats>) -> Value {
+    match cache {
+        Some(stats) => serde_json::to_value(stats),
+        None => Value::Null,
+    }
+}
+
 impl SweepResults<EstimateReport> {
     /// The per-point rows as JSON objects: one key per axis, then
     /// `total_pj`, `per_pixel_pj`, `frame_ms`, and `error` (`null` on
@@ -125,16 +134,21 @@ impl SweepResults<EstimateReport> {
             .collect()
     }
 
-    /// The whole sweep as a pretty-printed JSON array.
+    /// The whole sweep as a pretty-printed JSON object: the per-point
+    /// rows under `"points"`, plus the shared cache's [`CacheStats`]
+    /// under `"cache"` (`null` when the sweep ran uncached) so scripted
+    /// consumers see hit rates without scraping the human output.
     ///
     /// # Panics
     ///
     /// Panics if a report contains a non-finite number — estimation
     /// never produces one, so this indicates a model bug.
     #[must_use]
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&Value::Array(self.to_json_rows()))
-            .expect("sweep metrics are finite")
+    pub fn to_json(&self, cache: Option<&CacheStats>) -> String {
+        let mut out = Map::new();
+        out.insert("points", Value::Array(self.to_json_rows()));
+        out.insert("cache", cache_json(cache));
+        serde_json::to_string_pretty(&Value::Object(out)).expect("sweep metrics are finite")
     }
 
     /// The whole sweep as CSV: a header of axis names plus
@@ -215,8 +229,10 @@ impl ParetoResults {
     }
 
     /// The whole result as a pretty-printed JSON object: the objective
-    /// key list, the frontier rows, and the dominated/pruned/error
-    /// counts that summarise the rest of the grid. Deterministic and
+    /// key list, the frontier rows, the dominated/pruned/error counts
+    /// that summarise the rest of the grid, the full [`PruneStats`]
+    /// under `"prune"`, and the shared cache's [`CacheStats`] under
+    /// `"cache"` (`null` for an uncached run). Deterministic and
     /// byte-stable (grid-ordered rows, shortest-round-trip floats), so
     /// frontier artifacts can be diffed and committed.
     ///
@@ -224,8 +240,10 @@ impl ParetoResults {
     ///
     /// Panics if a metric is non-finite — estimation never produces
     /// one, so this indicates a model bug.
+    ///
+    /// [`PruneStats`]: crate::PruneStats
     #[must_use]
-    pub fn to_json(&self) -> String {
+    pub fn to_json(&self, cache: Option<&CacheStats>) -> String {
         let mut out = Map::new();
         out.insert(
             "objectives",
@@ -243,6 +261,8 @@ impl ParetoResults {
         out.insert("pruned", count(self.pruned().len()));
         out.insert("errors", count(self.errors().len()));
         out.insert("points", count(self.total_points()));
+        out.insert("prune", serde_json::to_value(self.stats()));
+        out.insert("cache", cache_json(cache));
         serde_json::to_string_pretty(&Value::Object(out)).expect("pareto metrics are finite")
     }
 

@@ -64,6 +64,20 @@ impl Constraint {
     }
 }
 
+impl Constraint {
+    /// Stable attribution index for observability counters (the `key`
+    /// of `prune.pruned` events), so a trace can say *which* budget cut
+    /// each point without formatting names.
+    #[must_use]
+    pub fn trace_key(&self) -> u64 {
+        match self {
+            Constraint::MaxPowerDensity(_) => 0,
+            Constraint::MaxDigitalLatency(_) => 1,
+            Constraint::MaxTotalEnergy(_) => 2,
+        }
+    }
+}
+
 impl fmt::Display for Constraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,193 @@
+//! Validates `camj --trace` output and metrics-report schemas; used by
+//! CI and handy for eyeballing a capture before loading it in Perfetto.
+//!
+//! ```text
+//! trace-check <trace.json>                   # parse + span-balance check
+//! trace-check --metrics-schema <metrics.json> # print the stable schema
+//! ```
+//!
+//! The first form exits non-zero (with a diagnosis on stderr) unless
+//! the file is valid Chrome trace-event JSON in which, per thread,
+//! every `B` has a matching properly-nested `E` and timestamps are
+//! monotone (within the span stream and the counter stream — the
+//! exporter serialises them as separate sections). The second form
+//! prints the *schema* of a metrics report —
+//! top-level keys, span names, and counter names (racy cache-timing
+//! names excluded, values and timings dropped) — which CI diffs
+//! against a committed golden to pin the report format.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [path] => check_trace(path),
+        [flag, path] if flag == "--metrics-schema" => print_metrics_schema(path),
+        _ => Err(
+            "usage: trace-check <trace.json> | trace-check --metrics-schema <metrics.json>"
+                .to_string(),
+        ),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("trace-check: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e:?}"))
+}
+
+/// Validates the Chrome trace: structure, per-thread span balance with
+/// proper nesting, and monotone per-thread timestamps.
+fn check_trace(path: &str) -> Result<(), String> {
+    let root = load(path)?;
+    let events = root
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(Value::as_array)
+        .ok_or("top level must be an object with a traceEvents array")?;
+
+    let mut stacks: HashMap<String, Vec<String>> = HashMap::new();
+    // Span (B/E) and counter (C) events are distinct serialized
+    // streams — each must be monotone per thread, but the counter
+    // section restarts the clock after the last span row.
+    let mut last_span_ts: HashMap<String, f64> = HashMap::new();
+    let mut last_counter_ts: HashMap<String, f64> = HashMap::new();
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+
+    for (i, event) in events.iter().enumerate() {
+        let obj = event
+            .as_object()
+            .ok_or_else(|| format!("event {i}: not an object"))?;
+        let field = |key: &str| -> Result<&Value, String> {
+            obj.get(key)
+                .ok_or_else(|| format!("event {i}: missing {key}"))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: ph must be a string"))?
+            .to_string();
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: name must be a string"))?
+            .to_string();
+        if ph == "M" {
+            continue; // metadata records carry no ts
+        }
+        let tid = field("tid")?
+            .as_f64()
+            .ok_or_else(|| format!("event {i}: tid must be a number"))?;
+        let ts = field("ts")?
+            .as_f64()
+            .filter(|ts| ts.is_finite() && *ts >= 0.0)
+            .ok_or_else(|| format!("event {i}: ts must be a non-negative number"))?;
+        let thread = format!("{tid}");
+        let stream = if ph == "C" {
+            &mut last_counter_ts
+        } else {
+            &mut last_span_ts
+        };
+        let prev = stream.entry(thread.clone()).or_insert(ts);
+        if ts < *prev {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} goes backwards on tid {thread} (previous {prev})"
+            ));
+        }
+        *prev = ts;
+        match ph.as_str() {
+            "B" => stacks.entry(thread).or_default().push(name),
+            "E" => {
+                let top = stacks.entry(thread.clone()).or_default().pop();
+                match top {
+                    Some(open) if open == name => spans += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "event {i}: E \"{name}\" closes \"{open}\" on tid {thread} — spans not properly nested"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i}: E \"{name}\" with no open span on tid {thread}"
+                        ));
+                    }
+                }
+            }
+            "C" => {
+                field("args")?
+                    .as_object()
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: counter without numeric args.value"))?;
+                counters += 1;
+            }
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+
+    for (thread, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "unbalanced trace: span \"{open}\" never closed on tid {thread}"
+            ));
+        }
+    }
+
+    let threads: std::collections::HashSet<&String> =
+        last_span_ts.keys().chain(last_counter_ts.keys()).collect();
+    println!(
+        "trace OK: {} events, {spans} balanced spans, {counters} counter samples, {} threads",
+        events.len(),
+        threads.len()
+    );
+    Ok(())
+}
+
+/// Prints the byte-stable schema of a `--metrics json` report: the
+/// top-level key list plus sorted span and counter names. Counter names
+/// that are inherently racy (contention-dependent cache timing splits)
+/// are excluded so the output is identical across machines and thread
+/// counts; see `camj_obs::is_racy`.
+fn print_metrics_schema(path: &str) -> Result<(), String> {
+    let root = load(path)?;
+    let obj = root.as_object().ok_or("metrics report must be an object")?;
+
+    let mut keys: Vec<&str> = obj.iter().map(|(k, _)| k).collect();
+    keys.sort_unstable();
+    println!("keys: {}", keys.join(","));
+
+    let names = |section: &str| -> Result<Vec<String>, String> {
+        let mut names: Vec<String> = obj
+            .get(section)
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("missing {section} array"))?
+            .iter()
+            .filter_map(|row| {
+                row.as_object()
+                    .and_then(|r| r.get("name"))
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+            })
+            .collect();
+        names.sort_unstable();
+        Ok(names)
+    };
+
+    for span in names("spans")? {
+        println!("span: {span}");
+    }
+    for counter in names("counters")? {
+        if !camj_obs::is_racy(&counter) {
+            println!("counter: {counter}");
+        }
+    }
+    Ok(())
+}

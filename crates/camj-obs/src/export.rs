@@ -1,0 +1,553 @@
+//! Exporters over a finished [`Recording`]: Chrome trace-event JSON,
+//! the aggregated metrics report, and the determinism digest.
+//!
+//! # Chrome trace schema
+//!
+//! One JSON object `{"displayTimeUnit": "ms", "traceEvents": [...]}`.
+//! Span begins/ends become `"ph": "B"` / `"ph": "E"` duration events
+//! (per-thread, properly nested); counters become `"ph": "C"` events
+//! carrying the *cumulative* total for that counter name in
+//! `args.value`, so Perfetto renders a monotone curve. Timestamps are
+//! microseconds since session start; `pid` is always 1 and `tid` is
+//! the session-local thread registration index (named via `"ph": "M"`
+//! metadata records).
+//!
+//! # Metrics schema
+//!
+//! One JSON object with exactly five keys:
+//! `{"schema": "camj-metrics-v1", "wall_ms", "coverage", "spans",
+//! "counters"}` — spans and counters sorted by name, each span with
+//! `name/count/total_ms/self_ms`, each counter with `name/total/keys`
+//! (per-attribution-key sums, e.g. per cache shard). `coverage` is the
+//! fraction of thread-active time inside top-level spans — the "≥95 %
+//! of wall time attributed to named stages" number.
+
+use std::collections::BTreeMap;
+
+use crate::{is_racy, Event, EventKind, Recording};
+
+/// Aggregated timing of one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: &'static str,
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total wall time inside the span, children included.
+    pub total_ms: f64,
+    /// Total wall time inside the span minus time in child spans.
+    pub self_ms: f64,
+}
+
+/// Aggregated value of one counter name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterStat {
+    /// Counter name.
+    pub name: &'static str,
+    /// Sum over all increments and keys.
+    pub total: u64,
+    /// Per-attribution-key sums, ascending by key.
+    pub keys: Vec<(u64, u64)>,
+}
+
+/// The aggregated metrics report of one recording.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Session wall-clock extent in milliseconds.
+    pub wall_ms: f64,
+    /// Fraction (0–1) of per-thread active time covered by top-level
+    /// spans: Σ depth-0 span durations / Σ per-thread event extents.
+    pub coverage: f64,
+    /// Per-span timings, sorted by name.
+    pub spans: Vec<SpanStat>,
+    /// Per-counter totals, sorted by name.
+    pub counters: Vec<CounterStat>,
+}
+
+/// A span currently open while replaying one thread's event log.
+struct OpenSpan {
+    name: &'static str,
+    begin: u64,
+    child_nanos: u64,
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_nanos: u64,
+    self_nanos: u64,
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}
+
+impl Recording {
+    /// Aggregates the recording into a [`MetricsReport`].
+    ///
+    /// Span nesting is replayed per thread; a span still open at the
+    /// end of a thread's log (a session finished mid-span) is closed
+    /// at that thread's last timestamp.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsReport {
+        let mut spans: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+        let mut counters: BTreeMap<&'static str, BTreeMap<u64, u64>> = BTreeMap::new();
+        let mut attributed = 0u64;
+        let mut budget = 0u64;
+
+        for (_, events) in &self.threads {
+            let Some(first) = events.first() else {
+                continue;
+            };
+            let last_ts = events.last().map_or(0, |e| e.ts_nanos);
+            budget += last_ts - first.ts_nanos;
+
+            let mut stack: Vec<OpenSpan> = Vec::new();
+            let close = |stack: &mut Vec<OpenSpan>,
+                         spans: &mut BTreeMap<&'static str, SpanAgg>,
+                         attributed: &mut u64,
+                         ts: u64| {
+                let open = stack.pop().expect("close called with a span open");
+                let total = ts.saturating_sub(open.begin);
+                let agg = spans.entry(open.name).or_default();
+                agg.count += 1;
+                agg.total_nanos += total;
+                agg.self_nanos += total.saturating_sub(open.child_nanos);
+                match stack.last_mut() {
+                    Some(parent) => parent.child_nanos += total,
+                    None => *attributed += total,
+                }
+            };
+
+            for event in events {
+                match event.kind {
+                    EventKind::Begin => stack.push(OpenSpan {
+                        name: event.name,
+                        begin: event.ts_nanos,
+                        child_nanos: 0,
+                    }),
+                    EventKind::End => {
+                        // Close intermediates first if ends arrived out
+                        // of order (not expected from RAII guards, but
+                        // the exporter must not panic on a damaged log).
+                        while stack.iter().rev().any(|s| s.name == event.name)
+                            && stack.last().map(|s| s.name) != Some(event.name)
+                        {
+                            close(&mut stack, &mut spans, &mut attributed, event.ts_nanos);
+                        }
+                        if stack.last().map(|s| s.name) == Some(event.name) {
+                            close(&mut stack, &mut spans, &mut attributed, event.ts_nanos);
+                        }
+                    }
+                    EventKind::Counter => {
+                        *counters
+                            .entry(event.name)
+                            .or_default()
+                            .entry(event.key)
+                            .or_insert(0) += event.value;
+                    }
+                }
+            }
+            while !stack.is_empty() {
+                close(&mut stack, &mut spans, &mut attributed, last_ts);
+            }
+        }
+
+        MetricsReport {
+            wall_ms: ms(self.wall_nanos),
+            coverage: if budget == 0 {
+                1.0
+            } else {
+                attributed as f64 / budget as f64
+            },
+            spans: spans
+                .into_iter()
+                .map(|(name, agg)| SpanStat {
+                    name,
+                    count: agg.count,
+                    total_ms: ms(agg.total_nanos),
+                    self_ms: ms(agg.self_nanos),
+                })
+                .collect(),
+            counters: counters
+                .into_iter()
+                .map(|(name, keys)| CounterStat {
+                    name,
+                    total: keys.values().sum(),
+                    keys: keys.into_iter().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialises the recording as Chrome trace-event JSON (see the
+    /// module docs for the exact schema).
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        let mut rows: Vec<String> = Vec::with_capacity(self.event_count() + self.threads.len());
+
+        let mut threads: Vec<&(u64, Vec<Event>)> = self.threads.iter().collect();
+        threads.sort_by_key(|(tid, _)| *tid);
+
+        for (tid, _) in &threads {
+            rows.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"camj-{tid}\"}}}}"
+            ));
+        }
+
+        // Spans: per-thread B/E pairs, already timestamp-ordered.
+        for (tid, events) in &threads {
+            for event in events {
+                let ph = match event.kind {
+                    EventKind::Begin => "B",
+                    EventKind::End => "E",
+                    EventKind::Counter => continue,
+                };
+                rows.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{:.3},\"pid\":1,\"tid\":{tid}}}",
+                    escape(event.name),
+                    event.ts_nanos as f64 / 1e3,
+                ));
+            }
+        }
+
+        // Counters: globally timestamp-ordered so each "C" sample
+        // carries the cumulative total and Perfetto draws a monotone
+        // series.
+        let mut samples: Vec<(u64, u64, &Event)> = threads
+            .iter()
+            .flat_map(|(tid, events)| {
+                events
+                    .iter()
+                    .filter(|e| e.kind == EventKind::Counter)
+                    .map(move |e| (e.ts_nanos, *tid, e))
+            })
+            .collect();
+        samples.sort_by_key(|(ts, tid, _)| (*ts, *tid));
+        let mut running: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (ts, tid, event) in samples {
+            let total = running.entry(event.name).or_insert(0);
+            *total += event.value;
+            rows.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\"tid\":{tid},\"args\":{{\"value\":{}}}}}",
+                escape(event.name),
+                ts as f64 / 1e3,
+                *total,
+            ));
+        }
+
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+            rows.join(",")
+        )
+    }
+
+    /// A byte-stable aggregate of everything that must not vary across
+    /// runs or thread counts: span counts and counter sums (with their
+    /// per-key breakdowns), names sorted, timestamps excluded, and the
+    /// inherently racy names (see [`is_racy`]) skipped.
+    ///
+    /// Two recordings of the same deterministic workload — serial or
+    /// parallel, any `RAYON_NUM_THREADS` — must digest identically.
+    #[must_use]
+    pub fn determinism_digest(&self) -> String {
+        let metrics = self.metrics();
+        let mut out = String::new();
+        for span in &metrics.spans {
+            if !is_racy(span.name) {
+                push_fmt(
+                    &mut out,
+                    format_args!("span {} count={}\n", span.name, span.count),
+                );
+            }
+        }
+        for counter in &metrics.counters {
+            if is_racy(counter.name) {
+                continue;
+            }
+            push_fmt(
+                &mut out,
+                format_args!("counter {} total={} keys=", counter.name, counter.total),
+            );
+            for (i, (key, value)) in counter.keys.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_fmt(&mut out, format_args!("{key}:{value}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl MetricsReport {
+    /// Human-readable rendering (the CLI's `--metrics text`).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        push_fmt(
+            &mut out,
+            format_args!(
+                "metrics: wall {:.3} ms, {:.1}% of thread time in named stages\n",
+                self.wall_ms,
+                self.coverage * 100.0
+            ),
+        );
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            push_fmt(
+                &mut out,
+                format_args!(
+                    "  {:<28} {:>8} {:>12} {:>12}\n",
+                    "name", "count", "total ms", "self ms"
+                ),
+            );
+            for s in &self.spans {
+                push_fmt(
+                    &mut out,
+                    format_args!(
+                        "  {:<28} {:>8} {:>12.3} {:>12.3}\n",
+                        s.name, s.count, s.total_ms, s.self_ms
+                    ),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                push_fmt(&mut out, format_args!("  {:<28} {:>12}", c.name, c.total));
+                if c.keys.len() > 1 {
+                    push_fmt(&mut out, format_args!("  ({} keys)", c.keys.len()));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering (the CLI's `--metrics json`); schema
+    /// in the module docs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"camj-metrics-v1\"");
+        push_fmt(&mut out, format_args!(",\"wall_ms\":{:.3}", self.wall_ms));
+        push_fmt(&mut out, format_args!(",\"coverage\":{:.4}", self.coverage));
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"name\":\"{}\",\"count\":{},\"total_ms\":{:.3},\"self_ms\":{:.3}}}",
+                    escape(s.name),
+                    s.count,
+                    s.total_ms,
+                    s.self_ms
+                ),
+            );
+        }
+        out.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"name\":\"{}\",\"total\":{},\"keys\":[",
+                    escape(c.name),
+                    c.total
+                ),
+            );
+            for (j, (key, value)) in c.keys.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_fmt(
+                    &mut out,
+                    format_args!("{{\"key\":{key},\"value\":{value}}}"),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_fmt(out: &mut String, args: std::fmt::Arguments<'_>) {
+    use std::fmt::Write as _;
+    let _ = out.write_fmt(args);
+}
+
+/// Escapes a span/counter name for embedding in a JSON string. Names
+/// are static identifiers, so this is belt-and-braces.
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => push_fmt(&mut out, format_args!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind, name: &'static str, key: u64, value: u64, ts: u64) -> Event {
+        Event {
+            kind,
+            name,
+            key,
+            value,
+            ts_nanos: ts,
+        }
+    }
+
+    fn sample_recording() -> Recording {
+        use EventKind::{Begin, Counter, End};
+        Recording {
+            wall_nanos: 10_000,
+            threads: vec![
+                (
+                    0,
+                    vec![
+                        event(Begin, "cli.sweep", 0, 0, 0),
+                        event(Begin, "pipeline.simulate", 0, 0, 1_000),
+                        event(Counter, "cache.energy.miss", 3, 1, 2_000),
+                        event(End, "pipeline.simulate", 0, 0, 5_000),
+                        event(Counter, "cache.energy.miss", 5, 2, 6_000),
+                        event(End, "cli.sweep", 0, 0, 10_000),
+                    ],
+                ),
+                (
+                    1,
+                    vec![
+                        event(Begin, "explore.point", 0, 0, 2_000),
+                        event(Counter, "cache.energy.hit", 3, 4, 2_500),
+                        event(End, "explore.point", 0, 0, 4_000),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_aggregate_spans_and_counters() {
+        let m = sample_recording().metrics();
+        assert_eq!(m.wall_ms, 0.01);
+
+        let sweep = m.spans.iter().find(|s| s.name == "cli.sweep").unwrap();
+        assert_eq!(sweep.count, 1);
+        assert_eq!(sweep.total_ms, 0.01);
+        // 10 µs total minus the 4 µs pipeline.simulate child.
+        assert_eq!(sweep.self_ms, 0.006);
+
+        let miss = m
+            .counters
+            .iter()
+            .find(|c| c.name == "cache.energy.miss")
+            .unwrap();
+        assert_eq!(miss.total, 3);
+        assert_eq!(miss.keys, vec![(3, 1), (5, 2)]);
+
+        // thread 0 extent 10µs fully in cli.sweep; thread 1 extent 2µs
+        // fully in explore.point → full coverage.
+        assert!((m.coverage - 1.0).abs() < 1e-9, "coverage {}", m.coverage);
+    }
+
+    #[test]
+    fn unclosed_spans_close_at_thread_end() {
+        use EventKind::Begin;
+        let rec = Recording {
+            wall_nanos: 5_000,
+            threads: vec![(
+                0,
+                vec![
+                    event(Begin, "a", 0, 0, 0),
+                    event(Begin, "b", 0, 0, 1_000),
+                    event(EventKind::Counter, "c", 0, 1, 4_000),
+                ],
+            )],
+        };
+        let m = rec.metrics();
+        let a = m.spans.iter().find(|s| s.name == "a").unwrap();
+        let b = m.spans.iter().find(|s| s.name == "b").unwrap();
+        assert_eq!(a.total_ms, 0.004);
+        assert_eq!(b.total_ms, 0.003);
+        assert_eq!(a.self_ms, 0.001);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = sample_recording().chrome_trace_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Span events keep B/E pairing per thread.
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 3);
+        // Counters are cumulative: miss samples at 1 then 3.
+        assert!(json.contains("\"name\":\"cache.energy.miss\",\"ph\":\"C\",\"ts\":2.000,\"pid\":1,\"tid\":0,\"args\":{\"value\":1}"));
+        assert!(json.contains("\"ts\":6.000,\"pid\":1,\"tid\":0,\"args\":{\"value\":3}"));
+        // Thread metadata names both threads.
+        assert!(json.contains("\"args\":{\"name\":\"camj-1\"}"));
+    }
+
+    #[test]
+    fn digest_excludes_racy_names_and_timestamps() {
+        let rec = sample_recording();
+        let digest = rec.determinism_digest();
+        assert!(digest.contains("span cli.sweep count=1"));
+        assert!(digest.contains("counter cache.energy.miss total=3 keys=3:1,5:2"));
+        // The racy hit counter is excluded.
+        assert!(!digest.contains("cache.energy.hit"));
+        // Identical structure with shifted timestamps digests the same.
+        let mut shifted = sample_recording();
+        shifted.wall_nanos *= 7;
+        for (_, events) in &mut shifted.threads {
+            for e in events {
+                e.ts_nanos = e.ts_nanos * 3 + 17;
+            }
+        }
+        assert_eq!(digest, shifted.determinism_digest());
+    }
+
+    #[test]
+    fn metrics_json_is_parseable_and_ordered() {
+        let m = sample_recording().metrics();
+        let json = m.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let obj = value.as_object().unwrap();
+        assert_eq!(
+            obj.get("schema").and_then(|v| v.as_str()),
+            Some("camj-metrics-v1")
+        );
+        let spans = obj.get("spans").and_then(|v| v.as_array()).unwrap();
+        let names: Vec<_> = spans
+            .iter()
+            .map(|s| {
+                s.as_object()
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let text = m.to_text();
+        assert!(text.contains("cli.sweep"));
+        assert!(text.contains("% of thread time"));
+    }
+}

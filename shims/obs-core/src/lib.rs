@@ -1,0 +1,211 @@
+//! The recording facade every instrumented crate talks to: a single
+//! global [`Recorder`] hook behind one `AtomicBool`, in the spirit of
+//! `tracing-core`'s dispatcher (this workspace builds offline, so the
+//! facade is a local shim like `serde`/`rayon`).
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Zero cost when disabled.** Every entry point starts with one
+//!    relaxed atomic load; when it reads `false` nothing else happens —
+//!    no allocation, no `Instant::now()`, no virtual call. The hot
+//!    stepping paths (arena elastic sim, vectorized frame sim) carry
+//!    only coarse per-run spans, and even those collapse to the single
+//!    load when no session is recording.
+//! 2. **Static names.** Span and counter names are `&'static str`, so
+//!    recording an event never formats or allocates on the caller's
+//!    side; variable context travels as a `u64` key (shard index,
+//!    point index, …).
+//! 3. **One recorder per process.** [`install`] is once-only; enabling
+//!    and disabling is the dynamic part and belongs to the recorder's
+//!    owner (`camj-obs` flips it around a recording session).
+//!
+//! The facade deliberately knows nothing about buffers, timestamps, or
+//! export formats — that all lives behind the [`Recorder`] trait in
+//! `camj-obs`.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The sink events are forwarded to while recording is enabled.
+///
+/// Implementations must tolerate lone `span_end`s and events arriving
+/// after a session stopped (enabling is racy by design: a guard created
+/// while enabled may drop after disabling).
+pub trait Recorder: Sync {
+    /// A named region of work opened on the calling thread.
+    fn span_begin(&self, name: &'static str);
+    /// Closes the most recent open span named `name` on this thread.
+    fn span_end(&self, name: &'static str);
+    /// Adds `delta` to counter `name`, attributed to `key` (a caller-
+    /// chosen small integer: cache shard, constraint index, …).
+    fn counter(&self, name: &'static str, key: u64, delta: u64);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: OnceLock<&'static dyn Recorder> = OnceLock::new();
+
+/// Registers the process-wide recorder. The first call wins; returns
+/// `false` (and changes nothing) on every later call.
+pub fn install(recorder: &'static dyn Recorder) -> bool {
+    RECORDER.set(recorder).is_ok()
+}
+
+/// Turns event forwarding on or off. Only meaningful after [`install`];
+/// flipping it with no recorder installed keeps the facade inert.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Release);
+}
+
+/// Whether events are currently being forwarded — one relaxed load.
+#[inline(always)]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn recorder() -> Option<&'static dyn Recorder> {
+    if enabled() {
+        RECORDER.get().copied()
+    } else {
+        None
+    }
+}
+
+/// Opens span `name`, closed when the returned guard drops. Disabled
+/// recording returns an inert guard: no call, no allocation.
+#[inline]
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    match recorder() {
+        Some(r) => {
+            r.span_begin(name);
+            SpanGuard { open: Some(name) }
+        }
+        None => SpanGuard { open: None },
+    }
+}
+
+/// Adds `delta` to counter `name` under attribution key `key`.
+#[inline]
+pub fn counter(name: &'static str, key: u64, delta: u64) {
+    if let Some(r) = recorder() {
+        r.counter(name, key, delta);
+    }
+}
+
+/// Convenience for the overwhelmingly common `key = 0, delta = 1` case.
+#[inline]
+pub fn count(name: &'static str) {
+    counter(name, 0, 1);
+}
+
+/// RAII closer for [`span`]. Records the matching `span_end` on drop —
+/// only if the span actually opened (so a disabled `span()` call stays
+/// free on both ends).
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<&'static str>,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(name) = self.open {
+            // The recorder was installed (a span opened), so forward
+            // the end even if recording was toggled meanwhile: the
+            // recorder drops events outside a session, and a balanced
+            // end is what an in-session recorder needs.
+            if let Some(r) = RECORDER.get() {
+                r.span_end(name);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct TestRecorder {
+        log: Mutex<Vec<String>>,
+        counts: AtomicU64,
+    }
+
+    impl Recorder for TestRecorder {
+        fn span_begin(&self, name: &'static str) {
+            self.log.lock().unwrap().push(format!("B {name}"));
+        }
+        fn span_end(&self, name: &'static str) {
+            self.log.lock().unwrap().push(format!("E {name}"));
+        }
+        fn counter(&self, name: &'static str, key: u64, delta: u64) {
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("C {name} {key} {delta}"));
+            self.counts.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    fn test_recorder() -> &'static TestRecorder {
+        static REC: OnceLock<TestRecorder> = OnceLock::new();
+        let rec = REC.get_or_init(TestRecorder::default);
+        install(rec);
+        rec
+    }
+
+    /// One process-wide recorder, so one test exercises the whole
+    /// enable/record/disable lifecycle (parallel tests sharing the
+    /// global would interleave).
+    #[test]
+    fn facade_lifecycle() {
+        let rec = test_recorder();
+
+        // Disabled: events vanish without touching the recorder.
+        counter("quiet", 0, 5);
+        {
+            let _g = span("quiet.span");
+        }
+        assert!(rec.log.lock().unwrap().is_empty());
+
+        set_enabled(true);
+        {
+            let _outer = span("outer");
+            count("ticks");
+            let _inner = span("inner");
+        }
+        counter("bytes", 3, 7);
+        set_enabled(false);
+
+        // Disabled again: silence.
+        count("ticks");
+        assert_eq!(
+            *rec.log.lock().unwrap(),
+            vec![
+                "B outer",
+                "C ticks 0 1",
+                "B inner",
+                "E inner",
+                "E outer",
+                "C bytes 3 7",
+            ]
+        );
+
+        // A guard opened while enabled still closes after disabling.
+        rec.log.lock().unwrap().clear();
+        set_enabled(true);
+        let g = span("straddler");
+        set_enabled(false);
+        drop(g);
+        assert_eq!(*rec.log.lock().unwrap(), vec!["B straddler", "E straddler"]);
+
+        // Second install is refused.
+        assert!(!install(rec));
+    }
+}

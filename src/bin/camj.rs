@@ -5,20 +5,27 @@
 //! camj list
 //! camj export <workload> [--out FILE]
 //! camj validate <file>...
-//! camj estimate --design FILE [--fps N] [--json]
-//! camj simulate --design FILE [--seed N] [--samples N] [--fps N] [--stimulus SPEC] [--json]
+//! camj estimate --design FILE [--fps N] [--json] [--stats]
+//! camj simulate --design FILE [--seed N] [--samples N] [--fps N] [--stimulus SPEC] [--json] [--stats]
 //! camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
 //! camj pareto --design FILE [--fps A,B,C] [--objectives O,O,...]
 //!             [--max-density X] [--max-latency-ms X] [--max-energy-pj X]
 //!             [--format json|csv]
 //! ```
 //!
+//! `estimate`, `simulate`, `sweep`, and `pareto` additionally accept
+//! `--trace FILE` (Chrome trace-event JSON; the `CAMJ_TRACE`
+//! environment variable sets a default path) and `--metrics text|json`
+//! (an aggregated per-stage timing report, printed to stderr).
+//!
 //! Exit codes: 0 success, 1 validation/model failure, 2 usage or I/O
 //! error. All output is deterministic — CI diffs `camj estimate`
-//! against a committed snapshot.
+//! against a committed snapshot. Tracing never changes stdout: the
+//! recording drains to the side channels above.
 
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use camj_core::energy::{EstimateReport, ValidatedModel};
 use camj_core::functional::Stimulus;
@@ -26,6 +33,7 @@ use camj_desc::DesignDesc;
 use camj_explore::{
     Constraint, EstimateCache, Explorer, Objective, ParetoQuery, Sweep, SweepFormat,
 };
+use camj_obs::ObsSession;
 
 const USAGE: &str = "\
 camj — declarative energy estimation for in-sensor visual computing
@@ -38,10 +46,11 @@ USAGE:
         or FILE.
     camj validate <file>...
         Parse, validate, and type-check one or more descriptions.
-    camj estimate --design FILE [--fps N] [--json]
+    camj estimate --design FILE [--fps N] [--json] [--stats]
         Estimate per-frame energy for a description (optionally
-        overriding its frame rate).
-    camj simulate --design FILE [--seed N] [--samples N] [--fps N] [--stimulus SPEC] [--json]
+        overriding its frame rate). --stats runs the estimate through a
+        fresh estimate cache and reports its hit/miss line.
+    camj simulate --design FILE [--seed N] [--samples N] [--fps N] [--stimulus SPEC] [--json] [--stats]
         Noise-aware functional simulation of one frame: renders the
         stimulus (uniform:<level> or gradient:<low>,<high>; default
         gradient:0.1,0.9) at the input stage's resolution, injects each
@@ -68,6 +77,19 @@ USAGE:
         to total_energy,power_density). Constraint flags override the
         description's `sweep.constraints`; violating points are pruned
         mid-estimate, skipping their remaining energy kernels.
+
+OBSERVABILITY (estimate, simulate, sweep, pareto):
+    --trace FILE
+        Record the command as Chrome trace-event JSON, loadable in
+        Perfetto or chrome://tracing. The CAMJ_TRACE environment
+        variable supplies a default path when the flag is absent.
+    --metrics text|json
+        Print an aggregated report (per-stage wall time, cache and
+        kernel counters) to stderr after the command, so stdout stays
+        exactly the command's own output.
+    --stats
+        estimate/simulate only: attach an estimate cache and print its
+        hit/miss line (sweep and pareto always report cache stats).
 ";
 
 fn main() -> ExitCode {
@@ -114,8 +136,11 @@ struct Flags {
     max_density: Option<String>,
     max_latency_ms: Option<String>,
     max_energy_pj: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
     json: bool,
     no_cache: bool,
+    stats: bool,
     positional: Vec<String>,
 }
 
@@ -144,8 +169,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--max-energy-pj" => {
                 flags.max_energy_pj = Some(value_of("--max-energy-pj", &mut it)?);
             }
+            "--trace" => flags.trace = Some(value_of("--trace", &mut it)?),
+            "--metrics" => flags.metrics = Some(value_of("--metrics", &mut it)?),
             "--json" => flags.json = true,
             "--no-cache" => flags.no_cache = true,
+            "--stats" => flags.stats = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -159,6 +187,69 @@ fn usage_error(message: &str) -> ExitCode {
     eprintln!("error: {message}\n");
     eprint!("{USAGE}");
     ExitCode::from(2)
+}
+
+// ---------------------------------------------------------------------
+// Observability wiring
+// ---------------------------------------------------------------------
+
+/// How `--metrics` renders the aggregated report.
+#[derive(Clone, Copy)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+/// One command's recording session (if any) plus its export targets.
+struct Obs {
+    session: Option<ObsSession>,
+    trace_path: Option<String>,
+    metrics: Option<MetricsFormat>,
+}
+
+/// Starts a recording session when `--trace`, `CAMJ_TRACE`, or
+/// `--metrics` asks for one. Otherwise the facade stays disabled and
+/// every instrumentation site costs a single atomic load.
+fn obs_begin(flags: &Flags) -> Result<Obs, String> {
+    let trace_path = flags
+        .trace
+        .clone()
+        .or_else(|| std::env::var("CAMJ_TRACE").ok().filter(|p| !p.is_empty()));
+    let metrics = match flags.metrics.as_deref() {
+        None => None,
+        Some("text") => Some(MetricsFormat::Text),
+        Some("json") => Some(MetricsFormat::Json),
+        Some(other) => return Err(format!("--metrics needs 'text' or 'json', got '{other}'")),
+    };
+    let session = (trace_path.is_some() || metrics.is_some()).then(ObsSession::begin);
+    Ok(Obs {
+        session,
+        trace_path,
+        metrics,
+    })
+}
+
+/// Finishes the session (if one ran): writes the Chrome trace file and
+/// prints the metrics report to stderr, leaving stdout exactly what the
+/// command printed. Returns `code` unless an export failed.
+fn obs_finish(obs: Obs, code: ExitCode) -> ExitCode {
+    let Some(session) = obs.session else {
+        return code;
+    };
+    let recording = session.finish();
+    if let Some(path) = &obs.trace_path {
+        if let Err(e) = fs::write(path, recording.chrome_trace_json()) {
+            eprintln!("error: could not write trace {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("trace: wrote {path} ({} events)", recording.event_count());
+    }
+    match obs.metrics {
+        None => {}
+        Some(MetricsFormat::Text) => eprint!("{}", recording.metrics().to_text()),
+        Some(MetricsFormat::Json) => eprintln!("{}", recording.metrics().to_json()),
+    }
+    code
 }
 
 // ---------------------------------------------------------------------
@@ -247,6 +338,18 @@ fn cmd_estimate(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => return usage_error(&e),
     };
+    let obs = match obs_begin(&flags) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let code = {
+        let _span = obs_core::span("cli.estimate");
+        run_estimate(&flags)
+    };
+    obs_finish(obs, code)
+}
+
+fn run_estimate(flags: &Flags) -> ExitCode {
     let Some(path) = &flags.design else {
         return usage_error("estimate needs --design FILE");
     };
@@ -261,6 +364,15 @@ fn cmd_estimate(args: &[String]) -> ExitCode {
             eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
+    };
+    // --stats: run the estimate through a fresh cross-point cache so
+    // the hit/miss line sweep prints is available for one-shot runs
+    // too (all misses on a cold cache — the line names the shard
+    // population and lookup counts).
+    let cache = flags.stats.then(EstimateCache::shared);
+    let model = match &cache {
+        Some(cache) => model.with_cache(Arc::clone(cache)),
+        None => model,
     };
     let report = match model.estimate() {
         Ok(r) => r,
@@ -280,7 +392,20 @@ fn cmd_estimate(args: &[String]) -> ExitCode {
     } else {
         print_report(&desc, model.fps(), &report);
     }
+    print_cache_line(cache.as_ref(), flags.json);
     ExitCode::SUCCESS
+}
+
+/// The `--stats` cache line: stdout for human output, stderr under
+/// `--json` so machine-readable stdout stays pure JSON.
+fn print_cache_line(cache: Option<&Arc<EstimateCache>>, json: bool) {
+    if let Some(cache) = cache {
+        if json {
+            eprintln!("cache: {}", cache.stats());
+        } else {
+            println!("cache: {}", cache.stats());
+        }
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> ExitCode {
@@ -288,6 +413,18 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => return usage_error(&e),
     };
+    let obs = match obs_begin(&flags) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let code = {
+        let _span = obs_core::span("cli.simulate");
+        run_simulate(&flags)
+    };
+    obs_finish(obs, code)
+}
+
+fn run_simulate(flags: &Flags) -> ExitCode {
     let Some(path) = &flags.design else {
         return usage_error("simulate needs --design FILE");
     };
@@ -349,6 +486,14 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --stats: the frame plan's delay solve goes through the estimate
+    // cache when one is attached, so the line reports the elastic
+    // lookups this simulation actually made.
+    let cache = flags.stats.then(EstimateCache::shared);
+    let model = match &cache {
+        Some(cache) => model.with_cache(Arc::clone(cache)),
+        None => model,
+    };
     if samples > 1 {
         // Monte-Carlo batch: seeds seed..seed+N through one shared
         // frame plan, aggregated per stage. --samples 1 stays on the
@@ -371,6 +516,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            print_cache_line(cache.as_ref(), true);
             return ExitCode::SUCCESS;
         }
         println!(
@@ -410,6 +556,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             )),
         );
         println!("digest: {}", mc.digests[0]);
+        print_cache_line(cache.as_ref(), false);
         return ExitCode::SUCCESS;
     }
     let report = match model.simulate_frame(seed, &stimulus) {
@@ -427,6 +574,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        print_cache_line(cache.as_ref(), true);
         return ExitCode::SUCCESS;
     }
     println!(
@@ -467,6 +615,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             .map_or_else(String::new, |db| format!(", SNR {db:.2} dB")),
     );
     println!("digest: {}", report.digest);
+    print_cache_line(cache.as_ref(), false);
     ExitCode::SUCCESS
 }
 
@@ -475,6 +624,23 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => return usage_error(&e),
     };
+    let obs = match obs_begin(&flags) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let code = {
+        let _span = obs_core::span("cli.sweep");
+        run_sweep(&flags)
+    };
+    obs_finish(obs, code)
+}
+
+fn run_sweep(flags: &Flags) -> ExitCode {
+    if flags.stats {
+        return usage_error(
+            "--stats is an estimate/simulate flag; sweep and pareto always report cache stats",
+        );
+    }
     let Some(path) = &flags.design else {
         return usage_error("sweep needs --design FILE");
     };
@@ -520,7 +686,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         (results, Some(cache.stats()))
     };
     match format {
-        SweepFormat::Json => println!("{}", results.to_json()),
+        SweepFormat::Json => println!("{}", results.to_json(cache_stats.as_ref())),
         SweepFormat::Csv => print!("{}", results.to_csv()),
         SweepFormat::Human => {
             println!("== sweep: {} ({} points) ==", desc.name, results.len());
@@ -559,6 +725,23 @@ fn cmd_pareto(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => return usage_error(&e),
     };
+    let obs = match obs_begin(&flags) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let code = {
+        let _span = obs_core::span("cli.pareto");
+        run_pareto(&flags)
+    };
+    obs_finish(obs, code)
+}
+
+fn run_pareto(flags: &Flags) -> ExitCode {
+    if flags.stats {
+        return usage_error(
+            "--stats is an estimate/simulate flag; sweep and pareto always report cache stats",
+        );
+    }
     let Some(path) = &flags.design else {
         return usage_error("pareto needs --design FILE");
     };
@@ -671,7 +854,7 @@ fn cmd_pareto(args: &[String]) -> ExitCode {
         Ok(model.with_fps(point.fps("fps")))
     });
     match format {
-        SweepFormat::Json => println!("{}", results.to_json()),
+        SweepFormat::Json => println!("{}", results.to_json(Some(&cache.stats()))),
         SweepFormat::Csv => print!("{}", results.to_csv()),
         SweepFormat::Human => {
             println!(

@@ -21,7 +21,10 @@
 //!   the staged pipeline,
 //! * [`desc`] — JSON design descriptions: load, validate, estimate,
 //!   and export designs without recompiling (see the `camj` CLI and
-//!   the golden files under `descriptions/`).
+//!   the golden files under `descriptions/`),
+//! * [`obs`] — recording sessions over the `obs_core` tracing facade:
+//!   Chrome trace-event export, aggregated metrics, and the
+//!   determinism digest behind `camj --trace` / `--metrics`.
 //!
 //! `docs/ARCHITECTURE.md` walks the whole machine — the staged
 //! pipeline, the fingerprint/cache model, the delta-sweep planner, and
@@ -60,6 +63,7 @@ pub use camj_core as core;
 pub use camj_desc as desc;
 pub use camj_digital as digital;
 pub use camj_explore as explore;
+pub use camj_obs as obs;
 pub use camj_tech as tech;
 pub use camj_workloads as workloads;
 

@@ -245,7 +245,7 @@ fn pareto_with_snr_objective_matches_post_filter() {
     let serial = Explorer::serial().pareto(&sweep, &serial_cache, &query, build);
     let parallel_cache = EstimateCache::shared();
     let parallel = Explorer::parallel().pareto(&sweep, &parallel_cache, &query, build);
-    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_json(None), parallel.to_json(None));
 
     // Reference: evaluate everything, then filter through a fresh front.
     let full_cache = EstimateCache::shared();
