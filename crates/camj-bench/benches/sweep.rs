@@ -16,7 +16,7 @@ use camj_core::energy::{CacheStats, CamJ, EstimateReport, ValidatedModel};
 use camj_core::functional::Stimulus;
 use camj_explore::{
     Constraint, DesignPoint, EstimateCache, Explorer, MemoryKind, MetricVector, Objective,
-    ParetoFront, ParetoQuery, PointError, PruneStats, Sweep, SweepResults,
+    ParetoFront, ParetoQuery, PointError, PruneStats, SearchSpec, Sweep, SweepResults,
 };
 use camj_tech::node::ProcessNode;
 use camj_workloads::configs::SensorVariant;
@@ -451,6 +451,158 @@ fn trace_overhead_record(sweep: &Sweep, sweep_median_ms: f64) -> TraceOverheadRe
     }
 }
 
+// ---------------------------------------------------------------------
+// Adaptive frontier search: 4096-point grid, recall vs exhaustive
+// ---------------------------------------------------------------------
+
+/// The 4096-point Ed-Gaze 2D-In grid of the adaptive-search acceptance
+/// benchmark: 64 frame rates × 8 ADC bit widths × 4 CIS nodes × 2
+/// frame-buffer structures — 16x the incremental grid, the scale where
+/// enumerating the cartesian product stops being free.
+fn search_axis_sweep() -> Sweep {
+    Sweep::new()
+        .fps_targets((0..64).map(|i| 10.0 + 0.25 * f64::from(i)))
+        .bit_widths([8, 9, 10, 11, 12, 13, 14, 15])
+        .tech_nodes([
+            ProcessNode::N130,
+            ProcessNode::N110,
+            ProcessNode::N90,
+            ProcessNode::N65,
+        ])
+        .memory_kinds([MemoryKind::DoubleBuffer, MemoryKind::LineBuffer])
+}
+
+/// Acceptance bars for the adaptive search on the 4096-point grid: the
+/// seeded run must recover at least this fraction of the exhaustive
+/// frontier…
+const SEARCH_RECALL_FLOOR: f64 = 0.95;
+/// …while evaluating at most this fraction of the grid's points.
+const SEARCH_EVAL_CEILING: f64 = 0.15;
+
+/// The adaptive-search acceptance benchmark: exact exhaustive frontier
+/// first (the oracle), then the seeded adaptive run, gated on recall
+/// and evaluation count, with wall-clock medians for both paths.
+fn search_summary(sweep: &Sweep, samples: usize) -> SearchRecord {
+    let query = ParetoQuery::new(vec![Objective::TotalEnergy, Objective::PowerDensity]);
+    let budget = (sweep.len() as f64 * SEARCH_EVAL_CEILING).floor() as usize;
+    // Population 32 buys ~18 sequential generations inside the budget;
+    // the default 64 spends too much per generation to walk the whole
+    // frontier ridge before the budget runs out.
+    let spec = SearchSpec::new().seed(0).budget(budget).population(32);
+
+    let exhaustive = {
+        let cache = EstimateCache::shared();
+        Explorer::parallel().pareto(sweep, &cache, &query, build_point)
+    };
+    let searched = {
+        let cache = EstimateCache::shared();
+        Explorer::parallel().search(sweep, &cache, &query, &spec, build_point)
+    };
+    assert!(
+        !searched.exhaustive(),
+        "a {}-point grid must take the adaptive path",
+        sweep.len()
+    );
+    assert!(
+        searched.evaluations() <= budget,
+        "acceptance bar: search must evaluate at most {:.0}% of the grid \
+         ({budget} of {} points), used {}",
+        SEARCH_EVAL_CEILING * 100.0,
+        sweep.len(),
+        searched.evaluations()
+    );
+    let oracle: std::collections::BTreeSet<usize> = exhaustive
+        .frontier()
+        .iter()
+        .map(|e| e.point.index)
+        .collect();
+    let found = searched
+        .frontier()
+        .iter()
+        .filter(|e| oracle.contains(&e.point.index))
+        .count();
+    let recall = if oracle.is_empty() {
+        1.0
+    } else {
+        found as f64 / oracle.len() as f64
+    };
+    assert!(
+        recall >= SEARCH_RECALL_FLOOR,
+        "acceptance bar: search must recover >= {:.0}% of the exhaustive frontier, \
+         got {found} of {} ({:.1}%)",
+        SEARCH_RECALL_FLOOR * 100.0,
+        oracle.len(),
+        recall * 100.0
+    );
+
+    let exhaustive_s = time_median(samples, &|| {
+        let cache = EstimateCache::shared();
+        black_box(
+            Explorer::parallel()
+                .pareto(sweep, &cache, &query, build_point)
+                .frontier()
+                .len(),
+        );
+    });
+    let search_s = time_median(samples, &|| {
+        let cache = EstimateCache::shared();
+        black_box(
+            Explorer::parallel()
+                .search(sweep, &cache, &query, &spec, build_point)
+                .frontier()
+                .len(),
+        );
+    });
+
+    println!();
+    println!(
+        "search4096 (edgaze 2D-In, {} points: fps x bit_width x tech_node x memory), \
+         median of {samples}:",
+        sweep.len()
+    );
+    println!("  exhaustive pareto:  {:8.1} ms", exhaustive_s * 1e3);
+    println!(
+        "  adaptive search:    {:8.1} ms  ({:5.2}x, {} of {} points, {} generation(s){})",
+        search_s * 1e3,
+        exhaustive_s / search_s,
+        searched.evaluations(),
+        sweep.len(),
+        searched.generations_run(),
+        if searched.converged() {
+            ", converged"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  frontier recall:    {found} of {} exhaustive frontier point(s) ({:.1}%)",
+        oracle.len(),
+        recall * 100.0
+    );
+
+    SearchRecord {
+        workload: "edgaze 2D-In".to_owned(),
+        grid: "fps(64) x bit_width(8) x tech_node(4) x memory(2)".to_owned(),
+        points: sweep.len(),
+        samples,
+        objectives: query.objectives().iter().map(Objective::key).collect(),
+        seed: 0,
+        budget,
+        evaluations: searched.evaluations(),
+        evaluation_fraction: searched.evaluation_fraction(),
+        generations: searched.generations_run(),
+        converged: searched.converged(),
+        frontier_points: searched.frontier().len(),
+        exhaustive_frontier_points: oracle.len(),
+        frontier_recall: recall,
+        recall_floor: SEARCH_RECALL_FLOOR,
+        eval_ceiling: SEARCH_EVAL_CEILING,
+        exhaustive_ms: exhaustive_s * 1e3,
+        search_ms: search_s * 1e3,
+        speedup: exhaustive_s / search_s,
+    }
+}
+
 /// The thermal budget of the Pareto-pruning acceptance benchmark, in
 /// mW/mm². Deliberately **active** on the 4-axis grid: most points'
 /// final peak density exceeds it, so the constraint gate cuts them
@@ -631,6 +783,8 @@ fn four_axis_summary(_c: &mut Criterion) {
 
     let trace_overhead = trace_overhead_record(&sweep, incremental_serial_s * 1e3);
 
+    let search = search_summary(&search_axis_sweep(), samples);
+
     let record = BenchFile {
         incremental: BenchRecord {
             workload: "edgaze 2D-In".to_owned(),
@@ -663,6 +817,7 @@ fn four_axis_summary(_c: &mut Criterion) {
         elastic_sim: elastic_record,
         frame_sim: frame_record,
         trace_overhead,
+        search,
     };
     match serde_json::to_string_pretty(&record) {
         Ok(json) => {
@@ -686,6 +841,34 @@ struct BenchFile {
     elastic_sim: ElasticRecord,
     frame_sim: FrameRecord,
     trace_overhead: TraceOverheadRecord,
+    search: SearchRecord,
+}
+
+/// The adaptive-search acceptance record (PR 8): seeded search on the
+/// 4096-point grid must recover at least [`SEARCH_RECALL_FLOOR`] of the
+/// exhaustive frontier while evaluating at most [`SEARCH_EVAL_CEILING`]
+/// of the grid's points.
+#[derive(serde::Serialize)]
+struct SearchRecord {
+    workload: String,
+    grid: String,
+    points: usize,
+    samples: usize,
+    objectives: Vec<String>,
+    seed: u64,
+    budget: usize,
+    evaluations: usize,
+    evaluation_fraction: f64,
+    generations: usize,
+    converged: bool,
+    frontier_points: usize,
+    exhaustive_frontier_points: usize,
+    frontier_recall: f64,
+    recall_floor: f64,
+    eval_ceiling: f64,
+    exhaustive_ms: f64,
+    search_ms: f64,
+    speedup: f64,
 }
 
 /// The disabled-recorder overhead bound (PR 7): instrumentation event

@@ -41,7 +41,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use camj_digital::memory::MemoryStructure;
 use camj_digital::sim::{NodeId, PipelineSimBuilder, SimError, SimReport, SourceMode};
 use camj_tech::fingerprint::{Fingerprint, FpHasher};
-use camj_tech::units::Time;
+use camj_tech::units::{Energy, Time};
 
 use crate::check;
 use crate::delay::DelayEstimate;
@@ -113,6 +113,32 @@ pub enum GatedEstimate {
         /// Number of energy kernels that ran (`0..=ENERGY_KERNEL_COUNT`).
         kernels_done: usize,
     },
+}
+
+impl GatedEstimate {
+    /// Energy kernels that contributed to this outcome:
+    /// [`ENERGY_KERNEL_COUNT`] when complete, the gate's stopping point
+    /// when pruned.
+    #[must_use]
+    pub fn kernels_done(&self) -> usize {
+        match self {
+            GatedEstimate::Complete(_) => ENERGY_KERNEL_COUNT,
+            GatedEstimate::Pruned { kernels_done, .. } => *kernels_done,
+        }
+    }
+
+    /// The energy booked so far: the full per-frame total when
+    /// complete, the partial aggregate when pruned. Because kernels
+    /// only ever *add* energy, a pruned outcome's value is a sound
+    /// lower bound on the point's true total — the property adaptive
+    /// search's successive-halving warm-up ranks candidates by.
+    #[must_use]
+    pub fn partial_total(&self) -> Energy {
+        match self {
+            GatedEstimate::Complete(report) => report.total(),
+            GatedEstimate::Pruned { partial, .. } => partial.total(),
+        }
+    }
 }
 
 /// Domain tag of the elastic-simulation fingerprint; bump when the

@@ -62,6 +62,26 @@ pub struct SweepIr {
     pub objectives: Option<Vec<String>>,
     /// Feasibility budgets for `camj pareto`. Absent ⇒ unconstrained.
     pub constraints: Option<SweepConstraintsIr>,
+    /// Adaptive-search defaults for `camj search`. Absent ⇒ the CLI's
+    /// built-in defaults apply.
+    pub search: Option<SearchIr>,
+}
+
+/// Adaptive frontier-search defaults (`camj search`). Every field is
+/// optional; CLI flags override present fields.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchIr {
+    /// Candidates evaluated per generation (warm-up samples twice as
+    /// many). Must be ≥ 1 when present.
+    pub population: Option<u64>,
+    /// Maximum breeding generations after warm-up. Must be ≥ 1 when
+    /// present.
+    pub generations: Option<u64>,
+    /// RNG seed; the same seed reproduces the run byte-identically.
+    pub seed: Option<u64>,
+    /// Cap on distinct grid points evaluated (at any fidelity). Must be
+    /// ≥ 1 when present; absent ⇒ bounded by generations × population.
+    pub budget: Option<u64>,
 }
 
 /// Feasibility budgets of a sweep's multi-objective block. Every field

@@ -142,6 +142,22 @@ impl DesignDesc {
                     }
                 }
             }
+            if let Some(search) = &sweep.search {
+                let knobs = [
+                    ("population", search.population),
+                    ("generations", search.generations),
+                    ("budget", search.budget),
+                ];
+                for (field, knob) in knobs {
+                    if knob == Some(0) {
+                        c.push(
+                            format!("sweep.search.{field}"),
+                            "must be at least 1 when present",
+                            "0",
+                        );
+                    }
+                }
+            }
         }
         if c.diags.is_empty() {
             Ok(())

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use camj_desc::ir::{
     AlgorithmIr, AnalogCategoryIr, AnalogUnitIr, BiasIr, BindingIr, CapNodeIr, CellIr, CellKindIr,
     ComponentIr, ConnectionIr, DigitalKindIr, DigitalUnitIr, DomainIr, EdgeIr, HardwareIr, LayerIr,
-    MemoryEnergyIr, MemoryIr, MemoryKindIr, NoiseSourceIr, StageIr, StageKindIr,
+    MemoryEnergyIr, MemoryIr, MemoryKindIr, NoiseSourceIr, SearchIr, StageIr, StageKindIr,
     SweepConstraintsIr, SweepIr,
 };
 use camj_desc::{DescError, DesignDesc, FORMAT_VERSION};
@@ -268,6 +268,20 @@ impl Gen {
                             max_power_density_mw_per_mm2: Some(self.f64(1.0, 100.0)),
                             max_digital_latency_ms: None,
                             max_total_energy_pj: Some(self.f64(1e3, 1e9)),
+                        })
+                    },
+                    search: if self.u32(0, 2) == 0 {
+                        None
+                    } else {
+                        Some(SearchIr {
+                            population: Some(u64::from(self.u32(1, 256))),
+                            generations: Some(u64::from(self.u32(1, 64))),
+                            seed: Some(u64::from(self.u32(0, 1_000_000))),
+                            budget: if self.u32(0, 2) == 0 {
+                                None
+                            } else {
+                                Some(u64::from(self.u32(1, 100_000)))
+                            },
                         })
                     },
                 })

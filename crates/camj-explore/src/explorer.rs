@@ -149,15 +149,27 @@ impl<R> SweepResults<R> {
 
 impl SweepResults<EstimateReport> {
     /// The successful point with the lowest total per-frame energy —
-    /// the usual "winner" question a sweep answers.
+    /// the usual "winner" question a sweep answers. Ties resolve to
+    /// the lowest grid index explicitly, not by iteration order, so
+    /// the winner is stable even over hand-built or re-ordered point
+    /// lists (`Iterator::min_by` would keep the *last* minimum).
     #[must_use]
     pub fn min_energy(&self) -> Option<(&DesignPoint, &EstimateReport)> {
-        self.successes().min_by(|(_, a), (_, b)| {
-            a.total()
-                .joules()
-                .partial_cmp(&b.total().joules())
-                .expect("energy totals are finite")
-        })
+        let mut best: Option<(&DesignPoint, &EstimateReport)> = None;
+        for (point, report) in self.successes() {
+            let better = match best {
+                None => true,
+                Some((best_point, best_report)) => {
+                    let a = report.total().joules();
+                    let b = best_report.total().joules();
+                    a < b || (a == b && point.index < best_point.index)
+                }
+            };
+            if better {
+                best = Some((point, report));
+            }
+        }
+        best
     }
 
     /// `(point, total energy)` pairs for the successful points.
@@ -399,82 +411,14 @@ impl Explorer {
                 // work the gated path deliberately skips.
                 warm_stall(model, points, |delay| constraints.admits_delay(delay));
             },
-            |model, point| {
-                let fps = point
-                    .get("fps")
-                    .and_then(AxisValue::as_f64)
-                    .unwrap_or_else(|| model.fps());
-                let mut fired: Option<Constraint> = None;
-                let outcome = model.estimate_at_fps_gated(fps, |ctx| {
-                    match constraints.first_violated(model, ctx) {
-                        Some(c) => {
-                            fired = Some(c);
-                            false
-                        }
-                        None => true,
-                    }
-                });
-                match outcome.map_err(PointError::from)? {
-                    // Metrics are measured here, in the worker, because
-                    // `mc_snr` objectives run seeded frame simulations
-                    // against the model — work that should share the
-                    // sweep's parallelism, not serialise in the reduce
-                    // loop. Seeds are fixed per sample count, so the
-                    // coordinates are byte-identical in serial and
-                    // parallel modes.
-                    GatedEstimate::Complete(report) => Ok(PointEval::Complete(measure_point(
-                        query.objectives(),
-                        &report,
-                        model,
-                    )?)),
-                    GatedEstimate::Pruned { kernels_done, .. } => Ok(PointEval::Pruned {
-                        constraint: fired.expect("the gate only stops on a violation"),
-                        kernels_done,
-                    }),
-                }
-            },
+            |model, point| gated_point_eval(model, point, query),
         );
         // The fold runs serially in grid order, so every prune counter
         // below is fully deterministic across thread counts.
         let _span = obs_core::span("pareto.fold");
-        let mut front = ParetoFront::new(query.objectives().to_vec());
-        let mut stats = PruneStats::default();
-        let mut pruned = Vec::new();
-        let mut errors = Vec::new();
-        for outcome in results.into_outcomes() {
-            match outcome.result {
-                Ok(PointEval::Complete(metrics)) => {
-                    stats.record_complete();
-                    obs_core::count("prune.complete");
-                    front.insert(outcome.point, metrics);
-                }
-                Ok(PointEval::Pruned {
-                    constraint,
-                    kernels_done,
-                }) => {
-                    stats.record_pruned(kernels_done);
-                    // Keyed by the stopping constraint, valued with the
-                    // kernels the prune saved.
-                    obs_core::counter("prune.pruned", constraint.trace_key(), 1);
-                    obs_core::counter(
-                        "prune.kernels_skipped",
-                        constraint.trace_key(),
-                        (ENERGY_KERNEL_COUNT - kernels_done) as u64,
-                    );
-                    pruned.push(PrunedPoint {
-                        point: outcome.point,
-                        constraint,
-                        kernels_done,
-                    });
-                }
-                Err(error) => {
-                    stats.record_error();
-                    obs_core::count("prune.error");
-                    errors.push((outcome.point, error));
-                }
-            }
-        }
-        ParetoResults::assemble(front, pruned, errors, stats)
+        let mut acc = ParetoAccumulator::new(query.objectives().to_vec());
+        acc.fold(results.into_outcomes());
+        acc.finish()
     }
 
     /// The shared engine of [`Self::sweep_incremental`] and
@@ -497,7 +441,32 @@ impl Explorer {
         W: Fn(&ValidatedModel, &[DesignPoint]) + Sync,
         E: Fn(&ValidatedModel, &DesignPoint) -> Result<R, PointError> + Sync,
     {
-        let groups = SweepPlan::new(sweep).into_groups();
+        self.run_groups(
+            SweepPlan::new(sweep).into_groups(),
+            cache,
+            build,
+            warm,
+            eval,
+        )
+    }
+
+    /// Like [`Self::run_grouped`], over pre-formed model-sharing groups
+    /// (see [`crate::plan::group_points`]) — the evaluation engine
+    /// adaptive search feeds its candidate batches through.
+    pub(crate) fn run_groups<R, F, W, E>(
+        &self,
+        groups: Vec<Vec<DesignPoint>>,
+        cache: &Arc<EstimateCache>,
+        build: F,
+        warm: W,
+        eval: E,
+    ) -> SweepResults<R>
+    where
+        R: Send,
+        F: Fn(&DesignPoint) -> Result<ValidatedModel, PointError> + Sync,
+        W: Fn(&ValidatedModel, &[DesignPoint]) + Sync,
+        E: Fn(&ValidatedModel, &DesignPoint) -> Result<R, PointError> + Sync,
+    {
         let eval_on = |model: &ValidatedModel, point: &DesignPoint| {
             let _span = obs_core::span("explore.point");
             catch_unwind(AssertUnwindSafe(|| eval(model, point))).unwrap_or_else(|payload| {
@@ -561,12 +530,126 @@ impl Explorer {
 /// A gated point evaluation: completed (already measured into its
 /// objective coordinates), or pruned by a constraint after
 /// `kernels_done` kernels.
-enum PointEval {
+pub(crate) enum PointEval {
     Complete(MetricVector),
     Pruned {
         constraint: Constraint,
         kernels_done: usize,
     },
+}
+
+/// Evaluates one point through the constraint-gated pipeline and
+/// measures a completed estimate into its objective coordinates — the
+/// per-point worker body shared by [`Explorer::pareto`] and adaptive
+/// search ([`Explorer::search`](crate::Explorer::search)).
+///
+/// Metrics are measured here, in the worker, because `mc_snr`
+/// objectives run seeded frame simulations against the model — work
+/// that should share the sweep's parallelism, not serialise in the
+/// reduce loop. Seeds are fixed per sample count, so the coordinates
+/// are byte-identical in serial and parallel modes.
+pub(crate) fn gated_point_eval(
+    model: &ValidatedModel,
+    point: &DesignPoint,
+    query: &crate::pareto::ParetoQuery,
+) -> Result<PointEval, PointError> {
+    let constraints = query.constraints();
+    let fps = point
+        .get("fps")
+        .and_then(AxisValue::as_f64)
+        .unwrap_or_else(|| model.fps());
+    let mut fired: Option<Constraint> = None;
+    let outcome =
+        model.estimate_at_fps_gated(fps, |ctx| match constraints.first_violated(model, ctx) {
+            Some(c) => {
+                fired = Some(c);
+                false
+            }
+            None => true,
+        });
+    match outcome.map_err(PointError::from)? {
+        GatedEstimate::Complete(report) => Ok(PointEval::Complete(measure_point(
+            query.objectives(),
+            &report,
+            model,
+        )?)),
+        GatedEstimate::Pruned { kernels_done, .. } => Ok(PointEval::Pruned {
+            constraint: fired.expect("the gate only stops on a violation"),
+            kernels_done,
+        }),
+    }
+}
+
+/// A serial accumulator folding gated point outcomes into a
+/// [`ParetoFront`] with deterministic prune accounting. Shared by
+/// [`Explorer::pareto`] (one fold over the whole grid) and adaptive
+/// search (one fold per generation, into the same persistent front).
+pub(crate) struct ParetoAccumulator {
+    front: ParetoFront,
+    stats: PruneStats,
+    pruned: Vec<PrunedPoint>,
+    errors: Vec<(DesignPoint, PointError)>,
+}
+
+impl ParetoAccumulator {
+    /// An empty accumulator over `objectives`.
+    pub(crate) fn new(objectives: Vec<crate::objective::Objective>) -> Self {
+        Self {
+            front: ParetoFront::new(objectives),
+            stats: PruneStats::default(),
+            pruned: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Folds a batch of outcomes, in the order given (callers pass
+    /// grid-ordered batches, so every prune counter and frontier
+    /// insertion below is fully deterministic across thread counts).
+    pub(crate) fn fold(&mut self, outcomes: Vec<PointOutcome<PointEval>>) {
+        for outcome in outcomes {
+            match outcome.result {
+                Ok(PointEval::Complete(metrics)) => {
+                    self.stats.record_complete();
+                    obs_core::count("prune.complete");
+                    self.front.insert(outcome.point, metrics);
+                }
+                Ok(PointEval::Pruned {
+                    constraint,
+                    kernels_done,
+                }) => {
+                    self.stats.record_pruned(kernels_done);
+                    // Keyed by the stopping constraint, valued with the
+                    // kernels the prune saved.
+                    obs_core::counter("prune.pruned", constraint.trace_key(), 1);
+                    obs_core::counter(
+                        "prune.kernels_skipped",
+                        constraint.trace_key(),
+                        (ENERGY_KERNEL_COUNT - kernels_done) as u64,
+                    );
+                    self.pruned.push(PrunedPoint {
+                        point: outcome.point,
+                        constraint,
+                        kernels_done,
+                    });
+                }
+                Err(error) => {
+                    self.stats.record_error();
+                    obs_core::count("prune.error");
+                    self.errors.push((outcome.point, error));
+                }
+            }
+        }
+    }
+
+    /// The current frontier (for convergence checks between folds).
+    pub(crate) fn front(&self) -> &ParetoFront {
+        &self.front
+    }
+
+    /// Finishes into the assembled results.
+    pub(crate) fn finish(self) -> ParetoResults {
+        ParetoResults::assemble(self.front, self.pruned, self.errors, self.stats)
+    }
 }
 
 /// Measures one completed point's objective coordinates. Plain
@@ -603,7 +686,7 @@ fn measure_point(
 /// cache, every other group with the same topology). `admit` filters
 /// out frame rates a constraint gate would prune before the stall
 /// check.
-fn warm_stall(
+pub(crate) fn warm_stall(
     model: &ValidatedModel,
     points: &[DesignPoint],
     admit: impl Fn(&camj_core::DelayEstimate) -> bool,
@@ -688,6 +771,20 @@ mod tests {
         let (point, err) = results.failures().next().unwrap();
         assert_eq!(point.index, 3);
         assert!(err.message().contains("boom"), "{err}");
+    }
+
+    #[test]
+    fn min_energy_ties_break_to_the_lowest_grid_index() {
+        // Duplicate fps values produce byte-identical reports at two
+        // different grid indices; the winner must be the lower index
+        // even though `min_by` alone would keep the later one.
+        let model = camj_workloads::quickstart::model(30.0)
+            .map(camj_core::energy::CamJ::into_validated)
+            .expect("quickstart builds");
+        let results = Explorer::serial().sweep_fps(&model, [30.0, 30.0]);
+        assert_eq!(results.ok_count(), 2);
+        let (winner, _) = results.min_energy().expect("two successes");
+        assert_eq!(winner.index, 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use camj_core::energy::{CacheStats, EstimateReport};
 use crate::axis::AxisValue;
 use crate::explorer::SweepResults;
 use crate::pareto::ParetoResults;
+use crate::search::SearchResults;
 
 /// The output formats `camj sweep` can emit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -303,6 +304,66 @@ impl ParetoResults {
             out.push('\n');
         }
         out
+    }
+}
+
+impl SearchResults {
+    /// The whole search result as a pretty-printed JSON object: the
+    /// same keys as [`ParetoResults::to_json`] (objectives, frontier
+    /// rows, dominated/pruned/error counts, `"prune"`, `"cache"`), plus
+    /// a `"search"` object recording the trajectory — grid size,
+    /// distinct evaluations (and their fraction of the grid),
+    /// generations run, and how the loop terminated. Deterministic and
+    /// byte-stable for a fixed seed, so search artifacts can be diffed
+    /// and committed like frontier goldens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metric is non-finite — estimation never produces
+    /// one, so this indicates a model bug.
+    #[must_use]
+    pub fn to_json(&self, cache: Option<&CacheStats>) -> String {
+        let mut out = Map::new();
+        out.insert(
+            "objectives",
+            Value::Array(
+                self.pareto()
+                    .front()
+                    .objectives()
+                    .iter()
+                    .map(|o| Value::String(o.key()))
+                    .collect(),
+            ),
+        );
+        out.insert("frontier", Value::Array(self.pareto().to_json_rows()));
+        let count = |n: usize| Value::Number(Number::from_u64(n as u64));
+        out.insert("dominated", count(self.pareto().dominated_count()));
+        out.insert("pruned", count(self.pareto().pruned().len()));
+        out.insert("errors", count(self.pareto().errors().len()));
+        out.insert("points", count(self.pareto().total_points()));
+        out.insert("prune", serde_json::to_value(self.pareto().stats()));
+        let mut search = Map::new();
+        search.insert("grid_points", count(self.grid_points()));
+        search.insert("evaluations", count(self.evaluations()));
+        search.insert(
+            "evaluation_fraction",
+            Value::Number(Number::from_f64(self.evaluation_fraction())),
+        );
+        search.insert("generations", count(self.generations_run()));
+        search.insert("converged", Value::Bool(self.converged()));
+        search.insert("exhaustive", Value::Bool(self.exhaustive()));
+        search.insert("warmup_discarded", count(self.warmup_discarded()));
+        out.insert("search", Value::Object(search));
+        out.insert("cache", cache_json(cache));
+        serde_json::to_string_pretty(&Value::Object(out)).expect("search metrics are finite")
+    }
+
+    /// The frontier as CSV, identical in shape to
+    /// [`ParetoResults::to_csv`] (the search trajectory has no
+    /// per-point rows; use [`Self::to_json`] for it).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        self.pareto().to_csv()
     }
 }
 

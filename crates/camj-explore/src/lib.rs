@@ -59,6 +59,21 @@
 //! frontier serializers ([`ParetoResults::to_json`] /
 //! [`ParetoResults::to_csv`]) expose the same machinery declaratively.
 //!
+//! When the grid outgrows enumeration entirely (10^5–10^6 points),
+//! **adaptive frontier search** ([`Explorer::search`]) approximates the
+//! same frontier with a fraction of the gated evaluations: a
+//! successive-halving warm-up ranks a random sample on truncated
+//! (half-kernel) partial-energy lower bounds, promotes the best to full
+//! evaluation, and an NSGA-II-style loop then breeds candidate batches
+//! from the frontier by axis-coordinate crossover/mutation until a
+//! generation budget, an evaluation [`SearchSpec::budget`], or frontier
+//! convergence stops it. Seeded runs are byte-identical across repeat
+//! runs and thread counts, and grids at or below
+//! [`SearchSpec::exhaustive_below`] fall back to exact cartesian
+//! evaluation, so the cartesian path stays the exactness oracle. The
+//! `camj search` subcommand and [`SearchResults`] serializers expose
+//! it declaratively.
+//!
 //! # Example
 //!
 //! ```
@@ -96,6 +111,7 @@ mod objective;
 mod pareto;
 mod plan;
 mod prune;
+mod search;
 mod sweep;
 
 pub use axis::{canonical_f64, Axis, AxisValue};
@@ -107,6 +123,7 @@ pub use pareto::{
 };
 pub use plan::{axis_impact, axis_requires_rebuild, KernelSet, SweepPlan};
 pub use prune::{Constraint, ConstraintSet, PruneStats};
+pub use search::{SearchResults, SearchSpec};
 pub use sweep::{DesignPoint, Sweep};
 
 // Re-exported for axis construction without extra imports downstream.

@@ -180,6 +180,85 @@ pub struct SweepPlan {
     groups: Vec<Vec<DesignPoint>>,
 }
 
+/// The planned axis ordering of `sweep`: axis indices sorted by
+/// descending invalidation weight (model-rebuilding axes first, ties
+/// broken by declaration order), plus the count of leading axes that
+/// rebuild the model.
+fn planned_order(sweep: &Sweep) -> (Vec<usize>, usize) {
+    let axes = sweep.axes();
+    let mut order: Vec<usize> = (0..axes.len()).collect();
+    // Stable sort: rebuild axes before tail axes, heavier impact
+    // first, declaration order last.
+    order.sort_by_key(|&i| {
+        let impact = axis_impact(axes[i].name());
+        (
+            std::cmp::Reverse(u8::from(impact.contains(KernelSet::MODEL))),
+            std::cmp::Reverse(impact.weight()),
+        )
+    });
+    let rebuild_axes = order
+        .iter()
+        .take_while(|&&i| axis_requires_rebuild(axes[i].name()))
+        .count();
+    (order, rebuild_axes)
+}
+
+/// Keys `points` by their value indices along `order`, sorts into
+/// evaluation order, and partitions into groups sharing every
+/// rebuild-axis coordinate. The grouping engine behind [`SweepPlan`]
+/// and [`group_points`].
+fn group_by_rebuild_prefix(
+    sweep: &Sweep,
+    order: &[usize],
+    rebuild_axes: usize,
+    points: Vec<DesignPoint>,
+) -> Vec<Vec<DesignPoint>> {
+    let axes = sweep.axes();
+    let mut keyed: Vec<(Vec<usize>, DesignPoint)> = points
+        .into_iter()
+        .map(|point| {
+            let key = order
+                .iter()
+                .map(|&i| {
+                    let axis = &axes[i];
+                    let value = point
+                        .get(axis.name())
+                        .expect("grid points carry every axis");
+                    axis.values()
+                        .iter()
+                        .position(|v| coord_eq(v, value))
+                        .expect("coordinate comes from the axis value list")
+                })
+                .collect::<Vec<usize>>();
+            (key, point)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut groups: Vec<Vec<DesignPoint>> = Vec::new();
+    let mut current_prefix: Option<Vec<usize>> = None;
+    for (key, point) in keyed {
+        let prefix = key[..rebuild_axes].to_vec();
+        if current_prefix.as_ref() != Some(&prefix) {
+            groups.push(Vec::new());
+            current_prefix = Some(prefix);
+        }
+        groups.last_mut().expect("group pushed above").push(point);
+    }
+    groups
+}
+
+/// Groups an arbitrary subset of `sweep`'s grid exactly the way
+/// [`SweepPlan::new`] groups the full grid: evaluation order along the
+/// planned axis ordering, one group per distinct combination of
+/// model-rebuilding coordinates. Adaptive search uses this to batch a
+/// candidate generation so each batch builds one model per rebuild
+/// combination instead of one per point.
+pub(crate) fn group_points(sweep: &Sweep, points: Vec<DesignPoint>) -> Vec<Vec<DesignPoint>> {
+    let (order, rebuild_axes) = planned_order(sweep);
+    group_by_rebuild_prefix(sweep, &order, rebuild_axes, points)
+}
+
 impl SweepPlan {
     /// Plans `sweep`: orders axes by descending invalidation weight
     /// (model-rebuilding axes first, ties broken by declaration order)
@@ -191,57 +270,9 @@ impl SweepPlan {
     /// from its axis — impossible for grids built by [`Sweep::points`].
     #[must_use]
     pub fn new(sweep: &Sweep) -> Self {
+        let (order, rebuild_axes) = planned_order(sweep);
+        let groups = group_by_rebuild_prefix(sweep, &order, rebuild_axes, sweep.points());
         let axes = sweep.axes();
-        let mut order: Vec<usize> = (0..axes.len()).collect();
-        // Stable sort: rebuild axes before tail axes, heavier impact
-        // first, declaration order last.
-        order.sort_by_key(|&i| {
-            let impact = axis_impact(axes[i].name());
-            (
-                std::cmp::Reverse(u8::from(impact.contains(KernelSet::MODEL))),
-                std::cmp::Reverse(impact.weight()),
-            )
-        });
-        let rebuild_axes = order
-            .iter()
-            .take_while(|&&i| axis_requires_rebuild(axes[i].name()))
-            .count();
-
-        // Key every point by its value indices along the planned order,
-        // then sort (stable, keys are unique) to get evaluation order.
-        let mut keyed: Vec<(Vec<usize>, DesignPoint)> = sweep
-            .points()
-            .into_iter()
-            .map(|point| {
-                let key = order
-                    .iter()
-                    .map(|&i| {
-                        let axis = &axes[i];
-                        let value = point
-                            .get(axis.name())
-                            .expect("grid points carry every axis");
-                        axis.values()
-                            .iter()
-                            .position(|v| coord_eq(v, value))
-                            .expect("coordinate comes from the axis value list")
-                    })
-                    .collect::<Vec<usize>>();
-                (key, point)
-            })
-            .collect();
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
-
-        let mut groups: Vec<Vec<DesignPoint>> = Vec::new();
-        let mut current_prefix: Option<Vec<usize>> = None;
-        for (key, point) in keyed {
-            let prefix = key[..rebuild_axes].to_vec();
-            if current_prefix.as_ref() != Some(&prefix) {
-                groups.push(Vec::new());
-                current_prefix = Some(prefix);
-            }
-            groups.last_mut().expect("group pushed above").push(point);
-        }
-
         Self {
             axis_order: order.iter().map(|&i| axes[i].name().to_owned()).collect(),
             rebuild_axes,
@@ -336,6 +367,33 @@ mod tests {
         let mut seen: Vec<usize> = plan.groups().iter().flatten().map(|p| p.index).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..sweep.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subset_grouping_matches_the_full_plan() {
+        let sweep = Sweep::new()
+            .fps_targets([15.0, 30.0])
+            .bit_widths([4, 8])
+            .tech_nodes([ProcessNode::N65, ProcessNode::N22]);
+        // The full grid through group_points reproduces the plan.
+        let plan = SweepPlan::new(&sweep);
+        assert_eq!(group_points(&sweep, sweep.points()), plan.groups());
+        // A subset groups by the same rebuild coordinates.
+        let subset: Vec<DesignPoint> = sweep
+            .points()
+            .into_iter()
+            .filter(|p| p.index % 3 != 0)
+            .collect();
+        let total: usize = subset.len();
+        let groups = group_points(&sweep, subset);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), total);
+        for group in &groups {
+            let first = &group[0];
+            for point in group {
+                assert_eq!(point.get("bit_width"), first.get("bit_width"));
+                assert_eq!(point.get("tech_node"), first.get("tech_node"));
+            }
+        }
     }
 
     #[test]

@@ -107,24 +107,40 @@ impl Sweep {
     /// (last axis fastest).
     #[must_use]
     pub fn points(&self) -> Vec<DesignPoint> {
-        let total = self.len();
-        let mut points = Vec::with_capacity(total);
-        for index in 0..total {
-            // Decompose the flat index into per-axis indices, last axis
-            // fastest.
-            let mut remainder = index;
-            let mut coords = vec![None; self.axes.len()];
-            for (slot, axis) in self.axes.iter().enumerate().rev() {
-                let i = remainder % axis.len();
-                remainder /= axis.len();
-                coords[slot] = Some((axis.name().to_owned(), axis.values()[i].clone()));
-            }
-            points.push(DesignPoint {
-                index,
-                coords: coords.into_iter().map(|c| c.expect("filled")).collect(),
-            });
+        (0..self.len()).map(|index| self.point_at(index)).collect()
+    }
+
+    /// Materializes the single design point at `index` of the row-major
+    /// enumeration, without generating the rest of the grid — the
+    /// primitive adaptive search builds candidates from, where
+    /// materializing a 10^6-point grid up front would defeat the point
+    /// of sampling it.
+    ///
+    /// `sweep.points()[i]` and `sweep.point_at(i)` are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn point_at(&self, index: usize) -> DesignPoint {
+        assert!(
+            index < self.len(),
+            "point index {index} out of range for a {}-point grid",
+            self.len()
+        );
+        // Decompose the flat index into per-axis indices, last axis
+        // fastest.
+        let mut remainder = index;
+        let mut coords = vec![None; self.axes.len()];
+        for (slot, axis) in self.axes.iter().enumerate().rev() {
+            let i = remainder % axis.len();
+            remainder /= axis.len();
+            coords[slot] = Some((axis.name().to_owned(), axis.values()[i].clone()));
         }
-        points
+        DesignPoint {
+            index,
+            coords: coords.into_iter().map(|c| c.expect("filled")).collect(),
+        }
     }
 }
 
@@ -262,6 +278,23 @@ mod tests {
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.index, i);
         }
+    }
+
+    #[test]
+    fn point_at_matches_the_materialized_grid() {
+        let sweep = Sweep::new()
+            .bit_widths([4, 8, 12])
+            .fps_targets([15.0, 30.0]);
+        let points = sweep.points();
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(&sweep.point_at(i), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_at_rejects_out_of_range_indices() {
+        let _ = Sweep::new().fps_targets([30.0]).point_at(1);
     }
 
     #[test]

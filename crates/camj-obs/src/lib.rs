@@ -383,5 +383,12 @@ mod tests {
         assert!(!is_racy("cache.energy.lookup"));
         assert!(!is_racy("kernel.invocations"));
         assert!(!is_racy("explore.point"));
+        // The adaptive-search orchestrator is serial and seeded: its
+        // spans and counters are part of the determinism digest.
+        assert!(!is_racy("search.warmup"));
+        assert!(!is_racy("search.generation"));
+        assert!(!is_racy("search.evals"));
+        assert!(!is_racy("search.warmup_discarded"));
+        assert!(!is_racy("search.converged"));
     }
 }

@@ -13,7 +13,7 @@
 //! other variant/node combinations remain available through the Rust
 //! API or by editing the exported JSON.
 
-use camj_desc::ir::{SweepConstraintsIr, SweepIr};
+use camj_desc::ir::{SearchIr, SweepConstraintsIr, SweepIr};
 use camj_desc::DesignDesc;
 
 use crate::configs::{SensorVariant, WorkloadError};
@@ -121,6 +121,15 @@ fn edgaze_sweep_spec() -> SweepIr {
             max_power_density_mw_per_mm2: Some(1.6),
             max_digital_latency_ms: None,
             max_total_energy_pj: None,
+        }),
+        // Defaults for `camj search`: a deterministic seed plus a small
+        // population, sized so the bundled 7-point fps grid (and modest
+        // multi-axis grids built on it) converge quickly.
+        search: Some(SearchIr {
+            population: Some(64),
+            generations: Some(24),
+            seed: Some(0),
+            budget: None,
         }),
     }
 }

@@ -17,6 +17,7 @@
 //! determinism contract relies on. On a single-core host the queue
 //! degenerates to a plain serial loop with no thread spawn.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod prelude {
@@ -24,10 +25,20 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
-/// Number of worker threads the pool would use: `RAYON_NUM_THREADS` if
-/// set and positive, otherwise `std::thread::available_parallelism`.
+/// Programmatic worker-count override installed by
+/// [`ThreadPoolBuilder::build_global`]; zero means "not set".
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the pool would use: the
+/// [`ThreadPoolBuilder::build_global`] override if one was installed,
+/// else `RAYON_NUM_THREADS` if set and positive, else
+/// `std::thread::available_parallelism`.
 #[must_use]
 pub fn current_num_threads() -> usize {
+    let global = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             if n > 0 {
@@ -37,6 +48,59 @@ pub fn current_num_threads() -> usize {
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
+
+/// Stand-in for `rayon::ThreadPoolBuilder`, covering the one pattern
+/// this workspace uses: `ThreadPoolBuilder::new().num_threads(n)
+/// .build_global()` to pin the worker count programmatically (the
+/// `--threads` CLI flag) instead of via `RAYON_NUM_THREADS`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with no explicit thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count. Zero means "derive from the environment"
+    /// (real rayon's convention).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configured count as the global pool size, taking
+    /// precedence over `RAYON_NUM_THREADS`.
+    ///
+    /// Unlike real rayon this shim has no pool to race against, so
+    /// repeat installs simply overwrite the override and never fail —
+    /// callers that match real rayon's `Result` keep working.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced by
+/// the shim; present so caller signatures match real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
 
 /// Runs `f` over `items`, in parallel when more than one worker is
 /// available, returning results in input order.
@@ -181,5 +245,23 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn build_global_overrides_the_environment() {
+        // Serialise against other tests that might read the count.
+        let baseline = crate::current_num_threads();
+        assert!(baseline >= 1);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        // Zero resets to environment-derived behaviour.
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), baseline);
     }
 }

@@ -11,9 +11,11 @@
 //! camj pareto --design FILE [--fps A,B,C] [--objectives O,O,...]
 //!             [--max-density X] [--max-latency-ms X] [--max-energy-pj X]
 //!             [--format json|csv]
+//! camj search --design FILE [--fps A,B,C] [--population N] [--generations N]
+//!             [--budget N] [--seed N] [--format json|csv]
 //! ```
 //!
-//! `estimate`, `simulate`, `sweep`, and `pareto` additionally accept
+//! `estimate`, `simulate`, `sweep`, `pareto`, and `search` additionally accept
 //! `--trace FILE` (Chrome trace-event JSON; the `CAMJ_TRACE`
 //! environment variable sets a default path) and `--metrics text|json`
 //! (an aggregated per-stage timing report, printed to stderr).
@@ -31,7 +33,7 @@ use camj_core::energy::{EstimateReport, ValidatedModel};
 use camj_core::functional::Stimulus;
 use camj_desc::DesignDesc;
 use camj_explore::{
-    Constraint, EstimateCache, Explorer, Objective, ParetoQuery, Sweep, SweepFormat,
+    Constraint, EstimateCache, Explorer, Objective, ParetoQuery, SearchSpec, Sweep, SweepFormat,
 };
 use camj_obs::ObsSession;
 
@@ -77,8 +79,22 @@ USAGE:
         to total_energy,power_density). Constraint flags override the
         description's `sweep.constraints`; violating points are pruned
         mid-estimate, skipping their remaining energy kernels.
+    camj search --design FILE [--fps A,B,C] [--objectives O,O,...]
+                [--population N] [--generations N] [--budget N] [--seed N]
+                [--max-density X] [--max-latency-ms X] [--max-energy-pj X]
+                [--format json|csv]
+        Adaptive frontier search: approximates the pareto frontier on
+        grids too large to enumerate, spending gated evaluations only
+        near the frontier (successive-halving warm-up + evolutionary
+        crossover/mutation over the axis grid). Defaults come from the
+        description's `sweep.search` block; a fixed --seed reproduces
+        the run byte-identically across repeat runs and thread counts.
+        Small grids fall back to exact cartesian evaluation.
 
-OBSERVABILITY (estimate, simulate, sweep, pareto):
+    sweep, pareto, and search accept --threads N to pin the worker
+    count (equivalent to RAYON_NUM_THREADS=N; N must be positive).
+
+OBSERVABILITY (estimate, simulate, sweep, pareto, search):
     --trace FILE
         Record the command as Chrome trace-event JSON, loadable in
         Perfetto or chrome://tracing. The CAMJ_TRACE environment
@@ -106,6 +122,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "sweep" => cmd_sweep(rest),
         "pareto" => cmd_pareto(rest),
+        "search" => cmd_search(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -136,6 +153,10 @@ struct Flags {
     max_density: Option<String>,
     max_latency_ms: Option<String>,
     max_energy_pj: Option<String>,
+    threads: Option<String>,
+    population: Option<String>,
+    generations: Option<String>,
+    budget: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
     json: bool,
@@ -169,6 +190,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--max-energy-pj" => {
                 flags.max_energy_pj = Some(value_of("--max-energy-pj", &mut it)?);
             }
+            "--threads" => flags.threads = Some(value_of("--threads", &mut it)?),
+            "--population" => flags.population = Some(value_of("--population", &mut it)?),
+            "--generations" => flags.generations = Some(value_of("--generations", &mut it)?),
+            "--budget" => flags.budget = Some(value_of("--budget", &mut it)?),
             "--trace" => flags.trace = Some(value_of("--trace", &mut it)?),
             "--metrics" => flags.metrics = Some(value_of("--metrics", &mut it)?),
             "--json" => flags.json = true,
@@ -644,6 +669,9 @@ fn run_sweep(flags: &Flags) -> ExitCode {
     let Some(path) = &flags.design else {
         return usage_error("sweep needs --design FILE");
     };
+    if let Err(e) = apply_threads(flags) {
+        return usage_error(&e);
+    }
     let (desc, model) = match load_design(path, None) {
         Ok(x) => x,
         Err(message) => {
@@ -756,6 +784,9 @@ fn run_pareto(flags: &Flags) -> ExitCode {
     }
     if flags.out.is_some() {
         return usage_error("pareto prints to stdout; redirect instead of passing --out");
+    }
+    if let Err(e) = apply_threads(flags) {
+        return usage_error(&e);
     }
     let (desc, model) = match load_design(path, None) {
         Ok(x) => x,
@@ -902,10 +933,278 @@ fn run_pareto(flags: &Flags) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_search(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let obs = match obs_begin(&flags) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let code = {
+        let _span = obs_core::span("cli.search");
+        run_search(&flags)
+    };
+    obs_finish(obs, code)
+}
+
+fn run_search(flags: &Flags) -> ExitCode {
+    if flags.stats {
+        return usage_error(
+            "--stats is an estimate/simulate flag; sweep and pareto always report cache stats",
+        );
+    }
+    let Some(path) = &flags.design else {
+        return usage_error("search needs --design FILE");
+    };
+    if let [stray, ..] = flags.positional.as_slice() {
+        return usage_error(&format!("search takes no positional argument '{stray}'"));
+    }
+    if flags.no_cache {
+        return usage_error(
+            "--no-cache is not supported by search (warm-up promotion requires the \
+             shared estimate cache); use `camj sweep --no-cache` for uncached sweeps",
+        );
+    }
+    if flags.out.is_some() {
+        return usage_error("search prints to stdout; redirect instead of passing --out");
+    }
+    if let Err(e) = apply_threads(flags) {
+        return usage_error(&e);
+    }
+    let (desc, model) = match load_design(path, None) {
+        Ok(x) => x,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = desc.sweep.as_ref();
+    let targets: Vec<f64> = match (&flags.fps, spec) {
+        (Some(list), _) => match list.split(',').map(parse_fps_single).collect() {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        },
+        (None, Some(sweep)) if !sweep.fps.is_empty() => sweep.fps.clone(),
+        _ => {
+            return usage_error(
+                "search needs frame-rate targets: pass --fps A,B,C or add a `sweep.fps` \
+                 list to the description",
+            )
+        }
+    };
+    let objective_names: Vec<String> = match (&flags.objectives, spec) {
+        (Some(list), _) => list.split(',').map(|s| s.trim().to_owned()).collect(),
+        (None, Some(sweep)) => sweep
+            .objectives
+            .clone()
+            .unwrap_or_else(default_objective_names),
+        (None, None) => default_objective_names(),
+    };
+    let objectives: Vec<Objective> = {
+        let mut parsed = Vec::with_capacity(objective_names.len());
+        for name in &objective_names {
+            match name.parse::<Objective>() {
+                Ok(o) => parsed.push(o),
+                Err(e) => return usage_error(&e),
+            }
+        }
+        parsed
+    };
+    if objectives.is_empty() {
+        return usage_error("search needs at least one objective");
+    }
+    let mut query = ParetoQuery::new(objectives);
+    let flagged = [
+        &flags.max_density,
+        &flags.max_latency_ms,
+        &flags.max_energy_pj,
+    ]
+    .iter()
+    .any(|f| f.is_some());
+    if flagged {
+        let budgets = [
+            (&flags.max_density, "--max-density"),
+            (&flags.max_latency_ms, "--max-latency-ms"),
+            (&flags.max_energy_pj, "--max-energy-pj"),
+        ];
+        for (value, flag) in budgets {
+            let Some(text) = value else { continue };
+            let budget = match text.parse::<f64>() {
+                Ok(v) if v.is_finite() && v > 0.0 => v,
+                _ => return usage_error(&format!("{flag} needs a positive number, got '{text}'")),
+            };
+            query = query.constrain(match flag {
+                "--max-density" => Constraint::MaxPowerDensity(budget),
+                "--max-latency-ms" => Constraint::MaxDigitalLatency(budget),
+                _ => Constraint::MaxTotalEnergy(budget),
+            });
+        }
+    } else if let Some(constraints) = spec.and_then(|s| s.constraints.as_ref()) {
+        if let Some(v) = constraints.max_power_density_mw_per_mm2 {
+            query = query.constrain(Constraint::MaxPowerDensity(v));
+        }
+        if let Some(v) = constraints.max_digital_latency_ms {
+            query = query.constrain(Constraint::MaxDigitalLatency(v));
+        }
+        if let Some(v) = constraints.max_total_energy_pj {
+            query = query.constrain(Constraint::MaxTotalEnergy(v));
+        }
+    }
+    let format = match (&flags.format, flags.json) {
+        (Some(text), _) => match text.parse::<SweepFormat>() {
+            Ok(f) => f,
+            Err(e) => return usage_error(&e),
+        },
+        (None, true) => SweepFormat::Json,
+        (None, false) => SweepFormat::Human,
+    };
+    // Search knobs: description `sweep.search` defaults, flags override.
+    // Description-side zeros were already rejected by validation, and
+    // the counts below are pre-checked, so the builder asserts can't
+    // fire from user input.
+    let mut search_spec = SearchSpec::new();
+    if let Some(ir) = spec.and_then(|s| s.search.as_ref()) {
+        if let Some(n) = ir.population {
+            search_spec = search_spec.population(clamp_to_usize(n));
+        }
+        if let Some(n) = ir.generations {
+            search_spec = search_spec.generations(clamp_to_usize(n));
+        }
+        if let Some(n) = ir.seed {
+            search_spec = search_spec.seed(n);
+        }
+        if let Some(n) = ir.budget {
+            search_spec = search_spec.budget(clamp_to_usize(n));
+        }
+    }
+    let knobs = [
+        (&flags.population, "--population"),
+        (&flags.generations, "--generations"),
+        (&flags.budget, "--budget"),
+    ];
+    for (value, flag) in knobs {
+        let Some(text) = value else { continue };
+        let count = match text.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return usage_error(&format!("{flag} needs a positive integer, got '{text}'")),
+        };
+        search_spec = match flag {
+            "--population" => search_spec.population(count),
+            "--generations" => search_spec.generations(count),
+            _ => search_spec.budget(count),
+        };
+    }
+    if let Some(text) = flags.seed.as_deref() {
+        match text.parse::<u64>() {
+            Ok(n) => search_spec = search_spec.seed(n),
+            Err(_) => {
+                return usage_error(&format!("--seed needs an unsigned integer, got '{text}'"))
+            }
+        }
+    }
+    let sweep = Sweep::new().fps_targets(targets);
+    let cache = EstimateCache::shared();
+    let results = Explorer::new().search(&sweep, &cache, &query, &search_spec, |point| {
+        Ok(model.with_fps(point.fps("fps")))
+    });
+    match format {
+        SweepFormat::Json => println!("{}", results.to_json(Some(&cache.stats()))),
+        SweepFormat::Csv => print!("{}", results.to_csv()),
+        SweepFormat::Human => {
+            println!(
+                "== search: {} ({} grid points, {} objectives) ==",
+                desc.name,
+                results.grid_points(),
+                query.objectives().len()
+            );
+            for constraint in query.constraints().constraints() {
+                println!("constraint: {constraint}");
+            }
+            let keys: Vec<String> = query.objectives().iter().map(Objective::key).collect();
+            print!("{:>10}", "fps");
+            for key in &keys {
+                print!("  {key:>24}");
+            }
+            println!();
+            for entry in results.frontier() {
+                print!("{:>10}", entry.point.fps("fps"));
+                for value in entry.metrics.values() {
+                    print!("  {value:>24.4}");
+                }
+                println!();
+            }
+            let pareto = results.pareto();
+            println!(
+                "frontier: {} point(s); dominated: {}; pruned: {}; errors: {}",
+                results.frontier().len(),
+                pareto.dominated_count(),
+                pareto.pruned().len(),
+                pareto.errors().len()
+            );
+            let termination = if results.exhaustive() {
+                "exact cartesian (grid below the exhaustive threshold)".to_owned()
+            } else if results.converged() {
+                format!(
+                    "converged after {} generation(s)",
+                    results.generations_run()
+                )
+            } else {
+                format!(
+                    "stopped at the {} generation/budget cap",
+                    results.generations_run()
+                )
+            };
+            println!(
+                "search: {} of {} grid points evaluated ({:.1}%); {termination}",
+                results.evaluations(),
+                results.grid_points(),
+                results.evaluation_fraction() * 100.0
+            );
+            println!("prune: {}", pareto.stats());
+            println!("cache: {}", cache.stats());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// The objectives `camj pareto` minimises when neither `--objectives`
 /// nor the description's `sweep.objectives` names any.
 fn default_objective_names() -> Vec<String> {
     vec!["total_energy".to_owned(), "power_density".to_owned()]
+}
+
+/// Converts a description-file u64 knob to `usize`, saturating on
+/// 32-bit hosts (the explorer caps everything by the grid size anyway).
+fn clamp_to_usize(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// Applies `--threads N`: pins the worker count before any parallel
+/// evaluation starts (same effect as `RAYON_NUM_THREADS=N`, but
+/// programmatic). Zero is rejected rather than passed through, because
+/// rayon reads zero as "derive from the environment" and the flag
+/// would be silently ignored.
+fn apply_threads(flags: &Flags) -> Result<(), String> {
+    let Some(text) = &flags.threads else {
+        return Ok(());
+    };
+    let n = match text.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => return Err(format!("--threads needs a positive integer, got '{text}'")),
+    };
+    if n == 0 {
+        return Err(
+            "--threads must be at least 1; omit the flag to derive the worker count \
+             from the environment"
+                .to_owned(),
+        );
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .map_err(|e| format!("could not pin the worker count: {e}"))
 }
 
 // ---------------------------------------------------------------------

@@ -193,6 +193,7 @@ fn desc_objective_validation_tracks_the_explore_grammar() {
             fps: vec![30.0],
             objectives: Some(vec![objective.to_owned()]),
             constraints: None,
+            search: None,
         });
         desc.validate().is_ok()
     };
