@@ -50,6 +50,17 @@
 //!   `"cache shard lock"` panic at a healthy neighbouring point (or in
 //!   the final [`EstimateCache::stats`] call a CLI prints).
 
+//!
+//! Persistence: a cache can be backed by a [`PersistentTier`] — a
+//! content-addressed byte store (typically `camj-serve`'s on-disk
+//! tier) consulted on an in-memory miss and written through on every
+//! compute. Only the **energy** and **stall** families persist: their
+//! artifacts round-trip exactly (energy items through the
+//! shortest-round-trip JSON codec, stall minima as raw `f64` bits), so
+//! a tier-warmed cache replays byte-identical estimates. Elastic
+//! simulations stay memory-only — post-arena they cost well under a
+//! millisecond to recompute, less than a disk round-trip is worth.
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -63,6 +74,41 @@ use super::pipeline::ElasticSim;
 
 /// Number of independent shards; a power of two keeps selection cheap.
 pub const SHARD_COUNT: usize = 64;
+
+/// A persistent content-addressed storage tier behind the in-memory
+/// cache: a byte store keyed by `(family, fingerprint)`.
+///
+/// The cache consults the tier on an in-memory miss (`load`) and
+/// writes every freshly computed artifact through (`store`), so warm
+/// starts survive process restarts. Implementations own durability and
+/// integrity: `load` must return `None` for entries it cannot prove
+/// intact (truncated, corrupted, or written by an incompatible
+/// version) — the cache then recomputes and re-`store`s, restoring the
+/// entry. Both calls may run concurrently from many threads.
+///
+/// The payload encodings are the cache's business, not the tier's:
+/// energy items travel as compact JSON (the workspace codec prints
+/// floats shortest-round-trip, so `f64`s survive exactly) and stall
+/// minima as 8 raw little-endian `f64` bits. A tier never needs to
+/// understand them.
+pub trait PersistentTier: Send + Sync + std::fmt::Debug {
+    /// The payload stored for `(family, fp)`, or `None` when absent or
+    /// not provably intact.
+    fn load(&self, family: &'static str, fp: Fingerprint) -> Option<Vec<u8>>;
+    /// Write-through store of `(family, fp) → payload`. Failures must
+    /// be swallowed (a broken disk degrades to a smaller cache, never
+    /// to a broken estimate).
+    fn store(&self, family: &'static str, fp: Fingerprint, payload: &[u8]);
+}
+
+/// Tier family names (also the `key` of the `cache.tier.*` counters:
+/// the family's index in this list).
+const TIER_FAMILIES: [&str; 2] = ["energy", "stall"];
+
+/// The `cache.tier.*` counter key for a family name.
+fn tier_key(family: &'static str) -> u64 {
+    TIER_FAMILIES.iter().position(|f| *f == family).unwrap_or(0) as u64
+}
 
 /// A point-in-time snapshot of cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -176,6 +222,10 @@ pub struct EstimateCache {
     hits: AtomicU64,
     misses: AtomicU64,
     bytes: AtomicU64,
+    /// Optional persistent tier; set once (at construction or via
+    /// [`Self::attach_tier`]) and never replaced, so lookups need no
+    /// lock.
+    tier: OnceLock<Arc<dyn PersistentTier>>,
 }
 
 impl Default for EstimateCache {
@@ -195,6 +245,7 @@ impl EstimateCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            tier: OnceLock::new(),
         }
     }
 
@@ -202,6 +253,27 @@ impl EstimateCache {
     #[must_use]
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// An empty cache backed by a persistent tier: in-memory misses of
+    /// the energy and stall families consult `tier` before computing,
+    /// and every computed artifact is written through.
+    #[must_use]
+    pub fn shared_with_tier(tier: Arc<dyn PersistentTier>) -> Arc<Self> {
+        let cache = Self::new();
+        let _ = cache.tier.set(tier);
+        Arc::new(cache)
+    }
+
+    /// Attaches a persistent tier to a tier-less cache. The first tier
+    /// wins; returns `false` (and changes nothing) if one was already
+    /// attached.
+    pub fn attach_tier(&self, tier: Arc<dyn PersistentTier>) -> bool {
+        self.tier.set(tier).is_ok()
+    }
+
+    fn tier(&self) -> Option<&Arc<dyn PersistentTier>> {
+        self.tier.get()
     }
 
     fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<Fingerprint, CacheEntry>> {
@@ -234,6 +306,12 @@ impl EstimateCache {
     /// The energy items for kernel input `fp`, computing (and storing)
     /// them on first request. Same concurrency contract as
     /// [`Self::elastic_or`].
+    ///
+    /// With a [`PersistentTier`] attached, an in-memory miss first
+    /// consults the tier (a decodable payload replays without running
+    /// `compute`), and a computed result is written through — so the
+    /// items a warm restart replays are byte-identical to the cold
+    /// computation that produced them.
     pub fn energy_or(
         &self,
         fp: Fingerprint,
@@ -246,10 +324,49 @@ impl EstimateCache {
                 _ => None,
             },
             CacheEntry::Energy,
-            || Arc::new(compute()),
+            || Arc::new(self.energy_through_tier(fp, compute)),
             |value| approx_energy_bytes(value.as_ref()),
             &ENERGY_COUNTERS,
         )
+    }
+
+    /// The energy family's tier protocol, run inside the in-flight
+    /// slot (so tier I/O and `compute` both happen exactly once per
+    /// fingerprint): load-and-decode, else compute-and-write-through.
+    fn energy_through_tier(
+        &self,
+        fp: Fingerprint,
+        compute: impl FnOnce() -> Vec<EnergyItem>,
+    ) -> Vec<EnergyItem> {
+        let Some(tier) = self.tier() else {
+            return compute();
+        };
+        let key = tier_key("energy");
+        if let Some(payload) = tier.load("energy", fp) {
+            match std::str::from_utf8(&payload)
+                .ok()
+                .and_then(|text| serde_json::from_str::<Vec<EnergyItem>>(text).ok())
+            {
+                Some(items) => {
+                    obs_core::counter("cache.tier.hit", key, 1);
+                    return items;
+                }
+                None => {
+                    // The tier vouched for the bytes but they don't
+                    // decode — a schema change, not corruption. Treat
+                    // as a miss; the write-through below re-stamps the
+                    // entry with the current encoding.
+                    obs_core::counter("cache.tier.decode_drop", key, 1);
+                }
+            }
+        }
+        obs_core::counter("cache.tier.miss", key, 1);
+        let items = compute();
+        if let Ok(json) = serde_json::to_string(&items) {
+            tier.store("energy", fp, json.as_bytes());
+            obs_core::counter("cache.tier.store", key, 1);
+        }
+        items
     }
 
     /// The shared claim-slot protocol of [`Self::elastic_or`] and
@@ -323,11 +440,32 @@ impl EstimateCache {
     #[must_use]
     pub fn stall_settled(&self, fp: Fingerprint, t_a_secs: f64) -> bool {
         let shard = lock_shard(self.shard(fp));
-        let settled = matches!(
+        let known = matches!(shard.get(&fp), Some(CacheEntry::StallPass(_)));
+        let mut settled = matches!(
             shard.get(&fp),
             Some(CacheEntry::StallPass(pass_min)) if t_a_secs >= *pass_min
         );
         drop(shard);
+        // With no in-memory verdict at all, a persisted pass minimum
+        // from an earlier process may settle this point. Loaded minima
+        // are adopted into the map so later lookups stay in memory.
+        if !known {
+            if let Some(pass_min) = self.tier_stall_load(fp) {
+                let mut shard = lock_shard(self.shard(fp));
+                match shard.entry(fp) {
+                    std::collections::hash_map::Entry::Occupied(mut slot) => {
+                        if let CacheEntry::StallPass(existing) = slot.get_mut() {
+                            *existing = existing.min(pass_min);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        self.bytes.fetch_add(48, Ordering::Relaxed);
+                        slot.insert(CacheEntry::StallPass(pass_min));
+                    }
+                }
+                settled = t_a_secs >= pass_min;
+            }
+        }
         if settled {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -350,18 +488,54 @@ impl EstimateCache {
     }
 
     /// Records that readout `t_a_secs` passed the stall check for
-    /// topology `fp`, keeping the fastest known pass.
+    /// topology `fp`, keeping the fastest known pass (written through
+    /// to the persistent tier whenever the minimum improves).
     pub fn record_stall_pass(&self, fp: Fingerprint, t_a_secs: f64) {
         let mut shard = lock_shard(self.shard(fp));
-        match shard.get_mut(&fp) {
+        let new_min = match shard.get_mut(&fp) {
             Some(CacheEntry::StallPass(pass_min)) => {
-                *pass_min = pass_min.min(t_a_secs);
+                if t_a_secs < *pass_min {
+                    *pass_min = t_a_secs;
+                    Some(t_a_secs)
+                } else {
+                    None
+                }
             }
-            Some(_) => {}
+            Some(_) => None,
             None => {
                 self.bytes.fetch_add(48, Ordering::Relaxed);
                 shard.insert(fp, CacheEntry::StallPass(t_a_secs));
+                Some(t_a_secs)
             }
+        };
+        drop(shard);
+        if let (Some(pass_min), Some(tier)) = (new_min, self.tier()) {
+            tier.store("stall", fp, &pass_min.to_bits().to_le_bytes());
+            obs_core::counter("cache.tier.store", tier_key("stall"), 1);
+        }
+    }
+
+    /// Loads a persisted stall-pass minimum (8 little-endian `f64`
+    /// bits) for `fp`, if a tier is attached and holds a decodable
+    /// entry.
+    fn tier_stall_load(&self, fp: Fingerprint) -> Option<f64> {
+        let tier = self.tier()?;
+        let key = tier_key("stall");
+        let Some(payload) = tier.load("stall", fp) else {
+            obs_core::counter("cache.tier.miss", key, 1);
+            return None;
+        };
+        let Ok(bits) = <[u8; 8]>::try_from(payload.as_slice()) else {
+            obs_core::counter("cache.tier.decode_drop", key, 1);
+            return None;
+        };
+        let pass_min = f64::from_bits(u64::from_le_bytes(bits));
+        if pass_min.is_finite() && pass_min >= 0.0 {
+            obs_core::counter("cache.tier.hit", key, 1);
+            Some(pass_min)
+        } else {
+            obs_core::counter("cache.tier.decode_drop", key, 1);
+            None
         }
     }
 
@@ -505,6 +679,117 @@ mod tests {
             })
         });
         assert_eq!(cache.stats().bytes - small - grown, 96);
+    }
+
+    /// An in-memory [`PersistentTier`] for the tests below: a plain
+    /// byte map, plus a corruption knob.
+    #[derive(Debug, Default)]
+    struct MemTier {
+        entries: Mutex<HashMap<(&'static str, Fingerprint), Vec<u8>>>,
+        loads: AtomicU64,
+        stores: AtomicU64,
+    }
+
+    impl PersistentTier for MemTier {
+        fn load(&self, family: &'static str, fp: Fingerprint) -> Option<Vec<u8>> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            self.entries.lock().unwrap().get(&(family, fp)).cloned()
+        }
+        fn store(&self, family: &'static str, fp: Fingerprint, payload: &[u8]) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.entries
+                .lock()
+                .unwrap()
+                .insert((family, fp), payload.to_vec());
+        }
+    }
+
+    fn item(unit: &str, pj: f64) -> EnergyItem {
+        EnergyItem {
+            unit: unit.to_owned(),
+            stage: Some("stage".to_owned()),
+            category: crate::energy::EnergyCategory::DigitalCompute,
+            layer: crate::hw::Layer::Sensor,
+            energy: camj_tech::units::Energy::from_picojoules(pj),
+        }
+    }
+
+    /// Energy artifacts written through the tier replay bit-exactly in
+    /// a fresh cache (the warm-restart contract), without recomputing.
+    #[test]
+    fn energy_entries_persist_through_the_tier() {
+        let tier = Arc::new(MemTier::default());
+        let fp = ("tiered-kernel", 1u32).fingerprint();
+        // Awkward floats: must survive the JSON round trip exactly.
+        let items = vec![item("adc", 0.1 + 0.2), item("mac", 1.0 / 3.0)];
+
+        let cold = EstimateCache::shared_with_tier(Arc::clone(&tier) as _);
+        let first = cold.energy_or(fp, || items.clone());
+        assert_eq!(*first, items);
+        assert_eq!(tier.stores.load(Ordering::Relaxed), 1, "write-through");
+
+        // A fresh cache over the same tier replays without computing.
+        let warm = EstimateCache::shared_with_tier(Arc::clone(&tier) as _);
+        let replayed = warm.energy_or(fp, || panic!("must replay from the tier"));
+        assert_eq!(*replayed, items);
+        for (a, b) in replayed.iter().zip(items.iter()) {
+            assert_eq!(
+                a.energy.joules().to_bits(),
+                b.energy.joules().to_bits(),
+                "tier round trip must be bit-exact"
+            );
+        }
+    }
+
+    /// A payload the tier returns but the cache cannot decode (schema
+    /// drift) falls back to computing and re-stores the fresh encoding.
+    #[test]
+    fn undecodable_tier_payloads_recompute_and_rewrite() {
+        let tier = Arc::new(MemTier::default());
+        let fp = ("drifted", 2u32).fingerprint();
+        tier.store("energy", fp, b"not json at all");
+        let cache = EstimateCache::shared_with_tier(Arc::clone(&tier) as _);
+        let value = cache.energy_or(fp, || vec![item("pix", 4.5)]);
+        assert_eq!(value.len(), 1);
+        // The bad payload was replaced by the fresh encoding…
+        let warm = EstimateCache::shared_with_tier(Arc::clone(&tier) as _);
+        let replay = warm.energy_or(fp, || panic!("rewritten entry must replay"));
+        assert_eq!(*replay, *value);
+    }
+
+    /// Stall minima persist: a pass recorded in one cache settles
+    /// lookups in a fresh cache over the same tier.
+    #[test]
+    fn stall_passes_persist_through_the_tier() {
+        let tier = Arc::new(MemTier::default());
+        let fp = ("tiered-stall", 3u32).fingerprint();
+        let cold = EstimateCache::shared_with_tier(Arc::clone(&tier) as _);
+        cold.record_stall_pass(fp, 0.25);
+        // Worse passes don't rewrite; better ones do.
+        let stores = tier.stores.load(Ordering::Relaxed);
+        cold.record_stall_pass(fp, 0.5);
+        assert_eq!(tier.stores.load(Ordering::Relaxed), stores);
+        cold.record_stall_pass(fp, 0.125);
+        assert_eq!(tier.stores.load(Ordering::Relaxed), stores + 1);
+
+        let warm = EstimateCache::shared_with_tier(Arc::clone(&tier) as _);
+        assert!(warm.stall_settled(fp, 0.125));
+        assert!(warm.stall_settled(fp, 2.0));
+        assert!(!warm.stall_settled(fp, 0.01));
+    }
+
+    /// `attach_tier` is first-wins, and a tier-less cache behaves
+    /// exactly as before.
+    #[test]
+    fn attach_tier_is_first_wins() {
+        let cache = EstimateCache::new();
+        let a = Arc::new(MemTier::default());
+        let b = Arc::new(MemTier::default());
+        assert!(cache.attach_tier(Arc::clone(&a) as _));
+        assert!(!cache.attach_tier(b as _));
+        let fp = ("late-tier", 4u32).fingerprint();
+        let _ = cache.energy_or(fp, Vec::new);
+        assert_eq!(a.stores.load(Ordering::Relaxed), 1, "first tier serves");
     }
 
     #[test]

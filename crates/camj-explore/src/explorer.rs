@@ -40,6 +40,7 @@ pub enum ExecutionMode {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PointError {
     message: String,
+    panicked: bool,
 }
 
 impl PointError {
@@ -47,6 +48,7 @@ impl PointError {
     pub fn new(error: impl fmt::Display) -> Self {
         Self {
             message: error.to_string(),
+            panicked: false,
         }
     }
 
@@ -56,6 +58,18 @@ impl PointError {
     pub fn at_point(point: &DesignPoint, error: impl fmt::Display) -> Self {
         Self {
             message: format!("at point [{point}]: {error}"),
+            panicked: false,
+        }
+    }
+
+    /// Wraps a panic payload captured at a point. Unlike an ordinary
+    /// infeasibility, a panic is a *bug* — drivers distinguish the two
+    /// through [`PointError::is_panic`] (the CLI exits non-zero when
+    /// any point panicked, even though the sweep itself completed).
+    pub fn panicked_at_point(point: &DesignPoint, message: impl fmt::Display) -> Self {
+        Self {
+            message: format!("at point [{point}]: {message}"),
+            panicked: true,
         }
     }
 
@@ -63,6 +77,13 @@ impl PointError {
     #[must_use]
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// Whether this error records a captured panic rather than an
+    /// ordinary infeasible/failed evaluation.
+    #[must_use]
+    pub fn is_panic(&self) -> bool {
+        self.panicked
     }
 }
 
@@ -241,7 +262,7 @@ impl Explorer {
         let evaluate = |point: DesignPoint| -> PointOutcome<R> {
             let result =
                 catch_unwind(AssertUnwindSafe(|| eval(&point))).unwrap_or_else(|payload| {
-                    Err(PointError::at_point(
+                    Err(PointError::panicked_at_point(
                         &point,
                         panic_message(payload.as_ref()),
                     ))
@@ -470,7 +491,10 @@ impl Explorer {
         let eval_on = |model: &ValidatedModel, point: &DesignPoint| {
             let _span = obs_core::span("explore.point");
             catch_unwind(AssertUnwindSafe(|| eval(model, point))).unwrap_or_else(|payload| {
-                Err(PointError::at_point(point, panic_message(payload.as_ref())))
+                Err(PointError::panicked_at_point(
+                    point,
+                    panic_message(payload.as_ref()),
+                ))
             })
         };
         let eval_group = |points: Vec<DesignPoint>| -> Vec<PointOutcome<R>> {
@@ -502,7 +526,7 @@ impl Explorer {
                                 build(&point).map(|m| m.with_cache(Arc::clone(cache)))
                             }))
                             .unwrap_or_else(|payload| {
-                                Err(PointError::at_point(
+                                Err(PointError::panicked_at_point(
                                     &point,
                                     panic_message(payload.as_ref()),
                                 ))

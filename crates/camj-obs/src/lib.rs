@@ -292,6 +292,12 @@ impl Recording {
 /// * `sim.*` engine spans/counters: engine runs are demand-driven
 ///   under the caches above, so how many actually execute follows the
 ///   same races.
+/// * `cache.tier.*` disk-tier counters: which concurrent requester
+///   reads an entry from disk versus finds it already decoded in
+///   memory is an interleaving race, exactly like `*.hit`.
+/// * `serve.*` daemon spans/counters: accepts, queue waits, and dedup
+///   joins depend on client arrival order and worker scheduling, never
+///   on the estimates themselves.
 ///
 /// Everything else — lookups, misses (one per unique fingerprint),
 /// kernel invocations, prune decisions, frame/chunk counts, span
@@ -302,7 +308,9 @@ pub fn is_racy(name: &str) -> bool {
     name.ends_with(".hit")
         || name.ends_with(".wait")
         || name.starts_with("cache.stall.")
+        || name.starts_with("cache.tier.")
         || name.starts_with("sim.")
+        || name.starts_with("serve.")
         || name == "pipeline.stall_check"
 }
 
@@ -379,6 +387,16 @@ mod tests {
         assert!(is_racy("pipeline.stall_check"));
         assert!(is_racy("sim.run"));
         assert!(is_racy("sim.cycles"));
+        // The serving layer is interleaving-dependent end to end:
+        // accepts, queue waits, dedup joins, and disk-tier outcomes all
+        // follow client arrival order, never the estimates.
+        assert!(is_racy("serve.accept"));
+        assert!(is_racy("serve.request"));
+        assert!(is_racy("serve.queue_wait"));
+        assert!(is_racy("serve.dedup.hit"));
+        assert!(is_racy("cache.tier.miss"));
+        assert!(is_racy("cache.tier.store"));
+        assert!(is_racy("cache.tier.decode_drop"));
         assert!(!is_racy("cache.energy.miss"));
         assert!(!is_racy("cache.energy.lookup"));
         assert!(!is_racy("kernel.invocations"));

@@ -1,0 +1,54 @@
+//! The client half of the protocol: what `camj --connect` (and the
+//! test suite) uses to talk to a running daemon.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{parse_frame, serialize_request, Frame, FrameKind, Request};
+
+/// Sends one request over a fresh TCP connection and collects every
+/// response frame up to and including the `done` terminator.
+pub fn roundtrip(addr: &str, request: &Request) -> std::io::Result<Vec<Frame>> {
+    let mut stream = TcpStream::connect(addr)?;
+    // One write, no Nagle: the request leaves as a single packet
+    // instead of stalling on a delayed ACK.
+    stream.set_nodelay(true)?;
+    let mut line = serialize_request(request);
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream), request.id)
+}
+
+/// Reads frames for `id` until its `done` frame. Frames for other ids
+/// (an interleaving daemon answering a pipelining client) are skipped.
+pub fn read_response(reader: &mut impl BufRead, id: u64) -> std::io::Result<Vec<Frame>> {
+    let mut frames = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the done frame",
+            ));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = parse_frame(line.trim_end()).map_err(|reject| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {}", reject.path, reject.message),
+            )
+        })?;
+        if frame.id != id {
+            continue;
+        }
+        let done = frame.frame == FrameKind::Done;
+        frames.push(frame);
+        if done {
+            return Ok(frames);
+        }
+    }
+}

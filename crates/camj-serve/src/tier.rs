@@ -1,0 +1,324 @@
+//! The on-disk cache tier: a content-addressed byte store under
+//! `--cache-dir`, implementing [`PersistentTier`] so the process-wide
+//! [`EstimateCache`](camj_core::energy::EstimateCache) survives daemon
+//! restarts.
+//!
+//! ## Entry format
+//!
+//! One artifact per file, `<root>/<family>/<fingerprint>.entry`:
+//!
+//! ```text
+//! camj-tier v1 <family> <fingerprint> <payload-digest> <payload-len>\n
+//! <payload bytes>
+//! ```
+//!
+//! The single-line ASCII header is self-describing: a version token
+//! (bumping [`TIER_VERSION`] invalidates every older entry), the
+//! family and fingerprint (so a renamed or hand-copied file can never
+//! serve the wrong key), and the payload's length and content digest.
+//!
+//! ## Corruption recovery
+//!
+//! [`DiskTier::load`] returns the payload only when every header field
+//! checks out **and** the recomputed digest matches. A truncated,
+//! bit-flipped, version-stale, or misnamed entry is reported as a miss
+//! — the caller recomputes and the write-through below replaces the
+//! bad file — so a damaged cache directory can degrade performance but
+//! never correctness.
+//!
+//! ## Durability
+//!
+//! [`DiskTier::store`] writes to a temporary sibling, `fsync`s it, and
+//! renames it into place, so a crash mid-store leaves either the old
+//! entry or the new one — never a torn file that parses.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde_json::Value;
+
+use camj_core::energy::PersistentTier;
+use camj_tech::fingerprint::{Fingerprint, FpHasher};
+
+/// Version token in every entry header; bump to invalidate the tier.
+pub const TIER_VERSION: &str = "v1";
+
+/// Counters a [`DiskTier`] keeps about itself, surfaced through the
+/// daemon's `stats` request. Volatile: never part of a result body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Entries served intact.
+    pub hits: u64,
+    /// Lookups with no entry on disk.
+    pub misses: u64,
+    /// Entries rejected for a digest/length/key mismatch.
+    pub corrupt: u64,
+    /// Entries rejected for a version-token mismatch.
+    pub stale: u64,
+    /// Entries written (including rewrites of rejected ones).
+    pub writes: u64,
+}
+
+impl TierStats {
+    /// The stats as an ordered JSON object.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        m.insert(
+            "hits",
+            Value::Number(serde_json::Number::from_u64(self.hits)),
+        );
+        m.insert(
+            "misses",
+            Value::Number(serde_json::Number::from_u64(self.misses)),
+        );
+        m.insert(
+            "corrupt",
+            Value::Number(serde_json::Number::from_u64(self.corrupt)),
+        );
+        m.insert(
+            "stale",
+            Value::Number(serde_json::Number::from_u64(self.stale)),
+        );
+        m.insert(
+            "writes",
+            Value::Number(serde_json::Number::from_u64(self.writes)),
+        );
+        Value::Object(m)
+    }
+}
+
+/// The on-disk tier. Cheap to share: all state is the root path plus
+/// relaxed counters.
+#[derive(Debug)]
+pub struct DiskTier {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    stale: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) a tier rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The tier's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Snapshot of the tier's counters.
+    #[must_use]
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The entry path for a key.
+    #[must_use]
+    pub fn entry_path(&self, family: &str, fp: Fingerprint) -> PathBuf {
+        self.root.join(family).join(format!("{fp}.entry"))
+    }
+
+    /// Content digest of a payload, printed like a fingerprint.
+    fn digest(payload: &[u8]) -> Fingerprint {
+        let mut h = FpHasher::new();
+        h.write_str("camj-tier.payload");
+        h.write_bytes(payload);
+        h.finish()
+    }
+
+    /// Parses + verifies an entry file's bytes; `None` on any mismatch.
+    fn verify<'a>(&self, family: &str, fp: Fingerprint, bytes: &'a [u8]) -> Option<&'a [u8]> {
+        let newline = bytes.iter().position(|b| *b == b'\n')?;
+        let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+        let payload = &bytes[newline + 1..];
+        let mut fields = header.split(' ');
+        if fields.next() != Some("camj-tier") {
+            return None;
+        }
+        if fields.next() != Some(TIER_VERSION) {
+            self.stale.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let intact = fields.next() == Some(family)
+            && fields.next() == Some(fp.to_string().as_str())
+            && fields.next() == Some(Self::digest(payload).to_string().as_str())
+            && fields.next() == Some(payload.len().to_string().as_str())
+            && fields.next().is_none();
+        if !intact {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(payload)
+    }
+}
+
+impl PersistentTier for DiskTier {
+    fn load(&self, family: &'static str, fp: Fingerprint) -> Option<Vec<u8>> {
+        let bytes = match fs::read(self.entry_path(family, fp)) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match self.verify(family, fp, &bytes) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload.to_vec())
+            }
+            // verify() already classified the rejection (corrupt or
+            // stale); a truncated file with no newline lands here too.
+            None => None,
+        }
+    }
+
+    fn store(&self, family: &'static str, fp: Fingerprint, payload: &[u8]) {
+        let path = self.entry_path(family, fp);
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let header = format!(
+            "camj-tier {TIER_VERSION} {family} {fp} {} {}\n",
+            Self::digest(payload),
+            payload.len()
+        );
+        // Unique temp sibling per writer, then an atomic rename: a
+        // crash leaves the old entry or the new one, never a torn mix.
+        let tmp = path.with_extension(format!("tmp.{:x}", thread_token()));
+        let written = (|| -> std::io::Result<()> {
+            let mut file = File::create(&tmp)?;
+            file.write_all(header.as_bytes())?;
+            file.write_all(payload)?;
+            file.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if written.is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A token unique per thread within the process, for temp-file names.
+/// (Two daemons sharing a cache dir still can't collide destructively:
+/// the rename target is content-addressed, so both writers rename
+/// byte-identical files.)
+fn thread_token() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    std::process::id().hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camj_tech::fingerprint::Fingerprintable;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("camj-tier-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_survives_reopen() {
+        let root = temp_root("roundtrip");
+        let fp = ("entry", 1u32).fingerprint();
+        {
+            let tier = DiskTier::open(&root).unwrap();
+            tier.store("energy", fp, b"payload bytes");
+            assert_eq!(
+                tier.load("energy", fp).as_deref(),
+                Some(&b"payload bytes"[..])
+            );
+        }
+        let reopened = DiskTier::open(&root).unwrap();
+        assert_eq!(
+            reopened.load("energy", fp).as_deref(),
+            Some(&b"payload bytes"[..])
+        );
+        assert_eq!(reopened.stats().hits, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rejects_corrupt_truncated_and_stale_entries() {
+        let root = temp_root("damage");
+        let tier = DiskTier::open(&root).unwrap();
+        let fp = ("entry", 2u32).fingerprint();
+        tier.store("energy", fp, b"precious");
+        let path = tier.entry_path("energy", fp);
+
+        // Bit flip in the payload: digest mismatch.
+        let mut bytes = fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(tier.load("energy", fp), None);
+        assert_eq!(tier.stats().corrupt, 1);
+
+        // Truncation: length (and digest) mismatch.
+        tier.store("energy", fp, b"precious");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(tier.load("energy", fp), None);
+
+        // Version bump: stale, not corrupt.
+        tier.store("energy", fp, b"precious");
+        let text = fs::read(&path).unwrap();
+        let text = String::from_utf8(text).unwrap().replacen("v1", "v0", 1);
+        fs::write(&path, text).unwrap();
+        assert_eq!(tier.load("energy", fp), None);
+        assert_eq!(tier.stats().stale, 1);
+
+        // A fresh store heals every case.
+        tier.store("energy", fp, b"precious");
+        assert_eq!(tier.load("energy", fp).as_deref(), Some(&b"precious"[..]));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn families_and_keys_never_alias() {
+        let root = temp_root("alias");
+        let tier = DiskTier::open(&root).unwrap();
+        let a = ("entry", 3u32).fingerprint();
+        let b = ("entry", 4u32).fingerprint();
+        tier.store("energy", a, b"for a");
+        tier.store("stall", a, b"stall a");
+        assert_eq!(tier.load("energy", a).as_deref(), Some(&b"for a"[..]));
+        assert_eq!(tier.load("stall", a).as_deref(), Some(&b"stall a"[..]));
+        assert_eq!(tier.load("energy", b), None);
+        // A hand-copied entry under the wrong key is detected, not
+        // served: the header pins the fingerprint.
+        fs::copy(tier.entry_path("energy", a), tier.entry_path("energy", b)).unwrap();
+        assert_eq!(tier.load("energy", b), None);
+        assert!(tier.stats().corrupt >= 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -13,17 +13,23 @@
 //!             [--format json|csv]
 //! camj search --design FILE [--fps A,B,C] [--population N] [--generations N]
 //!             [--budget N] [--seed N] [--format json|csv]
+//! camj serve [--listen ADDR | --stdio] [--cache-dir DIR]
+//!            [--workers N] [--queue N]
 //! ```
 //!
 //! `estimate`, `simulate`, `sweep`, `pareto`, and `search` additionally accept
 //! `--trace FILE` (Chrome trace-event JSON; the `CAMJ_TRACE`
 //! environment variable sets a default path) and `--metrics text|json`
-//! (an aggregated per-stage timing report, printed to stderr).
+//! (an aggregated per-stage timing report, printed to stderr) — and
+//! `--connect ADDR`, which sends the request to a running `camj serve`
+//! daemon (sharing its warm estimate cache) instead of estimating
+//! locally.
 //!
-//! Exit codes: 0 success, 1 validation/model failure, 2 usage or I/O
-//! error. All output is deterministic — CI diffs `camj estimate`
-//! against a committed snapshot. Tracing never changes stdout: the
-//! recording drains to the side channels above.
+//! Exit codes: 0 success, 1 validation/model failure (including any
+//! captured per-point panic in sweep/pareto/search results), 2 usage
+//! or I/O error. All output is deterministic — CI diffs `camj
+//! estimate` against a committed snapshot. Tracing never changes
+//! stdout: the recording drains to the side channels above.
 
 use std::fs;
 use std::process::ExitCode;
@@ -36,6 +42,8 @@ use camj_explore::{
     Constraint, EstimateCache, Explorer, Objective, ParetoQuery, SearchSpec, Sweep, SweepFormat,
 };
 use camj_obs::ObsSession;
+use camj_serve::protocol::{ConstraintsReq, FrameKind, Request, RequestKind};
+use camj_serve::ServeConfig;
 
 const USAGE: &str = "\
 camj — declarative energy estimation for in-sensor visual computing
@@ -91,10 +99,27 @@ USAGE:
         the run byte-identically across repeat runs and thread counts.
         Small grids fall back to exact cartesian evaluation.
 
+    camj serve [--listen ADDR | --stdio] [--cache-dir DIR]
+               [--workers N] [--queue N]
+        Run the estimation daemon: newline-delimited JSON requests
+        (validate/estimate/simulate/sweep/pareto/search/stats/
+        shutdown) over TCP (default 127.0.0.1:0; the bound address is
+        printed to stderr) or stdin/stdout with --stdio. All requests
+        share one warm estimate cache; --cache-dir adds a persistent
+        on-disk tier that survives restarts. --workers (default 4)
+        sizes the execution pool, --queue (default 64) bounds the job
+        queue (full queue = backpressure on readers). --trace and
+        --metrics record the whole daemon run.
+
     sweep, pareto, and search accept --threads N to pin the worker
     count (equivalent to RAYON_NUM_THREADS=N; N must be positive).
 
-OBSERVABILITY (estimate, simulate, sweep, pareto, search):
+    estimate, simulate, sweep, pareto, and search accept
+    --connect ADDR to run against a `camj serve` daemon instead of
+    estimating locally: the design file is sent inline, the daemon's
+    shared cache does the work, and the result JSON prints to stdout.
+
+OBSERVABILITY (estimate, simulate, sweep, pareto, search, serve):
     --trace FILE
         Record the command as Chrome trace-event JSON, loadable in
         Perfetto or chrome://tracing. The CAMJ_TRACE environment
@@ -123,6 +148,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "pareto" => cmd_pareto(rest),
         "search" => cmd_search(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -159,9 +185,16 @@ struct Flags {
     budget: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    listen: Option<String>,
+    cache_dir: Option<String>,
+    workers: Option<String>,
+    queue: Option<String>,
+    connect: Option<String>,
     json: bool,
     no_cache: bool,
     stats: bool,
+    stdio: bool,
+    fault_injection: bool,
     positional: Vec<String>,
 }
 
@@ -196,9 +229,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--budget" => flags.budget = Some(value_of("--budget", &mut it)?),
             "--trace" => flags.trace = Some(value_of("--trace", &mut it)?),
             "--metrics" => flags.metrics = Some(value_of("--metrics", &mut it)?),
+            "--listen" => flags.listen = Some(value_of("--listen", &mut it)?),
+            "--cache-dir" => flags.cache_dir = Some(value_of("--cache-dir", &mut it)?),
+            "--workers" => flags.workers = Some(value_of("--workers", &mut it)?),
+            "--queue" => flags.queue = Some(value_of("--queue", &mut it)?),
+            "--connect" => flags.connect = Some(value_of("--connect", &mut it)?),
             "--json" => flags.json = true,
             "--no-cache" => flags.no_cache = true,
             "--stats" => flags.stats = true,
+            "--stdio" => flags.stdio = true,
+            "--fault-injection" => flags.fault_injection = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -375,6 +415,9 @@ fn cmd_estimate(args: &[String]) -> ExitCode {
 }
 
 fn run_estimate(flags: &Flags) -> ExitCode {
+    if flags.connect.is_some() {
+        return run_connected(flags, RequestKind::Estimate);
+    }
     let Some(path) = &flags.design else {
         return usage_error("estimate needs --design FILE");
     };
@@ -450,6 +493,9 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
 }
 
 fn run_simulate(flags: &Flags) -> ExitCode {
+    if flags.connect.is_some() {
+        return run_connected(flags, RequestKind::Simulate);
+    }
     let Some(path) = &flags.design else {
         return usage_error("simulate needs --design FILE");
     };
@@ -661,6 +707,9 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
 }
 
 fn run_sweep(flags: &Flags) -> ExitCode {
+    if flags.connect.is_some() {
+        return run_connected(flags, RequestKind::Sweep);
+    }
     if flags.stats {
         return usage_error(
             "--stats is an estimate/simulate flag; sweep and pareto always report cache stats",
@@ -704,13 +753,17 @@ fn run_sweep(flags: &Flags) -> ExitCode {
     // cache, models built once per planned group, kernels replayed on
     // fingerprint hits. `--no-cache` falls back to the plain staged
     // pipeline (still model-cached within the sweep, as in PR 1).
+    let fault_fps = injected_fault_fps();
     let (results, cache_stats) = if flags.no_cache {
         (Explorer::new().sweep_fps(&model, targets), None)
     } else {
         let sweep = Sweep::new().fps_targets(targets);
         let cache = EstimateCache::shared();
-        let results = Explorer::new()
-            .sweep_incremental(&sweep, &cache, |point| Ok(model.with_fps(point.fps("fps"))));
+        let results = Explorer::new().sweep_incremental(&sweep, &cache, |point| {
+            let fps = point.fps("fps");
+            fault_check(fault_fps, fps);
+            Ok(model.with_fps(fps))
+        });
         (results, Some(cache.stats()))
     };
     match format {
@@ -745,7 +798,12 @@ fn run_sweep(flags: &Flags) -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    let panicked = results
+        .outcomes()
+        .iter()
+        .filter(|o| matches!(&o.result, Err(e) if e.is_panic()))
+        .count();
+    finish_with_panic_check(panicked, "sweep")
 }
 
 fn cmd_pareto(args: &[String]) -> ExitCode {
@@ -765,6 +823,9 @@ fn cmd_pareto(args: &[String]) -> ExitCode {
 }
 
 fn run_pareto(flags: &Flags) -> ExitCode {
+    if flags.connect.is_some() {
+        return run_connected(flags, RequestKind::Pareto);
+    }
     if flags.stats {
         return usage_error(
             "--stats is an estimate/simulate flag; sweep and pareto always report cache stats",
@@ -881,8 +942,11 @@ fn run_pareto(flags: &Flags) -> ExitCode {
     };
     let sweep = Sweep::new().fps_targets(targets);
     let cache = EstimateCache::shared();
+    let fault_fps = injected_fault_fps();
     let results = Explorer::new().pareto(&sweep, &cache, &query, |point| {
-        Ok(model.with_fps(point.fps("fps")))
+        let fps = point.fps("fps");
+        fault_check(fault_fps, fps);
+        Ok(model.with_fps(fps))
     });
     match format {
         SweepFormat::Json => println!("{}", results.to_json(Some(&cache.stats()))),
@@ -930,7 +994,12 @@ fn run_pareto(flags: &Flags) -> ExitCode {
             println!("cache: {}", cache.stats());
         }
     }
-    ExitCode::SUCCESS
+    let panicked = results
+        .errors()
+        .iter()
+        .filter(|(_, e)| e.is_panic())
+        .count();
+    finish_with_panic_check(panicked, "pareto")
 }
 
 fn cmd_search(args: &[String]) -> ExitCode {
@@ -950,6 +1019,9 @@ fn cmd_search(args: &[String]) -> ExitCode {
 }
 
 fn run_search(flags: &Flags) -> ExitCode {
+    if flags.connect.is_some() {
+        return run_connected(flags, RequestKind::Search);
+    }
     if flags.stats {
         return usage_error(
             "--stats is an estimate/simulate flag; sweep and pareto always report cache stats",
@@ -1106,8 +1178,11 @@ fn run_search(flags: &Flags) -> ExitCode {
     }
     let sweep = Sweep::new().fps_targets(targets);
     let cache = EstimateCache::shared();
+    let fault_fps = injected_fault_fps();
     let results = Explorer::new().search(&sweep, &cache, &query, &search_spec, |point| {
-        Ok(model.with_fps(point.fps("fps")))
+        let fps = point.fps("fps");
+        fault_check(fault_fps, fps);
+        Ok(model.with_fps(fps))
     });
     match format {
         SweepFormat::Json => println!("{}", results.to_json(Some(&cache.stats()))),
@@ -1166,7 +1241,252 @@ fn run_search(flags: &Flags) -> ExitCode {
             println!("cache: {}", cache.stats());
         }
     }
-    ExitCode::SUCCESS
+    let panicked = results
+        .pareto()
+        .errors()
+        .iter()
+        .filter(|(_, e)| e.is_panic())
+        .count();
+    finish_with_panic_check(panicked, "search")
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e),
+    };
+    let obs = match obs_begin(&flags) {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let code = {
+        let _span = obs_core::span("cli.serve");
+        run_serve(&flags)
+    };
+    obs_finish(obs, code)
+}
+
+fn run_serve(flags: &Flags) -> ExitCode {
+    if let [stray, ..] = flags.positional.as_slice() {
+        return usage_error(&format!("serve takes no positional argument '{stray}'"));
+    }
+    if flags.stdio && flags.listen.is_some() {
+        return usage_error("--stdio and --listen are mutually exclusive");
+    }
+    let workers = match flags.workers.as_deref() {
+        None => 4,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return usage_error(&format!("--workers needs a positive integer, got '{text}'")),
+        },
+    };
+    let queue_capacity = match flags.queue.as_deref() {
+        None => 64,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return usage_error(&format!("--queue needs a positive integer, got '{text}'")),
+        },
+    };
+    let config = ServeConfig {
+        cache_dir: flags.cache_dir.clone().map(std::path::PathBuf::from),
+        workers,
+        queue_capacity,
+        fault_injection: flags.fault_injection,
+    };
+    let served = if flags.stdio {
+        camj_serve::serve_stdio(&config)
+    } else {
+        let addr = flags.listen.as_deref().unwrap_or("127.0.0.1:0");
+        match std::net::TcpListener::bind(addr) {
+            Ok(listener) => camj_serve::serve_tcp(listener, &config),
+            Err(e) => {
+                eprintln!("error: could not bind {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// --connect: run a subcommand against a `camj serve` daemon
+// ---------------------------------------------------------------------
+
+/// Builds the protocol request a subcommand's flags describe, with the
+/// design file inlined.
+fn connect_request(flags: &Flags, kind: RequestKind) -> Result<Request, String> {
+    if flags.stats {
+        return Err(
+            "--stats is local-only; the daemon's `stats` request reports cache state".into(),
+        );
+    }
+    if flags.no_cache {
+        return Err("--no-cache is local-only; the daemon always shares its cache".into());
+    }
+    if flags.threads.is_some() {
+        return Err("--threads is local-only; worker count is the daemon's --workers".into());
+    }
+    if flags.format.as_deref() == Some("csv") {
+        return Err("--connect prints the daemon's JSON result; --format csv is local-only".into());
+    }
+    let Some(path) = &flags.design else {
+        return Err(format!("{} needs --design FILE", kind.as_str()));
+    };
+    let text = fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let design: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("could not parse {path}: {e}"))?;
+    let mut request = Request::new(kind);
+    request.id = 1;
+    request.design = Some(design);
+    if let Some(list) = &flags.fps {
+        request.fps = Some(
+            list.split(',')
+                .map(parse_fps_single)
+                .collect::<Result<Vec<f64>, String>>()?,
+        );
+    }
+    if let Some(text) = flags.seed.as_deref() {
+        request.seed = Some(
+            text.parse::<u64>()
+                .map_err(|_| format!("--seed needs an unsigned integer, got '{text}'"))?,
+        );
+    }
+    if let Some(text) = flags.samples.as_deref() {
+        request.samples = Some(
+            text.parse::<u32>()
+                .map_err(|_| format!("--samples needs an integer, got '{text}'"))?,
+        );
+    }
+    request.stimulus = flags.stimulus.clone();
+    if let Some(list) = &flags.objectives {
+        request.objectives = Some(list.split(',').map(|s| s.trim().to_owned()).collect());
+    }
+    let mut constraints = ConstraintsReq::default();
+    let budgets = [
+        (&flags.max_density, "--max-density"),
+        (&flags.max_latency_ms, "--max-latency-ms"),
+        (&flags.max_energy_pj, "--max-energy-pj"),
+    ];
+    for (value, flag) in budgets {
+        let Some(text) = value else { continue };
+        let budget = text
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("{flag} needs a positive number, got '{text}'"))?;
+        match flag {
+            "--max-density" => constraints.max_power_density_mw_per_mm2 = Some(budget),
+            "--max-latency-ms" => constraints.max_digital_latency_ms = Some(budget),
+            _ => constraints.max_total_energy_pj = Some(budget),
+        }
+    }
+    if constraints.any() {
+        request.constraints = Some(constraints);
+    }
+    let knobs = [
+        (&flags.population, "--population"),
+        (&flags.generations, "--generations"),
+        (&flags.budget, "--budget"),
+    ];
+    for (value, flag) in knobs {
+        let Some(text) = value else { continue };
+        let count = text
+            .parse::<u64>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("{flag} needs a positive integer, got '{text}'"))?;
+        match flag {
+            "--population" => request.population = Some(count),
+            "--generations" => request.generations = Some(count),
+            _ => request.budget = Some(count),
+        }
+    }
+    Ok(request)
+}
+
+/// Sends the request to the daemon and renders its response: result
+/// bodies pretty-printed to stdout, errors path-qualified to stderr.
+fn run_connected(flags: &Flags, kind: RequestKind) -> ExitCode {
+    let addr = flags.connect.as_deref().unwrap_or_default();
+    let request = match connect_request(flags, kind) {
+        Ok(r) => r,
+        Err(e) => return usage_error(&e),
+    };
+    let frames = match camj_serve::roundtrip(addr, &request) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: could not reach the daemon at {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for frame in &frames {
+        match frame.frame {
+            FrameKind::Error => {
+                failed = true;
+                eprintln!(
+                    "error[{}]: {}",
+                    frame.path.as_deref().unwrap_or("request"),
+                    frame.message.as_deref().unwrap_or("unspecified failure"),
+                );
+            }
+            FrameKind::Result => {
+                if let Some(body) = &frame.body {
+                    match serde_json::to_string_pretty(body) {
+                        Ok(json) => println!("{json}"),
+                        Err(e) => {
+                            eprintln!("error: could not render the result: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            FrameKind::Point | FrameKind::Done => {}
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-point panic accounting (sweep/pareto/search exit codes)
+// ---------------------------------------------------------------------
+
+/// Test hook: `CAMJ_FAULT_PANIC_FPS=<fps>` makes the sweep/pareto/
+/// search model-build closure panic at that frame-rate target, so the
+/// captured-panic exit path can be exercised end-to-end.
+fn injected_fault_fps() -> Option<f64> {
+    std::env::var("CAMJ_FAULT_PANIC_FPS").ok()?.parse().ok()
+}
+
+/// Panics iff the fault-injection hook targets this frame rate.
+fn fault_check(fault_fps: Option<f64>, fps: f64) {
+    if fault_fps == Some(fps) {
+        panic!("injected fault: fps {fps}");
+    }
+}
+
+/// The shared epilogue of sweep/pareto/search: results were printed,
+/// but any *captured panic* among them is a bug, not an infeasible
+/// point — exit 1 with a one-line stderr summary so scripted callers
+/// notice without parsing the JSON.
+fn finish_with_panic_check(panicked: usize, command: &str) -> ExitCode {
+    if panicked == 0 {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "error: {panicked} point(s) panicked during {command}; their result rows carry the panic message"
+    );
+    ExitCode::FAILURE
 }
 
 /// The objectives `camj pareto` minimises when neither `--objectives`

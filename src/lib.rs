@@ -24,7 +24,11 @@
 //!   the golden files under `descriptions/`),
 //! * [`obs`] — recording sessions over the `obs_core` tracing facade:
 //!   Chrome trace-event export, aggregated metrics, and the
-//!   determinism digest behind `camj --trace` / `--metrics`.
+//!   determinism digest behind `camj --trace` / `--metrics`,
+//! * [`serve`] — the estimation daemon behind `camj serve`: a
+//!   newline-delimited JSON protocol over TCP/stdio, one process-wide
+//!   warm estimate cache with request dedup, and a persistent on-disk
+//!   cache tier (`--cache-dir`) that survives restarts.
 //!
 //! `docs/ARCHITECTURE.md` walks the whole machine — the staged
 //! pipeline, the fingerprint/cache model, the delta-sweep planner, and
@@ -64,6 +68,7 @@ pub use camj_desc as desc;
 pub use camj_digital as digital;
 pub use camj_explore as explore;
 pub use camj_obs as obs;
+pub use camj_serve as serve;
 pub use camj_tech as tech;
 pub use camj_workloads as workloads;
 

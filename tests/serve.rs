@@ -1,0 +1,620 @@
+//! End-to-end tests for the `camj serve` daemon: the stdio transport,
+//! concurrent-client dedup determinism, disk-tier warm starts and
+//! corruption recovery, panic isolation, the warm-repeat speedup the
+//! serving layer exists for, and the sweep/pareto/search captured-panic
+//! exit codes.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use camj_serve::protocol::{
+    parse_frame, serialize_request, Frame, FrameKind, Request, RequestKind,
+};
+use serde_json::Value;
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+/// A `camj serve` child on a fresh TCP port, killed on drop.
+struct Daemon {
+    child: Option<Child>,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `camj serve --listen 127.0.0.1:0 <extra>` with the given
+    /// environment and parses the bound address off the stderr banner.
+    fn spawn(extra: &[&str], env: &[(&str, &str)]) -> Self {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_camj"));
+        cmd.args(["serve", "--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        for (key, value) in env {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn().expect("camj serve spawns");
+        let stderr = child.stderr.take().expect("stderr is piped");
+        let mut lines = BufReader::new(stderr).lines();
+        let banner = lines
+            .next()
+            .expect("daemon prints a banner")
+            .expect("banner is utf-8");
+        let addr = banner
+            .strip_prefix("serve: listening on ")
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_owned();
+        // Keep draining stderr so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+        Self {
+            child: Some(child),
+            addr,
+        }
+    }
+
+    /// Sends `shutdown` and waits for a clean exit.
+    fn shutdown(mut self) {
+        let mut request = Request::new(RequestKind::Shutdown);
+        request.id = 999;
+        let frames = camj_serve::roundtrip(&self.addr, &request).expect("shutdown answers");
+        assert!(frames.iter().any(|f| f.frame == FrameKind::Result));
+        let mut child = self.child.take().expect("daemon still running");
+        let status = child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon exit status: {status:?}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// A scratch directory under the system temp root, cleared up-front.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("camj-serve-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The quickstart design, inlined as a JSON value.
+fn quickstart() -> Value {
+    let text = fs::read_to_string("descriptions/quickstart.json").unwrap();
+    serde_json::from_str(&text).unwrap()
+}
+
+/// An estimate request for the quickstart design at one target.
+fn estimate_request(id: u64) -> Request {
+    let mut request = Request::new(RequestKind::Estimate);
+    request.id = id;
+    request.design = Some(quickstart());
+    request.fps = Some(vec![30.0]);
+    request
+}
+
+/// A sweep request over `points` frame-rate targets.
+fn sweep_request(id: u64, points: usize) -> Request {
+    let mut request = Request::new(RequestKind::Sweep);
+    request.id = id;
+    request.design = Some(quickstart());
+    request.fps = Some((1..=points).map(|i| 24.0 + i as f64).collect());
+    request
+}
+
+/// Sends one raw request line and returns the daemon's response for
+/// `id` as raw lines (byte-comparable), up to and including `done`.
+fn raw_roundtrip(addr: &str, request: &Request) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connects to daemon");
+    stream.set_nodelay(true).unwrap();
+    let mut line = serialize_request(request);
+    line.push('\n');
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    loop {
+        let mut next = String::new();
+        assert_ne!(
+            reader.read_line(&mut next).expect("reads a frame line"),
+            0,
+            "connection closed before the done frame"
+        );
+        let text = next.trim_end().to_owned();
+        let frame = parse_frame(&text).expect("daemon emits valid frames");
+        if frame.id != request.id {
+            continue;
+        }
+        let done = frame.frame == FrameKind::Done;
+        lines.push(text);
+        if done {
+            return lines;
+        }
+    }
+}
+
+/// Fetches the daemon's `stats` body.
+fn stats(addr: &str) -> Value {
+    let mut request = Request::new(RequestKind::Stats);
+    request.id = 777;
+    let frames = camj_serve::roundtrip(addr, &request).expect("stats answers");
+    let result = frames
+        .iter()
+        .find(|f| f.frame == FrameKind::Result)
+        .expect("stats has a result frame");
+    result.body.clone().expect("stats result has a body")
+}
+
+/// Reads a numeric counter out of a stats body by dotted path.
+fn counter(body: &Value, path: &str) -> u64 {
+    let mut cursor = body.clone();
+    for step in path.split('.') {
+        cursor = cursor
+            .as_object()
+            .and_then(|m| m.get(step))
+            .unwrap_or_else(|| panic!("stats body missing {path}"))
+            .clone();
+    }
+    cursor
+        .as_f64()
+        .unwrap_or_else(|| panic!("{path} is not numeric"))
+        .round() as u64
+}
+
+// ---------------------------------------------------------------------
+// stdio transport
+// ---------------------------------------------------------------------
+
+#[test]
+fn stdio_smoke_full_protocol_session() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_camj"))
+        .args(["serve", "--stdio", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("camj serve --stdio spawns");
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        let mut validate = Request::new(RequestKind::Validate);
+        validate.id = 1;
+        validate.design = Some(quickstart());
+        writeln!(stdin, "{}", serialize_request(&validate)).unwrap();
+        writeln!(stdin, "{}", serialize_request(&estimate_request(2))).unwrap();
+        writeln!(stdin, "this is not json").unwrap();
+        writeln!(stdin, "{{\"id\":4,\"kind\":\"transmogrify\"}}").unwrap();
+        let mut shutdown = Request::new(RequestKind::Shutdown);
+        shutdown.id = 5;
+        writeln!(stdin, "{}", serialize_request(&shutdown)).unwrap();
+    }
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success(), "exit status {:?}", out.status);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("serve: ready on stdio"),
+        "missing stdio banner"
+    );
+
+    let frames: Vec<Frame> = String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_frame(l).expect("daemon emits valid frames"))
+        .collect();
+    // Five requests, each answered and each terminated by `done`.
+    assert_eq!(
+        frames.iter().filter(|f| f.frame == FrameKind::Done).count(),
+        5
+    );
+    let validate = frames.iter().find(|f| f.id == 1).unwrap();
+    let body = validate.body.as_ref().unwrap().as_object().unwrap();
+    assert_eq!(body.get("ok"), Some(&Value::Bool(true)));
+    let estimate = frames
+        .iter()
+        .find(|f| f.id == 2 && f.frame == FrameKind::Result)
+        .expect("estimate answered");
+    assert!(estimate.body.as_ref().unwrap().as_object().is_some());
+    let garbage = frames
+        .iter()
+        .find(|f| f.id == 0 && f.frame == FrameKind::Error)
+        .expect("garbage line answered with an error frame");
+    assert_eq!(garbage.path.as_deref(), Some("request"));
+    let unknown = frames
+        .iter()
+        .find(|f| f.id == 4 && f.frame == FrameKind::Error)
+        .expect("unknown kind answered with an error frame");
+    assert_eq!(unknown.path.as_deref(), Some("request.kind"));
+    let stopping = frames
+        .iter()
+        .find(|f| f.id == 5 && f.frame == FrameKind::Result)
+        .expect("shutdown acknowledged");
+    let body = stopping.body.as_ref().unwrap().as_object().unwrap();
+    assert_eq!(body.get("stopping"), Some(&Value::Bool(true)));
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: dedup determinism (satellite 2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_identical_sweeps_dedup_to_one_execution() {
+    const CLIENTS: usize = 4;
+    let mut streams_by_rayon: Vec<Vec<String>> = Vec::new();
+    for rayon_threads in ["1", "2", "8"] {
+        // Baseline: a lone client on a cold daemon.
+        let lone = Daemon::spawn(&["--workers", "4"], &[("RAYON_NUM_THREADS", rayon_threads)]);
+        let baseline_stream = raw_roundtrip(&lone.addr, &sweep_request(7, 8));
+        let baseline_misses = counter(&stats(&lone.addr), "cache.misses");
+        assert!(baseline_misses > 0, "a cold sweep must miss the cache");
+        lone.shutdown();
+
+        // The same sweep from CLIENTS simultaneous connections.
+        let daemon = Daemon::spawn(&["--workers", "4"], &[("RAYON_NUM_THREADS", rayon_threads)]);
+        let barrier = Arc::new(Barrier::new(CLIENTS));
+        let mut handles = Vec::new();
+        for _ in 0..CLIENTS {
+            let addr = daemon.addr.clone();
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                raw_roundtrip(&addr, &sweep_request(7, 8))
+            }));
+        }
+        let streams: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for stream in &streams[1..] {
+            assert_eq!(
+                stream, &streams[0],
+                "concurrent clients must see byte-identical streams"
+            );
+        }
+        assert_eq!(
+            streams[0], baseline_stream,
+            "a deduped response must match a lone cold run byte for byte"
+        );
+
+        let body = stats(&daemon.addr);
+        assert_eq!(counter(&body, "requests"), CLIENTS as u64 + 1); // + the stats call
+        assert_eq!(
+            counter(&body, "dedup_hits"),
+            CLIENTS as u64 - 1,
+            "all but the first client must join the in-flight slot"
+        );
+        assert_eq!(
+            counter(&body, "cache.misses"),
+            baseline_misses,
+            "energy kernels must have run exactly once despite {CLIENTS} clients"
+        );
+        daemon.shutdown();
+        streams_by_rayon.push(streams.into_iter().next().unwrap());
+    }
+    // And the rows themselves don't depend on the rayon pool size.
+    assert_eq!(streams_by_rayon[0], streams_by_rayon[1]);
+    assert_eq!(streams_by_rayon[0], streams_by_rayon[2]);
+}
+
+// ---------------------------------------------------------------------
+// Disk tier: warm starts, corruption recovery (satellite 3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn disk_tier_survives_restart_and_heals_damage() {
+    let cache_dir = temp_dir("tier");
+    let dir_flag = cache_dir.to_str().unwrap();
+
+    // Cold run: populate the tier.
+    let daemon = Daemon::spawn(&["--workers", "2", "--cache-dir", dir_flag], &[]);
+    let cold = raw_roundtrip(&daemon.addr, &estimate_request(11));
+    let body = stats(&daemon.addr);
+    assert!(
+        counter(&body, "tier.writes") > 0,
+        "cold run must write entries"
+    );
+    assert_eq!(counter(&body, "tier.hits"), 0);
+    daemon.shutdown();
+
+    // Kill-and-restart warm start: the tier answers, bit-identically.
+    let daemon = Daemon::spawn(&["--workers", "2", "--cache-dir", dir_flag], &[]);
+    let warm = raw_roundtrip(&daemon.addr, &estimate_request(11));
+    assert_eq!(warm, cold, "a tier-warmed response must match the cold run");
+    let body = stats(&daemon.addr);
+    assert!(
+        counter(&body, "tier.hits") > 0,
+        "warm restart must have a non-zero tier hit rate"
+    );
+    daemon.shutdown();
+
+    // Damage the tier three ways: bit-flip, truncate, version-bump.
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for family in ["energy", "stall"] {
+        let family_dir = cache_dir.join(family);
+        if let Ok(dir) = fs::read_dir(&family_dir) {
+            for entry in dir.flatten() {
+                entries.push(entry.path());
+            }
+        }
+    }
+    entries.sort();
+    assert!(
+        entries.len() >= 3,
+        "expected at least 3 tier entries, found {}",
+        entries.len()
+    );
+    let mut bytes = fs::read(&entries[0]).unwrap();
+    *bytes.last_mut().unwrap() ^= 0x01;
+    fs::write(&entries[0], &bytes).unwrap();
+    let bytes = fs::read(&entries[1]).unwrap();
+    fs::write(&entries[1], &bytes[..bytes.len() / 2]).unwrap();
+    let text = String::from_utf8(fs::read(&entries[2]).unwrap()).unwrap();
+    fs::write(
+        &entries[2],
+        text.replacen("camj-tier v1", "camj-tier v0", 1),
+    )
+    .unwrap();
+
+    // The damaged daemon detects, recomputes, answers identically, and
+    // rewrites the bad entries.
+    let daemon = Daemon::spawn(&["--workers", "2", "--cache-dir", dir_flag], &[]);
+    let healed = raw_roundtrip(&daemon.addr, &estimate_request(11));
+    assert_eq!(
+        healed, cold,
+        "recovery from a damaged tier must be bit-identical to the cold run"
+    );
+    let body = stats(&daemon.addr);
+    assert!(
+        counter(&body, "tier.corrupt") >= 1,
+        "bit flip must be detected"
+    );
+    assert!(
+        counter(&body, "tier.stale") >= 1,
+        "version bump must be detected"
+    );
+    assert!(
+        counter(&body, "tier.writes") >= 1,
+        "damaged entries must be rewritten"
+    );
+    daemon.shutdown();
+
+    // After healing, a fresh daemon sees only intact entries again.
+    let daemon = Daemon::spawn(&["--workers", "2", "--cache-dir", dir_flag], &[]);
+    let again = raw_roundtrip(&daemon.addr, &estimate_request(11));
+    assert_eq!(again, cold);
+    let body = stats(&daemon.addr);
+    assert!(counter(&body, "tier.hits") > 0);
+    assert_eq!(
+        counter(&body, "tier.corrupt"),
+        0,
+        "healed entries must verify"
+    );
+    assert_eq!(counter(&body, "tier.stale"), 0);
+    daemon.shutdown();
+
+    let _ = fs::remove_dir_all(&cache_dir);
+}
+
+// ---------------------------------------------------------------------
+// Panic isolation
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_panic_yields_error_frame_and_daemon_survives() {
+    // Reference: a clean daemon's cold estimate.
+    let clean = Daemon::spawn(&["--workers", "2"], &[]);
+    let reference = raw_roundtrip(&clean.addr, &estimate_request(21));
+    clean.shutdown();
+
+    let daemon = Daemon::spawn(&["--workers", "2", "--fault-injection"], &[]);
+    let mut faulted = estimate_request(21);
+    faulted.fault = Some("panic".to_owned());
+    let frames = camj_serve::roundtrip(&daemon.addr, &faulted).expect("daemon answers the fault");
+    let error = frames
+        .iter()
+        .find(|f| f.frame == FrameKind::Error)
+        .expect("a panicking request gets an error frame");
+    assert!(
+        error
+            .message
+            .as_deref()
+            .unwrap_or_default()
+            .contains("panicked"),
+        "error message: {:?}",
+        error.message
+    );
+    assert_eq!(frames.last().unwrap().frame, FrameKind::Done);
+
+    // The daemon is still up and still correct, byte for byte.
+    let after = raw_roundtrip(&daemon.addr, &estimate_request(21));
+    assert_eq!(
+        after, reference,
+        "post-panic responses must match a clean cold run"
+    );
+    daemon.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Warm-repeat speedup (acceptance criterion)
+// ---------------------------------------------------------------------
+
+#[test]
+fn warm_repeat_of_a_cold_sweep_is_ten_times_faster() {
+    let daemon = Daemon::spawn(&["--workers", "2"], &[]);
+    // The heaviest committed design, so per-point estimation dominates
+    // the response transport in both build profiles.
+    let design: Value =
+        serde_json::from_str(&fs::read_to_string("descriptions/custom_chip.json").unwrap())
+            .unwrap();
+    let mut request = Request::new(RequestKind::Sweep);
+    request.id = 31;
+    request.design = Some(design);
+    request.fps = Some((1..=256).map(|i| 24.0 + i as f64).collect());
+
+    // Time the raw exchange on one persistent connection, without
+    // client-side JSON parsing, so the measurement is the daemon's
+    // latency — not accept-loop polling or test-harness decoding.
+    let stream = TcpStream::connect(&daemon.addr).expect("connects");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut timed = |request: &Request| {
+        let mut line = serialize_request(request);
+        line.push('\n');
+        let started = Instant::now();
+        reader.get_mut().write_all(line.as_bytes()).unwrap();
+        let mut lines = Vec::new();
+        loop {
+            let mut next = String::new();
+            assert_ne!(reader.read_line(&mut next).unwrap(), 0, "eof before done");
+            let done = next.contains("\"frame\":\"done\"");
+            lines.push(next);
+            if done {
+                return (lines, started.elapsed());
+            }
+        }
+    };
+
+    let (cold, cold_elapsed) = timed(&request);
+    let (warm, warm_elapsed) = timed(&request);
+
+    assert_eq!(warm, cold, "the warm repeat must replay identical frames");
+    assert_eq!(counter(&stats(&daemon.addr), "dedup_hits"), 1);
+    assert!(
+        cold_elapsed >= warm_elapsed * 10,
+        "expected a >=10x warm speedup, got cold={cold_elapsed:?} warm={warm_elapsed:?}"
+    );
+    daemon.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Captured-panic exit codes (satellite 4)
+// ---------------------------------------------------------------------
+
+#[test]
+fn sweep_pareto_search_exit_one_on_captured_panics() {
+    let variants: [(&str, &[&str]); 3] = [
+        ("sweep", &["--json"]),
+        ("pareto", &[]),
+        (
+            "search",
+            &["--population", "4", "--generations", "2", "--budget", "16"],
+        ),
+    ];
+    for (command, extra) in variants {
+        // Clean run: exit 0.
+        let ok = Command::new(env!("CARGO_BIN_EXE_camj"))
+            .args([
+                command,
+                "--design",
+                "descriptions/quickstart.json",
+                "--fps",
+                "30,60",
+            ])
+            .args(extra)
+            .output()
+            .expect("camj runs");
+        assert!(
+            ok.status.success(),
+            "{command} without faults should pass: {}",
+            String::from_utf8_lossy(&ok.stderr)
+        );
+
+        // Fault the first target: the panic is captured per-point, the
+        // results still print, and the exit code flips to 1.
+        let out = Command::new(env!("CARGO_BIN_EXE_camj"))
+            .args([
+                command,
+                "--design",
+                "descriptions/quickstart.json",
+                "--fps",
+                "30,60",
+            ])
+            .args(extra)
+            .env("CAMJ_FAULT_PANIC_FPS", "30")
+            .output()
+            .expect("camj runs");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{command} with a captured panic must exit 1 (stderr: {})",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("panicked during {command}")),
+            "{command} stderr must carry the one-line summary, got: {stderr}"
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "{command} must still print its results alongside the failure"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// camj --connect
+// ---------------------------------------------------------------------
+
+#[test]
+fn connect_flag_runs_subcommands_against_the_daemon() {
+    let daemon = Daemon::spawn(&["--workers", "2"], &[]);
+
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_camj"))
+            .args([
+                "estimate",
+                "--design",
+                "descriptions/quickstart.json",
+                "--fps",
+                "30",
+                "--connect",
+                &daemon.addr,
+            ])
+            .output()
+            .expect("camj runs")
+    };
+    let first = run();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let body: Value = serde_json::from_str(String::from_utf8_lossy(&first.stdout).trim()).unwrap();
+    assert!(
+        body.as_object().is_some(),
+        "--connect prints the JSON result"
+    );
+    let second = run();
+    assert_eq!(
+        second.stdout, first.stdout,
+        "repeat responses must be identical"
+    );
+
+    // Daemon-side validation errors surface as path-qualified stderr
+    // lines and a failing exit code.
+    let bad = Command::new(env!("CARGO_BIN_EXE_camj"))
+        .args([
+            "estimate",
+            "--design",
+            "descriptions/quickstart.json",
+            "--fps",
+            "30,60",
+            "--connect",
+            &daemon.addr,
+        ])
+        .output()
+        .expect("camj runs");
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("error[request.fps]"),
+        "stderr: {}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+    daemon.shutdown();
+}
