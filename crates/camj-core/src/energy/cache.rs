@@ -68,6 +68,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use camj_tech::fingerprint::Fingerprint;
 
 use crate::error::CamjError;
+use crate::functional::TaskMetrics;
 
 use super::breakdown::EnergyItem;
 use super::pipeline::ElasticSim;
@@ -183,11 +184,22 @@ const ENERGY_COUNTERS: FamilyCounters = FamilyCounters {
     wait: "cache.energy.wait",
 };
 
+const FUNCTIONAL_COUNTERS: FamilyCounters = FamilyCounters {
+    lookup: "cache.functional.lookup",
+    hit: "cache.functional.hit",
+    miss: "cache.functional.miss",
+    wait: "cache.functional.wait",
+};
+
 /// One stored artifact.
 #[derive(Debug, Clone)]
 enum CacheEntry {
     Elastic(Slot<Arc<Result<ElasticSim, CamjError>>>),
     Energy(Slot<Arc<Vec<EnergyItem>>>),
+    /// Task-accuracy metrics of one functional frame simulation, keyed
+    /// by the functional fingerprint (noise chain + stimulus content +
+    /// DAG structure + seeds). Memory-only, like the elastic family.
+    Functional(Slot<Arc<Result<TaskMetrics, CamjError>>>),
     /// Fastest per-stage readout time (seconds) known to pass the stall
     /// check for this topology.
     StallPass(f64),
@@ -200,6 +212,7 @@ impl CacheEntry {
         match self {
             CacheEntry::Elastic(slot) => slot.get().is_some(),
             CacheEntry::Energy(slot) => slot.get().is_some(),
+            CacheEntry::Functional(slot) => slot.get().is_some(),
             CacheEntry::StallPass(_) => true,
         }
     }
@@ -300,6 +313,29 @@ impl EstimateCache {
             || Arc::new(compute()),
             |value| approx_elastic_bytes(value.as_ref()),
             &ELASTIC_COUNTERS,
+        )
+    }
+
+    /// The task-accuracy metrics for functional fingerprint `fp`,
+    /// computing (and storing) them on first request. Same concurrency
+    /// contract as [`Self::elastic_or`]; memory-only like the elastic
+    /// family — a functional simulation is cheap to recompute relative
+    /// to a disk round-trip and re-runs rarely within one process.
+    pub fn functional_or(
+        &self,
+        fp: Fingerprint,
+        compute: impl FnOnce() -> Result<TaskMetrics, CamjError>,
+    ) -> Arc<Result<TaskMetrics, CamjError>> {
+        self.slot_or_compute(
+            fp,
+            |entry| match entry {
+                CacheEntry::Functional(slot) => Some(Arc::clone(slot)),
+                _ => None,
+            },
+            CacheEntry::Functional,
+            || Arc::new(compute()),
+            |_| std::mem::size_of::<TaskMetrics>() as u64 + 32,
+            &FUNCTIONAL_COUNTERS,
         )
     }
 

@@ -47,8 +47,9 @@ use crate::check;
 use crate::delay::DelayEstimate;
 use crate::error::CamjError;
 use crate::functional::{
-    self, FrameSimReport, McFrameSimReport, McOutputStats, NoiseReport, NoiseStage, OutputStats,
-    StageMcSim, StageNoise, StageSim, Stimulus, DEFAULT_SIGNAL_FRACTION,
+    self, DagSim, DagStageSim, FrameSimReport, McDagSim, McDagStageSim, McFrameSimReport,
+    McOutputStats, McTaskMetrics, NoiseReport, NoiseStage, OutputStats, StageMcSim, StageNoise,
+    StageSim, Stimulus, TaskMetrics, DEFAULT_SIGNAL_FRACTION,
 };
 use crate::hw::{AnalogUnitDesc, DigitalUnitKind, HardwareDesc, UnitKind};
 use crate::mapping::Mapping;
@@ -145,6 +146,11 @@ impl GatedEstimate {
 /// simulator's semantics change so stale cache keys cannot alias.
 const SIM_FINGERPRINT_DOMAIN: &str = "camj.sim/v1";
 
+/// Domain tag of the functional (task-metrics) fingerprint; bump when
+/// the frame pipeline or DAG semantics change so stale cache keys
+/// cannot alias.
+const FUNCTIONAL_FINGERPRINT_DOMAIN: &str = "camj.functional/v1";
+
 /// The FPS-independent result of the **simulate** stage: the elastic
 /// cycle-level simulation and the digital latency derived from it.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +227,7 @@ pub struct ValidatedModel {
     hw: HardwareDesc,
     mapping: Mapping,
     fps: f64,
+    stimulus: Stimulus,
     routes: Vec<Route>,
     elastic: OnceLock<Arc<Result<ElasticSim, CamjError>>>,
     sim_fp: OnceLock<Fingerprint>,
@@ -235,6 +242,7 @@ impl Clone for ValidatedModel {
             hw: self.hw.clone(),
             mapping: self.mapping.clone(),
             fps: self.fps,
+            stimulus: self.stimulus.clone(),
             routes: self.routes.clone(),
             elastic: self.elastic.clone(),
             sim_fp: self.sim_fp.clone(),
@@ -278,6 +286,7 @@ impl ValidatedModel {
             hw,
             mapping,
             fps,
+            stimulus: Stimulus::default(),
             routes,
             elastic: OnceLock::new(),
             sim_fp: OnceLock::new(),
@@ -349,6 +358,23 @@ impl ValidatedModel {
         let mut clone = self.clone();
         clone.fps = fps;
         clone
+    }
+
+    /// Attaches the scene the functional pipeline simulates
+    /// (builder-style). This is the stimulus `accuracy:<metric>`
+    /// objectives and [`Self::task_metrics`] evaluate under; explicit
+    /// `stimulus` arguments to [`Self::simulate_frame`] /
+    /// [`Self::simulate_frames`] are unaffected.
+    #[must_use]
+    pub fn with_stimulus(mut self, stimulus: Stimulus) -> Self {
+        self.stimulus = stimulus;
+        self
+    }
+
+    /// The attached scene (defaults to [`Stimulus::default`]).
+    #[must_use]
+    pub fn stimulus(&self) -> &Stimulus {
+        &self.stimulus
     }
 
     /// The content address of this model's elastic simulation: a hash
@@ -1142,6 +1168,53 @@ impl ValidatedModel {
         let snr: Vec<Option<f64>> = reports.iter().map(|r| r.output.snr_db).collect();
         let (noise_rms_mean, noise_rms_std) = functional::mean_std(&rms);
         let (snr_db_mean, snr_db_std) = functional::mean_std_opt(&snr);
+        let dag = reports[0].dag.as_ref().map(|first| {
+            // Every report shares the plan, so dag presence and stage
+            // lists agree across seeds.
+            let per_seed: Vec<&DagSim> = reports
+                .iter()
+                .map(|r| r.dag.as_ref().expect("shared plan"))
+                .collect();
+            let stages = (0..first.stages.len())
+                .map(|i| {
+                    let rms: Vec<f64> = per_seed.iter().map(|d| d.stages[i].error_rms).collect();
+                    let snr: Vec<Option<f64>> =
+                        per_seed.iter().map(|d| d.stages[i].snr_db).collect();
+                    let (error_rms_mean, error_rms_std) = functional::mean_std(&rms);
+                    let (snr_db_mean, snr_db_std) = functional::mean_std_opt(&snr);
+                    McDagStageSim {
+                        stage: first.stages[i].stage.clone(),
+                        error_rms_mean,
+                        error_rms_std,
+                        snr_db_mean,
+                        snr_db_std,
+                    }
+                })
+                .collect();
+            let mse: Vec<f64> = per_seed.iter().map(|d| d.metrics.mse).collect();
+            let rmse: Vec<f64> = per_seed.iter().map(|d| d.metrics.rmse).collect();
+            let psnr: Vec<Option<f64>> = per_seed.iter().map(|d| d.metrics.psnr_db).collect();
+            let cent: Vec<f64> = per_seed.iter().map(|d| d.metrics.centroid_err).collect();
+            let (mse_mean, mse_std) = functional::mean_std(&mse);
+            let (rmse_mean, rmse_std) = functional::mean_std(&rmse);
+            let (psnr_db_mean, psnr_db_std) = functional::mean_std_opt(&psnr);
+            let (centroid_err_mean, centroid_err_std) = functional::mean_std(&cent);
+            McDagSim {
+                stages,
+                sink: first.sink.clone(),
+                metrics: McTaskMetrics {
+                    mse_mean,
+                    mse_std,
+                    rmse_mean,
+                    rmse_std,
+                    psnr_db_mean,
+                    psnr_db_std,
+                    centroid_err_mean,
+                    centroid_err_std,
+                },
+                digests: per_seed.iter().map(|d| d.digest.clone()).collect(),
+            }
+        });
         Ok(McFrameSimReport {
             stimulus: stimulus.to_string(),
             seeds: seeds.to_vec(),
@@ -1157,7 +1230,128 @@ impl ValidatedModel {
                 snr_db_std,
             },
             digests: reports.into_iter().map(|r| r.digest).collect(),
+            dag,
         })
+    }
+
+    /// Task-level accuracy of the **attached** stimulus
+    /// ([`Self::with_stimulus`]) pushed through the full functional
+    /// pipeline — analog chain, ADC quantization, then the mapped
+    /// digital DAG — averaged over `seeds` Monte-Carlo noise
+    /// realisations. This is the quantity `accuracy:<metric>`
+    /// objectives minimise.
+    ///
+    /// With an [`EstimateCache`] attached, the result is shared across
+    /// models keyed by [`Self::functional_fingerprint`], the same
+    /// machinery the energy kernels use: repeated evaluations of a
+    /// point (or of fingerprint-identical points) replay instead of
+    /// re-simulating.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamjError::CheckDag`] when the algorithm has no non-input
+    ///   stage (there is no task output to judge),
+    /// * the conditions of [`Self::simulate_frames`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn task_metrics(&self, seeds: &[u64]) -> Result<TaskMetrics, CamjError> {
+        assert!(!seeds.is_empty(), "task_metrics needs at least one seed");
+        let compute = || -> Result<TaskMetrics, CamjError> {
+            let report = self.simulate_frames(seeds, &self.stimulus)?;
+            match report.dag {
+                Some(dag) => Ok(TaskMetrics {
+                    mse: dag.metrics.mse_mean,
+                    rmse: dag.metrics.rmse_mean,
+                    psnr_db: dag.metrics.psnr_db_mean,
+                    centroid_err: dag.metrics.centroid_err_mean,
+                }),
+                None => Err(CamjError::CheckDag {
+                    reason: "accuracy metrics need at least one non-input algorithm stage to judge"
+                        .to_owned(),
+                }),
+            }
+        };
+        match &self.cache {
+            Some(cache) => {
+                let fp = self.functional_fingerprint(seeds)?;
+                cache.functional_or(fp, compute).as_ref().clone()
+            }
+            None => compute(),
+        }
+    }
+
+    /// The content address of one functional (task-metrics) evaluation:
+    /// everything [`Self::task_metrics`] reads — the exposure time from
+    /// the delay solve, the resolved noise chain, the stimulus content
+    /// (pixel data included, path excluded), the algorithm DAG with its
+    /// bit widths, and the seed list. Models agreeing on all of that
+    /// produce byte-identical metrics, so they may share one cache
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the delay-solve errors of [`Self::estimate_delay`].
+    pub fn functional_fingerprint(&self, seeds: &[u64]) -> Result<Fingerprint, CamjError> {
+        let delay = self.estimate_delay()?;
+        let mut h = FpHasher::new();
+        h.write_str(FUNCTIONAL_FINGERPRINT_DOMAIN);
+        h.write_f64(delay.analog_unit_time.secs());
+        let chain = self.noise_chain();
+        h.write_usize(chain.len());
+        for stage in &chain {
+            h.write_str(&stage.unit);
+            // The source list is tiny; its JSON encoding (shortest
+            // round-trip floats) is an exact, stable content key.
+            h.write_str(&serde_json::to_string(&stage.sources).unwrap_or_default());
+            match stage.quant_bits {
+                Some(bits) => {
+                    h.write_bool(true);
+                    h.write_u32(bits);
+                }
+                None => h.write_bool(false),
+            }
+        }
+        match &self.stimulus {
+            Stimulus::Uniform { level } => {
+                h.write_tag(1);
+                h.write_f64(*level);
+            }
+            Stimulus::Gradient { low, high } => {
+                h.write_tag(2);
+                h.write_f64(*low);
+                h.write_f64(*high);
+            }
+            Stimulus::Image {
+                width,
+                height,
+                pixels,
+                ..
+            } => {
+                h.write_tag(3);
+                h.write_u32(*width);
+                h.write_u32(*height);
+                h.write_f64_slice_bulk(pixels);
+            }
+        }
+        use camj_tech::fingerprint::Fingerprintable;
+        let stages = self.algo.stages();
+        h.write_usize(stages.len());
+        for stage in stages {
+            stage.feed(&mut h);
+        }
+        let edges = self.algo.edge_names();
+        h.write_usize(edges.len());
+        for (from, to) in edges {
+            h.write_str(from);
+            h.write_str(to);
+        }
+        h.write_usize(seeds.len());
+        for seed in seeds {
+            h.write_u64(*seed);
+        }
+        Ok(h.finish())
     }
 
     /// Resolves everything about a frame simulation that does not
@@ -1180,16 +1374,9 @@ impl ValidatedModel {
         let (width, height, channels) = (size.width, size.height, size.channels);
         let pixels = size.count() as usize;
 
-        let mut clean = Vec::with_capacity(pixels);
-        for y in 0..height {
-            let _ = y;
-            for x in 0..width {
-                for _ in 0..channels {
-                    clean.push(stimulus.value_at(x, width));
-                }
-            }
-        }
+        let clean = stimulus.render(width, height, channels);
         let signal_rms = (clean.iter().map(|v| v * v).sum::<f64>() / pixels.max(1) as f64).sqrt();
+        let dag = DagPlan::build(&self.algo, (width, height, channels), &clean);
 
         let exposure = delay.analog_unit_time;
         let temperature_k = camj_tech::constants::DEFAULT_TEMPERATURE_K;
@@ -1236,6 +1423,7 @@ impl ValidatedModel {
             clean,
             signal_rms,
             stages,
+            dag,
         })
     }
 
@@ -1267,15 +1455,7 @@ impl ValidatedModel {
         let (width, height, channels) = (size.width, size.height, size.channels);
         let pixels = size.count() as usize;
 
-        let mut clean = Vec::with_capacity(pixels);
-        for y in 0..height {
-            let _ = y;
-            for x in 0..width {
-                for _ in 0..channels {
-                    clean.push(stimulus.value_at(x, width));
-                }
-            }
-        }
+        let clean = stimulus.render(width, height, channels);
         let signal_rms = (clean.iter().map(|v| v * v).sum::<f64>() / pixels.max(1) as f64).sqrt();
 
         let exposure = delay.analog_unit_time;
@@ -1337,7 +1517,7 @@ impl ValidatedModel {
             });
         }
 
-        Ok(finish_frame_report(
+        let mut report = finish_frame_report(
             seed,
             &stimulus.to_string(),
             width,
@@ -1348,7 +1528,13 @@ impl ValidatedModel {
             &noisy,
             &clean,
             FrameDigest::Pinned,
-        ))
+        );
+        // The digital-DAG pass runs strictly after the analog report is
+        // sealed, on the final frame — the analog digest stream is
+        // untouched, so committed pre-DAG digests remain valid.
+        report.dag = DagPlan::build(&self.algo, (width, height, channels), &clean)
+            .map(|dag| dag.run(&noisy));
+        Ok(report)
     }
 }
 
@@ -1380,6 +1566,10 @@ struct FramePlan {
     clean: Vec<f64>,
     signal_rms: f64,
     stages: Vec<PlanStage>,
+    /// The digital-DAG functional pass, resolved once per plan (clean
+    /// reference tensors included); `None` when the algorithm has no
+    /// non-input stages.
+    dag: Option<DagPlan>,
 }
 
 /// Pixels processed per vectorized span: the variance and normal
@@ -1465,7 +1655,7 @@ impl FramePlan {
                 snr_db: functional::snr_db(self.signal_rms, noise_rms),
             });
         }
-        finish_frame_report(
+        let mut report = finish_frame_report(
             seed,
             &self.stimulus,
             self.width,
@@ -1476,7 +1666,11 @@ impl FramePlan {
             &noisy,
             &self.clean,
             FrameDigest::Pinned,
-        )
+        );
+        // DAG pass after the analog report is sealed: the committed
+        // analog digest stream stays exactly as before.
+        report.dag = self.dag.as_ref().map(|dag| dag.run(&noisy));
+        report
     }
 
     /// Resolves every stage's per-pixel noise standard deviation. The
@@ -1590,7 +1784,7 @@ impl FramePlan {
                 snr_db: functional::snr_db(self.signal_rms, noise_rms),
             });
         }
-        finish_frame_report(
+        let mut report = finish_frame_report(
             seed,
             &self.stimulus,
             self.width,
@@ -1601,7 +1795,181 @@ impl FramePlan {
             &noisy,
             &self.clean,
             FrameDigest::Bulk,
-        )
+        );
+        report.dag = self.dag.as_ref().map(|dag| dag.run(&noisy));
+        report
+    }
+}
+
+/// One functionally executable stage of a [`DagPlan`].
+struct DagPlanStage {
+    name: String,
+    kind: StageKind,
+    /// Producer tensor slots: `0` is the sensor frame, `i + 1` is plan
+    /// stage `i`'s output. Edge order matches the DAG's edge list, so
+    /// execution is deterministic.
+    producers: Vec<usize>,
+    in_shape: (u32, u32, u32),
+    out_shape: (u32, u32, u32),
+    bits: u32,
+}
+
+/// The resolved digital-DAG functional pass: every non-input stage of
+/// the algorithm in topological order, plus the clean-frame reference
+/// tensors the noisy pass is judged against.
+///
+/// Execution semantics per stage kind live in
+/// [`camj_digital::functional`]; each stage output is requantized to
+/// the stage's declared bit width (`camj_digital::quantize`), applied
+/// identically to the clean reference run so the metrics isolate what
+/// the *noise* cost the task. Everything here is pure slice
+/// arithmetic in index order — a DAG pass is a deterministic function
+/// of its input tensor alone, byte-identical across thread counts.
+struct DagPlan {
+    frame_shape: (u32, u32, u32),
+    stages: Vec<DagPlanStage>,
+    /// The judged output: index of the last stage in topological order.
+    sink: usize,
+    /// Per-stage clean-frame reference outputs.
+    references: Vec<Vec<f64>>,
+    /// RMS of each reference tensor (the signal level stage SNR is
+    /// quoted against).
+    reference_rms: Vec<f64>,
+}
+
+impl DagPlan {
+    /// Resolves the plan and runs the clean reference pass. `None`
+    /// when the algorithm has no non-input stages (nothing digital to
+    /// execute).
+    fn build(
+        algo: &AlgorithmGraph,
+        frame_shape: (u32, u32, u32),
+        clean: &[f64],
+    ) -> Option<DagPlan> {
+        let topo = algo.topo_order().ok()?;
+        let mut slot_of: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        let mut stages: Vec<DagPlanStage> = Vec::new();
+        for name in topo {
+            let stage = algo.stage(name).expect("topo-ordered stages exist");
+            if matches!(stage.kind(), StageKind::Input) {
+                slot_of.insert(name, 0);
+                continue;
+            }
+            let producers = algo.producers_of(name).iter().map(|p| slot_of[p]).collect();
+            slot_of.insert(name, stages.len() + 1);
+            let (i, o) = (stage.input_size(), stage.output_size());
+            stages.push(DagPlanStage {
+                name: name.to_owned(),
+                kind: stage.kind(),
+                producers,
+                in_shape: (i.width, i.height, i.channels),
+                out_shape: (o.width, o.height, o.channels),
+                bits: stage.bits(),
+            });
+        }
+        if stages.is_empty() {
+            return None;
+        }
+        let sink = stages.len() - 1;
+        let mut plan = DagPlan {
+            frame_shape,
+            stages,
+            sink,
+            references: Vec::new(),
+            reference_rms: Vec::new(),
+        };
+        let references = plan.execute(clean);
+        plan.reference_rms = references
+            .iter()
+            .map(|t| (t.iter().map(|v| v * v).sum::<f64>() / t.len().max(1) as f64).sqrt())
+            .collect();
+        plan.references = references;
+        Some(plan)
+    }
+
+    /// Pushes one source frame through every stage, returning the
+    /// per-stage output tensors in plan order.
+    fn execute(&self, source: &[f64]) -> Vec<Vec<f64>> {
+        use camj_digital::functional::{box_stencil, elementwise_mean, resample_nearest};
+        let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            // Gather producer tensors, shape-adapting each to the
+            // stage's declared input shape.
+            let adapted: Vec<Vec<f64>> = stage
+                .producers
+                .iter()
+                .map(|&slot| {
+                    let (tensor, shape) = if slot == 0 {
+                        (source, self.frame_shape)
+                    } else {
+                        (
+                            outputs[slot - 1].as_slice(),
+                            self.stages[slot - 1].out_shape,
+                        )
+                    };
+                    resample_nearest(tensor, shape, stage.in_shape)
+                })
+                .collect();
+            let operands: Vec<&[f64]> = adapted.iter().map(Vec::as_slice).collect();
+            // Multiple producers (and temporal element-wise operands at
+            // steady state) combine as their mean, which keeps the
+            // signal in [0, 1].
+            let combined = elementwise_mean(&operands);
+            let mut out = match stage.kind {
+                StageKind::Stencil { kernel, stride } => {
+                    box_stencil(&combined, stage.in_shape, kernel, stride, stage.out_shape)
+                }
+                // Element-wise stages already combined above; DNN and
+                // custom stages carry no declarative arithmetic, so
+                // they act as shape adapters preserving signal content.
+                StageKind::Input
+                | StageKind::ElementWise { .. }
+                | StageKind::Dnn { .. }
+                | StageKind::Custom { .. } => {
+                    resample_nearest(&combined, stage.in_shape, stage.out_shape)
+                }
+            };
+            // Requantize at the stage's declared data resolution —
+            // the same bit width the energy side prices.
+            camj_digital::quantize::quantize_slice(&mut out, stage.bits);
+            outputs.push(out);
+        }
+        outputs
+    }
+
+    /// Runs the noisy pass and measures every stage against its clean
+    /// reference, judging the sink at the task level.
+    fn run(&self, noisy: &[f64]) -> DagSim {
+        let _span = obs_core::span("functional.dag");
+        obs_core::counter("functional.stages", 0, self.stages.len() as u64);
+        let outputs = self.execute(noisy);
+        let stages: Vec<DagStageSim> = outputs
+            .iter()
+            .enumerate()
+            .map(|(i, out)| {
+                let error_rms = rms_error(out, &self.references[i]);
+                DagStageSim {
+                    stage: self.stages[i].name.clone(),
+                    error_rms,
+                    snr_db: functional::snr_db(self.reference_rms[i], error_rms),
+                }
+            })
+            .collect();
+        let sink_out = &outputs[self.sink];
+        let (sw, sh, _) = self.stages[self.sink].out_shape;
+        let metrics = TaskMetrics::measure(sink_out, &self.references[self.sink], sw, sh);
+        let mut h = FpHasher::new();
+        h.write_str("camj.dag-digest/v1");
+        for span in sink_out.chunks(FRAME_CHUNK) {
+            h.write_f64_slice_bulk(span);
+        }
+        let (hi, lo) = h.finish().parts();
+        DagSim {
+            stages,
+            sink: self.stages[self.sink].name.clone(),
+            metrics,
+            digest: format!("{hi:016x}{lo:016x}"),
+        }
     }
 }
 
@@ -1686,6 +2054,7 @@ fn finish_frame_report(
             snr_db: functional::snr_db(signal_rms, noise_rms),
         },
         digest: format!("{hi:016x}{lo:016x}"),
+        dag: None,
     }
 }
 

@@ -48,9 +48,10 @@ use rand::{Rng, SeedableRng};
 /// conventional operating point for SNR comparisons.
 pub const DEFAULT_SIGNAL_FRACTION: f64 = 0.5;
 
-/// A synthetic input scene for the frame simulator, normalised to
-/// full scale (`0.0` = dark, `1.0` = full well).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// An input scene for the frame simulator, normalised to full scale
+/// (`0.0` = dark, `1.0` = full well): synthetic (`uniform`,
+/// `gradient`) or decoded from a real PGM/PPM image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Stimulus {
     /// Every pixel at the same level.
@@ -64,6 +65,21 @@ pub enum Stimulus {
         low: f64,
         /// Level at the right edge, in `[0, 1]`; at least `low`.
         high: f64,
+    },
+    /// A real image, decoded to a normalised luminance plane. Pixel
+    /// data is carried inline so a parsed stimulus stays a pure value:
+    /// the file is read exactly once, at parse/load time.
+    Image {
+        /// The path the image was loaded from (diagnostics and
+        /// round-trip display only — the pixels below are the truth).
+        path: String,
+        /// Source image width in pixels.
+        width: u32,
+        /// Source image height in pixels.
+        height: u32,
+        /// Row-major luminance samples in `[0, 1]` (RGB sources are
+        /// averaged to one plane), `width * height` values.
+        pixels: Vec<f64>,
     },
 }
 
@@ -97,28 +113,95 @@ impl Stimulus {
         Stimulus::Gradient { low, high }
     }
 
+    /// Loads a PGM/PPM image into an `image:` stimulus: samples are
+    /// normalised by the file's `maxval`, RGB is averaged to one
+    /// luminance plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's diagnostic (I/O failure, or a malformed
+    /// file with its byte offset), prefixed with the path.
+    pub fn image_from_path(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let img = image::load(path)?;
+        let scale = 1.0 / (f64::from(img.maxval) * f64::from(img.channels));
+        let mut pixels = Vec::with_capacity(img.width as usize * img.height as usize);
+        for y in 0..img.height {
+            for x in 0..img.width {
+                let sum: f64 = (0..img.channels)
+                    .map(|c| f64::from(img.sample(x, y, c)))
+                    .sum();
+                pixels.push(sum * scale);
+            }
+        }
+        Ok(Stimulus::Image {
+            path: path.display().to_string(),
+            width: img.width,
+            height: img.height,
+            pixels,
+        })
+    }
+
     /// The scene's mean level — the operating point analytic SNR is
     /// quoted at.
     #[must_use]
     pub fn mean_fraction(&self) -> f64 {
-        match *self {
-            Stimulus::Uniform { level } => level,
+        match self {
+            Stimulus::Uniform { level } => *level,
             Stimulus::Gradient { low, high } => (low + high) / 2.0,
+            Stimulus::Image { pixels, .. } => {
+                if pixels.is_empty() {
+                    0.0
+                } else {
+                    pixels.iter().sum::<f64>() / pixels.len() as f64
+                }
+            }
         }
     }
 
-    /// The clean value of pixel `(x, y)` on a `width`-pixel-wide frame.
-    pub(crate) fn value_at(&self, x: u32, width: u32) -> f64 {
-        match *self {
-            Stimulus::Uniform { level } => level,
+    /// The clean value of pixel `(x, y)` on a `width` × `height`
+    /// frame. Images resample nearest-neighbour — pure integer
+    /// arithmetic, so rendering is exact and thread-independent.
+    pub(crate) fn value_at(&self, x: u32, y: u32, width: u32, height: u32) -> f64 {
+        match self {
+            Stimulus::Uniform { level } => *level,
             Stimulus::Gradient { low, high } => {
                 if width <= 1 {
-                    low
+                    *low
                 } else {
                     low + (high - low) * f64::from(x) / f64::from(width - 1)
                 }
             }
+            Stimulus::Image {
+                width: iw,
+                height: ih,
+                pixels,
+                ..
+            } => {
+                let sx = (u64::from(x) * u64::from(*iw) / u64::from(width.max(1))) as u32;
+                let sy = (u64::from(y) * u64::from(*ih) / u64::from(height.max(1))) as u32;
+                let (sx, sy) = (sx.min(iw - 1), sy.min(ih - 1));
+                pixels[sy as usize * *iw as usize + sx as usize]
+            }
         }
+    }
+
+    /// Renders the clean frame: `width * height * channels` values in
+    /// the simulator's canonical order (rows, then columns, channels
+    /// interleaved). Both the vectorized planner and the scalar
+    /// reference oracle call this, so their clean frames are
+    /// identical by construction.
+    pub(crate) fn render(&self, width: u32, height: u32, channels: u32) -> Vec<f64> {
+        let mut clean = Vec::with_capacity(width as usize * height as usize * channels as usize);
+        for y in 0..height {
+            for x in 0..width {
+                let value = self.value_at(x, y, width, height);
+                for _c in 0..channels {
+                    clean.push(value);
+                }
+            }
+        }
+        clean
     }
 }
 
@@ -138,6 +221,7 @@ impl fmt::Display for Stimulus {
         match self {
             Stimulus::Uniform { level } => write!(f, "uniform:{level}"),
             Stimulus::Gradient { low, high } => write!(f, "gradient:{low},{high}"),
+            Stimulus::Image { path, .. } => write!(f, "image:{path}"),
         }
     }
 }
@@ -145,8 +229,10 @@ impl fmt::Display for Stimulus {
 impl FromStr for Stimulus {
     type Err = String;
 
-    /// Parses the CLI grammar: `uniform:<level>` or
-    /// `gradient:<low>,<high>`, all levels in `[0, 1]`.
+    /// Parses the CLI grammar: `uniform:<level>`,
+    /// `gradient:<low>,<high>` (levels in `[0, 1]`), or
+    /// `image:<path>` — the image variant reads and decodes the file
+    /// immediately, so the parsed value is self-contained.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let parse_level = |text: &str| -> Result<f64, String> {
             let v = text
@@ -175,8 +261,16 @@ impl FromStr for Stimulus {
             }
             return Ok(Stimulus::Gradient { low, high });
         }
+        if let Some(path) = s.strip_prefix("image:") {
+            if path.trim().is_empty() {
+                return Err(format!(
+                    "image stimulus needs a path 'image:<path>', got '{s}'"
+                ));
+            }
+            return Stimulus::image_from_path(path.trim());
+        }
         Err(format!(
-            "unknown stimulus '{s}' (expected uniform:<level> or gradient:<low>,<high>)"
+            "unknown stimulus '{s}' (expected uniform:<level>, gradient:<low>,<high>, or image:<path>)"
         ))
     }
 }
@@ -283,6 +377,10 @@ pub struct FrameSimReport {
     /// A 128-bit fingerprint of the final frame's raw `f64` bits,
     /// hex-encoded — byte-identical runs produce identical digests.
     pub digest: String,
+    /// The digital-DAG functional pass: what the mapped algorithm
+    /// actually computed from the (noisy, quantized) sensor frame.
+    /// Absent when the algorithm has no non-input stages.
+    pub dag: Option<DagSim>,
 }
 
 /// One measured stage of a simulated frame.
@@ -346,6 +444,9 @@ pub struct McFrameSimReport {
     /// underlying frame bit-for-bit, so serial and parallel evaluations
     /// of the same seed list are byte-comparable.
     pub digests: Vec<String>,
+    /// Monte-Carlo aggregate of the digital-DAG functional pass.
+    /// Absent when the algorithm has no non-input stages.
+    pub dag: Option<McDagSim>,
 }
 
 /// One stage's Monte-Carlo aggregate.
@@ -377,6 +478,177 @@ pub struct McOutputStats {
     pub snr_db_mean: Option<f64>,
     /// Sample standard deviation of the SNR in dB.
     pub snr_db_std: Option<f64>,
+}
+
+/// The digital-DAG half of one simulated frame: each non-input stage
+/// executed functionally (window means, element-wise combination,
+/// shape adaptation) on the noisy sensor frame, requantized to the
+/// stage's declared bit width, and compared against the same DAG run
+/// on the clean frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagSim {
+    /// Per-stage measurements, in topological order.
+    pub stages: Vec<DagStageSim>,
+    /// The sink stage whose output the task metrics judge.
+    pub sink: String,
+    /// Task-level quality of the sink output versus the clean-frame
+    /// reference output.
+    pub metrics: TaskMetrics,
+    /// A 128-bit fingerprint of the sink tensor's raw `f64` bits,
+    /// hex-encoded — pins the full-DAG output bit-for-bit.
+    pub digest: String,
+}
+
+/// One functionally executed DAG stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagStageSim {
+    /// The algorithm stage's name.
+    pub stage: String,
+    /// RMS deviation of the stage's output from the clean-frame
+    /// reference output, fraction of full scale.
+    pub error_rms: f64,
+    /// SNR in dB of the stage output against its reference
+    /// (`20·log10(reference_rms / error_rms)`); absent while the
+    /// tensors are still bit-exact.
+    pub snr_db: Option<f64>,
+}
+
+/// Task-level quality metrics of a DAG sink output against its
+/// clean-frame reference: full-reference error (MSE/RMSE/PSNR) for
+/// reconstruction-style pipelines, and the normalised gaze-centroid
+/// error that judges detection-style pipelines like Ed-Gaze.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskMetrics {
+    /// Mean squared error, fraction² of full scale.
+    pub mse: f64,
+    /// Root of `mse`, fraction of full scale.
+    pub rmse: f64,
+    /// Peak SNR in dB (`10·log10(1 / mse)`); absent when the output is
+    /// bit-exact (PSNR would be infinite).
+    pub psnr_db: Option<f64>,
+    /// Distance between the intensity-weighted centroids of the output
+    /// and reference tensors, normalised so `1.0` is the frame
+    /// diagonal — a gaze-error proxy for eye-tracking workloads.
+    pub centroid_err: f64,
+}
+
+/// Monte-Carlo aggregate of the digital-DAG pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McDagSim {
+    /// Per-stage aggregates, in topological order.
+    pub stages: Vec<McDagStageSim>,
+    /// The sink stage whose output the task metrics judge.
+    pub sink: String,
+    /// Aggregated task metrics over the seeds.
+    pub metrics: McTaskMetrics,
+    /// Per-seed sink digests, in seed order.
+    pub digests: Vec<String>,
+}
+
+/// One DAG stage's Monte-Carlo aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McDagStageSim {
+    /// The algorithm stage's name.
+    pub stage: String,
+    /// Mean over seeds of the stage's error RMS.
+    pub error_rms_mean: f64,
+    /// Sample standard deviation (n−1) of the error RMS.
+    pub error_rms_std: f64,
+    /// Mean SNR in dB; absent while the tensors are bit-exact.
+    pub snr_db_mean: Option<f64>,
+    /// Sample standard deviation of the SNR in dB.
+    pub snr_db_std: Option<f64>,
+}
+
+/// Monte-Carlo aggregate of the task metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McTaskMetrics {
+    /// Mean over seeds of the MSE.
+    pub mse_mean: f64,
+    /// Sample standard deviation (n−1) of the MSE.
+    pub mse_std: f64,
+    /// Mean over seeds of the RMSE.
+    pub rmse_mean: f64,
+    /// Sample standard deviation of the RMSE.
+    pub rmse_std: f64,
+    /// Mean PSNR in dB; absent when any seed was bit-exact.
+    pub psnr_db_mean: Option<f64>,
+    /// Sample standard deviation of the PSNR.
+    pub psnr_db_std: Option<f64>,
+    /// Mean normalised centroid error.
+    pub centroid_err_mean: f64,
+    /// Sample standard deviation of the centroid error.
+    pub centroid_err_std: f64,
+}
+
+impl TaskMetrics {
+    /// Measures `output` against `reference` on a `width` × `height`
+    /// × `channels` tensor. Pure arithmetic in index order, so the
+    /// result is deterministic across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensors disagree in length.
+    #[must_use]
+    pub fn measure(output: &[f64], reference: &[f64], width: u32, height: u32) -> Self {
+        assert_eq!(output.len(), reference.len(), "tensor shapes must match");
+        let n = output.len().max(1) as f64;
+        let mse = output
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n;
+        let psnr_db = if mse > 0.0 {
+            Some(10.0 * (1.0 / mse).log10())
+        } else {
+            None
+        };
+        let (ox, oy) = centroid(output, width, height);
+        let (rx, ry) = centroid(reference, width, height);
+        let (dx, dy) = (ox - rx, oy - ry);
+        Self {
+            mse,
+            rmse: mse.sqrt(),
+            psnr_db,
+            centroid_err: (dx * dx + dy * dy).sqrt() / std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+/// The intensity-weighted centroid of a tensor (channels summed per
+/// pixel), in coordinates normalised to `[0, 1]` per axis. A zero
+/// total weight (an all-black frame) centres the centroid.
+fn centroid(tensor: &[f64], width: u32, height: u32) -> (f64, f64) {
+    let channels = tensor.len() / (width as usize * height as usize).max(1);
+    let (mut wx, mut wy, mut total) = (0.0, 0.0, 0.0);
+    let mut idx = 0;
+    for y in 0..height {
+        for x in 0..width {
+            let mut w = 0.0;
+            for _ in 0..channels {
+                w += tensor[idx];
+                idx += 1;
+            }
+            wx += w * f64::from(x);
+            wy += w * f64::from(y);
+            total += w;
+        }
+    }
+    if total <= 0.0 {
+        return (0.5, 0.5);
+    }
+    let nx = if width > 1 {
+        wx / total / f64::from(width - 1)
+    } else {
+        0.5
+    };
+    let ny = if height > 1 {
+        wy / total / f64::from(height - 1)
+    } else {
+        0.5
+    };
+    (nx, ny)
 }
 
 /// Mean and sample standard deviation (n−1 denominator; `0` when fewer
@@ -469,10 +741,46 @@ mod tests {
     #[test]
     fn gradient_spans_its_bounds() {
         let s = Stimulus::gradient(0.2, 0.8);
-        assert_eq!(s.value_at(0, 100), 0.2);
-        assert_eq!(s.value_at(99, 100), 0.8);
+        assert_eq!(s.value_at(0, 0, 100, 1), 0.2);
+        assert_eq!(s.value_at(99, 0, 100, 1), 0.8);
         assert!((s.mean_fraction() - 0.5).abs() < 1e-12);
-        assert_eq!(Stimulus::gradient(0.3, 0.7).value_at(0, 1), 0.3);
+        assert_eq!(Stimulus::gradient(0.3, 0.7).value_at(0, 0, 1, 1), 0.3);
+    }
+
+    #[test]
+    fn image_stimulus_loads_resamples_and_round_trips() {
+        let dir = std::env::temp_dir().join("camj-image-stimulus-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ramp.pgm");
+        // 4x2 ramp: values 0..8 scaled by maxval/8.
+        let img = image::Pnm::new(4, 2, 1, 200, vec![0, 25, 50, 75, 100, 125, 150, 175]).unwrap();
+        image::save(&path, &img).unwrap();
+
+        let spec = format!("image:{}", path.display());
+        let s: Stimulus = spec.parse().unwrap();
+        let Stimulus::Image {
+            width,
+            height,
+            ref pixels,
+            ..
+        } = s
+        else {
+            panic!("expected an image stimulus");
+        };
+        assert_eq!((width, height), (4, 2));
+        assert_eq!(pixels[0], 0.0);
+        assert!((pixels[7] - 0.875).abs() < 1e-12);
+        // Identity-size render reproduces the pixels exactly.
+        assert_eq!(s.render(4, 2, 1), *pixels);
+        // Nearest-neighbour upsample only repeats existing values.
+        for v in s.render(8, 4, 1) {
+            assert!(pixels.contains(&v), "{v}");
+        }
+        // Display/parse round-trips through the path.
+        assert_eq!(s.to_string().parse::<Stimulus>().unwrap(), s);
+
+        assert!("image:".parse::<Stimulus>().is_err());
+        assert!("image:/nonexistent/x.pgm".parse::<Stimulus>().is_err());
     }
 
     #[test]
@@ -494,6 +802,32 @@ mod tests {
         let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn task_metrics_on_identical_tensors_are_zero() {
+        let t = [0.1, 0.5, 0.9, 0.2];
+        let m = TaskMetrics::measure(&t, &t, 2, 2);
+        assert_eq!(m.mse, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.psnr_db, None);
+        assert_eq!(m.centroid_err, 0.0);
+    }
+
+    #[test]
+    fn centroid_error_tracks_mass_shift() {
+        // All mass at the left edge vs all mass at the right edge of a
+        // 4x1 strip: centroids land at nx = 0 and nx = 1.
+        let reference = [1.0, 0.0, 0.0, 0.0];
+        let output = [0.0, 0.0, 0.0, 1.0];
+        let m = TaskMetrics::measure(&output, &reference, 4, 1);
+        let expected = 1.0 / std::f64::consts::SQRT_2;
+        assert!((m.centroid_err - expected).abs() < 1e-12, "{m:?}");
+        assert!((m.mse - 0.5).abs() < 1e-12);
+        // An all-black output centres its centroid rather than diverging.
+        let black = [0.0; 4];
+        let m = TaskMetrics::measure(&black, &reference, 4, 1);
+        assert!(m.centroid_err.is_finite());
     }
 
     #[test]

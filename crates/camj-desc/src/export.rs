@@ -38,6 +38,7 @@ pub fn describe(name: &str, model: &ValidatedModel) -> DesignDesc {
             })
             .collect(),
         sweep: None,
+        stimulus: None,
     }
 }
 

@@ -37,6 +37,38 @@ pub struct DesignDesc {
     /// Optional design-space sweep specification consumed by
     /// `camj sweep` (absent fields fall back to CLI flags).
     pub sweep: Option<SweepIr>,
+    /// Optional stimulus for the functional pipeline: what `camj
+    /// simulate` pushes through the analog chain and the mapped digital
+    /// DAG, and what `accuracy:<metric>` objectives judge. Absent ⇒
+    /// the default mid-scale uniform stimulus; a `--stimulus` CLI flag
+    /// overrides a present block.
+    pub stimulus: Option<StimulusIr>,
+}
+
+/// The stimulus block: which frame content the functional simulation
+/// exposes the design to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StimulusIr {
+    /// Every pixel at the same fraction of full scale.
+    Uniform {
+        /// Signal level, fraction of full scale in `[0, 1]`.
+        level: f64,
+    },
+    /// A horizontal ramp from `low` to `high` across the frame.
+    Gradient {
+        /// Left-edge level, fraction of full scale in `[0, 1]`.
+        low: f64,
+        /// Right-edge level, fraction of full scale in `[0, 1]`.
+        high: f64,
+    },
+    /// A real image in netpbm format (PGM/PPM, ascii or binary),
+    /// resampled to the sensor resolution. A relative path is resolved
+    /// against the description file's directory.
+    Image {
+        /// Path to the `.pgm`/`.ppm` file.
+        path: String,
+    },
 }
 
 /// One stage → unit binding.

@@ -51,4 +51,4 @@ mod load;
 
 pub use error::{DescError, Diagnostic};
 pub use export::describe;
-pub use ir::{DesignDesc, FORMAT_VERSION};
+pub use ir::{DesignDesc, StimulusIr, FORMAT_VERSION};

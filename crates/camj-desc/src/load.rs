@@ -31,7 +31,7 @@ use camj_tech::units::{Energy, Power};
 use crate::error::{DescError, Diagnostic};
 use crate::ir::{
     AnalogCategoryIr, BiasIr, CellKindIr, DesignDesc, DigitalKindIr, DomainIr, LayerIr,
-    MemoryKindIr, NoiseSourceIr, StageIr, StageKindIr, FORMAT_VERSION,
+    MemoryKindIr, NoiseSourceIr, StageIr, StageKindIr, StimulusIr, FORMAT_VERSION,
 };
 
 impl DesignDesc {
@@ -159,10 +159,48 @@ impl DesignDesc {
                 }
             }
         }
+        if let Some(stimulus) = &self.stimulus {
+            self.validate_stimulus(&mut c, stimulus);
+        }
         if c.diags.is_empty() {
             Ok(())
         } else {
             Err(DescError::Invalid(c.diags))
+        }
+    }
+
+    /// Checks the `stimulus` block: levels stay inside full scale and
+    /// an image stimulus names a file.
+    fn validate_stimulus(&self, c: &mut Check, stimulus: &StimulusIr) {
+        match stimulus {
+            StimulusIr::Uniform { level } => {
+                if !(level.is_finite() && (0.0..=1.0).contains(level)) {
+                    c.push("stimulus.uniform.level", "must be in [0, 1]", level);
+                }
+            }
+            StimulusIr::Gradient { low, high } => {
+                for (field, v) in [("low", low), ("high", high)] {
+                    if !(v.is_finite() && (0.0..=1.0).contains(v)) {
+                        c.push(format!("stimulus.gradient.{field}"), "must be in [0, 1]", v);
+                    }
+                }
+                if low.is_finite() && high.is_finite() && low > high {
+                    c.push(
+                        "stimulus.gradient.low",
+                        "gradient must not descend (low must be at most high)",
+                        format!("{low} > {high}"),
+                    );
+                }
+            }
+            StimulusIr::Image { path } => {
+                if path.is_empty() {
+                    c.push(
+                        "stimulus.image.path",
+                        "must name a netpbm (PGM/PPM) file",
+                        "\"\"",
+                    );
+                }
+            }
         }
     }
 
@@ -275,8 +313,10 @@ impl DesignDesc {
     /// strings): `total_energy`, `delay`, `power_density`, `snr`,
     /// `category:<LABEL>`, `stage:<name>` with a stage the algorithm
     /// actually declares, `noise:<unit>` with an analog hardware
-    /// unit the design actually places, or `mc_snr:<samples>` with a
-    /// Monte-Carlo sample count in `1..=1024`.
+    /// unit the design actually places, `mc_snr:<samples>` with a
+    /// Monte-Carlo sample count in `1..=1024`, or `accuracy:<metric>`
+    /// (`mse`, `rmse`, `centroid`) with an algorithm that has at least
+    /// one non-input stage to judge.
     fn validate_objective(&self, c: &mut Check, index: usize, objective: &str) {
         let path = format!("sweep.objectives[{index}]");
         match objective {
@@ -308,12 +348,32 @@ impl DesignDesc {
                             quoted(samples),
                         );
                     }
+                } else if let Some(metric) = other.strip_prefix("accuracy:") {
+                    if !matches!(metric, "mse" | "rmse" | "centroid") {
+                        c.push(
+                            path,
+                            "accuracy needs one of mse, rmse, centroid",
+                            quoted(metric),
+                        );
+                    } else if !self
+                        .sw
+                        .stages
+                        .iter()
+                        .any(|s| !matches!(s.kind, StageKindIr::Input))
+                    {
+                        c.push(
+                            path,
+                            "accuracy objectives need at least one non-input \
+                             algorithm stage to judge",
+                            quoted(other),
+                        );
+                    }
                 } else {
                     c.push(
                         path,
                         "unknown objective (expected total_energy, delay, power_density, \
-                         snr, category:<LABEL>, stage:<name>, noise:<unit>, or \
-                         mc_snr:<samples>)",
+                         snr, category:<LABEL>, stage:<name>, noise:<unit>, \
+                         mc_snr:<samples>, or accuracy:<metric>)",
                         quoted(other),
                     );
                 }
@@ -627,6 +687,62 @@ impl DesignDesc {
                     "references an unknown hardware unit",
                     quoted(&b.unit),
                 );
+            }
+        }
+    }
+}
+
+impl StimulusIr {
+    /// Resolves the block into a runtime
+    /// [`Stimulus`](camj_core::functional::Stimulus), loading image
+    /// pixel data from disk. A relative image path is resolved against
+    /// `base_dir` (in practice the description file's directory), so a
+    /// design and its stimulus travel together.
+    ///
+    /// # Errors
+    ///
+    /// [`DescError::Invalid`] with a path-qualified diagnostic when a
+    /// level is outside `[0, 1]`, a gradient descends, or the image
+    /// cannot be read or decoded (the message names the file and, for
+    /// decode failures, the byte offset).
+    pub fn resolve(
+        &self,
+        base_dir: Option<&std::path::Path>,
+    ) -> Result<camj_core::functional::Stimulus, DescError> {
+        use camj_core::functional::Stimulus;
+        let invalid = |path: &str, message: String, value: String| {
+            DescError::Invalid(vec![Diagnostic::new(path, message, value)])
+        };
+        match self {
+            StimulusIr::Uniform { level } => {
+                if !(level.is_finite() && (0.0..=1.0).contains(level)) {
+                    return Err(invalid(
+                        "stimulus.uniform.level",
+                        "must be in [0, 1]".to_owned(),
+                        level.to_string(),
+                    ));
+                }
+                Ok(Stimulus::uniform(*level))
+            }
+            StimulusIr::Gradient { low, high } => {
+                let bounded = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+                if !bounded(*low) || !bounded(*high) || low > high {
+                    return Err(invalid(
+                        "stimulus.gradient",
+                        "levels must be in [0, 1] with low at most high".to_owned(),
+                        format!("{low}..{high}"),
+                    ));
+                }
+                Ok(Stimulus::gradient(*low, *high))
+            }
+            StimulusIr::Image { path } => {
+                let file = std::path::Path::new(path);
+                let resolved = match base_dir {
+                    Some(dir) if file.is_relative() => dir.join(file),
+                    _ => file.to_path_buf(),
+                };
+                Stimulus::image_from_path(&resolved)
+                    .map_err(|e| invalid("stimulus.image.path", e, quoted(path)))
             }
         }
     }

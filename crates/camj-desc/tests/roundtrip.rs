@@ -12,7 +12,7 @@ use camj_desc::ir::{
     AlgorithmIr, AnalogCategoryIr, AnalogUnitIr, BiasIr, BindingIr, CapNodeIr, CellIr, CellKindIr,
     ComponentIr, ConnectionIr, DigitalKindIr, DigitalUnitIr, DomainIr, EdgeIr, HardwareIr, LayerIr,
     MemoryEnergyIr, MemoryIr, MemoryKindIr, NoiseSourceIr, SearchIr, StageIr, StageKindIr,
-    SweepConstraintsIr, SweepIr,
+    StimulusIr, SweepConstraintsIr, SweepIr,
 };
 use camj_desc::{DescError, DesignDesc, FORMAT_VERSION};
 
@@ -285,6 +285,22 @@ impl Gen {
                         })
                     },
                 })
+            },
+            stimulus: match self.u32(0, 4) {
+                0 => None,
+                1 => Some(StimulusIr::Uniform {
+                    level: self.f64(0.0, 1.0),
+                }),
+                2 => Some(StimulusIr::Image {
+                    path: "stimuli/eye.pgm".to_owned(),
+                }),
+                _ => {
+                    let low = self.f64(0.0, 0.5);
+                    Some(StimulusIr::Gradient {
+                        low,
+                        high: self.f64(low, 1.0),
+                    })
+                }
             },
         }
     }

@@ -12,7 +12,10 @@
 //!   counts unit cycles and memory accesses for the energy equations,
 //! * [`quantize`] — ADC quantization (LSB sizing, `LSB/sqrt(12)` noise,
 //!   and a deterministic mid-tread quantizer) for the noise-aware
-//!   functional simulation.
+//!   functional simulation,
+//! * [`functional`] — executable tensor semantics for declared stages
+//!   (stencil window means, element-wise combination, shape-adapting
+//!   resampling), the digital half of the end-to-end frame pipeline.
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@
 
 pub mod compute;
 pub mod fingerprint;
+pub mod functional;
 pub mod memory;
 pub mod quantize;
 pub mod sim;

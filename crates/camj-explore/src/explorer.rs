@@ -680,7 +680,10 @@ impl ParetoAccumulator {
 /// objectives read the estimate report; `mc_snr:<n>` objectives run a
 /// seed-fixed (`0..n`) Monte-Carlo frame simulation against the model,
 /// quoted at the same mid-scale stimulus as the analytic `snr`
-/// objective so the two orderings are comparable.
+/// objective so the two orderings are comparable; `accuracy:<metric>`
+/// objectives push the model's attached stimulus through the full
+/// functional pipeline (seed 0) and judge the DAG sink at the task
+/// level, cached across points by the functional fingerprint.
 fn measure_point(
     objectives: &[crate::objective::Objective],
     report: &EstimateReport,
@@ -701,7 +704,17 @@ fn measure_point(
             .map_err(PointError::from)?;
         mc.insert(samples, sim.output.noise_rms_mean);
     }
-    Ok(MetricVector::measure_with_mc(objectives, report, &mc))
+    let accuracy = if objectives.iter().any(|o| o.accuracy_metric().is_some()) {
+        Some(model.task_metrics(&[0]).map_err(PointError::from)?)
+    } else {
+        None
+    };
+    Ok(MetricVector::measure_with_mc(
+        objectives,
+        report,
+        &mc,
+        accuracy.as_ref(),
+    ))
 }
 
 /// Pre-warms a group's stall verdict at its fastest admitted frame

@@ -17,10 +17,46 @@ use std::fmt;
 use std::str::FromStr;
 
 use camj_core::energy::{EnergyCategory, EstimateReport};
+use camj_core::functional::TaskMetrics;
 
 /// Upper bound on `mc_snr:<samples>`: past ~1k seeds the standard
 /// error of the mean shrinks slower than the exploration can afford.
 pub const MAX_MC_SAMPLES: u32 = 1024;
+
+/// One task-level accuracy figure of the functional pipeline, measured
+/// at the mapped DAG's sink against the noise-free reference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccuracyMetric {
+    /// Mean squared error over the sink tensor.
+    Mse,
+    /// Root-mean-square error over the sink tensor.
+    Rmse,
+    /// Distance between intensity-weighted centroids, normalized to
+    /// the frame diagonal — the gaze-estimation proxy for Ed-Gaze.
+    Centroid,
+}
+
+impl AccuracyMetric {
+    /// The grammar token after `accuracy:`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AccuracyMetric::Mse => "mse",
+            AccuracyMetric::Rmse => "rmse",
+            AccuracyMetric::Centroid => "centroid",
+        }
+    }
+
+    /// Reads this figure out of a measured [`TaskMetrics`].
+    #[must_use]
+    pub fn of(self, metrics: &TaskMetrics) -> f64 {
+        match self {
+            AccuracyMetric::Mse => metrics.mse,
+            AccuracyMetric::Rmse => metrics.rmse,
+            AccuracyMetric::Centroid => metrics.centroid_err,
+        }
+    }
+}
 
 /// One quantity a multi-objective exploration minimises.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +99,15 @@ pub enum Objective {
     /// its estimate report, so [`Objective::extract`] does not support
     /// it — `Explorer::pareto` measures it per point.
     McSnr(u32),
+    /// Task-level accuracy: one figure of the functional pipeline's
+    /// [`TaskMetrics`] (`accuracy:mse`, `accuracy:rmse`,
+    /// `accuracy:centroid`), measured by pushing the model's attached
+    /// stimulus — typically a real image from the description's
+    /// `stimulus` block — through the analog chain, the ADC, and the
+    /// mapped digital DAG, then comparing the sink tensor against the
+    /// noise-free reference. Like `mc_snr`, it needs the point's model
+    /// (seed 0), so [`Objective::extract`] does not support it.
+    Accuracy(AccuracyMetric),
 }
 
 impl Objective {
@@ -80,6 +125,7 @@ impl Objective {
             Objective::Snr => "output_noise_rms".to_owned(),
             Objective::StageNoise(unit) => format!("noise_{unit}_rms"),
             Objective::McSnr(samples) => format!("mc{samples}_noise_rms"),
+            Objective::Accuracy(metric) => format!("accuracy_{}", metric.label()),
         }
     }
 
@@ -89,6 +135,17 @@ impl Objective {
     pub fn mc_samples(&self) -> Option<u32> {
         match self {
             Objective::McSnr(samples) => Some(*samples),
+            _ => None,
+        }
+    }
+
+    /// The task-accuracy figure when this objective needs the
+    /// functional pipeline (and therefore the point's model) to
+    /// evaluate.
+    #[must_use]
+    pub fn accuracy_metric(&self) -> Option<AccuracyMetric> {
+        match self {
+            Objective::Accuracy(metric) => Some(*metric),
             _ => None,
         }
     }
@@ -127,6 +184,11 @@ impl Objective {
                 "mc_snr:{samples} needs Monte-Carlo frame simulation; \
                  measure it through MetricVector::measure_with_mc"
             ),
+            Objective::Accuracy(metric) => panic!(
+                "accuracy:{} needs the functional pipeline; \
+                 measure it through MetricVector::measure_with_mc",
+                metric.label()
+            ),
         }
     }
 }
@@ -142,6 +204,7 @@ impl fmt::Display for Objective {
             Objective::Snr => f.write_str("snr"),
             Objective::StageNoise(unit) => write!(f, "noise:{unit}"),
             Objective::McSnr(samples) => write!(f, "mc_snr:{samples}"),
+            Objective::Accuracy(metric) => write!(f, "accuracy:{}", metric.label()),
         }
     }
 }
@@ -155,8 +218,10 @@ impl FromStr for Objective {
     /// `category:<LABEL>` (a Fig. 9 category label such as `MEM-D`,
     /// case-insensitive), `stage:<name>` (an algorithm stage,
     /// case-sensitive), `noise:<unit>` (an analog hardware unit,
-    /// case-sensitive), or `mc_snr:<samples>` (a Monte-Carlo sample
-    /// count in `1..=1024`).
+    /// case-sensitive), `mc_snr:<samples>` (a Monte-Carlo sample
+    /// count in `1..=1024`), or `accuracy:<metric>` (a task-level
+    /// figure of the functional pipeline: `mse`, `rmse`, or
+    /// `centroid`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "total_energy" => return Ok(Objective::TotalEnergy),
@@ -200,9 +265,26 @@ impl FromStr for Objective {
             }
             return Ok(Objective::McSnr(samples));
         }
+        if let Some(metric) = s.strip_prefix("accuracy:") {
+            return [
+                AccuracyMetric::Mse,
+                AccuracyMetric::Rmse,
+                AccuracyMetric::Centroid,
+            ]
+            .into_iter()
+            .find(|m| m.label() == metric)
+            .map(Objective::Accuracy)
+            .ok_or_else(|| {
+                format!(
+                    "unknown accuracy metric '{metric}' (expected accuracy:mse, \
+                     accuracy:rmse, or accuracy:centroid)"
+                )
+            });
+        }
         Err(format!(
             "unknown objective '{s}' (expected total_energy, delay, power_density, snr, \
-             category:<LABEL>, stage:<name>, noise:<unit>, or mc_snr:<samples>)"
+             category:<LABEL>, stage:<name>, noise:<unit>, mc_snr:<samples>, or \
+             accuracy:<metric>)"
         ))
     }
 }
@@ -231,28 +313,43 @@ impl MetricVector {
     }
 
     /// Evaluates `objectives` against a completed estimate plus
-    /// Monte-Carlo results: `mc` maps each distinct `mc_snr` sample
-    /// count to its measured mean output noise RMS (the caller — in
+    /// model-backed results: `mc` maps each distinct `mc_snr` sample
+    /// count to its measured mean output noise RMS, and `accuracy`
+    /// carries the functional pipeline's task metrics when any
+    /// `accuracy:<metric>` objective is present (the caller — in
     /// practice `Explorer::pareto` — runs the frame simulations).
     ///
     /// # Panics
     ///
     /// Panics when an [`Objective::McSnr`] sample count is missing
-    /// from `mc` (the caller failed to simulate it).
+    /// from `mc`, or an [`Objective::Accuracy`] objective is present
+    /// with `accuracy` absent (the caller failed to simulate it).
     #[must_use]
     pub(crate) fn measure_with_mc(
         objectives: &[Objective],
         report: &EstimateReport,
         mc: &std::collections::BTreeMap<u32, f64>,
+        accuracy: Option<&TaskMetrics>,
     ) -> Self {
         Self {
             values: objectives
                 .iter()
-                .map(|o| match o.mc_samples() {
-                    Some(samples) => *mc
-                        .get(&samples)
-                        .unwrap_or_else(|| panic!("mc_snr:{samples} was not simulated")),
-                    None => o.extract(report),
+                .map(|o| {
+                    if let Some(samples) = o.mc_samples() {
+                        return *mc
+                            .get(&samples)
+                            .unwrap_or_else(|| panic!("mc_snr:{samples} was not simulated"));
+                    }
+                    if let Some(metric) = o.accuracy_metric() {
+                        return metric.of(accuracy.unwrap_or_else(|| {
+                            panic!(
+                                "accuracy:{} needs the functional pipeline, \
+                                 which was not simulated",
+                                metric.label()
+                            )
+                        }));
+                    }
+                    o.extract(report)
                 })
                 .collect(),
         }
@@ -341,6 +438,9 @@ mod tests {
             "stage:RoiDnn",
             "noise:PixelArray",
             "mc_snr:16",
+            "accuracy:mse",
+            "accuracy:rmse",
+            "accuracy:centroid",
         ] {
             let objective: Objective = text.parse().unwrap();
             assert_eq!(objective.to_string(), text);
@@ -369,6 +469,23 @@ mod tests {
         assert!("mc_snr:0".parse::<Objective>().is_err());
         assert!("mc_snr:1025".parse::<Objective>().is_err());
         assert!("mc_snr:-4".parse::<Objective>().is_err());
+        assert!("accuracy:".parse::<Objective>().is_err());
+        assert!("accuracy:psnr".parse::<Objective>().is_err());
+        let message = "accuracy:MSE".parse::<Objective>().unwrap_err();
+        assert!(message.contains("accuracy:centroid"), "{message}");
+    }
+
+    #[test]
+    fn accuracy_metrics_read_task_metrics() {
+        let metrics = TaskMetrics {
+            mse: 0.04,
+            rmse: 0.2,
+            psnr_db: Some(13.979_400_086_720_377),
+            centroid_err: 0.01,
+        };
+        assert!((AccuracyMetric::Mse.of(&metrics) - 0.04).abs() < 1e-15);
+        assert!((AccuracyMetric::Rmse.of(&metrics) - 0.2).abs() < 1e-15);
+        assert!((AccuracyMetric::Centroid.of(&metrics) - 0.01).abs() < 1e-15);
     }
 
     #[test]
@@ -388,6 +505,10 @@ mod tests {
         assert_eq!(
             Objective::StageNoise("ADCArray".into()).key(),
             "noise_ADCArray_rms"
+        );
+        assert_eq!(
+            Objective::Accuracy(AccuracyMetric::Centroid).key(),
+            "accuracy_centroid"
         );
     }
 

@@ -301,7 +301,8 @@ impl Recording {
 ///
 /// Everything else — lookups, misses (one per unique fingerprint),
 /// kernel invocations, prune decisions, frame/chunk counts, span
-/// counts — must be byte-identical across runs and thread counts;
+/// counts, and the `functional.*` DAG-pass span/counters (pure frame
+/// transforms) — must be byte-identical across runs and thread counts;
 /// [`Recording::determinism_digest`] covers exactly the non-racy set.
 #[must_use]
 pub fn is_racy(name: &str) -> bool {
@@ -408,5 +409,14 @@ mod tests {
         assert!(!is_racy("search.evals"));
         assert!(!is_racy("search.warmup_discarded"));
         assert!(!is_racy("search.converged"));
+        // The functional DAG pass is a pure frame transform — its span
+        // and stage counter are deterministic; only the shared cache's
+        // hit/wait counters around it race, via the suffix rule.
+        assert!(!is_racy("functional.dag"));
+        assert!(!is_racy("functional.stages"));
+        assert!(!is_racy("cache.functional.lookup"));
+        assert!(!is_racy("cache.functional.miss"));
+        assert!(is_racy("cache.functional.hit"));
+        assert!(is_racy("cache.functional.wait"));
     }
 }

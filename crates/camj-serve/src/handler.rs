@@ -210,10 +210,10 @@ impl SharedState {
                 format!("samples must be in 1..=1024, got {samples}"),
             )];
         }
-        let stimulus = match request.stimulus.as_deref() {
-            None => Stimulus::default(),
+        let flag_stimulus = match request.stimulus.as_deref() {
+            None => None,
             Some(text) => match text.parse::<Stimulus>() {
-                Ok(s) => s,
+                Ok(s) => Some(s),
                 Err(e) => return vec![Frame::error("request.stimulus", e)],
             },
         };
@@ -221,6 +221,9 @@ impl SharedState {
             Ok(x) => x,
             Err(frame) => return vec![*frame],
         };
+        // `request.stimulus` overrides the design's own stimulus block,
+        // which load_design_at already attached to the model.
+        let stimulus = flag_stimulus.unwrap_or_else(|| model.stimulus().clone());
         let model = model.with_cache(Arc::clone(&self.cache));
         let simulated = if samples > 1 {
             let seeds: Vec<u64> = (0..u64::from(samples))
@@ -476,9 +479,17 @@ fn load_design_at(
         }
         desc.fps = fps;
     }
-    let model = desc
+    let mut model = desc
         .build()
         .map_err(|e| Box::new(Frame::error("request.design", e.to_string())))?;
+    // An inline design has no file directory, so a relative image
+    // stimulus resolves against the daemon's working directory.
+    if let Some(ir) = &desc.stimulus {
+        let stimulus = ir
+            .resolve(None)
+            .map_err(|e| Box::new(Frame::error("request.design.stimulus", e.to_string())))?;
+        model = model.with_stimulus(stimulus);
+    }
     Ok((desc, model))
 }
 

@@ -69,7 +69,14 @@ fn build_request(kind: RequestKind, id: u64, mask: u32, seed: u64) -> Request {
         request.samples = Some((seed % 1024) as u32 + 1);
     }
     if mask & 16 != 0 {
-        request.stimulus = Some(format!("gradient:0.{},0.9", seed % 10));
+        // Alternate the three stimulus spec shapes, including image
+        // paths with spaces and non-ASCII (the protocol carries the
+        // spec opaquely — the handler parses it later).
+        request.stimulus = Some(match seed % 3 {
+            0 => format!("gradient:0.{},0.9", seed % 10),
+            1 => format!("uniform:0.{}", seed % 10),
+            _ => format!("image:stimuli/eye ({seed})\u{00e9}.pgm"),
+        });
     }
     if mask & 32 != 0 {
         request.objectives = Some(vec!["total_energy".into(), format!("stage:s{seed}")]);

@@ -104,6 +104,16 @@ pub fn export(name: &str) -> Result<DesignDesc, WorkloadError> {
     };
     let mut desc = camj_desc::describe(name, model.validated());
     desc.sweep = sweep;
+    if name == "edgaze" {
+        // Ed-Gaze's bundled task stimulus: the committed eye image next
+        // to the exported description, so `camj simulate` and
+        // `accuracy:<metric>` objectives judge gaze-relevant content
+        // out of the box. Relative, so description + image travel as a
+        // pair.
+        desc.stimulus = Some(camj_desc::StimulusIr::Image {
+            path: "edgaze_eye.pgm".to_owned(),
+        });
+    }
     Ok(desc)
 }
 

@@ -1,0 +1,412 @@
+//! Offline stand-in for an image codec crate: a minimal netpbm
+//! (PGM/PPM) decoder and encoder.
+//!
+//! The container has no registry access, and the functional pipeline
+//! only needs one honest way to get real pixel data into a simulation,
+//! so this shim implements exactly the four classic netpbm variants:
+//!
+//! | magic | format            | samples per pixel |
+//! |-------|-------------------|-------------------|
+//! | `P2`  | ASCII grayscale   | 1                 |
+//! | `P3`  | ASCII RGB         | 3                 |
+//! | `P5`  | binary grayscale  | 1                 |
+//! | `P6`  | binary RGB        | 3                 |
+//!
+//! `maxval` up to 65535 is supported; binary samples above 255 are
+//! two-byte big-endian per the netpbm specification. Comments (`#` to
+//! end of line) are accepted anywhere whitespace is.
+//!
+//! Every decode failure is an [`Error`] naming the **byte offset** the
+//! parser had reached — corrupt headers and truncated pixel data are
+//! diagnosable without a hex dump.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::path::Path;
+
+/// A decoded netpbm image: row-major, channel-interleaved samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pnm {
+    /// Width in pixels (positive).
+    pub width: u32,
+    /// Height in pixels (positive).
+    pub height: u32,
+    /// Samples per pixel: 1 (grayscale) or 3 (RGB).
+    pub channels: u32,
+    /// The largest sample value, in `1..=65535`.
+    pub maxval: u16,
+    /// `width * height * channels` samples, row-major with channels
+    /// interleaved; each in `0..=maxval`.
+    pub samples: Vec<u16>,
+}
+
+impl Pnm {
+    /// Builds an image, checking the dimension/sample invariants the
+    /// decoder guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a dimension is zero, `channels` is not 1
+    /// or 3, `maxval` is zero, the sample count does not match the
+    /// dimensions, or a sample exceeds `maxval`.
+    pub fn new(
+        width: u32,
+        height: u32,
+        channels: u32,
+        maxval: u16,
+        samples: Vec<u16>,
+    ) -> Result<Self, String> {
+        if width == 0 || height == 0 {
+            return Err(format!(
+                "image dimensions must be positive, got {width}x{height}"
+            ));
+        }
+        if channels != 1 && channels != 3 {
+            return Err(format!(
+                "channels must be 1 (PGM) or 3 (PPM), got {channels}"
+            ));
+        }
+        if maxval == 0 {
+            return Err("maxval must be positive".to_owned());
+        }
+        let expected = width as usize * height as usize * channels as usize;
+        if samples.len() != expected {
+            return Err(format!(
+                "expected {expected} samples for {width}x{height}x{channels}, got {}",
+                samples.len()
+            ));
+        }
+        if let Some(s) = samples.iter().find(|s| **s > maxval) {
+            return Err(format!("sample {s} exceeds maxval {maxval}"));
+        }
+        Ok(Self {
+            width,
+            height,
+            channels,
+            maxval,
+            samples,
+        })
+    }
+
+    /// The sample at `(x, y, c)`, already bounds-checked by the type's
+    /// invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x`, `y`, or `c` is out of range.
+    #[must_use]
+    pub fn sample(&self, x: u32, y: u32, c: u32) -> u16 {
+        assert!(x < self.width && y < self.height && c < self.channels);
+        let idx =
+            (y as usize * self.width as usize + x as usize) * self.channels as usize + c as usize;
+        self.samples[idx]
+    }
+}
+
+/// A decode failure: what went wrong and the byte offset the parser
+/// had reached when it found out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub reason: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "malformed netpbm at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    fn new(offset: usize, reason: impl Into<String>) -> Self {
+        Self {
+            offset,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// A whitespace/comment-aware token cursor over the header bytes,
+/// tracking its byte offset for diagnostics.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Skips whitespace and `#`-to-newline comments.
+    fn skip_filler(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    self.pos += 1;
+                    if b == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reads one unsigned decimal token bounded by `limit`, blaming
+    /// `what` in errors.
+    fn integer(&mut self, what: &str, limit: u64) -> Result<u64, Error> {
+        self.skip_filler();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            let found = match self.bytes.get(start) {
+                Some(&b) => format!("byte 0x{b:02x}"),
+                None => "end of input".to_owned(),
+            };
+            return Err(Error::new(
+                start,
+                format!("expected {what} (a decimal integer), found {found}"),
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let value: u64 = text
+            .parse()
+            .map_err(|_| Error::new(start, format!("{what} '{text}' is out of range")))?;
+        if value > limit {
+            return Err(Error::new(
+                start,
+                format!("{what} {value} exceeds the supported maximum {limit}"),
+            ));
+        }
+        Ok(value)
+    }
+}
+
+/// Decodes a PGM (`P2`/`P5`) or PPM (`P3`/`P6`) image.
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the byte offset of the first problem:
+/// an unknown magic, a malformed or out-of-range header field, a
+/// non-positive dimension, an ASCII sample above `maxval`, or
+/// truncated pixel data.
+pub fn decode(bytes: &[u8]) -> Result<Pnm, Error> {
+    let (channels, ascii) = match bytes.get(..2) {
+        Some(b"P2") => (1, true),
+        Some(b"P3") => (3, true),
+        Some(b"P5") => (1, false),
+        Some(b"P6") => (3, false),
+        _ => {
+            return Err(Error::new(
+                0,
+                "expected netpbm magic P2, P3, P5, or P6".to_owned(),
+            ))
+        }
+    };
+    let mut cur = Cursor::new(bytes);
+    cur.pos = 2;
+    let width = cur.integer("width", u64::from(u32::MAX))? as u32;
+    let height = cur.integer("height", u64::from(u32::MAX))? as u32;
+    if width == 0 || height == 0 {
+        return Err(Error::new(
+            cur.pos,
+            format!("image dimensions must be positive, got {width}x{height}"),
+        ));
+    }
+    let maxval = cur.integer("maxval", 65535)? as u16;
+    if maxval == 0 {
+        return Err(Error::new(cur.pos, "maxval must be positive".to_owned()));
+    }
+    let count = width as usize * height as usize * channels as usize;
+    let mut samples = Vec::with_capacity(count);
+    if ascii {
+        for _ in 0..count {
+            let s = cur.integer("sample", u64::from(maxval))? as u16;
+            samples.push(s);
+        }
+    } else {
+        // Exactly one whitespace byte separates maxval from the raster.
+        match bytes.get(cur.pos) {
+            Some(b) if b.is_ascii_whitespace() => cur.pos += 1,
+            _ => {
+                return Err(Error::new(
+                    cur.pos,
+                    "expected a single whitespace byte before binary pixel data",
+                ))
+            }
+        }
+        let bytes_per_sample = if maxval > 255 { 2 } else { 1 };
+        let need = count * bytes_per_sample;
+        let have = bytes.len().saturating_sub(cur.pos);
+        if have < need {
+            return Err(Error::new(
+                bytes.len(),
+                format!(
+                    "pixel data truncated: need {need} bytes after byte {}, found {have}",
+                    cur.pos
+                ),
+            ));
+        }
+        let data = &bytes[cur.pos..cur.pos + need];
+        if bytes_per_sample == 1 {
+            samples.extend(data.iter().map(|&b| u16::from(b)));
+        } else {
+            samples.extend(
+                data.chunks_exact(2)
+                    .map(|pair| u16::from(pair[0]) << 8 | u16::from(pair[1])),
+            );
+        }
+        if let Some(i) = samples.iter().position(|&s| s > maxval) {
+            return Err(Error::new(
+                cur.pos + i * bytes_per_sample,
+                format!("sample {} exceeds maxval {maxval}", samples[i]),
+            ));
+        }
+    }
+    Pnm::new(width, height, channels, maxval, samples).map_err(|reason| Error::new(0, reason))
+}
+
+/// Encodes an image in its binary variant (`P5` for grayscale, `P6`
+/// for RGB); samples are two-byte big-endian when `maxval > 255`.
+#[must_use]
+pub fn encode(image: &Pnm) -> Vec<u8> {
+    let magic = if image.channels == 1 { "P5" } else { "P6" };
+    let mut out = format!(
+        "{magic}\n{} {}\n{}\n",
+        image.width, image.height, image.maxval
+    )
+    .into_bytes();
+    if image.maxval > 255 {
+        for &s in &image.samples {
+            out.extend_from_slice(&s.to_be_bytes());
+        }
+    } else {
+        out.extend(image.samples.iter().map(|&s| s as u8));
+    }
+    out
+}
+
+/// Encodes an image in its ASCII variant (`P2`/`P3`), one row of
+/// pixels per line.
+#[must_use]
+pub fn encode_ascii(image: &Pnm) -> Vec<u8> {
+    let magic = if image.channels == 1 { "P2" } else { "P3" };
+    let mut out = format!(
+        "{magic}\n{} {}\n{}\n",
+        image.width, image.height, image.maxval
+    );
+    let per_row = image.width as usize * image.channels as usize;
+    for row in image.samples.chunks(per_row) {
+        let line: Vec<String> = row.iter().map(u16::to_string).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Reads and decodes a netpbm file.
+///
+/// # Errors
+///
+/// Returns a message naming the path for I/O failures, or the decode
+/// diagnostic (with its byte offset) for malformed content.
+pub fn load(path: impl AsRef<Path>) -> Result<Pnm, String> {
+    let path = path.as_ref();
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+    decode(&bytes).map_err(|e| format!("cannot decode '{}': {e}", path.display()))
+}
+
+/// Encodes (binary variant) and writes a netpbm file.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn save(path: impl AsRef<Path>, image: &Pnm) -> std::io::Result<()> {
+    std::fs::write(path, encode(image))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gray(width: u32, height: u32, maxval: u16) -> Pnm {
+        let samples = (0..width as usize * height as usize)
+            .map(|i| (i as u64 * u64::from(maxval) / (width as u64 * height as u64)) as u16)
+            .collect();
+        Pnm::new(width, height, 1, maxval, samples).unwrap()
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        for maxval in [255, 1023, 65535] {
+            let img = gray(7, 5, maxval);
+            assert_eq!(decode(&encode(&img)).unwrap(), img, "maxval {maxval}");
+        }
+    }
+
+    #[test]
+    fn ascii_round_trips() {
+        let img = gray(4, 3, 255);
+        assert_eq!(decode(&encode_ascii(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn rgb_round_trips() {
+        let samples: Vec<u16> = (0..4 * 2 * 3).map(|i| i * 10).collect();
+        let img = Pnm::new(4, 2, 3, 255, samples).unwrap();
+        assert_eq!(decode(&encode(&img)).unwrap(), img);
+        assert_eq!(decode(&encode_ascii(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text = b"P2 # a comment\n# another\n2 2\n255\n0 10\n20 30\n";
+        let img = decode(text).unwrap();
+        assert_eq!((img.width, img.height), (2, 2));
+        assert_eq!(img.samples, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn errors_name_byte_offsets() {
+        let bad_magic = decode(b"Q5 1 1 255 x").unwrap_err();
+        assert_eq!(bad_magic.offset, 0);
+
+        let bad_width = decode(b"P2\nxx 2\n255\n0 0\n").unwrap_err();
+        assert_eq!(bad_width.offset, 3, "{bad_width}");
+        assert!(bad_width.reason.contains("width"), "{bad_width}");
+
+        let truncated = b"P5\n4 4\n255\nab";
+        let err = decode(truncated).unwrap_err();
+        assert_eq!(err.offset, truncated.len(), "{err}");
+        assert!(err.reason.contains("truncated"), "{err}");
+
+        let big_maxval = decode(b"P2\n1 1\n70000\n0\n").unwrap_err();
+        assert_eq!(big_maxval.offset, 7, "{big_maxval}");
+
+        let over = decode(b"P2\n1 1\n10\n11\n").unwrap_err();
+        assert!(over.reason.contains("exceeds"), "{over}");
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        assert!(decode(b"P2\n0 2\n255\n").is_err());
+        assert!(Pnm::new(0, 1, 1, 255, vec![]).is_err());
+        assert!(Pnm::new(1, 1, 2, 255, vec![0, 0]).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Round-trip properties of the netpbm codec: decode(encode(x)) == x
+//! for both the binary and ASCII variants, across channel counts and
+//! one- and two-byte sample depths, and corrupt inputs always fail
+//! with a byte offset inside the input.
+
+use proptest::prelude::*;
+
+/// Builds a deterministic image from the drawn shape parameters.
+fn build(width: u32, height: u32, channels: u32, maxval: u16, seed: u64) -> image::Pnm {
+    let count = width as usize * height as usize * channels as usize;
+    let mut state = seed | 1;
+    let samples = (0..count)
+        .map(|_| {
+            // xorshift64 keeps the generator dependency-free.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % (u64::from(maxval) + 1)) as u16
+        })
+        .collect();
+    image::Pnm::new(width, height, channels, maxval, samples).unwrap()
+}
+
+proptest! {
+    /// Binary encode/decode is the identity.
+    #[test]
+    fn binary_round_trips(
+        width in 1u32..10,
+        height in 1u32..10,
+        channels in prop::sample::select(vec![1u32, 3]),
+        maxval in 1u32..65536,
+        seed in 0u64..u64::MAX,
+    ) {
+        let img = build(width, height, channels, maxval as u16, seed);
+        let decoded = image::decode(&image::encode(&img)).unwrap();
+        prop_assert_eq!(decoded, img);
+    }
+
+    /// ASCII encode/decode is the identity.
+    #[test]
+    fn ascii_round_trips(
+        width in 1u32..8,
+        height in 1u32..8,
+        channels in prop::sample::select(vec![1u32, 3]),
+        maxval in 1u32..65536,
+        seed in 0u64..u64::MAX,
+    ) {
+        let img = build(width, height, channels, maxval as u16, seed);
+        let decoded = image::decode(&image::encode_ascii(&img)).unwrap();
+        prop_assert_eq!(decoded, img);
+    }
+
+    /// Truncating an encoded image anywhere strictly inside it either
+    /// still decodes a (smaller) valid prefix — impossible for these
+    /// single-image payloads — or fails with an offset within bounds.
+    #[test]
+    fn truncation_is_always_diagnosed(
+        width in 1u32..6,
+        height in 1u32..6,
+        maxval in 1u32..65536,
+        seed in 0u64..u64::MAX,
+        cut_ppm in 0.0f64..1.0,
+    ) {
+        let img = build(width, height, 1, maxval as u16, seed);
+        let encoded = image::encode(&img);
+        let cut = 1 + ((encoded.len() - 2) as f64 * cut_ppm) as usize;
+        let err = image::decode(&encoded[..cut]).unwrap_err();
+        prop_assert!(err.offset <= cut, "offset {} past cut {cut}", err.offset);
+    }
+}

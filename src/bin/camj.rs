@@ -62,14 +62,18 @@ USAGE:
         fresh estimate cache and reports its hit/miss line.
     camj simulate --design FILE [--seed N] [--samples N] [--fps N] [--stimulus SPEC] [--json] [--stats]
         Noise-aware functional simulation of one frame: renders the
-        stimulus (uniform:<level> or gradient:<low>,<high>; default
-        gradient:0.1,0.9) at the input stage's resolution, injects each
-        analog stage's noise sources with the seeded deterministic RNG
-        (default seed 42), applies ADC quantization, and reports
-        per-stage SNR plus a digest pinning the output frame
-        bit-for-bit. Identical across runs and thread counts.
-        --samples N (default 1, max 1024) runs a Monte-Carlo batch over
-        seeds seed..seed+N and reports per-stage mean ± σ instead.
+        stimulus (uniform:<level>, gradient:<low>,<high>, or
+        image:<path> for a PGM/PPM file; default: the description's
+        `stimulus` block, else gradient:0.1,0.9) at the input stage's
+        resolution, injects each analog stage's noise sources with the
+        seeded deterministic RNG (default seed 42), applies ADC
+        quantization, executes the mapped digital DAG on the frame, and
+        reports per-stage SNR, task-level metrics (MSE/RMSE/PSNR and
+        centroid error at the DAG sink), plus digests pinning the
+        analog output and the DAG sink bit-for-bit. Identical across
+        runs and thread counts. --samples N (default 1, max 1024) runs
+        a Monte-Carlo batch over seeds seed..seed+N and reports
+        per-stage mean ± σ instead.
     camj sweep --design FILE [--fps A,B,C] [--format json|csv] [--no-cache]
         Sweep frame-rate targets (from --fps, or the description's
         `sweep.fps` list) through the incremental estimation engine.
@@ -82,7 +86,9 @@ USAGE:
         Multi-objective Pareto exploration over the frame-rate grid.
         Objectives (minimised): total_energy, delay, power_density,
         snr, category:<LABEL>, stage:<name>, noise:<unit>,
-        mc_snr:<samples> (Monte-Carlo mean output noise RMS); defaults
+        mc_snr:<samples> (Monte-Carlo mean output noise RMS),
+        accuracy:<mse|rmse|centroid> (task-level error of the design's
+        stimulus pushed through the full functional pipeline); defaults
         come from the description's `sweep.objectives` (falling back
         to total_energy,power_density). Constraint flags override the
         description's `sweep.constraints`; violating points are pruned
@@ -538,10 +544,10 @@ fn run_simulate(flags: &Flags) -> ExitCode {
             }
         },
     };
-    let stimulus = match flags.stimulus.as_deref() {
-        None => Stimulus::default(),
+    let flag_stimulus = match flags.stimulus.as_deref() {
+        None => None,
         Some(text) => match text.parse::<Stimulus>() {
-            Ok(s) => s,
+            Ok(s) => Some(s),
             Err(e) => return usage_error(&e),
         },
     };
@@ -557,6 +563,9 @@ fn run_simulate(flags: &Flags) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --stimulus overrides the description's own stimulus block, which
+    // load_design already attached to the model.
+    let stimulus = flag_stimulus.unwrap_or_else(|| model.stimulus().clone());
     // --stats: the frame plan's delay solve goes through the estimate
     // cache when one is attached, so the line reports the elastic
     // lookups this simulation actually made.
@@ -626,6 +635,38 @@ fn run_simulate(flags: &Flags) -> ExitCode {
                 mc.output.snr_db_std.unwrap_or(0.0)
             )),
         );
+        if let Some(dag) = &mc.dag {
+            println!(
+                "digital DAG (sink {}): {:<12} {:>20} {:>18}",
+                dag.sink, "stage", "error rms (FS)", "SNR dB"
+            );
+            for stage in &dag.stages {
+                println!(
+                    "  {:<36} {:>12.6} ±{:.1e} {:>18}",
+                    stage.stage,
+                    stage.error_rms_mean,
+                    stage.error_rms_std,
+                    stage.snr_db_mean.map_or_else(
+                        || "-".to_owned(),
+                        |db| format!("{db:.2} ±{:.2}", stage.snr_db_std.unwrap_or(0.0))
+                    ),
+                );
+            }
+            println!(
+                "task: mse {:.6e} ±{:.1e}, rmse {:.6} ±{:.1e}, psnr {}, centroid err {:.6} ±{:.1e}",
+                dag.metrics.mse_mean,
+                dag.metrics.mse_std,
+                dag.metrics.rmse_mean,
+                dag.metrics.rmse_std,
+                dag.metrics.psnr_db_mean.map_or_else(
+                    || "-".to_owned(),
+                    |db| format!("{db:.2} ±{:.2} dB", dag.metrics.psnr_db_std.unwrap_or(0.0))
+                ),
+                dag.metrics.centroid_err_mean,
+                dag.metrics.centroid_err_std,
+            );
+            println!("dag digest: {}", dag.digests[0]);
+        }
         println!("digest: {}", mc.digests[0]);
         print_cache_line(cache.as_ref(), false);
         return ExitCode::SUCCESS;
@@ -685,6 +726,32 @@ fn run_simulate(flags: &Flags) -> ExitCode {
             .snr_db
             .map_or_else(String::new, |db| format!(", SNR {db:.2} dB")),
     );
+    if let Some(dag) = &report.dag {
+        println!(
+            "digital DAG (sink {}): {:<12} {:>16} {:>12}",
+            dag.sink, "stage", "error rms (FS)", "SNR dB"
+        );
+        for stage in &dag.stages {
+            println!(
+                "  {:<36} {:>16.6} {:>12}",
+                stage.stage,
+                stage.error_rms,
+                stage
+                    .snr_db
+                    .map_or_else(|| "-".to_owned(), |db| format!("{db:.2}")),
+            );
+        }
+        println!(
+            "task: mse {:.6e}, rmse {:.6}, psnr {}, centroid err {:.6}",
+            dag.metrics.mse,
+            dag.metrics.rmse,
+            dag.metrics
+                .psnr_db
+                .map_or_else(|| "-".to_owned(), |db| format!("{db:.2} dB")),
+            dag.metrics.centroid_err,
+        );
+        println!("dag digest: {}", dag.digest);
+    }
     println!("digest: {}", report.digest);
     print_cache_line(cache.as_ref(), false);
     ExitCode::SUCCESS
@@ -1543,7 +1610,10 @@ fn parse_fps_single(s: &str) -> Result<f64, String> {
 }
 
 /// Reads, parses, validates, and builds a description file, optionally
-/// overriding its frame rate.
+/// overriding its frame rate. A `stimulus` block is resolved against
+/// the file's directory and attached to the model, so functional
+/// simulation and `accuracy:<metric>` objectives see the design's own
+/// stimulus without extra flags.
 fn load_design(path: &str, fps: Option<f64>) -> Result<(DesignDesc, ValidatedModel), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
     let mut desc = DesignDesc::from_json(&text).map_err(|e| e.to_string())?;
@@ -1555,7 +1625,12 @@ fn load_design(path: &str, fps: Option<f64>) -> Result<(DesignDesc, ValidatedMod
         }
         desc.fps = fps;
     }
-    let model = desc.build().map_err(|e| e.to_string())?;
+    let mut model = desc.build().map_err(|e| e.to_string())?;
+    if let Some(ir) = &desc.stimulus {
+        let base = std::path::Path::new(path).parent();
+        let stimulus = ir.resolve(base).map_err(|e| e.to_string())?;
+        model = model.with_stimulus(stimulus);
+    }
     Ok((desc, model))
 }
 

@@ -154,6 +154,47 @@ fn cli_simulate_matches_committed_snapshot() {
 }
 
 #[test]
+fn cli_simulate_full_dag_matches_committed_snapshot() {
+    // The edgaze description bundles a real-image stimulus
+    // (descriptions/edgaze_eye.pgm) and a three-stage digital DAG, so
+    // this snapshot covers the whole functional pipeline: codec →
+    // analog chain → DAG execution → task metrics → digests.
+    let run = |extra_env: Option<(&str, &str)>| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_camj"));
+        cmd.args([
+            "simulate",
+            "--design",
+            "descriptions/edgaze.json",
+            "--seed",
+            "42",
+        ]);
+        if let Some((key, value)) = extra_env {
+            cmd.env(key, value);
+        }
+        let out = cmd.output().expect("camj binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let expected = fs::read_to_string("descriptions/edgaze.simulate.txt").unwrap();
+    let first = run(None);
+    assert_eq!(
+        first, expected,
+        "CLI simulate output drifted from descriptions/edgaze.simulate.txt; \
+         regenerate it if the change is intentional"
+    );
+    // The simulated frame is a pure function of (model, seed,
+    // stimulus): byte-identical across repeat runs and thread counts.
+    assert_eq!(run(None), first);
+    assert_eq!(run(Some(("RAYON_NUM_THREADS", "1"))), first);
+    assert_eq!(run(Some(("RAYON_NUM_THREADS", "2"))), first);
+    assert_eq!(run(Some(("RAYON_NUM_THREADS", "8"))), first);
+}
+
+#[test]
 fn cli_export_reproduces_golden_bytes() {
     for (name, path) in GOLDEN {
         let out = Command::new(env!("CARGO_BIN_EXE_camj"))

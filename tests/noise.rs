@@ -161,6 +161,43 @@ fn quickstart_chain_and_snr_are_physical() {
     );
 }
 
+/// Monte-Carlo convergence: over many seeds on uniform stimuli, the
+/// measured mean output SNR sits within a fraction of a dB of the
+/// analytic [`NoiseReport`] budget — the MC estimator and the closed
+/// form describe the same chain.
+#[test]
+fn mc_snr_converges_to_analytic_budget_on_uniform_stimuli() {
+    force_threads();
+    let model = quickstart::model(30.0).unwrap().into_validated();
+    let analytic = {
+        let report = model.estimate().unwrap();
+        report.noise.as_ref().unwrap().output_snr_db
+    };
+    let seeds: Vec<u64> = (0..64).collect();
+    for level in [0.25, 0.5, 0.75] {
+        let mc = model
+            .simulate_frames(&seeds, &Stimulus::uniform(level))
+            .unwrap();
+        let measured = mc.output.snr_db_mean.expect("uniform stimuli have SNR");
+        let std = mc.output.snr_db_std.expect("64 seeds give a spread");
+        // The analytic budget is quoted at mid-scale signal. Moving
+        // the level shifts SNR by 20·log10(l/0.5) if fixed noise
+        // (read/quantization) dominates, or 10·log10(l/0.5) if shot
+        // noise dominates; the real chain sits between the two laws.
+        let fixed_law = 20.0 * (level / 0.5_f64).log10();
+        let shot_law = 10.0 * (level / 0.5_f64).log10();
+        let lo = fixed_law.min(shot_law) - 1.0;
+        let hi = fixed_law.max(shot_law) + 1.0;
+        let shift = measured - analytic;
+        assert!(
+            (lo..=hi).contains(&shift),
+            "level {level}: MC {measured} dB (±{std}) shifted {shift} dB \
+             from analytic {analytic} dB, outside [{lo}, {hi}]"
+        );
+        assert!(std < 1.0, "level {level}: seed spread {std} dB too wide");
+    }
+}
+
 /// More converter bits ⇒ strictly less output noise (the quantization
 /// term shrinks, everything else stays put) — the accuracy side of the
 /// precision axis the energy model already sweeps.

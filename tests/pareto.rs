@@ -273,6 +273,47 @@ fn cli_pareto_matches_committed_golden() {
     );
 }
 
+#[test]
+fn cli_pareto_accuracy_matches_committed_golden() {
+    // Task accuracy as a frontier axis: the centroid-error objective
+    // runs the full functional pipeline (image stimulus → analog chain
+    // → digital DAG) per design point, and must still produce a
+    // byte-identical frontier regardless of thread count.
+    let run = |threads: Option<&str>| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_camj"));
+        cmd.args([
+            "pareto",
+            "--design",
+            "descriptions/edgaze.json",
+            "--objectives",
+            "total_energy,accuracy:centroid",
+            "--format",
+            "json",
+        ]);
+        if let Some(n) = threads {
+            cmd.env("RAYON_NUM_THREADS", n);
+        }
+        let out = cmd.output().expect("camj binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap().replace("\r\n", "\n")
+    };
+    let expected = fs::read_to_string("descriptions/edgaze.pareto-accuracy.json").unwrap();
+    let first = run(None);
+    assert_eq!(
+        first,
+        format!("{}\n", expected.trim_end_matches('\n')),
+        "CLI accuracy-pareto output drifted from \
+         descriptions/edgaze.pareto-accuracy.json; \
+         regenerate it if the change is intentional"
+    );
+    assert_eq!(run(Some("1")), first);
+    assert_eq!(run(Some("8")), first);
+}
+
 proptest! {
     /// The frontier set never depends on insert order: any permutation
     /// of the same point set produces the same frontier indices.
